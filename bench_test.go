@@ -1,0 +1,133 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one bench per
+// table/figure). Each bench drives the same internal/exp harness as
+// cmd/experiments at a scale where `go test -bench=.` completes in minutes;
+// run cmd/experiments -scale=medium for the larger sweeps.
+//
+// The per-op time reported by a bench is the cost of the full experiment
+// sweep it names; the printed tables (visible with -v) carry the series the
+// paper plots.
+package roadsocial_test
+
+import (
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"roadsocial/internal/exp"
+)
+
+// benchOpts keeps every figure bench reproducible and bounded.
+func benchOpts() exp.Options {
+	return exp.Options{
+		Scale:      exp.Small,
+		QueriesPer: 2,
+		Seed:       20210421,
+		Timeout:    10 * time.Second,
+		// Influ averages over 10 weight samples in benches (paper: 100).
+		WeightSamples: 10,
+	}
+}
+
+// tinyOpts for the heavier sweeps.
+func tinyOpts() exp.Options {
+	o := benchOpts()
+	o.Scale = exp.Tiny
+	return o
+}
+
+// sink prints tables only under -v to keep default bench output compact.
+func sink(b *testing.B) io.Writer {
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func runExpBench(b *testing.B, fn func(exp.Options) (*exp.Table, error), opts exp.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			tab.Print(sink(b))
+		}
+	}
+}
+
+// BenchmarkTable2DatasetStats regenerates Table II (dataset statistics).
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	runExpBench(b, exp.Table2, benchOpts())
+}
+
+// BenchmarkVaryK regenerates Fig. 6-10(a): query time vs k, all algorithms,
+// all dataset pairs.
+func BenchmarkVaryK(b *testing.B) {
+	runExpBench(b, exp.VaryK, benchOpts())
+}
+
+// BenchmarkVaryT regenerates Fig. 6-10(b): query time vs t.
+func BenchmarkVaryT(b *testing.B) {
+	runExpBench(b, exp.VaryT, tinyOpts())
+}
+
+// BenchmarkVaryD regenerates Fig. 6-10(c): query time vs d (2..6).
+func BenchmarkVaryD(b *testing.B) {
+	runExpBench(b, exp.VaryD, tinyOpts())
+}
+
+// BenchmarkVaryQ regenerates Fig. 6-10(d): query time vs |Q|.
+func BenchmarkVaryQ(b *testing.B) {
+	runExpBench(b, exp.VaryQ, tinyOpts())
+}
+
+// BenchmarkVaryJ regenerates Fig. 6-10(e): GS-T and LS-T vs j.
+func BenchmarkVaryJ(b *testing.B) {
+	runExpBench(b, exp.VaryJ, tinyOpts())
+}
+
+// BenchmarkVarySigma regenerates Fig. 6-10(f): query time vs σ.
+func BenchmarkVarySigma(b *testing.B) {
+	runExpBench(b, exp.VarySigma, tinyOpts())
+}
+
+// BenchmarkPartitionsVsSigma regenerates Fig. 11(a,b): #partitions of R and
+// #non-contained MACs vs σ (GS-NC).
+func BenchmarkPartitionsVsSigma(b *testing.B) {
+	runExpBench(b, exp.PartitionsAndNCMACs, tinyOpts())
+}
+
+// BenchmarkKTCoreSize regenerates Fig. 11(c): |V(H_k^t)| vs k.
+func BenchmarkKTCoreSize(b *testing.B) {
+	runExpBench(b, exp.KTCoreSizes, benchOpts())
+}
+
+// BenchmarkMemoryVsD regenerates Fig. 11(d): allocation footprint vs d for
+// the BBS/Gd build, GS-NC and LS-NC.
+func BenchmarkMemoryVsD(b *testing.B) {
+	runExpBench(b, exp.MemoryVsD, tinyOpts())
+}
+
+// BenchmarkLSRecallRatio regenerates Fig. 12: the fraction of GS-NC's
+// non-contained MACs found by LS-NC, varying k and |Q|.
+func BenchmarkLSRecallRatio(b *testing.B) {
+	runExpBench(b, exp.RatioLS, tinyOpts())
+}
+
+// BenchmarkCompareMethodsK regenerates Fig. 13-14(b): MAC algorithms vs
+// Influ/Influ+/Sky/Sky+ varying k.
+func BenchmarkCompareMethodsK(b *testing.B) {
+	opts := tinyOpts()
+	opts.Datasets = []string{"SF+Delicious", "FL+Flixster"}
+	runExpBench(b, func(o exp.Options) (*exp.Table, error) { return exp.CompareMethods(o, "k") }, opts)
+}
+
+// BenchmarkCompareMethodsD regenerates Fig. 13-14(c): the same comparison
+// varying d, where Sky/Sky+ hit their budget ("Inf").
+func BenchmarkCompareMethodsD(b *testing.B) {
+	opts := tinyOpts()
+	opts.Datasets = []string{"SF+Delicious", "FL+Flixster"}
+	runExpBench(b, func(o exp.Options) (*exp.Table, error) { return exp.CompareMethods(o, "d") }, opts)
+}

@@ -1,0 +1,101 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section VII) on synthetic analogues of the datasets. Each
+// experiment prints the same series the paper plots; EXPERIMENTS.md records
+// the shape comparison against the published results.
+//
+// Usage:
+//
+//	experiments -exp=all                 # everything (slow)
+//	experiments -exp=table2              # dataset statistics
+//	experiments -exp=vary_k,vary_sigma   # selected figures
+//	experiments -exp=vary_k -scale=medium -queries=5
+//	experiments -exp=compare_k -datasets=SF+Delicious
+//
+// Experiments: table2, vary_k, vary_t, vary_d, vary_q, vary_j, vary_sigma,
+// partitions (Fig 11a,b), ktcore_size (Fig 11c), memory (Fig 11d),
+// ratio (Fig 12), compare_k (Fig 13-14b), compare_d (Fig 13-14c).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"roadsocial/internal/exp"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "table2", "comma-separated experiment names, or 'all'")
+		scale    = flag.String("scale", "small", "dataset scale: tiny, small, medium")
+		queries  = flag.Int("queries", 3, "query sets averaged per measurement")
+		seed     = flag.Int64("seed", 20210421, "workload seed")
+		datasets = flag.String("datasets", "", "comma-separated dataset filter (default all)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-invocation timeout (prints Inf)")
+	)
+	flag.Parse()
+
+	opts := exp.Options{
+		QueriesPer: *queries,
+		Seed:       *seed,
+		Timeout:    *timeout,
+	}
+	switch *scale {
+	case "tiny":
+		opts.Scale = exp.Tiny
+	case "medium":
+		opts.Scale = exp.Medium
+	default:
+		opts.Scale = exp.Small
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+
+	type runner struct {
+		name string
+		fn   func(exp.Options) (*exp.Table, error)
+	}
+	runners := []runner{
+		{"table2", exp.Table2},
+		{"vary_k", exp.VaryK},
+		{"vary_t", exp.VaryT},
+		{"vary_d", exp.VaryD},
+		{"vary_q", exp.VaryQ},
+		{"vary_j", exp.VaryJ},
+		{"vary_sigma", exp.VarySigma},
+		{"partitions", exp.PartitionsAndNCMACs},
+		{"ktcore_size", exp.KTCoreSizes},
+		{"memory", exp.MemoryVsD},
+		{"ratio", exp.RatioLS},
+		{"compare_k", func(o exp.Options) (*exp.Table, error) { return exp.CompareMethods(o, "k") }},
+		{"compare_d", func(o exp.Options) (*exp.Table, error) { return exp.CompareMethods(o, "d") }},
+	}
+
+	want := map[string]bool{}
+	all := *expFlag == "all"
+	for _, name := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ran := 0
+	for _, r := range runners {
+		if !all && !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		tab, err := r.fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		tab.Print(os.Stdout)
+		fmt.Printf("(%s took %s)\n", r.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q; see -h\n", *expFlag)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,233 @@
+// Command macsearch runs a MAC query end to end: it loads a road-social
+// network from simple text files (or generates a synthetic one), executes
+// global or local search, and prints the partition-wise communities.
+//
+// File formats (whitespace separated):
+//
+//	-social  : first line "n d"; then one line per edge "u v"; vertex
+//	           attributes via -attrs.
+//	-attrs   : n lines of d floats (line i = attributes of vertex i).
+//	-road    : first line "n"; then one line per segment "u v w".
+//	-locs    : n lines "r" placing user i on road vertex r.
+//
+// Example:
+//
+//	macsearch -social=soc.txt -attrs=attrs.txt -road=road.txt -locs=locs.txt \
+//	    -q=3,7,12 -k=4 -t=500 -region=0.1:0.5,0.2:0.4 -j=2 -algo=local
+//
+// Without input files, -synthetic generates a benchmark network:
+//
+//	macsearch -synthetic -q-size=4 -k=8 -t=2500 -sigma=0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"roadsocial"
+	"roadsocial/internal/dataset"
+	"roadsocial/internal/gen"
+)
+
+func main() {
+	var (
+		socialPath = flag.String("social", "", "social edge list file")
+		attrsPath  = flag.String("attrs", "", "attribute file")
+		roadPath   = flag.String("road", "", "road edge list file")
+		locsPath   = flag.String("locs", "", "user location file")
+		synthetic  = flag.Bool("synthetic", false, "generate a synthetic network instead of loading files")
+		synN       = flag.Int("syn-n", 2000, "synthetic: social vertices")
+		synD       = flag.Int("syn-d", 3, "synthetic: attribute dimensions")
+		synSide    = flag.Int("syn-side", 40, "synthetic: road grid side")
+		seed       = flag.Int64("seed", 1, "synthetic seed")
+
+		qFlag   = flag.String("q", "", "comma-separated query vertex ids")
+		qSize   = flag.Int("q-size", 4, "synthetic: query set size (when -q empty)")
+		k       = flag.Int("k", 4, "coreness threshold")
+		tFlag   = flag.Float64("t", 1000, "query distance threshold")
+		region  = flag.String("region", "", "preference region lo:hi per dim, comma separated")
+		sigma   = flag.Float64("sigma", 0.01, "synthetic: random hypercube side when -region empty")
+		j       = flag.Int("j", 1, "top-j MACs per partition")
+		algo    = flag.String("algo", "local", "algorithm: global or local")
+		useGT   = flag.Bool("gtree", false, "accelerate range queries with a G-tree index")
+		maxShow = flag.Int("max-show", 10, "max members printed per community")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var net *roadsocial.Network
+	var err error
+	if *synthetic || *socialPath == "" {
+		cfg := gen.NetworkConfig{
+			Social: gen.SocialConfig{
+				N: *synN, D: *synD, AttachEdges: 4,
+				Communities: 5, CommunitySize: 70, CommunityP: 0.6,
+			},
+			RoadRows: *synSide, RoadCols: *synSide,
+		}
+		net, err = gen.Network(cfg, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("synthetic network: %d users, %d friendships, %d road vertices\n",
+			net.Social.N(), net.Social.M(), net.Road.N())
+	} else {
+		net, err = loadNetworkFiles(*socialPath, *attrsPath, *roadPath, *locsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *useGT {
+		net.Oracle = roadsocial.BuildGTree(net.Road, 0)
+	}
+
+	var reg *roadsocial.Region
+	if *region != "" {
+		lo, hi, err := parseRegion(*region)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg, err = roadsocial.NewRegion(lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		reg = gen.Region(net.Social.D(), *sigma, rng)
+	}
+
+	var q []int32
+	if *qFlag != "" {
+		for _, s := range strings.Split(*qFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad query vertex %q: %v", s, err)
+			}
+			q = append(q, int32(v))
+		}
+	} else {
+		sets := gen.Queries(net, *k, *tFlag, *qSize, 1, rng)
+		if len(sets) == 0 {
+			log.Fatal("could not find a feasible query set; relax k or t")
+		}
+		q = sets[0]
+		fmt.Printf("query vertices: %v\n", q)
+	}
+
+	query := &roadsocial.Query{Q: q, K: *k, T: *tFlag, Region: reg, J: *j}
+	start := time.Now()
+	var res *roadsocial.Result
+	if *algo == "global" {
+		res, err = roadsocial.GlobalSearch(net, query)
+	} else {
+		res, err = roadsocial.LocalSearch(net, query, roadsocial.LocalOptions{})
+	}
+	elapsed := time.Since(start)
+	if err == roadsocial.ErrNoCommunity {
+		fmt.Println("no (k,t)-core contains the query vertices")
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nmaximal (%d,%g)-core: %d vertices\n", *k, *tFlag, len(res.KTCore))
+	fmt.Printf("partitions: %d   time: %s\n", len(res.Cells), elapsed.Round(time.Microsecond))
+	fmt.Printf("stats: hyperplanes=%d cells=%d deletions=%d candidates=%d\n\n",
+		res.Stats.Hyperplanes, res.Stats.CellsExplored, res.Stats.Deletions, res.Stats.Candidates)
+	shown := map[string]bool{}
+	for _, cell := range res.Cells {
+		key := cell.NCMAC().Key()
+		if shown[key] {
+			continue
+		}
+		shown[key] = true
+		w := cell.Cell.Witness()
+		fmt.Printf("weights near %v:\n", round(w))
+		for rank, comm := range cell.Ranked {
+			fmt.Printf("  top-%d (%d members, score %.3f): %s\n", rank+1, len(comm),
+				roadsocial.CommunityScore(net, comm, w), members(net.Social, comm, *maxShow))
+		}
+	}
+}
+
+func members(gs *roadsocial.SocialGraph, c roadsocial.Community, max int) string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, v := range c {
+		if i == max {
+			fmt.Fprintf(&b, ", …+%d", len(c)-max)
+			break
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if l := gs.Label(int(v)); l != "" {
+			b.WriteString(l)
+		} else {
+			fmt.Fprintf(&b, "%d", v)
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func round(w []float64) []float64 {
+	out := make([]float64, len(w))
+	for i, v := range w {
+		out[i] = float64(int(v*1000+0.5)) / 1000
+	}
+	return out
+}
+
+func parseRegion(s string) (lo, hi []float64, err error) {
+	for _, part := range strings.Split(s, ",") {
+		bounds := strings.Split(part, ":")
+		if len(bounds) != 2 {
+			return nil, nil, fmt.Errorf("bad region segment %q (want lo:hi)", part)
+		}
+		l, err := strconv.ParseFloat(bounds[0], 64)
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := strconv.ParseFloat(bounds[1], 64)
+		if err != nil {
+			return nil, nil, err
+		}
+		lo = append(lo, l)
+		hi = append(hi, h)
+	}
+	return lo, hi, nil
+}
+
+// loadNetworkFiles opens the four input files and delegates parsing to the
+// dataset package.
+func loadNetworkFiles(socialPath, attrsPath, roadPath, locsPath string) (*roadsocial.Network, error) {
+	open := func(path string) (*os.File, error) { return os.Open(path) }
+	sf, err := open(socialPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	af, err := open(attrsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	rf, err := open(roadPath)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	lf, err := open(locsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	return dataset.ReadNetwork(sf, af, nil, rf, lf)
+}

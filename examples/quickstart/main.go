@@ -1,0 +1,109 @@
+// Quickstart: build a small road-social network by hand, run both MAC
+// search algorithms, and print the partition-wise results. This is the
+// running example of the paper (Fig. 1-2): seven users v1..v7 with
+// 3-dimensional attributes, query Q = {v2,v3,v6}, k = 3, t = 9, and
+// preference region R = [0.1,0.5] x [0.2,0.4].
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadsocial"
+)
+
+func main() {
+	// Social network: K4 on {v2,v3,v6,v7}; v1 ~ v2,v3,v7; v4 ~ v2,v3,v5;
+	// v5 ~ v2,v4,v6. Vertex ids are zero-based (v1 = 0).
+	sb := roadsocial.NewSocialBuilder(7, 3)
+	for _, e := range [][2]int{
+		{1, 2}, {1, 5}, {1, 6}, {2, 5}, {2, 6}, {5, 6},
+		{0, 1}, {0, 2}, {0, 6},
+		{3, 1}, {3, 2}, {3, 4},
+		{4, 1}, {4, 5},
+	} {
+		sb.AddEdge(e[0], e[1])
+	}
+	attrs := [][]float64{
+		{8.8, 3.6, 2.2}, {5.9, 6.2, 6.0}, {2.8, 5.6, 5.1}, {9.0, 3.3, 3.4},
+		{5.0, 7.6, 3.1}, {5.2, 8.3, 4.3}, {2.1, 5.0, 5.1},
+	}
+	for v, x := range attrs {
+		sb.SetAttrs(v, x)
+		sb.SetLabel(v, fmt.Sprintf("v%d", v+1))
+	}
+	gs, err := sb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Road network: weights chosen so that dist(r7,r6)=7 and dist(r3,r6)=9.
+	gr := roadsocial.NewRoadGraph(7)
+	for _, e := range []struct {
+		u, v int
+		w    float64
+	}{
+		{2, 6, 4}, {6, 5, 7}, {1, 6, 6}, {1, 2, 3}, {1, 5, 8}, {2, 5, 9},
+		{0, 1, 1}, {3, 1, 1}, {4, 1, 1},
+	} {
+		if err := gr.AddEdge(e.u, e.v, e.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	locs := make([]roadsocial.Location, 7)
+	for i := range locs {
+		locs[i] = roadsocial.VertexLocation(i)
+	}
+	net := &roadsocial.Network{Social: gs, Road: gr, Locs: locs}
+
+	region, err := roadsocial.NewRegion([]float64{0.1, 0.2}, []float64{0.5, 0.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := &roadsocial.Query{Q: []int32{1, 2, 5}, K: 3, T: 9, Region: region, J: 2}
+
+	fmt.Println("== Global search (exact, every weight vector in R) ==")
+	res, err := roadsocial.GlobalSearch(net, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("maximal (k,t)-core: %s\n", names(gs, res.KTCore))
+	fmt.Printf("partitions of R: %d\n", len(res.Cells))
+	for _, ncmac := range dedup(res) {
+		fmt.Printf("  non-contained MAC: %s\n", names(gs, ncmac))
+	}
+
+	// Example 3 of the paper: a tiny change in the weight vector flips the
+	// answer.
+	for _, w := range [][]float64{{0.2, 0.3}, {0.19, 0.3}} {
+		cell := res.ResultAt(w)
+		fmt.Printf("top-1 at w=%v: %s  (score %.2f)\n",
+			w, names(gs, cell.NCMAC()), roadsocial.CommunityScore(net, cell.NCMAC(), w))
+	}
+
+	fmt.Println("\n== Local search (fast, sound) ==")
+	lres, err := roadsocial.LocalSearch(net, query, roadsocial.LocalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ncmac := range dedup(lres) {
+		fmt.Printf("  non-contained MAC: %s\n", names(gs, ncmac))
+	}
+	fmt.Printf("stats: |H_k^t|=%d, hyperplanes=%d, candidates=%d\n",
+		lres.Stats.KTCoreSize, lres.Stats.Hyperplanes, lres.Stats.Candidates)
+}
+
+func names(gs *roadsocial.SocialGraph, c roadsocial.Community) string {
+	s := "{"
+	for i, v := range c {
+		if i > 0 {
+			s += ", "
+		}
+		s += gs.Label(int(v))
+	}
+	return s + "}"
+}
+
+func dedup(res *roadsocial.Result) []roadsocial.Community {
+	return res.NCMACs()
+}

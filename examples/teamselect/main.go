@@ -1,0 +1,136 @@
+// Teamselect: the "personalized optimum community search" application from
+// the paper's introduction. A coach reorganizes the school basketball
+// program around two anchor players (the query users), scoring candidates
+// on points, rebounds, and assists per game. The coach wants an
+// offense-first lineup but cannot pin exact weights — "roughly 50-70% on
+// scoring, 15-30% on rebounding, rest on assists" becomes the preference
+// region, and the MAC search reports how the optimal squad changes across
+// that region.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"roadsocial"
+)
+
+type player struct {
+	name     string
+	pts, reb float64
+	ast      float64
+	// friends: who they have chemistry with (social edges)
+	friends []int
+	home    int // road vertex of their neighborhood
+}
+
+func main() {
+	// 18 players across the varsity and JV squads. Chemistry edges are the
+	// social network; the school district's street grid is the road network.
+	players := []player{
+		{name: "Aiden (PG)", pts: 7.1, reb: 2.0, ast: 8.9, friends: []int{1, 2, 3, 4}, home: 12},
+		{name: "Blake (SG)", pts: 9.4, reb: 3.1, ast: 4.2, friends: []int{2, 3, 5}, home: 14},
+		{name: "Cole (SF)", pts: 8.2, reb: 5.5, ast: 3.0, friends: []int{3, 4, 5}, home: 31},
+		{name: "Dario (PF)", pts: 6.5, reb: 8.1, ast: 1.8, friends: []int{4, 5}, home: 33},
+		{name: "Eli (C)", pts: 5.9, reb: 9.4, ast: 1.2, friends: []int{5}, home: 52},
+		{name: "Finn (6th)", pts: 8.8, reb: 4.0, ast: 3.7, friends: []int{6, 7}, home: 54},
+		{name: "Gus", pts: 4.2, reb: 3.3, ast: 2.1, friends: []int{7, 8}, home: 71},
+		{name: "Hugo", pts: 3.8, reb: 2.9, ast: 3.3, friends: []int{8}, home: 73},
+		{name: "Ivan", pts: 5.1, reb: 1.9, ast: 2.6, friends: []int{9, 0}, home: 90},
+		{name: "Jude", pts: 2.9, reb: 4.4, ast: 1.1, friends: []int{10, 1}, home: 92},
+		{name: "Kai", pts: 6.3, reb: 2.2, ast: 5.0, friends: []int{11, 0, 1}, home: 15},
+		{name: "Liam", pts: 7.7, reb: 6.1, ast: 2.2, friends: []int{2, 3, 12}, home: 35},
+		{name: "Mats", pts: 4.9, reb: 7.2, ast: 1.0, friends: []int{3, 4, 13}, home: 55},
+		{name: "Nico", pts: 9.9, reb: 2.6, ast: 3.9, friends: []int{0, 1, 2, 14}, home: 16},
+		{name: "Omar", pts: 3.2, reb: 3.0, ast: 4.8, friends: []int{0, 10}, home: 94},
+		{name: "Pau", pts: 6.8, reb: 5.8, ast: 2.4, friends: []int{2, 3, 11}, home: 36},
+		{name: "Quinn", pts: 5.5, reb: 2.4, ast: 6.7, friends: []int{0, 10, 13}, home: 17},
+		{name: "Rune", pts: 8.1, reb: 7.4, ast: 1.5, friends: []int{3, 4, 11, 12}, home: 56},
+	}
+
+	sb := roadsocial.NewSocialBuilder(len(players), 3)
+	for i, p := range players {
+		sb.SetAttrs(i, []float64{p.pts, p.reb, p.ast})
+		sb.SetLabel(i, p.name)
+		for _, f := range p.friends {
+			sb.AddEdge(i, f)
+		}
+	}
+	gs, err := sb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// School district: a 10x10 street grid, ~1 cost unit per block.
+	rng := rand.New(rand.NewSource(7))
+	gr := roadsocial.NewRoadGraph(100)
+	for r := 0; r < 10; r++ {
+		for c := 0; c < 10; c++ {
+			v := r*10 + c
+			if c+1 < 10 {
+				if err := gr.AddEdge(v, v+1, 0.8+rng.Float64()*0.4); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if r+1 < 10 {
+				if err := gr.AddEdge(v, v+10, 0.8+rng.Float64()*0.4); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	locs := make([]roadsocial.Location, len(players))
+	for i, p := range players {
+		locs[i] = roadsocial.VertexLocation(p.home)
+	}
+	net := &roadsocial.Network{Social: gs, Road: gr, Locs: locs}
+
+	// Weights (points, rebounds) with assists implied: points 50-70%,
+	// rebounds 15-30%.
+	region, err := roadsocial.NewRegion([]float64{0.5, 0.15}, []float64{0.7, 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Build around Aiden (playmaker) and Cole (wing); squad must be a
+	// 2-core of chemistry edges, everyone within 8 blocks of both anchors.
+	query := &roadsocial.Query{Q: []int32{0, 2}, K: 2, T: 8, Region: region, J: 2}
+
+	res, err := roadsocial.GlobalSearch(net, query)
+	if err == roadsocial.ErrNoCommunity {
+		fmt.Println("no eligible squad: relax the travel limit or coreness")
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("eligible pool (within %g blocks, %d-core): %d players\n",
+		query.T, query.K, len(res.KTCore))
+	fmt.Printf("the preference region splits into %d partitions\n\n", len(res.Cells))
+	shown := map[string]bool{}
+	for _, cell := range res.Cells {
+		key := cell.NCMAC().Key()
+		if shown[key] {
+			continue
+		}
+		shown[key] = true
+		w := cell.Cell.Witness()
+		full := append(append([]float64{}, w...), 1-w[0]-w[1])
+		fmt.Printf("if weights ≈ (pts %.2f, reb %.2f, ast %.2f):\n", full[0], full[1], full[2])
+		for rank, squad := range cell.Ranked {
+			fmt.Printf("  choice %d (score %.2f): %s\n",
+				rank+1, roadsocial.CommunityScore(net, squad, w), names(gs, squad))
+		}
+	}
+}
+
+func names(gs *roadsocial.SocialGraph, c roadsocial.Community) string {
+	s := ""
+	for i, v := range c {
+		if i > 0 {
+			s += ", "
+		}
+		s += gs.Label(int(v))
+	}
+	return s
+}

@@ -1,0 +1,267 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadsocial/internal/social"
+)
+
+func buildGraph(t testing.TB, n, d int, edges [][2]int, attrs [][]float64) *social.Graph {
+	t.Helper()
+	b := social.NewBuilder(n, d)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	for v, x := range attrs {
+		b.SetAttrs(v, x)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// twoTriangles: triangle {0,1,2} with high influence, triangle {3,4,5} low,
+// connected by a chain that peels out of the 2-core.
+func twoTriangles(t testing.TB) *social.Graph {
+	return buildGraph(t, 7, 1,
+		[][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 6}, {6, 3}},
+		[][]float64{{9}, {8}, {7}, {3}, {2}, {1}, {5}},
+	)
+}
+
+func TestTopRInfluential(t *testing.T) {
+	g := twoTriangles(t)
+	infl := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		infl[v] = g.Attrs(v)[0]
+	}
+	res := TopRInfluential(g, infl, 2, 2)
+	if len(res) != 2 {
+		t.Fatalf("got %d communities, want 2: %+v", len(res), res)
+	}
+	// Top-1: the high triangle {0,1,2} with influence 7.
+	if res[0].Influence != 7 || len(res[0].Vertices) != 3 {
+		t.Fatalf("top-1 = %+v, want triangle {0,1,2} at influence 7", res[0])
+	}
+	// The whole 2-core (both triangles + path vertex 6) is the lowest
+	// influential community (influence 1); with r=2 we see influence 2's
+	// or the high triangle's predecessor depending on cascade order.
+	if res[1].Influence >= res[0].Influence {
+		t.Fatalf("ranking broken: %+v", res)
+	}
+}
+
+func TestInfluPlusMatchesInflu(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(30)
+		b := social.NewBuilder(n, 1)
+		for e := 0; e < n*3; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		for v := 0; v < n; v++ {
+			b.SetAttrs(v, []float64{rng.Float64() * 10})
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		infl := make([]float64, n)
+		for v := 0; v < n; v++ {
+			infl[v] = g.Attrs(v)[0]
+		}
+		k := 1 + rng.Intn(3)
+		r := 1 + rng.Intn(4)
+		a := TopRInfluential(g, infl, k, r)
+		bb := TopRInfluentialPlus(g, infl, k, r)
+		if len(a) != len(bb) {
+			t.Fatalf("trial %d: Influ %d communities, Influ+ %d", trial, len(a), len(bb))
+		}
+		for i := range a {
+			if a[i].Influence != bb[i].Influence || len(a[i].Vertices) != len(bb[i].Vertices) {
+				t.Fatalf("trial %d rank %d: %+v vs %+v", trial, i, a[i], bb[i])
+			}
+			for j := range a[i].Vertices {
+				if a[i].Vertices[j] != bb[i].Vertices[j] {
+					t.Fatalf("trial %d rank %d: %v vs %v", trial, i, a[i].Vertices, bb[i].Vertices)
+				}
+			}
+		}
+	}
+}
+
+// bruteSkyline enumerates all connected induced k-core subgraphs of a tiny
+// graph and keeps the non-dominated, non-contained-equal-f ones.
+func bruteSkyline(g *social.Graph, k int) []SkylineCommunity {
+	n := g.N()
+	d := g.D()
+	var all []SkylineCommunity
+	for mask := 1; mask < (1 << n); mask++ {
+		var verts []int32
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				verts = append(verts, int32(v))
+			}
+		}
+		// Induced min degree >= k?
+		ok := true
+		for _, v := range verts {
+			deg := 0
+			for _, w := range g.Neighbors(int(v)) {
+				if mask&(1<<w) != 0 {
+					deg++
+				}
+			}
+			if deg < k {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Connected?
+		allowed := make([]bool, n)
+		for _, v := range verts {
+			allowed[v] = true
+		}
+		comp := g.ConnectedComponentOf(verts[0], allowed)
+		if len(comp) != len(verts) {
+			continue
+		}
+		f := make([]float64, d)
+		copy(f, g.Attrs(int(verts[0])))
+		for _, v := range verts[1:] {
+			for i, x := range g.Attrs(int(v)) {
+				if x < f[i] {
+					f[i] = x
+				}
+			}
+		}
+		all = append(all, SkylineCommunity{Vertices: verts, F: f})
+	}
+	// Keep non-dominated maximal ones: drop any community whose f-vector is
+	// dominated, or which is contained in a larger community with the same
+	// f-vector.
+	var out []SkylineCommunity
+	for i, c := range all {
+		bad := false
+		for j, o := range all {
+			if i == j {
+				continue
+			}
+			if dominatesVec(o.F, c.F) {
+				bad = true
+				break
+			}
+			if sameVec(o.F, c.F) && len(o.Vertices) > len(c.Vertices) && containsAll(o.Vertices, c.Vertices) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			out = append(out, c)
+		}
+	}
+	return filterSkyline(out)
+}
+
+func sameVec(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsAll(sup, sub []int32) bool {
+	set := make(map[int32]bool, len(sup))
+	for _, v := range sup {
+		set[v] = true
+	}
+	for _, v := range sub {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSkylineAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(5) // tiny: brute force is 2^n
+		d := 2 + rng.Intn(2)
+		b := social.NewBuilder(n, d)
+		for e := 0; e < n*2; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		for v := 0; v < n; v++ {
+			x := make([]float64, d)
+			for i := range x {
+				x[i] = float64(rng.Intn(8))
+			}
+			b.SetAttrs(v, x)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Intn(2)
+		want := bruteSkyline(g, k)
+		for _, memo := range []bool{false, true} {
+			got, done := SkylineCommunities(g, k, SkylineOptions{Memoize: memo})
+			if !done {
+				t.Fatalf("trial %d: budget exhausted on a tiny instance", trial)
+			}
+			// Compare f-vector sets (the community for a given skyline
+			// f-vector is unique by maximality).
+			wantF := map[string]bool{}
+			for _, c := range want {
+				wantF[threshKey(c.F)] = true
+			}
+			gotF := map[string]bool{}
+			for _, c := range got {
+				gotF[threshKey(c.F)] = true
+			}
+			if len(wantF) != len(gotF) {
+				t.Fatalf("trial %d memo=%v: %d skyline f-vectors, brute %d\n got %+v\nwant %+v",
+					trial, memo, len(gotF), len(wantF), got, want)
+			}
+			for k := range wantF {
+				if !gotF[k] {
+					t.Fatalf("trial %d memo=%v: missing f-vector\n got %+v\nwant %+v", trial, memo, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSkylineBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 40
+	d := 4
+	b := social.NewBuilder(n, d)
+	for e := 0; e < n*4; e++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	for v := 0; v < n; v++ {
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+		}
+		b.SetAttrs(v, x)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := SkylineCommunities(g, 2, SkylineOptions{MaxExpansions: 10})
+	if done {
+		t.Fatal("tiny budget should not complete on a 4-d instance")
+	}
+}

@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"sort"
+
+	"roadsocial/internal/social"
+)
+
+// SkylineCommunity is a maximal connected k-core H whose f-vector
+// f(H) = (min_i x_1, …, min_i x_d) is not dominated by any other community's
+// f-vector (Li et al., SIGMOD 2018).
+type SkylineCommunity struct {
+	Vertices []int32
+	F        []float64
+}
+
+// SkylineOptions bounds the search.
+type SkylineOptions struct {
+	// MaxExpansions caps the number of threshold sub-problems explored; the
+	// search reports completed=false when exhausted (the harness prints
+	// "Inf", matching the paper's treatment of Sky at higher d). 0 selects
+	// 200000.
+	MaxExpansions int
+	// Memoize enables the space-partition deduplication of explored
+	// threshold tuples — the Sky+ variant. Without it, identical
+	// sub-problems are re-solved, matching the basic algorithm's redundancy.
+	Memoize bool
+}
+
+// SkylineCommunities enumerates the skyline communities of the maximal
+// k-core via progressive threshold refinement: starting from the empty
+// threshold vector, each discovered community C with f-vector f spawns d
+// sub-problems that tighten one dimension strictly above f_i. Every skyline
+// community is the maximal connected k-core of the subgraph induced by its
+// own f-vector thresholds, so the refinement reaches all of them. The
+// returned flag reports whether the search ran to completion.
+func SkylineCommunities(g *social.Graph, k int, opts SkylineOptions) ([]SkylineCommunity, bool) {
+	if opts.MaxExpansions == 0 {
+		opts.MaxExpansions = 200000
+	}
+	d := g.D()
+	n := g.N()
+	// Sorted distinct values per dimension, for strict threshold bumps.
+	values := make([][]float64, d)
+	for i := 0; i < d; i++ {
+		seen := make(map[float64]bool)
+		for v := 0; v < n; v++ {
+			seen[g.Attrs(v)[i]] = true
+		}
+		vals := make([]float64, 0, len(seen))
+		for x := range seen {
+			vals = append(vals, x)
+		}
+		sort.Float64s(vals)
+		values[i] = vals
+	}
+	nextAbove := func(dim int, x float64) (float64, bool) {
+		vals := values[dim]
+		idx := sort.SearchFloat64s(vals, x)
+		for idx < len(vals) && vals[idx] <= x {
+			idx++
+		}
+		if idx == len(vals) {
+			return 0, false
+		}
+		return vals[idx], true
+	}
+
+	type task struct{ thresh []float64 }
+	start := make([]float64, d)
+	for i := range start {
+		start[i] = values[i][0] // minimum: no restriction
+		if len(values[i]) == 0 {
+			return nil, true
+		}
+	}
+	stack := []task{{thresh: start}}
+	visited := make(map[string]bool)
+	var candidates []SkylineCommunity
+	expansions := 0
+	for len(stack) > 0 {
+		if expansions >= opts.MaxExpansions {
+			return filterSkyline(candidates), false
+		}
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if opts.Memoize {
+			key := threshKey(t.thresh)
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+		}
+		expansions++
+		// Induced subgraph over vertices meeting every threshold.
+		allowed := make([]bool, n)
+		any := false
+		for v := 0; v < n; v++ {
+			ok := true
+			x := g.Attrs(v)
+			for i := 0; i < d; i++ {
+				if x[i] < t.thresh[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				allowed[v] = true
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		mask := g.MaximalKCore(k, allowed)
+		if mask == nil {
+			continue
+		}
+		// Each connected component is a candidate community.
+		compSeen := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !mask[v] || compSeen[v] {
+				continue
+			}
+			comp := g.ConnectedComponentOf(int32(v), mask)
+			for _, u := range comp {
+				compSeen[u] = true
+			}
+			f := make([]float64, d)
+			for i := range f {
+				f[i] = g.Attrs(int(comp[0]))[i]
+			}
+			for _, u := range comp[1:] {
+				x := g.Attrs(int(u))
+				for i := 0; i < d; i++ {
+					if x[i] < f[i] {
+						f[i] = x[i]
+					}
+				}
+			}
+			sorted := append([]int32(nil), comp...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			candidates = append(candidates, SkylineCommunity{Vertices: sorted, F: f})
+			// Refine strictly above f in each dimension.
+			for i := 0; i < d; i++ {
+				nv, ok := nextAbove(i, f[i])
+				if !ok {
+					continue
+				}
+				nt := append([]float64(nil), t.thresh...)
+				// Keep thresholds consistent with this component's floor so
+				// refinements chase communities incomparable to it.
+				for j := 0; j < d; j++ {
+					if f[j] > nt[j] {
+						nt[j] = f[j]
+					}
+				}
+				nt[i] = nv
+				stack = append(stack, task{thresh: nt})
+			}
+		}
+	}
+	return filterSkyline(candidates), true
+}
+
+func threshKey(t []float64) string {
+	b := make([]byte, 0, len(t)*8)
+	for _, x := range t {
+		u := uint64(x * 1e6)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(u>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// filterSkyline drops dominated and duplicate candidates.
+func filterSkyline(cands []SkylineCommunity) []SkylineCommunity {
+	var out []SkylineCommunity
+	seen := make(map[string]bool)
+	for i, c := range cands {
+		dominated := false
+		for j, o := range cands {
+			if i == j {
+				continue
+			}
+			if dominatesVec(o.F, c.F) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		key := vertsKey(c.Vertices)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// dominatesVec reports a >= b everywhere and > somewhere.
+func dominatesVec(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+func vertsKey(vs []int32) string {
+	b := make([]byte, 0, len(vs)*4)
+	for _, v := range vs {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,97 @@
+// Package bitset provides a compact fixed-capacity bit set used for
+// reachability (ancestor/descendant) bookkeeping in the r-dominance graph.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value of a Set created by New is
+// empty.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << uint(i&63) }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool { return s.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or sets s to s ∪ t. The sets must have the same capacity.
+func (s *Set) Or(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// AndNot sets s to s \ t.
+func (s *Set) AndNot(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// IntersectsWith reports whether s ∩ t is non-empty.
+func (s *Set) IntersectsWith(t *Set) bool {
+	for i, w := range t.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ t|.
+func (s *Set) IntersectionCount(t *Set) int {
+	c := 0
+	for i, w := range t.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEach invokes fn on every set bit in increasing order; fn returning
+// false stops the iteration.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*64 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Count() != 0 || s.Len() != 130 {
+		t.Fatal("fresh set not empty")
+	}
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Test(0) || !s.Test(64) || !s.Test(129) || s.Test(1) {
+		t.Fatal("set/test broken")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 2 {
+		t.Fatal("clear broken")
+	}
+	c := s.Clone()
+	c.Set(5)
+	if s.Test(5) {
+		t.Fatal("clone aliases original")
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("reset broken")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	for _, i := range []int{3, 64, 100, 199} {
+		a.Set(i)
+	}
+	for _, i := range []int{64, 100, 150} {
+		b.Set(i)
+	}
+	if !a.IntersectsWith(b) {
+		t.Fatal("intersection missed")
+	}
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Fatalf("|a∩b| = %d", got)
+	}
+	u := a.Clone()
+	u.Or(b)
+	if u.Count() != 5 {
+		t.Fatalf("|a∪b| = %d", u.Count())
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != 2 || diff.Test(64) {
+		t.Fatalf("a\\b wrong: %d", diff.Count())
+	}
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	s := New(300)
+	want := []int{7, 70, 170, 270}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+	count := 0
+	s.ForEach(func(i int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// Property: bitset behaves exactly like a map[int]bool under a random op
+// sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		ref := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				delete(ref, i)
+			default:
+				if s.Test(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		return s.Count() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package dataset reads and writes road-social networks in a simple
+// line-oriented text format, so networks can be generated once, shared, and
+// re-loaded by the CLI and the harness.
+//
+// Format (whitespace separated, '#' comments allowed):
+//
+//	social file:  "n d" header, then one "u v" line per friendship
+//	attrs  file:  n lines of d floats (line i = attributes of user i)
+//	labels file:  optional, n lines of user names
+//	road   file:  "n" header, then one "u v w" line per segment
+//	locs   file:  n lines; either "r" (road vertex) or "u v off" (edge point)
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"roadsocial/internal/mac"
+	"roadsocial/internal/road"
+	"roadsocial/internal/social"
+)
+
+// scanner wraps bufio.Scanner with comment/blank skipping and line numbers.
+type scanner struct {
+	s    *bufio.Scanner
+	line int
+	name string
+}
+
+func newScanner(r io.Reader, name string) *scanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<20), 1<<20)
+	return &scanner{s: s, name: name}
+}
+
+// next returns the next non-empty, non-comment line's fields.
+func (sc *scanner) next() ([]string, bool) {
+	for sc.s.Scan() {
+		sc.line++
+		text := strings.TrimSpace(sc.s.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		return strings.Fields(text), true
+	}
+	return nil, false
+}
+
+func (sc *scanner) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", sc.name, sc.line, fmt.Sprintf(format, args...))
+}
+
+// ReadSocial parses a social graph (edges) plus its attribute stream.
+func ReadSocial(edges io.Reader, attrs io.Reader, labels io.Reader) (*social.Graph, error) {
+	es := newScanner(edges, "social")
+	header, ok := es.next()
+	if !ok || len(header) != 2 {
+		return nil, fmt.Errorf("social: header must be 'n d'")
+	}
+	n, err1 := strconv.Atoi(header[0])
+	d, err2 := strconv.Atoi(header[1])
+	if err1 != nil || err2 != nil || n < 0 || d < 1 {
+		return nil, fmt.Errorf("social: bad header %v", header)
+	}
+	b := social.NewBuilder(n, d)
+	for {
+		fields, ok := es.next()
+		if !ok {
+			break
+		}
+		if len(fields) != 2 {
+			return nil, es.errf("edge line must be 'u v', got %v", fields)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, es.errf("bad edge %v", fields)
+		}
+		b.AddEdge(u, v)
+	}
+	as := newScanner(attrs, "attrs")
+	for v := 0; v < n; v++ {
+		fields, ok := as.next()
+		if !ok {
+			return nil, fmt.Errorf("attrs: want %d rows, got %d", n, v)
+		}
+		if len(fields) != d {
+			return nil, as.errf("want %d attributes, got %d", d, len(fields))
+		}
+		x := make([]float64, d)
+		for i, f := range fields {
+			x[i], err1 = strconv.ParseFloat(f, 64)
+			if err1 != nil {
+				return nil, as.errf("bad float %q", f)
+			}
+		}
+		b.SetAttrs(v, x)
+	}
+	if labels != nil {
+		ls := bufio.NewScanner(labels)
+		for v := 0; v < n && ls.Scan(); v++ {
+			b.SetLabel(v, strings.TrimSpace(ls.Text()))
+		}
+	}
+	return b.Build()
+}
+
+// ReadRoad parses a road network.
+func ReadRoad(r io.Reader) (*road.Graph, error) {
+	sc := newScanner(r, "road")
+	header, ok := sc.next()
+	if !ok || len(header) != 1 {
+		return nil, fmt.Errorf("road: header must be the vertex count")
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("road: bad header %v", header)
+	}
+	g := road.NewGraph(n)
+	for {
+		fields, ok := sc.next()
+		if !ok {
+			break
+		}
+		if len(fields) != 3 {
+			return nil, sc.errf("segment line must be 'u v w', got %v", fields)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		w, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, sc.errf("bad segment %v", fields)
+		}
+		if err := g.AddEdge(u, v, w); err != nil {
+			return nil, sc.errf("%v", err)
+		}
+	}
+	return g, nil
+}
+
+// ReadLocations parses n user locations against the given road graph.
+func ReadLocations(r io.Reader, g *road.Graph, n int) ([]road.Location, error) {
+	sc := newScanner(r, "locs")
+	locs := make([]road.Location, n)
+	for v := 0; v < n; v++ {
+		fields, ok := sc.next()
+		if !ok {
+			return nil, fmt.Errorf("locs: want %d rows, got %d", n, v)
+		}
+		switch len(fields) {
+		case 1:
+			rv, err := strconv.Atoi(fields[0])
+			if err != nil || rv < 0 || rv >= g.N() {
+				return nil, sc.errf("bad road vertex %q", fields[0])
+			}
+			locs[v] = road.VertexLocation(rv)
+		case 3:
+			u, err1 := strconv.Atoi(fields[0])
+			w, err2 := strconv.Atoi(fields[1])
+			off, err3 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, sc.errf("bad edge location %v", fields)
+			}
+			loc, err := g.EdgeLocation(u, w, off)
+			if err != nil {
+				return nil, sc.errf("%v", err)
+			}
+			locs[v] = loc
+		default:
+			return nil, sc.errf("location line must be 'r' or 'u v off'")
+		}
+	}
+	return locs, nil
+}
+
+// ReadNetwork assembles a full network from the four streams (labels may be
+// nil).
+func ReadNetwork(socialR, attrsR, labelsR, roadR, locsR io.Reader) (*mac.Network, error) {
+	gs, err := ReadSocial(socialR, attrsR, labelsR)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := ReadRoad(roadR)
+	if err != nil {
+		return nil, err
+	}
+	locs, err := ReadLocations(locsR, gr, gs.N())
+	if err != nil {
+		return nil, err
+	}
+	net := &mac.Network{Social: gs, Road: gr, Locs: locs}
+	return net, net.Validate()
+}
+
+// WriteSocial emits the social graph in the package format.
+func WriteSocial(w io.Writer, g *social.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.N(), g.D())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteAttrs emits the attribute rows.
+func WriteAttrs(w io.Writer, g *social.Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.N(); v++ {
+		for i, x := range g.Attrs(v) {
+			if i > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%g", x)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteRoad emits the road network.
+func WriteRoad(w io.Writer, g *road.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", g.N())
+	g.Edges(func(u, v int, wgt float64) {
+		fmt.Fprintf(bw, "%d %d %g\n", u, v, wgt)
+	})
+	return bw.Flush()
+}
+
+// WriteLocations emits user locations (vertex locations as single ids).
+func WriteLocations(w io.Writer, locs []road.Location) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range locs {
+		if l.OnVertex() {
+			fmt.Fprintf(bw, "%d\n", l.U)
+		} else {
+			fmt.Fprintf(bw, "%d %d %g\n", l.U, l.V, l.Off)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"roadsocial/internal/gen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net, err := gen.Network(gen.NetworkConfig{
+		Social: gen.SocialConfig{
+			N: 120, D: 3, AttachEdges: 3,
+			Communities: 2, CommunitySize: 20, CommunityP: 0.6,
+		},
+		RoadRows: 8, RoadCols: 8,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var socialBuf, attrsBuf, roadBuf, locsBuf bytes.Buffer
+	if err := WriteSocial(&socialBuf, net.Social); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAttrs(&attrsBuf, net.Social); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRoad(&roadBuf, net.Road); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLocations(&locsBuf, net.Locs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetwork(&socialBuf, &attrsBuf, nil, &roadBuf, &locsBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Social.N() != net.Social.N() || got.Social.M() != net.Social.M() {
+		t.Fatalf("social mismatch: %d/%d vs %d/%d",
+			got.Social.N(), got.Social.M(), net.Social.N(), net.Social.M())
+	}
+	if got.Road.N() != net.Road.N() || got.Road.M() != net.Road.M() {
+		t.Fatalf("road mismatch")
+	}
+	for v := 0; v < net.Social.N(); v++ {
+		a, b := net.Social.Attrs(v), got.Social.Attrs(v)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("attrs of %d differ: %v vs %v", v, a, b)
+			}
+		}
+		if net.Locs[v] != got.Locs[v] {
+			t.Fatalf("location of %d differs", v)
+		}
+	}
+	// Edge weights preserved.
+	net.Road.Edges(func(u, v int, w float64) {
+		if got2, ok := got.Road.EdgeWeight(u, v); !ok || got2 != w {
+			t.Fatalf("road edge (%d,%d) weight %g vs %g", u, v, w, got2)
+		}
+	})
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	socialSrc := `
+# a tiny graph
+3 2
+
+0 1
+# middle comment
+1 2
+`
+	attrsSrc := "1 2\n3 4\n5 6\n"
+	g, err := ReadSocial(strings.NewReader(socialSrc), strings.NewReader(attrsSrc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.Attrs(2)[1] != 6 {
+		t.Fatal("attrs misparsed")
+	}
+}
+
+func TestEdgeLocations(t *testing.T) {
+	roadSrc := "2\n0 1 10\n"
+	g, err := ReadRoad(strings.NewReader(roadSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs, err := ReadLocations(strings.NewReader("0\n0 1 4\n"), g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !locs[0].OnVertex() || locs[1].OnVertex() {
+		t.Fatalf("locations misparsed: %+v", locs)
+	}
+	var buf bytes.Buffer
+	if err := WriteLocations(&buf, locs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLocations(&buf, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[1] != locs[1] {
+		t.Fatalf("edge location round trip: %+v vs %+v", back[1], locs[1])
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		social, attrs string
+	}{
+		{social: "", attrs: ""},                 // missing header
+		{social: "2", attrs: ""},                // short header
+		{social: "2 1\n0 1 2", attrs: "1\n2\n"}, // bad edge line
+		{social: "2 2\n0 1", attrs: "1\n2\n"},   // wrong attr arity
+		{social: "2 1\n0 1", attrs: "1\n"},      // missing attr row
+		{social: "2 1\n0 9", attrs: "1\n2\n"},   // edge out of range
+	}
+	for i, c := range cases {
+		if _, err := ReadSocial(strings.NewReader(c.social), strings.NewReader(c.attrs), nil); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+	if _, err := ReadRoad(strings.NewReader("1\n0 0 5\n")); err == nil {
+		t.Fatal("self-loop road edge should fail")
+	}
+	g, _ := ReadRoad(strings.NewReader("2\n0 1 10\n"))
+	if _, err := ReadLocations(strings.NewReader("7\n0\n"), g, 2); err == nil {
+		t.Fatal("out-of-range location should fail")
+	}
+	if _, err := ReadLocations(strings.NewReader("0 1 99\n0\n"), g, 2); err == nil {
+		t.Fatal("offset beyond edge should fail")
+	}
+}

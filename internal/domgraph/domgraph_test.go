@@ -1,0 +1,226 @@
+package domgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"roadsocial/internal/bitset"
+	"roadsocial/internal/geom"
+)
+
+// The running example of the paper: Fig. 2(a) vectors, R = [0.1,0.5]x[0.2,0.4].
+// Fig. 4(b) shows the resulting Gd with layers {v6,v2,v4}, {v3,v5,v1}, {v7},
+// and initial leaf vertices v7, v5, v1 (Section V-B).
+var paperVecs = [][]float64{
+	{8.8, 3.6, 2.2}, // v1 (id 0)
+	{5.9, 6.2, 6.0}, // v2
+	{2.8, 5.6, 5.1}, // v3
+	{9.0, 3.3, 3.4}, // v4
+	{5.0, 7.6, 3.1}, // v5
+	{5.2, 8.3, 4.3}, // v6
+	{2.1, 5.0, 5.1}, // v7
+}
+
+func paperDAG(t *testing.T) *DAG {
+	t.Helper()
+	r, err := geom.NewBox([]float64{0.1, 0.2}, []float64{0.5, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int32{0, 1, 2, 3, 4, 5, 6}
+	return Build(r, ids, paperVecs, 0)
+}
+
+func TestPaperExampleLeavesAndLayers(t *testing.T) {
+	d := paperDAG(t)
+	if d.N() != 7 {
+		t.Fatalf("N = %d", d.N())
+	}
+	alive := bitset.New(7)
+	for i := 0; i < 7; i++ {
+		alive.Set(i)
+	}
+	leaves := d.Leaves(alive)
+	got := make([]int32, len(leaves))
+	for i, l := range leaves {
+		got[i] = d.IDs[l]
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	// Paper: "Initially, the leaf vertices are v7, v5 and v1" = ids 6, 4, 0.
+	want := []int32{0, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("leaves = %v, want ids %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("leaves = %v, want ids %v", got, want)
+		}
+	}
+	// Top layer must be dominance-count 0 vertices; Fig. 4(b) has v6, v2, v4
+	// at the top.
+	full := bitset.New(7)
+	for i := 0; i < 7; i++ {
+		full.Set(i)
+	}
+	top := d.TopLayer(full)
+	gotTop := make([]int32, len(top))
+	for i, v := range top {
+		gotTop[i] = d.IDs[v]
+	}
+	sort.Slice(gotTop, func(i, j int) bool { return gotTop[i] < gotTop[j] })
+	wantTop := []int32{1, 3, 5} // v2, v4, v6
+	if len(gotTop) != 3 {
+		t.Fatalf("top layer = %v, want %v", gotTop, wantTop)
+	}
+	for i := range wantTop {
+		if gotTop[i] != wantTop[i] {
+			t.Fatalf("top layer = %v, want %v", gotTop, wantTop)
+		}
+	}
+}
+
+func TestPaperExampleTransitivity(t *testing.T) {
+	d := paperDAG(t)
+	// v6 and v2 dominate v7 (via transitivity through v3 per the paper:
+	// "an arc from v6 or v2 to v7 is not needed as the transitivity ...
+	// already implies this").
+	v := func(id int32) int32 { return d.Local[id] }
+	if !d.Dominates(v(5), v(6)) { // v6 ≻ v7
+		t.Fatal("v6 must dominate v7")
+	}
+	if !d.Dominates(v(1), v(6)) { // v2 ≻ v7
+		t.Fatal("v2 must dominate v7")
+	}
+	if !d.Dominates(v(2), v(6)) { // v3 ≻ v7
+		t.Fatal("v3 must dominate v7")
+	}
+	// The direct parents of v7 must not include v6 or v2 (transitive
+	// reduction): the arc goes through v3.
+	for _, p := range d.Parents(v(6)) {
+		if d.IDs[p] == 5 || d.IDs[p] == 1 {
+			t.Fatalf("v7 has non-reduced parent v%d", d.IDs[p]+1)
+		}
+	}
+}
+
+func TestDominanceMatchesCornerCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		dCount := 2 + rng.Intn(4)
+		n := 5 + rng.Intn(40)
+		vecs := make([][]float64, n)
+		ids := make([]int32, n)
+		for i := range vecs {
+			ids[i] = int32(i)
+			vecs[i] = make([]float64, dCount)
+			for j := range vecs[i] {
+				vecs[i][j] = rng.Float64() * 10
+			}
+		}
+		lo := make([]float64, dCount-1)
+		hi := make([]float64, dCount-1)
+		for j := range lo {
+			lo[j] = 0.1
+			hi[j] = 0.1 + 0.5/float64(dCount)
+		}
+		region, err := geom.NewBox(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dag := Build(region, ids, vecs, 0)
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				if u == v {
+					continue
+				}
+				su := dag.Scores[u]
+				sv := dag.Scores[v]
+				cmp := region.Compare(su, sv)
+				got := dag.Dominates(u, v)
+				switch cmp {
+				case geom.RDominates:
+					if !got {
+						t.Fatalf("trial %d: %d should dominate %d", trial, u, v)
+					}
+				case geom.RDominated, geom.RIncomparable:
+					if got {
+						t.Fatalf("trial %d: %d should not dominate %d (cmp=%v)", trial, u, v, cmp)
+					}
+				case geom.REqual:
+					// Exactly one direction (by pop order).
+					if got == dag.Dominates(v, u) {
+						t.Fatalf("trial %d: equal pair must be ordered one way", trial)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLayersAndCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 60
+	vecs := make([][]float64, n)
+	ids := make([]int32, n)
+	for i := range vecs {
+		ids[i] = int32(i)
+		vecs[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	region, _ := geom.NewBox([]float64{0.2, 0.2}, []float64{0.4, 0.4})
+	dag := Build(region, ids, vecs, 0)
+	for v := int32(0); v < int32(n); v++ {
+		// DomCount equals the number of ancestors.
+		if got, want := dag.DomCount(v), dag.Ancestors(v).Count(); got != want {
+			t.Fatalf("DomCount(%d) = %d, ancestors = %d", v, got, want)
+		}
+		// Layer = 1 + max parent layer (0 for roots).
+		if len(dag.Parents(v)) == 0 {
+			if dag.Layer(v) != 0 {
+				t.Fatalf("root %d has layer %d", v, dag.Layer(v))
+			}
+			continue
+		}
+		maxP := -1
+		for _, p := range dag.Parents(v) {
+			if dag.Layer(p) > maxP {
+				maxP = dag.Layer(p)
+			}
+		}
+		if dag.Layer(v) != maxP+1 {
+			t.Fatalf("layer(%d) = %d, want %d", v, dag.Layer(v), maxP+1)
+		}
+		// Parents are a transitive reduction: no parent dominates another.
+		for _, p := range dag.Parents(v) {
+			for _, p2 := range dag.Parents(v) {
+				if p != p2 && dag.Dominates(p, p2) {
+					t.Fatalf("parents of %d not reduced: %d dominates %d", v, p, p2)
+				}
+			}
+		}
+	}
+}
+
+func TestPopOrderIsTopological(t *testing.T) {
+	d := paperDAG(t)
+	// Dominators must appear earlier in the pop order (smaller local index).
+	for v := int32(0); v < int32(d.N()); v++ {
+		for _, p := range d.Parents(v) {
+			if p >= v {
+				t.Fatalf("parent %d not before child %d in pop order", p, v)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	region, _ := geom.NewBox([]float64{0.2}, []float64{0.4})
+	d := Build(region, nil, nil, 0)
+	if d.N() != 0 {
+		t.Fatal("empty build")
+	}
+	d = Build(region, []int32{42}, [][]float64{{1, 2}}, 0)
+	if d.N() != 1 || d.IDs[0] != 42 || d.DomCount(0) != 0 {
+		t.Fatalf("singleton build broken: %+v", d)
+	}
+}

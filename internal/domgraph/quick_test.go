@@ -1,0 +1,131 @@
+package domgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadsocial/internal/bitset"
+	"roadsocial/internal/geom"
+)
+
+// Property: the r-dominance DAG is acyclic, transitively closed in its
+// reachability sets, and its leaves/top layers are exactly the extremes of
+// the restricted relation.
+func TestQuickDAGInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		n := 4 + rng.Intn(25)
+		vecs := make([][]float64, n)
+		ids := make([]int32, n)
+		for i := range vecs {
+			ids[i] = int32(i)
+			vecs[i] = make([]float64, d)
+			for j := range vecs[i] {
+				// Coarse values provoke equal-score ties.
+				vecs[i][j] = float64(rng.Intn(6))
+			}
+		}
+		lo := make([]float64, d-1)
+		hi := make([]float64, d-1)
+		for j := range lo {
+			lo[j] = 0.15
+			hi[j] = 0.15 + 0.4/float64(d)
+		}
+		region, err := geom.NewBox(lo, hi)
+		if err != nil {
+			return false
+		}
+		dag := Build(region, ids, vecs, 0)
+		// Acyclicity via pop order: arcs must point forward.
+		for v := int32(0); v < int32(n); v++ {
+			for _, c := range dag.Children(v) {
+				if c <= v {
+					return false
+				}
+			}
+		}
+		// Reachability transitive closure: desc(v) ⊇ desc(child).
+		for v := int32(0); v < int32(n); v++ {
+			for _, c := range dag.Children(v) {
+				merged := dag.Descendants(c).Clone()
+				merged.AndNot(dag.Descendants(v))
+				if merged.Count() != 0 {
+					return false
+				}
+			}
+		}
+		// Random subset: leaves dominate nobody alive; top layer has no
+		// alive dominator.
+		alive := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.6 {
+				alive.Set(i)
+			}
+		}
+		for _, l := range dag.Leaves(alive) {
+			if dag.Descendants(l).IntersectsWith(alive) {
+				return false
+			}
+		}
+		for _, tv := range dag.TopLayer(alive) {
+			if dag.Ancestors(tv).IntersectsWith(alive) {
+				return false
+			}
+		}
+		// Every alive non-leaf dominates some alive vertex.
+		leafSet := map[int32]bool{}
+		for _, l := range dag.Leaves(alive) {
+			leafSet[l] = true
+		}
+		ok := true
+		alive.ForEach(func(i int) bool {
+			if !leafSet[int32(i)] && !dag.Descendants(int32(i)).IntersectsWith(alive) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exactly one of {u≻v, v≻u, incomparable} holds per pair, and
+// scores at the pivot respect the DAG direction.
+func TestQuickDominanceAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		vecs := make([][]float64, n)
+		ids := make([]int32, n)
+		for i := range vecs {
+			ids[i] = int32(i)
+			vecs[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		}
+		region, err := geom.NewBox([]float64{0.2, 0.2}, []float64{0.35, 0.35})
+		if err != nil {
+			return false
+		}
+		dag := Build(region, ids, vecs, 0)
+		pivot := region.Pivot()
+		for u := int32(0); u < int32(n); u++ {
+			for v := u + 1; v < int32(n); v++ {
+				du, dv := dag.Dominates(u, v), dag.Dominates(v, u)
+				if du && dv {
+					return false
+				}
+				if du && dag.Scores[u].At(pivot) < dag.Scores[v].At(pivot)-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

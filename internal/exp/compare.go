@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"roadsocial/internal/baseline"
+	"roadsocial/internal/geom"
+)
+
+// CompareMethods reproduces Fig. 13-14: GS-NC and LS-NC against the
+// influential-community baselines Influ / Influ+ (influence = weighted
+// attribute sum for weight vectors sampled from R; the paper samples 100
+// and averages) and the skyline-community baselines Sky / Sky+ (which
+// ignore weights entirely and blow up with d — "Inf" marks a budget
+// exhaustion, mirroring the paper's 10,000s cutoff).
+//
+// vary is "k" (Fig 13/14-b) or "d" (Fig 13/14-c); the dataset defaults to
+// the paper's SF+Delicious / FL+Flixster analogues via opts.Datasets.
+func CompareMethods(opts Options, vary string) (*Table, error) {
+	opts.defaults()
+	methods := []string{"GS-NC", "LS-NC", "Influ", "Influ+", "Sky", "Sky+"}
+	tab := &Table{
+		Title:  fmt.Sprintf("Fig 13-14: method comparison varying %s", vary),
+		Header: append([]string{"dataset", vary}, methods...),
+	}
+	type point struct {
+		k, d int
+	}
+	var points []point
+	switch vary {
+	case "d":
+		for d := 2; d <= 6; d++ {
+			points = append(points, point{k: DefaultK, d: d})
+		}
+	default:
+		for _, k := range []int{4, 8, 16, 32} {
+			points = append(points, point{k: k, d: DefaultD})
+		}
+	}
+	for _, spec := range opts.datasets() {
+		for _, p := range points {
+			in, err := spec.Build(opts.Scale, p.d, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			region := in.Region(DefaultSigma)
+			queries := in.Queries(p.k, in.TDefault, DefaultQSize, opts.QueriesPer)
+			row := []string{spec.Name, fmt.Sprint(pick(vary, p.k, p.d))}
+			for _, method := range methods {
+				row = append(row, runMethod(in, queries, region, p.k, method, opts).String())
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+	}
+	return tab, nil
+}
+
+func pick(vary string, k, d int) int {
+	if vary == "d" {
+		return d
+	}
+	return k
+}
+
+func runMethod(in *Instance, queries [][]int32, region *geom.Region, k int, method string, opts Options) measurement {
+	switch method {
+	case "GS-NC", "LS-NC":
+		return measureAlgo(in, queries, region, k, in.TDefault, 1, method, opts.Timeout)
+	case "Influ", "Influ+":
+		return measureInflu(in, region, k, method == "Influ+", opts)
+	default:
+		return measureSky(in, k, method == "Sky+", opts)
+	}
+}
+
+// measureInflu averages the influential-community search over weight
+// vectors sampled uniformly from R, as in the paper's protocol.
+func measureInflu(in *Instance, region *geom.Region, k int, plus bool, opts Options) measurement {
+	gs := in.Net.Social
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	dim := region.Dim()
+	var total time.Duration
+	runs := 0
+	deadline := time.Now().Add(opts.Timeout)
+	for s := 0; s < opts.WeightSamples; s++ {
+		if time.Now().After(deadline) {
+			return measurement{inf: true}
+		}
+		w := make([]float64, dim)
+		for j := range w {
+			w[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
+		}
+		infl := make([]float64, gs.N())
+		for v := 0; v < gs.N(); v++ {
+			infl[v] = geom.ScoreOf(gs.Attrs(v)).At(w)
+		}
+		start := time.Now()
+		if plus {
+			baseline.TopRInfluentialPlus(gs, infl, k, DefaultJ)
+		} else {
+			baseline.TopRInfluential(gs, infl, k, DefaultJ)
+		}
+		total += time.Since(start)
+		runs++
+	}
+	if runs == 0 {
+		return measurement{}
+	}
+	return measurement{avg: total / time.Duration(runs), ok: true}
+}
+
+// measureSky runs skyline community search with an expansion budget scaled
+// to the timeout; exhaustion reports Inf, as the paper does for Sky at
+// d >= 3 and Sky+ at d >= 5.
+func measureSky(in *Instance, k int, plus bool, opts Options) measurement {
+	budget := 3000
+	if plus {
+		budget = 30000
+	}
+	start := time.Now()
+	_, done := baseline.SkylineCommunities(in.Net.Social, k, baseline.SkylineOptions{
+		MaxExpansions: budget,
+		Memoize:       plus,
+	})
+	dur := time.Since(start)
+	if !done || dur > opts.Timeout {
+		return measurement{inf: true}
+	}
+	return measurement{avg: dur, ok: true}
+}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyTestOpts() Options {
+	return Options{
+		Scale:         Tiny,
+		QueriesPer:    1,
+		Seed:          42,
+		Timeout:       20 * time.Second,
+		WeightSamples: 3,
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	if len(Datasets) != 5 {
+		t.Fatalf("%d datasets, want the paper's 5 pairs", len(Datasets))
+	}
+	if _, err := DatasetByName("FL+Yelp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+	for _, spec := range Datasets {
+		in, err := spec.Build(Tiny, 3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := in.Net.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if got := len(in.TSweep()); got != 5 {
+			t.Fatalf("%s: %d t values", spec.Name, got)
+		}
+		r := in.Region(0.01)
+		if r.Dim() != 2 {
+			t.Fatalf("%s: region dim %d", spec.Name, r.Dim())
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab, err := Table2(tinyTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	var sb strings.Builder
+	tab.Print(&sb)
+	if !strings.Contains(sb.String(), "SF+Slashdot") {
+		t.Fatal("table missing dataset names")
+	}
+}
+
+func TestVaryKSmoke(t *testing.T) {
+	opts := tinyTestOpts()
+	opts.Datasets = []string{"SF+Slashdot"}
+	tab, err := VaryK(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(KSweepValues) {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// At least the low-k rows must have measurements.
+	found := false
+	for _, row := range tab.Rows {
+		for _, cell := range row[2:] {
+			if cell != "-" && cell != "Inf" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no measurement succeeded: %v", tab.Rows)
+	}
+}
+
+func TestKTCoreSizesSmoke(t *testing.T) {
+	opts := tinyTestOpts()
+	opts.Datasets = []string{"SF+Delicious"}
+	tab, err := KTCoreSizes(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(KSweepValues) {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestCompareMethodsSmoke(t *testing.T) {
+	opts := tinyTestOpts()
+	opts.Datasets = []string{"SF+Delicious"}
+	tab, err := CompareMethods(opts, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Header carries all six methods.
+	if len(tab.Header) != 8 {
+		t.Fatalf("header %v", tab.Header)
+	}
+}
+
+func TestPartitionsSmoke(t *testing.T) {
+	opts := tinyTestOpts()
+	opts.Datasets = []string{"SF+Delicious"}
+	tab, err := PartitionsAndNCMACs(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(SigmaValues) {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}

@@ -1,0 +1,537 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"roadsocial/internal/geom"
+	"roadsocial/internal/mac"
+)
+
+// Options configures a harness run.
+type Options struct {
+	Scale Scale
+	// QueriesPer is the number of query sets averaged per measurement.
+	QueriesPer int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Datasets filters by name; empty = all.
+	Datasets []string
+	// Timeout per algorithm invocation; exceeded runs report "Inf".
+	Timeout time.Duration
+	// WeightSamples for the Influ comparison (paper: 100).
+	WeightSamples int
+}
+
+func (o *Options) defaults() {
+	if o.QueriesPer == 0 {
+		o.QueriesPer = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 20210421
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 60 * time.Second
+	}
+	if o.WeightSamples == 0 {
+		o.WeightSamples = 20
+	}
+}
+
+func (o *Options) datasets() []DatasetSpec {
+	if len(o.Datasets) == 0 {
+		return Datasets
+	}
+	var out []DatasetSpec
+	for _, name := range o.Datasets {
+		for _, d := range Datasets {
+			if d.Name == name {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Table is a printable result grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Algorithms of the paper.
+var Algorithms = []string{"GS-NC", "GS-T", "LS-NC", "LS-T"}
+
+// runAlgo executes one algorithm with a timeout, returning elapsed time.
+func runAlgo(in *Instance, q *mac.Query, algo string, timeout time.Duration) (time.Duration, *mac.Result, error) {
+	query := *q
+	switch algo {
+	case "GS-NC", "LS-NC":
+		query.J = 1
+	}
+	type outcome struct {
+		res *mac.Result
+		err error
+		dur time.Duration
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		start := time.Now()
+		var res *mac.Result
+		var err error
+		switch algo {
+		case "GS-NC", "GS-T":
+			res, err = mac.GlobalSearch(in.Net, &query)
+		default:
+			res, err = mac.LocalSearch(in.Net, &query, mac.LocalOptions{})
+		}
+		ch <- outcome{res: res, err: err, dur: time.Since(start)}
+	}()
+	select {
+	case out := <-ch:
+		return out.dur, out.res, out.err
+	case <-time.After(timeout):
+		return timeout, nil, errTimeout
+	}
+}
+
+var errTimeout = fmt.Errorf("exp: timeout")
+
+// measurement averages runtime over query sets; "-" when no feasible query
+// exists, "Inf" on timeout.
+type measurement struct {
+	avg     time.Duration
+	results []*mac.Result
+	ok      bool
+	inf     bool
+}
+
+func (m measurement) String() string {
+	if m.inf {
+		return "Inf"
+	}
+	if !m.ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fms", float64(m.avg.Microseconds())/1000)
+}
+
+func measureAlgo(in *Instance, queries [][]int32, region *geom.Region, k int, t float64, j int, algo string, timeout time.Duration) measurement {
+	if len(queries) == 0 {
+		return measurement{}
+	}
+	var total time.Duration
+	var results []*mac.Result
+	for _, qset := range queries {
+		q := &mac.Query{Q: qset, K: k, T: t, Region: region, J: j}
+		dur, res, err := runAlgo(in, q, algo, timeout)
+		if err == errTimeout {
+			return measurement{inf: true}
+		}
+		if err != nil {
+			continue
+		}
+		total += dur
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		return measurement{}
+	}
+	return measurement{avg: total / time.Duration(len(results)), results: results, ok: true}
+}
+
+// Table2 prints the dataset statistics table (paper Table II analogue).
+func Table2(opts Options) (*Table, error) {
+	opts.defaults()
+	tab := &Table{
+		Title:  "Table II: datasets (synthetic analogues)",
+		Header: []string{"dataset", "social_n", "social_m", "dg_avg", "dg_max", "k_max", "road_n", "road_m"},
+	}
+	for _, spec := range opts.datasets() {
+		in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		gs := in.Net.Social
+		_, kmax := gs.CoreDecomposition(nil)
+		tab.Rows = append(tab.Rows, []string{
+			spec.Name,
+			fmt.Sprint(gs.N()), fmt.Sprint(gs.M()),
+			fmt.Sprintf("%.2f", gs.AvgDegree()), fmt.Sprint(gs.MaxDegree()),
+			fmt.Sprint(kmax),
+			fmt.Sprint(in.Net.Road.N()), fmt.Sprint(in.Net.Road.M()),
+		})
+	}
+	return tab, nil
+}
+
+// workload is a fixed (queries, region, k, t, j) tuple measured by all
+// algorithms, so the comparison across algorithms is apples to apples.
+type workload struct {
+	queries [][]int32
+	region  *geom.Region
+	k       int
+	t       float64
+	j       int
+}
+
+// measureAll runs every algorithm of the paper on the same workload.
+func measureAll(in *Instance, wl workload, algos []string, timeout time.Duration) []string {
+	out := make([]string, len(algos))
+	for i, algo := range algos {
+		out[i] = measureAlgo(in, wl.queries, wl.region, wl.k, wl.t, wl.j, algo, timeout).String()
+	}
+	return out
+}
+
+// sweep is the shared driver for the Fig. 6-10 experiments: it varies one
+// parameter; per value, a single workload is drawn and measured by all four
+// algorithms.
+func sweep(opts Options, title, param string, values []string,
+	setup func(in *Instance, value string) workload) (*Table, error) {
+	opts.defaults()
+	tab := &Table{
+		Title:  title,
+		Header: append([]string{"dataset", param}, Algorithms...),
+	}
+	for _, spec := range opts.datasets() {
+		in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range values {
+			wl := setup(in, v)
+			row := append([]string{spec.Name, v}, measureAll(in, wl, Algorithms, opts.Timeout)...)
+			tab.Rows = append(tab.Rows, row)
+		}
+	}
+	return tab, nil
+}
+
+// KSweepValues mirrors Table III.
+var KSweepValues = []int{4, 8, 16, 32, 64}
+
+// VaryK reproduces Fig. 6-10(a): query time vs coreness threshold k.
+func VaryK(opts Options) (*Table, error) {
+	opts.defaults()
+	vals := make([]string, len(KSweepValues))
+	for i, k := range KSweepValues {
+		vals[i] = fmt.Sprint(k)
+	}
+	return sweep(opts, "Fig 6-10(a): time vs k", "k", vals,
+		func(in *Instance, v string) workload {
+			var k int
+			fmt.Sscan(v, &k)
+			return workload{
+				queries: in.Queries(k, in.TDefault, DefaultQSize, opts.QueriesPer),
+				region:  in.Region(DefaultSigma),
+				k:       k, t: in.TDefault, j: DefaultJ,
+			}
+		})
+}
+
+// VaryT reproduces Fig. 6-10(b): query time vs distance threshold t.
+func VaryT(opts Options) (*Table, error) {
+	opts.defaults()
+	return sweep(opts, "Fig 6-10(b): time vs t", "t", []string{"t1", "t2", "t3", "t4", "t5"},
+		func(in *Instance, v string) workload {
+			var idx int
+			fmt.Sscanf(v, "t%d", &idx)
+			t := in.TSweep()[idx-1]
+			return workload{
+				queries: in.Queries(DefaultK, t, DefaultQSize, opts.QueriesPer),
+				region:  in.Region(DefaultSigma),
+				k:       DefaultK, t: t, j: DefaultJ,
+			}
+		})
+}
+
+// VaryD reproduces Fig. 6-10(c): query time vs attribute dimensionality d.
+func VaryD(opts Options) (*Table, error) {
+	opts.defaults()
+	tab := &Table{
+		Title:  "Fig 6-10(c): time vs d",
+		Header: append([]string{"dataset", "d"}, Algorithms...),
+	}
+	for _, spec := range opts.datasets() {
+		for d := 2; d <= 6; d++ {
+			in, err := spec.Build(opts.Scale, d, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			region := in.Region(DefaultSigma)
+			queries := in.Queries(DefaultK, in.TDefault, DefaultQSize, opts.QueriesPer)
+			row := []string{spec.Name, fmt.Sprint(d)}
+			for _, algo := range Algorithms {
+				row = append(row, measureAlgo(in, queries, region, DefaultK, in.TDefault, DefaultJ, algo, opts.Timeout).String())
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+	}
+	return tab, nil
+}
+
+// VaryQ reproduces Fig. 6-10(d): query time vs |Q|.
+func VaryQ(opts Options) (*Table, error) {
+	opts.defaults()
+	return sweep(opts, "Fig 6-10(d): time vs |Q|", "|Q|",
+		[]string{"1", "4", "8", "16", "32"},
+		func(in *Instance, v string) workload {
+			var qs int
+			fmt.Sscan(v, &qs)
+			return workload{
+				queries: in.Queries(DefaultK, in.TDefault, qs, opts.QueriesPer),
+				region:  in.Region(DefaultSigma),
+				k:       DefaultK, t: in.TDefault, j: DefaultJ,
+			}
+		})
+}
+
+// VaryJ reproduces Fig. 6-10(e): query time of GS-T and LS-T vs j.
+func VaryJ(opts Options) (*Table, error) {
+	opts.defaults()
+	tab := &Table{
+		Title:  "Fig 6-10(e): time vs j (top-j algorithms)",
+		Header: []string{"dataset", "j", "GS-T", "LS-T"},
+	}
+	for _, spec := range opts.datasets() {
+		in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		region := in.Region(DefaultSigma)
+		queries := in.Queries(DefaultK, in.TDefault, DefaultQSize, opts.QueriesPer)
+		for _, j := range []int{5, 10, 20, 40, 60} {
+			row := []string{spec.Name, fmt.Sprint(j)}
+			for _, algo := range []string{"GS-T", "LS-T"} {
+				row = append(row, measureAlgo(in, queries, region, DefaultK, in.TDefault, j, algo, opts.Timeout).String())
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+	}
+	return tab, nil
+}
+
+// SigmaValues mirrors Table III (percent of axis length).
+var SigmaValues = []float64{0.001, 0.005, 0.01, 0.05, 0.1}
+
+// VarySigma reproduces Fig. 6-10(f): query time vs σ (side length of R).
+func VarySigma(opts Options) (*Table, error) {
+	opts.defaults()
+	vals := make([]string, len(SigmaValues))
+	for i, s := range SigmaValues {
+		vals[i] = fmt.Sprintf("%g%%", s*100)
+	}
+	return sweep(opts, "Fig 6-10(f): time vs sigma", "sigma", vals,
+		func(in *Instance, v string) workload {
+			var pct float64
+			fmt.Sscanf(v, "%g%%", &pct)
+			return workload{
+				queries: in.Queries(DefaultK, in.TDefault, DefaultQSize, opts.QueriesPer),
+				region:  in.Region(pct / 100),
+				k:       DefaultK, t: in.TDefault, j: DefaultJ,
+			}
+		})
+}
+
+// PartitionsAndNCMACs reproduces Fig. 11(a,b): the number of partitions of R
+// and of distinct non-contained MACs found by GS-NC, vs σ.
+func PartitionsAndNCMACs(opts Options) (*Table, error) {
+	opts.defaults()
+	tab := &Table{
+		Title:  "Fig 11(a,b): partitions and NC-MACs vs sigma (GS-NC)",
+		Header: []string{"dataset", "sigma", "partitions", "nc_macs", "hyperplanes"},
+	}
+	for _, spec := range opts.datasets() {
+		in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range SigmaValues {
+			region := in.Region(s)
+			queries := in.Queries(DefaultK, in.TDefault, DefaultQSize, opts.QueriesPer)
+			m := measureAlgo(in, queries, region, DefaultK, in.TDefault, 1, "GS-NC", opts.Timeout)
+			row := []string{spec.Name, fmt.Sprintf("%g%%", s*100)}
+			if !m.ok {
+				row = append(row, "-", "-", "-")
+			} else {
+				parts, ncs, hps := 0, 0, 0
+				for _, r := range m.results {
+					parts += r.Stats.Partitions
+					ncs += len(r.NCMACs())
+					hps += r.Stats.Hyperplanes
+				}
+				n := len(m.results)
+				row = append(row,
+					fmt.Sprint(parts/n), fmt.Sprint(ncs/n), fmt.Sprint(hps/n))
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+	}
+	return tab, nil
+}
+
+// KTCoreSizes reproduces Fig. 11(c): |V(H_k^t)| vs k.
+func KTCoreSizes(opts Options) (*Table, error) {
+	opts.defaults()
+	tab := &Table{
+		Title:  "Fig 11(c): #vertices of H_k^t vs k",
+		Header: []string{"dataset", "k", "|V(Htk)|"},
+	}
+	for _, spec := range opts.datasets() {
+		in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range KSweepValues {
+			queries := in.Queries(k, in.TDefault, DefaultQSize, 1)
+			row := []string{spec.Name, fmt.Sprint(k)}
+			if len(queries) == 0 {
+				row = append(row, "-")
+			} else {
+				vs, err := mac.KTCore(in.Net, queries[0], k, in.TDefault)
+				if err != nil {
+					row = append(row, "-")
+				} else {
+					row = append(row, fmt.Sprint(len(vs)))
+				}
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+	}
+	return tab, nil
+}
+
+// MemoryVsD reproduces Fig. 11(d): allocation footprint of the BBS/Gd build
+// and of the two NC algorithms, vs d (FL+Lastfm analogue).
+func MemoryVsD(opts Options) (*Table, error) {
+	opts.defaults()
+	spec, err := DatasetByName("FL+Lastfm")
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		Title:  "Fig 11(d): memory vs d (FL+Lastfm)",
+		Header: []string{"d", "BBS_MB", "GS-NC_MB", "LS-NC_MB"},
+	}
+	for d := 2; d <= 6; d++ {
+		in, err := spec.Build(opts.Scale, d, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		region := in.Region(DefaultSigma)
+		queries := in.Queries(DefaultK, in.TDefault, DefaultQSize, 1)
+		if len(queries) == 0 {
+			tab.Rows = append(tab.Rows, []string{fmt.Sprint(d), "-", "-", "-"})
+			continue
+		}
+		q := &mac.Query{Q: queries[0], K: DefaultK, T: in.TDefault, Region: region, J: 1}
+		bbs := allocMB(func() { _, _ = mac.KTCore(in.Net, q.Q, q.K, q.T) })
+		gsm := allocMB(func() { _, _ = mac.GlobalSearch(in.Net, q) })
+		lsm := allocMB(func() { _, _ = mac.LocalSearch(in.Net, q, mac.LocalOptions{}) })
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(d),
+			fmt.Sprintf("%.1f", bbs), fmt.Sprintf("%.1f", gsm), fmt.Sprintf("%.1f", lsm),
+		})
+	}
+	return tab, nil
+}
+
+func allocMB(fn func()) float64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+}
+
+// RatioLS reproduces Fig. 12: the fraction of GS-NC's non-contained MACs
+// that LS-NC also finds, varying k and |Q| (FL+Lastfm analogue).
+func RatioLS(opts Options) (*Table, error) {
+	opts.defaults()
+	spec, err := DatasetByName("FL+Lastfm")
+	if err != nil {
+		return nil, err
+	}
+	in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		Title:  "Fig 12: NC-MACs found by LS-NC / GS-NC",
+		Header: []string{"param", "value", "ratio", "ls_found", "gs_found"},
+	}
+	ratioAt := func(k, qSize int) (float64, int, int) {
+		region := in.Region(DefaultSigma)
+		queries := in.Queries(k, in.TDefault, qSize, opts.QueriesPer)
+		lsTotal, gsTotal := 0, 0
+		for _, qset := range queries {
+			q := &mac.Query{Q: qset, K: k, T: in.TDefault, Region: region, J: 1}
+			_, gres, err := runAlgo(in, q, "GS-NC", opts.Timeout)
+			if err != nil {
+				continue
+			}
+			_, lres, err := runAlgo(in, q, "LS-NC", opts.Timeout)
+			if err != nil {
+				continue
+			}
+			gsSet := map[string]bool{}
+			for _, c := range gres.NCMACs() {
+				gsSet[c.Key()] = true
+			}
+			for _, c := range lres.NCMACs() {
+				if gsSet[c.Key()] {
+					lsTotal++
+				}
+			}
+			gsTotal += len(gsSet)
+		}
+		if gsTotal == 0 {
+			return 0, 0, 0
+		}
+		return float64(lsTotal) / float64(gsTotal), lsTotal, gsTotal
+	}
+	for _, k := range []int{4, 8, 16, 32} {
+		r, ls, gs := ratioAt(k, DefaultQSize)
+		tab.Rows = append(tab.Rows, []string{"k", fmt.Sprint(k),
+			fmt.Sprintf("%.0f%%", r*100), fmt.Sprint(ls), fmt.Sprint(gs)})
+	}
+	for _, qs := range []int{1, 4, 8, 16, 32} {
+		r, ls, gs := ratioAt(DefaultK, qs)
+		tab.Rows = append(tab.Rows, []string{"|Q|", fmt.Sprint(qs),
+			fmt.Sprintf("%.0f%%", r*100), fmt.Sprint(ls), fmt.Sprint(gs)})
+	}
+	return tab, nil
+}

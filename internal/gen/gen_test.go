@@ -1,0 +1,194 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadsocial/internal/mac"
+	"roadsocial/internal/road"
+)
+
+func TestAttributesDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dist := range []AttrDist{Independent, Correlated, AntiCorrelated} {
+		attrs := Attributes(500, 3, dist, rng)
+		if len(attrs) != 500 {
+			t.Fatalf("%v: %d vectors", dist, len(attrs))
+		}
+		for _, x := range attrs {
+			for _, v := range x {
+				if v < 0 || v > 10 {
+					t.Fatalf("%v: value %g outside [0,10]", dist, v)
+				}
+			}
+		}
+	}
+	// Correlated vectors must have a much higher inter-dimension correlation
+	// than independent ones.
+	rho := func(dist AttrDist) float64 {
+		attrs := Attributes(2000, 2, dist, rand.New(rand.NewSource(2)))
+		var sx, sy, sxx, syy, sxy float64
+		n := float64(len(attrs))
+		for _, x := range attrs {
+			sx += x[0]
+			sy += x[1]
+			sxx += x[0] * x[0]
+			syy += x[1] * x[1]
+			sxy += x[0] * x[1]
+		}
+		cov := sxy/n - sx/n*sy/n
+		vx := sxx/n - sx/n*sx/n
+		vy := syy/n - sy/n*sy/n
+		return cov / math.Sqrt(vx*vy)
+	}
+	if rc, ri := rho(Correlated), rho(Independent); rc < 0.8 || math.Abs(ri) > 0.2 {
+		t.Fatalf("correlations: correlated=%.2f independent=%.2f", rc, ri)
+	}
+}
+
+func TestRoadGridShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RoadGrid(10, 15, 50, 150, rng)
+	if g.N() != 150 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Grid edge count: 10*14 + 9*15 = 275.
+	if g.M() != 275 {
+		t.Fatalf("M = %d, want 275", g.M())
+	}
+	// Corner degree 2, interior degree 4.
+	if g.Degree(0) != 2 || g.Degree(16) != 4 {
+		t.Fatalf("degrees: corner=%d interior=%d", g.Degree(0), g.Degree(16))
+	}
+	// Connectivity: all vertices reachable.
+	d := g.DistancesFrom(road.VertexLocation(0), math.Inf(1))
+	for v, dv := range d {
+		if math.IsInf(dv, 1) {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+	}
+}
+
+func TestRoadGeometricConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := RoadGeometric(120, 3, 1000, rng)
+	d := g.DistancesFrom(road.VertexLocation(0), math.Inf(1))
+	for v, dv := range d {
+		if math.IsInf(dv, 1) {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+	}
+}
+
+func TestSocialGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := SocialConfig{
+		N: 600, D: 3, AttachEdges: 4,
+		Communities: 3, CommunitySize: 50, CommunityP: 0.6,
+		DeepBlockSize: 60, DeepBlockP: 0.8,
+	}
+	g, blocks, err := SocialWithBlocks(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 600 || g.D() != 3 {
+		t.Fatalf("shape: n=%d d=%d", g.N(), g.D())
+	}
+	if len(blocks) != 4 { // 3 + deep block
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	// Power-law-ish: max degree well above average.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("degree distribution too flat: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	// The deep block guarantees a deep core.
+	_, kmax := g.CoreDecomposition(nil)
+	if kmax < 30 {
+		t.Fatalf("kmax = %d, want >= 30 from the deep block", kmax)
+	}
+}
+
+func TestNetworkAndQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := NetworkConfig{
+		Social: SocialConfig{
+			N: 400, D: 3, AttachEdges: 3,
+			Communities: 3, CommunitySize: 40, CommunityP: 0.7,
+		},
+		RoadRows: 20, RoadCols: 20,
+	}
+	net, err := Network(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const k, tval = 4, 1500
+	queries := Queries(net, k, tval, 4, 5, rng)
+	if len(queries) == 0 {
+		t.Fatal("no feasible queries generated")
+	}
+	for _, q := range queries {
+		if len(q) != 4 {
+			t.Fatalf("query size %d", len(q))
+		}
+		if _, err := mac.KTCore(net, q, k, tval); err != nil {
+			t.Fatalf("generated query %v infeasible: %v", q, err)
+		}
+	}
+}
+
+func TestRegionGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{2, 3, 4, 6} {
+		for _, sigma := range []float64{0.001, 0.01, 0.1} {
+			r := Region(d, sigma, rng)
+			if r.Dim() != d-1 {
+				t.Fatalf("d=%d: dim %d", d, r.Dim())
+			}
+			for j := 0; j < r.Dim(); j++ {
+				side := r.Hi[j] - r.Lo[j]
+				if math.Abs(side-sigma) > 1e-9 {
+					t.Fatalf("d=%d sigma=%g: side %g", d, sigma, side)
+				}
+				if r.Lo[j] < 0 {
+					t.Fatalf("negative weight bound %g", r.Lo[j])
+				}
+			}
+			// Weight sums must stay within the simplex.
+			for _, c := range r.Corners() {
+				sum := 0.0
+				for _, w := range c {
+					sum += w
+				}
+				if sum > 1+1e-9 {
+					t.Fatalf("corner %v exceeds simplex", c)
+				}
+			}
+		}
+	}
+	// d=1: zero-dimensional region.
+	r := Region(1, 0.01, rng)
+	if r.Dim() != 0 {
+		t.Fatalf("d=1 region dim %d", r.Dim())
+	}
+}
+
+func TestBlockLocationsCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := RoadGrid(25, 25, 50, 150, rng)
+	blocks := [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}
+	locs := BlockLocations(10, g, blocks, rng)
+	// Members of the same block must be within a short walk of each other.
+	for _, blk := range blocks {
+		base := locs[blk[0]]
+		d := g.DistancesFrom(base, math.Inf(1))
+		for _, v := range blk[1:] {
+			if road.DistanceAt(d, locs[v]) > 150*12 {
+				t.Fatalf("block member %d too far: %g", v, road.DistanceAt(d, locs[v]))
+			}
+		}
+	}
+}

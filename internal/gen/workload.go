@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"math/rand"
+
+	"roadsocial/internal/mac"
+	"roadsocial/internal/road"
+)
+
+// NetworkConfig parameterizes a full synthetic road-social network.
+type NetworkConfig struct {
+	Social SocialConfig
+	// RoadRows/RoadCols select a grid road network.
+	RoadRows, RoadCols int
+	// MinW/MaxW are edge-weight bounds (0,0 selects 50..150).
+	MinW, MaxW float64
+	// LocationClusters > 0 selects clustered check-ins; 0 uniform.
+	LocationClusters int
+	// ScatterBlocks disables the default co-location of planted blocks on
+	// the road network.
+	ScatterBlocks bool
+}
+
+// Network assembles a complete synthetic road-social network. By default
+// the planted social blocks are co-located on the road network so that
+// (k,t)-cores exist for realistic t.
+func Network(cfg NetworkConfig, rng *rand.Rand) (*mac.Network, error) {
+	if cfg.MinW == 0 && cfg.MaxW == 0 {
+		cfg.MinW, cfg.MaxW = 50, 150
+	}
+	gs, blocks, err := SocialWithBlocks(cfg.Social, rng)
+	if err != nil {
+		return nil, err
+	}
+	gr := RoadGrid(cfg.RoadRows, cfg.RoadCols, cfg.MinW, cfg.MaxW, rng)
+	var locs []road.Location
+	switch {
+	case !cfg.ScatterBlocks && len(blocks) > 0:
+		locs = BlockLocations(gs.N(), gr, blocks, rng)
+	case cfg.LocationClusters > 0:
+		locs = ClusteredLocations(gs.N(), gr, cfg.LocationClusters, rng)
+	default:
+		locs = Locations(gs.N(), gr, rng)
+	}
+	return &mac.Network{Social: gs, Road: gr, Locs: locs}, nil
+}
+
+// Queries draws query vertex sets of the given size that admit a non-empty
+// maximal (k,t)-core, mirroring the paper's workload generation ("randomly
+// select sets of query vertices, satisfying t, from the k-core of each
+// social network"). It returns up to count sets; fewer when the rejection
+// sampling budget is exhausted.
+func Queries(net *mac.Network, k int, t float64, qSize, count int, rng *rand.Rand) [][]int32 {
+	core, _ := net.Social.CoreDecomposition(nil)
+	var pool []int32
+	for v, c := range core {
+		if c >= k {
+			pool = append(pool, int32(v))
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	var out [][]int32
+	budget := count * 50
+	for len(out) < count && budget > 0 {
+		budget--
+		q := sampleQuerySet(net, pool, qSize, k, t, rng)
+		if q == nil {
+			continue
+		}
+		if _, err := mac.KTCore(net, q, k, t); err == nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// sampleQuerySet picks a seed from the pool and grows a query set within the
+// seed's k-core component, restricted to users whose road location is within
+// t/2 of the seed's (so pairwise query distances stay within t).
+func sampleQuerySet(net *mac.Network, pool []int32, qSize, k int, t float64, rng *rand.Rand) []int32 {
+	gs := net.Social
+	seed := pool[rng.Intn(len(pool))]
+	inPool := make(map[int32]bool, len(pool))
+	for _, v := range pool {
+		inPool[v] = true
+	}
+	dist := net.Road.DistancesFrom(net.Locs[seed], t/2)
+	near := func(v int32) bool {
+		return road.DistanceAt(dist, net.Locs[v]) <= t/2
+	}
+	// BFS within the pool from the seed, collecting road-near members.
+	visited := map[int32]bool{seed: true}
+	queue := []int32{seed}
+	var reach []int32
+	for len(queue) > 0 && len(reach) < qSize*16 {
+		v := queue[0]
+		queue = queue[1:]
+		if near(v) {
+			reach = append(reach, v)
+		}
+		for _, w := range gs.Neighbors(int(v)) {
+			if inPool[w] && !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(reach) < qSize {
+		return nil
+	}
+	rng.Shuffle(len(reach), func(i, j int) { reach[i], reach[j] = reach[j], reach[i] })
+	q := append([]int32(nil), reach[:qSize]...)
+	return q
+}

@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"math"
+
+	"roadsocial/internal/lp"
+)
+
+// Eps is the geometric tolerance shared with the LP solver.
+const Eps = lp.Eps
+
+// Halfspace is the closed halfspace A·w <= B of the preference domain.
+// Its supporting hyperplane is A·w = B; the complementary closed halfspace
+// (A·w >= B) is obtained with Negate.
+type Halfspace struct {
+	A []float64
+	B float64
+}
+
+// Negate returns the complementary closed halfspace A·w >= B, represented
+// as (-A)·w <= -B.
+func (h Halfspace) Negate() Halfspace {
+	a := make([]float64, len(h.A))
+	for i, v := range h.A {
+		a[i] = -v
+	}
+	return Halfspace{A: a, B: -h.B}
+}
+
+// Contains reports whether point w satisfies the halfspace within tolerance.
+func (h Halfspace) Contains(w []float64) bool {
+	s := 0.0
+	for i, a := range h.A {
+		s += a * w[i]
+	}
+	return s <= h.B+Eps
+}
+
+// Eval returns A·w - B (negative strictly inside, positive strictly outside).
+func (h Halfspace) Eval(w []float64) float64 {
+	s := -h.B
+	for i, a := range h.A {
+		s += a * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of the normal vector A.
+func (h Halfspace) Norm() float64 {
+	s := 0.0
+	for _, a := range h.A {
+		s += a * a
+	}
+	return math.Sqrt(s)
+}
+
+// IsTrivial reports whether the halfspace constrains nothing (zero normal
+// and non-negative B) or is infeasible everywhere (zero normal, negative B).
+// The second return value is true when the halfspace is everywhere-false.
+func (h Halfspace) IsTrivial() (trivial, infeasible bool) {
+	if h.Norm() > Eps {
+		return false, false
+	}
+	return true, h.B < -Eps
+}
+
+// Key returns a canonical form of the supporting hyperplane, used to
+// deduplicate hyperplanes when inserting into arrangements. Hyperplanes that
+// differ only by positive scaling share a key; a and -a (same plane, opposite
+// orientation) also share a key.
+func (h Halfspace) Key() [8]int64 {
+	const scale = 1e7
+	// Normalize by the largest-magnitude coefficient to make the key scale
+	// invariant, forcing its sign positive to merge opposite orientations.
+	m := 0.0
+	for _, a := range h.A {
+		if math.Abs(a) > m {
+			m = math.Abs(a)
+		}
+	}
+	var key [8]int64
+	if m <= Eps {
+		key[7] = int64(math.Round(math.Min(math.Max(h.B, -1), 1) * scale))
+		return key
+	}
+	sign := 1.0
+	for _, a := range h.A {
+		if math.Abs(a) > Eps {
+			if a < 0 {
+				sign = -1
+			}
+			break
+		}
+	}
+	inv := sign / m
+	for i, a := range h.A {
+		if i >= 7 {
+			break
+		}
+		key[i] = int64(math.Round(a * inv * scale))
+	}
+	key[7] = int64(math.Round(h.B * inv * scale))
+	return key
+}

@@ -1,0 +1,257 @@
+// Package lp implements a small linear-programming solver for very low
+// dimensions (typically 1-5 variables), following Seidel's randomized
+// incremental algorithm. It is the numerical workhorse behind all
+// preference-domain geometry: cell emptiness tests, classification of
+// convex cells against hyperplanes, and interior-point (Chebyshev center)
+// computation.
+//
+// All feasible regions handled here are bounded by an explicit box, which
+// removes the unbounded-LP cases from Seidel's algorithm and keeps the
+// implementation short and robust.
+package lp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Eps is the absolute tolerance used for feasibility and comparison tests.
+// Attribute values and weights in this codebase are O(1), so an absolute
+// tolerance is appropriate.
+const Eps = 1e-9
+
+// Constraint is a linear inequality A·x <= B.
+type Constraint struct {
+	A []float64
+	B float64
+}
+
+// Violated reports whether x violates the constraint by more than eps.
+func (c Constraint) Violated(x []float64, eps float64) bool {
+	return dot(c.A, x) > c.B+eps
+}
+
+func dot(a, x []float64) float64 {
+	s := 0.0
+	for i, ai := range a {
+		s += ai * x[i]
+	}
+	return s
+}
+
+// Result is the outcome of an LP solve.
+type Result struct {
+	// X is the optimal point (length = dimension). Valid only if Feasible.
+	X []float64
+	// Value is obj·X. Valid only if Feasible.
+	Value float64
+	// Feasible is false when the constraint system has no solution.
+	Feasible bool
+}
+
+// Solve minimizes obj·x subject to cons and lo[j] <= x[j] <= hi[j].
+// The box must satisfy lo[j] <= hi[j]; the feasible region is therefore
+// bounded. Solve is deterministic: the internal shuffle uses a fixed seed.
+func Solve(obj []float64, cons []Constraint, lo, hi []float64) Result {
+	dim := len(obj)
+	if dim == 0 {
+		// Zero-dimensional problem: feasible iff every constraint has B >= 0.
+		for _, c := range cons {
+			if 0 > c.B+Eps {
+				return Result{Feasible: false}
+			}
+		}
+		return Result{X: nil, Value: 0, Feasible: true}
+	}
+	for j := 0; j < dim; j++ {
+		if lo[j] > hi[j]+Eps {
+			return Result{Feasible: false}
+		}
+	}
+	// Deterministic shuffle: Seidel's expected running time depends on a
+	// random insertion order, but any fixed pseudo-random order works in
+	// practice for the small systems we solve.
+	order := make([]int, len(cons))
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(0x5eed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	shuffled := make([]Constraint, len(cons))
+	for i, idx := range order {
+		shuffled[i] = cons[idx]
+	}
+	x, ok := seidel(obj, shuffled, lo, hi)
+	if !ok {
+		return Result{Feasible: false}
+	}
+	return Result{X: x, Value: dot(obj, x), Feasible: true}
+}
+
+// Feasible reports whether the system {cons, box} admits any point.
+func Feasible(cons []Constraint, lo, hi []float64) bool {
+	obj := make([]float64, len(lo))
+	return Solve(obj, cons, lo, hi).Feasible
+}
+
+// Minimize returns the minimum of obj·x over the system, with feasibility flag.
+func Minimize(obj []float64, cons []Constraint, lo, hi []float64) (float64, bool) {
+	r := Solve(obj, cons, lo, hi)
+	return r.Value, r.Feasible
+}
+
+// Maximize returns the maximum of obj·x over the system, with feasibility flag.
+func Maximize(obj []float64, cons []Constraint, lo, hi []float64) (float64, bool) {
+	neg := make([]float64, len(obj))
+	for i, v := range obj {
+		neg[i] = -v
+	}
+	r := Solve(neg, cons, lo, hi)
+	return -r.Value, r.Feasible
+}
+
+// seidel minimizes obj·x over cons within the box, processing constraints
+// incrementally. It returns the optimum and a feasibility flag.
+func seidel(obj []float64, cons []Constraint, lo, hi []float64) ([]float64, bool) {
+	dim := len(obj)
+	if dim == 1 {
+		return solve1D(obj[0], cons, lo[0], hi[0])
+	}
+	// Start from the box corner minimizing the objective.
+	x := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		if obj[j] >= 0 {
+			x[j] = lo[j]
+		} else {
+			x[j] = hi[j]
+		}
+	}
+	for i, c := range cons {
+		if !c.Violated(x, Eps) {
+			continue
+		}
+		// The optimum of the first i+1 constraints lies on the boundary of
+		// constraint c. Eliminate one variable by substitution and recurse.
+		nx, ok := solveOnBoundary(obj, cons[:i], c, lo, hi)
+		if !ok {
+			return nil, false
+		}
+		x = nx
+	}
+	return x, true
+}
+
+// solveOnBoundary minimizes obj·x over {prev constraints, box} restricted to
+// the hyperplane eq.A·x = eq.B, by eliminating the variable with the largest
+// |coefficient| in eq.A.
+func solveOnBoundary(obj []float64, prev []Constraint, eq Constraint, lo, hi []float64) ([]float64, bool) {
+	dim := len(obj)
+	p := -1
+	best := 0.0
+	for j, a := range eq.A {
+		if math.Abs(a) > best {
+			best = math.Abs(a)
+			p = j
+		}
+	}
+	if p < 0 {
+		// Degenerate hyperplane 0·x = B. Feasible only if B ~ 0 (then the
+		// "boundary" is all of space and the caller's violation was noise).
+		if math.Abs(eq.B) <= Eps {
+			return seidel(obj, prev, lo, hi)
+		}
+		return nil, false
+	}
+	// x_p = (eq.B - sum_{q != p} eq.A[q] x_q) / eq.A[p] =: beta + gamma·y
+	ap := eq.A[p]
+	beta := eq.B / ap
+	gamma := make([]float64, 0, dim-1) // coefficients over reduced variables y
+	keep := make([]int, 0, dim-1)      // original indices of reduced variables
+	for j := 0; j < dim; j++ {
+		if j == p {
+			continue
+		}
+		keep = append(keep, j)
+		gamma = append(gamma, -eq.A[j]/ap)
+	}
+	redDim := dim - 1
+
+	// Reduced objective: obj·x = obj[p]*(beta + gamma·y) + sum obj[keep]·y.
+	robj := make([]float64, redDim)
+	for i, j := range keep {
+		robj[i] = obj[j] + obj[p]*gamma[i]
+	}
+
+	rcons := make([]Constraint, 0, len(prev)+2)
+	reduce := func(a []float64, b float64) {
+		ra := make([]float64, redDim)
+		for i, j := range keep {
+			ra[i] = a[j] + a[p]*gamma[i]
+		}
+		rcons = append(rcons, Constraint{A: ra, B: b - a[p]*beta})
+	}
+	for _, c := range prev {
+		reduce(c.A, c.B)
+	}
+	// The box bounds of the eliminated variable become general constraints:
+	// lo[p] <= beta + gamma·y <= hi[p].
+	lobnd := make([]float64, dim)
+	hibnd := make([]float64, dim)
+	lobnd[p] = -1
+	reduce(lobnd, -lo[p]) // -x_p <= -lo[p]
+	hibnd[p] = 1
+	reduce(hibnd, hi[p]) // x_p <= hi[p]
+
+	rlo := make([]float64, redDim)
+	rhi := make([]float64, redDim)
+	for i, j := range keep {
+		rlo[i] = lo[j]
+		rhi[i] = hi[j]
+	}
+	y, ok := seidel(robj, rcons, rlo, rhi)
+	if !ok {
+		return nil, false
+	}
+	x := make([]float64, dim)
+	xp := beta
+	for i, j := range keep {
+		x[j] = y[i]
+		xp += gamma[i] * y[i]
+	}
+	x[p] = xp
+	return x, true
+}
+
+// solve1D minimizes c*x over an interval intersected with 1-D constraints.
+func solve1D(c float64, cons []Constraint, lo, hi float64) ([]float64, bool) {
+	for _, con := range cons {
+		a := con.A[0]
+		switch {
+		case a > Eps:
+			if ub := con.B / a; ub < hi {
+				hi = ub
+			}
+		case a < -Eps:
+			if lb := con.B / a; lb > lo {
+				lo = lb
+			}
+		default:
+			if 0 > con.B+Eps {
+				return nil, false
+			}
+		}
+	}
+	if lo > hi+Eps {
+		return nil, false
+	}
+	if lo > hi {
+		// Within tolerance: collapse to a point.
+		mid := (lo + hi) / 2
+		return []float64{mid}, true
+	}
+	if c >= 0 {
+		return []float64{lo}, true
+	}
+	return []float64{hi}, true
+}

@@ -1,0 +1,115 @@
+package mac
+
+import (
+	"roadsocial/internal/geom"
+	"roadsocial/internal/social"
+)
+
+// BruteForceAt computes the top-j MAC list for one fixed reduced weight
+// vector w by direct simulation of the deletion process justified by Lemmas
+// 4-6: starting from H_k^t, repeatedly delete the vertex with the smallest
+// exact score at w (with the DFS cascade), until Corollary 1 stops the
+// process. It is the reference oracle the search algorithms are tested
+// against; its cost is O(n'^2) per weight vector.
+func BruteForceAt(net *Network, q *Query, w []float64) ([]Community, error) {
+	ss, err := Prepare(net, q)
+	if err != nil {
+		return nil, err
+	}
+	return ss.bruteForceAt(w, max(1, q.J)), nil
+}
+
+// terminalAt returns the local vertex set of the non-contained MAC at one
+// exact weight vector, by running the deletion process. Used both by the
+// brute-force oracle and as a candidate seed for local search.
+func (ss *searchSpace) terminalAt(w []float64) []int32 {
+	n := ss.dag.N()
+	sub := social.NewSub(ss.hg, allLocal(n))
+	scoreAt := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scoreAt[i] = ss.dag.Scores[i].At(w)
+	}
+	for {
+		u := int32(-1)
+		for v := int32(0); v < int32(n); v++ {
+			if !sub.Alive(v) {
+				continue
+			}
+			if u < 0 || scoreAt[v] < scoreAt[u]-geom.Eps {
+				u = v
+			}
+		}
+		if u < 0 || containsLocal(ss.qLocal, u) {
+			break
+		}
+		if _, ok := sub.TryDeleteCascade(u, ss.query.K, ss.qLocal); !ok {
+			break
+		}
+	}
+	return sub.Vertices()
+}
+
+func (ss *searchSpace) bruteForceAt(w []float64, j int) []Community {
+	n := ss.dag.N()
+	sub := social.NewSub(ss.hg, allLocal(n))
+	scoreAt := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scoreAt[i] = ss.dag.Scores[i].At(w)
+	}
+	var batches [][]int32
+	for {
+		// Smallest-score alive vertex (ties by index, matching the engine).
+		u := int32(-1)
+		for v := int32(0); v < int32(n); v++ {
+			if !sub.Alive(v) {
+				continue
+			}
+			if u < 0 || scoreAt[v] < scoreAt[u]-geom.Eps {
+				u = v
+			}
+		}
+		if u < 0 || containsLocal(ss.qLocal, u) {
+			break
+		}
+		batch, ok := sub.TryDeleteCascade(u, ss.query.K, ss.qLocal)
+		if !ok {
+			break
+		}
+		batches = append(batches, batch)
+	}
+	ranked := make([]Community, 0, j)
+	current := sub.Vertices()
+	ranked = append(ranked, sortedIDs(current, ss.dag.IDs))
+	for r := 1; r < j; r++ {
+		idx := len(batches) - r
+		if idx < 0 {
+			break
+		}
+		current = append(current, batches[idx]...)
+		ranked = append(ranked, sortedIDs(current, ss.dag.IDs))
+	}
+	return ranked
+}
+
+// ResultAt returns the CellResult whose cell contains the weight vector w,
+// or nil if no output cell covers it (possible for local search).
+func (r *Result) ResultAt(w []float64) *CellResult {
+	for i := range r.Cells {
+		if cellContains(r.Cells[i].Cell, w) {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+func cellContains(c *geom.Cell, w []float64) bool {
+	if !c.Region.Contains(w) {
+		return false
+	}
+	for _, h := range c.Cuts {
+		if !h.Contains(w) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package mac
+
+import "testing"
+
+// TestDeterminism: repeated runs of either algorithm on the same input must
+// produce identical outputs (cell count, community sets, rankings) — the
+// engines contain no unseeded randomness.
+func TestDeterminism(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 3)
+	first, err := GlobalSearch(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		res, err := GlobalSearch(net, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cells) != len(first.Cells) {
+			t.Fatalf("run %d: %d cells vs %d", run, len(res.Cells), len(first.Cells))
+		}
+		for i := range res.Cells {
+			if len(res.Cells[i].Ranked) != len(first.Cells[i].Ranked) {
+				t.Fatalf("run %d cell %d: rank depth differs", run, i)
+			}
+			for r := range res.Cells[i].Ranked {
+				if !communityEq(res.Cells[i].Ranked[r], first.Cells[i].Ranked[r]) {
+					t.Fatalf("run %d cell %d rank %d differs", run, i, r)
+				}
+			}
+		}
+	}
+	lfirst, err := LocalSearch(net, q, LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		res, err := LocalSearch(net, q, LocalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cells) != len(lfirst.Cells) {
+			t.Fatalf("LS run %d: %d cells vs %d", run, len(res.Cells), len(lfirst.Cells))
+		}
+		for i := range res.Cells {
+			if !communityEq(res.Cells[i].NCMAC(), lfirst.Cells[i].NCMAC()) {
+				t.Fatalf("LS run %d cell %d differs", run, i)
+			}
+		}
+	}
+}
+
+// TestResultAtOutsideRegion: querying the result at a weight vector outside
+// R must return nil rather than a wrong cell.
+func TestResultAtOutsideRegion(t *testing.T) {
+	net := paperNetwork(t)
+	res, err := GlobalSearch(net, paperQuery(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][]float64{{0.05, 0.3}, {0.6, 0.3}, {0.3, 0.5}} {
+		if got := res.ResultAt(w); got != nil {
+			t.Fatalf("weight %v outside R matched a cell", w)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package mac
+
+import (
+	"testing"
+
+	"roadsocial/internal/geom"
+	"roadsocial/internal/road"
+	"roadsocial/internal/social"
+)
+
+// TestSingleAttribute exercises d=1: the preference domain is a single
+// point, every score is the attribute itself, and the MAC search degenerates
+// to influential-community-style search with query vertices — one partition,
+// a total order of vertices.
+func TestSingleAttribute(t *testing.T) {
+	net := paperNetwork(t)
+	// Rebuild the social graph with d=1 (first attribute only).
+	gs := net.Social
+	b := NewBuilderFrom(t, gs)
+	net1 := &Network{Social: b, Road: net.Road, Locs: net.Locs}
+	region, err := geom.NewBox(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{Q: []int32{1, 2, 5}, K: 3, T: 9, Region: region, J: 2}
+	res, err := GlobalSearch(net1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("d=1 must yield exactly one partition, got %d", len(res.Cells))
+	}
+	// Cross-check with brute force at the empty weight vector.
+	want, err := BruteForceAt(net1, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Cells[0].Ranked
+	if len(got) != len(want) {
+		t.Fatalf("ranked %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !communityEq(got[i], want[i]) {
+			t.Fatalf("rank %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// NewBuilderFrom projects a graph down to its first attribute.
+func NewBuilderFrom(t *testing.T, gs *social.Graph) *social.Graph {
+	t.Helper()
+	b := social.NewBuilder(gs.N(), 1)
+	for u := 0; u < gs.N(); u++ {
+		for _, v := range gs.Neighbors(u) {
+			if int32(u) < v {
+				b.AddEdge(u, int(v))
+			}
+		}
+		b.SetAttrs(u, gs.Attrs(u)[:1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEdgeLocationUsers verifies the (k,t)-core filter with users placed on
+// road edges rather than vertices.
+func TestEdgeLocationUsers(t *testing.T) {
+	net := paperNetwork(t)
+	// Move v7 (id 6) onto the middle of edge (r7, r6) = (6, 5), 3 from r7.
+	loc, err := net.Road.EdgeLocation(6, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Locs[6] = loc
+	// D_Q(v7) becomes max over q of dist(p, r_q):
+	// to r6 (id 5): 7-3 = 4; to r3 (id 2): 3+4 = 7; to r2 (id 1): 3+6 = 9.
+	vs, err := KTCore(net, []int32{1, 2, 5}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !communityEq(vs, Community{0, 1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("H_3^9 with edge-located v7 = %v", vs)
+	}
+	// Tighten t to 8: v7's query distance (9 via r2) excludes it, and the
+	// remaining graph loses its 3-core.
+	if _, err := KTCore(net, []int32{1, 2, 5}, 3, 8); err == nil {
+		t.Fatal("t=8 should exclude the edge-located v7")
+	}
+}
+
+// TestTopJDeeperThanDeletions asks for more ranks than deletion steps: the
+// ranked list must stop at H_k^t.
+func TestTopJDeeperThanDeletions(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 50)
+	res, err := GlobalSearch(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range res.Cells {
+		last := cell.Ranked[len(cell.Ranked)-1]
+		if len(last) > len(res.KTCore) {
+			t.Fatalf("rank list exceeds H_k^t: %d > %d", len(last), len(res.KTCore))
+		}
+		// Ranked lists are containment chains.
+		for i := 1; i < len(cell.Ranked); i++ {
+			prev, cur := cell.Ranked[i-1], cell.Ranked[i]
+			if len(cur) <= len(prev) {
+				t.Fatalf("rank %d not larger: %d vs %d", i, len(cur), len(prev))
+			}
+			for _, v := range prev {
+				if !cur.Contains(v) {
+					t.Fatalf("rank %d does not contain rank %d", i, i-1)
+				}
+			}
+		}
+	}
+}
+
+// TestStatsPopulated sanity-checks the effort counters.
+func TestStatsPopulated(t *testing.T) {
+	net := paperNetwork(t)
+	res, err := GlobalSearch(net, paperQuery(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.KTCoreSize != 7 || s.KTCoreEdges == 0 || s.DomGraphArcs == 0 {
+		t.Fatalf("substrate stats empty: %+v", s)
+	}
+	if s.Partitions != len(res.Cells) || s.Partitions == 0 {
+		t.Fatalf("partition stats wrong: %+v", s)
+	}
+	if s.Hyperplanes == 0 || s.CellsExplored == 0 || s.Deletions == 0 {
+		t.Fatalf("search stats empty: %+v", s)
+	}
+	lres, err := LocalSearch(net, paperQuery(t, 1), LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Stats.Candidates == 0 || lres.Stats.Promising == 0 || lres.Stats.CascadeSims == 0 {
+		t.Fatalf("local stats empty: %+v", lres.Stats)
+	}
+}
+
+// TestQueryUserOnFarVertex: a query vertex outside every core must yield
+// ErrNoCommunity, not a crash.
+func TestQueryUserOnFarVertex(t *testing.T) {
+	net := paperNetwork(t)
+	r, _ := geom.NewBox([]float64{0.1, 0.2}, []float64{0.5, 0.4})
+	q := &Query{Q: []int32{14}, K: 3, T: 9, Region: r, J: 1} // v15, distant
+	if _, err := GlobalSearch(net, q); err != ErrNoCommunity {
+		t.Fatalf("want ErrNoCommunity, got %v", err)
+	}
+	if _, err := LocalSearch(net, q, LocalOptions{}); err != ErrNoCommunity {
+		t.Fatalf("want ErrNoCommunity, got %v", err)
+	}
+}
+
+// TestZeroDistanceThreshold: t=0 keeps only co-located users.
+func TestZeroDistanceThreshold(t *testing.T) {
+	net := paperNetwork(t)
+	if _, err := KTCore(net, []int32{1}, 1, 0); err != ErrNoCommunity {
+		t.Fatalf("t=0 with spread-out users: want ErrNoCommunity, got %v", err)
+	}
+	// Co-locate the K4 on road vertex 7 (its resident, the distant v8, has
+	// no social ties into the K4): now t=0 works with k=2 and the (k,t)-core
+	// is exactly the K4.
+	for _, v := range []int{1, 2, 5, 6} {
+		net.Locs[v] = road.VertexLocation(7)
+	}
+	vs, err := KTCore(net, []int32{1}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !communityEq(vs, Community{1, 2, 5, 6}) {
+		t.Fatalf("co-located K4: got %v", vs)
+	}
+}

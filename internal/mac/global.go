@@ -1,0 +1,201 @@
+package mac
+
+import (
+	"math"
+
+	"roadsocial/internal/bitset"
+	"roadsocial/internal/geom"
+	"roadsocial/internal/social"
+)
+
+// GlobalSearch runs the DFS-based algorithm (Algorithm 1). With q.J <= 1 it
+// solves Problem 2, returning the non-contained MAC per partition of R
+// (GS-NC); with q.J = j > 1 it additionally backtracks the deletion heap to
+// report the top-j MACs per partition (GS-T).
+func GlobalSearch(net *Network, q *Query) (*Result, error) {
+	ss, err := Prepare(net, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{KTCore: sortedIDs(allLocal(ss.dag.N()), ss.dag.IDs)}
+	eng := &gsEngine{ss: ss, j: max(1, q.J)}
+	eng.run(geom.NewCell(q.Region))
+	res.Cells = eng.results
+	res.Stats = ss.stats
+	res.Stats.Partitions = len(eng.results)
+	return res, nil
+}
+
+func allLocal(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// gsEngine is the work-queue driver shared by GS-T/GS-NC and reused by LS-T
+// to rank MACs inside a validated cell.
+type gsEngine struct {
+	ss      *searchSpace
+	j       int
+	results []CellResult
+	// hpCache memoizes, per leaf pair, the comparison hyperplane — or nil
+	// when the supporting plane does not cross the root cell at all, in
+	// which case the pair never needs insertion anywhere below the root
+	// ("each half-space is computed only once", Section V-B).
+	hpCache map[uint64]*geom.Halfspace
+	root    *geom.Cell
+}
+
+// pairHalfspace returns the hyperplane separating leaves a and b, or nil
+// when it does not cross the engine's root cell.
+func (e *gsEngine) pairHalfspace(a, b int32) *geom.Halfspace {
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(a)<<32 | uint64(uint32(b))
+	if hp, ok := e.hpCache[key]; ok {
+		return hp
+	}
+	hp := e.ss.dag.Scores[a].GEHalfspace(e.ss.dag.Scores[b])
+	var entry *geom.Halfspace
+	if e.root.Classify(hp) == geom.SideSplit {
+		entry = &hp
+	}
+	e.hpCache[key] = entry
+	return entry
+}
+
+// gsTask mirrors one entry of queue U in Algorithm 1: the current community
+// H (as a Sub of the localized graph), the alive set of the shrunken
+// r-dominance graph Gd', the partition ρ, and the deletion history I'.
+type gsTask struct {
+	sub     *social.Sub
+	alive   *bitset.Set
+	cell    *geom.Cell
+	batches [][]int32
+}
+
+// run executes the search over the given root cell starting from H_k^t.
+func (e *gsEngine) run(root *geom.Cell) {
+	e.root = root
+	e.hpCache = make(map[uint64]*geom.Halfspace)
+	n := e.ss.dag.N()
+	alive := bitset.New(n)
+	for i := 0; i < n; i++ {
+		alive.Set(i)
+	}
+	start := gsTask{
+		sub:   social.NewSub(e.ss.hg, allLocal(n)),
+		alive: alive,
+		cell:  root,
+	}
+	queue := []gsTask{start}
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		queue = append(queue, e.step(t)...)
+	}
+}
+
+// step processes one task: it inserts the hyperplanes among the current
+// leaf vertices of Gd' into a local arrangement over the task's cell
+// (Section V-B), then for each sub-partition finds the smallest-score leaf,
+// applies the DFS deletion (Corollary 1 deciding termination), and either
+// emits the partition's result or pushes a deeper task.
+func (e *gsEngine) step(t gsTask) []gsTask {
+	dag := e.ss.dag
+	leaves := dag.Leaves(t.alive)
+	if len(leaves) == 0 {
+		// Cannot happen for non-empty communities; guard anyway.
+		e.emit(t)
+		return nil
+	}
+	tree := geom.NewPartitionTree(t.cell)
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves); j++ {
+			hp := e.pairHalfspace(leaves[i], leaves[j])
+			if hp == nil {
+				continue // plane does not cross R: order fixed everywhere
+			}
+			if tree.Insert(*hp) {
+				e.ss.stats.Hyperplanes++
+			}
+		}
+	}
+	var out []gsTask
+	for _, cell := range tree.Leaves() {
+		e.ss.stats.CellsExplored++
+		w := cell.Witness()
+		if w == nil {
+			continue
+		}
+		u := e.smallestLeaf(leaves, w)
+		if containsLocal(e.ss.qLocal, u) {
+			// Corollary 1 condition (1): the smallest-score vertex is a
+			// query vertex; H is the non-contained MAC of this partition.
+			e.emit(gsTask{sub: t.sub, alive: t.alive, cell: cell, batches: t.batches})
+			continue
+		}
+		sub2 := t.sub.Clone()
+		batch, ok := sub2.TryDeleteCascade(u, e.ss.query.K, e.ss.qLocal)
+		if !ok {
+			// Corollary 1 condition (2): deletion destroys the k-ĉore
+			// containing Q.
+			e.emit(gsTask{sub: t.sub, alive: t.alive, cell: cell, batches: t.batches})
+			continue
+		}
+		e.ss.stats.Deletions += len(batch)
+		alive2 := t.alive.Clone()
+		for _, v := range batch {
+			alive2.Clear(int(v))
+		}
+		batches2 := make([][]int32, len(t.batches)+1)
+		copy(batches2, t.batches)
+		batches2[len(t.batches)] = batch
+		out = append(out, gsTask{sub: sub2, alive: alive2, cell: cell, batches: batches2})
+	}
+	return out
+}
+
+// smallestLeaf returns the leaf with the minimum score at witness w,
+// breaking ties by local index for determinism.
+func (e *gsEngine) smallestLeaf(leaves []int32, w []float64) int32 {
+	best := leaves[0]
+	bestV := e.ss.dag.Scores[best].At(w)
+	for _, l := range leaves[1:] {
+		v := e.ss.dag.Scores[l].At(w)
+		if v < bestV-geom.Eps || (math.Abs(v-bestV) <= geom.Eps && l < best) {
+			best, bestV = l, v
+		}
+	}
+	return best
+}
+
+// emit records the partition's result: the non-contained MAC is the current
+// community; ranks 2..j are obtained by backtracking the deletion batches
+// (each batch restores the vertices removed in one smallest-vertex step).
+func (e *gsEngine) emit(t gsTask) {
+	ranked := make([]Community, 0, e.j)
+	current := t.sub.Vertices() // local ids
+	ranked = append(ranked, sortedIDs(current, e.ss.dag.IDs))
+	for r := 1; r < e.j && len(t.batches)-r >= 0; r++ {
+		idx := len(t.batches) - r
+		if idx < 0 {
+			break
+		}
+		current = append(current, t.batches[idx]...)
+		ranked = append(ranked, sortedIDs(current, e.ss.dag.IDs))
+	}
+	e.results = append(e.results, CellResult{Cell: t.cell, Ranked: ranked})
+}
+
+func containsLocal(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

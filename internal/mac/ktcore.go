@@ -1,0 +1,59 @@
+package mac
+
+import (
+	"sort"
+
+	"roadsocial/internal/road"
+	"roadsocial/internal/social"
+)
+
+// KTCore computes the vertex set of the maximal (k,t)-core H_k^t for query
+// vertices q (Definition 7): the maximal connected k-core containing q after
+// filtering out every user whose query distance in the road network exceeds
+// t (Lemma 1), restricted to the component of q (Lemma 2). It returns
+// ErrNoCommunity when the core is empty.
+//
+// Following Section III, the coreness upper bound ⌊(1+√(9+8(m'−n')))/2⌋ of
+// the filtered subgraph is checked before running the decomposition.
+func KTCore(net *Network, q []int32, k int, t float64) ([]int32, error) {
+	gs := net.Social
+	// Range query (Lemma 1): query distance of every user, pruned at t.
+	queryLocs := make([]road.Location, len(q))
+	for i, v := range q {
+		queryLocs[i] = net.Locs[v]
+	}
+	dq := net.oracle().QueryDistances(queryLocs, net.Locs, t)
+	allowed := make([]bool, gs.N())
+	nAllowed, mAllowed := 0, 0
+	for v := 0; v < gs.N(); v++ {
+		if dq[v] <= t {
+			allowed[v] = true
+			nAllowed++
+		}
+	}
+	for _, v := range q {
+		if !allowed[v] {
+			return nil, ErrNoCommunity
+		}
+	}
+	for v := 0; v < gs.N(); v++ {
+		if !allowed[v] {
+			continue
+		}
+		for _, w := range gs.Neighbors(v) {
+			if allowed[w] && int32(v) < w {
+				mAllowed++
+			}
+		}
+	}
+	// A-priori coreness bound on the filtered subgraph.
+	if k > social.CorenessUpperBound(nAllowed, mAllowed) {
+		return nil, ErrNoCommunity
+	}
+	comp := gs.MaximalConnectedKCore(q, k, allowed)
+	if comp == nil {
+		return nil, ErrNoCommunity
+	}
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	return comp, nil
+}

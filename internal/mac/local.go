@@ -1,0 +1,86 @@
+package mac
+
+import "roadsocial/internal/geom"
+
+// LocalOptions tunes the local search framework (Algorithm 3).
+type LocalOptions struct {
+	// Expand configures candidate generation; the zero value selects the
+	// paper's defaults (Eq. 3 with ζ=100, λ=10).
+	Expand ExpandOptions
+	// BothStrategies, when set, unions the candidates of Eq. 3 and Eq. 4,
+	// improving recall at roughly twice the expansion cost.
+	BothStrategies bool
+	// NoSeeds disables the seeded candidates: by default, local search adds
+	// the exact non-contained MAC at R's pivot and corner weight vectors
+	// (one cheap deletion simulation each) to the Expand candidates. This
+	// extension guarantees the seeded weight vectors are covered even when
+	// the answer lies far from Q on the expansion chain — e.g. when it is
+	// nearly the whole (k,t)-core.
+	NoSeeds bool
+}
+
+// LocalSearch runs the local search framework (Algorithm 3): Expand
+// generates candidate communities around Q, Verify confirms the partitions
+// of R where each candidate is a valid non-contained MAC (LS-NC). With
+// q.J > 1, every validated cell is refined with the deletion engine to rank
+// the top-j MACs (LS-T), mirroring the generalization of Section VI-B.
+//
+// Local search is sound but — unlike global search — not guaranteed
+// complete: candidates form an expansion chain, so a non-contained MAC not
+// on the chain is missed (Fig. 12 of the paper reports this recall).
+func LocalSearch(net *Network, q *Query, opts LocalOptions) (*Result, error) {
+	ss, err := Prepare(net, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{KTCore: sortedIDs(allLocal(ss.dag.N()), ss.dag.IDs)}
+
+	candidates := ss.expand(opts.Expand)
+	if opts.BothStrategies {
+		other := opts.Expand
+		if other.Strategy == StrategyDensity {
+			other.Strategy = StrategyMinDegree
+		} else {
+			other.Strategy = StrategyDensity
+		}
+		candidates = append(candidates, ss.expand(other)...)
+	}
+	if !opts.NoSeeds {
+		seeds := [][]float64{q.Region.Pivot()}
+		seeds = append(seeds, q.Region.Corners()...)
+		for _, w := range seeds {
+			candidates = append(candidates, ss.terminalAt(w))
+			ss.stats.Candidates++
+		}
+	}
+	cells := ss.verify(candidates)
+
+	if q.J > 1 {
+		// LS-T: rank the top-j MACs inside each validated cell by replaying
+		// the deletion process restricted to that (small) cell.
+		var refined []CellResult
+		for _, cr := range cells {
+			eng := &gsEngine{ss: ss, j: q.J}
+			eng.run(cr.Cell)
+			refined = append(refined, eng.results...)
+		}
+		cells = refined
+	}
+	res.Cells = cells
+	res.Stats = ss.stats
+	res.Stats.Partitions = len(cells)
+	return res, nil
+}
+
+// CommunityScore evaluates S(H) = min over members of the weighted attribute
+// sum at reduced weight vector w (Eq. 2).
+func CommunityScore(net *Network, h Community, w []float64) float64 {
+	min := 0.0
+	for i, v := range h {
+		s := geom.ScoreOf(net.Social.Attrs(int(v))).At(w)
+		if i == 0 || s < min {
+			min = s
+		}
+	}
+	return min
+}

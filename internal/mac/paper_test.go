@@ -1,0 +1,337 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"roadsocial/internal/geom"
+	"roadsocial/internal/road"
+	"roadsocial/internal/social"
+)
+
+// paperNetwork reconstructs the running example of the paper (Fig. 1-2).
+// The social edges among v1..v7 are chosen to satisfy every structural claim
+// of Examples 2-3 and Section V-B:
+//   - H_3^9 for Q={v2,v3,v6} is induced by {v1..v7};
+//   - {v2,v3,v6,v7} (H1), {v2..v6} (H3), {v1,v2,v3,v6,v7} (H4) and
+//     {v2..v7} (H2) are all connected 3-cores;
+//   - at w=(0.2,0.3) the non-contained MAC is H3, at w=(0.19,0.3) it is H1,
+//     and the top-2 MAC is H2 in both (Examples 2-3).
+//
+// Road distances follow Section II-B: dist(r7,r6)=7 so D_Q(v7)=7, and
+// dist(r3,r6)=9 so the query distance of {v2,v3,v6,v7} is 9.
+// Vertices v8..v15 live far away (beyond t) and are filtered by Lemma 1.
+//
+// Vertex ids are zero-based: v1 = 0, ..., v15 = 14.
+func paperNetwork(t testing.TB) *Network {
+	t.Helper()
+	b := social.NewBuilder(15, 3)
+	edges := [][2]int{
+		// K4 on {v2,v3,v6,v7}
+		{1, 2}, {1, 5}, {1, 6}, {2, 5}, {2, 6}, {5, 6},
+		// v1 ~ v2, v3, v7
+		{0, 1}, {0, 2}, {0, 6},
+		// v4 ~ v2, v3, v5
+		{3, 1}, {3, 2}, {3, 4},
+		// v5 ~ v2, v4, v6
+		{4, 1}, {4, 5},
+		// distant part of the network (v8..v15)
+		{7, 8}, {7, 9}, {8, 9}, {8, 13}, {10, 11}, {11, 12}, {12, 10},
+		{13, 14}, {9, 10},
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	attrs := [][]float64{
+		{8.8, 3.6, 2.2}, // v1
+		{5.9, 6.2, 6.0}, // v2
+		{2.8, 5.6, 5.1}, // v3
+		{9.0, 3.3, 3.4}, // v4
+		{5.0, 7.6, 3.1}, // v5
+		{5.2, 8.3, 4.3}, // v6
+		{2.1, 5.0, 5.1}, // v7
+		// distant users: values irrelevant (filtered by t)
+		{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4},
+		{5, 5, 5}, {6, 6, 6}, {7, 7, 7}, {8, 8, 8},
+	}
+	for v, x := range attrs {
+		b.SetAttrs(v, x)
+		b.SetLabel(v, "v"+string(rune('1'+v)))
+	}
+	gs, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gr := road.NewGraph(15)
+	roadEdges := []struct {
+		u, v int
+		w    float64
+	}{
+		{2, 6, 4},   // r3-r7
+		{6, 5, 7},   // r7-r6
+		{1, 6, 6},   // r2-r7
+		{1, 2, 3},   // r2-r3
+		{1, 5, 8},   // r2-r6
+		{2, 5, 9},   // r3-r6
+		{0, 1, 1},   // r1-r2
+		{3, 1, 1},   // r4-r2
+		{4, 1, 1},   // r5-r2
+		{7, 0, 100}, // r8 far away
+		{7, 8, 1}, {8, 9, 1}, {9, 10, 1}, {10, 11, 1},
+		{11, 12, 1}, {12, 13, 1}, {13, 14, 1},
+	}
+	for _, e := range roadEdges {
+		if err := gr.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	locs := make([]road.Location, 15)
+	for i := range locs {
+		locs[i] = road.VertexLocation(i)
+	}
+	return &Network{Social: gs, Road: gr, Locs: locs}
+}
+
+func paperQuery(t testing.TB, j int) *Query {
+	t.Helper()
+	r, err := geom.NewBox([]float64{0.1, 0.2}, []float64{0.5, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Query{Q: []int32{1, 2, 5}, K: 3, T: 9, Region: r, J: j}
+}
+
+func communityEq(a, b Community) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKTCorePaperExample(t *testing.T) {
+	net := paperNetwork(t)
+	vs, err := KTCore(net, []int32{1, 2, 5}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Community{0, 1, 2, 3, 4, 5, 6}
+	if !communityEq(vs, want) {
+		t.Fatalf("H_3^9 = %v, want %v (v1..v7)", vs, want)
+	}
+	// t too small: v3-v6 distance is 9, so t=8 excludes one query vertex
+	// pairing and must fail.
+	if _, err := KTCore(net, []int32{1, 2, 5}, 3, 8); err == nil {
+		t.Fatal("t=8 should yield no (k,t)-core")
+	}
+	// k too large.
+	if _, err := KTCore(net, []int32{1, 2, 5}, 4, 9); err == nil {
+		t.Fatal("k=4 should yield no (k,t)-core")
+	}
+}
+
+func TestGlobalSearchPaperExample(t *testing.T) {
+	net := paperNetwork(t)
+	res, err := GlobalSearch(net, paperQuery(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := Community{1, 2, 5, 6}       // {v2,v3,v6,v7}
+	h2 := Community{1, 2, 3, 4, 5, 6} // {v2,...,v7}
+	h3 := Community{1, 2, 3, 4, 5}    // {v2,...,v6}
+
+	// Example 3: H3 is the top-1 at w=(0.2,0.3); H1 at w=(0.19,0.3).
+	at := res.ResultAt([]float64{0.2, 0.3})
+	if at == nil {
+		t.Fatal("no cell covers (0.2,0.3)")
+	}
+	if !communityEq(at.NCMAC(), h3) {
+		t.Fatalf("NC-MAC at (0.2,0.3) = %v, want H3 %v", at.NCMAC(), h3)
+	}
+	at = res.ResultAt([]float64{0.19, 0.3})
+	if at == nil {
+		t.Fatal("no cell covers (0.19,0.3)")
+	}
+	if !communityEq(at.NCMAC(), h1) {
+		t.Fatalf("NC-MAC at (0.19,0.3) = %v, want H1 %v", at.NCMAC(), h1)
+	}
+	// Example 2: the second-ranked MAC is H2 on both sides.
+	if len(at.Ranked) < 2 || !communityEq(at.Ranked[1], h2) {
+		t.Fatalf("top-2 at (0.19,0.3) = %v, want H2 %v", at.Ranked, h2)
+	}
+	// Exactly two distinct non-contained MACs over R (H1 and H3).
+	ncs := res.NCMACs()
+	if len(ncs) != 2 {
+		t.Fatalf("distinct NC-MACs = %d (%v), want 2", len(ncs), ncs)
+	}
+	found := map[string]bool{}
+	for _, c := range ncs {
+		found[c.Key()] = true
+	}
+	if !found[h1.Key()] || !found[h3.Key()] {
+		t.Fatalf("NC-MACs %v missing H1 or H3", ncs)
+	}
+}
+
+func TestGlobalMatchesBruteForce(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 3)
+	res, err := GlobalSearch(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample a grid of weight vectors across R and compare with the direct
+	// deletion simulation.
+	for _, w1 := range []float64{0.11, 0.19, 0.2, 0.25, 0.33, 0.45, 0.49} {
+		for _, w2 := range []float64{0.21, 0.3, 0.39} {
+			w := []float64{w1, w2}
+			want, err := BruteForceAt(net, q, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.ResultAt(w)
+			if got == nil {
+				t.Fatalf("no cell covers %v", w)
+			}
+			if len(got.Ranked) != len(want) {
+				t.Fatalf("at %v: %d ranked, brute force %d", w, len(got.Ranked), len(want))
+			}
+			for r := range want {
+				if !communityEq(got.Ranked[r], want[r]) {
+					t.Fatalf("at %v rank %d: %v, want %v", w, r, got.Ranked[r], want[r])
+				}
+			}
+		}
+	}
+}
+
+func TestLocalSearchPaperExample(t *testing.T) {
+	net := paperNetwork(t)
+	res, err := LocalSearch(net, paperQuery(t, 1), LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := Community{1, 2, 5, 6}
+	// H1 must be found (it is on the expansion chain: Q ∪ {v7} is the K4).
+	foundH1 := false
+	for _, c := range res.Cells {
+		if communityEq(c.NCMAC(), h1) {
+			foundH1 = true
+			// H1's region per the paper is R1; spot-check one of its
+			// weight vectors.
+			w := c.Cell.Witness()
+			bf, err := BruteForceAt(net, paperQuery(t, 1), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !communityEq(bf[0], h1) {
+				t.Fatalf("LS cell witness %v: brute force says %v", w, bf[0])
+			}
+		}
+	}
+	if !foundH1 {
+		t.Fatalf("LS-NC failed to find H1; cells: %v", res.Cells)
+	}
+	// Soundness: every LS cell's community must equal the brute-force
+	// NC-MAC at the cell's witness.
+	for _, c := range res.Cells {
+		w := c.Cell.Witness()
+		bf, err := BruteForceAt(net, paperQuery(t, 1), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !communityEq(bf[0], c.NCMAC()) {
+			t.Fatalf("unsound LS result at %v: got %v, brute force %v", w, c.NCMAC(), bf[0])
+		}
+	}
+}
+
+func TestLocalSearchTopJPaperExample(t *testing.T) {
+	net := paperNetwork(t)
+	res, err := LocalSearch(net, paperQuery(t, 2), LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := Community{1, 2, 5, 6}
+	h2 := Community{1, 2, 3, 4, 5, 6}
+	for _, c := range res.Cells {
+		if communityEq(c.NCMAC(), h1) {
+			if len(c.Ranked) < 2 || !communityEq(c.Ranked[1], h2) {
+				t.Fatalf("LS-T top-2 in H1 cell = %v, want H2 second", c.Ranked)
+			}
+		}
+	}
+}
+
+func TestExample1K2(t *testing.T) {
+	// Example 1: Q={v2}, k=2, t=9. The MAC for part of R1 is
+	// {v2,v3,v5,v6,v7} with score S(v7). Verify against brute force across
+	// sampled weights, and check the specific community appears.
+	net := paperNetwork(t)
+	r, err := geom.NewBox([]float64{0.1, 0.2}, []float64{0.5, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{Q: []int32{1}, K: 2, T: 9, Region: r, J: 1}
+	res, err := GlobalSearch(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w1 := range []float64{0.12, 0.3, 0.48} {
+		for _, w2 := range []float64{0.22, 0.38} {
+			w := []float64{w1, w2}
+			want, err := BruteForceAt(net, q, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.ResultAt(w)
+			if got == nil || !communityEq(got.NCMAC(), want[0]) {
+				t.Fatalf("at %v: got %v, want %v", w, got, want[0])
+			}
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	net := paperNetwork(t)
+	r, _ := geom.NewBox([]float64{0.1, 0.2}, []float64{0.5, 0.4})
+	cases := []*Query{
+		{Q: nil, K: 3, T: 9, Region: r},
+		{Q: []int32{99}, K: 3, T: 9, Region: r},
+		{Q: []int32{1}, K: 0, T: 9, Region: r},
+		{Q: []int32{1}, K: 3, T: -1, Region: r},
+		{Q: []int32{1}, K: 3, T: 9, Region: nil},
+	}
+	for i, q := range cases {
+		if err := q.Validate(net); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+	// Region with weight sum > 1 must be rejected.
+	bad, _ := geom.NewBox([]float64{0.6, 0.5}, []float64{0.9, 0.6})
+	q := &Query{Q: []int32{1}, K: 3, T: 9, Region: bad}
+	if err := q.Validate(net); err == nil {
+		t.Fatal("region outside simplex should fail validation")
+	}
+	// Wrong dimensionality.
+	r1, _ := geom.NewBox([]float64{0.2}, []float64{0.4})
+	q = &Query{Q: []int32{1}, K: 3, T: 9, Region: r1}
+	if err := q.Validate(net); err == nil {
+		t.Fatal("wrong region dimension should fail validation")
+	}
+}
+
+func TestCommunityScore(t *testing.T) {
+	net := paperNetwork(t)
+	h := Community{1, 2, 5, 6} // H1
+	// At w=(0.2,0.3), S(H1) = S(v7) = 4.47.
+	got := CommunityScore(net, h, []float64{0.2, 0.3})
+	if math.Abs(got-4.47) > 1e-9 {
+		t.Fatalf("S(H1) = %g, want 4.47", got)
+	}
+}

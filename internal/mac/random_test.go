@@ -1,0 +1,321 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadsocial/internal/geom"
+	"roadsocial/internal/road"
+	"roadsocial/internal/social"
+)
+
+// randomNetwork builds a small random road-social network for
+// cross-validation tests. (It intentionally duplicates a little of the gen
+// package to avoid an import cycle: gen imports mac for workload
+// validation.)
+func randomNetwork(t testing.TB, rng *rand.Rand, n, d int) *Network {
+	t.Helper()
+	sb := social.NewBuilder(n, d)
+	// Random edges plus a planted denser block so k-cores exist.
+	for e := 0; e < n*3; e++ {
+		sb.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	blockSize := n / 2
+	block := rng.Perm(n)[:blockSize]
+	for i := 0; i < blockSize; i++ {
+		for j := i + 1; j < blockSize; j++ {
+			if rng.Float64() < 0.5 {
+				sb.AddEdge(block[i], block[j])
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+		}
+		sb.SetAttrs(v, x)
+	}
+	gs, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small random connected road graph.
+	rn := 2 * n
+	gr := road.NewGraph(rn)
+	for v := 1; v < rn; v++ {
+		if err := gr.AddEdge(rng.Intn(v), v, 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	locs := make([]road.Location, n)
+	for i := range locs {
+		locs[i] = road.VertexLocation(rng.Intn(rn))
+	}
+	return &Network{Social: gs, Road: gr, Locs: locs}
+}
+
+// randomRegion draws a small box region valid for d attributes.
+func randomRegion(t testing.TB, rng *rand.Rand, d int) *geom.Region {
+	t.Helper()
+	dim := d - 1
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		c := 0.1 + rng.Float64()*(0.8/float64(d))
+		side := 0.02 + rng.Float64()*0.1
+		lo[j] = c
+		hi[j] = c + side
+	}
+	r, err := geom.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// randomQuery finds a feasible query on the network or returns nil.
+func randomQuery(net *Network, rng *rand.Rand, k, qSize int, tval float64, region *geom.Region, j int) *Query {
+	core, _ := net.Social.CoreDecomposition(nil)
+	var pool []int32
+	for v, c := range core {
+		if c >= k {
+			pool = append(pool, int32(v))
+		}
+	}
+	if len(pool) < qSize {
+		return nil
+	}
+	for tries := 0; tries < 30; tries++ {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		q := &Query{Q: append([]int32(nil), pool[:qSize]...), K: k, T: tval, Region: region, J: j}
+		if _, err := KTCore(net, q.Q, k, tval); err == nil {
+			return q
+		}
+	}
+	return nil
+}
+
+// sampleWeights draws count points inside the region.
+func sampleWeights(region *geom.Region, rng *rand.Rand, count int) [][]float64 {
+	out := make([][]float64, count)
+	for i := range out {
+		w := make([]float64, region.Dim())
+		for j := range w {
+			w[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// TestGlobalSearchMatchesBruteForceRandom is the main correctness property:
+// on random instances, the partition-wise output of GS must agree with the
+// direct deletion simulation at sampled weight vectors.
+func TestGlobalSearchMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	checked := 0
+	for trial := 0; trial < 25; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 12 + rng.Intn(16)
+		net := randomNetwork(t, rng, n, d)
+		region := randomRegion(t, rng, d)
+		k := 2 + rng.Intn(2)
+		j := 1 + rng.Intn(3)
+		q := randomQuery(net, rng, k, 1+rng.Intn(2), 25, region, j)
+		if q == nil {
+			continue
+		}
+		res, err := GlobalSearch(net, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range sampleWeights(region, rng, 12) {
+			want, err := BruteForceAt(net, q, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.ResultAt(w)
+			if got == nil {
+				t.Fatalf("trial %d: no cell covers %v", trial, w)
+			}
+			if len(got.Ranked) != len(want) {
+				t.Fatalf("trial %d at %v: %d ranked vs %d brute",
+					trial, w, len(got.Ranked), len(want))
+			}
+			for r := range want {
+				if !communityEq(got.Ranked[r], want[r]) {
+					t.Fatalf("trial %d at %v rank %d:\n got %v\nwant %v",
+						trial, w, r, got.Ranked[r], want[r])
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instance was checked; generator too restrictive")
+	}
+}
+
+// TestLocalSearchSoundRandom: every cell LS-NC reports must match the brute
+// force result at the cell witness (soundness), and the set of NC-MACs LS
+// finds must be a subset of GS's.
+func TestLocalSearchSoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	foundAny := false
+	totalGS, totalLS := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 12 + rng.Intn(16)
+		net := randomNetwork(t, rng, n, d)
+		region := randomRegion(t, rng, d)
+		k := 2 + rng.Intn(2)
+		q := randomQuery(net, rng, k, 1+rng.Intn(2), 25, region, 1)
+		if q == nil {
+			continue
+		}
+		ls, err := LocalSearch(net, q, LocalOptions{BothStrategies: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := GlobalSearch(net, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gsSet := map[string]bool{}
+		for _, c := range gs.NCMACs() {
+			gsSet[c.Key()] = true
+		}
+		totalGS += len(gsSet)
+		lsSet := map[string]bool{}
+		for _, c := range ls.Cells {
+			foundAny = true
+			w := c.Cell.Witness()
+			want, err := BruteForceAt(net, q, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !communityEq(want[0], c.NCMAC()) {
+				t.Fatalf("trial %d: unsound LS at %v:\n got %v\nwant %v",
+					trial, w, c.NCMAC(), want[0])
+			}
+			if !gsSet[c.NCMAC().Key()] {
+				t.Fatalf("trial %d: LS community %v not in GS output", trial, c.NCMAC())
+			}
+			lsSet[c.NCMAC().Key()] = true
+		}
+		totalLS += len(lsSet)
+	}
+	if !foundAny {
+		t.Fatal("LS never produced a result on random instances")
+	}
+	// Recall should be substantial (the paper reports ~95% at defaults; we
+	// only require a loose floor here to keep the test robust).
+	if totalGS > 0 && float64(totalLS) < 0.3*float64(totalGS) {
+		t.Fatalf("LS recall too low: %d of %d", totalLS, totalGS)
+	}
+}
+
+// TestGlobalSearchCellsCoverRegion: the output cells of GS must cover R (the
+// partitioning property of Problem 1/2).
+func TestGlobalSearchCellsCoverRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(2)
+		net := randomNetwork(t, rng, 14, d)
+		region := randomRegion(t, rng, d)
+		q := randomQuery(net, rng, 2, 1, 25, region, 1)
+		if q == nil {
+			continue
+		}
+		res, err := GlobalSearch(net, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range sampleWeights(region, rng, 50) {
+			if res.ResultAt(w) == nil {
+				t.Fatalf("trial %d: weight %v not covered by %d cells",
+					trial, w, len(res.Cells))
+			}
+		}
+	}
+}
+
+// TestResultInvariants: every reported community is a connected k-core
+// containing Q with query distance at most t.
+func TestResultInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(2)
+		net := randomNetwork(t, rng, 16, d)
+		region := randomRegion(t, rng, d)
+		q := randomQuery(net, rng, 2, 2, 25, region, 2)
+		if q == nil {
+			continue
+		}
+		res, err := GlobalSearch(net, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := road.RangeQuerier{G: net.Road}
+		queryLocs := make([]road.Location, len(q.Q))
+		for i, v := range q.Q {
+			queryLocs[i] = net.Locs[v]
+		}
+		for _, cell := range res.Cells {
+			for _, comm := range cell.Ranked {
+				sub := social.NewSub(net.Social, comm)
+				if !sub.IsConnectedKCore(q.K, q.Q) {
+					t.Fatalf("trial %d: community %v is not a connected %d-core with Q", trial, comm, q.K)
+				}
+				locs := make([]road.Location, len(comm))
+				for i, v := range comm {
+					locs[i] = net.Locs[v]
+				}
+				dq := oracle.QueryDistances(queryLocs, locs, q.T)
+				for i, dist := range dq {
+					if dist > q.T {
+						t.Fatalf("trial %d: member %d exceeds t: %g > %g", trial, comm[i], dist, q.T)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGTreeOracleEquivalence: plugging the G-tree oracle into the search
+// must not change any result.
+func TestGTreeOracleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 6; trial++ {
+		d := 2 + rng.Intn(2)
+		net := randomNetwork(t, rng, 16, d)
+		region := randomRegion(t, rng, d)
+		q := randomQuery(net, rng, 2, 1, 25, region, 1)
+		if q == nil {
+			continue
+		}
+		res1, err := GlobalSearch(net, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Oracle = road.BuildGTree(net.Road, 8)
+		res2, err := GlobalSearch(net, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !communityEq(res1.KTCore, res2.KTCore) {
+			t.Fatalf("trial %d: KT-core differs under G-tree oracle:\n%v\n%v",
+				trial, res1.KTCore, res2.KTCore)
+		}
+		for _, w := range sampleWeights(region, rng, 8) {
+			a, b := res1.ResultAt(w), res2.ResultAt(w)
+			if (a == nil) != (b == nil) {
+				t.Fatalf("trial %d: coverage differs at %v", trial, w)
+			}
+			if a != nil && !communityEq(a.NCMAC(), b.NCMAC()) {
+				t.Fatalf("trial %d: NC-MAC differs at %v", trial, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package mac
+
+import (
+	"sort"
+
+	"roadsocial/internal/bitset"
+	"roadsocial/internal/domgraph"
+	"roadsocial/internal/geom"
+	"roadsocial/internal/road"
+)
+
+// GlobalSearchTruss is the k-truss variant of the MAC search, implementing
+// the paper's remark (Section II-B) that the techniques apply to other
+// structural-cohesiveness criteria. Communities are connected k-trusses
+// containing Q (every edge in at least k-2 triangles) with query distance
+// at most t; everything else — r-dominance, the arrangement of R, the
+// smallest-score deletion order, top-j backtracking — is unchanged.
+//
+// Truss maintenance after a deletion is implemented by recomputation (the
+// truss cascade is not incremental here), so this variant suits moderate
+// community sizes; the k-core engine remains the fast path.
+func GlobalSearchTruss(net *Network, q *Query) (*Result, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(net); err != nil {
+		return nil, err
+	}
+	// Lemma 1 filter, then the maximal connected k-truss containing Q.
+	gs := net.Social
+	queryLocs := make([]road.Location, len(q.Q))
+	for i, v := range q.Q {
+		queryLocs[i] = net.Locs[v]
+	}
+	dq := net.oracle().QueryDistances(queryLocs, net.Locs, q.T)
+	allowed := make([]bool, gs.N())
+	for v := 0; v < gs.N(); v++ {
+		allowed[v] = dq[v] <= q.T
+	}
+	for _, v := range q.Q {
+		if !allowed[v] {
+			return nil, ErrNoCommunity
+		}
+	}
+	base := gs.MaximalConnectedKTruss(q.Q, q.K, allowed)
+	if base == nil {
+		return nil, ErrNoCommunity
+	}
+
+	vecs := make([][]float64, len(base))
+	for i, v := range base {
+		vecs[i] = gs.Attrs(int(v))
+	}
+	dag := domgraph.Build(q.Region, base, vecs, 0)
+	res := &Result{KTCore: sortedIDs(allLocal(dag.N()), dag.IDs)}
+
+	eng := &trussEngine{
+		net: net, q: q, dag: dag,
+		j: max(1, q.J),
+	}
+	eng.qLocal = make([]int32, len(q.Q))
+	for i, v := range q.Q {
+		eng.qLocal[i] = dag.Local[v]
+	}
+	eng.run(geom.NewCell(q.Region))
+	res.Cells = eng.results
+	res.Stats.KTCoreSize = dag.N()
+	res.Stats.Partitions = len(eng.results)
+	return res, nil
+}
+
+// trussEngine mirrors gsEngine with truss-recomputing deletions. State per
+// task is the alive set in DAG-local indices.
+type trussEngine struct {
+	net     *Network
+	q       *Query
+	dag     *domgraph.DAG
+	qLocal  []int32
+	j       int
+	results []CellResult
+}
+
+type trussTask struct {
+	alive   *bitset.Set
+	cell    *geom.Cell
+	batches [][]int32
+}
+
+func (e *trussEngine) run(root *geom.Cell) {
+	n := e.dag.N()
+	alive := bitset.New(n)
+	for i := 0; i < n; i++ {
+		alive.Set(i)
+	}
+	queue := []trussTask{{alive: alive, cell: root}}
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		queue = append(queue, e.step(t)...)
+	}
+}
+
+func (e *trussEngine) step(t trussTask) []trussTask {
+	leaves := e.dag.Leaves(t.alive)
+	if len(leaves) == 0 {
+		e.emit(t)
+		return nil
+	}
+	tree := geom.NewPartitionTree(t.cell)
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves); j++ {
+			tree.Insert(e.dag.Scores[leaves[i]].GEHalfspace(e.dag.Scores[leaves[j]]))
+		}
+	}
+	var out []trussTask
+	for _, cell := range tree.Leaves() {
+		w := cell.Witness()
+		if w == nil {
+			continue
+		}
+		u := leaves[0]
+		best := e.dag.Scores[u].At(w)
+		for _, l := range leaves[1:] {
+			if s := e.dag.Scores[l].At(w); s < best {
+				u, best = l, s
+			}
+		}
+		if containsLocal(e.qLocal, u) {
+			e.emit(trussTask{alive: t.alive, cell: cell, batches: t.batches})
+			continue
+		}
+		alive2, batch, ok := e.tryDelete(t.alive, u)
+		if !ok {
+			e.emit(trussTask{alive: t.alive, cell: cell, batches: t.batches})
+			continue
+		}
+		batches2 := make([][]int32, len(t.batches)+1)
+		copy(batches2, t.batches)
+		batches2[len(t.batches)] = batch
+		out = append(out, trussTask{alive: alive2, cell: cell, batches: batches2})
+	}
+	return out
+}
+
+// tryDelete removes local vertex u and recomputes the maximal connected
+// k-truss containing Q among the remaining vertices. It fails (ok=false)
+// when no such truss exists — the Corollary 1 analogue.
+func (e *trussEngine) tryDelete(alive *bitset.Set, u int32) (*bitset.Set, []int32, bool) {
+	gs := e.net.Social
+	allowed := make([]bool, gs.N())
+	alive.ForEach(func(i int) bool {
+		if int32(i) != u {
+			allowed[e.dag.IDs[i]] = true
+		}
+		return true
+	})
+	comp := gs.MaximalConnectedKTruss(e.q.Q, e.q.K, allowed)
+	if comp == nil {
+		return nil, nil, false
+	}
+	alive2 := bitset.New(e.dag.N())
+	for _, v := range comp {
+		alive2.Set(int(e.dag.Local[v]))
+	}
+	var batch []int32
+	alive.ForEach(func(i int) bool {
+		if !alive2.Test(i) {
+			batch = append(batch, int32(i))
+		}
+		return true
+	})
+	return alive2, batch, true
+}
+
+func (e *trussEngine) emit(t trussTask) {
+	ranked := make([]Community, 0, e.j)
+	var current []int32
+	t.alive.ForEach(func(i int) bool { current = append(current, int32(i)); return true })
+	ranked = append(ranked, sortedIDs(current, e.dag.IDs))
+	for r := 1; r < e.j; r++ {
+		idx := len(t.batches) - r
+		if idx < 0 {
+			break
+		}
+		current = append(current, t.batches[idx]...)
+		ranked = append(ranked, sortedIDs(current, e.dag.IDs))
+	}
+	e.results = append(e.results, CellResult{Cell: t.cell, Ranked: ranked})
+}
+
+// BruteForceTrussAt is the reference oracle for the truss variant at one
+// weight vector.
+func BruteForceTrussAt(net *Network, q *Query, w []float64) (Community, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(net); err != nil {
+		return nil, err
+	}
+	gs := net.Social
+	queryLocs := make([]road.Location, len(q.Q))
+	for i, v := range q.Q {
+		queryLocs[i] = net.Locs[v]
+	}
+	dq := net.oracle().QueryDistances(queryLocs, net.Locs, q.T)
+	allowed := make([]bool, gs.N())
+	for v := 0; v < gs.N(); v++ {
+		allowed[v] = dq[v] <= q.T
+	}
+	current := gs.MaximalConnectedKTruss(q.Q, q.K, allowed)
+	if current == nil {
+		return nil, ErrNoCommunity
+	}
+	inQ := make(map[int32]bool)
+	for _, v := range q.Q {
+		inQ[v] = true
+	}
+	for {
+		// Smallest-score member at w.
+		u := int32(-1)
+		var us float64
+		for _, v := range current {
+			s := geom.ScoreOf(gs.Attrs(int(v))).At(w)
+			if u < 0 || s < us {
+				u, us = v, s
+			}
+		}
+		if inQ[u] {
+			break
+		}
+		mask := make([]bool, gs.N())
+		for _, v := range current {
+			if v != u {
+				mask[v] = true
+			}
+		}
+		next := gs.MaximalConnectedKTruss(q.Q, q.K, mask)
+		if next == nil {
+			break
+		}
+		current = next
+	}
+	out := append(Community(nil), current...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

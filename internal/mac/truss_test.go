@@ -1,0 +1,109 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGlobalSearchTrussPaperExample(t *testing.T) {
+	net := paperNetwork(t)
+	// k=4 truss on the paper network: the K4 {v2,v3,v6,v7} plus any vertex
+	// whose edges gain enough triangles. Run with Q={v2,v3,v6}.
+	q := paperQuery(t, 2)
+	q.K = 4 // truss threshold: every edge in >= 2 triangles
+	res, err := GlobalSearchTruss(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("no truss communities found")
+	}
+	// Every reported community must be a connected k-truss containing Q.
+	for _, cell := range res.Cells {
+		for _, comm := range cell.Ranked {
+			mask := make([]bool, net.Social.N())
+			for _, v := range comm {
+				mask[v] = true
+			}
+			comp := net.Social.MaximalConnectedKTruss(q.Q, q.K, mask)
+			if len(comp) != len(comm) {
+				t.Fatalf("community %v is not its own maximal connected %d-truss (%v)",
+					comm, q.K, comp)
+			}
+		}
+	}
+}
+
+func TestGlobalSearchTrussMatchesBruteForce(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 1)
+	q.K = 4
+	res, err := GlobalSearchTruss(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w1 := range []float64{0.12, 0.25, 0.45} {
+		for _, w2 := range []float64{0.22, 0.38} {
+			w := []float64{w1, w2}
+			want, err := BruteForceTrussAt(net, q, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.ResultAt(w)
+			if got == nil {
+				t.Fatalf("no cell covers %v", w)
+			}
+			if !communityEq(got.NCMAC(), want) {
+				t.Fatalf("at %v: %v, want %v", w, got.NCMAC(), want)
+			}
+		}
+	}
+}
+
+func TestGlobalSearchTrussRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	checked := 0
+	for trial := 0; trial < 12; trial++ {
+		d := 2 + rng.Intn(2)
+		net := randomNetwork(t, rng, 14, d)
+		region := randomRegion(t, rng, d)
+		q := randomQuery(net, rng, 2, 1, 25, region, 1)
+		if q == nil {
+			continue
+		}
+		q.K = 3 // truss threshold
+		res, err := GlobalSearchTruss(net, q)
+		if err == ErrNoCommunity {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range sampleWeights(region, rng, 6) {
+			want, err := BruteForceTrussAt(net, q, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.ResultAt(w)
+			if got == nil {
+				t.Fatalf("trial %d: no cell covers %v", trial, w)
+			}
+			if !communityEq(got.NCMAC(), want) {
+				t.Fatalf("trial %d at %v: %v, want %v", trial, w, got.NCMAC(), want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no feasible truss instance generated")
+	}
+}
+
+func TestTrussNoCommunity(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 1)
+	q.K = 10 // no 10-truss exists
+	if _, err := GlobalSearchTruss(net, q); err != ErrNoCommunity {
+		t.Fatalf("expected ErrNoCommunity, got %v", err)
+	}
+}

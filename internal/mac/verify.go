@@ -1,0 +1,234 @@
+package mac
+
+import (
+	"roadsocial/internal/bitset"
+	"roadsocial/internal/geom"
+	"roadsocial/internal/social"
+)
+
+// verify implements Algorithm 5: given the candidate communities produced by
+// Expand, it confirms for each candidate the sub-regions of R (if any) in
+// which it is a valid non-contained MAC, using only the r-dominance graph.
+//
+// The per-cell validity test is an exact characterization of the deletion
+// process at the cell's witness weight vector: every outside vertex must be
+// *resolved*, either by score (strictly below the candidate's minimum, so
+// the global deletion removes it before ever touching the candidate) or by
+// the structural cascade triggered by score-resolved deletions. This
+// subsumes the paper's Corollary 3 relaxations — bound vertices and mutually
+// bound pairs are exactly the vertices the cascade resolves — while also
+// handling dominance chains that pass through candidate members, which the
+// bottom-layer/top-layer comparison alone misses.
+func (ss *searchSpace) verify(candidates [][]int32) []CellResult {
+	var results []CellResult
+	seen := make(map[string]bool)
+	for _, cand := range candidates {
+		key := Community(cand).Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		results = append(results, ss.verifyOne(cand)...)
+	}
+	return results
+}
+
+// verifyOne validates a single candidate, returning one CellResult per
+// partition of R in which it is a non-contained MAC.
+func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
+	n := ss.dag.N()
+	ge := bitset.New(n)
+	for _, v := range cand {
+		ge.Set(int(v))
+	}
+	gc := bitset.New(n)
+	gcCount := 0
+	for i := 0; i < n; i++ {
+		if !ge.Test(i) {
+			gc.Set(i)
+			gcCount++
+		}
+	}
+
+	// ---- Corollary 2: structural pre-filter -------------------------------
+	// An outside vertex that r-dominates an inside vertex can never be the
+	// smallest-score vertex while the candidate is alive, so it must fall to
+	// the structural cascade. If it survives even the cascade of deleting
+	// every other outside vertex, the candidate is invalid everywhere in R.
+	if gcCount > 0 {
+		var dominators, rest []int32
+		gc.ForEach(func(i int) bool {
+			if ss.dag.Descendants(int32(i)).IntersectsWith(ge) {
+				dominators = append(dominators, int32(i))
+			} else {
+				rest = append(rest, int32(i))
+			}
+			return true
+		})
+		if len(dominators) > 0 {
+			removed := ss.cascadeRemoved(rest, ge)
+			for _, v := range dominators {
+				if !removed.Test(int(v)) {
+					return nil
+				}
+			}
+		}
+	}
+	ss.stats.Promising++
+
+	// ---- Competitors -------------------------------------------------------
+	// lb(Ge): candidate members dominating nobody inside the candidate — the
+	// possible minimums of the candidate.
+	var lb []int32
+	ge.ForEach(func(i int) bool {
+		if !ss.dag.Descendants(int32(i)).IntersectsWith(ge) {
+			lb = append(lb, int32(i))
+		}
+		return true
+	})
+	// ltDirect: outside vertices with no *direct* dominator outside. This is
+	// a superset of the paper's lt(Gc) (top layer) that also exposes
+	// vertices whose dominance cover runs through candidate members; their
+	// score comparisons against lb(Ge) are the hyperplanes that can flip the
+	// per-cell outcome.
+	var ltDirect []int32
+	gc.ForEach(func(i int) bool {
+		direct := false
+		for _, p := range ss.dag.Parents(int32(i)) {
+			if gc.Test(int(p)) {
+				direct = true
+				break
+			}
+		}
+		if !direct {
+			ltDirect = append(ltDirect, int32(i))
+		}
+		return true
+	})
+
+	// Anchors (Lemma 8): non-query bottom-layer members whose deletion still
+	// leaves a k-ĉore containing Q. A cell is valid only if its minimum
+	// member is a non-anchor — otherwise a smaller community r-dominates the
+	// candidate there (Corollary 3, condition 1).
+	anchors := make(map[int32]bool)
+	candSub := social.NewSub(ss.hg, cand)
+	for _, v := range lb {
+		if containsLocal(ss.qLocal, v) {
+			continue
+		}
+		trial := candSub.Clone()
+		if _, ok := trial.TryDeleteCascade(v, ss.query.K, ss.qLocal); ok {
+			anchors[v] = true
+		}
+	}
+
+	// ---- Arrangement over R -------------------------------------------------
+	tree := geom.NewPartitionTree(geom.NewCell(ss.query.Region))
+	insert := func(a, b int32) {
+		if tree.Insert(ss.dag.Scores[a].GEHalfspace(ss.dag.Scores[b])) {
+			ss.stats.Hyperplanes++
+		}
+	}
+	for _, u := range lb {
+		for _, v := range ltDirect {
+			insert(u, v)
+		}
+	}
+	if len(anchors) > 0 {
+		// The identity of the candidate's minimum matters: insert
+		// hyperplanes among bottom-layer members.
+		for i := 0; i < len(lb); i++ {
+			for j := i + 1; j < len(lb); j++ {
+				insert(lb[i], lb[j])
+			}
+		}
+	}
+
+	var out []CellResult
+	community := sortedIDs(cand, ss.dag.IDs)
+	var resolved []int32
+	for _, cell := range tree.Leaves() {
+		ss.stats.CellsExplored++
+		w := cell.Witness()
+		if w == nil {
+			continue
+		}
+		// Minimum score inside the candidate is attained on lb(Ge).
+		minLb := ss.dag.Scores[lb[0]].At(w)
+		argmin := lb[0]
+		for _, u := range lb[1:] {
+			if s := ss.dag.Scores[u].At(w); s < minLb {
+				minLb, argmin = s, u
+			}
+		}
+		if anchors[argmin] {
+			continue
+		}
+		// Resolve outside vertices: score-resolved ones seed the cascade.
+		resolved = resolved[:0]
+		gc.ForEach(func(i int) bool {
+			if ss.dag.Scores[i].At(w) < minLb-geom.Eps {
+				resolved = append(resolved, int32(i))
+			}
+			return true
+		})
+		valid := true
+		if len(resolved) < gcCount {
+			removed := ss.cascadeRemoved(resolved, ge)
+			gc.ForEach(func(i int) bool {
+				if !removed.Test(i) {
+					valid = false
+					return false
+				}
+				return true
+			})
+		}
+		if valid {
+			out = append(out, CellResult{Cell: cell, Ranked: []Community{community}})
+		}
+	}
+	return out
+}
+
+// cascadeRemoved simulates the DFS deletion: the vertices of removeList are
+// removed unconditionally from H_k^t, then every vertex whose degree drops
+// below k cascades. Vertices of ge are never removed — their induced degree
+// stays >= k throughout, so the exception is only a guard. It returns the
+// set of removed vertices.
+func (ss *searchSpace) cascadeRemoved(removeList []int32, ge *bitset.Set) *bitset.Set {
+	ss.stats.CascadeSims++
+	n := ss.dag.N()
+	k := ss.query.K
+	removed := bitset.New(n)
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(ss.hg.Degree(v))
+	}
+	var stack []int32
+	removeOne := func(v int32) {
+		removed.Set(int(v))
+		for _, w := range ss.hg.Neighbors(int(v)) {
+			if removed.Test(int(w)) {
+				continue
+			}
+			deg[w]--
+			if int(deg[w]) < k && !ge.Test(int(w)) {
+				stack = append(stack, w)
+			}
+		}
+	}
+	for _, v := range removeList {
+		if !removed.Test(int(v)) {
+			removeOne(v)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if removed.Test(int(v)) || int(deg[v]) >= k {
+			continue
+		}
+		removeOne(v)
+	}
+	return removed
+}

@@ -1,0 +1,204 @@
+// Package preflearn derives a preference region R from observed pairwise
+// choices, providing the input the MAC model expects. The paper (footnote
+// 1, Section I) assumes such a region comes from preference-learning
+// techniques rather than exact user-specified weights; this package
+// implements the classic halfspace-intersection learner: every observation
+// "the user preferred item a over item b" constrains the weight vector to
+// the halfspace S(a) >= S(b), and R is the intersection of all such
+// halfspaces with the weight simplex, reported as a box-bounded convex
+// polytope ready for MAC search.
+package preflearn
+
+import (
+	"errors"
+	"fmt"
+
+	"roadsocial/internal/geom"
+	"roadsocial/internal/lp"
+)
+
+// Comparison records that the user preferred the item with attribute vector
+// Preferred over the one with Other (both d-dimensional).
+type Comparison struct {
+	Preferred []float64
+	Other     []float64
+}
+
+// ErrInconsistent is returned when the observations admit no weight vector.
+var ErrInconsistent = errors.New("preflearn: comparisons are inconsistent (empty region)")
+
+// Learn intersects the comparison halfspaces with the weight simplex and
+// returns the resulting convex region of the (d-1)-dimensional preference
+// domain: its exact corner list (vertex enumeration over the active
+// constraints) plus the extra halfspaces, bounded by the tight axis box.
+//
+// margin (>= 0) shrinks each halfspace by a slack, demanding the preference
+// hold by at least that score difference — useful to absorb noise in the
+// observations.
+func Learn(d int, comparisons []Comparison, margin float64) (*geom.Region, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("preflearn: need d >= 2 attributes, got %d", d)
+	}
+	dim := d - 1
+	// Constraint set: comparison halfspaces + simplex (w_i >= 0, Σ w_i <= 1).
+	var hs []geom.Halfspace
+	for _, c := range comparisons {
+		if len(c.Preferred) != d || len(c.Other) != d {
+			return nil, fmt.Errorf("preflearn: comparison dimensionality mismatch (want %d)", d)
+		}
+		h := geom.ScoreOf(c.Preferred).GEHalfspace(geom.ScoreOf(c.Other))
+		h.B -= margin
+		hs = append(hs, h)
+	}
+	simplex := make([]geom.Halfspace, 0, dim+1)
+	for j := 0; j < dim; j++ {
+		a := make([]float64, dim)
+		a[j] = -1
+		simplex = append(simplex, geom.Halfspace{A: a, B: 0}) // w_j >= 0
+	}
+	ones := make([]float64, dim)
+	for j := range ones {
+		ones[j] = 1
+	}
+	simplex = append(simplex, geom.Halfspace{A: ones, B: 1}) // Σ w_i <= 1
+	all := append(append([]geom.Halfspace{}, hs...), simplex...)
+
+	cons := make([]lp.Constraint, len(all))
+	for i, h := range all {
+		cons[i] = lp.Constraint{A: h.A, B: h.B}
+	}
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for j := range hi {
+		hi[j] = 1
+	}
+	if !lp.Feasible(cons, lo, hi) {
+		return nil, ErrInconsistent
+	}
+	// Tight bounding box of the feasible set, one min/max LP per axis.
+	boxLo := make([]float64, dim)
+	boxHi := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		obj := make([]float64, dim)
+		obj[j] = 1
+		minV, ok1 := lp.Minimize(obj, cons, lo, hi)
+		maxV, ok2 := lp.Maximize(obj, cons, lo, hi)
+		if !ok1 || !ok2 {
+			return nil, ErrInconsistent
+		}
+		boxLo[j], boxHi[j] = minV, maxV
+	}
+	corners := enumerateVertices(all, boxLo, boxHi, dim)
+	if len(corners) == 0 {
+		return nil, ErrInconsistent
+	}
+	return geom.NewPolytope(boxLo, boxHi, hs, corners)
+}
+
+// enumerateVertices finds the polytope vertices: feasible intersection
+// points of dim constraint hyperplanes (including the box facets). Suitable
+// for the low dimensions (d <= 7) this codebase targets.
+func enumerateVertices(hs []geom.Halfspace, lo, hi []float64, dim int) [][]float64 {
+	// Assemble the full facet list: halfspaces + box sides.
+	var facets []geom.Halfspace
+	facets = append(facets, hs...)
+	for j := 0; j < dim; j++ {
+		a := make([]float64, dim)
+		a[j] = 1
+		facets = append(facets, geom.Halfspace{A: a, B: hi[j]})
+		b := make([]float64, dim)
+		b[j] = -1
+		facets = append(facets, geom.Halfspace{A: b, B: -lo[j]})
+	}
+	feasible := func(p []float64) bool {
+		for _, h := range facets {
+			if h.Eval(p) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	var out [][]float64
+	seen := make(map[string]bool)
+	var choose func(start int, picked []int)
+	choose = func(start int, picked []int) {
+		if len(picked) == dim {
+			p, ok := solveIntersection(facets, picked, dim)
+			if ok && feasible(p) {
+				key := pointKey(p)
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, p)
+				}
+			}
+			return
+		}
+		for i := start; i < len(facets); i++ {
+			choose(i+1, append(picked, i))
+		}
+	}
+	if dim == 0 {
+		return [][]float64{{}}
+	}
+	choose(0, nil)
+	return out
+}
+
+// solveIntersection solves the dim x dim linear system given by the picked
+// facet hyperplanes, via Gaussian elimination with partial pivoting.
+func solveIntersection(facets []geom.Halfspace, picked []int, dim int) ([]float64, bool) {
+	a := make([][]float64, dim)
+	b := make([]float64, dim)
+	for i, fi := range picked {
+		a[i] = append([]float64(nil), facets[fi].A...)
+		b[i] = facets[fi].B
+	}
+	for col := 0; col < dim; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < dim; r++ {
+			if abs(a[r][col]) > abs(a[best][col]) {
+				best = r
+			}
+		}
+		if abs(a[best][col]) < 1e-10 {
+			return nil, false // singular: facets not independent
+		}
+		a[col], a[best] = a[best], a[col]
+		b[col], b[best] = b[best], b[col]
+		inv := 1 / a[col][col]
+		for r := 0; r < dim; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] * inv
+			for c := col; c < dim; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		x[i] = b[i] / a[i][i]
+	}
+	return x, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func pointKey(p []float64) string {
+	b := make([]byte, 0, len(p)*8)
+	for _, v := range p {
+		u := int64(v * 1e7)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(u>>uint(s)))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,128 @@
+package preflearn
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadsocial/internal/geom"
+)
+
+func TestLearnSingleComparison(t *testing.T) {
+	// d=2: one weight w1 (w2 implied). "Prefer (10,0) over (0,10)" means
+	// 10·w1 > 10·(1-w1), i.e. w1 >= 0.5.
+	r, err := Learn(2, []Comparison{{Preferred: []float64{10, 0}, Other: []float64{0, 10}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dim() != 1 {
+		t.Fatalf("dim = %d", r.Dim())
+	}
+	if r.Lo[0] < 0.5-1e-6 || r.Hi[0] > 1+1e-6 {
+		t.Fatalf("region [%g, %g], want [0.5, 1]", r.Lo[0], r.Hi[0])
+	}
+	if !r.Contains([]float64{0.7}) || r.Contains([]float64{0.3}) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestLearnInconsistent(t *testing.T) {
+	// a > b and b > a with a margin cannot both hold.
+	a := []float64{10, 0}
+	b := []float64{0, 10}
+	_, err := Learn(2, []Comparison{
+		{Preferred: a, Other: b},
+		{Preferred: b, Other: a},
+	}, 0.5)
+	if err != ErrInconsistent {
+		t.Fatalf("expected ErrInconsistent, got %v", err)
+	}
+}
+
+func TestLearnedRegionRespectsComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rng.Intn(3)
+		// Ground-truth weights (full, on the simplex interior).
+		full := make([]float64, d)
+		sum := 0.0
+		for i := range full {
+			full[i] = 0.1 + rng.Float64()
+			sum += full[i]
+		}
+		for i := range full {
+			full[i] /= sum
+		}
+		truth := full[:d-1]
+		// Generate consistent comparisons labeled by the ground truth.
+		var comps []Comparison
+		for c := 0; c < 8; c++ {
+			a := randVec(rng, d)
+			b := randVec(rng, d)
+			sa := geom.ScoreOf(a).At(truth)
+			sb := geom.ScoreOf(b).At(truth)
+			if sa == sb {
+				continue
+			}
+			if sa > sb {
+				comps = append(comps, Comparison{Preferred: a, Other: b})
+			} else {
+				comps = append(comps, Comparison{Preferred: b, Other: a})
+			}
+		}
+		r, err := Learn(d, comps, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The true weight vector must lie in the learned region.
+		if !r.Contains(truth) {
+			t.Fatalf("trial %d: truth %v outside learned region [%v,%v]",
+				trial, truth, r.Lo, r.Hi)
+		}
+		// Every corner must satisfy every comparison (weakly).
+		for _, corner := range r.Corners() {
+			for ci, c := range comps {
+				sa := geom.ScoreOf(c.Preferred).At(corner)
+				sb := geom.ScoreOf(c.Other).At(corner)
+				if sa < sb-1e-6 {
+					t.Fatalf("trial %d: corner %v violates comparison %d", trial, corner, ci)
+				}
+			}
+		}
+		// Corners must lie in the simplex.
+		for _, corner := range r.Corners() {
+			s := 0.0
+			for _, w := range corner {
+				if w < -1e-6 {
+					t.Fatalf("trial %d: negative corner weight %v", trial, corner)
+				}
+				s += w
+			}
+			if s > 1+1e-6 {
+				t.Fatalf("trial %d: corner %v outside simplex", trial, corner)
+			}
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, d int) []float64 {
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = rng.Float64() * 10
+	}
+	return x
+}
+
+func TestLearnNoComparisons(t *testing.T) {
+	// With no observations the region is the whole simplex.
+	r, err := Learn(3, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains([]float64{0.33, 0.33}) || !r.Contains([]float64{0.0, 0.0}) {
+		t.Fatal("simplex points must be inside")
+	}
+	// 3 corners for the 2-dim simplex.
+	if len(r.Corners()) != 3 {
+		t.Fatalf("corners = %d, want 3 (%v)", len(r.Corners()), r.Corners())
+	}
+}

@@ -1,0 +1,201 @@
+// Package road implements the road-network substrate: an undirected
+// weighted graph modelling road segments, user locations lying on vertices
+// or edges, Dijkstra shortest paths with distance bounds, the range query of
+// Lemma 1 (filter users whose query distance exceeds t), and a G-tree style
+// hierarchical index (recursive graph bisection with border-to-border
+// distance matrices) that accelerates repeated range queries, standing in
+// for the G-tree/G*-tree indexes the paper cites.
+package road
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Inf is the distance reported for unreachable vertices.
+var Inf = math.Inf(1)
+
+type halfEdge struct {
+	to int32
+	w  float64
+}
+
+// Graph is an undirected weighted road network. Vertices are dense ints.
+type Graph struct {
+	adj [][]halfEdge
+	m   int
+}
+
+// NewGraph creates a road network with n vertices and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]halfEdge, n)}
+}
+
+// AddEdge inserts an undirected road segment with non-negative cost w.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u == v {
+		return fmt.Errorf("road: self-loop at %d", u)
+	}
+	if w < 0 {
+		return fmt.Errorf("road: negative edge weight %g on (%d,%d)", w, u, v)
+	}
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return fmt.Errorf("road: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{to: int32(v), w: w})
+	g.adj[v] = append(g.adj[v], halfEdge{to: int32(u), w: w})
+	g.m++
+	return nil
+}
+
+// N returns the number of road vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of road segments.
+func (g *Graph) M() int { return g.m }
+
+// Edges invokes fn once per undirected edge (u < v).
+func (g *Graph) Edges(fn func(u, v int, w float64)) {
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if int32(u) < e.to {
+				fn(u, int(e.to), e.w)
+			}
+		}
+	}
+}
+
+// EdgeWeight returns the weight of edge (u,v), or (0,false) if absent.
+func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
+	for _, e := range g.adj[u] {
+		if int(e.to) == v {
+			return e.w, true
+		}
+	}
+	return 0, false
+}
+
+// Degree returns the number of road segments incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Location is a spatial point in the road network: either exactly a vertex,
+// or a point on edge (U,V) at distance Off from U (0 <= Off <= edge weight).
+type Location struct {
+	U, V int32
+	Off  float64
+	w    float64 // cached edge weight; 0 for vertex locations
+}
+
+// VertexLocation places a point on road vertex v.
+func VertexLocation(v int) Location { return Location{U: int32(v), V: int32(v)} }
+
+// EdgeLocation places a point on edge (u,v) at distance off from u.
+func (g *Graph) EdgeLocation(u, v int, off float64) (Location, error) {
+	w, ok := g.EdgeWeight(u, v)
+	if !ok {
+		return Location{}, fmt.Errorf("road: no edge (%d,%d)", u, v)
+	}
+	if off < 0 || off > w {
+		return Location{}, fmt.Errorf("road: offset %g outside edge (%d,%d) of length %g", off, u, v, w)
+	}
+	if off == 0 {
+		return VertexLocation(u), nil
+	}
+	if off == w {
+		return VertexLocation(v), nil
+	}
+	return Location{U: int32(u), V: int32(v), Off: off, w: w}, nil
+}
+
+// OnVertex reports whether the location is exactly a road vertex.
+func (l Location) OnVertex() bool { return l.U == l.V }
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	v int32
+	d float64
+}
+type pq []pqItem
+
+func (p pq) Len() int                 { return len(p) }
+func (p pq) Less(i, j int) bool       { return p[i].d < p[j].d }
+func (p pq) Swap(i, j int)            { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)              { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any                { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+func (p *pq) push(v int32, d float64) { heap.Push(p, pqItem{v: v, d: d}) }
+
+// DistancesFrom runs Dijkstra from the location and returns the distance to
+// every road vertex, pruned at bound (vertices farther than bound report
+// Inf; pass math.Inf(1) for unbounded). The returned slice has length N().
+func (g *Graph) DistancesFrom(src Location, bound float64) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	var q pq
+	seed := func(v int32, d float64) {
+		if d <= bound && d < dist[v] {
+			dist[v] = d
+			q.push(v, d)
+		}
+	}
+	if src.OnVertex() {
+		seed(src.U, 0)
+	} else {
+		seed(src.U, src.Off)
+		seed(src.V, src.w-src.Off)
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range g.adj[it.v] {
+			nd := it.d + e.w
+			if nd <= bound && nd < dist[e.to] {
+				dist[e.to] = nd
+				q.push(e.to, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// DistanceAt evaluates a distance field (as returned by DistancesFrom with
+// the same source) at an arbitrary location.
+func DistanceAt(dist []float64, loc Location) float64 {
+	if loc.OnVertex() {
+		return dist[loc.U]
+	}
+	du := dist[loc.U] + loc.Off
+	dv := dist[loc.V] + (loc.w - loc.Off)
+	return math.Min(du, dv)
+}
+
+// Distance computes the exact network distance between two locations.
+// Special case: two points on the same edge can reach each other directly
+// along the edge.
+func (g *Graph) Distance(a, b Location) float64 {
+	dist := g.DistancesFrom(a, Inf)
+	d := DistanceAt(dist, b)
+	if direct, ok := sameEdgeDirect(a, b); ok && direct < d {
+		d = direct
+	}
+	return d
+}
+
+// sameEdgeDirect returns the along-the-edge distance when a and b lie on the
+// same road segment.
+func sameEdgeDirect(a, b Location) (float64, bool) {
+	if a.OnVertex() || b.OnVertex() {
+		return 0, false
+	}
+	switch {
+	case a.U == b.U && a.V == b.V:
+		return math.Abs(a.Off - b.Off), true
+	case a.U == b.V && a.V == b.U:
+		return math.Abs(a.Off - (a.w - b.Off)), true
+	}
+	return 0, false
+}

@@ -1,0 +1,468 @@
+package road
+
+import (
+	"container/heap"
+	"math"
+)
+
+// GTree is a simplified G-tree index over a road network (Zhong et al.,
+// TKDE 2015): the graph is recursively bisected into a balanced hierarchy;
+// each node stores its border vertices (vertices with an edge leaving the
+// node's subgraph) and a distance matrix between the borders of its
+// children computed within the node's subgraph; leaves additionally store
+// border-to-member distances. Single-source range queries ascend from the
+// source leaf to the root (after which border distances are globally exact)
+// and then descend best-first, pruning every subtree whose borders are all
+// beyond the bound. This reproduces the role the paper assigns to G-tree /
+// G*-tree: accelerating the Lemma 1 range filter when user locations are
+// sparse relative to the road ball of radius t.
+type GTree struct {
+	g     *Graph
+	nodes []gtNode
+	leaf  []int32 // per road vertex: its leaf node id
+	// scratch (reused across queries; GTree queries are not concurrent-safe,
+	// clone per goroutine if needed)
+	stamp   []int32
+	stampID int32
+	dist    []float64
+}
+
+type gtNode struct {
+	parent   int32
+	children []int32
+	vertices []int32 // vertices of the subtree (all nodes keep them)
+	borders  []int32
+	// leaf: distLeaf[bi][vi] = within-leaf distance borders[bi] -> vertices[vi]
+	distLeaf [][]float64
+	// internal: union of children borders and pairwise within-subgraph matrix
+	unionBorders []int32
+	mat          [][]float64
+	ubIndex      map[int32]int32
+}
+
+// MaxLeafSize is the default leaf capacity of the hierarchy.
+const MaxLeafSize = 64
+
+// BuildGTree constructs the index. maxLeaf <= 0 selects MaxLeafSize.
+func BuildGTree(g *Graph, maxLeaf int) *GTree {
+	if maxLeaf <= 0 {
+		maxLeaf = MaxLeafSize
+	}
+	t := &GTree{
+		g:     g,
+		leaf:  make([]int32, g.N()),
+		stamp: make([]int32, g.N()),
+		dist:  make([]float64, g.N()),
+	}
+	all := make([]int32, g.N())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	t.build(all, -1, maxLeaf)
+	t.computeBorders()
+	t.computeMatrices()
+	return t
+}
+
+// build recursively bisects the vertex set, appending nodes; returns node id.
+func (t *GTree) build(vertices []int32, parent int32, maxLeaf int) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, gtNode{parent: parent, vertices: vertices})
+	if len(vertices) <= maxLeaf {
+		for _, v := range vertices {
+			t.leaf[v] = id
+		}
+		return id
+	}
+	left, right := t.bisect(vertices)
+	lc := t.build(left, id, maxLeaf)
+	rc := t.build(right, id, maxLeaf)
+	t.nodes[id].children = []int32{lc, rc}
+	return id
+}
+
+// bisect splits a vertex set into two balanced halves using BFS layering
+// from a pseudo-peripheral vertex — a cheap stand-in for the multilevel
+// partitioning G-tree uses, adequate for planar-like road graphs.
+func (t *GTree) bisect(vertices []int32) (left, right []int32) {
+	inSet := t.newStamp()
+	for _, v := range vertices {
+		t.stamp[v] = inSet
+	}
+	// Find a pseudo-peripheral start: BFS from vertices[0], take the last
+	// reached vertex, BFS again from it.
+	start := t.bfsLast(vertices[0], inSet)
+	order := t.bfsOrder(start, inSet, len(vertices))
+	// Vertices in components unreached by the BFS fall into the right half.
+	half := len(vertices) / 2
+	if len(order) >= half {
+		left = append(left, order[:half]...)
+	} else {
+		left = append(left, order...)
+	}
+	inLeft := make(map[int32]bool, len(left))
+	for _, v := range left {
+		inLeft[v] = true
+	}
+	for _, v := range vertices {
+		if !inLeft[v] {
+			right = append(right, v)
+		}
+	}
+	return left, right
+}
+
+// bfsLast returns the last vertex reached by BFS from s within the stamped set.
+func (t *GTree) bfsLast(s int32, setID int32) int32 {
+	visited := map[int32]bool{s: true}
+	queue := []int32{s}
+	last := s
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		last = v
+		for _, e := range t.g.adj[v] {
+			if t.stamp[e.to] == setID && !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return last
+}
+
+// bfsOrder returns up to limit vertices in BFS order from s within the set.
+func (t *GTree) bfsOrder(s int32, setID int32, limit int) []int32 {
+	visited := map[int32]bool{s: true}
+	queue := []int32{s}
+	order := make([]int32, 0, limit)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range t.g.adj[v] {
+			if t.stamp[e.to] == setID && !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return order
+}
+
+func (t *GTree) newStamp() int32 {
+	t.stampID++
+	return t.stampID
+}
+
+// computeBorders fills the border list of every node: vertices with an edge
+// leaving the node's vertex set.
+func (t *GTree) computeBorders() {
+	for id := range t.nodes {
+		n := &t.nodes[id]
+		setID := t.newStamp()
+		for _, v := range n.vertices {
+			t.stamp[v] = setID
+		}
+		for _, v := range n.vertices {
+			for _, e := range t.g.adj[v] {
+				if t.stamp[e.to] != setID {
+					n.borders = append(n.borders, v)
+					break
+				}
+			}
+		}
+		if int32(id) == 0 {
+			// The root has no outside, hence no borders; its unionBorders
+			// still matter.
+			n.borders = nil
+		}
+	}
+}
+
+// computeMatrices fills leaf border-to-member matrices and internal
+// children-border matrices via Dijkstra restricted to each node's subgraph.
+func (t *GTree) computeMatrices() {
+	for id := range t.nodes {
+		n := &t.nodes[id]
+		setID := t.newStamp()
+		for _, v := range n.vertices {
+			t.stamp[v] = setID
+		}
+		if len(n.children) == 0 {
+			n.distLeaf = make([][]float64, len(n.borders))
+			for bi, b := range n.borders {
+				d := t.restrictedDijkstra(b, setID)
+				row := make([]float64, len(n.vertices))
+				for vi, v := range n.vertices {
+					row[vi] = d[v]
+				}
+				n.distLeaf[bi] = row
+			}
+			continue
+		}
+		// Union of children borders, deduplicated.
+		seen := make(map[int32]bool)
+		for _, c := range n.children {
+			for _, b := range t.nodes[c].borders {
+				if !seen[b] {
+					seen[b] = true
+					n.unionBorders = append(n.unionBorders, b)
+				}
+			}
+		}
+		n.ubIndex = make(map[int32]int32, len(n.unionBorders))
+		for i, b := range n.unionBorders {
+			n.ubIndex[b] = int32(i)
+		}
+		n.mat = make([][]float64, len(n.unionBorders))
+		for i, b := range n.unionBorders {
+			d := t.restrictedDijkstra(b, setID)
+			row := make([]float64, len(n.unionBorders))
+			for j, b2 := range n.unionBorders {
+				row[j] = d[b2]
+			}
+			n.mat[i] = row
+		}
+	}
+}
+
+// restrictedDijkstra runs Dijkstra from s visiting only vertices whose stamp
+// equals setID. It returns the shared distance array (valid until the next
+// call); callers must copy what they need.
+func (t *GTree) restrictedDijkstra(s int32, setID int32) []float64 {
+	d := t.dist
+	for i := range d {
+		d[i] = Inf
+	}
+	var q pq
+	d[s] = 0
+	q.push(s, 0)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.d > d[it.v] {
+			continue
+		}
+		for _, e := range t.g.adj[it.v] {
+			if t.stamp[e.to] != setID {
+				continue
+			}
+			nd := it.d + e.w
+			if nd < d[e.to] {
+				d[e.to] = nd
+				q.push(e.to, nd)
+			}
+		}
+	}
+	return d
+}
+
+// QueryDistances implements Oracle: max-over-queries distance to each user,
+// pruned at bound. Edge-located query sources fall back to plain Dijkstra.
+func (t *GTree) QueryDistances(queries []Location, users []Location, bound float64) []float64 {
+	out := make([]float64, len(users))
+	if len(queries) == 0 {
+		return out
+	}
+	for _, qloc := range queries {
+		var dist map[int32]float64
+		if qloc.OnVertex() {
+			dist = t.sourceDistances(qloc.U, bound)
+		} else {
+			full := t.g.DistancesFrom(qloc, bound)
+			dist = make(map[int32]float64)
+			for v, dv := range full {
+				if dv <= bound {
+					dist[int32(v)] = dv
+				}
+			}
+		}
+		for i, u := range users {
+			d := locDistance(dist, u)
+			if direct, ok := sameEdgeDirect(qloc, u); ok && direct < d {
+				d = direct
+			}
+			if d > out[i] {
+				out[i] = d
+			}
+		}
+	}
+	return out
+}
+
+func locDistance(dist map[int32]float64, loc Location) float64 {
+	get := func(v int32) float64 {
+		if d, ok := dist[v]; ok {
+			return d
+		}
+		return Inf
+	}
+	if loc.OnVertex() {
+		return get(loc.U)
+	}
+	return math.Min(get(loc.U)+loc.Off, get(loc.V)+(loc.w-loc.Off))
+}
+
+// sourceDistances computes exact network distances from road vertex s to all
+// road vertices within bound, using the ascend/descend G-tree strategy.
+func (t *GTree) sourceDistances(s int32, bound float64) map[int32]float64 {
+	result := make(map[int32]float64)
+	leafID := t.leaf[s]
+
+	// Ascend: within-subgraph distances from s to each ancestor's borders.
+	// borderDist[v] holds the best-known distance to border vertex v at the
+	// current ancestor level. asc[node] records the within-node distances on
+	// that ancestor's unionBorders: the descend phase must merge them,
+	// because paths to vertices inside an ancestor of the source need not
+	// cross the ancestor's borders.
+	borderDist := make(map[int32]float64)
+	asc := make(map[int32]map[int32]float64)
+	{
+		ln := &t.nodes[leafID]
+		setID := t.newStamp()
+		for _, v := range ln.vertices {
+			t.stamp[v] = setID
+		}
+		d := t.restrictedDijkstra(s, setID)
+		for _, v := range ln.vertices {
+			if d[v] < Inf {
+				result[v] = d[v] // within-leaf distances; corrected below
+			}
+		}
+		for _, b := range ln.borders {
+			if d[b] < Inf {
+				borderDist[b] = d[b]
+			}
+		}
+	}
+	for node := t.nodes[leafID].parent; node >= 0; node = t.nodes[node].parent {
+		n := &t.nodes[node]
+		next := make(map[int32]float64, len(n.unionBorders))
+		for bi, b := range n.unionBorders {
+			best := Inf
+			for bj, b2 := range n.unionBorders {
+				if db, ok := borderDist[b2]; ok {
+					if v := db + n.mat[bj][bi]; v < best {
+						best = v
+					}
+				}
+			}
+			if db, ok := borderDist[b]; ok && db < best {
+				best = db
+			}
+			if best < Inf {
+				next[b] = best
+			}
+		}
+		asc[node] = next
+		borderDist = next
+	}
+	// borderDist now holds globally exact distances on the root's
+	// unionBorders (the root subgraph is the whole graph, so the final
+	// ascend level is already global).
+
+	// Descend best-first from the root, pruning subtrees entirely beyond the
+	// bound. Ancestors of the source leaf are never pruned (distance may be 0).
+	isAncestor := make(map[int32]bool)
+	for node := leafID; node >= 0; node = t.nodes[node].parent {
+		isAncestor[node] = true
+	}
+	type frame struct {
+		node int32
+		bd   map[int32]float64 // exact distances on this node's borders
+	}
+	stack := []frame{}
+	root := &t.nodes[0]
+	if len(root.children) == 0 {
+		// Single-leaf tree: the within-leaf pass above is already global.
+		trim(result, bound)
+		return result
+	}
+	for _, c := range root.children {
+		cb := make(map[int32]float64)
+		for _, b := range t.nodes[c].borders {
+			if d, ok := borderDist[b]; ok {
+				cb[b] = d
+			}
+		}
+		stack = append(stack, frame{node: c, bd: cb})
+	}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[fr.node]
+		minB := Inf
+		for _, d := range fr.bd {
+			if d < minB {
+				minB = d
+			}
+		}
+		if minB > bound && !isAncestor[fr.node] {
+			continue
+		}
+		if len(n.children) == 0 {
+			for vi, v := range n.vertices {
+				best := Inf
+				if d, ok := result[v]; ok {
+					best = d
+				}
+				for bi, b := range n.borders {
+					if db, ok := fr.bd[b]; ok {
+						if val := db + n.distLeaf[bi][vi]; val < best {
+							best = val
+						}
+					}
+				}
+				if best <= bound {
+					result[v] = best
+				}
+			}
+			continue
+		}
+		// Extend exact distances to this node's unionBorders, then push
+		// children with their border slices. For ancestors of the source
+		// leaf, merge the within-node ascend distances: the source lies
+		// inside, so paths need not cross the node's borders.
+		ub := make(map[int32]float64, len(n.unionBorders))
+		for bi, b := range n.unionBorders {
+			best := Inf
+			if d, ok := fr.bd[b]; ok {
+				best = d
+			}
+			for bj, b2 := range n.unionBorders {
+				if db, ok := fr.bd[b2]; ok {
+					if v := db + n.mat[bj][bi]; v < best {
+						best = v
+					}
+				}
+			}
+			if within, ok := asc[fr.node]; ok {
+				if d, ok := within[b]; ok && d < best {
+					best = d
+				}
+			}
+			if best < Inf {
+				ub[b] = best
+			}
+		}
+		for _, c := range n.children {
+			cb := make(map[int32]float64)
+			for _, b := range t.nodes[c].borders {
+				if d, ok := ub[b]; ok {
+					cb[b] = d
+				}
+			}
+			stack = append(stack, frame{node: c, bd: cb})
+		}
+	}
+	trim(result, bound)
+	return result
+}
+
+func trim(m map[int32]float64, bound float64) {
+	for k, v := range m {
+		if v > bound {
+			delete(m, k)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package road
+
+// Oracle answers the distance computations the MAC search needs from the
+// road network: per-user query distances D_Q(v) = max_{q in Q} dist(L(v),
+// L(q)), pruned at threshold t. Implementations: the plain Dijkstra-based
+// RangeQuerier, and the index-accelerated GTree.
+type Oracle interface {
+	// QueryDistances returns, for each user location, D_Q = max over the
+	// query locations of the network distance, computed exactly for users
+	// within bound and reported as Inf beyond it (any value > bound may be
+	// reported as Inf).
+	QueryDistances(queries []Location, users []Location, bound float64) []float64
+}
+
+// RangeQuerier is the baseline Oracle: one bounded Dijkstra per query
+// location over the full road graph.
+type RangeQuerier struct {
+	G *Graph
+}
+
+// QueryDistances implements Oracle.
+func (r RangeQuerier) QueryDistances(queries []Location, users []Location, bound float64) []float64 {
+	out := make([]float64, len(users))
+	if len(queries) == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, q := range queries {
+		dist := r.G.DistancesFrom(q, bound)
+		for i, u := range users {
+			d := DistanceAt(dist, u)
+			if direct, ok := sameEdgeDirect(q, u); ok && direct < d {
+				d = direct
+			}
+			if d > out[i] {
+				out[i] = d
+			}
+		}
+	}
+	return out
+}
+
+// FilterWithin returns the indexes of users whose query distance is at most
+// t — the Lemma 1 filter producing the candidate set for the maximal
+// (k,t)-core.
+func FilterWithin(o Oracle, queries []Location, users []Location, t float64) (idx []int, dq []float64) {
+	dq = o.QueryDistances(queries, users, t)
+	for i, d := range dq {
+		if d <= t {
+			idx = append(idx, i)
+		}
+	}
+	return idx, dq
+}

@@ -1,0 +1,259 @@
+package road
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lineGraph builds a path 0-1-2-...-(n-1) with the given weights.
+func lineGraph(t *testing.T, weights []float64) *Graph {
+	t.Helper()
+	g := NewGraph(len(weights) + 1)
+	for i, w := range weights {
+		if err := g.AddEdge(i, i+1, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self-loop must fail")
+	}
+	if err := g.AddEdge(0, 1, -1); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+	if err := g.AddEdge(0, 7, 1); err == nil {
+		t.Fatal("out-of-range must fail")
+	}
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(t, []float64{2, 3, 5})
+	d := g.DistancesFrom(VertexLocation(0), math.Inf(1))
+	want := []float64{0, 2, 5, 10}
+	for v, w := range want {
+		if math.Abs(d[v]-w) > 1e-12 {
+			t.Fatalf("d[%d] = %g, want %g", v, d[v], w)
+		}
+	}
+	// Bounded: nothing past distance 5.
+	d = g.DistancesFrom(VertexLocation(0), 5)
+	if !math.IsInf(d[3], 1) {
+		t.Fatalf("bound ignored: d[3] = %g", d[3])
+	}
+	if d[2] != 5 {
+		t.Fatalf("boundary vertex excluded: d[2] = %g", d[2])
+	}
+}
+
+func TestEdgeLocations(t *testing.T) {
+	g := lineGraph(t, []float64{10, 10})
+	loc, err := g.EdgeLocation(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.OnVertex() {
+		t.Fatal("interior point must not be a vertex location")
+	}
+	d := g.DistancesFrom(loc, math.Inf(1))
+	if d[0] != 4 || d[1] != 6 || d[2] != 16 {
+		t.Fatalf("distances from edge point: %v", d)
+	}
+	// Distance between two points on the same edge uses the direct segment.
+	loc2, err := g.EdgeLocation(0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Distance(loc, loc2); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("same-edge distance = %g, want 3", got)
+	}
+	// Reversed orientation of the same edge.
+	loc3, err := g.EdgeLocation(1, 0, 3) // same physical point as loc2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Distance(loc, loc3); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("reversed same-edge distance = %g, want 3", got)
+	}
+	// Degenerate offsets snap to vertices.
+	snap, err := g.EdgeLocation(0, 1, 0)
+	if err != nil || !snap.OnVertex() || snap.U != 0 {
+		t.Fatalf("offset 0 must snap to vertex 0: %+v err=%v", snap, err)
+	}
+	if _, err := g.EdgeLocation(0, 1, 11); err == nil {
+		t.Fatal("offset beyond edge must fail")
+	}
+	if _, err := g.EdgeLocation(0, 2, 1); err == nil {
+		t.Fatal("missing edge must fail")
+	}
+}
+
+// floyd computes all-pairs shortest paths for cross-checking.
+func floyd(g *Graph) [][]float64 {
+	n := g.N()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if w, ok := g.EdgeWeight(u, v); ok && w < d[u][v] {
+				d[u][v] = w
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+func randomConnectedGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		_ = g.AddEdge(u, v, 1+rng.Float64()*9)
+	}
+	extra := rng.Intn(n * 2)
+	for e := 0; e < extra; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			if _, ok := g.EdgeWeight(u, v); !ok {
+				_ = g.AddEdge(u, v, 1+rng.Float64()*9)
+			}
+		}
+	}
+	return g
+}
+
+func TestDijkstraAgainstFloyd(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(25)
+		g := randomConnectedGraph(rng, n)
+		want := floyd(g)
+		src := rng.Intn(n)
+		got := g.DistancesFrom(VertexLocation(src), math.Inf(1))
+		for v := 0; v < n; v++ {
+			if math.Abs(got[v]-want[src][v]) > 1e-9 {
+				t.Fatalf("trial %d: d(%d,%d) = %g, want %g", trial, src, v, got[v], want[src][v])
+			}
+		}
+	}
+}
+
+func TestRangeQuerier(t *testing.T) {
+	g := lineGraph(t, []float64{1, 1, 1, 1})
+	users := []Location{
+		VertexLocation(0), VertexLocation(2), VertexLocation(4),
+	}
+	queries := []Location{VertexLocation(1), VertexLocation(2)}
+	dq := RangeQuerier{G: g}.QueryDistances(queries, users, 10)
+	// D_Q(u) = max over queries.
+	want := []float64{2, 1, 3}
+	for i := range want {
+		if math.Abs(dq[i]-want[i]) > 1e-12 {
+			t.Fatalf("dq[%d] = %g, want %g", i, dq[i], want[i])
+		}
+	}
+	idx, _ := FilterWithin(RangeQuerier{G: g}, queries, users, 2)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("FilterWithin = %v, want [0 1]", idx)
+	}
+}
+
+func TestGTreeMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + rng.Intn(120)
+		g := randomConnectedGraph(rng, n)
+		gt := BuildGTree(g, 8+rng.Intn(16))
+		src := rng.Intn(n)
+		bound := 5 + rng.Float64()*20
+		exact := g.DistancesFrom(VertexLocation(src), bound)
+		users := make([]Location, 0, 20)
+		for i := 0; i < 20; i++ {
+			users = append(users, VertexLocation(rng.Intn(n)))
+		}
+		gotAll := gt.QueryDistances([]Location{VertexLocation(src)}, users, bound)
+		wantAll := RangeQuerier{G: g}.QueryDistances([]Location{VertexLocation(src)}, users, bound)
+		for i := range users {
+			got, want := gotAll[i], wantAll[i]
+			if want > bound {
+				if got <= bound {
+					t.Fatalf("trial %d user %d: got %g within bound, exact is beyond %g", trial, i, got, bound)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d user %d (v=%d): gtree %g, dijkstra %g (exact[v]=%g)",
+					trial, i, users[i].U, got, want, exact[users[i].U])
+			}
+		}
+	}
+}
+
+func TestGTreeMultiQueryMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 80
+	g := randomConnectedGraph(rng, n)
+	gt := BuildGTree(g, 10)
+	queries := []Location{VertexLocation(3), VertexLocation(40), VertexLocation(71)}
+	users := make([]Location, 0, 30)
+	for i := 0; i < 30; i++ {
+		users = append(users, VertexLocation(rng.Intn(n)))
+	}
+	bound := 25.0
+	got := gt.QueryDistances(queries, users, bound)
+	want := RangeQuerier{G: g}.QueryDistances(queries, users, bound)
+	for i := range users {
+		if want[i] <= bound {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("user %d: gtree %g, exact %g", i, got[i], want[i])
+			}
+		} else if got[i] <= bound {
+			t.Fatalf("user %d: gtree reports %g within bound, exact %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGTreeGridShape(t *testing.T) {
+	// A 10x10 grid with unit weights: distance is Manhattan distance.
+	const side = 10
+	g := NewGraph(side * side)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			v := r*side + c
+			if c+1 < side {
+				_ = g.AddEdge(v, v+1, 1)
+			}
+			if r+1 < side {
+				_ = g.AddEdge(v, v+side, 1)
+			}
+		}
+	}
+	gt := BuildGTree(g, 12)
+	users := []Location{VertexLocation(0), VertexLocation(99), VertexLocation(55)}
+	got := gt.QueryDistances([]Location{VertexLocation(0)}, users, 100)
+	want := []float64{0, 18, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("user %d: %g, want %g", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package rtree implements a static R-tree over d-dimensional points, bulk
+// loaded with the Sort-Tile-Recursive (STR) method. The MAC pipeline uses it
+// to organize the attribute-vector set X, exactly as the paper prescribes
+// (Section II-C), and the adapted BBS traversal of Section IV-B walks it via
+// entry MBBs.
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultFanout is the number of entries per node used by bulk loading.
+const DefaultFanout = 16
+
+// Entry is a leaf payload: a point with an opaque integer id.
+type Entry struct {
+	ID    int32
+	Point []float64
+}
+
+// MBB is a minimum bounding box in d dimensions.
+type MBB struct {
+	Lo, Hi []float64
+}
+
+// UpperCorner returns the upper-right corner of the box — the optimistic
+// point used both for BBS sorting keys and for dominance pruning.
+func (b MBB) UpperCorner() []float64 { return b.Hi }
+
+// Contains reports whether the box contains point p.
+func (b MBB) Contains(p []float64) bool {
+	for i := range p {
+		if p[i] < b.Lo[i] || p[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Node is an R-tree node. Leaf nodes carry entries; internal nodes carry
+// children. Both expose their MBB.
+type Node struct {
+	Box      MBB
+	Entries  []Entry // non-nil for leaves
+	Children []*Node // non-nil for internal nodes
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Children == nil }
+
+// Tree is a static, bulk-loaded R-tree.
+type Tree struct {
+	Root *Node
+	Dim  int
+	size int
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// Build bulk-loads a tree over the entries using STR with the given fanout
+// (<=0 selects DefaultFanout). The entries slice is reordered in place.
+func Build(entries []Entry, dim, fanout int) *Tree {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{Dim: dim, size: len(entries)}
+	if len(entries) == 0 {
+		t.Root = &Node{Box: emptyBox(dim), Entries: []Entry{}}
+		return t
+	}
+	leaves := strPack(entries, dim, fanout)
+	nodes := make([]*Node, len(leaves))
+	copy(nodes, leaves)
+	for len(nodes) > 1 {
+		nodes = packNodes(nodes, dim, fanout)
+	}
+	t.Root = nodes[0]
+	return t
+}
+
+// strPack tiles entries into leaf nodes: sort by dim 0, slice into vertical
+// runs, sort each run by dim 1, and so on recursively (classic STR).
+func strPack(entries []Entry, dim, fanout int) []*Node {
+	nLeaves := (len(entries) + fanout - 1) / fanout
+	groups := tile(entries, dim, 0, nLeaves, fanout, func(e Entry, axis int) float64 {
+		return e.Point[axis]
+	})
+	leaves := make([]*Node, 0, len(groups))
+	for _, grp := range groups {
+		n := &Node{Entries: grp}
+		n.Box = boxOfEntries(grp, dim)
+		leaves = append(leaves, n)
+	}
+	return leaves
+}
+
+func packNodes(nodes []*Node, dim, fanout int) []*Node {
+	nParents := (len(nodes) + fanout - 1) / fanout
+	groups := tile(nodes, dim, 0, nParents, fanout, func(n *Node, axis int) float64 {
+		return (n.Box.Lo[axis] + n.Box.Hi[axis]) / 2
+	})
+	parents := make([]*Node, 0, len(groups))
+	for _, grp := range groups {
+		p := &Node{Children: grp}
+		p.Box = boxOfNodes(grp, dim)
+		parents = append(parents, p)
+	}
+	return parents
+}
+
+// tile recursively slices items into ~nGroups runs of size fanout, cycling
+// through the axes.
+func tile[T any](items []T, dim, axis, nGroups, fanout int, key func(T, int) float64) [][]T {
+	if len(items) <= fanout {
+		return [][]T{items}
+	}
+	sort.SliceStable(items, func(i, j int) bool { return key(items[i], axis) < key(items[j], axis) })
+	// Number of slabs along this axis: ceil(nGroups^(1/(dim-axis))).
+	remainingAxes := dim - axis
+	slabs := int(math.Ceil(math.Pow(float64(nGroups), 1/float64(max(1, remainingAxes)))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := (len(items) + slabs - 1) / slabs
+	if slabSize < fanout {
+		slabSize = fanout
+	}
+	var out [][]T
+	for start := 0; start < len(items); start += slabSize {
+		end := min(start+slabSize, len(items))
+		chunk := items[start:end]
+		if axis+1 < dim && len(chunk) > fanout {
+			sub := tile(chunk, dim, axis+1, (len(chunk)+fanout-1)/fanout, fanout, key)
+			out = append(out, sub...)
+		} else {
+			for s := 0; s < len(chunk); s += fanout {
+				e := min(s+fanout, len(chunk))
+				out = append(out, chunk[s:e])
+			}
+		}
+	}
+	return out
+}
+
+func boxOfEntries(es []Entry, dim int) MBB {
+	b := emptyBox(dim)
+	for _, e := range es {
+		for i := 0; i < dim; i++ {
+			b.Lo[i] = math.Min(b.Lo[i], e.Point[i])
+			b.Hi[i] = math.Max(b.Hi[i], e.Point[i])
+		}
+	}
+	return b
+}
+
+func boxOfNodes(ns []*Node, dim int) MBB {
+	b := emptyBox(dim)
+	for _, n := range ns {
+		for i := 0; i < dim; i++ {
+			b.Lo[i] = math.Min(b.Lo[i], n.Box.Lo[i])
+			b.Hi[i] = math.Max(b.Hi[i], n.Box.Hi[i])
+		}
+	}
+	return b
+}
+
+func emptyBox(dim int) MBB {
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	return MBB{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,117 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomEntries(rng *rand.Rand, n, dim int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 10
+		}
+		out[i] = Entry{ID: int32(i), Point: p}
+	}
+	return out
+}
+
+// collect gathers all entries reachable from a node, verifying MBB
+// containment along the way.
+func collect(t *testing.T, n *Node, dim int, acc map[int32][]float64) {
+	t.Helper()
+	if n.IsLeaf() {
+		for _, e := range n.Entries {
+			if !n.Box.Contains(e.Point) {
+				t.Fatalf("leaf MBB %v does not contain %v", n.Box, e.Point)
+			}
+			if _, dup := acc[e.ID]; dup {
+				t.Fatalf("entry %d appears twice", e.ID)
+			}
+			acc[e.ID] = e.Point
+		}
+		return
+	}
+	for _, c := range n.Children {
+		for j := 0; j < dim; j++ {
+			if c.Box.Lo[j] < n.Box.Lo[j]-1e-12 || c.Box.Hi[j] > n.Box.Hi[j]+1e-12 {
+				t.Fatalf("child MBB %v escapes parent %v", c.Box, n.Box)
+			}
+		}
+		collect(t, c, dim, acc)
+	}
+}
+
+func TestBuildContainsAllEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 7, 16, 17, 100, 1000} {
+		for _, dim := range []int{1, 2, 4} {
+			entries := randomEntries(rng, n, dim)
+			tr := Build(entries, dim, 8)
+			if tr.Size() != n {
+				t.Fatalf("size = %d, want %d", tr.Size(), n)
+			}
+			acc := make(map[int32][]float64)
+			collect(t, tr.Root, dim, acc)
+			if len(acc) != n {
+				t.Fatalf("n=%d dim=%d: collected %d entries", n, dim, len(acc))
+			}
+		}
+	}
+}
+
+func TestFanoutRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	entries := randomEntries(rng, 500, 3)
+	tr := Build(entries, 3, 10)
+	var walk func(n *Node, depth int) int
+	maxDepth := 0
+	walk = func(n *Node, depth int) int {
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		if n.IsLeaf() {
+			if len(n.Entries) > 10 {
+				t.Fatalf("leaf with %d entries exceeds fanout", len(n.Entries))
+			}
+			return 1
+		}
+		if len(n.Children) > 10 {
+			t.Fatalf("internal node with %d children exceeds fanout", len(n.Children))
+		}
+		total := 0
+		for _, c := range n.Children {
+			total += walk(c, depth+1)
+		}
+		return total
+	}
+	walk(tr.Root, 0)
+	if maxDepth > 5 {
+		t.Fatalf("tree unexpectedly deep: %d", maxDepth)
+	}
+}
+
+func TestUpperCornerBoundsEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	entries := randomEntries(rng, 300, 3)
+	tr := Build(entries, 3, 8)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		up := n.Box.UpperCorner()
+		if n.IsLeaf() {
+			for _, e := range n.Entries {
+				for j := range up {
+					if e.Point[j] > up[j]+1e-12 {
+						t.Fatalf("upper corner %v below point %v", up, e.Point)
+					}
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+}

@@ -1,0 +1,277 @@
+package social
+
+// Sub is a mutable induced subgraph of a Graph, supporting the cascading
+// deletion of Algorithm 1's DFS procedure: deleting a vertex recursively
+// deletes every vertex whose degree drops below k, then discards components
+// disconnected from the query vertices. Deletions can be attempted
+// tentatively and rolled back, which implements Corollary 1 (if deleting the
+// smallest-score vertex would destroy the k-ĉore containing Q, the current
+// community is the non-contained MAC and the deletion must not happen).
+type Sub struct {
+	g     *Graph
+	alive []bool
+	deg   []int32
+	size  int
+}
+
+// NewSub builds the induced subgraph over the given vertex list.
+func NewSub(g *Graph, vertices []int32) *Sub {
+	s := &Sub{
+		g:     g,
+		alive: make([]bool, g.N()),
+		deg:   make([]int32, g.N()),
+	}
+	for _, v := range vertices {
+		if !s.alive[v] {
+			s.alive[v] = true
+			s.size++
+		}
+	}
+	for _, v := range vertices {
+		d := int32(0)
+		for _, w := range g.adj[v] {
+			if s.alive[w] {
+				d++
+			}
+		}
+		s.deg[v] = d
+	}
+	return s
+}
+
+// Clone returns an independent copy of the subgraph state.
+func (s *Sub) Clone() *Sub {
+	return &Sub{
+		g:     s.g,
+		alive: append([]bool(nil), s.alive...),
+		deg:   append([]int32(nil), s.deg...),
+		size:  s.size,
+	}
+}
+
+// Graph returns the underlying immutable graph.
+func (s *Sub) Graph() *Graph { return s.g }
+
+// Size returns the number of alive vertices.
+func (s *Sub) Size() int { return s.size }
+
+// Alive reports whether v is in the subgraph.
+func (s *Sub) Alive(v int32) bool { return s.alive[v] }
+
+// Degree returns v's degree within the subgraph (0 if deleted).
+func (s *Sub) Degree(v int32) int { return int(s.deg[v]) }
+
+// Vertices returns the alive vertex list in increasing order.
+func (s *Sub) Vertices() []int32 {
+	out := make([]int32, 0, s.size)
+	for v, a := range s.alive {
+		if a {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// MinDegree returns the minimum degree over alive vertices (0 for empty).
+func (s *Sub) MinDegree() int {
+	first := true
+	md := 0
+	for v, a := range s.alive {
+		if !a {
+			continue
+		}
+		if first || int(s.deg[v]) < md {
+			md = int(s.deg[v])
+			first = false
+		}
+	}
+	return md
+}
+
+// AliveNeighbors appends the alive neighbors of v to buf and returns it.
+func (s *Sub) AliveNeighbors(v int32, buf []int32) []int32 {
+	for _, w := range s.g.adj[v] {
+		if s.alive[w] {
+			buf = append(buf, w)
+		}
+	}
+	return buf
+}
+
+// Remove deletes v unconditionally (no cascade, no rollback), updating
+// neighbor degrees. Callers that need the k-core maintained should use
+// TryDeleteCascade or cascade on their own.
+func (s *Sub) Remove(v int32) {
+	if !s.alive[v] {
+		return
+	}
+	s.alive[v] = false
+	s.size--
+	s.deg[v] = 0
+	for _, w := range s.g.adj[v] {
+		if s.alive[w] {
+			s.deg[w]--
+		}
+	}
+}
+
+// remove deletes v unconditionally, updating neighbor degrees, and records
+// it in the undo log.
+func (s *Sub) remove(v int32, log *[]int32) {
+	s.alive[v] = false
+	s.size--
+	s.deg[v] = 0
+	for _, w := range s.g.adj[v] {
+		if s.alive[w] {
+			s.deg[w]--
+		}
+	}
+	*log = append(*log, v)
+}
+
+// restore rolls back the deletions recorded in log (in reverse order).
+func (s *Sub) restore(log []int32) {
+	for i := len(log) - 1; i >= 0; i-- {
+		v := log[i]
+		s.alive[v] = true
+		s.size++
+		d := int32(0)
+		for _, w := range s.g.adj[v] {
+			if s.alive[w] {
+				s.deg[w]++
+				d++
+			}
+		}
+		s.deg[v] = d
+	}
+}
+
+// TryDeleteCascade tentatively deletes u, recursively deletes every vertex
+// whose degree drops below k (the DFS procedure of Algorithm 1), and then
+// discards any component disconnected from q[0]. If the cascade would
+// delete a query vertex or disconnect Q, the subgraph is restored and
+// ok=false is returned (Corollary 1 holds: the current community is a
+// non-contained MAC). Otherwise the deletion batch (in deletion order) is
+// returned and the subgraph reflects the new community.
+func (s *Sub) TryDeleteCascade(u int32, k int, q []int32) (batch []int32, ok bool) {
+	if !s.alive[u] {
+		return nil, true
+	}
+	isQ := make(map[int32]bool, len(q))
+	for _, qv := range q {
+		isQ[qv] = true
+	}
+	if isQ[u] {
+		return nil, false
+	}
+	var log []int32
+	// Cascade: stack-based DFS deletion of degree violations.
+	s.remove(u, &log)
+	stack := make([]int32, 0, 8)
+	for _, w := range s.g.adj[u] {
+		if s.alive[w] && int(s.deg[w]) < k {
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !s.alive[v] || int(s.deg[v]) >= k {
+			continue
+		}
+		if isQ[v] {
+			s.restore(log)
+			return nil, false
+		}
+		s.remove(v, &log)
+		for _, w := range s.g.adj[v] {
+			if s.alive[w] && int(s.deg[w]) < k {
+				stack = append(stack, w)
+			}
+		}
+	}
+	// Connectivity: keep only the component containing q[0]; other
+	// components cannot host a community containing Q, and dropping them
+	// cannot reduce any kept degree (no edges across components).
+	if len(q) > 0 {
+		if !s.alive[q[0]] {
+			s.restore(log)
+			return nil, false
+		}
+		reach := make([]bool, s.g.N())
+		queue := []int32{q[0]}
+		reach[q[0]] = true
+		count := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range s.g.adj[v] {
+				if s.alive[w] && !reach[w] {
+					reach[w] = true
+					count++
+					queue = append(queue, w)
+				}
+			}
+		}
+		for _, qv := range q {
+			if !reach[qv] {
+				s.restore(log)
+				return nil, false
+			}
+		}
+		if count < s.size {
+			for v, a := range s.alive {
+				if a && !reach[v] {
+					s.remove(int32(v), &log)
+				}
+			}
+		}
+	}
+	return log, true
+}
+
+// IsConnectedKCore verifies that the alive vertices form a connected k-core
+// containing every vertex of q — the invariant every community H maintained
+// by the search algorithms must satisfy. Intended for tests and assertions.
+func (s *Sub) IsConnectedKCore(k int, q []int32) bool {
+	if s.size == 0 {
+		return false
+	}
+	var seed int32 = -1
+	for v, a := range s.alive {
+		if !a {
+			continue
+		}
+		if int(s.deg[v]) < k {
+			return false
+		}
+		if seed < 0 {
+			seed = int32(v)
+		}
+	}
+	for _, qv := range q {
+		if !s.alive[qv] {
+			return false
+		}
+		seed = qv
+	}
+	if seed < 0 {
+		return false
+	}
+	reach := make([]bool, s.g.N())
+	queue := []int32{seed}
+	reach[seed] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range s.g.adj[v] {
+			if s.alive[w] && !reach[w] {
+				reach[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == s.size
+}

@@ -1,0 +1,183 @@
+package social
+
+import "sort"
+
+// The paper's Remarks (Section II-B) note that the MAC techniques apply to
+// structural-cohesiveness criteria other than k-core, naming k-truss. This
+// file provides the k-truss machinery: support computation, truss
+// decomposition by iterative edge peeling, and the maximal connected
+// k-truss containing query vertices. A (k+1)-truss is always a k-core, so
+// truss-based search plugs into the same deletion framework with a stricter
+// filter.
+
+// edgeKey canonicalizes an undirected edge.
+func edgeKey(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(uint32(v))
+}
+
+// TrussDecomposition computes the truss number of every edge restricted to
+// the vertices where allowed[v] is true (nil = whole graph): the largest k
+// such that the edge belongs to a k-truss (every edge in at least k-2
+// triangles within the truss). Returns a map from edge key to truss number
+// and the maximum truss number. Runs the standard peeling: repeatedly
+// remove the edge with the lowest support.
+func (g *Graph) TrussDecomposition(allowed []bool) (map[int64]int, int) {
+	in := func(v int32) bool { return allowed == nil || allowed[v] }
+	// Collect edges and compute supports via neighbor intersection
+	// (adjacency lists are sorted).
+	type edge struct{ u, v int32 }
+	var edges []edge
+	for u := 0; u < g.N(); u++ {
+		if !in(int32(u)) {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if int32(u) < v && in(v) {
+				edges = append(edges, edge{u: int32(u), v: v})
+			}
+		}
+	}
+	alive := make(map[int64]bool, len(edges))
+	for _, e := range edges {
+		alive[edgeKey(e.u, e.v)] = true
+	}
+	support := make(map[int64]int, len(edges))
+	commonNeighbors := func(u, v int32, fn func(w int32)) {
+		a, b := g.adj[u], g.adj[v]
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				if in(a[i]) && alive[edgeKey(u, a[i])] && alive[edgeKey(v, a[i])] {
+					fn(a[i])
+				}
+				i++
+				j++
+			}
+		}
+	}
+	for _, e := range edges {
+		s := 0
+		commonNeighbors(e.u, e.v, func(int32) { s++ })
+		support[edgeKey(e.u, e.v)] = s
+	}
+	// Peel edges in non-decreasing support order. A simple sorted-slice
+	// re-bucketing suffices at our scales.
+	truss := make(map[int64]int, len(edges))
+	remaining := make([]edge, len(edges))
+	copy(remaining, edges)
+	maxTruss := 0
+	k := 2
+	for len(remaining) > 0 {
+		// Find all edges with support <= k-2; if none, raise k.
+		progressed := false
+		sort.Slice(remaining, func(i, j int) bool {
+			return support[edgeKey(remaining[i].u, remaining[i].v)] <
+				support[edgeKey(remaining[j].u, remaining[j].v)]
+		})
+		var queue []edge
+		for _, e := range remaining {
+			if support[edgeKey(e.u, e.v)] <= k-2 {
+				queue = append(queue, e)
+			}
+		}
+		if len(queue) == 0 {
+			k++
+			continue
+		}
+		for len(queue) > 0 {
+			e := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			key := edgeKey(e.u, e.v)
+			if !alive[key] {
+				continue
+			}
+			alive[key] = false
+			truss[key] = k
+			if k > maxTruss {
+				maxTruss = k
+			}
+			progressed = true
+			// Removing (u,v) reduces the support of the other two edges of
+			// each triangle through it.
+			commonNeighbors(e.u, e.v, func(w int32) {
+				for _, other := range [2]int64{edgeKey(e.u, w), edgeKey(e.v, w)} {
+					support[other]--
+					if support[other] <= k-2 {
+						ou, ov := int32(other>>32), int32(uint32(other))
+						queue = append(queue, edge{u: ou, v: ov})
+					}
+				}
+			})
+		}
+		// Drop peeled edges from remaining.
+		kept := remaining[:0]
+		for _, e := range remaining {
+			if alive[edgeKey(e.u, e.v)] {
+				kept = append(kept, e)
+			}
+		}
+		remaining = kept
+		_ = progressed
+	}
+	return truss, maxTruss
+}
+
+// MaximalConnectedKTruss returns the vertex list of the connected component
+// containing q of the maximal k-truss (every edge in >= k-2 triangles),
+// restricted to allowed. It returns nil when no such subgraph spans Q.
+// Edges with truss number >= k induce the k-truss.
+func (g *Graph) MaximalConnectedKTruss(q []int32, k int, allowed []bool) []int32 {
+	if len(q) == 0 {
+		return nil
+	}
+	truss, maxT := g.TrussDecomposition(allowed)
+	if maxT < k {
+		return nil
+	}
+	// Vertices incident to a truss->=k edge.
+	mask := make([]bool, g.N())
+	adjOK := func(u, v int32) bool { return truss[edgeKey(u, v)] >= k }
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.adj[u] {
+			if int32(u) < v && adjOK(int32(u), v) {
+				mask[u] = true
+				mask[v] = true
+			}
+		}
+	}
+	for _, v := range q {
+		if !mask[v] {
+			return nil
+		}
+	}
+	// Connected component over truss edges only.
+	visited := map[int32]bool{q[0]: true}
+	stack := []int32{q[0]}
+	var comp []int32
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		comp = append(comp, v)
+		for _, w := range g.adj[v] {
+			if mask[w] && !visited[w] && adjOK(v, w) {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	for _, v := range q {
+		if !visited[v] {
+			return nil
+		}
+	}
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	return comp
+}

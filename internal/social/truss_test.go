@@ -1,0 +1,150 @@
+package social
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrussDecompositionClique(t *testing.T) {
+	// K5: every edge lies in 3 triangles -> truss number 5.
+	b := NewBuilder(5, 1)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truss, maxT := g.TrussDecomposition(nil)
+	if maxT != 5 {
+		t.Fatalf("maxTruss = %d, want 5", maxT)
+	}
+	for key, k := range truss {
+		if k != 5 {
+			t.Fatalf("edge %x truss %d, want 5", key, k)
+		}
+	}
+}
+
+func TestTrussDecompositionTrianglePlusTail(t *testing.T) {
+	// Triangle (truss 3) with a pendant edge (truss 2).
+	g := buildGraph(t, 4, 1, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	truss, maxT := g.TrussDecomposition(nil)
+	if maxT != 3 {
+		t.Fatalf("maxTruss = %d", maxT)
+	}
+	if truss[edgeKey(0, 1)] != 3 || truss[edgeKey(2, 3)] != 2 {
+		t.Fatalf("truss numbers: %v", truss)
+	}
+}
+
+// naiveTruss computes truss numbers by repeated k-truss extraction.
+func naiveTruss(g *Graph, allowed []bool) map[int64]int {
+	in := func(v int32) bool { return allowed == nil || allowed[v] }
+	out := make(map[int64]int)
+	// For increasing k, compute the maximal k-truss by iterated removal.
+	for k := 2; ; k++ {
+		alive := make(map[int64]bool)
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.adj[u] {
+				if int32(u) < v && in(int32(u)) && in(v) {
+					alive[edgeKey(int32(u), v)] = true
+				}
+			}
+		}
+		changed := true
+		for changed {
+			changed = false
+			for key := range alive {
+				u, v := int32(key>>32), int32(uint32(key))
+				count := 0
+				for _, w := range g.adj[u] {
+					if in(w) && alive[edgeKey(u, w)] && alive[edgeKey(v, w)] {
+						count++
+					}
+				}
+				if count < k-2 {
+					delete(alive, key)
+					changed = true
+				}
+			}
+		}
+		if len(alive) == 0 {
+			return out
+		}
+		for key := range alive {
+			out[key] = k
+		}
+	}
+}
+
+func TestTrussAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(20)
+		b := NewBuilder(n, 1)
+		for e := 0; e < n*2; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var allowed []bool
+		if trial%3 == 0 {
+			allowed = make([]bool, n)
+			for v := range allowed {
+				allowed[v] = rng.Float64() < 0.8
+			}
+		}
+		want := naiveTruss(g, allowed)
+		got, _ := g.TrussDecomposition(allowed)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d edges vs %d", trial, len(got), len(want))
+		}
+		for key, k := range want {
+			if got[key] != k {
+				t.Fatalf("trial %d: edge (%d,%d) truss %d, want %d",
+					trial, key>>32, int32(uint32(key)), got[key], k)
+			}
+		}
+	}
+}
+
+func TestMaximalConnectedKTruss(t *testing.T) {
+	// Two K4s sharing no vertices, joined by one edge: each K4 is a
+	// 4-truss; the bridge is only a 2-truss.
+	edges := [][2]int{}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, [2]int{i, j})
+			edges = append(edges, [2]int{4 + i, 4 + j})
+		}
+	}
+	edges = append(edges, [2]int{3, 4})
+	g := buildGraph(t, 8, 1, edges)
+	comp := g.MaximalConnectedKTruss([]int32{0}, 4, nil)
+	if len(comp) != 4 {
+		t.Fatalf("4-truss component = %v", comp)
+	}
+	for i, v := range []int32{0, 1, 2, 3} {
+		if comp[i] != v {
+			t.Fatalf("4-truss component = %v", comp)
+		}
+	}
+	// Q spanning both K4s: no connected 4-truss contains both.
+	if got := g.MaximalConnectedKTruss([]int32{0, 5}, 4, nil); got != nil {
+		t.Fatalf("cross-component truss query should fail, got %v", got)
+	}
+	// k=2: bridge included, everything connects.
+	if got := g.MaximalConnectedKTruss([]int32{0, 5}, 2, nil); len(got) != 8 {
+		t.Fatalf("2-truss = %v", got)
+	}
+	// A (k+1)-truss is a k-core.
+	sub := NewSub(g, comp)
+	if !sub.IsConnectedKCore(3, []int32{0}) {
+		t.Fatal("4-truss must be a 3-core")
+	}
+}

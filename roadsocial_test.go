@@ -1,0 +1,160 @@
+package roadsocial_test
+
+import (
+	"testing"
+
+	"roadsocial"
+	"roadsocial/internal/gen"
+
+	"math/rand"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	sb := roadsocial.NewSocialBuilder(5, 2)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}, {0, 3}, {1, 4}} {
+		sb.AddEdge(e[0], e[1])
+	}
+	attrs := [][]float64{{3, 5}, {4, 4}, {6, 2}, {5, 6}, {2, 8}}
+	for v, x := range attrs {
+		sb.SetAttrs(v, x)
+	}
+	gs, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := roadsocial.NewRoadGraph(3)
+	if err := gr.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.AddEdge(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	locs := []roadsocial.Location{
+		roadsocial.VertexLocation(0), roadsocial.VertexLocation(0),
+		roadsocial.VertexLocation(1), roadsocial.VertexLocation(1),
+		roadsocial.VertexLocation(2),
+	}
+	net := &roadsocial.Network{Social: gs, Road: gr, Locs: locs}
+	region, err := roadsocial.NewRegion([]float64{0.2}, []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &roadsocial.Query{Q: []int32{2}, K: 2, T: 12, Region: region, J: 2}
+
+	gres, err := roadsocial.GlobalSearch(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gres.Cells) == 0 {
+		t.Fatal("global search returned no partitions")
+	}
+	lres, err := roadsocial.LocalSearch(net, q, roadsocial.LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check LS soundness through the public brute-force oracle.
+	for _, cell := range lres.Cells {
+		w := cell.Cell.Witness()
+		want, err := roadsocial.BruteForceAt(net, q, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[0].Key() != cell.NCMAC().Key() {
+			t.Fatalf("LS at %v: %v, brute force %v", w, cell.NCMAC(), want[0])
+		}
+	}
+	// KTCore via the facade.
+	kt, err := roadsocial.KTCore(net, q.Q, q.K, q.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kt) == 0 {
+		t.Fatal("empty (k,t)-core")
+	}
+	// Score helper: monotone in membership (min can only drop).
+	w := region.Pivot()
+	top := gres.Cells[0].Ranked
+	if len(top) >= 2 {
+		if roadsocial.CommunityScore(net, top[1], w) > roadsocial.CommunityScore(net, top[0], w)+1e-9 {
+			t.Fatal("rank-2 MAC scores above rank-1")
+		}
+	}
+}
+
+// TestFacadeWithGTree runs the public API against a synthetic network with
+// the G-tree oracle plugged in.
+func TestFacadeWithGTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	net, err := gen.Network(gen.NetworkConfig{
+		Social: gen.SocialConfig{
+			N: 300, D: 3, AttachEdges: 3,
+			Communities: 2, CommunitySize: 40, CommunityP: 0.7,
+		},
+		RoadRows: 15, RoadCols: 15,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Oracle = roadsocial.BuildGTree(net.Road, 0)
+	queries := gen.Queries(net, 4, 1200, 2, 1, rng)
+	if len(queries) == 0 {
+		t.Skip("no feasible query for this seed")
+	}
+	region := gen.Region(3, 0.05, rng)
+	q := &roadsocial.Query{Q: queries[0], K: 4, T: 1200, Region: region, J: 1}
+	res, err := roadsocial.LocalSearch(net, q, roadsocial.LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.KTCoreSize == 0 {
+		t.Fatal("empty search space")
+	}
+}
+
+// TestPolytopeRegion exercises the general convex region path end to end.
+func TestPolytopeRegion(t *testing.T) {
+	// Triangle in 2-dim preference domain: w1+w2 <= 0.5 over the box
+	// [0.1,0.4]^2, corners (0.1,0.1), (0.4,0.1), (0.1,0.4).
+	region, err := roadsocial.NewPolytopeRegion(
+		[]float64{0.1, 0.1}, []float64{0.4, 0.4},
+		[][]float64{{1, 1}}, []float64{0.5},
+		[][]float64{{0.1, 0.1}, {0.4, 0.1}, {0.1, 0.4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := roadsocial.NewSocialBuilder(4, 3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}} {
+		sb.AddEdge(e[0], e[1])
+	}
+	for v, x := range [][]float64{{5, 1, 3}, {2, 6, 4}, {4, 4, 4}, {1, 2, 9}} {
+		sb.SetAttrs(v, x)
+	}
+	gs, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := roadsocial.NewRoadGraph(2)
+	if err := gr.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	locs := make([]roadsocial.Location, 4)
+	for i := range locs {
+		locs[i] = roadsocial.VertexLocation(i % 2)
+	}
+	net := &roadsocial.Network{Social: gs, Road: gr, Locs: locs}
+	q := &roadsocial.Query{Q: []int32{0}, K: 2, T: 5, Region: region, J: 1}
+	res, err := roadsocial.GlobalSearch(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every output witness must satisfy the polytope constraint.
+	for _, cell := range res.Cells {
+		w := cell.Cell.Witness()
+		if w[0]+w[1] > 0.5+1e-6 {
+			t.Fatalf("witness %v violates the polytope constraint", w)
+		}
+	}
+}
