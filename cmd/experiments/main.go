@@ -10,6 +10,8 @@
 //	experiments -exp=vary_k,vary_sigma   # selected figures
 //	experiments -exp=vary_k -scale=medium -queries=5
 //	experiments -exp=compare_k -datasets=SF+Delicious
+//	experiments -exp=vary_k -parallelism=1          # force sequential engines
+//	experiments -exp=vary_k -json=BENCH_PR1.json    # machine-readable timings
 //
 // Experiments: table2, vary_k, vary_t, vary_d, vary_q, vary_j, vary_sigma,
 // partitions (Fig 11a,b), ktcore_size (Fig 11c), memory (Fig 11d),
@@ -17,30 +19,53 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"roadsocial/internal/exp"
 )
 
+// benchRecord is one per-sweep entry of the -json output: wall-clock and
+// heap allocation for a full experiment sweep, tagged with the knobs that
+// produced it so perf trajectories across PRs compare like with like.
+type benchRecord struct {
+	Experiment  string  `json:"experiment"`
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocMB     float64 `json:"alloc_mb"`
+	Parallelism int     `json:"parallelism"`
+	Scale       string  `json:"scale"`
+	QueriesPer  int     `json:"queries_per"`
+	Seed        int64   `json:"seed"`
+}
+
+type benchFile struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Records    []benchRecord `json:"records"`
+}
+
 func main() {
 	var (
-		expFlag  = flag.String("exp", "table2", "comma-separated experiment names, or 'all'")
-		scale    = flag.String("scale", "small", "dataset scale: tiny, small, medium")
-		queries  = flag.Int("queries", 3, "query sets averaged per measurement")
-		seed     = flag.Int64("seed", 20210421, "workload seed")
-		datasets = flag.String("datasets", "", "comma-separated dataset filter (default all)")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-invocation timeout (prints Inf)")
+		expFlag     = flag.String("exp", "table2", "comma-separated experiment names, or 'all'")
+		scale       = flag.String("scale", "small", "dataset scale: tiny, small, medium")
+		queries     = flag.Int("queries", 3, "query sets averaged per measurement")
+		seed        = flag.Int64("seed", 20210421, "workload seed")
+		datasets    = flag.String("datasets", "", "comma-separated dataset filter (default all)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-invocation timeout (prints Inf)")
+		parallelism = flag.Int("parallelism", 0, "query-engine workers; 0 = GOMAXPROCS, 1 = sequential")
+		jsonPath    = flag.String("json", "", "write per-sweep wall-clock + allocs to this JSON file")
 	)
 	flag.Parse()
 
 	opts := exp.Options{
-		QueriesPer: *queries,
-		Seed:       *seed,
-		Timeout:    *timeout,
+		QueriesPer:  *queries,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		Parallelism: *parallelism,
 	}
 	switch *scale {
 	case "tiny":
@@ -79,23 +104,50 @@ func main() {
 	for _, name := range strings.Split(*expFlag, ",") {
 		want[strings.TrimSpace(name)] = true
 	}
+	bench := benchFile{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	ran := 0
 	for _, r := range runners {
 		if !all && !want[r.name] {
 			continue
 		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		tab, err := r.fn(opts)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
 			os.Exit(1)
 		}
 		tab.Print(os.Stdout)
-		fmt.Printf("(%s took %s)\n", r.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s took %s)\n", r.name, elapsed.Round(time.Millisecond))
+		bench.Records = append(bench.Records, benchRecord{
+			Experiment:  r.name,
+			WallSeconds: elapsed.Seconds(),
+			AllocMB:     float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+			Parallelism: *parallelism,
+			Scale:       *scale,
+			QueriesPer:  *queries,
+			Seed:        *seed,
+		})
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q; see -h\n", *expFlag)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records)\n", *jsonPath, len(bench.Records))
 	}
 }

@@ -1,0 +1,3 @@
+module roadsocial
+
+go 1.24

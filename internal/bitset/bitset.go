@@ -75,6 +75,17 @@ func (s *Set) Clone() *Set {
 	return &Set{words: append([]uint64(nil), s.words...), n: s.n}
 }
 
+// CopyFrom overwrites s with the contents of t, reusing s's storage when the
+// capacities match (the pooled-clone fast path of the query engines).
+func (s *Set) CopyFrom(t *Set) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	}
+	s.words = s.words[:len(t.words)]
+	copy(s.words, t.words)
+	s.n = t.n
+}
+
 // Reset clears all bits.
 func (s *Set) Reset() {
 	for i := range s.words {

@@ -1,0 +1,117 @@
+// Package conc provides the small concurrency drivers shared by the query
+// engines: a bounded parallel-for over a fixed index range and a worker pool
+// over a dynamically growing task tree. Both degenerate to plain sequential
+// loops when the requested parallelism is <= 1, so callers pay no goroutine
+// or synchronization cost on the sequential path and parallel/sequential
+// executions run the exact same per-item code.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism normalizes a user-supplied parallelism knob: values <= 0 select
+// GOMAXPROCS (use every core), anything else is returned unchanged.
+func Parallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// For invokes fn(worker, i) for every i in [0, n), distributing iterations
+// over min(par, n) workers. Iterations are claimed from a shared atomic
+// counter, so uneven per-item costs balance automatically. worker is a dense
+// id in [0, par) that callers use to index per-worker scratch. With par <= 1
+// the loop runs inline on worker 0.
+func For(par, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Tree runs a dynamically growing task tree to exhaustion: process(worker, t)
+// handles one task and returns the child tasks it spawns. Tasks are kept in
+// a shared LIFO stack (depth-first, bounding the frontier like the
+// sequential algorithm); idle workers block on a condition variable until
+// work appears or every task has drained. With par <= 1 the tree is
+// processed inline in exact LIFO order.
+func Tree[T any](par int, roots []T, process func(worker int, t T) []T) {
+	if par <= 1 {
+		stack := append([]T(nil), roots...)
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack = append(stack, process(0, t)...)
+		}
+		return
+	}
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	stack := append([]T(nil), roots...)
+	// outstanding counts queued plus in-flight tasks; the pool is done when
+	// it reaches zero (no task can spawn more work once none is running).
+	outstanding := len(stack)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(stack) == 0 && outstanding > 0 {
+					cond.Wait()
+				}
+				if outstanding == 0 {
+					mu.Unlock()
+					return
+				}
+				t := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				mu.Unlock()
+
+				children := process(worker, t)
+
+				mu.Lock()
+				stack = append(stack, children...)
+				outstanding += len(children) - 1
+				if outstanding == 0 {
+					cond.Broadcast() // wake everyone to exit
+				} else if len(children) > 1 {
+					cond.Broadcast() // surplus work for idle workers
+				} else if len(children) == 1 {
+					cond.Signal()
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,66 @@
+package conc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		For(par, n, func(worker, i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("par=%d: index %d hit %d times", par, i, got)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(4, 0, func(worker, i int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestParallelismDefaults(t *testing.T) {
+	if Parallelism(0) < 1 || Parallelism(-3) < 1 {
+		t.Fatal("non-positive parallelism must select at least one worker")
+	}
+	if got := Parallelism(7); got != 7 {
+		t.Fatalf("Parallelism(7) = %d", got)
+	}
+}
+
+// TestTreeProcessesAllTasks grows a synthetic tree (each task below depth 3
+// spawns three children) and checks every node is processed exactly once at
+// every parallelism level, including workers idling at the end.
+func TestTreeProcessesAllTasks(t *testing.T) {
+	type node struct{ depth int }
+	for _, par := range []int{1, 2, 4, 16} {
+		var processed atomic.Int64
+		Tree(par, []node{{0}, {0}}, func(worker int, n node) []node {
+			processed.Add(1)
+			if n.depth >= 3 {
+				return nil
+			}
+			return []node{{n.depth + 1}, {n.depth + 1}, {n.depth + 1}}
+		})
+		// Two roots, each expanding 3-ary to depth 3: 2 * (1+3+9+27) = 80.
+		if got := processed.Load(); got != 80 {
+			t.Fatalf("par=%d: processed %d of 80 tasks", par, got)
+		}
+	}
+}
+
+func TestTreeNoRoots(t *testing.T) {
+	Tree(4, nil, func(worker int, x int) []int {
+		t.Error("process called with no roots")
+		return nil
+	})
+}

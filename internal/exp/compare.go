@@ -67,7 +67,7 @@ func pick(vary string, k, d int) int {
 func runMethod(in *Instance, queries [][]int32, region *geom.Region, k int, method string, opts Options) measurement {
 	switch method {
 	case "GS-NC", "LS-NC":
-		return measureAlgo(in, queries, region, k, in.TDefault, 1, method, opts.Timeout)
+		return measureAlgo(in, queries, region, k, in.TDefault, 1, method, opts.Timeout, opts.Parallelism)
 	case "Influ", "Influ+":
 		return measureInflu(in, region, k, method == "Influ+", opts)
 	default:

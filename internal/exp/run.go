@@ -24,6 +24,9 @@ type Options struct {
 	Timeout time.Duration
 	// WeightSamples for the Influ comparison (paper: 100).
 	WeightSamples int
+	// Parallelism is forwarded to every query (Query.Parallelism): <= 0
+	// selects GOMAXPROCS, 1 forces the sequential engines.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -94,8 +97,13 @@ func (t *Table) Print(w io.Writer) {
 var Algorithms = []string{"GS-NC", "GS-T", "LS-NC", "LS-T"}
 
 // runAlgo executes one algorithm with a timeout, returning elapsed time.
+// On timeout the query's Cancel channel is closed so the abandoned search
+// releases its workers instead of pegging the machine (and skewing every
+// later measurement) until it finishes on its own.
 func runAlgo(in *Instance, q *mac.Query, algo string, timeout time.Duration) (time.Duration, *mac.Result, error) {
 	query := *q
+	cancel := make(chan struct{})
+	query.Cancel = cancel
 	switch algo {
 	case "GS-NC", "LS-NC":
 		query.J = 1
@@ -122,6 +130,7 @@ func runAlgo(in *Instance, q *mac.Query, algo string, timeout time.Duration) (ti
 	case out := <-ch:
 		return out.dur, out.res, out.err
 	case <-time.After(timeout):
+		close(cancel)
 		return timeout, nil, errTimeout
 	}
 }
@@ -147,14 +156,14 @@ func (m measurement) String() string {
 	return fmt.Sprintf("%.1fms", float64(m.avg.Microseconds())/1000)
 }
 
-func measureAlgo(in *Instance, queries [][]int32, region *geom.Region, k int, t float64, j int, algo string, timeout time.Duration) measurement {
+func measureAlgo(in *Instance, queries [][]int32, region *geom.Region, k int, t float64, j int, algo string, timeout time.Duration, parallelism int) measurement {
 	if len(queries) == 0 {
 		return measurement{}
 	}
 	var total time.Duration
 	var results []*mac.Result
 	for _, qset := range queries {
-		q := &mac.Query{Q: qset, K: k, T: t, Region: region, J: j}
+		q := &mac.Query{Q: qset, K: k, T: t, Region: region, J: j, Parallelism: parallelism}
 		dur, res, err := runAlgo(in, q, algo, timeout)
 		if err == errTimeout {
 			return measurement{inf: true}
@@ -207,10 +216,10 @@ type workload struct {
 }
 
 // measureAll runs every algorithm of the paper on the same workload.
-func measureAll(in *Instance, wl workload, algos []string, timeout time.Duration) []string {
+func measureAll(in *Instance, wl workload, algos []string, timeout time.Duration, parallelism int) []string {
 	out := make([]string, len(algos))
 	for i, algo := range algos {
-		out[i] = measureAlgo(in, wl.queries, wl.region, wl.k, wl.t, wl.j, algo, timeout).String()
+		out[i] = measureAlgo(in, wl.queries, wl.region, wl.k, wl.t, wl.j, algo, timeout, parallelism).String()
 	}
 	return out
 }
@@ -232,7 +241,7 @@ func sweep(opts Options, title, param string, values []string,
 		}
 		for _, v := range values {
 			wl := setup(in, v)
-			row := append([]string{spec.Name, v}, measureAll(in, wl, Algorithms, opts.Timeout)...)
+			row := append([]string{spec.Name, v}, measureAll(in, wl, Algorithms, opts.Timeout, opts.Parallelism)...)
 			tab.Rows = append(tab.Rows, row)
 		}
 	}
@@ -294,7 +303,7 @@ func VaryD(opts Options) (*Table, error) {
 			queries := in.Queries(DefaultK, in.TDefault, DefaultQSize, opts.QueriesPer)
 			row := []string{spec.Name, fmt.Sprint(d)}
 			for _, algo := range Algorithms {
-				row = append(row, measureAlgo(in, queries, region, DefaultK, in.TDefault, DefaultJ, algo, opts.Timeout).String())
+				row = append(row, measureAlgo(in, queries, region, DefaultK, in.TDefault, DefaultJ, algo, opts.Timeout, opts.Parallelism).String())
 			}
 			tab.Rows = append(tab.Rows, row)
 		}
@@ -335,7 +344,7 @@ func VaryJ(opts Options) (*Table, error) {
 		for _, j := range []int{5, 10, 20, 40, 60} {
 			row := []string{spec.Name, fmt.Sprint(j)}
 			for _, algo := range []string{"GS-T", "LS-T"} {
-				row = append(row, measureAlgo(in, queries, region, DefaultK, in.TDefault, j, algo, opts.Timeout).String())
+				row = append(row, measureAlgo(in, queries, region, DefaultK, in.TDefault, j, algo, opts.Timeout, opts.Parallelism).String())
 			}
 			tab.Rows = append(tab.Rows, row)
 		}
@@ -381,7 +390,7 @@ func PartitionsAndNCMACs(opts Options) (*Table, error) {
 		for _, s := range SigmaValues {
 			region := in.Region(s)
 			queries := in.Queries(DefaultK, in.TDefault, DefaultQSize, opts.QueriesPer)
-			m := measureAlgo(in, queries, region, DefaultK, in.TDefault, 1, "GS-NC", opts.Timeout)
+			m := measureAlgo(in, queries, region, DefaultK, in.TDefault, 1, "GS-NC", opts.Timeout, opts.Parallelism)
 			row := []string{spec.Name, fmt.Sprintf("%g%%", s*100)}
 			if !m.ok {
 				row = append(row, "-", "-", "-")
@@ -420,7 +429,7 @@ func KTCoreSizes(opts Options) (*Table, error) {
 			if len(queries) == 0 {
 				row = append(row, "-")
 			} else {
-				vs, err := mac.KTCore(in.Net, queries[0], k, in.TDefault)
+				vs, err := mac.KTCoreWithParallelism(in.Net, queries[0], k, in.TDefault, opts.Parallelism)
 				if err != nil {
 					row = append(row, "-")
 				} else {
@@ -456,8 +465,8 @@ func MemoryVsD(opts Options) (*Table, error) {
 			tab.Rows = append(tab.Rows, []string{fmt.Sprint(d), "-", "-", "-"})
 			continue
 		}
-		q := &mac.Query{Q: queries[0], K: DefaultK, T: in.TDefault, Region: region, J: 1}
-		bbs := allocMB(func() { _, _ = mac.KTCore(in.Net, q.Q, q.K, q.T) })
+		q := &mac.Query{Q: queries[0], K: DefaultK, T: in.TDefault, Region: region, J: 1, Parallelism: opts.Parallelism}
+		bbs := allocMB(func() { _, _ = mac.KTCoreWithParallelism(in.Net, q.Q, q.K, q.T, opts.Parallelism) })
 		gsm := allocMB(func() { _, _ = mac.GlobalSearch(in.Net, q) })
 		lsm := allocMB(func() { _, _ = mac.LocalSearch(in.Net, q, mac.LocalOptions{}) })
 		tab.Rows = append(tab.Rows, []string{
@@ -498,7 +507,7 @@ func RatioLS(opts Options) (*Table, error) {
 		queries := in.Queries(k, in.TDefault, qSize, opts.QueriesPer)
 		lsTotal, gsTotal := 0, 0
 		for _, qset := range queries {
-			q := &mac.Query{Q: qset, K: k, T: in.TDefault, Region: region, J: 1}
+			q := &mac.Query{Q: qset, K: k, T: in.TDefault, Region: region, J: 1, Parallelism: opts.Parallelism}
 			_, gres, err := runAlgo(in, q, "GS-NC", opts.Timeout)
 			if err != nil {
 				continue

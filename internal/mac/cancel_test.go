@@ -1,0 +1,27 @@
+package mac
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCancelAbandonsSearch: a query whose Cancel channel is already closed
+// must return ErrCanceled from both engines instead of computing results.
+func TestCancelAbandonsSearch(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 2)
+	cancel := make(chan struct{})
+	close(cancel)
+	q.Cancel = cancel
+	if _, err := GlobalSearch(net, q); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("GlobalSearch: got %v, want ErrCanceled", err)
+	}
+	if _, err := LocalSearch(net, q, LocalOptions{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("LocalSearch: got %v, want ErrCanceled", err)
+	}
+	// A nil Cancel channel must keep working as before.
+	q.Cancel = nil
+	if _, err := GlobalSearch(net, q); err != nil {
+		t.Fatalf("nil Cancel: %v", err)
+	}
+}

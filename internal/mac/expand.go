@@ -78,14 +78,18 @@ type expandState struct {
 	minDeg int32
 	minCnt int // number of members attaining minDeg
 	dirty  bool
+	// connectivity-check buffers, reused across snapshots.
+	visited *bitset.Set
+	stack   []int32
 }
 
 func newExpandState(ss *searchSpace) *expandState {
 	return &expandState{
-		ss:    ss,
-		in:    bitset.New(ss.dag.N()),
-		degIn: make([]int32, ss.dag.N()),
-		k:     ss.query.K,
+		ss:      ss,
+		in:      bitset.New(ss.dag.N()),
+		degIn:   make([]int32, ss.dag.N()),
+		k:       ss.query.K,
+		visited: bitset.New(ss.dag.N()),
 	}
 }
 
@@ -184,9 +188,8 @@ func (ss *searchSpace) expand(opts ExpandOptions) [][]int32 {
 		vs := make([]int32, 0, st.size)
 		st.in.ForEach(func(i int) bool { vs = append(vs, int32(i)); return true })
 		candidates = append(candidates, vs)
-		ss.stats.Candidates++
 	}
-	if st.below == 0 && ss.connectedWithin(st.in, st.size) {
+	if st.below == 0 && st.connected() {
 		snapshot()
 	}
 	for h.Len() > 0 && len(candidates) < opts.MaxCandidates && st.size < n {
@@ -202,40 +205,40 @@ func (ss *searchSpace) expand(opts ExpandOptions) [][]int32 {
 		pushFrontier(it.v)
 		// A new candidate arises exactly when the community regains the
 		// connected-k-core property (line 6 of Algorithm 4).
-		if st.below == 0 && ss.connectedWithin(st.in, st.size) {
+		if st.below == 0 && st.connected() {
 			snapshot()
 		}
 	}
 	// Ensure H_k^t itself is always a candidate (Lemma 4: it is an MAC).
 	if len(candidates) == 0 || len(candidates[len(candidates)-1]) < n {
 		candidates = append(candidates, allLocal(n))
-		ss.stats.Candidates++
 	}
 	return candidates
 }
 
-// connectedWithin reports whether the vertices of the bitset form a
-// connected subgraph of the localized H_k^t graph.
-func (ss *searchSpace) connectedWithin(in *bitset.Set, size int) bool {
-	if size == 0 {
+// connected reports whether the current community forms a connected
+// subgraph of the localized H_k^t graph, reusing the state's DFS buffers.
+func (st *expandState) connected() bool {
+	if st.size == 0 {
 		return false
 	}
 	var seed int32 = -1
-	in.ForEach(func(i int) bool { seed = int32(i); return false })
-	visited := bitset.New(ss.dag.N())
-	stack := []int32{seed}
-	visited.Set(int(seed))
+	st.in.ForEach(func(i int) bool { seed = int32(i); return false })
+	st.visited.Reset()
+	stack := append(st.stack[:0], seed)
+	st.visited.Set(int(seed))
 	count := 1
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range ss.hg.Neighbors(int(v)) {
-			if in.Test(int(w)) && !visited.Test(int(w)) {
-				visited.Set(int(w))
+		for _, w := range st.ss.hg.Neighbors(int(v)) {
+			if st.in.Test(int(w)) && !st.visited.Test(int(w)) {
+				st.visited.Set(int(w))
 				count++
 				stack = append(stack, w)
 			}
 		}
 	}
-	return count == size
+	st.stack = stack
+	return count == st.size
 }

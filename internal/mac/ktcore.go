@@ -16,13 +16,33 @@ import (
 // Following Section III, the coreness upper bound ⌊(1+√(9+8(m'−n')))/2⌋ of
 // the filtered subgraph is checked before running the decomposition.
 func KTCore(net *Network, q []int32, k int, t float64) ([]int32, error) {
+	return ktCore(net, q, k, t, 0, nil)
+}
+
+// KTCoreWithParallelism is KTCore with an explicit parallelism knob for the
+// built-in range-filter oracle (<= 0 selects GOMAXPROCS, 1 forces the
+// sequential baseline — used by measurement harnesses).
+func KTCoreWithParallelism(net *Network, q []int32, k int, t float64, parallelism int) ([]int32, error) {
+	return ktCore(net, q, k, t, parallelism, nil)
+}
+
+// ktCore is KTCore with the query's parallelism and cancellation knobs
+// threaded into the built-in range-filter oracle (0 = GOMAXPROCS).
+func ktCore(net *Network, q []int32, k int, t float64, parallelism int, cancel <-chan struct{}) ([]int32, error) {
 	gs := net.Social
 	// Range query (Lemma 1): query distance of every user, pruned at t.
 	queryLocs := make([]road.Location, len(q))
 	for i, v := range q {
 		queryLocs[i] = net.Locs[v]
 	}
-	dq := net.oracle().QueryDistances(queryLocs, net.Locs, t)
+	dq := net.oracle(parallelism, cancel).QueryDistances(queryLocs, net.Locs, t)
+	select {
+	case <-cancel:
+		// A cancelled range query returns a partial distance vector that
+		// must not be consumed (it under-reports distances).
+		return nil, ErrCanceled
+	default:
+	}
 	allowed := make([]bool, gs.N())
 	nAllowed, mAllowed := 0, 0
 	for v := 0; v < gs.N(); v++ {

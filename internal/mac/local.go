@@ -1,6 +1,9 @@
 package mac
 
-import "roadsocial/internal/geom"
+import (
+	"roadsocial/internal/conc"
+	"roadsocial/internal/geom"
+)
 
 // LocalOptions tunes the local search framework (Algorithm 3).
 type LocalOptions struct {
@@ -17,6 +20,10 @@ type LocalOptions struct {
 	// the answer lies far from Q on the expansion chain — e.g. when it is
 	// nearly the whole (k,t)-core.
 	NoSeeds bool
+	// Parallelism overrides Query.Parallelism for the local search phases
+	// (candidate generation, verification, LS-T refinement) when non-zero.
+	// <= 0 defers to the query's knob.
+	Parallelism int
 }
 
 // LocalSearch runs the local search framework (Algorithm 3): Expand
@@ -24,6 +31,12 @@ type LocalOptions struct {
 // of R where each candidate is a valid non-contained MAC (LS-NC). With
 // q.J > 1, every validated cell is refined with the deletion engine to rank
 // the top-j MACs (LS-T), mirroring the generalization of Section VI-B.
+//
+// The three phases parallelize independently: candidate generators (the two
+// expansion strategies and the per-seed deletion simulations) run
+// concurrently, candidates are verified concurrently, and validated cells
+// are refined concurrently. Output order is canonical, so results are
+// identical for every parallelism level.
 //
 // Local search is sound but — unlike global search — not guaranteed
 // complete: candidates form an expansion chain, so a non-contained MAC not
@@ -33,9 +46,18 @@ func LocalSearch(net *Network, q *Query, opts LocalOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = q.Parallelism
+	}
+	par = conc.Parallelism(par)
 	res := &Result{KTCore: sortedIDs(allLocal(ss.dag.N()), ss.dag.IDs)}
 
-	candidates := ss.expand(opts.Expand)
+	// Candidate generation: every generator is independent; slots keep the
+	// sequential concatenation order.
+	gens := []func() [][]int32{
+		func() [][]int32 { return ss.expand(opts.Expand) },
+	}
 	if opts.BothStrategies {
 		other := opts.Expand
 		if other.Strategy == StrategyDensity {
@@ -43,26 +65,57 @@ func LocalSearch(net *Network, q *Query, opts LocalOptions) (*Result, error) {
 		} else {
 			other.Strategy = StrategyDensity
 		}
-		candidates = append(candidates, ss.expand(other)...)
+		gens = append(gens, func() [][]int32 { return ss.expand(other) })
 	}
 	if !opts.NoSeeds {
 		seeds := [][]float64{q.Region.Pivot()}
 		seeds = append(seeds, q.Region.Corners()...)
 		for _, w := range seeds {
-			candidates = append(candidates, ss.terminalAt(w))
-			ss.stats.Candidates++
+			w := w
+			gens = append(gens, func() [][]int32 { return [][]int32{ss.terminalAt(w)} })
 		}
 	}
-	cells := ss.verify(candidates)
+	slots := make([][][]int32, len(gens))
+	conc.For(par, len(gens), func(_, i int) {
+		if ss.cancelled() {
+			return
+		}
+		slots[i] = gens[i]()
+	})
+	if ss.cancelled() {
+		return nil, ErrCanceled
+	}
+	var candidates [][]int32
+	for _, s := range slots {
+		candidates = append(candidates, s...)
+	}
+	ss.stats.Candidates += len(candidates)
+
+	cells := ss.verify(candidates, par)
+	if ss.cancelled() {
+		return nil, ErrCanceled
+	}
 
 	if q.J > 1 {
 		// LS-T: rank the top-j MACs inside each validated cell by replaying
-		// the deletion process restricted to that (small) cell.
+		// the deletion process restricted to that (small) cell. One engine
+		// per cell, with the worker budget split between concurrent cells
+		// and intra-engine parallelism so few-cell workloads still use
+		// every core. Engine parallelism never changes output (canonical
+		// ordering), only scheduling.
+		perCell := make([][]CellResult, len(cells))
+		enginePar := max(1, par/max(1, len(cells)))
+		conc.For(par, len(cells), func(_, i int) {
+			eng := &gsEngine{ss: ss, j: q.J, par: enginePar}
+			eng.run(cells[i].Cell)
+			perCell[i] = eng.results
+		})
+		if ss.cancelled() {
+			return nil, ErrCanceled
+		}
 		var refined []CellResult
-		for _, cr := range cells {
-			eng := &gsEngine{ss: ss, j: q.J}
-			eng.run(cr.Cell)
-			refined = append(refined, eng.results...)
+		for _, rs := range perCell {
+			refined = append(refined, rs...)
 		}
 		cells = refined
 	}

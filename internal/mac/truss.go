@@ -32,7 +32,12 @@ func GlobalSearchTruss(net *Network, q *Query) (*Result, error) {
 	for i, v := range q.Q {
 		queryLocs[i] = net.Locs[v]
 	}
-	dq := net.oracle().QueryDistances(queryLocs, net.Locs, q.T)
+	dq := net.oracle(q.Parallelism, q.Cancel).QueryDistances(queryLocs, net.Locs, q.T)
+	if queryCancelled(q) {
+		// A cancelled range query returns a partial distance vector that
+		// must not be consumed (it under-reports distances).
+		return nil, ErrCanceled
+	}
 	allowed := make([]bool, gs.N())
 	for v := 0; v < gs.N(); v++ {
 		allowed[v] = dq[v] <= q.T
@@ -202,7 +207,12 @@ func BruteForceTrussAt(net *Network, q *Query, w []float64) (Community, error) {
 	for i, v := range q.Q {
 		queryLocs[i] = net.Locs[v]
 	}
-	dq := net.oracle().QueryDistances(queryLocs, net.Locs, q.T)
+	dq := net.oracle(q.Parallelism, q.Cancel).QueryDistances(queryLocs, net.Locs, q.T)
+	if queryCancelled(q) {
+		// A cancelled range query returns a partial distance vector that
+		// must not be consumed (it under-reports distances).
+		return nil, ErrCanceled
+	}
 	allowed := make([]bool, gs.N())
 	for v := 0; v < gs.N(); v++ {
 		allowed[v] = dq[v] <= q.T

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"roadsocial/internal/domgraph"
 	"roadsocial/internal/geom"
@@ -38,11 +39,14 @@ func (n *Network) Validate() error {
 	return nil
 }
 
-func (n *Network) oracle() road.Oracle {
+// oracle returns the distance oracle, threading the query's parallelism
+// and cancellation into the built-in RangeQuerier. A user-supplied Oracle
+// manages its own knobs (e.g. GTree.Parallelism) and is returned unchanged.
+func (n *Network) oracle(parallelism int, cancel <-chan struct{}) road.Oracle {
 	if n.Oracle != nil {
 		return n.Oracle
 	}
-	return road.RangeQuerier{G: n.Road}
+	return road.RangeQuerier{G: n.Road, Parallelism: parallelism, Cancel: cancel}
 }
 
 // Query is a MAC search request.
@@ -59,6 +63,21 @@ type Query struct {
 	// J is the number of top MACs per partition (Problem 1). J <= 1 asks for
 	// the non-contained MAC only (Problem 2).
 	J int
+	// Parallelism is the number of worker goroutines the search engines use
+	// for independent sub-problems (search-tree branches, candidate
+	// verification, and — for the built-in range-filter oracle —
+	// per-query-location Dijkstras). <= 0 selects GOMAXPROCS; 1 forces
+	// fully sequential execution. A custom Network.Oracle manages its own
+	// parallelism knob. Results are canonically ordered and identical for
+	// every parallelism level.
+	Parallelism int
+	// Cancel, when non-nil, lets the caller abandon a running search: once
+	// the channel is closed, every worker stops at its next task or phase
+	// boundary (one in-flight Dijkstra, cascade, or DAG build still
+	// completes first) and the search returns ErrCanceled. Without it, an
+	// abandoned search (e.g. after a caller-side timeout) would keep
+	// burning Parallelism cores until it finishes on its own.
+	Cancel <-chan struct{}
 }
 
 // Validate checks the query against the network.
@@ -185,14 +204,21 @@ func sortedIDs(local []int32, toGlobal []int32) Community {
 }
 
 // searchSpace holds the shared state both search algorithms start from: the
-// maximal (k,t)-core relabeled into the DAG's local index space.
+// maximal (k,t)-core relabeled into the DAG's local index space. After
+// Prepare it is read-only except for stats, which workers accumulate
+// per-scratch and merge under statsMu.
 type searchSpace struct {
 	net    *Network
 	query  *Query
 	dag    *domgraph.DAG
 	hg     *social.Graph // localized H_k^t graph; vertex i == DAG local i
 	qLocal []int32
-	stats  Stats
+	// degBase[v] is v's degree in hg, precomputed so cascade simulations
+	// seed their working degrees with one copy instead of n Degree calls.
+	degBase []int32
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // Prepare computes H_k^t (Lemmas 1-3), builds the r-dominance graph, and
@@ -205,15 +231,21 @@ func Prepare(net *Network, q *Query) (*searchSpace, error) {
 	if err := q.Validate(net); err != nil {
 		return nil, err
 	}
-	ktVertices, err := KTCore(net, q.Q, q.K, q.T)
+	ktVertices, err := ktCore(net, q.Q, q.K, q.T, q.Parallelism, q.Cancel)
 	if err != nil {
 		return nil, err
+	}
+	if queryCancelled(q) {
+		return nil, ErrCanceled
 	}
 	vecs := make([][]float64, len(ktVertices))
 	for i, v := range ktVertices {
 		vecs[i] = net.Social.Attrs(int(v))
 	}
 	dag := domgraph.Build(q.Region, ktVertices, vecs, 0)
+	if queryCancelled(q) {
+		return nil, ErrCanceled
+	}
 
 	// Localized graph: vertex i corresponds to dag.IDs[i].
 	hb := social.NewBuilder(dag.N(), net.Social.D())
@@ -243,11 +275,31 @@ func Prepare(net *Network, q *Query) (*searchSpace, error) {
 		arcs += len(dag.Children(v))
 	}
 	ss := &searchSpace{net: net, query: q, dag: dag, hg: hg, qLocal: qLocal}
+	ss.degBase = make([]int32, hg.N())
+	for v := 0; v < hg.N(); v++ {
+		ss.degBase[v] = int32(hg.Degree(v))
+	}
 	ss.stats.KTCoreSize = hg.N()
 	ss.stats.KTCoreEdges = hg.M()
 	ss.stats.DomGraphArcs = arcs
 	return ss, nil
 }
 
+// cancelled reports whether the query's Cancel channel has been closed.
+// A nil channel never selects, so queries without one are unaffected.
+func (ss *searchSpace) cancelled() bool { return queryCancelled(ss.query) }
+
+func queryCancelled(q *Query) bool {
+	select {
+	case <-q.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 // ErrNoCommunity is returned when no (k,t)-core containing Q exists.
 var ErrNoCommunity = errors.New("mac: no (k,t)-core containing the query vertices")
+
+// ErrCanceled is returned when the query's Cancel channel closes mid-search.
+var ErrCanceled = errors.New("mac: search canceled")

@@ -2,6 +2,7 @@ package mac
 
 import (
 	"roadsocial/internal/bitset"
+	"roadsocial/internal/conc"
 	"roadsocial/internal/geom"
 	"roadsocial/internal/social"
 )
@@ -19,29 +20,52 @@ import (
 // bound pairs are exactly the vertices the cascade resolves — while also
 // handling dominance chains that pass through candidate members, which the
 // bottom-layer/top-layer comparison alone misses.
-func (ss *searchSpace) verify(candidates [][]int32) []CellResult {
-	var results []CellResult
-	seen := make(map[string]bool)
+//
+// Candidates are verified independently by par workers, each with its own
+// scratch arena; results keep candidate order, so output is identical for
+// every parallelism level.
+func (ss *searchSpace) verify(candidates [][]int32, par int) []CellResult {
+	uniq := candidates[:0:0]
+	seen := make(map[string]bool, len(candidates))
 	for _, cand := range candidates {
 		key := Community(cand).Key()
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		results = append(results, ss.verifyOne(cand)...)
+		uniq = append(uniq, cand)
+	}
+	perCand := make([][]CellResult, len(uniq))
+	scratches := newScratches(par)
+	conc.For(par, len(uniq), func(worker, i int) {
+		if ss.cancelled() {
+			return
+		}
+		perCand[i] = ss.verifyOne(uniq[i], scratches[worker])
+	})
+	ss.mergeStats(scratches)
+	var results []CellResult
+	for _, cells := range perCand {
+		results = append(results, cells...)
 	}
 	return results
 }
 
 // verifyOne validates a single candidate, returning one CellResult per
-// partition of R in which it is a non-contained MAC.
-func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
+// partition of R in which it is a non-contained MAC. All working storage
+// comes from the worker's scratch arena.
+func (ss *searchSpace) verifyOne(cand []int32, sc *macScratch) []CellResult {
 	n := ss.dag.N()
-	ge := bitset.New(n)
+	if sc.ge == nil {
+		sc.ge, sc.gc = bitset.New(n), bitset.New(n)
+		sc.candSub, sc.trial = new(social.Sub), new(social.Sub)
+	}
+	ge, gc := sc.ge, sc.gc
+	ge.Reset()
+	gc.Reset()
 	for _, v := range cand {
 		ge.Set(int(v))
 	}
-	gc := bitset.New(n)
 	gcCount := 0
 	for i := 0; i < n; i++ {
 		if !ge.Test(i) {
@@ -66,7 +90,7 @@ func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
 			return true
 		})
 		if len(dominators) > 0 {
-			removed := ss.cascadeRemoved(rest, ge)
+			removed := ss.cascadeRemoved(rest, ge, sc)
 			for _, v := range dominators {
 				if !removed.Test(int(v)) {
 					return nil
@@ -74,7 +98,7 @@ func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
 			}
 		}
 	}
-	ss.stats.Promising++
+	sc.stats.Promising++
 
 	// ---- Competitors -------------------------------------------------------
 	// lb(Ge): candidate members dominating nobody inside the candidate — the
@@ -111,13 +135,13 @@ func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
 	// member is a non-anchor — otherwise a smaller community r-dominates the
 	// candidate there (Corollary 3, condition 1).
 	anchors := make(map[int32]bool)
-	candSub := social.NewSub(ss.hg, cand)
+	sc.candSub.ResetTo(ss.hg, cand)
 	for _, v := range lb {
 		if containsLocal(ss.qLocal, v) {
 			continue
 		}
-		trial := candSub.Clone()
-		if _, ok := trial.TryDeleteCascade(v, ss.query.K, ss.qLocal); ok {
+		sc.trial.CopyFrom(sc.candSub)
+		if _, ok := sc.trial.TryDeleteCascade(v, ss.query.K, ss.qLocal); ok {
 			anchors[v] = true
 		}
 	}
@@ -126,7 +150,7 @@ func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
 	tree := geom.NewPartitionTree(geom.NewCell(ss.query.Region))
 	insert := func(a, b int32) {
 		if tree.Insert(ss.dag.Scores[a].GEHalfspace(ss.dag.Scores[b])) {
-			ss.stats.Hyperplanes++
+			sc.stats.Hyperplanes++
 		}
 	}
 	for _, u := range lb {
@@ -146,9 +170,9 @@ func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
 
 	var out []CellResult
 	community := sortedIDs(cand, ss.dag.IDs)
-	var resolved []int32
+	resolved := sc.resolved
 	for _, cell := range tree.Leaves() {
-		ss.stats.CellsExplored++
+		sc.stats.CellsExplored++
 		w := cell.Witness()
 		if w == nil {
 			continue
@@ -174,7 +198,7 @@ func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
 		})
 		valid := true
 		if len(resolved) < gcCount {
-			removed := ss.cascadeRemoved(resolved, ge)
+			removed := ss.cascadeRemoved(resolved, ge, sc)
 			gc.ForEach(func(i int) bool {
 				if !removed.Test(i) {
 					valid = false
@@ -187,6 +211,7 @@ func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
 			out = append(out, CellResult{Cell: cell, Ranked: []Community{community}})
 		}
 	}
+	sc.resolved = resolved
 	return out
 }
 
@@ -194,17 +219,21 @@ func (ss *searchSpace) verifyOne(cand []int32) []CellResult {
 // removed unconditionally from H_k^t, then every vertex whose degree drops
 // below k cascades. Vertices of ge are never removed — their induced degree
 // stays >= k throughout, so the exception is only a guard. It returns the
-// set of removed vertices.
-func (ss *searchSpace) cascadeRemoved(removeList []int32, ge *bitset.Set) *bitset.Set {
-	ss.stats.CascadeSims++
+// set of removed vertices, owned by the scratch arena and valid until the
+// next cascadeRemoved call on the same scratch.
+func (ss *searchSpace) cascadeRemoved(removeList []int32, ge *bitset.Set, sc *macScratch) *bitset.Set {
+	sc.stats.CascadeSims++
 	n := ss.dag.N()
 	k := ss.query.K
-	removed := bitset.New(n)
-	deg := make([]int32, n)
-	for v := 0; v < n; v++ {
-		deg[v] = int32(ss.hg.Degree(v))
+	if sc.removed == nil {
+		sc.removed = bitset.New(n)
+		sc.deg = make([]int32, n)
 	}
-	var stack []int32
+	removed := sc.removed
+	removed.Reset()
+	deg := sc.deg
+	copy(deg, ss.degBase)
+	stack := sc.stack[:0]
 	removeOne := func(v int32) {
 		removed.Set(int(v))
 		for _, w := range ss.hg.Neighbors(int(v)) {
@@ -230,5 +259,6 @@ func (ss *searchSpace) cascadeRemoved(removeList []int32, ge *bitset.Set) *bitse
 		}
 		removeOne(v)
 	}
+	sc.stack = stack
 	return removed
 }

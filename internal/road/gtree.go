@@ -3,6 +3,9 @@ package road
 import (
 	"container/heap"
 	"math"
+	"sync"
+
+	"roadsocial/internal/conc"
 )
 
 // GTree is a simplified G-tree index over a road network (Zhong et al.,
@@ -16,15 +19,24 @@ import (
 // beyond the bound. This reproduces the role the paper assigns to G-tree /
 // G*-tree: accelerating the Lemma 1 range filter when user locations are
 // sparse relative to the road ball of radius t.
+//
+// Concurrency: after BuildGTree returns, the index is immutable and safe
+// for concurrent queries from any number of goroutines — per-query scratch
+// (visit stamps, distance array, Dijkstra heap) is drawn from an internal
+// sync.Pool rather than stored in the struct. QueryDistances additionally
+// runs its per-query-location searches on Parallelism workers.
 type GTree struct {
 	g     *Graph
 	nodes []gtNode
 	leaf  []int32 // per road vertex: its leaf node id
-	// scratch (reused across queries; GTree queries are not concurrent-safe,
-	// clone per goroutine if needed)
-	stamp   []int32
-	stampID int32
-	dist    []float64
+
+	// Parallelism bounds the workers used per QueryDistances call; <= 0
+	// selects GOMAXPROCS, 1 forces sequential execution. The result is
+	// a per-user max over query locations, so it is identical for every
+	// parallelism level.
+	Parallelism int
+
+	scratch sync.Pool // *gtScratch
 }
 
 type gtNode struct {
@@ -40,6 +52,28 @@ type gtNode struct {
 	ubIndex      map[int32]int32
 }
 
+// gtScratch is the per-query working state, pooled so that one immutable
+// index serves many concurrent goroutines without allocation churn.
+type gtScratch struct {
+	stamp   []int32
+	stampID int32
+	dist    []float64
+	q       pq
+}
+
+func (t *GTree) getScratch() *gtScratch {
+	return t.scratch.Get().(*gtScratch)
+}
+
+func (t *GTree) putScratch(sc *gtScratch) {
+	t.scratch.Put(sc)
+}
+
+func (sc *gtScratch) newStamp() int32 {
+	sc.stampID++
+	return sc.stampID
+}
+
 // MaxLeafSize is the default leaf capacity of the hierarchy.
 const MaxLeafSize = 64
 
@@ -49,23 +83,29 @@ func BuildGTree(g *Graph, maxLeaf int) *GTree {
 		maxLeaf = MaxLeafSize
 	}
 	t := &GTree{
-		g:     g,
-		leaf:  make([]int32, g.N()),
-		stamp: make([]int32, g.N()),
-		dist:  make([]float64, g.N()),
+		g:    g,
+		leaf: make([]int32, g.N()),
 	}
+	t.scratch.New = func() any {
+		return &gtScratch{
+			stamp: make([]int32, g.N()),
+			dist:  make([]float64, g.N()),
+		}
+	}
+	sc := t.getScratch()
 	all := make([]int32, g.N())
 	for i := range all {
 		all[i] = int32(i)
 	}
-	t.build(all, -1, maxLeaf)
-	t.computeBorders()
-	t.computeMatrices()
+	t.build(all, -1, maxLeaf, sc)
+	t.computeBorders(sc)
+	t.computeMatrices(sc)
+	t.putScratch(sc)
 	return t
 }
 
 // build recursively bisects the vertex set, appending nodes; returns node id.
-func (t *GTree) build(vertices []int32, parent int32, maxLeaf int) int32 {
+func (t *GTree) build(vertices []int32, parent int32, maxLeaf int, sc *gtScratch) int32 {
 	id := int32(len(t.nodes))
 	t.nodes = append(t.nodes, gtNode{parent: parent, vertices: vertices})
 	if len(vertices) <= maxLeaf {
@@ -74,9 +114,9 @@ func (t *GTree) build(vertices []int32, parent int32, maxLeaf int) int32 {
 		}
 		return id
 	}
-	left, right := t.bisect(vertices)
-	lc := t.build(left, id, maxLeaf)
-	rc := t.build(right, id, maxLeaf)
+	left, right := t.bisect(vertices, sc)
+	lc := t.build(left, id, maxLeaf, sc)
+	rc := t.build(right, id, maxLeaf, sc)
 	t.nodes[id].children = []int32{lc, rc}
 	return id
 }
@@ -84,15 +124,15 @@ func (t *GTree) build(vertices []int32, parent int32, maxLeaf int) int32 {
 // bisect splits a vertex set into two balanced halves using BFS layering
 // from a pseudo-peripheral vertex — a cheap stand-in for the multilevel
 // partitioning G-tree uses, adequate for planar-like road graphs.
-func (t *GTree) bisect(vertices []int32) (left, right []int32) {
-	inSet := t.newStamp()
+func (t *GTree) bisect(vertices []int32, sc *gtScratch) (left, right []int32) {
+	inSet := sc.newStamp()
 	for _, v := range vertices {
-		t.stamp[v] = inSet
+		sc.stamp[v] = inSet
 	}
 	// Find a pseudo-peripheral start: BFS from vertices[0], take the last
 	// reached vertex, BFS again from it.
-	start := t.bfsLast(vertices[0], inSet)
-	order := t.bfsOrder(start, inSet, len(vertices))
+	start := t.bfsLast(vertices[0], inSet, sc)
+	order := t.bfsOrder(start, inSet, len(vertices), sc)
 	// Vertices in components unreached by the BFS fall into the right half.
 	half := len(vertices) / 2
 	if len(order) >= half {
@@ -113,7 +153,7 @@ func (t *GTree) bisect(vertices []int32) (left, right []int32) {
 }
 
 // bfsLast returns the last vertex reached by BFS from s within the stamped set.
-func (t *GTree) bfsLast(s int32, setID int32) int32 {
+func (t *GTree) bfsLast(s int32, setID int32, sc *gtScratch) int32 {
 	visited := map[int32]bool{s: true}
 	queue := []int32{s}
 	last := s
@@ -122,7 +162,7 @@ func (t *GTree) bfsLast(s int32, setID int32) int32 {
 		queue = queue[1:]
 		last = v
 		for _, e := range t.g.adj[v] {
-			if t.stamp[e.to] == setID && !visited[e.to] {
+			if sc.stamp[e.to] == setID && !visited[e.to] {
 				visited[e.to] = true
 				queue = append(queue, e.to)
 			}
@@ -132,7 +172,7 @@ func (t *GTree) bfsLast(s int32, setID int32) int32 {
 }
 
 // bfsOrder returns up to limit vertices in BFS order from s within the set.
-func (t *GTree) bfsOrder(s int32, setID int32, limit int) []int32 {
+func (t *GTree) bfsOrder(s int32, setID int32, limit int, sc *gtScratch) []int32 {
 	visited := map[int32]bool{s: true}
 	queue := []int32{s}
 	order := make([]int32, 0, limit)
@@ -141,7 +181,7 @@ func (t *GTree) bfsOrder(s int32, setID int32, limit int) []int32 {
 		queue = queue[1:]
 		order = append(order, v)
 		for _, e := range t.g.adj[v] {
-			if t.stamp[e.to] == setID && !visited[e.to] {
+			if sc.stamp[e.to] == setID && !visited[e.to] {
 				visited[e.to] = true
 				queue = append(queue, e.to)
 			}
@@ -150,23 +190,18 @@ func (t *GTree) bfsOrder(s int32, setID int32, limit int) []int32 {
 	return order
 }
 
-func (t *GTree) newStamp() int32 {
-	t.stampID++
-	return t.stampID
-}
-
 // computeBorders fills the border list of every node: vertices with an edge
 // leaving the node's vertex set.
-func (t *GTree) computeBorders() {
+func (t *GTree) computeBorders(sc *gtScratch) {
 	for id := range t.nodes {
 		n := &t.nodes[id]
-		setID := t.newStamp()
+		setID := sc.newStamp()
 		for _, v := range n.vertices {
-			t.stamp[v] = setID
+			sc.stamp[v] = setID
 		}
 		for _, v := range n.vertices {
 			for _, e := range t.g.adj[v] {
-				if t.stamp[e.to] != setID {
+				if sc.stamp[e.to] != setID {
 					n.borders = append(n.borders, v)
 					break
 				}
@@ -182,17 +217,17 @@ func (t *GTree) computeBorders() {
 
 // computeMatrices fills leaf border-to-member matrices and internal
 // children-border matrices via Dijkstra restricted to each node's subgraph.
-func (t *GTree) computeMatrices() {
+func (t *GTree) computeMatrices(sc *gtScratch) {
 	for id := range t.nodes {
 		n := &t.nodes[id]
-		setID := t.newStamp()
+		setID := sc.newStamp()
 		for _, v := range n.vertices {
-			t.stamp[v] = setID
+			sc.stamp[v] = setID
 		}
 		if len(n.children) == 0 {
 			n.distLeaf = make([][]float64, len(n.borders))
 			for bi, b := range n.borders {
-				d := t.restrictedDijkstra(b, setID)
+				d := t.restrictedDijkstra(b, setID, sc)
 				row := make([]float64, len(n.vertices))
 				for vi, v := range n.vertices {
 					row[vi] = d[v]
@@ -217,7 +252,7 @@ func (t *GTree) computeMatrices() {
 		}
 		n.mat = make([][]float64, len(n.unionBorders))
 		for i, b := range n.unionBorders {
-			d := t.restrictedDijkstra(b, setID)
+			d := t.restrictedDijkstra(b, setID, sc)
 			row := make([]float64, len(n.unionBorders))
 			for j, b2 := range n.unionBorders {
 				row[j] = d[b2]
@@ -228,66 +263,72 @@ func (t *GTree) computeMatrices() {
 }
 
 // restrictedDijkstra runs Dijkstra from s visiting only vertices whose stamp
-// equals setID. It returns the shared distance array (valid until the next
-// call); callers must copy what they need.
-func (t *GTree) restrictedDijkstra(s int32, setID int32) []float64 {
-	d := t.dist
+// equals setID. It returns the scratch distance array (valid until the next
+// call on the same scratch); callers must copy what they need.
+func (t *GTree) restrictedDijkstra(s int32, setID int32, sc *gtScratch) []float64 {
+	d := sc.dist
 	for i := range d {
 		d[i] = Inf
 	}
-	var q pq
+	q := sc.q[:0]
 	d[s] = 0
-	q.push(s, 0)
+	heap.Push(&q, pqItem{v: s, d: 0})
 	for q.Len() > 0 {
 		it := heap.Pop(&q).(pqItem)
 		if it.d > d[it.v] {
 			continue
 		}
 		for _, e := range t.g.adj[it.v] {
-			if t.stamp[e.to] != setID {
+			if sc.stamp[e.to] != setID {
 				continue
 			}
 			nd := it.d + e.w
 			if nd < d[e.to] {
 				d[e.to] = nd
-				q.push(e.to, nd)
+				heap.Push(&q, pqItem{v: e.to, d: nd})
 			}
 		}
 	}
+	sc.q = q
 	return d
 }
 
 // QueryDistances implements Oracle: max-over-queries distance to each user,
 // pruned at bound. Edge-located query sources fall back to plain Dijkstra.
+// Query locations are processed by up to Parallelism workers; the per-user
+// max-fold is order-independent, so output never depends on scheduling.
 func (t *GTree) QueryDistances(queries []Location, users []Location, bound float64) []float64 {
-	out := make([]float64, len(users))
-	if len(queries) == 0 {
-		return out
-	}
-	for _, qloc := range queries {
-		var dist map[int32]float64
-		if qloc.OnVertex() {
-			dist = t.sourceDistances(qloc.U, bound)
-		} else {
-			full := t.g.DistancesFrom(qloc, bound)
-			dist = make(map[int32]float64)
-			for v, dv := range full {
-				if dv <= bound {
-					dist[int32(v)] = dv
-				}
+	return maxFoldQueries(conc.Parallelism(t.Parallelism), len(queries), len(users), nil,
+		func(qi int, row []float64) { t.queryRow(queries[qi], users, bound, row) })
+}
+
+// queryRow fills row[i] with the network distance from qloc to users[i]
+// (values beyond bound may be reported as Inf).
+func (t *GTree) queryRow(qloc Location, users []Location, bound float64, row []float64) {
+	var dist map[int32]float64
+	if qloc.OnVertex() {
+		dist = t.sourceDistances(qloc.U, bound)
+	} else {
+		full := t.g.DistancesFrom(qloc, bound)
+		dist = make(map[int32]float64)
+		for v, dv := range full {
+			if dv <= bound {
+				dist[int32(v)] = dv
 			}
 		}
-		for i, u := range users {
-			d := locDistance(dist, u)
+	}
+	// A vertex-located query can never share an edge interior with a user,
+	// so the sameEdgeDirect shortcut only applies to edge-located queries.
+	edgeQuery := !qloc.OnVertex()
+	for i, u := range users {
+		d := locDistance(dist, u)
+		if edgeQuery {
 			if direct, ok := sameEdgeDirect(qloc, u); ok && direct < d {
 				d = direct
 			}
-			if d > out[i] {
-				out[i] = d
-			}
 		}
+		row[i] = d
 	}
-	return out
 }
 
 func locDistance(dist map[int32]float64, loc Location) float64 {
@@ -306,6 +347,8 @@ func locDistance(dist map[int32]float64, loc Location) float64 {
 // sourceDistances computes exact network distances from road vertex s to all
 // road vertices within bound, using the ascend/descend G-tree strategy.
 func (t *GTree) sourceDistances(s int32, bound float64) map[int32]float64 {
+	sc := t.getScratch()
+	defer t.putScratch(sc)
 	result := make(map[int32]float64)
 	leafID := t.leaf[s]
 
@@ -319,11 +362,11 @@ func (t *GTree) sourceDistances(s int32, bound float64) map[int32]float64 {
 	asc := make(map[int32]map[int32]float64)
 	{
 		ln := &t.nodes[leafID]
-		setID := t.newStamp()
+		setID := sc.newStamp()
 		for _, v := range ln.vertices {
-			t.stamp[v] = setID
+			sc.stamp[v] = setID
 		}
-		d := t.restrictedDijkstra(s, setID)
+		d := t.restrictedDijkstra(s, setID, sc)
 		for _, v := range ln.vertices {
 			if d[v] < Inf {
 				result[v] = d[v] // within-leaf distances; corrected below

@@ -1,0 +1,124 @@
+package road
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// concurrentTestGraph builds a random connected road graph with a mix of
+// vertex- and edge-located users.
+func concurrentTestGraph(t *testing.T, rng *rand.Rand, n int) (*Graph, []Location) {
+	t.Helper()
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		if err := g.AddEdge(rng.Intn(v), v, 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < n/2; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, ok := g.EdgeWeight(u, v); ok {
+			continue
+		}
+		if err := g.AddEdge(u, v, 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	locs := make([]Location, 3*n/2)
+	for i := range locs {
+		locs[i] = VertexLocation(rng.Intn(n))
+	}
+	// Sprinkle some edge locations.
+	g.Edges(func(u, v int, w float64) {
+		if rng.Float64() < 0.1 {
+			if loc, err := g.EdgeLocation(u, v, w*rng.Float64()); err == nil {
+				locs[rng.Intn(len(locs))] = loc
+			}
+		}
+	})
+	return g, locs
+}
+
+// TestGTreeConcurrentQueries: one GTree must serve many goroutines at once
+// (the per-query scratch is pooled, not stored in the index) and agree with
+// the plain Dijkstra oracle. Run under -race to verify the claim.
+func TestGTreeConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g, locs := concurrentTestGraph(t, rng, 120)
+	gt := BuildGTree(g, 16)
+	gt.Parallelism = 4 // force the parallel fan-out even on 1-CPU hosts
+	ref := RangeQuerier{G: g, Parallelism: 1}
+
+	type job struct {
+		queries []Location
+		bound   float64
+	}
+	jobs := make([]job, 24)
+	for i := range jobs {
+		nq := 1 + rng.Intn(3)
+		qs := make([]Location, nq)
+		for j := range qs {
+			qs[j] = locs[rng.Intn(len(locs))]
+		}
+		jobs[i] = job{queries: qs, bound: 10 + rng.Float64()*30}
+	}
+	want := make([][]float64, len(jobs))
+	for i, jb := range jobs {
+		want[i] = ref.QueryDistances(jb.queries, locs, jb.bound)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, len(jobs)*4)
+	for round := 0; round < 4; round++ {
+		for i, jb := range jobs {
+			wg.Add(1)
+			go func(i int, jb job) {
+				defer wg.Done()
+				got := gt.QueryDistances(jb.queries, locs, jb.bound)
+				for u := range got {
+					w := want[i][u]
+					// Values beyond the bound may legitimately differ (both
+					// report "too far" as anything > bound).
+					if w > jb.bound && got[u] > jb.bound {
+						continue
+					}
+					if diff := got[u] - w; diff > 1e-9 || diff < -1e-9 {
+						errs <- "job mismatch"
+						return
+					}
+				}
+			}(i, jb)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestRangeQuerierParallelMatchesSequential: the parallel fan-out over query
+// locations must be invisible in the output.
+func TestRangeQuerierParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	g, locs := concurrentTestGraph(t, rng, 80)
+	for trial := 0; trial < 10; trial++ {
+		nq := 1 + rng.Intn(4)
+		qs := make([]Location, nq)
+		for j := range qs {
+			qs[j] = locs[rng.Intn(len(locs))]
+		}
+		bound := 5 + rng.Float64()*40
+		seq := RangeQuerier{G: g, Parallelism: 1}.QueryDistances(qs, locs, bound)
+		par := RangeQuerier{G: g, Parallelism: 8}.QueryDistances(qs, locs, bound)
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("trial %d user %d: %g vs %g", trial, i, seq[i], par[i])
+			}
+		}
+	}
+}

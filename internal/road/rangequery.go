@@ -1,9 +1,12 @@
 package road
 
+import "roadsocial/internal/conc"
+
 // Oracle answers the distance computations the MAC search needs from the
 // road network: per-user query distances D_Q(v) = max_{q in Q} dist(L(v),
 // L(q)), pruned at threshold t. Implementations: the plain Dijkstra-based
-// RangeQuerier, and the index-accelerated GTree.
+// RangeQuerier, and the index-accelerated GTree. Both are safe for
+// concurrent use.
 type Oracle interface {
 	// QueryDistances returns, for each user location, D_Q = max over the
 	// query locations of the network distance, computed exactly for users
@@ -13,33 +16,118 @@ type Oracle interface {
 }
 
 // RangeQuerier is the baseline Oracle: one bounded Dijkstra per query
-// location over the full road graph.
+// location over the full road graph. The per-location Dijkstras are
+// independent and run on up to Parallelism workers (<= 0 selects
+// GOMAXPROCS, 1 forces sequential); the per-user max-fold is
+// order-independent, so output never depends on scheduling.
 type RangeQuerier struct {
-	G *Graph
+	G           *Graph
+	Parallelism int
+	// Cancel, when non-nil and closed, makes QueryDistances skip remaining
+	// query locations (each in-flight Dijkstra still completes). The
+	// partial result must not be used; callers that cancel abandon it.
+	Cancel <-chan struct{}
 }
 
 // QueryDistances implements Oracle.
 func (r RangeQuerier) QueryDistances(queries []Location, users []Location, bound float64) []float64 {
-	out := make([]float64, len(users))
-	if len(queries) == 0 {
+	return maxFoldQueries(conc.Parallelism(r.Parallelism), len(queries), len(users), r.Cancel,
+		func(qi int, row []float64) { r.queryRow(queries[qi], users, bound, row) })
+}
+
+// queryRow fills row[i] with the network distance from query location q to
+// users[i]. The sameEdgeDirect shortcut only applies to edge-located
+// queries: a vertex-located query can never share an edge interior with a
+// user.
+func (r RangeQuerier) queryRow(q Location, users []Location, bound float64, row []float64) {
+	dist := r.G.DistancesFrom(q, bound)
+	if q.OnVertex() {
+		for i, u := range users {
+			row[i] = DistanceAt(dist, u)
+		}
+		return
+	}
+	for i, u := range users {
+		d := DistanceAt(dist, u)
+		if direct, ok := sameEdgeDirect(q, u); ok && direct < d {
+			d = direct
+		}
+		row[i] = d
+	}
+}
+
+// maxFoldQueries is the per-query-location fan-out shared by the oracles:
+// queryRow(qi, row) fills one location's per-user distance row, and the
+// rows are max-folded into a fresh output slice. The fold is
+// order-independent, so output never depends on worker scheduling. A
+// single-location query writes straight into the zeroed output (distances
+// are non-negative, so assignment equals the fold).
+func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow func(qi int, row []float64)) []float64 {
+	out := make([]float64, nUsers)
+	if nQueries == 0 {
 		return out
 	}
-	for i := range out {
-		out[i] = 0
+	if nQueries == 1 {
+		queryRow(0, out)
+		return out
 	}
-	for _, q := range queries {
-		dist := r.G.DistancesFrom(q, bound)
-		for i, u := range users {
-			d := DistanceAt(dist, u)
-			if direct, ok := sameEdgeDirect(q, u); ok && direct < d {
-				d = direct
+	if par <= 1 {
+		row := make([]float64, nUsers)
+		for qi := 0; qi < nQueries; qi++ {
+			if chanClosed(cancel) {
+				return out
 			}
-			if d > out[i] {
-				out[i] = d
-			}
+			queryRow(qi, row)
+			foldRowMax(out, row)
+		}
+		return out
+	}
+	// Each worker folds into a private accumulator, bounding transient
+	// memory by the worker count rather than the query count; max is
+	// associative and commutative, so the two-level fold is still
+	// schedule-independent.
+	if par > nQueries {
+		par = nQueries
+	}
+	type workerRows struct{ scratch, acc []float64 }
+	ws := make([]*workerRows, par)
+	conc.For(par, nQueries, func(worker, qi int) {
+		if chanClosed(cancel) {
+			return
+		}
+		w := ws[worker]
+		if w == nil {
+			w = &workerRows{scratch: make([]float64, nUsers), acc: make([]float64, nUsers)}
+			ws[worker] = w
+		}
+		queryRow(qi, w.scratch)
+		foldRowMax(w.acc, w.scratch)
+	})
+	for _, w := range ws {
+		if w != nil {
+			foldRowMax(out, w.acc)
 		}
 	}
 	return out
+}
+
+// foldRowMax folds one per-user distance row into the running maxima.
+func foldRowMax(out, row []float64) {
+	for i, d := range row {
+		if d > out[i] {
+			out[i] = d
+		}
+	}
+}
+
+// chanClosed reports whether c is closed; a nil channel reports false.
+func chanClosed(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
 }
 
 // FilterWithin returns the indexes of users whose query distance is at most

@@ -16,11 +16,51 @@ type Sub struct {
 
 // NewSub builds the induced subgraph over the given vertex list.
 func NewSub(g *Graph, vertices []int32) *Sub {
-	s := &Sub{
-		g:     g,
-		alive: make([]bool, g.N()),
-		deg:   make([]int32, g.N()),
+	s := new(Sub)
+	s.ResetTo(g, vertices)
+	return s
+}
+
+// Clone returns an independent copy of the subgraph state.
+func (s *Sub) Clone() *Sub {
+	return &Sub{
+		g:     s.g,
+		alive: append([]bool(nil), s.alive...),
+		deg:   append([]int32(nil), s.deg...),
+		size:  s.size,
 	}
+}
+
+// CopyFrom overwrites s with the state of o, reusing s's storage when
+// possible — the allocation-free alternative to Clone for pooled scratch.
+func (s *Sub) CopyFrom(o *Sub) {
+	s.g = o.g
+	s.alive = append(s.alive[:0], o.alive...)
+	s.deg = append(s.deg[:0], o.deg...)
+	s.size = o.size
+}
+
+// ResetTo re-initializes s as the induced subgraph of g over vertices,
+// reusing s's storage (the allocation-free alternative to NewSub).
+func (s *Sub) ResetTo(g *Graph, vertices []int32) {
+	n := g.N()
+	// alive and deg can have diverging capacities (CopyFrom grows them with
+	// separate appends), so both must be checked before reslicing.
+	if cap(s.alive) < n || cap(s.deg) < n {
+		s.alive = make([]bool, n)
+		s.deg = make([]int32, n)
+	} else {
+		s.alive = s.alive[:n]
+		s.deg = s.deg[:n]
+		for i := range s.alive {
+			s.alive[i] = false
+		}
+		for i := range s.deg {
+			s.deg[i] = 0
+		}
+	}
+	s.g = g
+	s.size = 0
 	for _, v := range vertices {
 		if !s.alive[v] {
 			s.alive[v] = true
@@ -35,17 +75,6 @@ func NewSub(g *Graph, vertices []int32) *Sub {
 			}
 		}
 		s.deg[v] = d
-	}
-	return s
-}
-
-// Clone returns an independent copy of the subgraph state.
-func (s *Sub) Clone() *Sub {
-	return &Sub{
-		g:     s.g,
-		alive: append([]bool(nil), s.alive...),
-		deg:   append([]int32(nil), s.deg...),
-		size:  s.size,
 	}
 }
 

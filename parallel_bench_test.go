@@ -1,0 +1,30 @@
+// Parallel-engine benchmarks: the same exp sweeps as bench_test.go, pinned
+// to sequential vs all-cores engines so the speedup of the concurrent query
+// path is measurable with benchstat (the acceptance gate for the parallel
+// MAC engine is BenchmarkVaryKParallel / BenchmarkVaryKSequential >= 2x on
+// a multi-core runner).
+package roadsocial_test
+
+import (
+	"runtime"
+	"testing"
+
+	"roadsocial/internal/exp"
+)
+
+func parBenchOpts(parallelism int) exp.Options {
+	o := tinyOpts()
+	o.Parallelism = parallelism
+	return o
+}
+
+// BenchmarkVaryKSequential runs the Fig. 6-10(a) sweep with the engines
+// forced sequential (Parallelism = 1) — the pre-parallelism baseline.
+func BenchmarkVaryKSequential(b *testing.B) {
+	runExpBench(b, exp.VaryK, parBenchOpts(1))
+}
+
+// BenchmarkVaryKParallel runs the same sweep with Parallelism = NumCPU.
+func BenchmarkVaryKParallel(b *testing.B) {
+	runExpBench(b, exp.VaryK, parBenchOpts(runtime.NumCPU()))
+}

@@ -20,6 +20,20 @@
 // (Algorithms 3-5, typically an order of magnitude faster, sound but not
 // guaranteed to find every non-contained MAC).
 //
+// # Concurrency
+//
+// Both search engines process independent sub-problems — search-tree
+// branches, candidate verifications, per-query-location range Dijkstras —
+// on Query.Parallelism worker goroutines (<= 0 selects GOMAXPROCS; 1
+// forces fully sequential execution). One carve-out: a custom
+// Network.Oracle — e.g. a GTree — manages its own Parallelism knob and is
+// not affected by the query's. Output is canonically ordered, so results
+// are byte-identical at every parallelism level. All index
+// structures (SocialGraph, RoadGraph, GTree, a prepared Network) are
+// immutable after construction and safe for concurrent queries from any
+// number of goroutines; per-query scratch is pooled internally. Distinct
+// queries against the same Network may always run concurrently.
+//
 // # Quick start
 //
 //	sb := roadsocial.NewSocialBuilder(4, 2) // 4 users, 2 attributes
@@ -97,11 +111,15 @@ type RoadGraph = road.Graph
 // Location is a point in the road network (a vertex, or a point on an edge).
 type Location = road.Location
 
-// GTree is the hierarchical road index accelerating range queries.
+// GTree is the hierarchical road index accelerating range queries. It is
+// immutable after BuildGTree and safe for concurrent queries.
 type GTree = road.GTree
 
 // ErrNoCommunity is returned when no (k,t)-core contains the query users.
 var ErrNoCommunity = mac.ErrNoCommunity
+
+// ErrCanceled is returned when Query.Cancel closes mid-search.
+var ErrCanceled = mac.ErrCanceled
 
 // NewSocialBuilder creates a builder for a social graph with n users and d
 // numeric attributes per user.
