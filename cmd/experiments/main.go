@@ -15,7 +15,9 @@
 //
 // Experiments: table2, vary_k, vary_t, vary_d, vary_q, vary_j, vary_sigma,
 // partitions (Fig 11a,b), ktcore_size (Fig 11c), memory (Fig 11d),
-// ratio (Fig 12), compare_k (Fig 13-14b), compare_d (Fig 13-14c).
+// ratio (Fig 12), compare_k (Fig 13-14b), compare_d (Fig 13-14c), and
+// service_latency (query-service load generator: cold vs warm prepared
+// cache, saturation behavior; beyond the paper).
 package main
 
 import (
@@ -41,6 +43,9 @@ type benchRecord struct {
 	Scale       string  `json:"scale"`
 	QueriesPer  int     `json:"queries_per"`
 	Seed        int64   `json:"seed"`
+	// Metrics carries experiment-specific headline numbers (e.g. the
+	// service-latency cold/warm p50/p99 and saturation counts).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type benchFile struct {
@@ -97,6 +102,7 @@ func main() {
 		{"ratio", exp.RatioLS},
 		{"compare_k", func(o exp.Options) (*exp.Table, error) { return exp.CompareMethods(o, "k") }},
 		{"compare_d", func(o exp.Options) (*exp.Table, error) { return exp.CompareMethods(o, "d") }},
+		{"service_latency", exp.ServiceLatency},
 	}
 
 	want := map[string]bool{}
@@ -130,6 +136,7 @@ func main() {
 			Scale:       *scale,
 			QueriesPer:  *queries,
 			Seed:        *seed,
+			Metrics:     tab.Metrics,
 		})
 		ran++
 	}

@@ -1,0 +1,177 @@
+// Command macserver is the long-lived MAC query service: it loads one or
+// more road-social datasets and their G-tree indexes once, then serves
+// GlobalSearch/LocalSearch/KTCore requests over HTTP with a shared
+// prepared-state cache and admission control (see internal/service).
+//
+// Datasets come either from the synthetic catalog of the experiment harness
+// (Table II analogues) or from text files in the cmd/macsearch formats:
+//
+//	macserver -addr=:8080 -datasets=SF+Slashdot,FL+Lastfm -scale=small
+//	macserver -addr=:8080 -name=mycity \
+//	    -social=soc.txt -attrs=attrs.txt -road=road.txt -locs=locs.txt
+//
+// Query it with JSON:
+//
+//	curl -s localhost:8080/v1/search -d '{
+//	    "dataset": "SF+Slashdot", "q": [3, 7], "k": 4, "t": 2500,
+//	    "region": {"lo": [0.2, 0.2], "hi": [0.25, 0.25]},
+//	    "algo": "global", "timeout_ms": 2000}'
+//	curl -s localhost:8080/v1/ktcore -d '{"dataset": "SF+Slashdot", "q": [3], "k": 4, "t": 2500}'
+//	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/stats
+//
+// Repeated requests sharing (dataset, Q, k, t) reuse one prepared state:
+// only the first pays the road-network range query and r-dominance build.
+// When in-flight and queued work exceed the bounds, requests are rejected
+// with 429 rather than piling up; requests that exceed their deadline are
+// abandoned mid-search (504) via Query.Cancel.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"roadsocial"
+	"roadsocial/internal/dataset"
+	"roadsocial/internal/exp"
+	"roadsocial/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		datasets = flag.String("datasets", "SF+Slashdot", "comma-separated synthetic dataset names from the experiment catalog (see internal/exp), or empty for none")
+		scale    = flag.String("scale", "small", "synthetic dataset scale: tiny, small, medium")
+		d        = flag.Int("d", 3, "synthetic attribute dimensionality")
+		seed     = flag.Int64("seed", 20210421, "synthetic dataset seed")
+		gtree    = flag.Bool("gtree", true, "index road networks with a G-tree")
+
+		name       = flag.String("name", "", "name for a file-loaded dataset")
+		socialPath = flag.String("social", "", "social edge list file")
+		attrsPath  = flag.String("attrs", "", "attribute file")
+		roadPath   = flag.String("road", "", "road edge list file")
+		locsPath   = flag.String("locs", "", "user location file")
+
+		maxInFlight = flag.Int("max-inflight", 0, "concurrent searches; 0 = GOMAXPROCS")
+		maxQueue    = flag.Int("max-queue", 0, "waiting requests beyond in-flight; 0 = 4x in-flight")
+		cacheCap    = flag.Int("cache", 256, "prepared-state cache entries")
+		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		parallelism = flag.Int("parallelism", 0, "per-search workers; 0 = GOMAXPROCS")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		CacheCapacity:  *cacheCap,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Parallelism:    *parallelism,
+	})
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *datasets != "" {
+		for _, dsName := range strings.Split(*datasets, ",") {
+			dsName = strings.TrimSpace(dsName)
+			spec, err := exp.DatasetByName(dsName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			in, err := spec.Build(sc, *d, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *gtree {
+				in.Net.Oracle = roadsocial.BuildGTree(in.Net.Road, 0)
+			}
+			if err := srv.AddDataset(dsName, in.Net); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("dataset %s: %d users, %d friendships, %d road vertices (t_default=%g, loaded in %s)",
+				dsName, in.Net.Social.N(), in.Net.Social.M(), in.Net.Road.N(),
+				in.TDefault, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *socialPath != "" {
+		if *name == "" {
+			log.Fatal("file-loaded dataset requires -name")
+		}
+		net, err := loadFiles(*socialPath, *attrsPath, *roadPath, *locsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *gtree {
+			net.Oracle = roadsocial.BuildGTree(net.Road, 0)
+		}
+		if err := srv.AddDataset(*name, net); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("dataset %s: %d users, %d friendships, %d road vertices (files)",
+			*name, net.Social.N(), net.Social.M(), net.Road.N())
+	}
+	if len(srv.Datasets()) == 0 {
+		log.Fatal("no datasets loaded; pass -datasets or -social/-attrs/-road/-locs")
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		log.Print("shutting down")
+		_ = hs.Close()
+	}()
+	log.Printf("macserver listening on %s (datasets: %s)", *addr, strings.Join(srv.Datasets(), ", "))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+func parseScale(s string) (exp.Scale, error) {
+	switch s {
+	case "tiny":
+		return exp.Tiny, nil
+	case "small":
+		return exp.Small, nil
+	case "medium":
+		return exp.Medium, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small, or medium)", s)
+	}
+}
+
+func loadFiles(socialPath, attrsPath, roadPath, locsPath string) (*roadsocial.Network, error) {
+	sf, err := os.Open(socialPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	af, err := os.Open(attrsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	rf, err := os.Open(roadPath)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	lf, err := os.Open(locsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	return dataset.ReadNetwork(sf, af, nil, rf, lf)
+}

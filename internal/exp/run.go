@@ -59,11 +59,14 @@ func (o *Options) datasets() []DatasetSpec {
 	return out
 }
 
-// Table is a printable result grid.
+// Table is a printable result grid. Metrics optionally carries headline
+// numbers for machine-readable output (cmd/experiments -json embeds them in
+// the bench record).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Metrics map[string]float64
 }
 
 // Print renders the table with aligned columns.

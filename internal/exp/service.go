@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadsocial/internal/road"
+	"roadsocial/internal/service"
+)
+
+// Service-latency workload shape: closed-loop warm load plus a cold phase
+// over distinct cache keys and a saturation burst against a deliberately
+// tiny admission budget.
+const (
+	serviceWarmWorkers  = 4
+	serviceWarmPerWork  = 25
+	serviceColdKeys     = 6
+	serviceSaturateReqs = 16
+	serviceSigma        = 0.004
+)
+
+// ServiceLatency is the load-generator experiment for the query service
+// (cmd/macserver): it starts the service in-process over one dataset and
+// measures (a) cold requests, each paying a full Prepare for a distinct
+// (Q, k, t) key; (b) warm closed-loop load on one shared key, where every
+// request is a prepared-cache hit; and (c) a saturation burst against a
+// 1-slot server, counting clean 429 rejections. The headline numbers land
+// in Table.Metrics (and from there in the -json bench records): warm p50
+// measurably below cold p50 is the cache paying off.
+func ServiceLatency(opts Options) (*Table, error) {
+	opts.defaults()
+	specs := opts.datasets()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("exp: no datasets selected")
+	}
+	spec := specs[0]
+	in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	in.Net.Oracle = road.BuildGTree(in.Net.Road, 0)
+
+	tab := &Table{
+		Title:   fmt.Sprintf("Service latency (%s): cold vs warm prepared cache, saturation", spec.Name),
+		Header:  []string{"phase", "requests", "ok", "rejected_429", "p50_ms", "p99_ms"},
+		Metrics: map[string]float64{},
+	}
+
+	// Distinct query sets give distinct cache keys for the cold phase; the
+	// first doubles as the warm-phase key.
+	queries := in.Queries(DefaultK, in.TDefault, DefaultQSize, serviceColdKeys)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("exp: no feasible queries for %s", spec.Name)
+	}
+	region := in.Region(serviceSigma)
+
+	srv := service.New(service.Config{Parallelism: opts.Parallelism, MaxQueue: 1024})
+	if err := srv.AddDataset(spec.Name, in.Net); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := func(q []int32) []byte {
+		b, _ := json.Marshal(map[string]any{
+			"dataset": spec.Name, "q": q, "k": DefaultK, "t": in.TDefault,
+			"region": map[string]any{"lo": region.Lo, "hi": region.Hi},
+			"algo":   "global",
+		})
+		return b
+	}
+	post := func(b []byte) (int, float64, error) {
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, 0, err
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return 0, 0, err
+		}
+		return resp.StatusCode, float64(time.Since(start).Microseconds()) / 1000, nil
+	}
+
+	// Cold phase: every request prepares a fresh key.
+	var coldLat []float64
+	for _, q := range queries {
+		status, ms, err := post(body(q))
+		if err != nil {
+			return nil, err
+		}
+		if status == http.StatusOK {
+			coldLat = append(coldLat, ms)
+		}
+	}
+	tab.Rows = append(tab.Rows, latencyRow("cold", coldLat, 0))
+
+	// Warm phase: closed-loop concurrent load on one cached key.
+	warmBody := body(queries[0])
+	if status, _, err := post(warmBody); err != nil || status != http.StatusOK {
+		return nil, fmt.Errorf("exp: warm-up request failed (status %d, err %v)", status, err)
+	}
+	warmLat := make([][]float64, serviceWarmWorkers)
+	warmStart := time.Now()
+	var wg sync.WaitGroup
+	var warmErr atomic.Value
+	for w := 0; w < serviceWarmWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < serviceWarmPerWork; i++ {
+				status, ms, err := post(warmBody)
+				if err != nil {
+					warmErr.Store(err)
+					return
+				}
+				if status == http.StatusOK {
+					warmLat[w] = append(warmLat[w], ms)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	warmWall := time.Since(warmStart).Seconds()
+	if err, ok := warmErr.Load().(error); ok {
+		return nil, err
+	}
+	var warm []float64
+	for _, ls := range warmLat {
+		warm = append(warm, ls...)
+	}
+	tab.Rows = append(tab.Rows, latencyRow("warm", warm, 0))
+
+	// Saturation burst: a 1-slot, 2-queue server must reject the excess
+	// with immediate 429s instead of queueing it all. A gated oracle holds
+	// the admitted searches mid-Prepare until every request of the burst
+	// has arrived, so the outcome (1 in-flight + 2 queued admitted, the
+	// rest rejected) does not depend on machine speed.
+	gate := &gatedOracle{inner: in.Net.Oracle, gate: make(chan struct{})}
+	gnet := *in.Net
+	gnet.Oracle = gate
+	tiny := service.New(service.Config{MaxInFlight: 1, MaxQueue: 2, Parallelism: opts.Parallelism})
+	if err := tiny.AddDataset(spec.Name, &gnet); err != nil {
+		return nil, err
+	}
+	tts := httptest.NewServer(tiny.Handler())
+	defer tts.Close()
+	var satOK, sat429 atomic.Int64
+	var satLat sync.Mutex
+	var satOKLat []float64
+	wg = sync.WaitGroup{}
+	for i := 0; i < serviceSaturateReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := queries[i%len(queries)]
+			b, _ := json.Marshal(map[string]any{
+				"dataset": spec.Name, "q": q, "k": DefaultK, "t": in.TDefault + float64(i),
+				"region": map[string]any{"lo": region.Lo, "hi": region.Hi},
+			})
+			start := time.Now()
+			resp, err := http.Post(tts.URL+"/v1/search", "application/json", bytes.NewReader(b))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				satOK.Add(1)
+				satLat.Lock()
+				satOKLat = append(satOKLat, float64(time.Since(start).Microseconds())/1000)
+				satLat.Unlock()
+			case http.StatusTooManyRequests:
+				sat429.Add(1)
+			}
+		}(i)
+	}
+	// Release the gate once the whole burst is accounted for (admitted,
+	// queued, or rejected); fail open after a bound so a stall cannot hang
+	// the harness.
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		st := tiny.Stats()
+		if st.RejectedSaturated+st.InFlight+st.Queued >= serviceSaturateReqs {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.gate)
+	wg.Wait()
+	tab.Rows = append(tab.Rows, latencyRow("saturate", satOKLat, sat429.Load()))
+
+	coldP50 := percentileMs(coldLat, 0.50)
+	warmP50 := percentileMs(warm, 0.50)
+	tab.Metrics["cold_p50_ms"] = coldP50
+	tab.Metrics["cold_p99_ms"] = percentileMs(coldLat, 0.99)
+	tab.Metrics["warm_p50_ms"] = warmP50
+	tab.Metrics["warm_p99_ms"] = percentileMs(warm, 0.99)
+	if warmP50 > 0 {
+		tab.Metrics["cold_over_warm_p50"] = coldP50 / warmP50
+	}
+	if warmWall > 0 {
+		tab.Metrics["warm_qps"] = float64(len(warm)) / warmWall
+	}
+	tab.Metrics["saturated_429"] = float64(sat429.Load())
+	return tab, nil
+}
+
+// gatedOracle blocks every range query until its gate closes — the
+// saturation phase uses it to hold admitted requests in flight while the
+// rest of the burst arrives.
+type gatedOracle struct {
+	inner road.Oracle
+	gate  chan struct{}
+}
+
+func (g *gatedOracle) QueryDistances(qs, us []road.Location, bound float64) ([]float64, error) {
+	<-g.gate
+	return g.inner.QueryDistances(qs, us, bound)
+}
+
+func latencyRow(phase string, lat []float64, rejected int64) []string {
+	return []string{
+		phase,
+		fmt.Sprint(len(lat) + int(rejected)),
+		fmt.Sprint(len(lat)),
+		fmt.Sprint(rejected),
+		fmt.Sprintf("%.3f", percentileMs(lat, 0.50)),
+		fmt.Sprintf("%.3f", percentileMs(lat, 0.99)),
+	}
+}
+
+// percentileMs reads the q-th percentile (nearest rank) of unsorted
+// latencies.
+func percentileMs(lat []float64, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	return s[int(q*float64(len(s)-1))]
+}

@@ -12,7 +12,7 @@ import (
 // process. It is the reference oracle the search algorithms are tested
 // against; its cost is O(n'^2) per weight vector.
 func BruteForceAt(net *Network, q *Query, w []float64) ([]Community, error) {
-	ss, err := Prepare(net, q)
+	ss, err := prepare(net, q)
 	if err != nil {
 		return nil, err
 	}

@@ -25,3 +25,43 @@ func TestCancelAbandonsSearch(t *testing.T) {
 		t.Fatalf("nil Cancel: %v", err)
 	}
 }
+
+// TestCancelAbandonsTrussSearch: the truss engine honors Query.Cancel like
+// the k-core engines.
+func TestCancelAbandonsTrussSearch(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 1)
+	q.K = 4
+	cancel := make(chan struct{})
+	close(cancel)
+	q.Cancel = cancel
+	if _, err := GlobalSearchTruss(net, q); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("GlobalSearchTruss: got %v, want ErrCanceled", err)
+	}
+}
+
+// TestTrussParallelMatchesSequential: the conc.Tree port of the truss engine
+// produces byte-identical output at every parallelism level.
+func TestTrussParallelMatchesSequential(t *testing.T) {
+	net := paperNetwork(t)
+	for _, j := range []int{1, 2} {
+		q := paperQuery(t, j)
+		q.K = 4
+		q.Parallelism = 1
+		want, err := GlobalSearchTruss(net, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			qp := *q
+			qp.Parallelism = par
+			got, err := GlobalSearchTruss(net, &qp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resultEq(got, want); err != nil {
+				t.Fatalf("j=%d par=%d: %v", j, par, err)
+			}
+		}
+	}
+}

@@ -19,10 +19,16 @@ import (
 // workers (<= 0 selects GOMAXPROCS); output is canonically ordered, so the
 // result is identical for every parallelism level.
 func GlobalSearch(net *Network, q *Query) (*Result, error) {
-	ss, err := Prepare(net, q)
+	ss, err := prepare(net, q)
 	if err != nil {
 		return nil, err
 	}
+	return globalSearchOn(ss, q)
+}
+
+// globalSearchOn runs the global-search engine over an assembled search
+// space (one-shot or drawn from a Prepared handle).
+func globalSearchOn(ss *searchSpace, q *Query) (*Result, error) {
 	res := &Result{KTCore: sortedIDs(allLocal(ss.dag.N()), ss.dag.IDs)}
 	eng := &gsEngine{ss: ss, j: max(1, q.J), par: conc.Parallelism(q.Parallelism), presizeHP: true}
 	eng.run(geom.NewCell(q.Region))

@@ -35,11 +35,14 @@ func ktCore(net *Network, q []int32, k int, t float64, parallelism int, cancel <
 	for i, v := range q {
 		queryLocs[i] = net.Locs[v]
 	}
-	dq := net.oracle(parallelism, cancel).QueryDistances(queryLocs, net.Locs, t)
+	dq, err := net.oracle(parallelism, cancel).QueryDistances(queryLocs, net.Locs, t)
+	if err != nil {
+		return nil, oracleErr(err)
+	}
+	// Checkpoint for oracles that ignore Cancel (e.g. GTree): stop before
+	// the core decomposition instead of computing a result nobody wants.
 	select {
 	case <-cancel:
-		// A cancelled range query returns a partial distance vector that
-		// must not be consumed (it under-reports distances).
 		return nil, ErrCanceled
 	default:
 	}

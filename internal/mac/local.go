@@ -42,10 +42,16 @@ type LocalOptions struct {
 // complete: candidates form an expansion chain, so a non-contained MAC not
 // on the chain is missed (Fig. 12 of the paper reports this recall).
 func LocalSearch(net *Network, q *Query, opts LocalOptions) (*Result, error) {
-	ss, err := Prepare(net, q)
+	ss, err := prepare(net, q)
 	if err != nil {
 		return nil, err
 	}
+	return localSearchOn(ss, q, opts)
+}
+
+// localSearchOn runs the local-search framework over an assembled search
+// space (one-shot or drawn from a Prepared handle).
+func localSearchOn(ss *searchSpace, q *Query, opts LocalOptions) (*Result, error) {
 	par := opts.Parallelism
 	if par <= 0 {
 		par = q.Parallelism

@@ -1,0 +1,315 @@
+package mac
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"roadsocial/internal/domgraph"
+	"roadsocial/internal/geom"
+	"roadsocial/internal/social"
+)
+
+// Prepared is the reusable prepared state of a MAC query family: everything
+// the search engines derive from (Q, k, t) before looking at the preference
+// region. It holds the maximal (k,t)-core H_k^t (Lemmas 1-3) — whose
+// computation is dominated by the road-network range query and dominates
+// small-query latency — plus a small internal cache of region-dependent
+// state (the r-dominance DAG and the localized community graph), so a
+// stream of queries sharing (Q, k, t) pays Prepare once and queries that
+// additionally share the region skip straight to the engines.
+//
+// A Prepared is immutable apart from its internal region cache, which is
+// synchronized: any number of goroutines may call GlobalSearch, LocalSearch,
+// and KTCore concurrently.
+type Prepared struct {
+	net *Network
+	q   []int32 // query vertices, sorted canonical copy
+	k   int
+	t   float64
+	kt  []int32 // H_k^t member ids, sorted ascending
+
+	mu      sync.Mutex
+	regions map[string]*regionEntry
+	order   []string // region keys, least recently used first
+}
+
+// maxRegionSpaces bounds the per-Prepared region cache. Regions beyond the
+// bound evict least-recently-used entries; in-flight builds always complete
+// for their waiters even when evicted.
+const maxRegionSpaces = 8
+
+// regionSpace is the region-dependent half of the prepared state, read-only
+// after construction and shared across every query that uses it.
+type regionSpace struct {
+	dag     *domgraph.DAG
+	hg      *social.Graph
+	qLocal  []int32
+	degBase []int32
+	arcs    int
+}
+
+// regionEntry coalesces concurrent builds of the same region: the first
+// caller builds, later callers wait on ready.
+type regionEntry struct {
+	ready chan struct{}
+	rs    *regionSpace
+	err   error
+}
+
+// Prepare computes the maximal (k,t)-core for the query and returns a
+// Prepared handle that can serve any number of subsequent searches sharing
+// the query's (Q, K, T) — the preference region, J, Parallelism, and Cancel
+// knobs may vary per search. It returns ErrNoCommunity when no (k,t)-core
+// containing Q exists.
+func Prepare(net *Network, q *Query) (*Prepared, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(net); err != nil {
+		return nil, err
+	}
+	kt, err := ktCore(net, q.Q, q.K, q.T, q.Parallelism, q.Cancel)
+	if err != nil {
+		return nil, err
+	}
+	qs := append([]int32(nil), q.Q...)
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	return &Prepared{
+		net: net, q: qs, k: q.K, t: q.T, kt: kt,
+		regions: make(map[string]*regionEntry),
+	}, nil
+}
+
+// KTCore returns the vertex set of the maximal (k,t)-core, sorted ascending.
+func (p *Prepared) KTCore() Community {
+	return append(Community(nil), p.kt...)
+}
+
+// K returns the prepared coreness threshold.
+func (p *Prepared) K() int { return p.k }
+
+// T returns the prepared query-distance threshold.
+func (p *Prepared) T() float64 { return p.t }
+
+// Q returns the prepared query vertices, sorted ascending. Callers must not
+// mutate the result.
+func (p *Prepared) Q() []int32 { return p.q }
+
+// GlobalSearch runs the exact DFS-based search on the prepared state. The
+// query must agree with the prepared (Q, K, T); region, J, Parallelism, and
+// Cancel are the query's own.
+func (p *Prepared) GlobalSearch(q *Query) (*Result, error) {
+	ss, err := p.space(q)
+	if err != nil {
+		return nil, err
+	}
+	return globalSearchOn(ss, q)
+}
+
+// LocalSearch runs the local search framework on the prepared state, under
+// the same query-compatibility contract as GlobalSearch.
+func (p *Prepared) LocalSearch(q *Query, opts LocalOptions) (*Result, error) {
+	ss, err := p.space(q)
+	if err != nil {
+		return nil, err
+	}
+	return localSearchOn(ss, q, opts)
+}
+
+// matches checks that q asks for the prepared query family.
+func (p *Prepared) matches(q *Query) error {
+	if q.K != p.k || q.T != p.t {
+		return fmt.Errorf("mac: prepared for (k=%d, t=%g), query asks (k=%d, t=%g)", p.k, p.t, q.K, q.T)
+	}
+	if len(q.Q) != len(p.q) {
+		return fmt.Errorf("mac: prepared for %d query vertices, query has %d", len(p.q), len(q.Q))
+	}
+	qs := append([]int32(nil), q.Q...)
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	for i, v := range qs {
+		if v != p.q[i] {
+			return fmt.Errorf("mac: prepared query set %v, query asks %v", p.q, qs)
+		}
+	}
+	return nil
+}
+
+// space assembles a per-run searchSpace over the (possibly cached)
+// region-dependent state for q's region. The returned space shares dag, hg,
+// qLocal, and degBase read-only with every concurrent run on the same
+// region; stats are fresh per run.
+func (p *Prepared) space(q *Query) (*searchSpace, error) {
+	if err := q.Validate(p.net); err != nil {
+		return nil, err
+	}
+	if err := p.matches(q); err != nil {
+		return nil, err
+	}
+	rs, err := p.regionSpace(q)
+	if err != nil {
+		return nil, err
+	}
+	ss := &searchSpace{
+		net: p.net, query: q,
+		dag: rs.dag, hg: rs.hg, qLocal: rs.qLocal, degBase: rs.degBase,
+	}
+	ss.stats.KTCoreSize = rs.hg.N()
+	ss.stats.KTCoreEdges = rs.hg.M()
+	ss.stats.DomGraphArcs = rs.arcs
+	return ss, nil
+}
+
+// regionSpace returns the cached region state for q.Region, building it at
+// most once per distinct region: concurrent callers with the same region
+// coalesce on one build, and the cache keeps the maxRegionSpaces most
+// recently used regions. A build runs under its builder's Cancel only; when
+// the builder is canceled mid-build, a waiter whose own query is still live
+// takes over as the next builder instead of inheriting the cancellation.
+func (p *Prepared) regionSpace(q *Query) (*regionSpace, error) {
+	key := regionKey(q.Region)
+	for {
+		p.mu.Lock()
+		if e, ok := p.regions[key]; ok {
+			p.touch(key)
+			p.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-q.Cancel:
+				return nil, ErrCanceled
+			}
+			if errors.Is(e.err, ErrCanceled) && !queryCancelled(q) {
+				// The builder's cancellation, not ours; its entry is being
+				// removed — retry and become the builder.
+				continue
+			}
+			return e.rs, e.err
+		}
+		e := &regionEntry{ready: make(chan struct{})}
+		p.regions[key] = e
+		p.order = append(p.order, key)
+		if len(p.order) > maxRegionSpaces {
+			evict := p.order[0]
+			p.order = p.order[1:]
+			delete(p.regions, evict)
+		}
+		p.mu.Unlock()
+
+		rs, err := p.buildRegionSpace(q)
+		e.rs, e.err = rs, err
+		close(e.ready)
+		if err != nil {
+			// Failed (typically canceled) builds must not be served from
+			// cache.
+			p.mu.Lock()
+			if cur, ok := p.regions[key]; ok && cur == e {
+				delete(p.regions, key)
+				for i, k := range p.order {
+					if k == key {
+						p.order = append(p.order[:i], p.order[i+1:]...)
+						break
+					}
+				}
+			}
+			p.mu.Unlock()
+		}
+		return rs, err
+	}
+}
+
+// touch moves key to the most-recently-used end of the eviction order.
+// Caller holds p.mu.
+func (p *Prepared) touch(key string) {
+	for i, k := range p.order {
+		if k == key {
+			p.order = append(append(p.order[:i], p.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// buildRegionSpace constructs the r-dominance graph over H_k^t for the
+// query's region and relabels the community graph into the DAG's local
+// space (the second half of the former one-shot Prepare).
+func (p *Prepared) buildRegionSpace(q *Query) (*regionSpace, error) {
+	if queryCancelled(q) {
+		return nil, ErrCanceled
+	}
+	net := p.net
+	vecs := make([][]float64, len(p.kt))
+	for i, v := range p.kt {
+		vecs[i] = net.Social.Attrs(int(v))
+	}
+	dag := domgraph.Build(q.Region, p.kt, vecs, 0)
+	if queryCancelled(q) {
+		return nil, ErrCanceled
+	}
+
+	// Localized graph: vertex i corresponds to dag.IDs[i].
+	hb := social.NewBuilder(dag.N(), net.Social.D())
+	inKT := make(map[int32]int32, dag.N())
+	for id, local := range dag.Local {
+		inKT[id] = local
+	}
+	for id, local := range dag.Local {
+		hb.SetAttrs(int(local), net.Social.Attrs(int(id)))
+		hb.SetLabel(int(local), net.Social.Label(int(id)))
+		for _, w := range net.Social.Neighbors(int(id)) {
+			if wl, ok := inKT[w]; ok && id < w {
+				hb.AddEdge(int(local), int(wl))
+			}
+		}
+	}
+	hg, err := hb.Build()
+	if err != nil {
+		return nil, err
+	}
+	qLocal := make([]int32, len(p.q))
+	for i, v := range p.q {
+		qLocal[i] = dag.Local[v]
+	}
+	arcs := 0
+	for v := int32(0); v < int32(dag.N()); v++ {
+		arcs += len(dag.Children(v))
+	}
+	rs := &regionSpace{dag: dag, hg: hg, qLocal: qLocal, arcs: arcs}
+	rs.degBase = make([]int32, hg.N())
+	for v := 0; v < hg.N(); v++ {
+		rs.degBase[v] = int32(hg.Degree(v))
+	}
+	return rs, nil
+}
+
+// regionKey is a canonical byte signature of a region: box bounds, extra
+// halfspaces, and corners (caller-supplied for polytopes), each section
+// length-prefixed so distinct regions cannot collide. Regions are equal
+// under the key iff their defining floats are bit-identical — the right
+// notion for cache identity, where "same request repeated" is the target.
+func regionKey(r *geom.Region) string {
+	b := make([]byte, 0, 16*(len(r.Lo)+len(r.Hi))+64)
+	f := func(v float64) {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	vec := func(vs []float64) {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(vs)))
+		for _, v := range vs {
+			f(v)
+		}
+	}
+	vec(r.Lo)
+	vec(r.Hi)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Extra)))
+	for _, h := range r.Extra {
+		vec(h.A)
+		f(h.B)
+	}
+	corners := r.Corners()
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(corners)))
+	for _, c := range corners {
+		vec(c)
+	}
+	return string(b)
+}

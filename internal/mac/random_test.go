@@ -272,7 +272,10 @@ func TestResultInvariants(t *testing.T) {
 				for i, v := range comm {
 					locs[i] = net.Locs[v]
 				}
-				dq := oracle.QueryDistances(queryLocs, locs, q.T)
+				dq, err := oracle.QueryDistances(queryLocs, locs, q.T)
+				if err != nil {
+					t.Fatal(err)
+				}
 				for i, dist := range dq {
 					if dist > q.T {
 						t.Fatalf("trial %d: member %d exceeds t: %g > %g", trial, comm[i], dist, q.T)

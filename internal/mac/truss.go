@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"roadsocial/internal/bitset"
+	"roadsocial/internal/conc"
 	"roadsocial/internal/domgraph"
 	"roadsocial/internal/geom"
 	"roadsocial/internal/road"
@@ -19,6 +20,11 @@ import (
 // Truss maintenance after a deletion is implemented by recomputation (the
 // truss cascade is not incremental here), so this variant suits moderate
 // community sizes; the k-core engine remains the fast path.
+//
+// Like the k-core engines, independent search-tree branches run on
+// Query.Parallelism workers with canonically ordered output, and closing
+// Query.Cancel abandons the search at the next task boundary with
+// ErrCanceled.
 func GlobalSearchTruss(net *Network, q *Query) (*Result, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -32,10 +38,13 @@ func GlobalSearchTruss(net *Network, q *Query) (*Result, error) {
 	for i, v := range q.Q {
 		queryLocs[i] = net.Locs[v]
 	}
-	dq := net.oracle(q.Parallelism, q.Cancel).QueryDistances(queryLocs, net.Locs, q.T)
+	dq, err := net.oracle(q.Parallelism, q.Cancel).QueryDistances(queryLocs, net.Locs, q.T)
+	if err != nil {
+		return nil, oracleErr(err)
+	}
+	// Checkpoint for oracles that ignore Cancel (e.g. GTree): stop before
+	// the truss decomposition instead of computing a result nobody wants.
 	if queryCancelled(q) {
-		// A cancelled range query returns a partial distance vector that
-		// must not be consumed (it under-reports distances).
 		return nil, ErrCanceled
 	}
 	allowed := make([]bool, gs.N())
@@ -61,27 +70,35 @@ func GlobalSearchTruss(net *Network, q *Query) (*Result, error) {
 
 	eng := &trussEngine{
 		net: net, q: q, dag: dag,
-		j: max(1, q.J),
+		j:   max(1, q.J),
+		par: conc.Parallelism(q.Parallelism),
 	}
 	eng.qLocal = make([]int32, len(q.Q))
 	for i, v := range q.Q {
 		eng.qLocal[i] = dag.Local[v]
 	}
 	eng.run(geom.NewCell(q.Region))
+	if queryCancelled(q) {
+		return nil, ErrCanceled
+	}
 	res.Cells = eng.results
 	res.Stats.KTCoreSize = dag.N()
 	res.Stats.Partitions = len(eng.results)
 	return res, nil
 }
 
-// trussEngine mirrors gsEngine with truss-recomputing deletions. State per
-// task is the alive set in DAG-local indices.
+// trussEngine mirrors gsEngine with truss-recomputing deletions: independent
+// sub-cells of R are processed by par workers (conc.Tree), each emitting into
+// its own buffer; emits are merged in canonical task-tree path order, so
+// output is identical for every parallelism level. State per task is the
+// alive set in DAG-local indices.
 type trussEngine struct {
 	net     *Network
 	q       *Query
 	dag     *domgraph.DAG
 	qLocal  []int32
 	j       int
+	par     int
 	results []CellResult
 }
 
@@ -89,26 +106,42 @@ type trussTask struct {
 	alive   *bitset.Set
 	cell    *geom.Cell
 	batches [][]int32
+	path    []int32
 }
 
 func (e *trussEngine) run(root *geom.Cell) {
+	// Force the root cell's lazy witness evaluation before workers touch it
+	// concurrently (evaluated cells are read-only).
+	root.Witness()
 	n := e.dag.N()
 	alive := bitset.New(n)
 	for i := 0; i < n; i++ {
 		alive.Set(i)
 	}
-	queue := []trussTask{{alive: alive, cell: root}}
-	for len(queue) > 0 {
-		t := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		queue = append(queue, e.step(t)...)
+	emits := make([][]orderedCell, e.par)
+	conc.Tree(e.par, []trussTask{{alive: alive, cell: root}}, func(worker int, t trussTask) []trussTask {
+		return e.step(t, &emits[worker])
+	})
+	var all []orderedCell
+	for _, es := range emits {
+		all = append(all, es...)
+	}
+	sort.Slice(all, func(i, j int) bool { return pathLess(all[i].path, all[j].path) })
+	e.results = make([]CellResult, len(all))
+	for i, oc := range all {
+		e.results[i] = oc.cr
 	}
 }
 
-func (e *trussEngine) step(t trussTask) []trussTask {
+func (e *trussEngine) step(t trussTask, emits *[]orderedCell) []trussTask {
+	if queryCancelled(e.q) {
+		// Abandoned search: drop the task so the pool drains at the next
+		// boundary instead of finishing the DFS.
+		return nil
+	}
 	leaves := e.dag.Leaves(t.alive)
 	if len(leaves) == 0 {
-		e.emit(t)
+		e.emit(t, emits)
 		return nil
 	}
 	tree := geom.NewPartitionTree(t.cell)
@@ -118,7 +151,7 @@ func (e *trussEngine) step(t trussTask) []trussTask {
 		}
 	}
 	var out []trussTask
-	for _, cell := range tree.Leaves() {
+	for ci, cell := range tree.Leaves() {
 		w := cell.Witness()
 		if w == nil {
 			continue
@@ -130,19 +163,20 @@ func (e *trussEngine) step(t trussTask) []trussTask {
 				u, best = l, s
 			}
 		}
+		path := appendPath(t.path, int32(ci))
 		if containsLocal(e.qLocal, u) {
-			e.emit(trussTask{alive: t.alive, cell: cell, batches: t.batches})
+			e.emit(trussTask{alive: t.alive, cell: cell, batches: t.batches, path: path}, emits)
 			continue
 		}
 		alive2, batch, ok := e.tryDelete(t.alive, u)
 		if !ok {
-			e.emit(trussTask{alive: t.alive, cell: cell, batches: t.batches})
+			e.emit(trussTask{alive: t.alive, cell: cell, batches: t.batches, path: path}, emits)
 			continue
 		}
 		batches2 := make([][]int32, len(t.batches)+1)
 		copy(batches2, t.batches)
 		batches2[len(t.batches)] = batch
-		out = append(out, trussTask{alive: alive2, cell: cell, batches: batches2})
+		out = append(out, trussTask{alive: alive2, cell: cell, batches: batches2, path: path})
 	}
 	return out
 }
@@ -177,7 +211,7 @@ func (e *trussEngine) tryDelete(alive *bitset.Set, u int32) (*bitset.Set, []int3
 	return alive2, batch, true
 }
 
-func (e *trussEngine) emit(t trussTask) {
+func (e *trussEngine) emit(t trussTask, emits *[]orderedCell) {
 	ranked := make([]Community, 0, e.j)
 	var current []int32
 	t.alive.ForEach(func(i int) bool { current = append(current, int32(i)); return true })
@@ -190,7 +224,7 @@ func (e *trussEngine) emit(t trussTask) {
 		current = append(current, t.batches[idx]...)
 		ranked = append(ranked, sortedIDs(current, e.dag.IDs))
 	}
-	e.results = append(e.results, CellResult{Cell: t.cell, Ranked: ranked})
+	*emits = append(*emits, orderedCell{path: t.path, cr: CellResult{Cell: t.cell, Ranked: ranked}})
 }
 
 // BruteForceTrussAt is the reference oracle for the truss variant at one
@@ -207,10 +241,11 @@ func BruteForceTrussAt(net *Network, q *Query, w []float64) (Community, error) {
 	for i, v := range q.Q {
 		queryLocs[i] = net.Locs[v]
 	}
-	dq := net.oracle(q.Parallelism, q.Cancel).QueryDistances(queryLocs, net.Locs, q.T)
+	dq, err := net.oracle(q.Parallelism, q.Cancel).QueryDistances(queryLocs, net.Locs, q.T)
+	if err != nil {
+		return nil, oracleErr(err)
+	}
 	if queryCancelled(q) {
-		// A cancelled range query returns a partial distance vector that
-		// must not be consumed (it under-reports distances).
 		return nil, ErrCanceled
 	}
 	allowed := make([]bool, gs.N())

@@ -203,10 +203,11 @@ func sortedIDs(local []int32, toGlobal []int32) Community {
 	return out
 }
 
-// searchSpace holds the shared state both search algorithms start from: the
-// maximal (k,t)-core relabeled into the DAG's local index space. After
-// Prepare it is read-only except for stats, which workers accumulate
-// per-scratch and merge under statsMu.
+// searchSpace holds the shared state one search run starts from: the
+// maximal (k,t)-core relabeled into the DAG's local index space. The dag,
+// hg, qLocal, and degBase fields point into a regionSpace that may be
+// shared read-only with other concurrent queries (see Prepared); stats are
+// per-run, accumulated per-scratch by workers and merged under statsMu.
 type searchSpace struct {
 	net    *Network
 	query  *Query
@@ -221,68 +222,16 @@ type searchSpace struct {
 	stats   Stats
 }
 
-// Prepare computes H_k^t (Lemmas 1-3), builds the r-dominance graph, and
-// relabels the community graph into the DAG's local space. It returns an
-// error when no (k,t)-core containing Q exists.
-func Prepare(net *Network, q *Query) (*searchSpace, error) {
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	if err := q.Validate(net); err != nil {
-		return nil, err
-	}
-	ktVertices, err := ktCore(net, q.Q, q.K, q.T, q.Parallelism, q.Cancel)
+// prepare computes the full one-shot prepared state for a single query:
+// H_k^t (Lemmas 1-3), the r-dominance graph, and the localized community
+// graph. It is the Prepare + space composition the one-shot entry points
+// use; long-lived callers hold a Prepared instead and amortize both stages.
+func prepare(net *Network, q *Query) (*searchSpace, error) {
+	p, err := Prepare(net, q)
 	if err != nil {
 		return nil, err
 	}
-	if queryCancelled(q) {
-		return nil, ErrCanceled
-	}
-	vecs := make([][]float64, len(ktVertices))
-	for i, v := range ktVertices {
-		vecs[i] = net.Social.Attrs(int(v))
-	}
-	dag := domgraph.Build(q.Region, ktVertices, vecs, 0)
-	if queryCancelled(q) {
-		return nil, ErrCanceled
-	}
-
-	// Localized graph: vertex i corresponds to dag.IDs[i].
-	hb := social.NewBuilder(dag.N(), net.Social.D())
-	inKT := make(map[int32]int32, dag.N())
-	for id, local := range dag.Local {
-		inKT[id] = local
-	}
-	for id, local := range dag.Local {
-		hb.SetAttrs(int(local), net.Social.Attrs(int(id)))
-		hb.SetLabel(int(local), net.Social.Label(int(id)))
-		for _, w := range net.Social.Neighbors(int(id)) {
-			if wl, ok := inKT[w]; ok && id < w {
-				hb.AddEdge(int(local), int(wl))
-			}
-		}
-	}
-	hg, err := hb.Build()
-	if err != nil {
-		return nil, err
-	}
-	qLocal := make([]int32, len(q.Q))
-	for i, v := range q.Q {
-		qLocal[i] = dag.Local[v]
-	}
-	arcs := 0
-	for v := int32(0); v < int32(dag.N()); v++ {
-		arcs += len(dag.Children(v))
-	}
-	ss := &searchSpace{net: net, query: q, dag: dag, hg: hg, qLocal: qLocal}
-	ss.degBase = make([]int32, hg.N())
-	for v := 0; v < hg.N(); v++ {
-		ss.degBase[v] = int32(hg.Degree(v))
-	}
-	ss.stats.KTCoreSize = hg.N()
-	ss.stats.KTCoreEdges = hg.M()
-	ss.stats.DomGraphArcs = arcs
-	return ss, nil
+	return p.space(q)
 }
 
 // cancelled reports whether the query's Cancel channel has been closed.
@@ -303,3 +252,13 @@ var ErrNoCommunity = errors.New("mac: no (k,t)-core containing the query vertice
 
 // ErrCanceled is returned when the query's Cancel channel closes mid-search.
 var ErrCanceled = errors.New("mac: search canceled")
+
+// oracleErr maps a distance-oracle failure onto the search error space:
+// road.ErrCanceled becomes ErrCanceled (the oracle's Cancel channel is the
+// query's), anything else passes through.
+func oracleErr(err error) error {
+	if errors.Is(err, road.ErrCanceled) {
+		return ErrCanceled
+	}
+	return err
+}

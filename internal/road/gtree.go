@@ -297,7 +297,8 @@ func (t *GTree) restrictedDijkstra(s int32, setID int32, sc *gtScratch) []float6
 // pruned at bound. Edge-located query sources fall back to plain Dijkstra.
 // Query locations are processed by up to Parallelism workers; the per-user
 // max-fold is order-independent, so output never depends on scheduling.
-func (t *GTree) QueryDistances(queries []Location, users []Location, bound float64) []float64 {
+// The GTree has no Cancel knob, so the returned error is always nil.
+func (t *GTree) QueryDistances(queries []Location, users []Location, bound float64) ([]float64, error) {
 	return maxFoldQueries(conc.Parallelism(t.Parallelism), len(queries), len(users), nil,
 		func(qi int, row []float64) { t.queryRow(queries[qi], users, bound, row) })
 }

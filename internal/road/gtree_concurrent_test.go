@@ -68,7 +68,11 @@ func TestGTreeConcurrentQueries(t *testing.T) {
 	}
 	want := make([][]float64, len(jobs))
 	for i, jb := range jobs {
-		want[i] = ref.QueryDistances(jb.queries, locs, jb.bound)
+		var err error
+		want[i], err = ref.QueryDistances(jb.queries, locs, jb.bound)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -78,7 +82,11 @@ func TestGTreeConcurrentQueries(t *testing.T) {
 			wg.Add(1)
 			go func(i int, jb job) {
 				defer wg.Done()
-				got := gt.QueryDistances(jb.queries, locs, jb.bound)
+				got, err := gt.QueryDistances(jb.queries, locs, jb.bound)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
 				for u := range got {
 					w := want[i][u]
 					// Values beyond the bound may legitimately differ (both
@@ -113,8 +121,11 @@ func TestRangeQuerierParallelMatchesSequential(t *testing.T) {
 			qs[j] = locs[rng.Intn(len(locs))]
 		}
 		bound := 5 + rng.Float64()*40
-		seq := RangeQuerier{G: g, Parallelism: 1}.QueryDistances(qs, locs, bound)
-		par := RangeQuerier{G: g, Parallelism: 8}.QueryDistances(qs, locs, bound)
+		seq, err1 := RangeQuerier{G: g, Parallelism: 1}.QueryDistances(qs, locs, bound)
+		par, err2 := RangeQuerier{G: g, Parallelism: 8}.QueryDistances(qs, locs, bound)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
 		for i := range seq {
 			if seq[i] != par[i] {
 				t.Fatalf("trial %d user %d: %g vs %g", trial, i, seq[i], par[i])

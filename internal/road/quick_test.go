@@ -78,8 +78,11 @@ func TestQuickGTreeExchangeable(t *testing.T) {
 			users = append(users, VertexLocation(rng.Intn(n)))
 		}
 		bound := 5 + rng.Float64()*15
-		a := gt.QueryDistances(queries, users, bound)
-		b := RangeQuerier{G: g}.QueryDistances(queries, users, bound)
+		a, errA := gt.QueryDistances(queries, users, bound)
+		b, errB := RangeQuerier{G: g}.QueryDistances(queries, users, bound)
+		if errA != nil || errB != nil {
+			return false
+		}
 		for i := range users {
 			if b[i] <= bound {
 				if math.Abs(a[i]-b[i]) > 1e-9 {

@@ -1,6 +1,15 @@
 package road
 
-import "roadsocial/internal/conc"
+import (
+	"errors"
+	"sync/atomic"
+
+	"roadsocial/internal/conc"
+)
+
+// ErrCanceled is returned by QueryDistances when the oracle's Cancel channel
+// closes before every query location has been processed.
+var ErrCanceled = errors.New("road: range query canceled")
 
 // Oracle answers the distance computations the MAC search needs from the
 // road network: per-user query distances D_Q(v) = max_{q in Q} dist(L(v),
@@ -11,8 +20,10 @@ type Oracle interface {
 	// QueryDistances returns, for each user location, D_Q = max over the
 	// query locations of the network distance, computed exactly for users
 	// within bound and reported as Inf beyond it (any value > bound may be
-	// reported as Inf).
-	QueryDistances(queries []Location, users []Location, bound float64) []float64
+	// reported as Inf). A cancelled computation returns (nil, ErrCanceled):
+	// the distance vector is never partially delivered, so callers need no
+	// post-call guard of their own.
+	QueryDistances(queries []Location, users []Location, bound float64) ([]float64, error)
 }
 
 // RangeQuerier is the baseline Oracle: one bounded Dijkstra per query
@@ -23,14 +34,14 @@ type Oracle interface {
 type RangeQuerier struct {
 	G           *Graph
 	Parallelism int
-	// Cancel, when non-nil and closed, makes QueryDistances skip remaining
-	// query locations (each in-flight Dijkstra still completes). The
-	// partial result must not be used; callers that cancel abandon it.
+	// Cancel, when non-nil and closed, makes QueryDistances stop after the
+	// in-flight per-location Dijkstras and return ErrCanceled instead of a
+	// distance vector.
 	Cancel <-chan struct{}
 }
 
 // QueryDistances implements Oracle.
-func (r RangeQuerier) QueryDistances(queries []Location, users []Location, bound float64) []float64 {
+func (r RangeQuerier) QueryDistances(queries []Location, users []Location, bound float64) ([]float64, error) {
 	return maxFoldQueries(conc.Parallelism(r.Parallelism), len(queries), len(users), r.Cancel,
 		func(qi int, row []float64) { r.queryRow(queries[qi], users, bound, row) })
 }
@@ -61,26 +72,31 @@ func (r RangeQuerier) queryRow(q Location, users []Location, bound float64, row 
 // rows are max-folded into a fresh output slice. The fold is
 // order-independent, so output never depends on worker scheduling. A
 // single-location query writes straight into the zeroed output (distances
-// are non-negative, so assignment equals the fold).
-func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow func(qi int, row []float64)) []float64 {
+// are non-negative, so assignment equals the fold). Cancellation makes the
+// fan-out stop claiming locations and return ErrCanceled — never a partial
+// vector.
+func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow func(qi int, row []float64)) ([]float64, error) {
 	out := make([]float64, nUsers)
 	if nQueries == 0 {
-		return out
+		return out, nil
 	}
 	if nQueries == 1 {
+		if chanClosed(cancel) {
+			return nil, ErrCanceled
+		}
 		queryRow(0, out)
-		return out
+		return out, nil
 	}
 	if par <= 1 {
 		row := make([]float64, nUsers)
 		for qi := 0; qi < nQueries; qi++ {
 			if chanClosed(cancel) {
-				return out
+				return nil, ErrCanceled
 			}
 			queryRow(qi, row)
 			foldRowMax(out, row)
 		}
-		return out
+		return out, nil
 	}
 	// Each worker folds into a private accumulator, bounding transient
 	// memory by the worker count rather than the query count; max is
@@ -91,8 +107,10 @@ func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow 
 	}
 	type workerRows struct{ scratch, acc []float64 }
 	ws := make([]*workerRows, par)
+	var canceled atomic.Bool
 	conc.For(par, nQueries, func(worker, qi int) {
 		if chanClosed(cancel) {
+			canceled.Store(true)
 			return
 		}
 		w := ws[worker]
@@ -103,12 +121,15 @@ func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow 
 		queryRow(qi, w.scratch)
 		foldRowMax(w.acc, w.scratch)
 	})
+	if canceled.Load() || chanClosed(cancel) {
+		return nil, ErrCanceled
+	}
 	for _, w := range ws {
 		if w != nil {
 			foldRowMax(out, w.acc)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // foldRowMax folds one per-user distance row into the running maxima.
@@ -133,12 +154,15 @@ func chanClosed(c <-chan struct{}) bool {
 // FilterWithin returns the indexes of users whose query distance is at most
 // t — the Lemma 1 filter producing the candidate set for the maximal
 // (k,t)-core.
-func FilterWithin(o Oracle, queries []Location, users []Location, t float64) (idx []int, dq []float64) {
-	dq = o.QueryDistances(queries, users, t)
+func FilterWithin(o Oracle, queries []Location, users []Location, t float64) (idx []int, dq []float64, err error) {
+	dq, err = o.QueryDistances(queries, users, t)
+	if err != nil {
+		return nil, nil, err
+	}
 	for i, d := range dq {
 		if d <= t {
 			idx = append(idx, i)
 		}
 	}
-	return idx, dq
+	return idx, dq, nil
 }

@@ -6,6 +6,17 @@ import (
 	"testing"
 )
 
+// mustQD runs QueryDistances on an oracle that is not expected to fail
+// (no Cancel in play).
+func mustQD(t *testing.T, o Oracle, queries, users []Location, bound float64) []float64 {
+	t.Helper()
+	dq, err := o.QueryDistances(queries, users, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dq
+}
+
 // lineGraph builds a path 0-1-2-...-(n-1) with the given weights.
 func lineGraph(t *testing.T, weights []float64) *Graph {
 	t.Helper()
@@ -163,7 +174,7 @@ func TestRangeQuerier(t *testing.T) {
 		VertexLocation(0), VertexLocation(2), VertexLocation(4),
 	}
 	queries := []Location{VertexLocation(1), VertexLocation(2)}
-	dq := RangeQuerier{G: g}.QueryDistances(queries, users, 10)
+	dq := mustQD(t, RangeQuerier{G: g}, queries, users, 10)
 	// D_Q(u) = max over queries.
 	want := []float64{2, 1, 3}
 	for i := range want {
@@ -171,7 +182,10 @@ func TestRangeQuerier(t *testing.T) {
 			t.Fatalf("dq[%d] = %g, want %g", i, dq[i], want[i])
 		}
 	}
-	idx, _ := FilterWithin(RangeQuerier{G: g}, queries, users, 2)
+	idx, _, err := FilterWithin(RangeQuerier{G: g}, queries, users, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
 		t.Fatalf("FilterWithin = %v, want [0 1]", idx)
 	}
@@ -190,8 +204,8 @@ func TestGTreeMatchesDijkstra(t *testing.T) {
 		for i := 0; i < 20; i++ {
 			users = append(users, VertexLocation(rng.Intn(n)))
 		}
-		gotAll := gt.QueryDistances([]Location{VertexLocation(src)}, users, bound)
-		wantAll := RangeQuerier{G: g}.QueryDistances([]Location{VertexLocation(src)}, users, bound)
+		gotAll := mustQD(t, gt, []Location{VertexLocation(src)}, users, bound)
+		wantAll := mustQD(t, RangeQuerier{G: g}, []Location{VertexLocation(src)}, users, bound)
 		for i := range users {
 			got, want := gotAll[i], wantAll[i]
 			if want > bound {
@@ -219,8 +233,8 @@ func TestGTreeMultiQueryMax(t *testing.T) {
 		users = append(users, VertexLocation(rng.Intn(n)))
 	}
 	bound := 25.0
-	got := gt.QueryDistances(queries, users, bound)
-	want := RangeQuerier{G: g}.QueryDistances(queries, users, bound)
+	got := mustQD(t, gt, queries, users, bound)
+	want := mustQD(t, RangeQuerier{G: g}, queries, users, bound)
 	for i := range users {
 		if want[i] <= bound {
 			if math.Abs(got[i]-want[i]) > 1e-9 {
@@ -249,7 +263,7 @@ func TestGTreeGridShape(t *testing.T) {
 	}
 	gt := BuildGTree(g, 12)
 	users := []Location{VertexLocation(0), VertexLocation(99), VertexLocation(55)}
-	got := gt.QueryDistances([]Location{VertexLocation(0)}, users, 100)
+	got := mustQD(t, gt, []Location{VertexLocation(0)}, users, 100)
 	want := []float64{0, 18, 10}
 	for i := range want {
 		if math.Abs(got[i]-want[i]) > 1e-9 {

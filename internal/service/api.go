@@ -1,0 +1,206 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"roadsocial/internal/geom"
+	"roadsocial/internal/mac"
+)
+
+// Algo names the search algorithm of a request.
+type Algo string
+
+const (
+	// AlgoGlobal is the exact DFS-based search (default).
+	AlgoGlobal Algo = "global"
+	// AlgoLocal is the local search framework (faster, sound, not complete).
+	AlgoLocal Algo = "local"
+	// AlgoTruss is the k-truss variant (no prepared-state reuse).
+	AlgoTruss Algo = "truss"
+)
+
+// Cache outcomes reported per response.
+const (
+	CacheHit    = "hit"
+	CacheMiss   = "miss"
+	CacheBypass = "bypass"
+)
+
+// Request bounds: a public endpoint must not let one request dominate the
+// server, so the knobs with superlinear cost are capped. Parallelism in
+// particular allocates per-worker goroutines and scratch arenas, so a
+// client may not demand more than maxParallelism of them.
+const (
+	maxQueryVertices = 256
+	maxJ             = 128
+	maxParallelism   = 64
+)
+
+// RegionSpec is the JSON form of an axis-parallel preference region
+// [lo, hi] in the reduced (d-1)-dimensional weight domain.
+type RegionSpec struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+// SearchRequest is the body of /v1/search and /v1/ktcore.
+type SearchRequest struct {
+	// Dataset names a registered dataset.
+	Dataset string `json:"dataset"`
+	// Q are the query vertices (social ids).
+	Q []int32 `json:"q"`
+	// K is the coreness (or truss) threshold.
+	K int `json:"k"`
+	// T is the query-distance threshold.
+	T float64 `json:"t"`
+	// Region is required for searches; /v1/ktcore ignores it.
+	Region *RegionSpec `json:"region,omitempty"`
+	// J asks for the top-j MACs per partition (<= 1: non-contained only).
+	J int `json:"j,omitempty"`
+	// Algo selects global (default), local, or truss.
+	Algo Algo `json:"algo,omitempty"`
+	// TimeoutMs is the request deadline; 0 selects the server default, and
+	// values beyond the server maximum are clamped.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Parallelism overrides the per-search worker count (0: server config).
+	Parallelism int `json:"parallelism,omitempty"`
+	// KTCoreOnly answers with the maximal (k,t)-core membership and skips
+	// the search (the /v1/ktcore endpoint sets it).
+	KTCoreOnly bool `json:"-"`
+}
+
+func (r *SearchRequest) algo() Algo {
+	if r.Algo == "" {
+		return AlgoGlobal
+	}
+	return r.Algo
+}
+
+// ErrInvalid marks request errors that are the client's fault (HTTP 400);
+// anything not wrapped in it (or in the other sentinels) is a server-side
+// failure (HTTP 500).
+var ErrInvalid = errors.New("service: invalid request")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// validate checks the request shape before touching any dataset.
+func (r *SearchRequest) validate() error {
+	if r.Dataset == "" {
+		return invalidf("missing dataset")
+	}
+	if len(r.Q) == 0 {
+		return invalidf("missing query vertices q")
+	}
+	if len(r.Q) > maxQueryVertices {
+		return invalidf("%d query vertices exceed the limit of %d", len(r.Q), maxQueryVertices)
+	}
+	if r.K < 1 {
+		return invalidf("k=%d must be >= 1", r.K)
+	}
+	if r.T < 0 {
+		return invalidf("t=%g must be >= 0", r.T)
+	}
+	if r.J > maxJ {
+		return invalidf("j=%d exceeds the limit of %d", r.J, maxJ)
+	}
+	if r.Parallelism > maxParallelism {
+		return invalidf("parallelism=%d exceeds the limit of %d", r.Parallelism, maxParallelism)
+	}
+	switch r.algo() {
+	case AlgoGlobal, AlgoLocal, AlgoTruss:
+	default:
+		return invalidf("unknown algo %q (want global, local, or truss)", r.Algo)
+	}
+	if r.KTCoreOnly {
+		if r.algo() == AlgoTruss {
+			return invalidf("ktcore endpoint does not support the truss variant")
+		}
+		return nil
+	}
+	if r.Region == nil {
+		return invalidf("missing region")
+	}
+	if len(r.Region.Lo) != len(r.Region.Hi) {
+		return invalidf("region lo/hi dimensions differ (%d vs %d)", len(r.Region.Lo), len(r.Region.Hi))
+	}
+	return nil
+}
+
+// query assembles the mac.Query for an admitted request. KTCore-only
+// requests get a degenerate region of the right dimension, since mac.Query
+// validation demands one.
+func (r *SearchRequest) query(net *mac.Network, defaultPar int, cancel <-chan struct{}) (*mac.Query, error) {
+	var region *geom.Region
+	var err error
+	if r.KTCoreOnly {
+		d := net.Social.D()
+		zero := make([]float64, d-1)
+		region, err = geom.NewBox(zero, zero)
+	} else {
+		region, err = geom.NewBox(r.Region.Lo, r.Region.Hi)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	par := r.Parallelism
+	if par == 0 {
+		par = defaultPar
+	}
+	q := &mac.Query{
+		Q: r.Q, K: r.K, T: r.T, Region: region, J: r.J,
+		Parallelism: par, Cancel: cancel,
+	}
+	if err := q.Validate(net); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return q, nil
+}
+
+// CellJSON is one output partition: the witness weight vector identifying
+// the partition and its ranked communities.
+type CellJSON struct {
+	Witness []float64 `json:"witness"`
+	Ranked  [][]int32 `json:"ranked"`
+}
+
+// SearchResponse is the body of a successful /v1/search or /v1/ktcore.
+type SearchResponse struct {
+	Dataset     string     `json:"dataset"`
+	Algo        Algo       `json:"algo"`
+	NoCommunity bool       `json:"no_community,omitempty"`
+	KTCoreSize  int        `json:"ktcore_size"`
+	KTCore      []int32    `json:"ktcore,omitempty"` // /v1/ktcore only
+	Partitions  int        `json:"partitions"`
+	Cells       []CellJSON `json:"cells,omitempty"`
+	Stats       *mac.Stats `json:"stats,omitempty"`
+	// Cache reports how the prepared state was obtained: hit (reused or
+	// coalesced), miss (prepared here), bypass (truss).
+	Cache     string  `json:"cache"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// fill copies a search result into the response.
+func (resp *SearchResponse) fill(res *mac.Result, ktCoreOnly bool) {
+	resp.KTCoreSize = len(res.KTCore)
+	if ktCoreOnly {
+		resp.KTCore = res.KTCore
+		return
+	}
+	resp.Partitions = len(res.Cells)
+	resp.Cells = make([]CellJSON, len(res.Cells))
+	for i, c := range res.Cells {
+		cj := CellJSON{Ranked: make([][]int32, len(c.Ranked))}
+		if c.Cell != nil {
+			cj.Witness = c.Cell.Witness()
+		}
+		for r, comm := range c.Ranked {
+			cj.Ranked[r] = comm
+		}
+		resp.Cells[i] = cj
+	}
+	stats := res.Stats
+	resp.Stats = &stats
+}

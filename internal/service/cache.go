@@ -1,0 +1,143 @@
+package service
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+	"sync"
+
+	"roadsocial/internal/mac"
+)
+
+// prepKey is the cache identity of a prepared state: dataset name plus the
+// canonical (sorted Q, k, t) signature. Two requests with the same key can
+// share one mac.Prepared (the region may differ per request — Prepared
+// resolves regions internally).
+func prepKey(dataset string, q []int32, k int, t float64) string {
+	qs := append([]int32(nil), q...)
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	b := make([]byte, 0, len(dataset)+1+4*len(qs)+16)
+	b = append(b, dataset...)
+	b = append(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(k))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t))
+	for _, v := range qs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	return string(b)
+}
+
+// cacheEntry is one cached (or in-flight) preparation. ready is closed once
+// p/err are set; waiters coalesce on it. Entries are immutable after ready
+// closes.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	p     *mac.Prepared
+	err   error
+}
+
+// prepCache is an LRU cache of prepared states with single-flight admission:
+// concurrent requests for the same key coalesce onto one Prepare call, and
+// the least recently used entries are evicted beyond capacity. An evicted
+// in-flight build still completes for its waiters — eviction only removes
+// the cache's reference.
+type prepCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[string]*list.Element
+
+	hits, misses, coalesced, evictions int64
+}
+
+func newPrepCache(capacity int) *prepCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &prepCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// getOrBuild returns the prepared state for key, building it with build at
+// most once per cache residency: the first caller builds, concurrent callers
+// wait on the same entry. hit reports whether this call avoided a build
+// (found or coalesced). mac.ErrNoCommunity is a deterministic outcome of the
+// key and stays cached (a negative entry, so infeasible repeat queries do
+// not redo the road-network range query); any other failed build — typically
+// a canceled preparation — is removed so later requests retry. cancel aborts
+// only this caller's wait, never the shared build.
+func (c *prepCache) getOrBuild(key string, cancel <-chan struct{}, build func() (*mac.Prepared, error)) (p *mac.Prepared, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.ll.MoveToFront(el)
+		select {
+		case <-e.ready:
+			c.hits++
+		default:
+			c.coalesced++
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.p, true, e.err
+		case <-cancel:
+			return nil, true, mac.ErrCanceled
+		}
+	}
+	c.misses++
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.ll.PushFront(e)
+	c.byKey[key] = el
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		if back == el {
+			break
+		}
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	e.p, e.err = build()
+	close(e.ready)
+	if e.err != nil && !errors.Is(e.err, mac.ErrNoCommunity) {
+		c.mu.Lock()
+		if cur, ok := c.byKey[key]; ok && cur == el {
+			c.ll.Remove(el)
+			delete(c.byKey, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.p, false, e.err
+}
+
+// cacheStats is a snapshot of the cache counters for /v1/stats.
+type cacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *prepCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+	}
+}

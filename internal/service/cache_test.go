@@ -1,0 +1,182 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"roadsocial/internal/mac"
+)
+
+// TestPrepCacheSingleflight: concurrent requests for one key coalesce onto
+// a single build and all observe the same prepared pointer.
+func TestPrepCacheSingleflight(t *testing.T) {
+	c := newPrepCache(8)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	want := &mac.Prepared{}
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]*mac.Prepared, workers)
+	hits := make([]bool, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, hit, err := c.getOrBuild("k", nil, func() (*mac.Prepared, error) {
+				builds.Add(1)
+				<-gate
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = p, hit
+		}(i)
+	}
+	// Let every goroutine reach the cache before releasing the build.
+	for c.stats().Misses+c.stats().Coalesced < workers {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1", got)
+	}
+	misses := 0
+	for i, p := range results {
+		if p != want {
+			t.Fatalf("worker %d got %p, want %p", i, p, want)
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d workers reported a miss, want exactly 1", misses)
+	}
+	st := c.stats()
+	if st.Misses != 1 || st.Coalesced != workers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d coalesced", st, workers-1)
+	}
+}
+
+// TestPrepCacheLRUEviction: capacity bounds resident entries; the least
+// recently used entry is evicted and rebuilt on next use.
+func TestPrepCacheLRUEviction(t *testing.T) {
+	c := newPrepCache(2)
+	builds := map[string]int{}
+	get := func(key string) {
+		t.Helper()
+		_, _, err := c.getOrBuild(key, nil, func() (*mac.Prepared, error) {
+			builds[key]++
+			return &mac.Prepared{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: LRU order is now [b, a]
+	get("c") // evicts b
+	if st := c.stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction and 2 entries", st)
+	}
+	get("a") // still resident
+	get("b") // rebuilt
+	if builds["a"] != 1 || builds["b"] != 2 || builds["c"] != 1 {
+		t.Fatalf("builds = %v, want a:1 b:2 c:1", builds)
+	}
+}
+
+// TestPrepCacheErrorHandling: transient errors are not cached (the next
+// request retries); ErrNoCommunity is a deterministic outcome and is.
+func TestPrepCacheErrorHandling(t *testing.T) {
+	c := newPrepCache(8)
+	calls := 0
+	transient := errors.New("boom")
+	build := func() (*mac.Prepared, error) {
+		calls++
+		if calls == 1 {
+			return nil, transient
+		}
+		return &mac.Prepared{}, nil
+	}
+	if _, _, err := c.getOrBuild("x", nil, build); !errors.Is(err, transient) {
+		t.Fatalf("first build: %v, want transient error", err)
+	}
+	if p, hit, err := c.getOrBuild("x", nil, build); err != nil || hit || p == nil {
+		t.Fatalf("retry: p=%v hit=%v err=%v, want fresh successful build", p, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("build calls = %d, want 2", calls)
+	}
+
+	noCommCalls := 0
+	noComm := func() (*mac.Prepared, error) {
+		noCommCalls++
+		return nil, fmt.Errorf("wrapped: %w", mac.ErrNoCommunity)
+	}
+	if _, _, err := c.getOrBuild("y", nil, noComm); !errors.Is(err, mac.ErrNoCommunity) {
+		t.Fatalf("no-community build: %v", err)
+	}
+	if _, hit, err := c.getOrBuild("y", nil, noComm); !errors.Is(err, mac.ErrNoCommunity) || !hit {
+		t.Fatalf("no-community repeat: hit=%v err=%v, want cached negative entry", hit, err)
+	}
+	if noCommCalls != 1 {
+		t.Fatalf("no-community build calls = %d, want 1 (negative caching)", noCommCalls)
+	}
+}
+
+// TestPrepCacheCancelWaiter: a canceled waiter aborts its own wait without
+// disturbing the shared build.
+func TestPrepCacheCancelWaiter(t *testing.T) {
+	c := newPrepCache(8)
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.getOrBuild("k", nil, func() (*mac.Prepared, error) {
+			<-gate
+			return &mac.Prepared{}, nil
+		})
+		done <- err
+	}()
+	for c.stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, _, err := c.getOrBuild("k", cancel, nil); !errors.Is(err, mac.ErrCanceled) {
+		t.Fatalf("canceled waiter: %v, want ErrCanceled", err)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("builder failed: %v", err)
+	}
+	if p, hit, err := c.getOrBuild("k", nil, nil); err != nil || !hit || p == nil {
+		t.Fatalf("after build: p=%v hit=%v err=%v, want cached entry", p, hit, err)
+	}
+}
+
+// TestPrepKeyCanonical: the key is order-insensitive in Q and sensitive to
+// every component.
+func TestPrepKeyCanonical(t *testing.T) {
+	base := prepKey("ds", []int32{3, 1, 2}, 4, 100)
+	if prepKey("ds", []int32{1, 2, 3}, 4, 100) != base {
+		t.Fatal("Q order must not matter")
+	}
+	for name, other := range map[string]string{
+		"dataset": prepKey("ds2", []int32{1, 2, 3}, 4, 100),
+		"q":       prepKey("ds", []int32{1, 2, 4}, 4, 100),
+		"k":       prepKey("ds", []int32{1, 2, 3}, 5, 100),
+		"t":       prepKey("ds", []int32{1, 2, 3}, 4, 101),
+	} {
+		if other == base {
+			t.Fatalf("%s must change the key", name)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"roadsocial/internal/mac"
+)
+
+// maxRequestBody bounds request bodies; search requests are small.
+const maxRequestBody = 1 << 20
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/search   — run a MAC search (SearchRequest → SearchResponse)
+//	POST /v1/ktcore   — compute only the maximal (k,t)-core membership
+//	GET  /v1/healthz  — liveness + registered datasets
+//	GET  /v1/stats    — server, cache, admission, and latency counters
+//
+// Saturation maps to 429, an exceeded deadline to 504, validation problems
+// to 400, and an unknown dataset to 404; every error body is
+// {"error": "..."}.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSearch(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/ktcore", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSearch(w, r, true)
+	})
+	mux.HandleFunc("GET /v1/healthz", s.serveHealthz)
+	mux.HandleFunc("GET /v1/stats", s.serveStats)
+	return mux
+}
+
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, ktCoreOnly bool) {
+	var req SearchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	req.KTCoreOnly = ktCoreOnly
+
+	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// One Cancel channel carries both the deadline and the client
+	// disconnect: whichever fires first abandons the search at its next
+	// task boundary (mac.Query.Cancel semantics).
+	cancel := make(chan struct{})
+	var once sync.Once
+	abort := func() { once.Do(func() { close(cancel) }) }
+	timer := time.AfterFunc(timeout, abort)
+	defer timer.Stop()
+	stop := context.AfterFunc(r.Context(), abort)
+	defer stop()
+
+	resp, err := s.Do(&req, cancel)
+	if err != nil {
+		status := statusOf(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"datasets":       s.Datasets(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) serveStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// statusOf maps service errors onto HTTP status codes. Errors outside the
+// known sentinels are server-side faults (500), not the client's.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, mac.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrUnknownDataset):
+		return http.StatusNotFound
+	case errors.Is(err, ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

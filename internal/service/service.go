@@ -1,0 +1,411 @@
+// Package service is the long-lived MAC query server: it holds datasets
+// (road-social networks plus their indexes) in memory and serves
+// GlobalSearch/LocalSearch/KTCore requests over an HTTP/JSON API, amortizing
+// per-query preparation the way a G-tree amortizes index construction.
+//
+// Three mechanisms make it hold up under the ROADMAP's million-user target:
+//
+//   - A shared prepared-state cache (LRU + single-flight) keyed by
+//     (dataset, Q, k, t). Prepare — the road-network range query plus the
+//     r-dominance graph — dominates small-query latency; concurrent
+//     identical preparations coalesce onto one computation and later
+//     requests reuse it outright.
+//   - Admission control: a bounded in-flight semaphore with a bounded
+//     waiting queue. Requests beyond both bounds are rejected immediately
+//     (HTTP 429) instead of piling up, so saturation degrades service
+//     latency, not service stability.
+//   - Per-request deadlines wired to Query.Cancel: a request that exceeds
+//     its deadline (or whose client disconnects) abandons its search at the
+//     next task boundary and frees its workers (HTTP 504).
+//
+// The package is transport-agnostic at its core (Do) with an http.Handler
+// veneer; cmd/macserver is the binary.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadsocial/internal/mac"
+)
+
+// Config tunes the server. The zero value selects sensible defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing searches; <= 0 selects
+	// GOMAXPROCS (each search can itself be parallel, so more in-flight
+	// work than cores only adds queueing inside the scheduler).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; <= 0 selects
+	// 4*MaxInFlight. Requests arriving beyond the queue are rejected with
+	// ErrSaturated (HTTP 429).
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no deadline; <= 0
+	// selects 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; <= 0 selects 60s.
+	MaxTimeout time.Duration
+	// CacheCapacity bounds the prepared-state cache entries; <= 0 selects
+	// 256.
+	CacheCapacity int
+	// Parallelism is the per-search worker count when the request does not
+	// choose one; 0 selects GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 256
+	}
+	return c
+}
+
+// ErrSaturated reports that both the in-flight bound and the waiting queue
+// are full; the caller should retry later (HTTP 429).
+var ErrSaturated = errors.New("service: saturated (in-flight and queue bounds reached)")
+
+// ErrUnknownDataset reports a request against a dataset name the server
+// does not hold.
+var ErrUnknownDataset = errors.New("service: unknown dataset")
+
+// Server is the long-lived query service. Create with New, register
+// datasets with AddDataset, then serve either through Handler (HTTP) or Do
+// (in-process).
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu   sync.RWMutex
+	nets map[string]*mac.Network
+
+	cache *prepCache
+	sem   chan struct{}
+
+	queued            atomic.Int64
+	inFlight          atomic.Int64
+	requests          atomic.Int64
+	completed         atomic.Int64
+	failed            atomic.Int64
+	rejectedSaturated atomic.Int64
+	deadlineExceeded  atomic.Int64
+
+	lat latencyRing
+}
+
+// New creates a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		nets:  make(map[string]*mac.Network),
+		cache: newPrepCache(cfg.CacheCapacity),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// AddDataset registers a network under a name. The network (including any
+// Oracle index) must be fully built: it is shared read-only by every
+// request from then on.
+func (s *Server) AddDataset(name string, net *mac.Network) error {
+	if name == "" {
+		return errors.New("service: empty dataset name")
+	}
+	if err := net.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nets[name]; ok {
+		return fmt.Errorf("service: dataset %q already registered", name)
+	}
+	s.nets[name] = net
+	return nil
+}
+
+// Datasets returns the registered dataset names, sorted.
+func (s *Server) Datasets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.nets))
+	for name := range s.nets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Server) network(name string) (*mac.Network, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	net, ok := s.nets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return net, nil
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue when none
+// is free. It returns the release function, or ErrSaturated when the queue
+// is full, or mac.ErrCanceled when cancel closes while queued.
+func (s *Server) acquire(cancel <-chan struct{}) (release func(), err error) {
+	claim := func() func() {
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return claim(), nil
+	default:
+	}
+	if int(s.queued.Add(1)) > s.cfg.MaxQueue {
+		s.queued.Add(-1)
+		s.rejectedSaturated.Add(1)
+		return nil, ErrSaturated
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return claim(), nil
+	case <-cancel:
+		s.deadlineExceeded.Add(1)
+		return nil, mac.ErrCanceled
+	}
+}
+
+// Do executes one request under admission control, with cancel (usually a
+// deadline) wired through to Query.Cancel. It is the transport-agnostic
+// core the HTTP handlers call.
+func (s *Server) Do(req *SearchRequest, cancel <-chan struct{}) (*SearchResponse, error) {
+	s.requests.Add(1)
+	if err := req.validate(); err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+	net, err := s.network(req.Dataset)
+	if err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+	release, err := s.acquire(cancel)
+	if err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+	defer release()
+
+	start := time.Now()
+	resp, err := s.run(req, net, cancel)
+	if err != nil {
+		if errors.Is(err, mac.ErrCanceled) {
+			s.deadlineExceeded.Add(1)
+		}
+		s.failed.Add(1)
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMs = float64(elapsed.Microseconds()) / 1000
+	s.completed.Add(1)
+	s.lat.record(resp.ElapsedMs)
+	return resp, nil
+}
+
+// run executes an admitted request: resolve the prepared state through the
+// cache (global/local) or run standalone (truss), then search.
+func (s *Server) run(req *SearchRequest, net *mac.Network, cancel <-chan struct{}) (*SearchResponse, error) {
+	q, err := req.query(net, s.cfg.Parallelism, cancel)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SearchResponse{Dataset: req.Dataset, Algo: req.algo()}
+
+	if req.algo() == AlgoTruss {
+		// The truss variant has no reusable prepared state; it runs
+		// standalone under the same admission control.
+		resp.Cache = CacheBypass
+		res, err := mac.GlobalSearchTruss(net, q)
+		if errors.Is(err, mac.ErrNoCommunity) {
+			resp.NoCommunity = true
+			return resp, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp.fill(res, req.KTCoreOnly)
+		return resp, nil
+	}
+
+	key := prepKey(req.Dataset, req.Q, req.K, req.T)
+	var p *mac.Prepared
+	var hit bool
+	for {
+		p, hit, err = s.cache.getOrBuild(key, cancel, func() (*mac.Prepared, error) {
+			return mac.Prepare(net, q)
+		})
+		if errors.Is(err, mac.ErrCanceled) && !chanClosed(cancel) {
+			// The coalesced build died with its builder's deadline, not
+			// ours; the cache dropped the entry — retry as the builder.
+			continue
+		}
+		break
+	}
+	if hit {
+		resp.Cache = CacheHit
+	} else {
+		resp.Cache = CacheMiss
+	}
+	if errors.Is(err, mac.ErrNoCommunity) {
+		resp.NoCommunity = true
+		return resp, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if req.KTCoreOnly {
+		// The engines check Query.Cancel themselves; this path skips them,
+		// so enforce the deadline explicitly.
+		select {
+		case <-cancel:
+			return nil, mac.ErrCanceled
+		default:
+		}
+		resp.KTCore = p.KTCore()
+		resp.KTCoreSize = len(resp.KTCore)
+		return resp, nil
+	}
+	var res *mac.Result
+	if req.algo() == AlgoLocal {
+		res, err = p.LocalSearch(q, mac.LocalOptions{})
+	} else {
+		res, err = p.GlobalSearch(q)
+	}
+	if errors.Is(err, mac.ErrNoCommunity) {
+		resp.NoCommunity = true
+		return resp, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.fill(res, false)
+	return resp, nil
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	UptimeSeconds     float64    `json:"uptime_seconds"`
+	Datasets          []string   `json:"datasets"`
+	Requests          int64      `json:"requests"`
+	Completed         int64      `json:"completed"`
+	Failed            int64      `json:"failed"`
+	RejectedSaturated int64      `json:"rejected_saturated"`
+	DeadlineExceeded  int64      `json:"deadline_exceeded"`
+	InFlight          int64      `json:"in_flight"`
+	Queued            int64      `json:"queued"`
+	MaxInFlight       int        `json:"max_in_flight"`
+	MaxQueue          int        `json:"max_queue"`
+	Cache             cacheStats `json:"cache"`
+	Latency           latStats   `json:"latency"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Datasets:          s.Datasets(),
+		Requests:          s.requests.Load(),
+		Completed:         s.completed.Load(),
+		Failed:            s.failed.Load(),
+		RejectedSaturated: s.rejectedSaturated.Load(),
+		DeadlineExceeded:  s.deadlineExceeded.Load(),
+		InFlight:          s.inFlight.Load(),
+		Queued:            s.queued.Load(),
+		MaxInFlight:       s.cfg.MaxInFlight,
+		MaxQueue:          s.cfg.MaxQueue,
+		Cache:             s.cache.stats(),
+		Latency:           s.lat.stats(),
+	}
+}
+
+// latencyRing keeps the most recent completed-request latencies for the
+// stats quantiles; a fixed window so the cost stays O(1) per request.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [2048]float64
+	n     int // total recorded
+	count int64
+	sum   float64
+}
+
+func (r *latencyRing) record(ms float64) {
+	r.mu.Lock()
+	r.buf[r.n%len(r.buf)] = ms
+	r.n++
+	r.count++
+	r.sum += ms
+	r.mu.Unlock()
+}
+
+type latStats struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func (r *latencyRing) stats() latStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := latStats{Count: r.count}
+	if r.count == 0 {
+		return out
+	}
+	out.MeanMs = r.sum / float64(r.count)
+	window := r.n
+	if window > len(r.buf) {
+		window = len(r.buf)
+	}
+	sorted := append([]float64(nil), r.buf[:window]...)
+	sort.Float64s(sorted)
+	out.P50Ms = quantile(sorted, 0.50)
+	out.P99Ms = quantile(sorted, 0.99)
+	return out
+}
+
+// quantile reads the q-th quantile from an ascending-sorted slice (nearest
+// rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// chanClosed reports whether c is closed; nil channels report false.
+func chanClosed(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}

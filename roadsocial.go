@@ -34,6 +34,25 @@
 // number of goroutines; per-query scratch is pooled internally. Distinct
 // queries against the same Network may always run concurrently.
 //
+// # Prepared queries and the query service
+//
+// Prepare splits a search into its reusable half: the maximal (k,t)-core
+// (dominated by the road-network range query) is computed once per
+// (Q, K, T) family, and the region-dependent r-dominance graph is cached
+// inside the returned Prepared handle, so repeated or concurrent searches
+// over the same family skip straight to the engines:
+//
+//	p, _ := roadsocial.Prepare(net, query)
+//	res1, _ := p.GlobalSearch(query)          // pays only the search
+//	res2, _ := p.LocalSearch(query2, opts)    // query2 may vary Region/J
+//
+// On top of this, internal/service and cmd/macserver provide a long-lived
+// HTTP query server: an LRU + single-flight cache of Prepared handles keyed
+// by (dataset, Q, k, t), admission control (bounded in-flight work with a
+// bounded waiting queue; excess load is rejected with 429 instead of
+// piling up), and per-request deadlines wired to Query.Cancel (504). See
+// examples/service for an end-to-end run.
+//
 // # Quick start
 //
 //	sb := roadsocial.NewSocialBuilder(4, 2) // 4 users, 2 attributes
@@ -151,6 +170,31 @@ func NewPolytopeRegion(lo, hi []float64, a [][]float64, b []float64, corners [][
 // GS-NC otherwise). The output cells partition the region; each cell's
 // ranked communities are valid for every weight vector inside it.
 func GlobalSearch(net *Network, q *Query) (*Result, error) { return mac.GlobalSearch(net, q) }
+
+// Prepared is the reusable prepared state of a MAC query family (Q, K, T):
+// the maximal (k,t)-core plus an internal cache of region-dependent state
+// (r-dominance graph, localized community graph). Preparing once and
+// searching many times amortizes the road-network range query that
+// dominates small-query latency; a Prepared is safe for concurrent
+// searches from any number of goroutines.
+type Prepared = mac.Prepared
+
+// Prepare computes the prepared state for the query's (Q, K, T) family.
+// Subsequent p.GlobalSearch / p.LocalSearch calls may vary Region, J,
+// Parallelism, and Cancel freely but must keep Q, K, and T. The long-lived
+// query service (internal/service, cmd/macserver) caches Prepared handles
+// keyed by (dataset, Q, k, t).
+func Prepare(net *Network, q *Query) (*Prepared, error) { return mac.Prepare(net, q) }
+
+// PreparedSearch runs a search on a prepared state: GlobalSearch when
+// global is set, LocalSearch with opts otherwise. It is sugar over the
+// Prepared methods for callers that select the algorithm dynamically.
+func PreparedSearch(p *Prepared, q *Query, global bool, opts LocalOptions) (*Result, error) {
+	if global {
+		return p.GlobalSearch(q)
+	}
+	return p.LocalSearch(q, opts)
+}
 
 // LocalSearch runs the local search framework (LS-T / LS-NC): typically an
 // order of magnitude faster than GlobalSearch, sound (every reported cell
