@@ -14,9 +14,11 @@
 //	benchgate -old a.json,b.json -new c.json,d.json -require-warm-speedup
 //
 // -require-warm-speedup additionally asserts the service acceptance
-// invariant on the new point: a warm prepared-cache hit must be faster than
-// a cold preparation (metrics cold_p50_ms > warm_p50_ms), and the
-// saturation burst must have produced clean 429 rejections.
+// invariants on the new point: a warm prepared-cache hit must be faster
+// than a cold preparation (metrics cold_p50_ms > warm_p50_ms) — for the
+// core engine and for the truss engine, whose requests flow through the
+// same cache since the Engine/Prepared unification — and the saturation
+// burst must have produced clean 429 rejections.
 package main
 
 import (
@@ -137,6 +139,13 @@ func main() {
 				failed = true
 			} else {
 				fmt.Printf("service warm/cold p50: %.3fms / %.3fms (%.1fx speedup)\n", warm, cold, cold/warm)
+			}
+			tCold, tWarm := n.Metrics["truss_cold_p50_ms"], n.Metrics["truss_warm_p50_ms"]
+			if !(tWarm > 0 && tCold > tWarm) {
+				fmt.Fprintf(os.Stderr, "benchgate: truss warm p50 %.3fms not below truss cold p50 %.3fms\n", tWarm, tCold)
+				failed = true
+			} else {
+				fmt.Printf("truss warm/cold p50: %.3fms / %.3fms (%.1fx speedup)\n", tWarm, tCold, tCold/tWarm)
 			}
 			if n.Metrics["saturated_429"] <= 0 {
 				fmt.Fprintln(os.Stderr, "benchgate: saturation burst produced no 429 rejections")

@@ -10,6 +10,17 @@
 //	macserver -addr=:8080 -name=mycity \
 //	    -social=soc.txt -attrs=attrs.txt -road=road.txt -locs=locs.txt
 //
+// With -shards=N the process runs N service instances and partitions the
+// datasets across them by consistent hashing on the dataset name
+// (internal/shard); /v1/search and /v1/ktcore route to the owning shard,
+// /v1/healthz and /v1/stats aggregate. The aggregated schema is served at
+// every shard count — scaling from 1 to N shards never changes what
+// monitoring sees. With -peers the process loads no datasets at all and
+// routes to remote macserver shards instead:
+//
+//	macserver -addr=:8080 -datasets=SF+Slashdot,FL+Lastfm -shards=4
+//	macserver -addr=:8080 -peers=http://10.0.0.7:8080,http://10.0.0.8:8080
+//
 // Query it with JSON:
 //
 //	curl -s localhost:8080/v1/search -d '{
@@ -42,6 +53,7 @@ import (
 	"roadsocial/internal/dataset"
 	"roadsocial/internal/exp"
 	"roadsocial/internal/service"
+	"roadsocial/internal/shard"
 )
 
 func main() {
@@ -59,23 +71,76 @@ func main() {
 		roadPath   = flag.String("road", "", "road edge list file")
 		locsPath   = flag.String("locs", "", "user location file")
 
-		maxInFlight = flag.Int("max-inflight", 0, "concurrent searches; 0 = GOMAXPROCS")
+		maxInFlight = flag.Int("max-inflight", 0, "concurrent searches per shard; 0 = GOMAXPROCS")
 		maxQueue    = flag.Int("max-queue", 0, "waiting requests beyond in-flight; 0 = 4x in-flight")
-		cacheCap    = flag.Int("cache", 256, "prepared-state cache entries")
+		cacheCap    = flag.Int("cache", 256, "prepared-state cache entries per shard")
+		cacheCost   = flag.Int64("cache-cost", 0, "prepared-state cache weight budget (sum of cohesive-subgraph sizes); 0 = 1<<20")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "prepared-state lifetime before rebuild; 0 = never expire")
 		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		parallelism = flag.Int("parallelism", 0, "per-search workers; 0 = GOMAXPROCS")
+
+		shards = flag.Int("shards", 1, "in-process service shards; datasets partition across them by consistent hashing")
+		peers  = flag.String("peers", "", "comma-separated base URLs of remote macserver shards; when set, this process only routes")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		CacheCapacity:  *cacheCap,
+		CacheMaxCost:   *cacheCost,
+		CacheTTL:       *cacheTTL,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Parallelism:    *parallelism,
-	})
+	}
+
+	// Pure routing tier: no local datasets, every request proxied to the
+	// remote shard owning its dataset.
+	if *peers != "" {
+		var backends []shard.Backend
+		for _, peer := range strings.Split(*peers, ",") {
+			peer = strings.TrimSpace(peer)
+			if peer == "" {
+				// A stray comma must not mint a nameless backend that owns
+				// half the ring and blackholes its datasets at request time.
+				continue
+			}
+			backends = append(backends, shard.NewRemote(peer, peer, nil))
+		}
+		router, err := shard.NewRouter(backends, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("macserver routing to %d remote shards", len(backends))
+		serve(*addr, router.Handler())
+		return
+	}
+
+	if *shards < 1 {
+		log.Fatal("-shards must be >= 1")
+	}
+	locals := make([]*shard.Local, *shards)
+	backends := make([]shard.Backend, *shards)
+	for i := range locals {
+		locals[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), service.New(cfg))
+		backends[i] = locals[i]
+	}
+	router, err := shard.NewRouter(backends, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// addDataset registers a network on the shard that owns its name.
+	addDataset := func(name string, net *roadsocial.Network) {
+		owner := locals[router.OwnerIndex(name)]
+		if err := owner.Server().AddDataset(name, net); err != nil {
+			log.Fatal(err)
+		}
+		if *shards > 1 {
+			log.Printf("dataset %s -> %s", name, owner.Name())
+		}
+	}
 
 	sc, err := parseScale(*scale)
 	if err != nil {
@@ -96,9 +161,7 @@ func main() {
 			if *gtree {
 				in.Net.Oracle = roadsocial.BuildGTree(in.Net.Road, 0)
 			}
-			if err := srv.AddDataset(dsName, in.Net); err != nil {
-				log.Fatal(err)
-			}
+			addDataset(dsName, in.Net)
 			log.Printf("dataset %s: %d users, %d friendships, %d road vertices (t_default=%g, loaded in %s)",
 				dsName, in.Net.Social.N(), in.Net.Social.M(), in.Net.Road.N(),
 				in.TDefault, time.Since(start).Round(time.Millisecond))
@@ -115,17 +178,28 @@ func main() {
 		if *gtree {
 			net.Oracle = roadsocial.BuildGTree(net.Road, 0)
 		}
-		if err := srv.AddDataset(*name, net); err != nil {
-			log.Fatal(err)
-		}
+		addDataset(*name, net)
 		log.Printf("dataset %s: %d users, %d friendships, %d road vertices (files)",
 			*name, net.Social.N(), net.Social.M(), net.Road.N())
 	}
-	if len(srv.Datasets()) == 0 {
+	var loaded []string
+	for _, l := range locals {
+		loaded = append(loaded, l.Server().Datasets()...)
+	}
+	if len(loaded) == 0 {
 		log.Fatal("no datasets loaded; pass -datasets or -social/-attrs/-road/-locs")
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Every shard count serves through the router, so /v1/healthz and
+	// /v1/stats keep one schema whether a deployment runs 1 shard or 40 —
+	// the routing layer costs one body peek and one hash per request.
+	log.Printf("macserver listening on %s (%d shard(s), datasets: %s)", *addr, *shards, strings.Join(loaded, ", "))
+	serve(*addr, router.Handler())
+}
+
+// serve runs the HTTP server until interrupted.
+func serve(addr string, handler http.Handler) {
+	hs := &http.Server{Addr: addr, Handler: handler}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
@@ -133,7 +207,6 @@ func main() {
 		log.Print("shutting down")
 		_ = hs.Close()
 	}()
-	log.Printf("macserver listening on %s (datasets: %s)", *addr, strings.Join(srv.Datasets(), ", "))
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -16,24 +17,33 @@ import (
 )
 
 // Service-latency workload shape: closed-loop warm load plus a cold phase
-// over distinct cache keys and a saturation burst against a deliberately
-// tiny admission budget.
+// over distinct cache keys, the truss analogues, an open-loop Poisson
+// phase, and a saturation burst against a deliberately tiny admission
+// budget.
 const (
 	serviceWarmWorkers  = 4
 	serviceWarmPerWork  = 25
 	serviceColdKeys     = 6
 	serviceSaturateReqs = 16
 	serviceSigma        = 0.004
+	serviceTrussKeys    = 4
+	serviceTrussRounds  = 3
+	serviceOpenLoopReqs = 80
 )
 
 // ServiceLatency is the load-generator experiment for the query service
 // (cmd/macserver): it starts the service in-process over one dataset and
 // measures (a) cold requests, each paying a full Prepare for a distinct
 // (Q, k, t) key; (b) warm closed-loop load on one shared key, where every
-// request is a prepared-cache hit; and (c) a saturation burst against a
-// 1-slot server, counting clean 429 rejections. The headline numbers land
-// in Table.Metrics (and from there in the -json bench records): warm p50
-// measurably below cold p50 is the cache paying off.
+// request is a prepared-cache hit; (c) the same cold/warm split for the
+// truss engine, whose requests flow through the same prepared cache;
+// (d) an open-loop phase — Poisson arrivals over persistent connections at
+// roughly half the measured warm capacity, the arrival process a public
+// service actually sees (closed loops self-throttle and understate queue
+// pressure); and (e) a saturation burst against a 1-slot server, counting
+// clean 429 rejections. The headline numbers land in Table.Metrics (and
+// from there in the -json bench records): warm p50 measurably below cold
+// p50 — for both engines — is the cache paying off.
 func ServiceLatency(opts Options) (*Table, error) {
 	opts.defaults()
 	specs := opts.datasets()
@@ -141,6 +151,109 @@ func ServiceLatency(opts Options) (*Table, error) {
 	}
 	tab.Rows = append(tab.Rows, latencyRow("warm", warm, 0))
 
+	// Truss phases: the same keys measured cold (each pays the range query
+	// plus the truss decomposition) and then warm over serviceTrussRounds
+	// repeat rounds (every request a prepared-cache hit). Cold and warm
+	// cover the identical key mix, so the split isolates exactly the
+	// prepared state the cache amortizes. k is lowered to 3: a k-truss is
+	// strictly denser than a k-core, and the truss engine's per-deletion
+	// recomputation wants moderate community sizes.
+	const trussK = 3
+	trussBody := func(q []int32) []byte {
+		b, _ := json.Marshal(map[string]any{
+			"dataset": spec.Name, "q": q, "k": trussK, "t": in.TDefault,
+			"region": map[string]any{"lo": region.Lo, "hi": region.Hi},
+			"algo":   "truss",
+		})
+		return b
+	}
+	trussKeys := queries
+	if len(trussKeys) > serviceTrussKeys {
+		trussKeys = trussKeys[:serviceTrussKeys]
+	}
+	var trussCold, trussWarm []float64
+	for _, q := range trussKeys {
+		status, ms, err := post(trussBody(q))
+		if err != nil {
+			return nil, err
+		}
+		if status == http.StatusOK {
+			trussCold = append(trussCold, ms)
+		}
+	}
+	for round := 0; round < serviceTrussRounds; round++ {
+		for _, q := range trussKeys {
+			status, ms, err := post(trussBody(q))
+			if err != nil {
+				return nil, err
+			}
+			if status == http.StatusOK {
+				trussWarm = append(trussWarm, ms)
+			}
+		}
+	}
+	tab.Rows = append(tab.Rows, latencyRow("truss_cold", trussCold, 0))
+	tab.Rows = append(tab.Rows, latencyRow("truss_warm", trussWarm, 0))
+
+	// Open-loop phase: Poisson arrivals at ~half the measured warm
+	// capacity, over persistent connections (the shared default transport
+	// keeps them alive). Unlike the closed warm loop — whose concurrency
+	// self-throttles to the service's pace — arrivals here do not wait for
+	// completions, so queueing delay under bursts shows up in the tail.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	offered := 0.0
+	if warmWall > 0 && len(warm) > 0 {
+		offered = float64(len(warm)) / warmWall / 2
+	}
+	var olLat []float64
+	var ol429 atomic.Int64
+	if offered > 0 {
+		var olMu sync.Mutex
+		var olWG sync.WaitGroup
+		olStart := time.Now()
+		// Exponential inter-arrival times make the arrival process Poisson;
+		// the seeded rng keeps the trace reproducible. Arrivals are
+		// scheduled against absolute target times, not relative sleeps —
+		// per-sleep overshoot otherwise accumulates and silently throttles
+		// the offered rate well below its nominal value at sub-millisecond
+		// gaps. Here a late wake-up fires the overdue arrivals back to back,
+		// which is exactly what an open-loop burst looks like.
+		elapsed := 0.0
+		for i := 0; i < serviceOpenLoopReqs; i++ {
+			elapsed += rng.ExpFloat64() / offered
+			target := olStart.Add(time.Duration(elapsed * float64(time.Second)))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+			olWG.Add(1)
+			go func() {
+				defer olWG.Done()
+				status, ms, err := post(warmBody)
+				if err != nil {
+					return
+				}
+				switch status {
+				case http.StatusOK:
+					olMu.Lock()
+					olLat = append(olLat, ms)
+					olMu.Unlock()
+				case http.StatusTooManyRequests:
+					ol429.Add(1)
+				}
+			}()
+		}
+		olWG.Wait()
+		olWall := time.Since(olStart).Seconds()
+		tab.Rows = append(tab.Rows, latencyRow("openloop", olLat, ol429.Load()))
+		tab.Metrics["openloop_offered_qps"] = offered
+		if olWall > 0 {
+			tab.Metrics["openloop_achieved_qps"] = float64(len(olLat)) / olWall
+		}
+		tab.Metrics["openloop_p50_ms"] = percentileMs(olLat, 0.50)
+		tab.Metrics["openloop_p99_ms"] = percentileMs(olLat, 0.99)
+		tab.Metrics["openloop_429"] = float64(ol429.Load())
+	}
+
 	// Saturation burst: a 1-slot, 2-queue server must reject the excess
 	// with immediate 429s instead of queueing it all. A gated oracle holds
 	// the admitted searches mid-Prepare until every request of the burst
@@ -207,6 +320,13 @@ func ServiceLatency(opts Options) (*Table, error) {
 	tab.Metrics["warm_p99_ms"] = percentileMs(warm, 0.99)
 	if warmP50 > 0 {
 		tab.Metrics["cold_over_warm_p50"] = coldP50 / warmP50
+	}
+	trussColdP50 := percentileMs(trussCold, 0.50)
+	trussWarmP50 := percentileMs(trussWarm, 0.50)
+	tab.Metrics["truss_cold_p50_ms"] = trussColdP50
+	tab.Metrics["truss_warm_p50_ms"] = trussWarmP50
+	if trussWarmP50 > 0 {
+		tab.Metrics["truss_cold_over_warm_p50"] = trussColdP50 / trussWarmP50
 	}
 	if warmWall > 0 {
 		tab.Metrics["warm_qps"] = float64(len(warm)) / warmWall

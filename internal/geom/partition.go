@@ -11,6 +11,10 @@ type PartitionTree struct {
 	// seen deduplicates hyperplanes: inserting the same supporting plane
 	// twice is a no-op ("each half-space is computed only once").
 	seen map[[8]int64]struct{}
+	// arena slab-allocates the cells, nodes, and cut slices this tree
+	// grows — the per-query cell arena that keeps arrangement construction
+	// off the allocator's hot path.
+	arena cellArena
 }
 
 type partitionNode struct {
@@ -44,14 +48,14 @@ func (t *PartitionTree) Insert(h Halfspace) bool {
 		return false
 	}
 	t.seen[key] = struct{}{}
-	t.root.insert(h)
+	t.insertAt(t.root, h)
 	return true
 }
 
-func (n *partitionNode) insert(h Halfspace) {
+func (t *PartitionTree) insertAt(n *partitionNode, h Halfspace) {
 	if n.left != nil {
-		n.left.insert(h)
-		n.right.insert(h)
+		t.insertAt(n.left, h)
+		t.insertAt(n.right, h)
 		return
 	}
 	switch n.cell.Classify(h) {
@@ -59,13 +63,14 @@ func (n *partitionNode) insert(h Halfspace) {
 		// Leaf covered by one side: nothing to do (lines 1-2 of Alg. 2).
 		return
 	case SideSplit:
-		below, above := n.cell.Split(h)
+		below := t.arena.cell(n.cell.Region, t.arena.appendCuts(n.cell.Cuts, h))
+		above := t.arena.cell(n.cell.Region, t.arena.appendCuts(n.cell.Cuts, h.Negate()))
 		bf, af := below.Feasible(), above.Feasible()
 		switch {
 		case bf && af:
 			n.hp = h
-			n.left = &partitionNode{cell: below, payload: n.payload}
-			n.right = &partitionNode{cell: above, payload: n.payload}
+			n.left = t.arena.node(below, n.payload)
+			n.right = t.arena.node(above, n.payload)
 			n.payload = nil
 		case bf:
 			n.cell = below

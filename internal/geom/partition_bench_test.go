@@ -1,0 +1,49 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchHalfspaces generates score-comparison-like hyperplanes crossing the
+// benchmark region, the shape PartitionTree sees from the search engines.
+func benchHalfspaces(dim, n int, rng *rand.Rand) []Halfspace {
+	out := make([]Halfspace, n)
+	for i := range out {
+		a := make([]float64, dim)
+		for j := range a {
+			a[j] = rng.Float64()*2 - 1
+		}
+		// Offset chosen so the supporting plane passes near the region
+		// center, guaranteeing most planes actually split cells.
+		b := 0.0
+		for _, c := range a {
+			b += c * 0.25
+		}
+		out[i] = Halfspace{A: a, B: b + (rng.Float64()-0.5)*0.05}
+	}
+	return out
+}
+
+// BenchmarkPartitionInsert measures one arrangement construction — the
+// per-step hot path of the global search: build a tree over the region,
+// insert hyperplanes, enumerate leaves. Run with -benchmem; the cell arena
+// shows up in allocs/op.
+func BenchmarkPartitionInsert(b *testing.B) {
+	region, err := NewBox([]float64{0, 0}, []float64{0.5, 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := benchHalfspaces(2, 24, rand.New(rand.NewSource(7)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := NewPartitionTree(NewCell(region))
+		for _, h := range hs {
+			tree.Insert(h)
+		}
+		if tree.LeafCount() == 0 {
+			b.Fatal("empty arrangement")
+		}
+	}
+}

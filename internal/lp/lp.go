@@ -13,6 +13,7 @@ package lp
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Eps is the absolute tolerance used for feasibility and comparison tests.
@@ -49,6 +50,80 @@ type Result struct {
 	Feasible bool
 }
 
+// seidelSeed fixes the constraint shuffle, making Solve deterministic.
+const seidelSeed = 0x5eed
+
+// scratch is the per-solve working storage: a bump-allocated float/int/
+// constraint slab every temporary of the Seidel recursion draws from, plus
+// a reusable seeded generator for the deterministic shuffle. One Solve is
+// one bump epoch — nothing is freed mid-recursion, and the slabs reset
+// wholesale when the solve returns to the pool. Only Result.X escapes, as
+// a fresh copy.
+type scratch struct {
+	rng  *rand.Rand
+	f64  []float64
+	ints []int
+	cons []Constraint
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{rng: rand.New(rand.NewSource(seidelSeed))}
+}}
+
+// floats bump-allocates n zeroed float64s. When the current slab is
+// exhausted a fresh one replaces it; earlier allocations stay alive through
+// the references the recursion still holds.
+func (s *scratch) floats(n int) []float64 {
+	if cap(s.f64)-len(s.f64) < n {
+		size := 1024
+		if n > size {
+			size = n
+		}
+		s.f64 = make([]float64, 0, size)
+	}
+	start := len(s.f64)
+	s.f64 = s.f64[:start+n]
+	out := s.f64[start : start+n : start+n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// intsN bump-allocates n ints (not zeroed; callers fill every slot).
+func (s *scratch) intsN(n int) []int {
+	if cap(s.ints)-len(s.ints) < n {
+		size := 256
+		if n > size {
+			size = n
+		}
+		s.ints = make([]int, 0, size)
+	}
+	start := len(s.ints)
+	s.ints = s.ints[:start+n]
+	return s.ints[start : start+n : start+n]
+}
+
+// consN bump-allocates a zero-length constraint slice with capacity n.
+func (s *scratch) consN(n int) []Constraint {
+	if cap(s.cons)-len(s.cons) < n {
+		size := 256
+		if n > size {
+			size = n
+		}
+		s.cons = make([]Constraint, 0, size)
+	}
+	start := len(s.cons)
+	s.cons = s.cons[:start+n]
+	return s.cons[start : start : start+n]
+}
+
+func (s *scratch) reset() {
+	s.f64 = s.f64[:0]
+	s.ints = s.ints[:0]
+	s.cons = s.cons[:0]
+}
+
 // Solve minimizes obj·x subject to cons and lo[j] <= x[j] <= hi[j].
 // The box must satisfy lo[j] <= hi[j]; the feasible region is therefore
 // bounded. Solve is deterministic: the internal shuffle uses a fixed seed.
@@ -68,29 +143,43 @@ func Solve(obj []float64, cons []Constraint, lo, hi []float64) Result {
 			return Result{Feasible: false}
 		}
 	}
+	s := scratchPool.Get().(*scratch)
+	defer func() {
+		s.reset()
+		scratchPool.Put(s)
+	}()
 	// Deterministic shuffle: Seidel's expected running time depends on a
 	// random insertion order, but any fixed pseudo-random order works in
-	// practice for the small systems we solve.
-	order := make([]int, len(cons))
+	// practice for the small systems we solve. Reseeding the pooled
+	// generator reproduces the exact order a fresh one would draw.
+	order := s.intsN(len(cons))
 	for i := range order {
 		order[i] = i
 	}
-	rng := rand.New(rand.NewSource(0x5eed))
-	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	s.rng.Seed(seidelSeed)
+	s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 
-	shuffled := make([]Constraint, len(cons))
-	for i, idx := range order {
-		shuffled[i] = cons[idx]
+	shuffled := s.consN(len(cons))
+	for _, idx := range order {
+		shuffled = append(shuffled, cons[idx])
 	}
-	x, ok := seidel(obj, shuffled, lo, hi)
+	x, ok := seidel(obj, shuffled, lo, hi, s)
 	if !ok {
 		return Result{Feasible: false}
 	}
-	return Result{X: x, Value: dot(obj, x), Feasible: true}
+	// x lives in the scratch slab; the result must survive the reset.
+	out := append([]float64(nil), x...)
+	return Result{X: out, Value: dot(obj, out), Feasible: true}
 }
+
+// zeroObj serves Feasible's constant zero objective for common dimensions.
+var zeroObj [16]float64
 
 // Feasible reports whether the system {cons, box} admits any point.
 func Feasible(cons []Constraint, lo, hi []float64) bool {
+	if len(lo) <= len(zeroObj) {
+		return Solve(zeroObj[:len(lo)], cons, lo, hi).Feasible
+	}
 	obj := make([]float64, len(lo))
 	return Solve(obj, cons, lo, hi).Feasible
 }
@@ -112,14 +201,15 @@ func Maximize(obj []float64, cons []Constraint, lo, hi []float64) (float64, bool
 }
 
 // seidel minimizes obj·x over cons within the box, processing constraints
-// incrementally. It returns the optimum and a feasibility flag.
-func seidel(obj []float64, cons []Constraint, lo, hi []float64) ([]float64, bool) {
+// incrementally. It returns the optimum (in scratch-slab storage, valid
+// until the solve's reset) and a feasibility flag.
+func seidel(obj []float64, cons []Constraint, lo, hi []float64, s *scratch) ([]float64, bool) {
 	dim := len(obj)
 	if dim == 1 {
-		return solve1D(obj[0], cons, lo[0], hi[0])
+		return solve1D(obj[0], cons, lo[0], hi[0], s)
 	}
 	// Start from the box corner minimizing the objective.
-	x := make([]float64, dim)
+	x := s.floats(dim)
 	for j := 0; j < dim; j++ {
 		if obj[j] >= 0 {
 			x[j] = lo[j]
@@ -133,7 +223,7 @@ func seidel(obj []float64, cons []Constraint, lo, hi []float64) ([]float64, bool
 		}
 		// The optimum of the first i+1 constraints lies on the boundary of
 		// constraint c. Eliminate one variable by substitution and recurse.
-		nx, ok := solveOnBoundary(obj, cons[:i], c, lo, hi)
+		nx, ok := solveOnBoundary(obj, cons[:i], c, lo, hi, s)
 		if !ok {
 			return nil, false
 		}
@@ -145,7 +235,7 @@ func seidel(obj []float64, cons []Constraint, lo, hi []float64) ([]float64, bool
 // solveOnBoundary minimizes obj·x over {prev constraints, box} restricted to
 // the hyperplane eq.A·x = eq.B, by eliminating the variable with the largest
 // |coefficient| in eq.A.
-func solveOnBoundary(obj []float64, prev []Constraint, eq Constraint, lo, hi []float64) ([]float64, bool) {
+func solveOnBoundary(obj []float64, prev []Constraint, eq Constraint, lo, hi []float64, s *scratch) ([]float64, bool) {
 	dim := len(obj)
 	p := -1
 	best := 0.0
@@ -159,15 +249,16 @@ func solveOnBoundary(obj []float64, prev []Constraint, eq Constraint, lo, hi []f
 		// Degenerate hyperplane 0·x = B. Feasible only if B ~ 0 (then the
 		// "boundary" is all of space and the caller's violation was noise).
 		if math.Abs(eq.B) <= Eps {
-			return seidel(obj, prev, lo, hi)
+			return seidel(obj, prev, lo, hi, s)
 		}
 		return nil, false
 	}
 	// x_p = (eq.B - sum_{q != p} eq.A[q] x_q) / eq.A[p] =: beta + gamma·y
 	ap := eq.A[p]
 	beta := eq.B / ap
-	gamma := make([]float64, 0, dim-1) // coefficients over reduced variables y
-	keep := make([]int, 0, dim-1)      // original indices of reduced variables
+	redDim := dim - 1
+	gamma := s.floats(redDim)[:0] // coefficients over reduced variables y
+	keep := s.intsN(redDim)[:0]   // original indices of reduced variables
 	for j := 0; j < dim; j++ {
 		if j == p {
 			continue
@@ -175,17 +266,16 @@ func solveOnBoundary(obj []float64, prev []Constraint, eq Constraint, lo, hi []f
 		keep = append(keep, j)
 		gamma = append(gamma, -eq.A[j]/ap)
 	}
-	redDim := dim - 1
 
 	// Reduced objective: obj·x = obj[p]*(beta + gamma·y) + sum obj[keep]·y.
-	robj := make([]float64, redDim)
+	robj := s.floats(redDim)
 	for i, j := range keep {
 		robj[i] = obj[j] + obj[p]*gamma[i]
 	}
 
-	rcons := make([]Constraint, 0, len(prev)+2)
+	rcons := s.consN(len(prev) + 2)
 	reduce := func(a []float64, b float64) {
-		ra := make([]float64, redDim)
+		ra := s.floats(redDim)
 		for i, j := range keep {
 			ra[i] = a[j] + a[p]*gamma[i]
 		}
@@ -195,25 +285,25 @@ func solveOnBoundary(obj []float64, prev []Constraint, eq Constraint, lo, hi []f
 		reduce(c.A, c.B)
 	}
 	// The box bounds of the eliminated variable become general constraints:
-	// lo[p] <= beta + gamma·y <= hi[p].
-	lobnd := make([]float64, dim)
-	hibnd := make([]float64, dim)
-	lobnd[p] = -1
-	reduce(lobnd, -lo[p]) // -x_p <= -lo[p]
-	hibnd[p] = 1
-	reduce(hibnd, hi[p]) // x_p <= hi[p]
+	// lo[p] <= beta + gamma·y <= hi[p]. bnd is reused for both rows: reduce
+	// reads it before the second row overwrites the entry.
+	bnd := s.floats(dim)
+	bnd[p] = -1
+	reduce(bnd, -lo[p]) // -x_p <= -lo[p]
+	bnd[p] = 1
+	reduce(bnd, hi[p]) // x_p <= hi[p]
 
-	rlo := make([]float64, redDim)
-	rhi := make([]float64, redDim)
+	rlo := s.floats(redDim)
+	rhi := s.floats(redDim)
 	for i, j := range keep {
 		rlo[i] = lo[j]
 		rhi[i] = hi[j]
 	}
-	y, ok := seidel(robj, rcons, rlo, rhi)
+	y, ok := seidel(robj, rcons, rlo, rhi, s)
 	if !ok {
 		return nil, false
 	}
-	x := make([]float64, dim)
+	x := s.floats(dim)
 	xp := beta
 	for i, j := range keep {
 		x[j] = y[i]
@@ -224,7 +314,7 @@ func solveOnBoundary(obj []float64, prev []Constraint, eq Constraint, lo, hi []f
 }
 
 // solve1D minimizes c*x over an interval intersected with 1-D constraints.
-func solve1D(c float64, cons []Constraint, lo, hi float64) ([]float64, bool) {
+func solve1D(c float64, cons []Constraint, lo, hi float64, s *scratch) ([]float64, bool) {
 	for _, con := range cons {
 		a := con.A[0]
 		switch {
@@ -245,13 +335,15 @@ func solve1D(c float64, cons []Constraint, lo, hi float64) ([]float64, bool) {
 	if lo > hi+Eps {
 		return nil, false
 	}
-	if lo > hi {
+	out := s.floats(1)
+	switch {
+	case lo > hi:
 		// Within tolerance: collapse to a point.
-		mid := (lo + hi) / 2
-		return []float64{mid}, true
+		out[0] = (lo + hi) / 2
+	case c >= 0:
+		out[0] = lo
+	default:
+		out[0] = hi
 	}
-	if c >= 0 {
-		return []float64{lo}, true
-	}
-	return []float64{hi}, true
+	return out, true
 }

@@ -1,0 +1,229 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+
+	"roadsocial/internal/conc"
+	"roadsocial/internal/geom"
+	"roadsocial/internal/road"
+)
+
+// Variant names a structural-cohesiveness criterion. The paper's remark
+// (Section II-B) is that the MAC pipeline — road range query, maximal
+// cohesive subgraph, r-dominance refinement over the preference region —
+// is criterion-agnostic; a Variant selects which maximal subgraph seeds it.
+type Variant string
+
+const (
+	// VariantCore seeds the search with the maximal (k,t)-core (the paper's
+	// primary algorithms; supports global and local search).
+	VariantCore Variant = "core"
+	// VariantTruss seeds the search with the maximal connected k-truss
+	// within query distance t (every edge in at least k-2 triangles).
+	VariantTruss Variant = "truss"
+)
+
+// SearchMode selects the search framework a Prepared runs.
+type SearchMode int
+
+const (
+	// ModeGlobal is the exact DFS-based search (Algorithm 1 and its truss
+	// analogue) — every engine supports it.
+	ModeGlobal SearchMode = iota
+	// ModeLocal is the local search framework (Algorithms 3-5): faster,
+	// sound, not complete. Core-only.
+	ModeLocal
+)
+
+// SearchOptions parameterizes Prepared.Search. The zero value selects the
+// exact global search.
+type SearchOptions struct {
+	Mode SearchMode
+	// Local tunes the local search framework; ignored for ModeGlobal.
+	Local LocalOptions
+}
+
+// Engine is the pluggable search-engine contract every cohesiveness variant
+// implements: Prepare computes the (Q, K, T)-keyed half of a query family
+// once — the road-network range query plus the variant's maximal cohesive
+// subgraph — and returns a variant-agnostic Prepared handle that serves any
+// number of concurrent searches varying Region, J, Parallelism, and Cancel.
+//
+// The two built-in engines (core, truss) are obtained from EngineFor;
+// callers that hard-code a variant can use Prepare (core) or PrepareTruss.
+// The seed/search halves are unexported, so engines live in this package —
+// "pluggable" means the service tier and every caller above it select and
+// drive engines solely through this interface, never through
+// variant-specific entry points.
+type Engine interface {
+	// Variant names the engine's cohesiveness criterion; it is part of any
+	// external cache identity (two variants sharing (Q, K, T) prepare
+	// different subgraphs).
+	Variant() Variant
+	// Prepare computes the reusable prepared state for the query's
+	// (Q, K, T) family. It returns ErrNoCommunity when no maximal cohesive
+	// subgraph containing Q exists.
+	Prepare(net *Network, q *Query) (*Prepared, error)
+
+	// seed computes the members of the maximal cohesive subgraph containing
+	// q.Q within query distance q.T — the variant-specific half of Prepare.
+	seed(net *Network, q *Query) ([]int32, error)
+	// needsLocalGraph reports whether region spaces must also carry the
+	// localized community graph (the core engines' cascade machinery).
+	needsLocalGraph() bool
+	// search runs the engine over a resolved region space.
+	search(p *Prepared, rs *regionSpace, q *Query, opts SearchOptions) (*Result, error)
+}
+
+// engines registers the built-in variants.
+var engines = map[Variant]Engine{
+	VariantCore:  coreEngine{},
+	VariantTruss: trussVariant{},
+}
+
+// EngineFor returns the engine implementing the variant.
+func EngineFor(v Variant) (Engine, error) {
+	if eng, ok := engines[v]; ok {
+		return eng, nil
+	}
+	return nil, fmt.Errorf("mac: unknown search variant %q", v)
+}
+
+// prepareEngine is the variant-agnostic body of Engine.Prepare.
+func prepareEngine(eng Engine, net *Network, q *Query) (*Prepared, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(net); err != nil {
+		return nil, err
+	}
+	members, err := eng.seed(net, q)
+	if err != nil {
+		return nil, err
+	}
+	qs := append([]int32(nil), q.Q...)
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	return &Prepared{
+		eng: eng, net: net, q: qs, k: q.K, t: q.T, members: members,
+		regions: make(map[string]*regionEntry),
+	}, nil
+}
+
+// coreEngine is the k-core engine: the paper's primary algorithms.
+type coreEngine struct{}
+
+func (coreEngine) Variant() Variant      { return VariantCore }
+func (coreEngine) needsLocalGraph() bool { return true }
+
+func (e coreEngine) Prepare(net *Network, q *Query) (*Prepared, error) {
+	return prepareEngine(e, net, q)
+}
+
+func (coreEngine) seed(net *Network, q *Query) ([]int32, error) {
+	return ktCore(net, q.Q, q.K, q.T, q.Parallelism, q.Cancel)
+}
+
+func (coreEngine) search(p *Prepared, rs *regionSpace, q *Query, opts SearchOptions) (*Result, error) {
+	ss := coreSpace(p.net, rs, q)
+	if opts.Mode == ModeLocal {
+		return localSearchOn(ss, q, opts.Local)
+	}
+	return globalSearchOn(ss, q)
+}
+
+// coreSpace assembles a per-run searchSpace over a resolved region space.
+// The returned space shares dag, hg, qLocal, and degBase read-only with
+// every concurrent run on the same region; stats are fresh per run.
+func coreSpace(net *Network, rs *regionSpace, q *Query) *searchSpace {
+	ss := &searchSpace{
+		net: net, query: q,
+		dag: rs.dag, hg: rs.hg, qLocal: rs.qLocal, degBase: rs.degBase,
+	}
+	ss.stats.KTCoreSize = rs.hg.N()
+	ss.stats.KTCoreEdges = rs.hg.M()
+	ss.stats.DomGraphArcs = rs.arcs
+	return ss
+}
+
+// prepare composes the full one-shot core search space for a single query —
+// the Prepare + region resolution the reference oracles use. Long-lived
+// callers hold a Prepared instead and amortize both stages.
+func prepare(net *Network, q *Query) (*searchSpace, error) {
+	p, err := Prepare(net, q)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := p.regionSpace(q)
+	if err != nil {
+		return nil, err
+	}
+	return coreSpace(net, rs, q), nil
+}
+
+// trussVariant is the k-truss engine. Truss maintenance after a deletion is
+// implemented by recomputation (see trussEngine), so this variant suits
+// moderate community sizes; the core engine remains the fast path.
+type trussVariant struct{}
+
+func (trussVariant) Variant() Variant      { return VariantTruss }
+func (trussVariant) needsLocalGraph() bool { return false }
+
+func (e trussVariant) Prepare(net *Network, q *Query) (*Prepared, error) {
+	return prepareEngine(e, net, q)
+}
+
+// seed computes the maximal connected k-truss containing Q after the Lemma 1
+// range filter — the truss analogue of the maximal (k,t)-core.
+func (trussVariant) seed(net *Network, q *Query) ([]int32, error) {
+	gs := net.Social
+	queryLocs := make([]road.Location, len(q.Q))
+	for i, v := range q.Q {
+		queryLocs[i] = net.Locs[v]
+	}
+	dq, err := net.oracle(q.Parallelism, q.Cancel).QueryDistances(queryLocs, net.Locs, q.T)
+	if err != nil {
+		return nil, oracleErr(err)
+	}
+	// Checkpoint for oracles that ignore Cancel (e.g. GTree): stop before
+	// the truss decomposition instead of computing a result nobody wants.
+	if queryCancelled(q) {
+		return nil, ErrCanceled
+	}
+	allowed := make([]bool, gs.N())
+	for v := 0; v < gs.N(); v++ {
+		allowed[v] = dq[v] <= q.T
+	}
+	for _, v := range q.Q {
+		if !allowed[v] {
+			return nil, ErrNoCommunity
+		}
+	}
+	base := gs.MaximalConnectedKTruss(q.Q, q.K, allowed)
+	if base == nil {
+		return nil, ErrNoCommunity
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+	return base, nil
+}
+
+func (trussVariant) search(p *Prepared, rs *regionSpace, q *Query, opts SearchOptions) (*Result, error) {
+	if opts.Mode != ModeGlobal {
+		return nil, fmt.Errorf("mac: the truss engine supports only the global search mode")
+	}
+	res := &Result{KTCore: sortedIDs(allLocal(rs.dag.N()), rs.dag.IDs)}
+	eng := &trussEngine{
+		net: p.net, q: q, dag: rs.dag, qLocal: rs.qLocal,
+		j:   max(1, q.J),
+		par: conc.Parallelism(q.Parallelism),
+	}
+	eng.run(geom.NewCell(q.Region))
+	if queryCancelled(q) {
+		return nil, ErrCanceled
+	}
+	res.Cells = eng.results
+	res.Stats.KTCoreSize = rs.dag.N()
+	res.Stats.DomGraphArcs = rs.arcs
+	res.Stats.Partitions = len(eng.results)
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package mac
+
+import (
+	"errors"
+	"testing"
+
+	"roadsocial/internal/geom"
+)
+
+// TestEngineFor: both built-in variants resolve; unknown variants error.
+func TestEngineFor(t *testing.T) {
+	for _, v := range []Variant{VariantCore, VariantTruss} {
+		eng, err := EngineFor(v)
+		if err != nil {
+			t.Fatalf("EngineFor(%s): %v", v, err)
+		}
+		if eng.Variant() != v {
+			t.Fatalf("EngineFor(%s).Variant() = %s", v, eng.Variant())
+		}
+	}
+	if _, err := EngineFor("quantum"); err == nil {
+		t.Fatal("unknown variant must error")
+	}
+}
+
+// TestTrussPreparedMatchesOneShot: truss searches through the engine's
+// Prepared handle are byte-identical to one-shot GlobalSearchTruss, across
+// regions and J values, and repeated searches reuse the prepared state.
+func TestTrussPreparedMatchesOneShot(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 1)
+	q.K = 4
+	eng, err := EngineFor(VariantTruss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := eng.Prepare(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Variant() != VariantTruss {
+		t.Fatalf("prepared variant = %s", p.Variant())
+	}
+	if len(p.Members()) == 0 {
+		t.Fatal("empty prepared truss membership")
+	}
+	if p.Cost() < 1 {
+		t.Fatalf("cost = %d, want >= 1", p.Cost())
+	}
+	regions := []*geom.Region{q.Region}
+	if r2, err := geom.NewBox([]float64{0.15, 0.25}, []float64{0.3, 0.35}); err == nil {
+		regions = append(regions, r2)
+	}
+	for _, region := range regions {
+		for _, j := range []int{1, 2} {
+			qq := *q
+			qq.Region, qq.J = region, j
+			want, err := GlobalSearchTruss(net, &qq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Search(&qq, SearchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resultEq(got, want); err != nil {
+				t.Fatalf("truss j=%d: %v", j, err)
+			}
+		}
+	}
+}
+
+// TestTrussPreparedRejectsLocalMode: the truss engine has no local search.
+func TestTrussPreparedRejectsLocalMode(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 1)
+	q.K = 4
+	p, err := PrepareTruss(net, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Search(q, SearchOptions{Mode: ModeLocal}); err == nil {
+		t.Fatal("truss local search must be rejected")
+	}
+}
+
+// TestPreparedCancelInheritance: a Prepared built without Cancel still
+// honors a per-search Cancel through the region build.
+func TestPreparedCancelInheritance(t *testing.T) {
+	net := paperNetwork(t)
+	q := paperQuery(t, 1)
+	for _, variant := range []Variant{VariantCore, VariantTruss} {
+		qq := *q
+		if variant == VariantTruss {
+			qq.K = 4
+		}
+		eng, err := EngineFor(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := eng.Prepare(net, &qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canceled := qq
+		cancel := make(chan struct{})
+		close(cancel)
+		canceled.Cancel = cancel
+		if _, err := p.Search(&canceled, SearchOptions{}); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%s: got %v, want ErrCanceled", variant, err)
+		}
+	}
+}

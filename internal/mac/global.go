@@ -19,11 +19,11 @@ import (
 // workers (<= 0 selects GOMAXPROCS); output is canonically ordered, so the
 // result is identical for every parallelism level.
 func GlobalSearch(net *Network, q *Query) (*Result, error) {
-	ss, err := prepare(net, q)
+	p, err := Prepare(net, q)
 	if err != nil {
 		return nil, err
 	}
-	return globalSearchOn(ss, q)
+	return p.GlobalSearch(q)
 }
 
 // globalSearchOn runs the global-search engine over an assembled search
@@ -186,6 +186,12 @@ func (e *gsEngine) step(t gsTask, sc *macScratch) []gsTask {
 	}
 	var out []gsTask
 	for ci, cell := range tree.Leaves() {
+		// Canceled searches return ErrCanceled, so dropping mid-task is
+		// invisible to callers; it just bounds cancellation latency by one
+		// cell instead of one task.
+		if e.ss.cancelled() {
+			break
+		}
 		sc.stats.CellsExplored++
 		w := cell.Witness()
 		if w == nil {

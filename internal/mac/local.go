@@ -42,11 +42,11 @@ type LocalOptions struct {
 // complete: candidates form an expansion chain, so a non-contained MAC not
 // on the chain is missed (Fig. 12 of the paper reports this recall).
 func LocalSearch(net *Network, q *Query, opts LocalOptions) (*Result, error) {
-	ss, err := prepare(net, q)
+	p, err := Prepare(net, q)
 	if err != nil {
 		return nil, err
 	}
-	return localSearchOn(ss, q, opts)
+	return p.LocalSearch(q, opts)
 }
 
 // localSearchOn runs the local-search framework over an assembled search

@@ -13,24 +13,30 @@ import (
 	"roadsocial/internal/social"
 )
 
-// Prepared is the reusable prepared state of a MAC query family: everything
-// the search engines derive from (Q, k, t) before looking at the preference
-// region. It holds the maximal (k,t)-core H_k^t (Lemmas 1-3) — whose
+// Prepared is the reusable prepared state of a MAC query family, produced by
+// an Engine: everything the search derives from (Q, k, t) before looking at
+// the preference region. It holds the members of the engine's maximal
+// cohesive subgraph — the (k,t)-core for the core engine (Lemmas 1-3), the
+// maximal connected k-truss within distance t for the truss engine — whose
 // computation is dominated by the road-network range query and dominates
-// small-query latency — plus a small internal cache of region-dependent
-// state (the r-dominance DAG and the localized community graph), so a
-// stream of queries sharing (Q, k, t) pays Prepare once and queries that
-// additionally share the region skip straight to the engines.
+// small-query latency, plus a small internal cache of region-dependent
+// state (the r-dominance DAG and, for the core engine, the localized
+// community graph), so a stream of queries sharing (engine, Q, k, t) pays
+// Prepare once and queries that additionally share the region skip straight
+// to the search.
 //
 // A Prepared is immutable apart from its internal region cache, which is
-// synchronized: any number of goroutines may call GlobalSearch, LocalSearch,
-// and KTCore concurrently.
+// synchronized: any number of goroutines may call Search (and the
+// GlobalSearch/LocalSearch/KTCore conveniences) concurrently.
 type Prepared struct {
+	eng Engine
 	net *Network
 	q   []int32 // query vertices, sorted canonical copy
 	k   int
 	t   float64
-	kt  []int32 // H_k^t member ids, sorted ascending
+	// members is the maximal cohesive subgraph's vertex set, sorted
+	// ascending.
+	members []int32
 
 	mu      sync.Mutex
 	regions map[string]*regionEntry
@@ -43,7 +49,9 @@ type Prepared struct {
 const maxRegionSpaces = 8
 
 // regionSpace is the region-dependent half of the prepared state, read-only
-// after construction and shared across every query that uses it.
+// after construction and shared across every query that uses it. The truss
+// engine only needs the DAG; hg and degBase stay nil for it (see
+// Engine.needsLocalGraph).
 type regionSpace struct {
 	dag     *domgraph.DAG
 	hg      *social.Graph
@@ -60,36 +68,51 @@ type regionEntry struct {
 	err   error
 }
 
-// Prepare computes the maximal (k,t)-core for the query and returns a
-// Prepared handle that can serve any number of subsequent searches sharing
-// the query's (Q, K, T) — the preference region, J, Parallelism, and Cancel
-// knobs may vary per search. It returns ErrNoCommunity when no (k,t)-core
-// containing Q exists.
+// Prepare computes the maximal (k,t)-core for the query and returns the
+// core engine's Prepared handle, which can serve any number of subsequent
+// searches sharing the query's (Q, K, T) — the preference region, J,
+// Parallelism, and Cancel knobs may vary per search. It returns
+// ErrNoCommunity when no (k,t)-core containing Q exists. Variant-generic
+// callers use EngineFor(...).Prepare instead.
 func Prepare(net *Network, q *Query) (*Prepared, error) {
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	if err := q.Validate(net); err != nil {
-		return nil, err
-	}
-	kt, err := ktCore(net, q.Q, q.K, q.T, q.Parallelism, q.Cancel)
-	if err != nil {
-		return nil, err
-	}
-	qs := append([]int32(nil), q.Q...)
-	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
-	return &Prepared{
-		net: net, q: qs, k: q.K, t: q.T, kt: kt,
-		regions: make(map[string]*regionEntry),
-	}, nil
+	return coreEngine{}.Prepare(net, q)
 }
 
-// KTCore returns the vertex set of the maximal (k,t)-core, sorted ascending.
-func (p *Prepared) KTCore() Community {
-	return append(Community(nil), p.kt...)
+// PrepareTruss computes the maximal connected k-truss within distance t and
+// returns the truss engine's Prepared handle, under the same contract as
+// Prepare.
+func PrepareTruss(net *Network, q *Query) (*Prepared, error) {
+	return trussVariant{}.Prepare(net, q)
 }
 
-// K returns the prepared coreness threshold.
+// Engine returns the engine that prepared this state.
+func (p *Prepared) Engine() Engine { return p.eng }
+
+// Variant returns the prepared cohesiveness criterion.
+func (p *Prepared) Variant() Variant { return p.eng.Variant() }
+
+// Members returns the vertex set of the engine's maximal cohesive subgraph
+// (the (k,t)-core or the maximal k-truss), sorted ascending.
+func (p *Prepared) Members() Community {
+	return append(Community(nil), p.members...)
+}
+
+// KTCore is Members under the core engine's historical name; it answers for
+// every variant.
+func (p *Prepared) KTCore() Community { return p.Members() }
+
+// Cost is the admission weight of this prepared state for cost-aware
+// caches: proportional to the cohesive subgraph's size, which bounds both
+// the memory the handle retains (members, DAG, localized graph per cached
+// region) and the work a rebuild would redo. Always >= 1.
+func (p *Prepared) Cost() int64 {
+	if len(p.members) < 1 {
+		return 1
+	}
+	return int64(len(p.members))
+}
+
+// K returns the prepared coreness (or truss) threshold.
 func (p *Prepared) K() int { return p.k }
 
 // T returns the prepared query-distance threshold.
@@ -99,25 +122,34 @@ func (p *Prepared) T() float64 { return p.t }
 // mutate the result.
 func (p *Prepared) Q() []int32 { return p.q }
 
-// GlobalSearch runs the exact DFS-based search on the prepared state. The
-// query must agree with the prepared (Q, K, T); region, J, Parallelism, and
-// Cancel are the query's own.
-func (p *Prepared) GlobalSearch(q *Query) (*Result, error) {
-	ss, err := p.space(q)
+// Search runs the engine on the prepared state. The query must agree with
+// the prepared (Q, K, T); region, J, Parallelism, and Cancel are the
+// query's own. It is the single variant-agnostic entry point the service
+// tier uses; GlobalSearch and LocalSearch are conveniences over it.
+func (p *Prepared) Search(q *Query, opts SearchOptions) (*Result, error) {
+	if err := q.Validate(p.net); err != nil {
+		return nil, err
+	}
+	if err := p.matches(q); err != nil {
+		return nil, err
+	}
+	rs, err := p.regionSpace(q)
 	if err != nil {
 		return nil, err
 	}
-	return globalSearchOn(ss, q)
+	return p.eng.search(p, rs, q, opts)
+}
+
+// GlobalSearch runs the exact DFS-based search on the prepared state.
+func (p *Prepared) GlobalSearch(q *Query) (*Result, error) {
+	return p.Search(q, SearchOptions{Mode: ModeGlobal})
 }
 
 // LocalSearch runs the local search framework on the prepared state, under
-// the same query-compatibility contract as GlobalSearch.
+// the same query-compatibility contract as GlobalSearch. The truss engine
+// has no local search and returns an error.
 func (p *Prepared) LocalSearch(q *Query, opts LocalOptions) (*Result, error) {
-	ss, err := p.space(q)
-	if err != nil {
-		return nil, err
-	}
-	return localSearchOn(ss, q, opts)
+	return p.Search(q, SearchOptions{Mode: ModeLocal, Local: opts})
 }
 
 // matches checks that q asks for the prepared query family.
@@ -136,31 +168,6 @@ func (p *Prepared) matches(q *Query) error {
 		}
 	}
 	return nil
-}
-
-// space assembles a per-run searchSpace over the (possibly cached)
-// region-dependent state for q's region. The returned space shares dag, hg,
-// qLocal, and degBase read-only with every concurrent run on the same
-// region; stats are fresh per run.
-func (p *Prepared) space(q *Query) (*searchSpace, error) {
-	if err := q.Validate(p.net); err != nil {
-		return nil, err
-	}
-	if err := p.matches(q); err != nil {
-		return nil, err
-	}
-	rs, err := p.regionSpace(q)
-	if err != nil {
-		return nil, err
-	}
-	ss := &searchSpace{
-		net: p.net, query: q,
-		dag: rs.dag, hg: rs.hg, qLocal: rs.qLocal, degBase: rs.degBase,
-	}
-	ss.stats.KTCoreSize = rs.hg.N()
-	ss.stats.KTCoreEdges = rs.hg.M()
-	ss.stats.DomGraphArcs = rs.arcs
-	return ss, nil
 }
 
 // regionSpace returns the cached region state for q.Region, building it at
@@ -231,21 +238,34 @@ func (p *Prepared) touch(key string) {
 	}
 }
 
-// buildRegionSpace constructs the r-dominance graph over H_k^t for the
-// query's region and relabels the community graph into the DAG's local
-// space (the second half of the former one-shot Prepare).
+// buildRegionSpace constructs the r-dominance graph over the cohesive
+// subgraph for the query's region and — for engines that need it — relabels
+// the community graph into the DAG's local space.
 func (p *Prepared) buildRegionSpace(q *Query) (*regionSpace, error) {
 	if queryCancelled(q) {
 		return nil, ErrCanceled
 	}
 	net := p.net
-	vecs := make([][]float64, len(p.kt))
-	for i, v := range p.kt {
+	vecs := make([][]float64, len(p.members))
+	for i, v := range p.members {
 		vecs[i] = net.Social.Attrs(int(v))
 	}
-	dag := domgraph.Build(q.Region, p.kt, vecs, 0)
+	dag := domgraph.Build(q.Region, p.members, vecs, 0)
 	if queryCancelled(q) {
 		return nil, ErrCanceled
+	}
+
+	qLocal := make([]int32, len(p.q))
+	for i, v := range p.q {
+		qLocal[i] = dag.Local[v]
+	}
+	arcs := 0
+	for v := int32(0); v < int32(dag.N()); v++ {
+		arcs += len(dag.Children(v))
+	}
+	rs := &regionSpace{dag: dag, qLocal: qLocal, arcs: arcs}
+	if !p.eng.needsLocalGraph() {
+		return rs, nil
 	}
 
 	// Localized graph: vertex i corresponds to dag.IDs[i].
@@ -267,15 +287,7 @@ func (p *Prepared) buildRegionSpace(q *Query) (*regionSpace, error) {
 	if err != nil {
 		return nil, err
 	}
-	qLocal := make([]int32, len(p.q))
-	for i, v := range p.q {
-		qLocal[i] = dag.Local[v]
-	}
-	arcs := 0
-	for v := int32(0); v < int32(dag.N()); v++ {
-		arcs += len(dag.Children(v))
-	}
-	rs := &regionSpace{dag: dag, hg: hg, qLocal: qLocal, arcs: arcs}
+	rs.hg = hg
 	rs.degBase = make([]int32, hg.N())
 	for v := 0; v < hg.N(); v++ {
 		rs.degBase[v] = int32(hg.Degree(v))

@@ -17,74 +17,20 @@ import (
 // at most t; everything else — r-dominance, the arrangement of R, the
 // smallest-score deletion order, top-j backtracking — is unchanged.
 //
-// Truss maintenance after a deletion is implemented by recomputation (the
-// truss cascade is not incremental here), so this variant suits moderate
-// community sizes; the k-core engine remains the fast path.
+// It is sugar for the truss engine: PrepareTruss followed by one global
+// search. Long-lived callers hold the Prepared handle instead and amortize
+// the range query and truss decomposition across searches.
 //
 // Like the k-core engines, independent search-tree branches run on
 // Query.Parallelism workers with canonically ordered output, and closing
 // Query.Cancel abandons the search at the next task boundary with
 // ErrCanceled.
 func GlobalSearchTruss(net *Network, q *Query) (*Result, error) {
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	if err := q.Validate(net); err != nil {
-		return nil, err
-	}
-	// Lemma 1 filter, then the maximal connected k-truss containing Q.
-	gs := net.Social
-	queryLocs := make([]road.Location, len(q.Q))
-	for i, v := range q.Q {
-		queryLocs[i] = net.Locs[v]
-	}
-	dq, err := net.oracle(q.Parallelism, q.Cancel).QueryDistances(queryLocs, net.Locs, q.T)
+	p, err := PrepareTruss(net, q)
 	if err != nil {
-		return nil, oracleErr(err)
+		return nil, err
 	}
-	// Checkpoint for oracles that ignore Cancel (e.g. GTree): stop before
-	// the truss decomposition instead of computing a result nobody wants.
-	if queryCancelled(q) {
-		return nil, ErrCanceled
-	}
-	allowed := make([]bool, gs.N())
-	for v := 0; v < gs.N(); v++ {
-		allowed[v] = dq[v] <= q.T
-	}
-	for _, v := range q.Q {
-		if !allowed[v] {
-			return nil, ErrNoCommunity
-		}
-	}
-	base := gs.MaximalConnectedKTruss(q.Q, q.K, allowed)
-	if base == nil {
-		return nil, ErrNoCommunity
-	}
-
-	vecs := make([][]float64, len(base))
-	for i, v := range base {
-		vecs[i] = gs.Attrs(int(v))
-	}
-	dag := domgraph.Build(q.Region, base, vecs, 0)
-	res := &Result{KTCore: sortedIDs(allLocal(dag.N()), dag.IDs)}
-
-	eng := &trussEngine{
-		net: net, q: q, dag: dag,
-		j:   max(1, q.J),
-		par: conc.Parallelism(q.Parallelism),
-	}
-	eng.qLocal = make([]int32, len(q.Q))
-	for i, v := range q.Q {
-		eng.qLocal[i] = dag.Local[v]
-	}
-	eng.run(geom.NewCell(q.Region))
-	if queryCancelled(q) {
-		return nil, ErrCanceled
-	}
-	res.Cells = eng.results
-	res.Stats.KTCoreSize = dag.N()
-	res.Stats.Partitions = len(eng.results)
-	return res, nil
+	return p.Search(q, SearchOptions{Mode: ModeGlobal})
 }
 
 // trussEngine mirrors gsEngine with truss-recomputing deletions: independent
@@ -152,6 +98,11 @@ func (e *trussEngine) step(t trussTask, emits *[]orderedCell) []trussTask {
 	}
 	var out []trussTask
 	for ci, cell := range tree.Leaves() {
+		// Each cell may pay a full truss recomputation; polling here bounds
+		// cancellation latency by one cell, not one task.
+		if queryCancelled(e.q) {
+			break
+		}
 		w := cell.Witness()
 		if w == nil {
 			continue

@@ -222,18 +222,6 @@ type searchSpace struct {
 	stats   Stats
 }
 
-// prepare computes the full one-shot prepared state for a single query:
-// H_k^t (Lemmas 1-3), the r-dominance graph, and the localized community
-// graph. It is the Prepare + space composition the one-shot entry points
-// use; long-lived callers hold a Prepared instead and amortize both stages.
-func prepare(net *Network, q *Query) (*searchSpace, error) {
-	p, err := Prepare(net, q)
-	if err != nil {
-		return nil, err
-	}
-	return p.space(q)
-}
-
 // cancelled reports whether the query's Cancel channel has been closed.
 // A nil channel never selects, so queries without one are unaffected.
 func (ss *searchSpace) cancelled() bool { return queryCancelled(ss.query) }

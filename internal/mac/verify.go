@@ -53,8 +53,14 @@ func (ss *searchSpace) verify(candidates [][]int32, par int) []CellResult {
 
 // verifyOne validates a single candidate, returning one CellResult per
 // partition of R in which it is a non-contained MAC. All working storage
-// comes from the worker's scratch arena.
+// comes from the worker's scratch arena. The arrangement and per-cell
+// loops poll Query.Cancel, so even one enormous candidate abandons within
+// a few cell validations of the cancellation instead of finishing its
+// whole region sweep.
 func (ss *searchSpace) verifyOne(cand []int32, sc *macScratch) []CellResult {
+	if ss.cancelled() {
+		return nil
+	}
 	n := ss.dag.N()
 	if sc.ge == nil {
 		sc.ge, sc.gc = bitset.New(n), bitset.New(n)
@@ -154,6 +160,9 @@ func (ss *searchSpace) verifyOne(cand []int32, sc *macScratch) []CellResult {
 		}
 	}
 	for _, u := range lb {
+		if ss.cancelled() {
+			return nil
+		}
 		for _, v := range ltDirect {
 			insert(u, v)
 		}
@@ -172,6 +181,9 @@ func (ss *searchSpace) verifyOne(cand []int32, sc *macScratch) []CellResult {
 	community := sortedIDs(cand, ss.dag.IDs)
 	resolved := sc.resolved
 	for _, cell := range tree.Leaves() {
+		if ss.cancelled() {
+			return nil
+		}
 		sc.stats.CellsExplored++
 		w := cell.Witness()
 		if w == nil {

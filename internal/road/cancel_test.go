@@ -1,0 +1,91 @@
+package road
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// chainGraph builds a long path graph — the worst case for cancellation
+// latency, since one Dijkstra must settle every vertex.
+func chainGraph(t testing.TB, n int) *Graph {
+	t.Helper()
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestDijkstraCancelMidRun: a canceled bounded Dijkstra returns ErrCanceled
+// without a partial vector, and its cancellation latency is bounded — a
+// pre-closed cancel returns in a small fraction of the full expansion time
+// instead of settling the whole graph first.
+func TestDijkstraCancelMidRun(t *testing.T) {
+	const n = 400000
+	g := chainGraph(t, n)
+	src := VertexLocation(0)
+
+	// Reference: the full, uncancelable expansion.
+	start := time.Now()
+	full := g.DistancesFrom(src, math.Inf(1))
+	fullDur := time.Since(start)
+	if full[n-1] != float64(n-1) {
+		t.Fatalf("chain distance = %g, want %d", full[n-1], n-1)
+	}
+
+	// A nil cancel behaves exactly like DistancesFrom.
+	dist, err := g.DistancesFromCancel(src, math.Inf(1), nil)
+	if err != nil || dist[n-1] != float64(n-1) {
+		t.Fatalf("nil cancel: err=%v dist=%v", err, dist[n-1])
+	}
+
+	// Pre-closed cancel: the run must abandon within the poll stride, far
+	// before the full expansion finishes. The wall-clock bound is generous
+	// (half the measured full run) so scheduler noise cannot flake it: the
+	// real abandon point is ~dijkstraCancelStride/n ≈ 0.3% of the run.
+	cancel := make(chan struct{})
+	close(cancel)
+	start = time.Now()
+	dist, err = g.DistancesFromCancel(src, math.Inf(1), cancel)
+	gotDur := time.Since(start)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled run: err=%v, want ErrCanceled", err)
+	}
+	if dist != nil {
+		t.Fatal("canceled run must not deliver a partial vector")
+	}
+	if fullDur > 10*time.Millisecond && gotDur > fullDur/2 {
+		t.Fatalf("cancellation latency %v not bounded (full run %v)", gotDur, fullDur)
+	}
+}
+
+// TestRangeQuerierCancelMidDijkstra: the oracle propagates mid-Dijkstra
+// cancellation — a single huge range query no longer runs to completion
+// after its query was abandoned.
+func TestRangeQuerierCancelMidDijkstra(t *testing.T) {
+	const n = 200000
+	g := chainGraph(t, n)
+	users := []Location{VertexLocation(n - 1)}
+	queries := []Location{VertexLocation(0)}
+
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := RangeQuerier{G: g, Parallelism: 1, Cancel: cancel}.
+			QueryDistances(queries, users, math.Inf(1))
+		done <- err
+	}()
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled range query did not return in time")
+	}
+}

@@ -129,6 +129,26 @@ func (p *pq) push(v int32, d float64) { heap.Push(p, pqItem{v: v, d: d}) }
 // every road vertex, pruned at bound (vertices farther than bound report
 // Inf; pass math.Inf(1) for unbounded). The returned slice has length N().
 func (g *Graph) DistancesFrom(src Location, bound float64) []float64 {
+	dist, _ := g.distancesFrom(src, bound, nil)
+	return dist
+}
+
+// dijkstraCancelStride is how many heap pops the bounded Dijkstra settles
+// between polls of its cancel channel: rare enough that the poll is free
+// (one non-blocking select per stride), frequent enough that cancellation
+// latency is bounded by a sliver of the full run even on continent-scale
+// graphs.
+const dijkstraCancelStride = 1024
+
+// DistancesFromCancel is DistancesFrom with mid-run cancellation: once
+// cancel closes, the Dijkstra abandons its frontier within
+// dijkstraCancelStride heap pops and returns (nil, ErrCanceled) instead of
+// running the full expansion. A nil cancel is never canceled.
+func (g *Graph) DistancesFromCancel(src Location, bound float64, cancel <-chan struct{}) ([]float64, error) {
+	return g.distancesFrom(src, bound, cancel)
+}
+
+func (g *Graph) distancesFrom(src Location, bound float64, cancel <-chan struct{}) ([]float64, error) {
 	dist := make([]float64, g.N())
 	for i := range dist {
 		dist[i] = Inf
@@ -146,7 +166,16 @@ func (g *Graph) DistancesFrom(src Location, bound float64) []float64 {
 		seed(src.U, src.Off)
 		seed(src.V, src.w-src.Off)
 	}
+	pops := 0
 	for q.Len() > 0 {
+		if cancel != nil {
+			if pops++; pops >= dijkstraCancelStride {
+				pops = 0
+				if chanClosed(cancel) {
+					return nil, ErrCanceled
+				}
+			}
+		}
 		it := heap.Pop(&q).(pqItem)
 		if it.d > dist[it.v] {
 			continue
@@ -159,7 +188,7 @@ func (g *Graph) DistancesFrom(src Location, bound float64) []float64 {
 			}
 		}
 	}
-	return dist
+	return dist, nil
 }
 
 // DistanceAt evaluates a distance field (as returned by DistancesFrom with

@@ -300,7 +300,7 @@ func (t *GTree) restrictedDijkstra(s int32, setID int32, sc *gtScratch) []float6
 // The GTree has no Cancel knob, so the returned error is always nil.
 func (t *GTree) QueryDistances(queries []Location, users []Location, bound float64) ([]float64, error) {
 	return maxFoldQueries(conc.Parallelism(t.Parallelism), len(queries), len(users), nil,
-		func(qi int, row []float64) { t.queryRow(queries[qi], users, bound, row) })
+		func(qi int, row []float64) error { t.queryRow(queries[qi], users, bound, row); return nil })
 }
 
 // queryRow fills row[i] with the network distance from qloc to users[i]

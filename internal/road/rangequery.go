@@ -43,20 +43,25 @@ type RangeQuerier struct {
 // QueryDistances implements Oracle.
 func (r RangeQuerier) QueryDistances(queries []Location, users []Location, bound float64) ([]float64, error) {
 	return maxFoldQueries(conc.Parallelism(r.Parallelism), len(queries), len(users), r.Cancel,
-		func(qi int, row []float64) { r.queryRow(queries[qi], users, bound, row) })
+		func(qi int, row []float64) error { return r.queryRow(queries[qi], users, bound, row) })
 }
 
 // queryRow fills row[i] with the network distance from query location q to
 // users[i]. The sameEdgeDirect shortcut only applies to edge-located
 // queries: a vertex-located query can never share an edge interior with a
-// user.
-func (r RangeQuerier) queryRow(q Location, users []Location, bound float64, row []float64) {
-	dist := r.G.DistancesFrom(q, bound)
+// user. Cancellation interrupts the underlying Dijkstra mid-expansion, so a
+// single huge bounded search no longer runs to completion after its query
+// was abandoned.
+func (r RangeQuerier) queryRow(q Location, users []Location, bound float64, row []float64) error {
+	dist, err := r.G.DistancesFromCancel(q, bound, r.Cancel)
+	if err != nil {
+		return err
+	}
 	if q.OnVertex() {
 		for i, u := range users {
 			row[i] = DistanceAt(dist, u)
 		}
-		return
+		return nil
 	}
 	for i, u := range users {
 		d := DistanceAt(dist, u)
@@ -65,6 +70,7 @@ func (r RangeQuerier) queryRow(q Location, users []Location, bound float64, row 
 		}
 		row[i] = d
 	}
+	return nil
 }
 
 // maxFoldQueries is the per-query-location fan-out shared by the oracles:
@@ -73,9 +79,10 @@ func (r RangeQuerier) queryRow(q Location, users []Location, bound float64, row 
 // order-independent, so output never depends on worker scheduling. A
 // single-location query writes straight into the zeroed output (distances
 // are non-negative, so assignment equals the fold). Cancellation makes the
-// fan-out stop claiming locations and return ErrCanceled — never a partial
+// fan-out stop claiming locations — and a queryRow may itself return
+// ErrCanceled mid-expansion — and return ErrCanceled, never a partial
 // vector.
-func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow func(qi int, row []float64)) ([]float64, error) {
+func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow func(qi int, row []float64) error) ([]float64, error) {
 	out := make([]float64, nUsers)
 	if nQueries == 0 {
 		return out, nil
@@ -84,7 +91,9 @@ func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow 
 		if chanClosed(cancel) {
 			return nil, ErrCanceled
 		}
-		queryRow(0, out)
+		if err := queryRow(0, out); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 	if par <= 1 {
@@ -93,7 +102,9 @@ func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow 
 			if chanClosed(cancel) {
 				return nil, ErrCanceled
 			}
-			queryRow(qi, row)
+			if err := queryRow(qi, row); err != nil {
+				return nil, err
+			}
 			foldRowMax(out, row)
 		}
 		return out, nil
@@ -109,7 +120,7 @@ func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow 
 	ws := make([]*workerRows, par)
 	var canceled atomic.Bool
 	conc.For(par, nQueries, func(worker, qi int) {
-		if chanClosed(cancel) {
+		if canceled.Load() || chanClosed(cancel) {
 			canceled.Store(true)
 			return
 		}
@@ -118,7 +129,10 @@ func maxFoldQueries(par, nQueries, nUsers int, cancel <-chan struct{}, queryRow 
 			w = &workerRows{scratch: make([]float64, nUsers), acc: make([]float64, nUsers)}
 			ws[worker] = w
 		}
-		queryRow(qi, w.scratch)
+		if err := queryRow(qi, w.scratch); err != nil {
+			canceled.Store(true)
+			return
+		}
 		foldRowMax(w.acc, w.scratch)
 	})
 	if canceled.Load() || chanClosed(cancel) {

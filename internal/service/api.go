@@ -16,16 +16,32 @@ const (
 	AlgoGlobal Algo = "global"
 	// AlgoLocal is the local search framework (faster, sound, not complete).
 	AlgoLocal Algo = "local"
-	// AlgoTruss is the k-truss variant (no prepared-state reuse).
+	// AlgoTruss is the k-truss variant (global search on the truss engine).
 	AlgoTruss Algo = "truss"
 )
 
 // Cache outcomes reported per response.
 const (
-	CacheHit    = "hit"
-	CacheMiss   = "miss"
-	CacheBypass = "bypass"
+	CacheHit  = "hit"
+	CacheMiss = "miss"
 )
+
+// variant maps the request's algorithm onto the engine that serves it.
+func (r *SearchRequest) variant() mac.Variant {
+	if r.algo() == AlgoTruss {
+		return mac.VariantTruss
+	}
+	return mac.VariantCore
+}
+
+// searchOptions maps the request's algorithm onto the prepared handle's
+// search mode.
+func (r *SearchRequest) searchOptions() mac.SearchOptions {
+	if r.algo() == AlgoLocal {
+		return mac.SearchOptions{Mode: mac.ModeLocal}
+	}
+	return mac.SearchOptions{Mode: mac.ModeGlobal}
+}
 
 // Request bounds: a public endpoint must not let one request dominate the
 // server, so the knobs with superlinear cost are capped. Parallelism in
@@ -65,8 +81,9 @@ type SearchRequest struct {
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 	// Parallelism overrides the per-search worker count (0: server config).
 	Parallelism int `json:"parallelism,omitempty"`
-	// KTCoreOnly answers with the maximal (k,t)-core membership and skips
-	// the search (the /v1/ktcore endpoint sets it).
+	// KTCoreOnly answers with the engine's maximal cohesive-subgraph
+	// membership — the (k,t)-core, or the k-truss with algo=truss — and
+	// skips the search (the /v1/ktcore endpoint sets it).
 	KTCoreOnly bool `json:"-"`
 }
 
@@ -115,9 +132,6 @@ func (r *SearchRequest) validate() error {
 		return invalidf("unknown algo %q (want global, local, or truss)", r.Algo)
 	}
 	if r.KTCoreOnly {
-		if r.algo() == AlgoTruss {
-			return invalidf("ktcore endpoint does not support the truss variant")
-		}
 		return nil
 	}
 	if r.Region == nil {
@@ -177,7 +191,7 @@ type SearchResponse struct {
 	Cells       []CellJSON `json:"cells,omitempty"`
 	Stats       *mac.Stats `json:"stats,omitempty"`
 	// Cache reports how the prepared state was obtained: hit (reused or
-	// coalesced), miss (prepared here), bypass (truss).
+	// coalesced) or miss (prepared here).
 	Cache     string  `json:"cache"`
 	ElapsedMs float64 `json:"elapsed_ms"`
 }

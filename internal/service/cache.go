@@ -7,19 +7,24 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"roadsocial/internal/mac"
 )
 
-// prepKey is the cache identity of a prepared state: dataset name plus the
-// canonical (sorted Q, k, t) signature. Two requests with the same key can
-// share one mac.Prepared (the region may differ per request — Prepared
-// resolves regions internally).
-func prepKey(dataset string, q []int32, k int, t float64) string {
+// prepKey is the cache identity of a prepared state: dataset name, engine
+// variant, and the canonical (sorted Q, k, t) signature. Two requests with
+// the same key can share one mac.Prepared (the region may differ per
+// request — Prepared resolves regions internally); the variant is part of
+// the key because core and truss prepare different subgraphs from the same
+// (Q, k, t).
+func prepKey(dataset string, variant mac.Variant, q []int32, k int, t float64) string {
 	qs := append([]int32(nil), q...)
 	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
-	b := make([]byte, 0, len(dataset)+1+4*len(qs)+16)
+	b := make([]byte, 0, len(dataset)+len(variant)+2+4*len(qs)+16)
 	b = append(b, dataset...)
+	b = append(b, 0)
+	b = append(b, variant...)
 	b = append(b, 0)
 	b = binary.LittleEndian.AppendUint32(b, uint32(k))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t))
@@ -30,38 +35,67 @@ func prepKey(dataset string, q []int32, k int, t float64) string {
 }
 
 // cacheEntry is one cached (or in-flight) preparation. ready is closed once
-// p/err are set; waiters coalesce on it. Entries are immutable after ready
-// closes.
+// p/err are set; waiters coalesce on it. cost and builtAt are set (under the
+// cache mutex) when the build completes; until then the entry weighs
+// nothing, so in-flight coalescing is never a casualty of weight pressure.
 type cacheEntry struct {
-	key   string
-	ready chan struct{}
-	p     *mac.Prepared
-	err   error
+	key     string
+	ready   chan struct{}
+	p       *mac.Prepared
+	err     error
+	cost    int64
+	builtAt time.Time
 }
 
-// prepCache is an LRU cache of prepared states with single-flight admission:
-// concurrent requests for the same key coalesce onto one Prepare call, and
-// the least recently used entries are evicted beyond capacity. An evicted
+// prepCache is a weighted LRU cache of prepared states with single-flight
+// admission: concurrent requests for the same key coalesce onto one Prepare
+// call. Admission is cost-aware — each entry weighs its prepared-subgraph
+// size (mac.Prepared.Cost), and least-recently-used entries are evicted
+// while either the entry count exceeds capacity or the total weight exceeds
+// maxCost, so one huge kt-core displaces many cheap entries rather than
+// exactly one. Entries older than ttl expire: the next request rebuilds
+// them (for mutable datasets re-registered under the same name). An evicted
 // in-flight build still completes for its waiters — eviction only removes
 // the cache's reference.
 type prepCache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List // front = most recently used; values are *cacheEntry
+	maxCost  int64
+	ttl      time.Duration
+	now      func() time.Time          // injectable for TTL tests
+	costOf   func(*mac.Prepared) int64 // injectable for weighting tests
+	ll       *list.List                // front = most recently used; values are *cacheEntry
 	byKey    map[string]*list.Element
+	costUsed int64
 
-	hits, misses, coalesced, evictions int64
+	hits, misses, coalesced, evictions, expirations int64
 }
 
-func newPrepCache(capacity int) *prepCache {
+func newPrepCache(capacity int, maxCost int64, ttl time.Duration) *prepCache {
 	if capacity < 1 {
 		capacity = 1
 	}
+	if maxCost < 1 {
+		maxCost = 1
+	}
 	return &prepCache{
 		capacity: capacity,
+		maxCost:  maxCost,
+		ttl:      ttl,
+		now:      time.Now,
+		costOf:   entryCost,
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
 	}
+}
+
+// entryCost weighs a completed entry: the prepared-subgraph size, or 1 for
+// negative entries (cached ErrNoCommunity), which retain almost nothing.
+func entryCost(p *mac.Prepared) int64 {
+	if p == nil {
+		return 1
+	}
+	return p.Cost()
 }
 
 // getOrBuild returns the prepared state for key, building it with build at
@@ -76,68 +110,120 @@ func (c *prepCache) getOrBuild(key string, cancel <-chan struct{}, build func() 
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		e := el.Value.(*cacheEntry)
-		c.ll.MoveToFront(el)
-		select {
-		case <-e.ready:
-			c.hits++
-		default:
-			c.coalesced++
-		}
-		c.mu.Unlock()
-		select {
-		case <-e.ready:
-			return e.p, true, e.err
-		case <-cancel:
-			return nil, true, mac.ErrCanceled
+		if c.expiredLocked(e) {
+			// Past its TTL: drop it and rebuild below, as a miss.
+			c.removeLocked(el)
+			c.expirations++
+		} else {
+			c.ll.MoveToFront(el)
+			select {
+			case <-e.ready:
+				c.hits++
+			default:
+				c.coalesced++
+			}
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+				return e.p, true, e.err
+			case <-cancel:
+				return nil, true, mac.ErrCanceled
+			}
 		}
 	}
 	c.misses++
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	el := c.ll.PushFront(e)
 	c.byKey[key] = el
-	for c.ll.Len() > c.capacity {
-		back := c.ll.Back()
-		if back == el {
-			break
-		}
-		c.ll.Remove(back)
-		delete(c.byKey, back.Value.(*cacheEntry).key)
-		c.evictions++
-	}
+	c.evictOverLocked(el)
 	c.mu.Unlock()
 
 	e.p, e.err = build()
-	close(e.ready)
 	if e.err != nil && !errors.Is(e.err, mac.ErrNoCommunity) {
+		close(e.ready)
 		c.mu.Lock()
 		if cur, ok := c.byKey[key]; ok && cur == el {
-			c.ll.Remove(el)
-			delete(c.byKey, key)
+			c.removeLocked(el)
 		}
 		c.mu.Unlock()
+		return e.p, false, e.err
 	}
+	// Successful (or negative) build: account its weight before waiters can
+	// observe it, then shed whatever the new weight pushed over the limits.
+	c.mu.Lock()
+	e.cost = c.costOf(e.p)
+	e.builtAt = c.now()
+	if cur, ok := c.byKey[key]; ok && cur == el {
+		c.costUsed += e.cost
+		c.evictOverLocked(el)
+	}
+	c.mu.Unlock()
+	close(e.ready)
 	return e.p, false, e.err
+}
+
+// expiredLocked reports whether a completed entry is past its TTL. In-flight
+// entries never expire (builtAt is unset until the build lands). Caller
+// holds c.mu.
+func (c *prepCache) expiredLocked(e *cacheEntry) bool {
+	if c.ttl <= 0 {
+		return false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return false
+	}
+	return c.now().Sub(e.builtAt) > c.ttl
+}
+
+// removeLocked drops an entry and its weight. Caller holds c.mu.
+func (c *prepCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.byKey, e.key)
+	c.costUsed -= e.cost
+}
+
+// evictOverLocked sheds least-recently-used entries while the cache exceeds
+// either bound, never evicting keep (the entry being admitted). Caller
+// holds c.mu.
+func (c *prepCache) evictOverLocked(keep *list.Element) {
+	for c.ll.Len() > c.capacity || c.costUsed > c.maxCost {
+		back := c.ll.Back()
+		if back == nil || back == keep {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
 }
 
 // cacheStats is a snapshot of the cache counters for /v1/stats.
 type cacheStats struct {
-	Entries   int   `json:"entries"`
-	Capacity  int   `json:"capacity"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Coalesced int64 `json:"coalesced"`
-	Evictions int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Capacity    int   `json:"capacity"`
+	CostUsed    int64 `json:"cost_used"`
+	MaxCost     int64 `json:"max_cost"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
 }
 
 func (c *prepCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return cacheStats{
-		Entries:   c.ll.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Evictions: c.evictions,
+		Entries:     c.ll.Len(),
+		Capacity:    c.capacity,
+		CostUsed:    c.costUsed,
+		MaxCost:     c.maxCost,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Coalesced:   c.coalesced,
+		Evictions:   c.evictions,
+		Expirations: c.expirations,
 	}
 }

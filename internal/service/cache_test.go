@@ -7,14 +7,21 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"roadsocial/internal/mac"
 )
 
+// testCache returns an effectively unweighted cache (huge cost budget), the
+// shape the pre-weighting tests exercise.
+func testCache(capacity int) *prepCache {
+	return newPrepCache(capacity, 1<<40, 0)
+}
+
 // TestPrepCacheSingleflight: concurrent requests for one key coalesce onto
 // a single build and all observe the same prepared pointer.
 func TestPrepCacheSingleflight(t *testing.T) {
-	c := newPrepCache(8)
+	c := testCache(8)
 	var builds atomic.Int64
 	gate := make(chan struct{})
 	want := &mac.Prepared{}
@@ -67,7 +74,7 @@ func TestPrepCacheSingleflight(t *testing.T) {
 // TestPrepCacheLRUEviction: capacity bounds resident entries; the least
 // recently used entry is evicted and rebuilt on next use.
 func TestPrepCacheLRUEviction(t *testing.T) {
-	c := newPrepCache(2)
+	c := testCache(2)
 	builds := map[string]int{}
 	get := func(key string) {
 		t.Helper()
@@ -93,10 +100,165 @@ func TestPrepCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestPrepCacheWeightedEviction: admission is cost-aware — one expensive
+// entry displaces several cheap ones, in LRU order, while the cheap ones
+// alone coexist under the same budget.
+func TestPrepCacheWeightedEviction(t *testing.T) {
+	c := newPrepCache(64, 10, 0)
+	costs := map[*mac.Prepared]int64{}
+	c.costOf = func(p *mac.Prepared) int64 { return costs[p] }
+	builds := map[string]int{}
+	get := func(key string, cost int64) {
+		t.Helper()
+		_, _, err := c.getOrBuild(key, nil, func() (*mac.Prepared, error) {
+			builds[key]++
+			p := &mac.Prepared{}
+			costs[p] = cost
+			return p, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a", 3)
+	get("b", 3)
+	get("c", 3) // 9/10 used: all three fit
+	if st := c.stats(); st.Entries != 3 || st.CostUsed != 9 || st.Evictions != 0 {
+		t.Fatalf("cheap entries: stats = %+v, want 3 entries, cost 9, no evictions", st)
+	}
+	// 9+8 = 17 > 10: the LRU tail sheds a, then b, then c (each removal
+	// still leaves the budget exceeded until only big remains).
+	get("big", 8)
+	if st := c.stats(); st.Entries != 1 || st.CostUsed != 8 || st.Evictions != 3 {
+		t.Fatalf("big admission: stats = %+v, want 1 entry, cost 8, 3 evictions", st)
+	}
+	// a was evicted, so it rebuilds — and its admission displaces big.
+	get("a", 3)
+	st := c.stats()
+	if st.Entries != 1 || st.CostUsed != 3 || builds["a"] != 2 {
+		t.Fatalf("after re-admission: stats = %+v builds = %v, want a rebuilt and resident alone", st, builds)
+	}
+}
+
+// TestPrepCacheOversizeEntryAdmitted: an entry larger than the whole budget
+// is still admitted (single-flight must produce an answer) and simply
+// evicts everything else; the next admission displaces it.
+func TestPrepCacheOversizeEntryAdmitted(t *testing.T) {
+	c := newPrepCache(64, 10, 0)
+	costs := map[*mac.Prepared]int64{}
+	c.costOf = func(p *mac.Prepared) int64 { return costs[p] }
+	get := func(key string, cost int64) {
+		t.Helper()
+		p, _, err := c.getOrBuild(key, nil, func() (*mac.Prepared, error) {
+			p := &mac.Prepared{}
+			costs[p] = cost
+			return p, nil
+		})
+		if err != nil || p == nil {
+			t.Fatalf("get %s: p=%v err=%v", key, p, err)
+		}
+	}
+	get("small", 2)
+	get("huge", 50)
+	if st := c.stats(); st.Entries != 1 || st.CostUsed != 50 {
+		t.Fatalf("oversize admission: stats = %+v, want only the huge entry", st)
+	}
+	get("small", 2)
+	if st := c.stats(); st.Entries != 1 || st.CostUsed != 2 {
+		t.Fatalf("after displacement: stats = %+v, want only the small entry", st)
+	}
+}
+
+// TestPrepCacheSingleflightUnderWeightPressure: even when the budget forces
+// immediate eviction of the new entry's predecessors, concurrent callers of
+// the same key still coalesce onto one build.
+func TestPrepCacheSingleflightUnderWeightPressure(t *testing.T) {
+	c := newPrepCache(64, 1, 0) // any real entry exceeds the budget
+	costs := map[*mac.Prepared]int64{}
+	var costsMu sync.Mutex
+	c.costOf = func(p *mac.Prepared) int64 {
+		costsMu.Lock()
+		defer costsMu.Unlock()
+		return costs[p]
+	}
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, _, err := c.getOrBuild("k", nil, func() (*mac.Prepared, error) {
+				builds.Add(1)
+				<-gate
+				p := &mac.Prepared{}
+				costsMu.Lock()
+				costs[p] = 100
+				costsMu.Unlock()
+				return p, nil
+			})
+			if err != nil || p == nil {
+				t.Errorf("p=%v err=%v", p, err)
+			}
+		}()
+	}
+	for c.stats().Misses+c.stats().Coalesced < workers {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times under weight pressure, want 1", got)
+	}
+}
+
+// TestPrepCacheTTLExpiry: entries past their TTL are rebuilt on the next
+// request; fresh entries are served from cache.
+func TestPrepCacheTTLExpiry(t *testing.T) {
+	c := newPrepCache(8, 1<<40, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	builds := 0
+	get := func() (hit bool) {
+		t.Helper()
+		_, hit, err := c.getOrBuild("k", nil, func() (*mac.Prepared, error) {
+			builds++
+			return &mac.Prepared{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+	if get() {
+		t.Fatal("first request must build")
+	}
+	now = now.Add(30 * time.Second)
+	if !get() {
+		t.Fatal("within TTL must hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if get() {
+		t.Fatal("past TTL must rebuild")
+	}
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2", builds)
+	}
+	st := c.stats()
+	if st.Expirations != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 expiration and 1 resident entry", st)
+	}
+	// Expired weight must have been released, not leaked.
+	if st.CostUsed != 1 {
+		t.Fatalf("cost used = %d after expiry cycle, want 1", st.CostUsed)
+	}
+}
+
 // TestPrepCacheErrorHandling: transient errors are not cached (the next
 // request retries); ErrNoCommunity is a deterministic outcome and is.
 func TestPrepCacheErrorHandling(t *testing.T) {
-	c := newPrepCache(8)
+	c := testCache(8)
 	calls := 0
 	transient := errors.New("boom")
 	build := func() (*mac.Prepared, error) {
@@ -135,7 +297,7 @@ func TestPrepCacheErrorHandling(t *testing.T) {
 // TestPrepCacheCancelWaiter: a canceled waiter aborts its own wait without
 // disturbing the shared build.
 func TestPrepCacheCancelWaiter(t *testing.T) {
-	c := newPrepCache(8)
+	c := testCache(8)
 	gate := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
@@ -163,17 +325,18 @@ func TestPrepCacheCancelWaiter(t *testing.T) {
 }
 
 // TestPrepKeyCanonical: the key is order-insensitive in Q and sensitive to
-// every component.
+// every component, including the engine variant.
 func TestPrepKeyCanonical(t *testing.T) {
-	base := prepKey("ds", []int32{3, 1, 2}, 4, 100)
-	if prepKey("ds", []int32{1, 2, 3}, 4, 100) != base {
+	base := prepKey("ds", mac.VariantCore, []int32{3, 1, 2}, 4, 100)
+	if prepKey("ds", mac.VariantCore, []int32{1, 2, 3}, 4, 100) != base {
 		t.Fatal("Q order must not matter")
 	}
 	for name, other := range map[string]string{
-		"dataset": prepKey("ds2", []int32{1, 2, 3}, 4, 100),
-		"q":       prepKey("ds", []int32{1, 2, 4}, 4, 100),
-		"k":       prepKey("ds", []int32{1, 2, 3}, 5, 100),
-		"t":       prepKey("ds", []int32{1, 2, 3}, 4, 101),
+		"dataset": prepKey("ds2", mac.VariantCore, []int32{1, 2, 3}, 4, 100),
+		"variant": prepKey("ds", mac.VariantTruss, []int32{1, 2, 3}, 4, 100),
+		"q":       prepKey("ds", mac.VariantCore, []int32{1, 2, 4}, 4, 100),
+		"k":       prepKey("ds", mac.VariantCore, []int32{1, 2, 3}, 5, 100),
+		"t":       prepKey("ds", mac.VariantCore, []int32{1, 2, 3}, 4, 101),
 	} {
 		if other == base {
 			t.Fatalf("%s must change the key", name)

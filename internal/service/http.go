@@ -12,8 +12,10 @@ import (
 	"roadsocial/internal/mac"
 )
 
-// maxRequestBody bounds request bodies; search requests are small.
-const maxRequestBody = 1 << 20
+// MaxRequestBody bounds request bodies; search requests are small. The
+// shard router applies the same bound so single- and multi-shard
+// deployments agree on the accepted request size.
+const MaxRequestBody = 1 << 20
 
 // Handler returns the HTTP API:
 //
@@ -40,7 +42,7 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, ktCoreOnly bool) {
 	var req SearchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))

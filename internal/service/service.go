@@ -5,11 +5,14 @@
 //
 // Three mechanisms make it hold up under the ROADMAP's million-user target:
 //
-//   - A shared prepared-state cache (LRU + single-flight) keyed by
-//     (dataset, Q, k, t). Prepare — the road-network range query plus the
-//     r-dominance graph — dominates small-query latency; concurrent
-//     identical preparations coalesce onto one computation and later
-//     requests reuse it outright.
+//   - A shared prepared-state cache (weighted LRU + single-flight) keyed by
+//     (dataset, engine variant, Q, k, t). Prepare — the road-network range
+//     query plus the engine's maximal cohesive subgraph — dominates
+//     small-query latency; concurrent identical preparations coalesce onto
+//     one computation and later requests reuse it outright. Admission is
+//     cost-aware (entries weigh their subgraph size) with optional TTLs for
+//     mutable datasets. Both engines — core and truss — are driven solely
+//     through the mac.Engine interface, so every variant shares the cache.
 //   - Admission control: a bounded in-flight semaphore with a bounded
 //     waiting queue. Requests beyond both bounds are rejected immediately
 //     (HTTP 429) instead of piling up, so saturation degrades service
@@ -52,6 +55,15 @@ type Config struct {
 	// CacheCapacity bounds the prepared-state cache entries; <= 0 selects
 	// 256.
 	CacheCapacity int
+	// CacheMaxCost bounds the total weight of resident prepared states,
+	// where each entry weighs its cohesive-subgraph size (members): a huge
+	// kt-core displaces many cheap entries instead of exactly one. <= 0
+	// selects 1<<20 (a million member-vertices).
+	CacheMaxCost int64
+	// CacheTTL expires prepared states this long after they were built (the
+	// next request rebuilds them) — for deployments that re-register mutable
+	// datasets under the same name. <= 0 disables expiry.
+	CacheTTL time.Duration
 	// Parallelism is the per-search worker count when the request does not
 	// choose one; 0 selects GOMAXPROCS.
 	Parallelism int
@@ -72,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCapacity <= 0 {
 		c.CacheCapacity = 256
+	}
+	if c.CacheMaxCost <= 0 {
+		c.CacheMaxCost = 1 << 20
 	}
 	return c
 }
@@ -115,7 +130,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		start: time.Now(),
 		nets:  make(map[string]*mac.Network),
-		cache: newPrepCache(cfg.CacheCapacity),
+		cache: newPrepCache(cfg.CacheCapacity, cfg.CacheMaxCost, cfg.CacheTTL),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 	}
 }
@@ -229,37 +244,28 @@ func (s *Server) Do(req *SearchRequest, cancel <-chan struct{}) (*SearchResponse
 	return resp, nil
 }
 
-// run executes an admitted request: resolve the prepared state through the
-// cache (global/local) or run standalone (truss), then search.
+// run executes an admitted request. Every variant flows through the same
+// path: resolve the engine from the request, resolve its prepared state
+// through the shared single-flight cache, then search via the
+// variant-agnostic Prepared handle — the service never branches on the
+// variant itself.
 func (s *Server) run(req *SearchRequest, net *mac.Network, cancel <-chan struct{}) (*SearchResponse, error) {
 	q, err := req.query(net, s.cfg.Parallelism, cancel)
 	if err != nil {
 		return nil, err
 	}
+	eng, err := mac.EngineFor(req.variant())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
 	resp := &SearchResponse{Dataset: req.Dataset, Algo: req.algo()}
 
-	if req.algo() == AlgoTruss {
-		// The truss variant has no reusable prepared state; it runs
-		// standalone under the same admission control.
-		resp.Cache = CacheBypass
-		res, err := mac.GlobalSearchTruss(net, q)
-		if errors.Is(err, mac.ErrNoCommunity) {
-			resp.NoCommunity = true
-			return resp, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		resp.fill(res, req.KTCoreOnly)
-		return resp, nil
-	}
-
-	key := prepKey(req.Dataset, req.Q, req.K, req.T)
+	key := prepKey(req.Dataset, eng.Variant(), req.Q, req.K, req.T)
 	var p *mac.Prepared
 	var hit bool
 	for {
 		p, hit, err = s.cache.getOrBuild(key, cancel, func() (*mac.Prepared, error) {
-			return mac.Prepare(net, q)
+			return eng.Prepare(net, q)
 		})
 		if errors.Is(err, mac.ErrCanceled) && !chanClosed(cancel) {
 			// The coalesced build died with its builder's deadline, not
@@ -288,16 +294,11 @@ func (s *Server) run(req *SearchRequest, net *mac.Network, cancel <-chan struct{
 			return nil, mac.ErrCanceled
 		default:
 		}
-		resp.KTCore = p.KTCore()
+		resp.KTCore = p.Members()
 		resp.KTCoreSize = len(resp.KTCore)
 		return resp, nil
 	}
-	var res *mac.Result
-	if req.algo() == AlgoLocal {
-		res, err = p.LocalSearch(q, mac.LocalOptions{})
-	} else {
-		res, err = p.GlobalSearch(q)
-	}
+	res, err := p.Search(q, req.searchOptions())
 	if errors.Is(err, mac.ErrNoCommunity) {
 		resp.NoCommunity = true
 		return resp, nil

@@ -143,6 +143,53 @@ func TestHTTPSearchRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHTTPTrussThroughCache: truss requests flow through the shared
+// prepared-state cache like core requests — the repeat of a truss search is
+// a cache hit with identical output, and the truss key never collides with
+// the core key for the same (Q, k, t).
+func TestHTTPTrussThroughCache(t *testing.T) {
+	net, q, k, tt := testNetwork(t)
+	s := New(Config{})
+	if err := s.AddDataset("test", net); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	truss := searchBody(t, "test", q, k, tt, map[string]any{"algo": "truss"})
+	status, cold := postJSON(t, ts.URL+"/v1/search", truss)
+	if status != http.StatusOK {
+		t.Fatalf("cold truss search: status %d (%v)", status, cold)
+	}
+	if cold["cache"] != CacheMiss {
+		t.Fatalf("cold truss search: cache = %v, want miss", cold["cache"])
+	}
+	status, warm := postJSON(t, ts.URL+"/v1/search", truss)
+	if status != http.StatusOK || warm["cache"] != CacheHit {
+		t.Fatalf("warm truss search: status %d cache %v, want 200 hit", status, warm["cache"])
+	}
+	for _, key := range []string{"ktcore_size", "partitions", "cells"} {
+		if fmt.Sprint(cold[key]) != fmt.Sprint(warm[key]) {
+			t.Fatalf("warm truss %s = %v differs from cold %v", key, warm[key], cold[key])
+		}
+	}
+	// The core variant of the same (Q, k, t) prepares separately: its first
+	// request must be a miss, not a hit on the truss entry.
+	status, core := postJSON(t, ts.URL+"/v1/search", searchBody(t, "test", q, k, tt, nil))
+	if status != http.StatusOK || core["cache"] != CacheMiss {
+		t.Fatalf("core after truss: status %d cache %v, want 200 miss", status, core["cache"])
+	}
+	// The membership endpoint serves the truss variant from the same entry.
+	body, _ := json.Marshal(map[string]any{"dataset": "test", "q": q, "k": k, "t": tt, "algo": "truss"})
+	status, res := postJSON(t, ts.URL+"/v1/ktcore", body)
+	if status != http.StatusOK {
+		t.Fatalf("truss ktcore: status %d (%v)", status, res)
+	}
+	if res["ktcore_size"] == nil || int(res["ktcore_size"].(float64)) == 0 {
+		t.Fatalf("truss ktcore size = %v", res["ktcore_size"])
+	}
+}
+
 // TestHTTPKTCore: the ktcore endpoint returns the membership list and
 // shares the prepared cache with search.
 func TestHTTPKTCore(t *testing.T) {

@@ -1,0 +1,474 @@
+// Package shard is the horizontal-scaling tier above the MAC query service:
+// it partitions datasets across multiple service instances — in-process
+// shards or remote macserver processes — by consistent hashing on the
+// dataset id, in the hierarchical-partitioning spirit of the G-tree road
+// index (partition once, route cheaply ever after).
+//
+// A Router owns a fixed set of Backends and an immutable hash ring with
+// virtual nodes. Every /v1/search and /v1/ktcore request is routed to the
+// shard that owns its dataset (the ring makes ownership deterministic and
+// stable under shard-set changes: only ~1/n of datasets move when a shard
+// joins or leaves); /v1/healthz and /v1/stats fan out to every shard and
+// aggregate. A shard that cannot be reached answers its datasets' requests
+// with 502 and shows up as down in the aggregated health and stats — the
+// other shards keep serving.
+//
+// The Router holds no query state of its own: all caching, admission
+// control, and deadline handling stay in the per-shard service tier, so the
+// routing layer adds one body peek and one hash per request.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"roadsocial/internal/service"
+)
+
+// ErrShardDown reports that the shard owning the requested dataset could
+// not be reached (HTTP 502).
+var ErrShardDown = errors.New("shard: owning shard unreachable")
+
+// Backend is one service instance the router can own datasets on: either a
+// Local wrapper around an in-process service.Server or a Remote proxy to a
+// macserver base URL. Implementations must be safe for concurrent use.
+type Backend interface {
+	// Name identifies the shard in health and stats payloads; it is also
+	// the shard's identity on the hash ring.
+	Name() string
+	// ServeAPI forwards one /v1 API request to the shard.
+	ServeAPI(w http.ResponseWriter, r *http.Request)
+	// Stats snapshots the shard's service counters; an error marks the
+	// shard down.
+	Stats() (service.Stats, error)
+	// Datasets lists the shard's registered datasets; an error marks the
+	// shard down.
+	Datasets() ([]string, error)
+}
+
+// Local is an in-process shard: a service.Server sharing the router's
+// process.
+type Local struct {
+	name string
+	srv  *service.Server
+	h    http.Handler
+}
+
+// NewLocal wraps an in-process server as a shard backend.
+func NewLocal(name string, srv *service.Server) *Local {
+	return &Local{name: name, srv: srv, h: srv.Handler()}
+}
+
+// Name implements Backend.
+func (b *Local) Name() string { return b.name }
+
+// Server exposes the wrapped server (dataset registration happens on it).
+func (b *Local) Server() *service.Server { return b.srv }
+
+// ServeAPI implements Backend by dispatching to the server's handler.
+func (b *Local) ServeAPI(w http.ResponseWriter, r *http.Request) { b.h.ServeHTTP(w, r) }
+
+// Stats implements Backend.
+func (b *Local) Stats() (service.Stats, error) { return b.srv.Stats(), nil }
+
+// Datasets implements Backend.
+func (b *Local) Datasets() ([]string, error) { return b.srv.Datasets(), nil }
+
+// Remote is a shard served by another macserver process, reached over HTTP.
+type Remote struct {
+	name   string
+	base   string // e.g. "http://10.0.0.7:8080", no trailing slash
+	client *http.Client
+}
+
+// NewRemote creates a proxy backend for a macserver at baseURL. A nil
+// client selects one with no overall timeout: the per-request deadline
+// lives in the owning shard (which may allow minutes), and a proxied
+// request is additionally canceled through its own context when the
+// originating client disconnects. Health and stats probes use a short
+// per-call timeout of their own.
+func NewRemote(name, baseURL string, client *http.Client) *Remote {
+	if client == nil {
+		client = &http.Client{}
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Remote{name: name, base: baseURL, client: client}
+}
+
+// probeTimeout bounds the health and stats fan-out calls to a down shard.
+const probeTimeout = 10 * time.Second
+
+// Name implements Backend.
+func (b *Remote) Name() string { return b.name }
+
+// ServeAPI implements Backend by replaying the request against the remote
+// shard and copying its response back verbatim. Transport failures answer
+// 502: the dataset's owner is down, which is not the client's fault and not
+// this process's either.
+func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.base+r.URL.Path, r.Body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err))
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// Stats implements Backend. The peer may itself be a routing tier (a
+// macserver with -shards > 1 serves the aggregated payload), so both the
+// leaf service shape and the router shape are accepted: a "totals" field
+// marks the latter.
+func (b *Remote) Stats() (service.Stats, error) {
+	var st struct {
+		service.Stats
+		Totals *service.Stats `json:"totals"`
+	}
+	if err := b.getJSON("/v1/stats", &st); err != nil {
+		return service.Stats{}, err
+	}
+	if st.Totals != nil {
+		return *st.Totals, nil
+	}
+	return st.Stats, nil
+}
+
+// Datasets implements Backend via the remote health endpoint, accepting the
+// leaf service shape (top-level "datasets") and the router shape (per-shard
+// dataset lists) alike.
+func (b *Remote) Datasets() ([]string, error) {
+	var health struct {
+		Datasets []string `json:"datasets"`
+		Shards   []struct {
+			Datasets []string `json:"datasets"`
+		} `json:"shards"`
+	}
+	if err := b.getJSON("/v1/healthz", &health); err != nil {
+		return nil, err
+	}
+	out := health.Datasets
+	for _, sh := range health.Shards {
+		out = append(out, sh.Datasets...)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *Remote) getJSON(path string, v any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s (status %d)", ErrShardDown, b.name, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// defaultVirtualNodes spreads each backend over this many ring points, which
+// keeps the dataset load imbalance across shards within a few percent.
+const defaultVirtualNodes = 64
+
+// ringPoint is one virtual node: a hash position owned by a backend.
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// Router partitions datasets over backends by consistent hashing and
+// serves the shard-aware /v1 API. It is immutable after NewRouter and safe
+// for concurrent use.
+type Router struct {
+	backends []Backend
+	ring     []ringPoint
+}
+
+// NewRouter builds a router over the backends with vnodes virtual nodes per
+// backend (<= 0 selects the default). Backend names must be unique: the
+// name is the shard's position generator on the ring, so two shards sharing
+// a name would own identical points.
+func NewRouter(backends []Backend, vnodes int) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("shard: no backends")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(backends))
+	ring := make([]ringPoint, 0, len(backends)*vnodes)
+	for i, b := range backends {
+		if seen[b.Name()] {
+			return nil, fmt.Errorf("shard: duplicate backend name %q", b.Name())
+		}
+		seen[b.Name()] = true
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, ringPoint{hash: ringHash(b.Name() + "#" + strconv.Itoa(v)), idx: i})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].idx < ring[j].idx
+	})
+	return &Router{backends: backends, ring: ring}, nil
+}
+
+// ringHash is 64-bit FNV-1a followed by a murmur-style finalizer: stable
+// across processes and Go versions, so a router fleet and the loader that
+// partitioned the datasets always agree on ownership. The finalizer
+// matters — raw FNV of short, similar strings ("shard-0#1", "shard-0#2")
+// clusters in a narrow band of the 64-bit space, which would collapse the
+// ring onto one shard.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// OwnerIndex returns the index of the backend owning a dataset: the first
+// ring point at or clockwise after the dataset's hash.
+func (rt *Router) OwnerIndex(dataset string) int {
+	h := ringHash(dataset)
+	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
+	if i == len(rt.ring) {
+		i = 0
+	}
+	return rt.ring[i].idx
+}
+
+// Owner returns the backend owning a dataset.
+func (rt *Router) Owner(dataset string) Backend {
+	return rt.backends[rt.OwnerIndex(dataset)]
+}
+
+// Backends returns the router's shards in registration order. Callers must
+// not mutate the result.
+func (rt *Router) Backends() []Backend { return rt.backends }
+
+// Handler returns the shard-aware HTTP API: /v1/search and /v1/ktcore are
+// proxied to the dataset's owning shard; /v1/healthz and /v1/stats fan out
+// to every shard and aggregate.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", rt.route)
+	mux.HandleFunc("POST /v1/ktcore", rt.route)
+	mux.HandleFunc("GET /v1/healthz", rt.serveHealthz)
+	mux.HandleFunc("GET /v1/stats", rt.serveStats)
+	return mux
+}
+
+// route peeks the dataset from the request body, restores the body, and
+// hands the request to the owning shard.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var peek struct {
+		Dataset string `json:"dataset"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if peek.Dataset == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing dataset"))
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	rt.Owner(peek.Dataset).ServeAPI(w, r)
+}
+
+// ShardHealth is one shard's slice of the aggregated health payload.
+type ShardHealth struct {
+	Name     string   `json:"name"`
+	Ok       bool     `json:"ok"`
+	Error    string   `json:"error,omitempty"`
+	Datasets []string `json:"datasets,omitempty"`
+}
+
+func (rt *Router) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	shards := make([]ShardHealth, len(rt.backends))
+	rt.fanOut(func(i int, b Backend) {
+		sh := ShardHealth{Name: b.Name()}
+		ds, err := b.Datasets()
+		if err != nil {
+			sh.Error = err.Error()
+		} else {
+			sh.Ok = true
+			sh.Datasets = ds
+		}
+		shards[i] = sh
+	})
+	up := 0
+	for _, sh := range shards {
+		if sh.Ok {
+			up++
+		}
+	}
+	// Some shards down is degraded (the healthy ones keep serving theirs,
+	// still 200 for load balancers); every shard down is a dead fleet.
+	status, code := "ok", http.StatusOK
+	switch {
+	case up == 0:
+		status, code = "down", http.StatusServiceUnavailable
+	case up < len(shards):
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{"status": status, "shards": shards})
+}
+
+// ShardStats is one shard's slice of the aggregated stats payload.
+type ShardStats struct {
+	Name  string         `json:"name"`
+	Ok    bool           `json:"ok"`
+	Error string         `json:"error,omitempty"`
+	Stats *service.Stats `json:"stats,omitempty"`
+}
+
+// Stats is the aggregated /v1/stats payload: summed counters over the
+// reachable shards plus the per-shard breakdown. Latency quantiles are not
+// mergeable across shards, so Totals reports the request-weighted mean and
+// the worst per-shard p50/p99.
+type Stats struct {
+	Shards   int           `json:"shards"`
+	Down     int           `json:"down"`
+	Totals   service.Stats `json:"totals"`
+	PerShard []ShardStats  `json:"per_shard"`
+}
+
+// Stats fans out to every shard and aggregates.
+func (rt *Router) Stats() Stats {
+	per := make([]ShardStats, len(rt.backends))
+	rt.fanOut(func(i int, b Backend) {
+		ss := ShardStats{Name: b.Name()}
+		st, err := b.Stats()
+		if err != nil {
+			ss.Error = err.Error()
+		} else {
+			ss.Ok = true
+			ss.Stats = &st
+		}
+		per[i] = ss
+	})
+	out := Stats{Shards: len(per), PerShard: per}
+	datasets := make(map[string]bool)
+	var latWeighted float64
+	for _, ss := range per {
+		if !ss.Ok {
+			out.Down++
+			continue
+		}
+		st := ss.Stats
+		tot := &out.Totals
+		tot.Requests += st.Requests
+		tot.Completed += st.Completed
+		tot.Failed += st.Failed
+		tot.RejectedSaturated += st.RejectedSaturated
+		tot.DeadlineExceeded += st.DeadlineExceeded
+		tot.InFlight += st.InFlight
+		tot.Queued += st.Queued
+		tot.MaxInFlight += st.MaxInFlight
+		tot.MaxQueue += st.MaxQueue
+		if st.UptimeSeconds > tot.UptimeSeconds {
+			tot.UptimeSeconds = st.UptimeSeconds
+		}
+		for _, d := range st.Datasets {
+			datasets[d] = true
+		}
+		tot.Cache.Entries += st.Cache.Entries
+		tot.Cache.Capacity += st.Cache.Capacity
+		tot.Cache.CostUsed += st.Cache.CostUsed
+		tot.Cache.MaxCost += st.Cache.MaxCost
+		tot.Cache.Hits += st.Cache.Hits
+		tot.Cache.Misses += st.Cache.Misses
+		tot.Cache.Coalesced += st.Cache.Coalesced
+		tot.Cache.Evictions += st.Cache.Evictions
+		tot.Cache.Expirations += st.Cache.Expirations
+		tot.Latency.Count += st.Latency.Count
+		latWeighted += st.Latency.MeanMs * float64(st.Latency.Count)
+		if st.Latency.P50Ms > tot.Latency.P50Ms {
+			tot.Latency.P50Ms = st.Latency.P50Ms
+		}
+		if st.Latency.P99Ms > tot.Latency.P99Ms {
+			tot.Latency.P99Ms = st.Latency.P99Ms
+		}
+	}
+	if out.Totals.Latency.Count > 0 {
+		out.Totals.Latency.MeanMs = latWeighted / float64(out.Totals.Latency.Count)
+	}
+	for d := range datasets {
+		out.Totals.Datasets = append(out.Totals.Datasets, d)
+	}
+	sort.Strings(out.Totals.Datasets)
+	return out
+}
+
+func (rt *Router) serveStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+// fanOut runs fn once per backend, concurrently — a down remote shard costs
+// its own timeout, not the sum over shards.
+func (rt *Router) fanOut(fn func(i int, b Backend)) {
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			fn(i, b)
+		}(i, b)
+	}
+	wg.Wait()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

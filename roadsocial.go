@@ -34,24 +34,34 @@
 // number of goroutines; per-query scratch is pooled internally. Distinct
 // queries against the same Network may always run concurrently.
 //
-// # Prepared queries and the query service
+// # Engines, prepared queries, and the service stack
 //
-// Prepare splits a search into its reusable half: the maximal (k,t)-core
-// (dominated by the road-network range query) is computed once per
-// (Q, K, T) family, and the region-dependent r-dominance graph is cached
-// inside the returned Prepared handle, so repeated or concurrent searches
-// over the same family skip straight to the engines:
+// Core-based and truss-based search are two engines behind one pluggable
+// contract: an Engine prepares the reusable (Q, K, T)-keyed half of a query
+// family — the road-network range query plus its variant's maximal cohesive
+// subgraph — and the returned Prepared handle serves any number of
+// region-varying searches, caching the region-dependent r-dominance graph
+// internally:
 //
-//	p, _ := roadsocial.Prepare(net, query)
+//	p, _ := roadsocial.Prepare(net, query)    // core engine sugar
 //	res1, _ := p.GlobalSearch(query)          // pays only the search
 //	res2, _ := p.LocalSearch(query2, opts)    // query2 may vary Region/J
 //
+//	eng, _ := roadsocial.EngineFor(roadsocial.VariantTruss)
+//	pt, _ := eng.Prepare(net, query)          // same contract, truss seed
+//	res3, _ := pt.Search(query, roadsocial.SearchOptions{})
+//
 // On top of this, internal/service and cmd/macserver provide a long-lived
-// HTTP query server: an LRU + single-flight cache of Prepared handles keyed
-// by (dataset, Q, k, t), admission control (bounded in-flight work with a
-// bounded waiting queue; excess load is rejected with 429 instead of
-// piling up), and per-request deadlines wired to Query.Cancel (504). See
-// examples/service for an end-to-end run.
+// HTTP query server: a weighted LRU + single-flight cache of Prepared
+// handles keyed by (dataset, variant, Q, k, t) — entries weigh their
+// cohesive-subgraph size, with optional TTLs — admission control (bounded
+// in-flight work with a bounded waiting queue; excess load is rejected with
+// 429 instead of piling up), and per-request deadlines wired to
+// Query.Cancel (504). internal/shard scales this horizontally: datasets
+// partition across in-process or remote service shards by consistent
+// hashing on the dataset name, with per-dataset routing and aggregated
+// health/stats (cmd/macserver -shards / -peers). See examples/service for
+// an end-to-end run.
 //
 // # Quick start
 //
@@ -172,19 +182,55 @@ func NewPolytopeRegion(lo, hi []float64, a [][]float64, b []float64, corners [][
 func GlobalSearch(net *Network, q *Query) (*Result, error) { return mac.GlobalSearch(net, q) }
 
 // Prepared is the reusable prepared state of a MAC query family (Q, K, T):
-// the maximal (k,t)-core plus an internal cache of region-dependent state
-// (r-dominance graph, localized community graph). Preparing once and
-// searching many times amortizes the road-network range query that
-// dominates small-query latency; a Prepared is safe for concurrent
-// searches from any number of goroutines.
+// the engine's maximal cohesive subgraph — the (k,t)-core for the core
+// engine, the maximal k-truss for the truss engine — plus an internal cache
+// of region-dependent state (r-dominance graph and, for the core engine,
+// the localized community graph). Preparing once and searching many times
+// amortizes the road-network range query that dominates small-query
+// latency; a Prepared is safe for concurrent searches from any number of
+// goroutines.
 type Prepared = mac.Prepared
 
-// Prepare computes the prepared state for the query's (Q, K, T) family.
-// Subsequent p.GlobalSearch / p.LocalSearch calls may vary Region, J,
-// Parallelism, and Cancel freely but must keep Q, K, and T. The long-lived
-// query service (internal/service, cmd/macserver) caches Prepared handles
-// keyed by (dataset, Q, k, t).
+// Engine is the pluggable search-engine contract: each structural-
+// cohesiveness variant (core, truss) prepares (Q, K, T)-keyed state once
+// and serves any number of region-varying searches from it. Obtain one with
+// EngineFor; the service tier drives both variants exclusively through this
+// interface.
+type Engine = mac.Engine
+
+// Variant names a structural-cohesiveness criterion.
+type Variant = mac.Variant
+
+// Built-in engine variants.
+const (
+	VariantCore  = mac.VariantCore
+	VariantTruss = mac.VariantTruss
+)
+
+// SearchOptions parameterizes Prepared.Search; the zero value selects the
+// exact global search.
+type SearchOptions = mac.SearchOptions
+
+// Search modes for SearchOptions.
+const (
+	ModeGlobal = mac.ModeGlobal
+	ModeLocal  = mac.ModeLocal
+)
+
+// EngineFor returns the engine implementing a variant.
+func EngineFor(v Variant) (Engine, error) { return mac.EngineFor(v) }
+
+// Prepare computes the core engine's prepared state for the query's
+// (Q, K, T) family. Subsequent p.Search / p.GlobalSearch / p.LocalSearch
+// calls may vary Region, J, Parallelism, and Cancel freely but must keep
+// Q, K, and T. The long-lived query service (internal/service,
+// cmd/macserver) caches Prepared handles keyed by (dataset, variant,
+// Q, k, t).
 func Prepare(net *Network, q *Query) (*Prepared, error) { return mac.Prepare(net, q) }
+
+// PrepareTruss computes the truss engine's prepared state, under the same
+// contract as Prepare.
+func PrepareTruss(net *Network, q *Query) (*Prepared, error) { return mac.PrepareTruss(net, q) }
 
 // PreparedSearch runs a search on a prepared state: GlobalSearch when
 // global is set, LocalSearch with opts otherwise. It is sugar over the
