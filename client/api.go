@@ -1,0 +1,333 @@
+// Package client is the typed Go SDK for the MAC query service and its
+// shard tier: one canonical wire contract (this file) plus a Client
+// (client.go) that speaks it. Every HTTP caller in the repository —
+// cmd/macsearch, the shard tier's remote probes, the experiment load
+// generator, and the examples — goes through this package, so the JSON
+// schema has exactly one definition.
+//
+// The resource-oriented API (v1):
+//
+//	POST   /v1/datasets/{name}          register a dataset from an on-disk spec
+//	DELETE /v1/datasets/{name}          unregister a dataset
+//	POST   /v1/datasets/{name}/search   MAC search against one dataset
+//	POST   /v1/datasets/{name}/ktcore   maximal cohesive-subgraph membership
+//	POST   /v1/batch                    N heterogeneous requests, one admission
+//	GET    /v1/healthz                  liveness + registered datasets
+//	GET    /v1/stats                    counters, cache, latency histogram
+//
+// POST /v1/search and /v1/ktcore remain as compatibility shims over the
+// dataset-scoped endpoints: they read the dataset from the request body and
+// answer byte-identically to the pre-resource API.
+package client
+
+import "math"
+
+// Algo names the search algorithm of a request.
+type Algo string
+
+const (
+	// AlgoGlobal is the exact DFS-based search (default).
+	AlgoGlobal Algo = "global"
+	// AlgoLocal is the local search framework (faster, sound, not complete).
+	AlgoLocal Algo = "local"
+	// AlgoTruss is the k-truss variant (global search on the truss engine).
+	AlgoTruss Algo = "truss"
+)
+
+// Cache outcomes reported per response.
+const (
+	CacheHit  = "hit"
+	CacheMiss = "miss"
+)
+
+// Batch item operations.
+const (
+	OpSearch = "search"
+	OpKTCore = "ktcore"
+)
+
+// RegionSpec is the JSON form of an axis-parallel preference region
+// [lo, hi] in the reduced (d-1)-dimensional weight domain.
+type RegionSpec struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+// SearchRequest is the body of the search and ktcore endpoints. On the
+// dataset-scoped routes the dataset name lives in the URL path; a non-empty
+// Dataset field must then match the path (the legacy /v1/search shim and
+// batch items carry it in the body instead).
+type SearchRequest struct {
+	// Dataset names a registered dataset. Optional on dataset-scoped
+	// routes, required on the legacy shims and in batch items.
+	Dataset string `json:"dataset,omitempty"`
+	// Q are the query vertices (social ids).
+	Q []int32 `json:"q"`
+	// K is the coreness (or truss) threshold.
+	K int `json:"k"`
+	// T is the query-distance threshold.
+	T float64 `json:"t"`
+	// Region is required for searches; ktcore requests ignore it.
+	Region *RegionSpec `json:"region,omitempty"`
+	// J asks for the top-j MACs per partition (<= 1: non-contained only).
+	J int `json:"j,omitempty"`
+	// Algo selects global (default), local, or truss.
+	Algo Algo `json:"algo,omitempty"`
+	// TimeoutMs is the request deadline; 0 selects the server default, and
+	// values beyond the server maximum are clamped. Ignored inside batch
+	// items (the batch deadline governs).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Parallelism overrides the per-search worker count (0: server config).
+	Parallelism int `json:"parallelism,omitempty"`
+	// KTCoreOnly answers with the engine's maximal cohesive-subgraph
+	// membership — the (k,t)-core, or the k-truss with algo=truss — and
+	// skips the search. It never travels on the wire: the ktcore endpoints
+	// (and batch op) set it server-side.
+	KTCoreOnly bool `json:"-"`
+}
+
+// CellJSON is one output partition: the witness weight vector identifying
+// the partition and its ranked communities.
+type CellJSON struct {
+	Witness []float64 `json:"witness"`
+	Ranked  [][]int32 `json:"ranked"`
+}
+
+// SearchStats mirrors the engine effort counters (mac.Stats) on the wire.
+// Field names are the JSON keys — the pre-SDK API serialized the engine
+// struct directly, and the contract keeps that encoding.
+type SearchStats struct {
+	KTCoreSize     int
+	KTCoreEdges    int
+	DomGraphArcs   int
+	Partitions     int
+	Hyperplanes    int
+	CellsExplored  int
+	Deletions      int
+	Candidates     int
+	Promising      int
+	CascadeSims    int
+	DominanceTests int64
+}
+
+// SearchResponse is the body of a successful search or ktcore request.
+type SearchResponse struct {
+	Dataset     string       `json:"dataset"`
+	Algo        Algo         `json:"algo"`
+	NoCommunity bool         `json:"no_community,omitempty"`
+	KTCoreSize  int          `json:"ktcore_size"`
+	KTCore      []int32      `json:"ktcore,omitempty"` // ktcore requests only
+	Partitions  int          `json:"partitions"`
+	Cells       []CellJSON   `json:"cells,omitempty"`
+	Stats       *SearchStats `json:"stats,omitempty"`
+	// Cache reports how the prepared state was obtained: hit (reused or
+	// coalesced) or miss (prepared here).
+	Cache     string  `json:"cache"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// DatasetSpec tells the server how to materialize a dataset for
+// POST /v1/datasets/{name}. Exactly one source must be set: the four file
+// paths (resolved on the server's disk, in the cmd/macsearch text formats),
+// or a synthetic catalog name (available when the server wires the
+// experiment harness in, as cmd/macserver does).
+type DatasetSpec struct {
+	// File-backed source.
+	Social string `json:"social,omitempty"`
+	Attrs  string `json:"attrs,omitempty"`
+	Road   string `json:"road,omitempty"`
+	Locs   string `json:"locs,omitempty"`
+
+	// Synthetic catalog source (e.g. "SF+Slashdot").
+	Synthetic string `json:"synthetic,omitempty"`
+	Scale     string `json:"scale,omitempty"` // tiny, small, medium
+	D         int    `json:"d,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+
+	// GTree indexes the road network after loading.
+	GTree bool `json:"gtree,omitempty"`
+
+	// Shard pins the dataset to a named shard. Only the shard router
+	// honors it (a leaf server ignores it); empty selects the consistent-
+	// hash owner. Re-registering with a different pin is how a dataset
+	// moves between shards without a restart.
+	Shard string `json:"shard,omitempty"`
+}
+
+// DatasetInfo describes a registered dataset (the create response).
+type DatasetInfo struct {
+	Dataset      string `json:"dataset"`
+	Users        int    `json:"users"`
+	Friendships  int    `json:"friendships"`
+	RoadVertices int    `json:"road_vertices"`
+	// Shard is the owning shard, when created through a router.
+	Shard string `json:"shard,omitempty"`
+}
+
+// BatchItem is one request of a batch: a search request plus the operation
+// to run it under.
+type BatchItem struct {
+	// Op selects the operation: "search" (default) or "ktcore".
+	Op string `json:"op,omitempty"`
+	SearchRequest
+}
+
+// BatchRequest is the body of POST /v1/batch: N heterogeneous requests
+// admitted as one unit. Items may target different datasets; a router
+// splits the batch by owning shard and merges the answers in order.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+	// TimeoutMs bounds the whole batch; 0 selects the server default.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// BatchItemResult is one item's outcome. Status carries the HTTP code the
+// item would have received standalone; a failed item never fails the batch.
+type BatchItemResult struct {
+	Status   int             `json:"status"`
+	Error    string          `json:"error,omitempty"`
+	Response *SearchResponse `json:"response,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch. The batch
+// itself answers 200 whenever it was admitted and decoded; per-item
+// failures live in Items.
+type BatchResponse struct {
+	Items     []BatchItemResult `json:"items"`
+	OK        int               `json:"ok"`
+	Failed    int               `json:"failed"`
+	ElapsedMs float64           `json:"elapsed_ms"`
+}
+
+// CacheStats is a snapshot of the prepared-state cache counters.
+type CacheStats struct {
+	Entries     int   `json:"entries"`
+	Capacity    int   `json:"capacity"`
+	CostUsed    int64 `json:"cost_used"`
+	MaxCost     int64 `json:"max_cost"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+}
+
+// Latency histogram schema: fixed log-scale buckets shared by every server,
+// so per-shard histograms merge by elementwise addition and fleet p50/p99
+// are true quantiles rather than worst-of approximations. Bucket i counts
+// latencies in (upper(i-1), upper(i)] where upper(i) = LatencyBucketMinMs *
+// 2^(i/LatencyBucketsPerOctave); the last bucket absorbs everything beyond.
+const (
+	// LatencyBucketMinMs is the upper bound of bucket 0 (1 microsecond).
+	LatencyBucketMinMs = 0.001
+	// LatencyBucketsPerOctave is the resolution: 4 buckets per factor of 2,
+	// so any quantile is within 2^(1/4) ≈ 19% of the true value.
+	LatencyBucketsPerOctave = 4
+	// LatencyBucketCount covers 1µs .. 2^27µs ≈ 134s; slower requests land
+	// in the final bucket.
+	LatencyBucketCount = 109
+)
+
+// LatencyBucketIndex returns the histogram bucket for a latency in ms.
+func LatencyBucketIndex(ms float64) int {
+	if ms <= LatencyBucketMinMs {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(ms/LatencyBucketMinMs) * LatencyBucketsPerOctave))
+	if i < 0 {
+		return 0
+	}
+	if i >= LatencyBucketCount {
+		return LatencyBucketCount - 1
+	}
+	return i
+}
+
+// LatencyBucketUpperMs returns bucket i's upper bound in ms.
+func LatencyBucketUpperMs(i int) float64 {
+	return LatencyBucketMinMs * math.Pow(2, float64(i)/LatencyBucketsPerOctave)
+}
+
+// LatencyStats is the latency slice of /v1/stats: exact count and mean plus
+// the mergeable histogram the quantiles are read from.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// Buckets is the log-scale histogram (length LatencyBucketCount when
+	// any latency has been recorded; omitted while empty).
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Merge folds another server's latency stats into s: counts and histogram
+// buckets add, the mean combines count-weighted, and the quantiles are
+// recomputed from the merged histogram.
+func (s *LatencyStats) Merge(o LatencyStats) {
+	total := s.Count + o.Count
+	if total > 0 {
+		s.MeanMs = (s.MeanMs*float64(s.Count) + o.MeanMs*float64(o.Count)) / float64(total)
+	}
+	s.Count = total
+	if len(o.Buckets) > 0 && s.Buckets == nil {
+		s.Buckets = make([]int64, LatencyBucketCount)
+	}
+	for i, n := range o.Buckets {
+		if i < len(s.Buckets) {
+			s.Buckets[i] += n
+		}
+	}
+	s.P50Ms = s.Quantile(0.50)
+	s.P99Ms = s.Quantile(0.99)
+}
+
+// Quantile reads the q-th quantile from the histogram: the upper bound of
+// the first bucket whose cumulative count reaches q of the total. Returns 0
+// when no latency has been recorded.
+func (s *LatencyStats) Quantile(q float64) float64 {
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			return LatencyBucketUpperMs(i)
+		}
+	}
+	return LatencyBucketUpperMs(len(s.Buckets) - 1)
+}
+
+// Stats is the /v1/stats payload of one server. A shard router reports the
+// same shape under "totals" plus a per-shard breakdown; Client.Stats
+// normalizes both to this struct.
+type Stats struct {
+	UptimeSeconds     float64      `json:"uptime_seconds"`
+	Datasets          []string     `json:"datasets"`
+	Requests          int64        `json:"requests"`
+	Completed         int64        `json:"completed"`
+	Failed            int64        `json:"failed"`
+	RejectedSaturated int64        `json:"rejected_saturated"`
+	DeadlineExceeded  int64        `json:"deadline_exceeded"`
+	InFlight          int64        `json:"in_flight"`
+	Queued            int64        `json:"queued"`
+	MaxInFlight       int          `json:"max_in_flight"`
+	MaxQueue          int          `json:"max_queue"`
+	Cache             CacheStats   `json:"cache"`
+	Latency           LatencyStats `json:"latency"`
+}
+
+// Health is the normalized /v1/healthz payload: Datasets unions the
+// per-shard lists when the server is a router.
+type Health struct {
+	Status   string   `json:"status"`
+	Datasets []string `json:"datasets"`
+}

@@ -1,0 +1,252 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx answer from the service, carrying the HTTP status
+// and the server's {"error": "..."} message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api error %d: %s", e.Status, e.Message)
+}
+
+// StatusOf extracts the HTTP status of an error returned by a Client call:
+// the APIError status, or 0 for transport-level failures.
+func StatusOf(err error) int {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}
+
+// Client is the typed SDK over the v1 API. It works identically against a
+// leaf macserver and a shard router (the wire contract is the same at every
+// tier). Safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	token   string
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default: a
+// client with no overall timeout — deadlines belong to the context and to
+// the server's own per-request timeouts).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithToken attaches "Authorization: Bearer <token>" to every request, for
+// servers started with -auth-token.
+func WithToken(token string) Option { return func(c *Client) { c.token = token } }
+
+// WithRetries sets how many times read-path calls (search, ktcore, batch,
+// stats, health) are retried after a 502 — the answer a router gives while
+// the shard owning the dataset is unreachable, including the window where
+// it restarts to pick up a moved dataset. Default 2; 0 disables. The
+// delete→re-create gap of a dataset move answers 404, which is a semantic
+// answer and deliberately not retried. Dataset create/delete are never
+// retried (a replay could double-apply).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the pause before each retry (default 100ms, doubling).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New creates a client for the server at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Search runs a MAC search against one dataset via
+// POST /v1/datasets/{name}/search. req.Dataset may stay empty (the path
+// names the dataset); when set it must match name.
+func (c *Client) Search(ctx context.Context, dataset string, req *SearchRequest) (*SearchResponse, error) {
+	var resp SearchResponse
+	if err := c.do(ctx, http.MethodPost, c.datasetPath(dataset)+"/search", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// KTCore returns the maximal cohesive-subgraph membership — the (k,t)-core,
+// or the k-truss with Algo=truss — via POST /v1/datasets/{name}/ktcore.
+// The request's Region is not required.
+func (c *Client) KTCore(ctx context.Context, dataset string, req *SearchRequest) (*SearchResponse, error) {
+	var resp SearchResponse
+	if err := c.do(ctx, http.MethodPost, c.datasetPath(dataset)+"/ktcore", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Batch submits N heterogeneous requests as one admission unit via
+// POST /v1/batch. The call fails only when the batch as a whole is refused
+// (malformed, saturated, unauthorized); per-item failures are reported in
+// the response with the status each item would have received standalone.
+func (c *Client) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CreateDataset registers a dataset from an on-disk spec via
+// POST /v1/datasets/{name}. Registering an existing name answers 409.
+// Never retried: the call mutates server state.
+func (c *Client) CreateDataset(ctx context.Context, name string, spec *DatasetSpec) (*DatasetInfo, error) {
+	var info DatasetInfo
+	if err := c.do(ctx, http.MethodPost, c.datasetPath(name), spec, &info, false); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DeleteDataset unregisters a dataset via DELETE /v1/datasets/{name}.
+// Deleting an unknown name answers 404. Never retried.
+func (c *Client) DeleteDataset(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, c.datasetPath(name), nil, nil, false)
+}
+
+// Stats fetches /v1/stats. Against a shard router — whose payload nests the
+// fleet summary under "totals" — the aggregated totals are returned, so
+// callers read one shape at every tier.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st struct {
+		Stats
+		Totals *Stats `json:"totals"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st, true); err != nil {
+		return nil, err
+	}
+	if st.Totals != nil {
+		return st.Totals, nil
+	}
+	return &st.Stats, nil
+}
+
+// Health fetches /v1/healthz, unioning per-shard dataset lists when the
+// server is a router. Degraded (some shards down) still answers 200 and
+// decodes; a dead fleet (503) surfaces as an APIError.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h struct {
+		Health
+		Shards []struct {
+			Datasets []string `json:"datasets"`
+		} `json:"shards"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h, true); err != nil {
+		return nil, err
+	}
+	out := &Health{Status: h.Status, Datasets: h.Datasets}
+	for _, sh := range h.Shards {
+		out.Datasets = append(out.Datasets, sh.Datasets...)
+	}
+	return out, nil
+}
+
+func (c *Client) datasetPath(name string) string {
+	return "/v1/datasets/" + url.PathEscape(name)
+}
+
+// do runs one call: marshal, send, decode, mapping non-2xx onto APIError.
+// Retryable calls are replayed after a 502 (or a transport failure), the
+// answer a router serves while a shard is down or a dataset is mid-move;
+// the backoff doubles per attempt and the context aborts the wait.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, retryable bool) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	attempts := 1
+	if retryable && c.retries > 0 {
+		attempts += c.retries
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.backoff << (attempt - 1)):
+			}
+		}
+		var retry bool
+		retry, err = c.once(ctx, method, path, body, out)
+		if err == nil || !retry {
+			return err
+		}
+	}
+	return err
+}
+
+// once performs a single HTTP exchange; retry reports whether the failure
+// is the kind another attempt may fix.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (retry bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, err
+		}
+		return true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		if eb.Error == "" {
+			eb.Error = http.StatusText(resp.StatusCode)
+		}
+		return resp.StatusCode == http.StatusBadGateway,
+			&APIError{Status: resp.StatusCode, Message: eb.Error}
+	}
+	if out == nil {
+		return false, nil
+	}
+	return false, json.NewDecoder(resp.Body).Decode(out)
+}

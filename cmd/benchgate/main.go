@@ -19,6 +19,11 @@
 // core engine and for the truss engine, whose requests flow through the
 // same cache since the Engine/Prepared unification — and the saturation
 // burst must have produced clean 429 rejections.
+//
+// -require-batch-amortization asserts the /v1/batch invariant: the
+// per-item cost of a batched warm membership request must be below the
+// same request sent standalone (metric batch_amortization > 1) — one
+// admission and one round trip amortized over the items.
 package main
 
 import (
@@ -85,6 +90,7 @@ func main() {
 		factor     = flag.Float64("factor", 2.0, "fail when new wall-clock exceeds old * factor")
 		minSeconds = flag.Float64("min-seconds", 0.05, "baselines below this never gate (noise)")
 		warmCheck  = flag.Bool("require-warm-speedup", false, "assert the new service_latency point shows warm < cold and saturation 429s")
+		batchCheck = flag.Bool("require-batch-amortization", false, "assert the new service_latency point shows batched per-item cost below standalone (batch_amortization > 1)")
 	)
 	flag.Parse()
 	if *oldPaths == "" || *newPaths == "" {
@@ -154,6 +160,28 @@ func main() {
 		}
 		if !ok {
 			fmt.Fprintln(os.Stderr, "benchgate: -require-warm-speedup set but no service_latency record with metrics in -new")
+			failed = true
+		}
+	}
+
+	if *batchCheck {
+		ok := false
+		for _, n := range news {
+			if n.Experiment != "service_latency" || n.Metrics == nil {
+				continue
+			}
+			ok = true
+			amort := n.Metrics["batch_amortization"]
+			single, item := n.Metrics["batch_single_p50_ms"], n.Metrics["batch_item_p50_ms"]
+			if !(amort > 1) {
+				fmt.Fprintf(os.Stderr, "benchgate: batch per-item p50 %.3fms not below standalone p50 %.3fms (amortization %.2fx)\n", item, single, amort)
+				failed = true
+			} else {
+				fmt.Printf("batch amortization: %.3fms standalone vs %.3fms batched per item (%.1fx)\n", single, item, amort)
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchgate: -require-batch-amortization set but no service_latency record with metrics in -new")
 			failed = true
 		}
 	}

@@ -18,9 +18,17 @@
 // Without input files, -synthetic generates a benchmark network:
 //
 //	macsearch -synthetic -q-size=4 -k=8 -t=2500 -sigma=0.01
+//
+// With -server the query runs against a live macserver (or shard router)
+// through the typed client SDK instead of computing locally; -dataset names
+// the remote dataset and -token authenticates against -auth-token servers:
+//
+//	macsearch -server=http://localhost:8080 -dataset=SF+Slashdot \
+//	    -q=3,7 -k=4 -t=2500 -region=0.2:0.25,0.2:0.25 -algo=global
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"roadsocial"
+	"roadsocial/client"
 	"roadsocial/internal/dataset"
 	"roadsocial/internal/gen"
 )
@@ -57,8 +66,20 @@ func main() {
 		algo    = flag.String("algo", "local", "algorithm: global or local")
 		useGT   = flag.Bool("gtree", false, "accelerate range queries with a G-tree index")
 		maxShow = flag.Int("max-show", 10, "max members printed per community")
+
+		server  = flag.String("server", "", "macserver base URL; when set, the query runs remotely via the client SDK")
+		dsName  = flag.String("dataset", "", "remote dataset name (with -server)")
+		token   = flag.String("token", "", "bearer token for -auth-token servers (with -server)")
+		timeout = flag.Duration("request-timeout", 30*time.Second, "remote request deadline (with -server)")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if err := runRemote(*server, *dsName, *token, *qFlag, *k, *tFlag, *region, *j, *algo, *timeout, *maxShow); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var net *roadsocial.Network
@@ -154,6 +175,71 @@ func main() {
 				roadsocial.CommunityScore(net, comm, w), members(net.Social, comm, *maxShow))
 		}
 	}
+}
+
+// runRemote executes the query against a live macserver through the typed
+// SDK and prints the partition-wise communities (member ids; labels live
+// server-side).
+func runRemote(server, dsName, token, qFlag string, k int, t float64, region string, j int, algo string, timeout time.Duration, maxShow int) error {
+	if dsName == "" {
+		return fmt.Errorf("-server requires -dataset")
+	}
+	if qFlag == "" {
+		return fmt.Errorf("-server requires -q (the server cannot sample a feasible query set for you)")
+	}
+	if region == "" {
+		return fmt.Errorf("-server requires -region")
+	}
+	var q []int32
+	for _, s := range strings.Split(qFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad query vertex %q: %v", s, err)
+		}
+		q = append(q, int32(v))
+	}
+	lo, hi, err := parseRegion(region)
+	if err != nil {
+		return err
+	}
+	c := client.New(server, client.WithToken(token))
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	resp, err := c.Search(ctx, dsName, &client.SearchRequest{
+		Q: q, K: k, T: t,
+		Region:    &client.RegionSpec{Lo: lo, Hi: hi},
+		J:         j,
+		Algo:      client.Algo(algo),
+		TimeoutMs: int(timeout / time.Millisecond),
+	})
+	if err != nil {
+		return err
+	}
+	if resp.NoCommunity {
+		fmt.Println("no (k,t)-core contains the query vertices")
+		return nil
+	}
+	fmt.Printf("dataset %s via %s (cache %s, %.3fms server-side)\n", dsName, server, resp.Cache, resp.ElapsedMs)
+	fmt.Printf("maximal (%d,%g)-core: %d vertices\n", k, t, resp.KTCoreSize)
+	fmt.Printf("partitions: %d\n\n", resp.Partitions)
+	for _, cell := range resp.Cells {
+		fmt.Printf("weights near %v:\n", round(cell.Witness))
+		for rank, comm := range cell.Ranked {
+			ids := make([]string, 0, min(len(comm), maxShow))
+			for i, v := range comm {
+				if i == maxShow {
+					break
+				}
+				ids = append(ids, strconv.Itoa(int(v)))
+			}
+			suffix := ""
+			if len(comm) > maxShow {
+				suffix = fmt.Sprintf(", …+%d", len(comm)-maxShow)
+			}
+			fmt.Printf("  top-%d (%d members): {%s%s}\n", rank+1, len(comm), strings.Join(ids, ", "), suffix)
+		}
+	}
+	return nil
 }
 
 func members(gs *roadsocial.SocialGraph, c roadsocial.Community, max int) string {

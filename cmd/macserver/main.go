@@ -1,35 +1,58 @@
 // Command macserver is the long-lived MAC query service: it loads one or
 // more road-social datasets and their G-tree indexes once, then serves
-// GlobalSearch/LocalSearch/KTCore requests over HTTP with a shared
-// prepared-state cache and admission control (see internal/service).
+// GlobalSearch/LocalSearch/KTCore requests over a resource-oriented HTTP
+// API with a shared prepared-state cache and admission control (see
+// internal/service; docs/api.md documents the wire contract).
 //
-// Datasets come either from the synthetic catalog of the experiment harness
-// (Table II analogues) or from text files in the cmd/macsearch formats:
+// Startup datasets come either from the synthetic catalog of the experiment
+// harness (Table II analogues) or from text files in the cmd/macsearch
+// formats:
 //
 //	macserver -addr=:8080 -datasets=SF+Slashdot,FL+Lastfm -scale=small
 //	macserver -addr=:8080 -name=mycity \
 //	    -social=soc.txt -attrs=attrs.txt -road=road.txt -locs=locs.txt
 //
+// Datasets are also first-class resources with an online lifecycle — no
+// restart to add, move, or drop one:
+//
+//	curl -X POST localhost:8080/v1/datasets/mycity -d '{
+//	    "social": "soc.txt", "attrs": "attrs.txt",
+//	    "road": "road.txt", "locs": "locs.txt", "gtree": true}'
+//	curl -X POST localhost:8080/v1/datasets/demo -d '{"synthetic": "SF+Slashdot", "scale": "small"}'
+//	curl -X DELETE localhost:8080/v1/datasets/demo
+//
 // With -shards=N the process runs N service instances and partitions the
 // datasets across them by consistent hashing on the dataset name
-// (internal/shard); /v1/search and /v1/ktcore route to the owning shard,
-// /v1/healthz and /v1/stats aggregate. The aggregated schema is served at
-// every shard count — scaling from 1 to N shards never changes what
-// monitoring sees. With -peers the process loads no datasets at all and
-// routes to remote macserver shards instead:
+// (internal/shard); dataset-scoped requests route to the owning shard by
+// URL, /v1/healthz and /v1/stats aggregate, and /v1/batch splits across
+// shards. The aggregated schema is served at every shard count — scaling
+// from 1 to N shards never changes what monitoring sees. With -peers the
+// process loads no datasets at all and routes to remote macserver shards
+// instead:
 //
 //	macserver -addr=:8080 -datasets=SF+Slashdot,FL+Lastfm -shards=4
 //	macserver -addr=:8080 -peers=http://10.0.0.7:8080,http://10.0.0.8:8080
 //
-// Query it with JSON:
+// -auth-token=SECRET requires "Authorization: Bearer SECRET" on every /v1
+// route; the routing tier forwards the same token to its peers, so a fleet
+// shares one secret end to end.
 //
-//	curl -s localhost:8080/v1/search -d '{
-//	    "dataset": "SF+Slashdot", "q": [3, 7], "k": 4, "t": 2500,
+// Query it with the typed SDK (the client package) or plain JSON:
+//
+//	curl -s localhost:8080/v1/datasets/SF+Slashdot/search -d '{
+//	    "q": [3, 7], "k": 4, "t": 2500,
 //	    "region": {"lo": [0.2, 0.2], "hi": [0.25, 0.25]},
 //	    "algo": "global", "timeout_ms": 2000}'
-//	curl -s localhost:8080/v1/ktcore -d '{"dataset": "SF+Slashdot", "q": [3], "k": 4, "t": 2500}'
+//	curl -s localhost:8080/v1/datasets/SF+Slashdot/ktcore -d '{"q": [3], "k": 4, "t": 2500}'
+//	curl -s localhost:8080/v1/batch -d '{"items": [
+//	    {"op": "ktcore", "dataset": "SF+Slashdot", "q": [3], "k": 4, "t": 2500},
+//	    {"dataset": "FL+Lastfm", "q": [5], "k": 3, "t": 2000,
+//	     "region": {"lo": [0.2, 0.2], "hi": [0.25, 0.25]}}]}'
 //	curl -s localhost:8080/v1/healthz
 //	curl -s localhost:8080/v1/stats
+//
+// (The body-addressed POST /v1/search and /v1/ktcore remain as
+// compatibility shims.)
 //
 // Repeated requests sharing (dataset, Q, k, t) reuse one prepared state:
 // only the first pays the road-network range query and r-dominance build.
@@ -79,6 +102,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		parallelism = flag.Int("parallelism", 0, "per-search workers; 0 = GOMAXPROCS")
+		authToken   = flag.String("auth-token", "", "shared secret: require 'Authorization: Bearer <token>' on all /v1 routes and forward it to -peers")
 
 		shards = flag.Int("shards", 1, "in-process service shards; datasets partition across them by consistent hashing")
 		peers  = flag.String("peers", "", "comma-separated base URLs of remote macserver shards; when set, this process only routes")
@@ -94,10 +118,11 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Parallelism:    *parallelism,
+		LoadSpec:       specLoader(*scale, *d, *seed),
 	}
 
 	// Pure routing tier: no local datasets, every request proxied to the
-	// remote shard owning its dataset.
+	// remote shard owning its dataset (the shared token travels along).
 	if *peers != "" {
 		var backends []shard.Backend
 		for _, peer := range strings.Split(*peers, ",") {
@@ -107,14 +132,20 @@ func main() {
 				// half the ring and blackholes its datasets at request time.
 				continue
 			}
-			backends = append(backends, shard.NewRemote(peer, peer, nil))
+			backends = append(backends, shard.NewRemote(peer, peer, nil, shard.WithToken(*authToken)))
 		}
 		router, err := shard.NewRouter(backends, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
+		// The peers may already hold datasets moved off their ring owners
+		// before this router existed; rebuild the assignment table from
+		// their actual dataset lists so nothing routes into a 404.
+		if pins := router.SyncAssignments(); pins > 0 {
+			log.Printf("recovered %d off-ring dataset assignment(s) from peers", pins)
+		}
 		log.Printf("macserver routing to %d remote shards", len(backends))
-		serve(*addr, router.Handler())
+		serve(*addr, service.RequireAuth(*authToken, router.Handler()))
 		return
 	}
 
@@ -131,7 +162,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// addDataset registers a network on the shard that owns its name.
+	// addDataset registers a startup network on the shard that owns its
+	// name; runtime registrations flow through POST /v1/datasets/{name}.
 	addDataset := func(name string, net *roadsocial.Network) {
 		owner := locals[router.OwnerIndex(name)]
 		if err := owner.Server().AddDataset(name, net); err != nil {
@@ -187,14 +219,53 @@ func main() {
 		loaded = append(loaded, l.Server().Datasets()...)
 	}
 	if len(loaded) == 0 {
-		log.Fatal("no datasets loaded; pass -datasets or -social/-attrs/-road/-locs")
+		log.Print("no startup datasets; register some via POST /v1/datasets/{name}")
 	}
 
-	// Every shard count serves through the router, so /v1/healthz and
-	// /v1/stats keep one schema whether a deployment runs 1 shard or 40 —
-	// the routing layer costs one body peek and one hash per request.
+	// Every shard count serves through the router, so the API — including
+	// lifecycle, batch, and the aggregated healthz/stats schema — is one
+	// surface whether a deployment runs 1 shard or 40.
 	log.Printf("macserver listening on %s (%d shard(s), datasets: %s)", *addr, *shards, strings.Join(loaded, ", "))
-	serve(*addr, router.Handler())
+	serve(*addr, service.RequireAuth(*authToken, router.Handler()))
+}
+
+// specLoader resolves POST /v1/datasets/{name} specs: synthetic catalog
+// names through the experiment harness (with the server's flag defaults for
+// scale/d/seed), file-backed specs through the default loader.
+func specLoader(defaultScale string, defaultD int, defaultSeed int64) func(string, *service.DatasetSpec) (*roadsocial.Network, error) {
+	return func(name string, spec *service.DatasetSpec) (*roadsocial.Network, error) {
+		if spec.Synthetic == "" {
+			return service.LoadSpecFiles(name, spec)
+		}
+		dspec, err := exp.DatasetByName(spec.Synthetic)
+		if err != nil {
+			return nil, err
+		}
+		scaleName := spec.Scale
+		if scaleName == "" {
+			scaleName = defaultScale
+		}
+		sc, err := parseScale(scaleName)
+		if err != nil {
+			return nil, err
+		}
+		d := spec.D
+		if d == 0 {
+			d = defaultD
+		}
+		seed := spec.Seed
+		if seed == 0 {
+			seed = defaultSeed
+		}
+		in, err := dspec.Build(sc, d, seed)
+		if err != nil {
+			return nil, err
+		}
+		if spec.GTree {
+			in.Net.Oracle = roadsocial.BuildGTree(in.Net.Road, 0)
+		}
+		return in.Net, nil
+	}
 }
 
 // serve runs the HTTP server until interrupted.

@@ -1,20 +1,20 @@
 // Service example: run the MAC query service in-process (the same handler
-// cmd/macserver exposes), then demonstrate the prepared-state cache over
-// HTTP — a cold search pays Prepare (road-network range query + r-dominance
-// graph), the warm repeat reuses it, and /v1/stats shows the cache and
-// admission counters. Against a standalone server, point the requests at
-// `macserver -addr=:8080` instead of the test listener.
+// cmd/macserver exposes), then drive it through the typed client SDK — a
+// cold search pays Prepare (road-network range query + r-dominance graph),
+// the warm repeat reuses it, a /v1/batch submits several requests under one
+// admission, and /v1/stats shows the cache and admission counters. Against
+// a standalone server, point client.New at `macserver -addr=:8080` instead
+// of the test listener.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
-	"net/http"
 	"net/http/httptest"
 
+	"roadsocial/client"
 	"roadsocial/internal/gen"
 	"roadsocial/internal/service"
 )
@@ -51,43 +51,50 @@ func main() {
 	fmt.Printf("service listening on %s with dataset \"demo\" (%d users)\n\n",
 		ts.URL, net.Social.N())
 
-	body, _ := json.Marshal(map[string]any{
-		"dataset": "demo",
-		"q":       queries[0],
-		"k":       k,
-		"t":       t,
-		"region":  map[string]any{"lo": []float64{0.2, 0.2}, "hi": []float64{0.205, 0.205}},
-		"algo":    "global",
-	})
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+	req := &client.SearchRequest{
+		Q: queries[0], K: k, T: t,
+		Region: &client.RegionSpec{Lo: []float64{0.2, 0.2}, Hi: []float64{0.205, 0.205}},
+		Algo:   client.AlgoGlobal,
+	}
 	search := func(label string) {
-		resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(body))
+		resp, err := sdk.Search(ctx, "demo", req)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer resp.Body.Close()
-		var out struct {
-			KTCoreSize int     `json:"ktcore_size"`
-			Partitions int     `json:"partitions"`
-			Cache      string  `json:"cache"`
-			ElapsedMs  float64 `json:"elapsed_ms"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("%-12s cache=%-4s  elapsed=%7.3fms  |H_k^t|=%d  partitions=%d\n",
-			label, out.Cache, out.ElapsedMs, out.KTCoreSize, out.Partitions)
+			label, resp.Cache, resp.ElapsedMs, resp.KTCoreSize, resp.Partitions)
 	}
 	search("cold query:")  // pays Prepare
 	search("warm repeat:") // served from the prepared cache
 	search("warm repeat:")
 
-	resp, err := http.Get(ts.URL + "/v1/stats")
+	// A batch: several heterogeneous requests, one admission. Per-item
+	// statuses mean one bad item cannot fail its neighbors.
+	item := client.BatchItem{SearchRequest: *req}
+	item.Dataset = "demo"
+	ktItem := client.BatchItem{Op: client.OpKTCore, SearchRequest: client.SearchRequest{
+		Dataset: "demo", Q: queries[0], K: k, T: t,
+	}}
+	badItem := client.BatchItem{SearchRequest: client.SearchRequest{
+		Dataset: "no-such-dataset", Q: queries[0], K: k, T: t, Region: req.Region,
+	}}
+	bresp, err := sdk.Batch(ctx, &client.BatchRequest{Items: []client.BatchItem{item, ktItem, badItem}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var stats service.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+	fmt.Printf("\nbatch: %d ok, %d failed in %.3fms\n", bresp.OK, bresp.Failed, bresp.ElapsedMs)
+	for i, it := range bresp.Items {
+		if it.Status == 200 {
+			fmt.Printf("  item %d: 200 (cache=%s)\n", i, it.Response.Cache)
+		} else {
+			fmt.Printf("  item %d: %d (%s)\n", i, it.Status, it.Error)
+		}
+	}
+
+	stats, err := sdk.Stats(ctx)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nstats: %d requests, cache hits=%d misses=%d, p50=%.3fms\n",

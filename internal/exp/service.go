@@ -1,8 +1,7 @@
 package exp
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -12,14 +11,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roadsocial/client"
 	"roadsocial/internal/road"
 	"roadsocial/internal/service"
 )
 
 // Service-latency workload shape: closed-loop warm load plus a cold phase
 // over distinct cache keys, the truss analogues, an open-loop Poisson
-// phase, and a saturation burst against a deliberately tiny admission
-// budget.
+// phase, a batch-amortization phase, and a saturation burst against a
+// deliberately tiny admission budget.
 const (
 	serviceWarmWorkers  = 4
 	serviceWarmPerWork  = 25
@@ -29,21 +29,28 @@ const (
 	serviceTrussKeys    = 4
 	serviceTrussRounds  = 3
 	serviceOpenLoopReqs = 80
+	serviceBatchItems   = 8
+	serviceBatchRounds  = 12
 )
 
 // ServiceLatency is the load-generator experiment for the query service
-// (cmd/macserver): it starts the service in-process over one dataset and
-// measures (a) cold requests, each paying a full Prepare for a distinct
-// (Q, k, t) key; (b) warm closed-loop load on one shared key, where every
-// request is a prepared-cache hit; (c) the same cold/warm split for the
-// truss engine, whose requests flow through the same prepared cache;
-// (d) an open-loop phase — Poisson arrivals over persistent connections at
-// roughly half the measured warm capacity, the arrival process a public
-// service actually sees (closed loops self-throttle and understate queue
-// pressure); and (e) a saturation burst against a 1-slot server, counting
-// clean 429 rejections. The headline numbers land in Table.Metrics (and
-// from there in the -json bench records): warm p50 measurably below cold
-// p50 — for both engines — is the cache paying off.
+// (cmd/macserver), driven end to end through the typed client SDK: it
+// starts the service in-process over one dataset and measures (a) cold
+// requests, each paying a full Prepare for a distinct (Q, k, t) key;
+// (b) warm closed-loop load on one shared key, where every request is a
+// prepared-cache hit; (c) the same cold/warm split for the truss engine,
+// whose requests flow through the same prepared cache; (d) an open-loop
+// phase — Poisson arrivals over persistent connections at roughly half the
+// measured warm capacity, the arrival process a public service actually
+// sees (closed loops self-throttle and understate queue pressure); (e) a
+// batch-amortization phase comparing N warm membership requests sent
+// individually against the same N sent as one /v1/batch (one admission, one
+// round trip — the per-item cost must drop); and (f) a saturation burst
+// against a 1-slot server, counting clean 429 rejections. The headline
+// numbers land in Table.Metrics (and from there in the -json bench
+// records): warm p50 measurably below cold p50 — for both engines — is the
+// cache paying off, and batch_amortization > 1 is the batch path paying
+// off.
 func ServiceLatency(opts Options) (*Table, error) {
 	opts.defaults()
 	specs := opts.datasets()
@@ -58,7 +65,7 @@ func ServiceLatency(opts Options) (*Table, error) {
 	in.Net.Oracle = road.BuildGTree(in.Net.Road, 0)
 
 	tab := &Table{
-		Title:   fmt.Sprintf("Service latency (%s): cold vs warm prepared cache, saturation", spec.Name),
+		Title:   fmt.Sprintf("Service latency (%s): cold vs warm prepared cache, batch amortization, saturation", spec.Name),
 		Header:  []string{"phase", "requests", "ok", "rejected_429", "p50_ms", "p99_ms"},
 		Metrics: map[string]float64{},
 	}
@@ -70,6 +77,7 @@ func ServiceLatency(opts Options) (*Table, error) {
 		return nil, fmt.Errorf("exp: no feasible queries for %s", spec.Name)
 	}
 	region := in.Region(serviceSigma)
+	regionSpec := &client.RegionSpec{Lo: region.Lo, Hi: region.Hi}
 
 	srv := service.New(service.Config{Parallelism: opts.Parallelism, MaxQueue: 1024})
 	if err := srv.AddDataset(spec.Name, in.Net); err != nil {
@@ -78,34 +86,30 @@ func ServiceLatency(opts Options) (*Table, error) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	body := func(q []int32) []byte {
-		b, _ := json.Marshal(map[string]any{
-			"dataset": spec.Name, "q": q, "k": DefaultK, "t": in.TDefault,
-			"region": map[string]any{"lo": region.Lo, "hi": region.Hi},
-			"algo":   "global",
-		})
-		return b
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+	searchReq := func(q []int32, k int, algo client.Algo) *client.SearchRequest {
+		return &client.SearchRequest{Q: q, K: k, T: in.TDefault, Region: regionSpec, Algo: algo}
 	}
-	post := func(b []byte) (int, float64, error) {
+	// post runs one search through the SDK, reporting the HTTP status the
+	// way the raw wire would (200, or the APIError status) plus latency.
+	post := func(req *client.SearchRequest) (int, float64, error) {
 		start := time.Now()
-		resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(b))
+		_, err := sdk.Search(ctx, spec.Name, req)
+		ms := float64(time.Since(start).Microseconds()) / 1000
 		if err != nil {
+			if status := client.StatusOf(err); status != 0 {
+				return status, ms, nil
+			}
 			return 0, 0, err
 		}
-		defer resp.Body.Close()
-		var out struct {
-			Error string `json:"error"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			return 0, 0, err
-		}
-		return resp.StatusCode, float64(time.Since(start).Microseconds()) / 1000, nil
+		return http.StatusOK, ms, nil
 	}
 
 	// Cold phase: every request prepares a fresh key.
 	var coldLat []float64
 	for _, q := range queries {
-		status, ms, err := post(body(q))
+		status, ms, err := post(searchReq(q, DefaultK, client.AlgoGlobal))
 		if err != nil {
 			return nil, err
 		}
@@ -116,8 +120,8 @@ func ServiceLatency(opts Options) (*Table, error) {
 	tab.Rows = append(tab.Rows, latencyRow("cold", coldLat, 0))
 
 	// Warm phase: closed-loop concurrent load on one cached key.
-	warmBody := body(queries[0])
-	if status, _, err := post(warmBody); err != nil || status != http.StatusOK {
+	warmReq := searchReq(queries[0], DefaultK, client.AlgoGlobal)
+	if status, _, err := post(warmReq); err != nil || status != http.StatusOK {
 		return nil, fmt.Errorf("exp: warm-up request failed (status %d, err %v)", status, err)
 	}
 	warmLat := make([][]float64, serviceWarmWorkers)
@@ -129,7 +133,7 @@ func ServiceLatency(opts Options) (*Table, error) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < serviceWarmPerWork; i++ {
-				status, ms, err := post(warmBody)
+				status, ms, err := post(warmReq)
 				if err != nil {
 					warmErr.Store(err)
 					return
@@ -159,21 +163,13 @@ func ServiceLatency(opts Options) (*Table, error) {
 	// strictly denser than a k-core, and the truss engine's per-deletion
 	// recomputation wants moderate community sizes.
 	const trussK = 3
-	trussBody := func(q []int32) []byte {
-		b, _ := json.Marshal(map[string]any{
-			"dataset": spec.Name, "q": q, "k": trussK, "t": in.TDefault,
-			"region": map[string]any{"lo": region.Lo, "hi": region.Hi},
-			"algo":   "truss",
-		})
-		return b
-	}
 	trussKeys := queries
 	if len(trussKeys) > serviceTrussKeys {
 		trussKeys = trussKeys[:serviceTrussKeys]
 	}
 	var trussCold, trussWarm []float64
 	for _, q := range trussKeys {
-		status, ms, err := post(trussBody(q))
+		status, ms, err := post(searchReq(q, trussK, client.AlgoTruss))
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +179,7 @@ func ServiceLatency(opts Options) (*Table, error) {
 	}
 	for round := 0; round < serviceTrussRounds; round++ {
 		for _, q := range trussKeys {
-			status, ms, err := post(trussBody(q))
+			status, ms, err := post(searchReq(q, trussK, client.AlgoTruss))
 			if err != nil {
 				return nil, err
 			}
@@ -196,8 +192,8 @@ func ServiceLatency(opts Options) (*Table, error) {
 	tab.Rows = append(tab.Rows, latencyRow("truss_warm", trussWarm, 0))
 
 	// Open-loop phase: Poisson arrivals at ~half the measured warm
-	// capacity, over persistent connections (the shared default transport
-	// keeps them alive). Unlike the closed warm loop — whose concurrency
+	// capacity, over persistent connections (the SDK's client keeps them
+	// alive). Unlike the closed warm loop — whose concurrency
 	// self-throttles to the service's pace — arrivals here do not wait for
 	// completions, so queueing delay under bursts shows up in the tail.
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -228,7 +224,7 @@ func ServiceLatency(opts Options) (*Table, error) {
 			olWG.Add(1)
 			go func() {
 				defer olWG.Done()
-				status, ms, err := post(warmBody)
+				status, ms, err := post(warmReq)
 				if err != nil {
 					return
 				}
@@ -254,6 +250,52 @@ func ServiceLatency(opts Options) (*Table, error) {
 		tab.Metrics["openloop_429"] = float64(ol429.Load())
 	}
 
+	// Batch-amortization phase: N warm membership requests sent one by one
+	// versus the same N sent as one /v1/batch. Membership (ktcore) on a
+	// cached key is nearly free server-side, so the comparison isolates
+	// exactly what the batch endpoint amortizes — per-request admission and
+	// transport overhead. Per-item latency for a batch is wall-clock over
+	// items; amortization is the single/batch per-item ratio.
+	ktReq := &client.SearchRequest{Dataset: spec.Name, Q: queries[0], K: DefaultK, T: in.TDefault}
+	if _, err := sdk.KTCore(ctx, spec.Name, ktReq); err != nil {
+		return nil, fmt.Errorf("exp: batch warm-up failed: %v", err)
+	}
+	batchItems := make([]client.BatchItem, serviceBatchItems)
+	for i := range batchItems {
+		batchItems[i] = client.BatchItem{Op: client.OpKTCore, SearchRequest: *ktReq}
+	}
+	var singleItem, batchItem []float64
+	for round := 0; round < serviceBatchRounds; round++ {
+		for i := 0; i < serviceBatchItems; i++ {
+			start := time.Now()
+			if _, err := sdk.KTCore(ctx, spec.Name, ktReq); err != nil {
+				return nil, err
+			}
+			singleItem = append(singleItem, float64(time.Since(start).Microseconds())/1000)
+		}
+		start := time.Now()
+		bresp, err := sdk.Batch(ctx, &client.BatchRequest{Items: batchItems})
+		if err != nil {
+			return nil, err
+		}
+		if bresp.OK != serviceBatchItems {
+			return nil, fmt.Errorf("exp: batch round %d: %d/%d items ok", round, bresp.OK, serviceBatchItems)
+		}
+		perItem := float64(time.Since(start).Microseconds()) / 1000 / serviceBatchItems
+		for i := 0; i < serviceBatchItems; i++ {
+			batchItem = append(batchItem, perItem)
+		}
+	}
+	tab.Rows = append(tab.Rows, latencyRow("batch_single", singleItem, 0))
+	tab.Rows = append(tab.Rows, latencyRow("batch_item", batchItem, 0))
+	singleP50 := percentileMs(singleItem, 0.50)
+	batchP50 := percentileMs(batchItem, 0.50)
+	tab.Metrics["batch_single_p50_ms"] = singleP50
+	tab.Metrics["batch_item_p50_ms"] = batchP50
+	if batchP50 > 0 {
+		tab.Metrics["batch_amortization"] = singleP50 / batchP50
+	}
+
 	// Saturation burst: a 1-slot, 2-queue server must reject the excess
 	// with immediate 429s instead of queueing it all. A gated oracle holds
 	// the admitted searches mid-Prepare until every request of the burst
@@ -268,6 +310,7 @@ func ServiceLatency(opts Options) (*Table, error) {
 	}
 	tts := httptest.NewServer(tiny.Handler())
 	defer tts.Close()
+	tinySDK := client.New(tts.URL, client.WithRetries(0))
 	var satOK, sat429 atomic.Int64
 	var satLat sync.Mutex
 	var satOKLat []float64
@@ -276,24 +319,17 @@ func ServiceLatency(opts Options) (*Table, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			q := queries[i%len(queries)]
-			b, _ := json.Marshal(map[string]any{
-				"dataset": spec.Name, "q": q, "k": DefaultK, "t": in.TDefault + float64(i),
-				"region": map[string]any{"lo": region.Lo, "hi": region.Hi},
-			})
+			req := searchReq(queries[i%len(queries)], DefaultK, "")
+			req.T = in.TDefault + float64(i)
 			start := time.Now()
-			resp, err := http.Post(tts.URL+"/v1/search", "application/json", bytes.NewReader(b))
-			if err != nil {
-				return
-			}
-			resp.Body.Close()
-			switch resp.StatusCode {
-			case http.StatusOK:
+			_, err := tinySDK.Search(ctx, spec.Name, req)
+			switch {
+			case err == nil:
 				satOK.Add(1)
 				satLat.Lock()
 				satOKLat = append(satOKLat, float64(time.Since(start).Microseconds())/1000)
 				satLat.Unlock()
-			case http.StatusTooManyRequests:
+			case client.StatusOf(err) == http.StatusTooManyRequests:
 				sat429.Add(1)
 			}
 		}(i)

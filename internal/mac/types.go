@@ -41,9 +41,15 @@ func (n *Network) Validate() error {
 
 // oracle returns the distance oracle, threading the query's parallelism
 // and cancellation into the built-in RangeQuerier. A user-supplied Oracle
-// manages its own knobs (e.g. GTree.Parallelism) and is returned unchanged.
+// manages its own parallelism knob (e.g. GTree.Parallelism); when it is
+// Cancelable (GTree is), the query's cancel channel is bound through a
+// per-query view, so index-accelerated range queries abort mid-traversal
+// like the built-in Dijkstras do.
 func (n *Network) oracle(parallelism int, cancel <-chan struct{}) road.Oracle {
 	if n.Oracle != nil {
+		if c, ok := n.Oracle.(road.Cancelable); ok {
+			return c.WithCancel(cancel)
+		}
 		return n.Oracle
 	}
 	return road.RangeQuerier{G: n.Road, Parallelism: parallelism, Cancel: cancel}

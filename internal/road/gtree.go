@@ -297,20 +297,60 @@ func (t *GTree) restrictedDijkstra(s int32, setID int32, sc *gtScratch) []float6
 // pruned at bound. Edge-located query sources fall back to plain Dijkstra.
 // Query locations are processed by up to Parallelism workers; the per-user
 // max-fold is order-independent, so output never depends on scheduling.
-// The GTree has no Cancel knob, so the returned error is always nil.
+// The plain index has no Cancel knob (use WithCancel for one), so the
+// returned error is always nil.
 func (t *GTree) QueryDistances(queries []Location, users []Location, bound float64) ([]float64, error) {
-	return maxFoldQueries(conc.Parallelism(t.Parallelism), len(queries), len(users), nil,
-		func(qi int, row []float64) error { t.queryRow(queries[qi], users, bound, row); return nil })
+	return t.queryDistances(queries, users, bound, nil)
 }
+
+// WithCancel implements Cancelable: the returned view shares the immutable
+// index but aborts traversals — the ascend/descend walk, the Dijkstra
+// fallback, and the per-user assemble loop — with ErrCanceled once cancel
+// closes. The query layer binds Query.Cancel through this, so an abandoned
+// search stops burning the index mid-traversal instead of at the next
+// whole-oracle boundary.
+func (t *GTree) WithCancel(cancel <-chan struct{}) Oracle {
+	if cancel == nil {
+		return t
+	}
+	return cancelGTree{t: t, cancel: cancel}
+}
+
+// cancelGTree is the per-query cancelable view over a shared GTree.
+type cancelGTree struct {
+	t      *GTree
+	cancel <-chan struct{}
+}
+
+// QueryDistances implements Oracle.
+func (c cancelGTree) QueryDistances(queries []Location, users []Location, bound float64) ([]float64, error) {
+	return c.t.queryDistances(queries, users, bound, c.cancel)
+}
+
+func (t *GTree) queryDistances(queries []Location, users []Location, bound float64, cancel <-chan struct{}) ([]float64, error) {
+	return maxFoldQueries(conc.Parallelism(t.Parallelism), len(queries), len(users), cancel,
+		func(qi int, row []float64) error { return t.queryRow(queries[qi], users, bound, row, cancel) })
+}
+
+// gtCancelStride bounds how many per-user assemble iterations run between
+// cancellation polls, mirroring the bounded Dijkstra's stride.
+const gtCancelStride = 1024
 
 // queryRow fills row[i] with the network distance from qloc to users[i]
 // (values beyond bound may be reported as Inf).
-func (t *GTree) queryRow(qloc Location, users []Location, bound float64, row []float64) {
+func (t *GTree) queryRow(qloc Location, users []Location, bound float64, row []float64, cancel <-chan struct{}) error {
 	var dist map[int32]float64
 	if qloc.OnVertex() {
-		dist = t.sourceDistances(qloc.U, bound)
+		var err error
+		dist, err = t.sourceDistances(qloc.U, bound, cancel)
+		if err != nil {
+			return err
+		}
 	} else {
-		full := t.g.DistancesFrom(qloc, bound)
+		full, err := t.g.DistancesFromCancel(qloc, bound, cancel)
+		if err != nil {
+			return err
+		}
 		dist = make(map[int32]float64)
 		for v, dv := range full {
 			if dv <= bound {
@@ -322,6 +362,9 @@ func (t *GTree) queryRow(qloc Location, users []Location, bound float64, row []f
 	// so the sameEdgeDirect shortcut only applies to edge-located queries.
 	edgeQuery := !qloc.OnVertex()
 	for i, u := range users {
+		if i%gtCancelStride == 0 && chanClosed(cancel) {
+			return ErrCanceled
+		}
 		d := locDistance(dist, u)
 		if edgeQuery {
 			if direct, ok := sameEdgeDirect(qloc, u); ok && direct < d {
@@ -330,6 +373,7 @@ func (t *GTree) queryRow(qloc Location, users []Location, bound float64, row []f
 		}
 		row[i] = d
 	}
+	return nil
 }
 
 func locDistance(dist map[int32]float64, loc Location) float64 {
@@ -347,7 +391,10 @@ func locDistance(dist map[int32]float64, loc Location) float64 {
 
 // sourceDistances computes exact network distances from road vertex s to all
 // road vertices within bound, using the ascend/descend G-tree strategy.
-func (t *GTree) sourceDistances(s int32, bound float64) map[int32]float64 {
+// cancel (nil allowed) is polled once per ascend level and once per descend
+// frame — the units of the traversal's assemble loop — so an abandoned
+// query stops within one node's worth of work.
+func (t *GTree) sourceDistances(s int32, bound float64, cancel <-chan struct{}) (map[int32]float64, error) {
 	sc := t.getScratch()
 	defer t.putScratch(sc)
 	result := make(map[int32]float64)
@@ -380,6 +427,9 @@ func (t *GTree) sourceDistances(s int32, bound float64) map[int32]float64 {
 		}
 	}
 	for node := t.nodes[leafID].parent; node >= 0; node = t.nodes[node].parent {
+		if chanClosed(cancel) {
+			return nil, ErrCanceled
+		}
 		n := &t.nodes[node]
 		next := make(map[int32]float64, len(n.unionBorders))
 		for bi, b := range n.unionBorders {
@@ -420,7 +470,7 @@ func (t *GTree) sourceDistances(s int32, bound float64) map[int32]float64 {
 	if len(root.children) == 0 {
 		// Single-leaf tree: the within-leaf pass above is already global.
 		trim(result, bound)
-		return result
+		return result, nil
 	}
 	for _, c := range root.children {
 		cb := make(map[int32]float64)
@@ -432,6 +482,9 @@ func (t *GTree) sourceDistances(s int32, bound float64) map[int32]float64 {
 		stack = append(stack, frame{node: c, bd: cb})
 	}
 	for len(stack) > 0 {
+		if chanClosed(cancel) {
+			return nil, ErrCanceled
+		}
 		fr := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		n := &t.nodes[fr.node]
@@ -500,7 +553,7 @@ func (t *GTree) sourceDistances(s int32, bound float64) map[int32]float64 {
 		}
 	}
 	trim(result, bound)
-	return result
+	return result, nil
 }
 
 func trim(m map[int32]float64, bound float64) {

@@ -26,6 +26,17 @@ type Oracle interface {
 	QueryDistances(queries []Location, users []Location, bound float64) ([]float64, error)
 }
 
+// Cancelable is an Oracle that can bind a per-query cancel channel. A
+// shared immutable index (e.g. GTree) implements it by returning a
+// lightweight view; the query layer binds Query.Cancel through it so even
+// index-accelerated range queries abort mid-traversal.
+type Cancelable interface {
+	Oracle
+	// WithCancel returns an Oracle whose QueryDistances aborts with
+	// ErrCanceled once cancel closes. A nil cancel returns the receiver.
+	WithCancel(cancel <-chan struct{}) Oracle
+}
+
 // RangeQuerier is the baseline Oracle: one bounded Dijkstra per query
 // location over the full road graph. The per-location Dijkstras are
 // independent and run on up to Parallelism workers (<= 0 selects

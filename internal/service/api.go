@@ -4,40 +4,74 @@ import (
 	"errors"
 	"fmt"
 
+	"roadsocial/client"
 	"roadsocial/internal/geom"
 	"roadsocial/internal/mac"
 )
 
-// Algo names the search algorithm of a request.
-type Algo string
+// The wire contract is defined once, in the public client package; the
+// service aliases it so server and SDK can never drift. Handlers and the
+// transport-agnostic Do/DoBatch all speak these types.
+type (
+	// Algo names the search algorithm of a request.
+	Algo = client.Algo
+	// RegionSpec is the JSON form of an axis-parallel preference region.
+	RegionSpec = client.RegionSpec
+	// SearchRequest is the body of the search and ktcore endpoints.
+	SearchRequest = client.SearchRequest
+	// SearchResponse is the body of a successful search or ktcore request.
+	SearchResponse = client.SearchResponse
+	// CellJSON is one output partition of a search response.
+	CellJSON = client.CellJSON
+	// BatchRequest is the body of POST /v1/batch.
+	BatchRequest = client.BatchRequest
+	// BatchItem is one request of a batch.
+	BatchItem = client.BatchItem
+	// BatchItemResult is one batch item's outcome.
+	BatchItemResult = client.BatchItemResult
+	// BatchResponse is the body of a successful POST /v1/batch.
+	BatchResponse = client.BatchResponse
+	// DatasetSpec tells the server how to materialize a dataset.
+	DatasetSpec = client.DatasetSpec
+	// DatasetInfo describes a registered dataset.
+	DatasetInfo = client.DatasetInfo
+	// Stats is the /v1/stats payload.
+	Stats = client.Stats
+)
 
+// Algo values (see client).
 const (
-	// AlgoGlobal is the exact DFS-based search (default).
-	AlgoGlobal Algo = "global"
-	// AlgoLocal is the local search framework (faster, sound, not complete).
-	AlgoLocal Algo = "local"
-	// AlgoTruss is the k-truss variant (global search on the truss engine).
-	AlgoTruss Algo = "truss"
+	AlgoGlobal = client.AlgoGlobal
+	AlgoLocal  = client.AlgoLocal
+	AlgoTruss  = client.AlgoTruss
 )
 
 // Cache outcomes reported per response.
 const (
-	CacheHit  = "hit"
-	CacheMiss = "miss"
+	CacheHit  = client.CacheHit
+	CacheMiss = client.CacheMiss
 )
 
-// variant maps the request's algorithm onto the engine that serves it.
-func (r *SearchRequest) variant() mac.Variant {
-	if r.algo() == AlgoTruss {
+// reqAlgo resolves the request's algorithm, defaulting to global.
+func reqAlgo(r *SearchRequest) Algo {
+	if r.Algo == "" {
+		return AlgoGlobal
+	}
+	return r.Algo
+}
+
+// reqVariant maps the request's algorithm onto the engine that serves it.
+func reqVariant(r *SearchRequest) mac.Variant {
+	if reqAlgo(r) == AlgoTruss {
 		return mac.VariantTruss
 	}
 	return mac.VariantCore
 }
 
-// searchOptions maps the request's algorithm onto the prepared handle's
+// reqSearchOptions maps the request's algorithm onto the prepared handle's
 // search mode.
-func (r *SearchRequest) searchOptions() mac.SearchOptions {
-	if r.algo() == AlgoLocal {
+func reqSearchOptions(r *SearchRequest) mac.SearchOptions {
+	if reqAlgo(r) == AlgoLocal {
 		return mac.SearchOptions{Mode: mac.ModeLocal}
 	}
 	return mac.SearchOptions{Mode: mac.ModeGlobal}
@@ -53,46 +87,8 @@ const (
 	maxParallelism   = 64
 )
 
-// RegionSpec is the JSON form of an axis-parallel preference region
-// [lo, hi] in the reduced (d-1)-dimensional weight domain.
-type RegionSpec struct {
-	Lo []float64 `json:"lo"`
-	Hi []float64 `json:"hi"`
-}
-
-// SearchRequest is the body of /v1/search and /v1/ktcore.
-type SearchRequest struct {
-	// Dataset names a registered dataset.
-	Dataset string `json:"dataset"`
-	// Q are the query vertices (social ids).
-	Q []int32 `json:"q"`
-	// K is the coreness (or truss) threshold.
-	K int `json:"k"`
-	// T is the query-distance threshold.
-	T float64 `json:"t"`
-	// Region is required for searches; /v1/ktcore ignores it.
-	Region *RegionSpec `json:"region,omitempty"`
-	// J asks for the top-j MACs per partition (<= 1: non-contained only).
-	J int `json:"j,omitempty"`
-	// Algo selects global (default), local, or truss.
-	Algo Algo `json:"algo,omitempty"`
-	// TimeoutMs is the request deadline; 0 selects the server default, and
-	// values beyond the server maximum are clamped.
-	TimeoutMs int `json:"timeout_ms,omitempty"`
-	// Parallelism overrides the per-search worker count (0: server config).
-	Parallelism int `json:"parallelism,omitempty"`
-	// KTCoreOnly answers with the engine's maximal cohesive-subgraph
-	// membership — the (k,t)-core, or the k-truss with algo=truss — and
-	// skips the search (the /v1/ktcore endpoint sets it).
-	KTCoreOnly bool `json:"-"`
-}
-
-func (r *SearchRequest) algo() Algo {
-	if r.Algo == "" {
-		return AlgoGlobal
-	}
-	return r.Algo
-}
+// MaxBatchItems bounds the items of one /v1/batch request.
+const MaxBatchItems = 64
 
 // ErrInvalid marks request errors that are the client's fault (HTTP 400);
 // anything not wrapped in it (or in the other sentinels) is a server-side
@@ -103,8 +99,8 @@ func invalidf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
 }
 
-// validate checks the request shape before touching any dataset.
-func (r *SearchRequest) validate() error {
+// validateRequest checks the request shape before touching any dataset.
+func validateRequest(r *SearchRequest) error {
 	if r.Dataset == "" {
 		return invalidf("missing dataset")
 	}
@@ -126,7 +122,7 @@ func (r *SearchRequest) validate() error {
 	if r.Parallelism > maxParallelism {
 		return invalidf("parallelism=%d exceeds the limit of %d", r.Parallelism, maxParallelism)
 	}
-	switch r.algo() {
+	switch reqAlgo(r) {
 	case AlgoGlobal, AlgoLocal, AlgoTruss:
 	default:
 		return invalidf("unknown algo %q (want global, local, or truss)", r.Algo)
@@ -143,10 +139,10 @@ func (r *SearchRequest) validate() error {
 	return nil
 }
 
-// query assembles the mac.Query for an admitted request. KTCore-only
+// buildQuery assembles the mac.Query for an admitted request. KTCore-only
 // requests get a degenerate region of the right dimension, since mac.Query
 // validation demands one.
-func (r *SearchRequest) query(net *mac.Network, defaultPar int, cancel <-chan struct{}) (*mac.Query, error) {
+func buildQuery(r *SearchRequest, net *mac.Network, defaultPar int, cancel <-chan struct{}) (*mac.Query, error) {
 	var region *geom.Region
 	var err error
 	if r.KTCoreOnly {
@@ -173,31 +169,8 @@ func (r *SearchRequest) query(net *mac.Network, defaultPar int, cancel <-chan st
 	return q, nil
 }
 
-// CellJSON is one output partition: the witness weight vector identifying
-// the partition and its ranked communities.
-type CellJSON struct {
-	Witness []float64 `json:"witness"`
-	Ranked  [][]int32 `json:"ranked"`
-}
-
-// SearchResponse is the body of a successful /v1/search or /v1/ktcore.
-type SearchResponse struct {
-	Dataset     string     `json:"dataset"`
-	Algo        Algo       `json:"algo"`
-	NoCommunity bool       `json:"no_community,omitempty"`
-	KTCoreSize  int        `json:"ktcore_size"`
-	KTCore      []int32    `json:"ktcore,omitempty"` // /v1/ktcore only
-	Partitions  int        `json:"partitions"`
-	Cells       []CellJSON `json:"cells,omitempty"`
-	Stats       *mac.Stats `json:"stats,omitempty"`
-	// Cache reports how the prepared state was obtained: hit (reused or
-	// coalesced) or miss (prepared here).
-	Cache     string  `json:"cache"`
-	ElapsedMs float64 `json:"elapsed_ms"`
-}
-
-// fill copies a search result into the response.
-func (resp *SearchResponse) fill(res *mac.Result, ktCoreOnly bool) {
+// fillResponse copies a search result into the response.
+func fillResponse(resp *SearchResponse, res *mac.Result, ktCoreOnly bool) {
 	resp.KTCoreSize = len(res.KTCore)
 	if ktCoreOnly {
 		resp.KTCore = res.KTCore
@@ -215,6 +188,8 @@ func (resp *SearchResponse) fill(res *mac.Result, ktCoreOnly bool) {
 		}
 		resp.Cells[i] = cj
 	}
-	stats := res.Stats
+	// client.SearchStats mirrors mac.Stats field-for-field; the conversion
+	// is checked at compile time.
+	stats := client.SearchStats(res.Stats)
 	resp.Stats = &stats
 }

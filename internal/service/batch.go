@@ -1,0 +1,95 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"roadsocial/client"
+	"roadsocial/internal/mac"
+)
+
+// DoBatch executes N heterogeneous requests as one admission unit: the
+// whole batch claims a single in-flight slot (so a burst of batches is
+// throttled like a burst of requests, and the per-request admission
+// overhead is paid once), then its items run in order against the shared
+// prepared cache. Each item settles independently — a failed item records
+// the HTTP status it would have received standalone and never fails its
+// neighbors. Batch-level failures (empty, oversized, saturated, canceled
+// while queued) are the only errors returned.
+//
+// Counters treat every item as one request (a malformed batch counts as
+// one), so requests == completed + failed + in-progress holds across
+// mixed single/batch traffic and the fleet-wide sums stay meaningful.
+func (s *Server) DoBatch(req *BatchRequest, cancel <-chan struct{}) (*BatchResponse, error) {
+	if len(req.Items) == 0 {
+		s.requests.Add(1)
+		s.failed.Add(1)
+		return nil, invalidf("empty batch")
+	}
+	if len(req.Items) > MaxBatchItems {
+		s.requests.Add(1)
+		s.failed.Add(1)
+		return nil, invalidf("%d batch items exceed the limit of %d", len(req.Items), MaxBatchItems)
+	}
+	n := int64(len(req.Items))
+	s.requests.Add(n)
+	release, err := s.acquire(cancel)
+	if err != nil {
+		s.failed.Add(n)
+		return nil, err
+	}
+	defer release()
+
+	start := time.Now()
+	resp := &BatchResponse{Items: make([]BatchItemResult, len(req.Items))}
+	for i := range req.Items {
+		resp.Items[i] = s.runItem(&req.Items[i], cancel)
+		if resp.Items[i].Status == http.StatusOK {
+			resp.OK++
+		} else {
+			resp.Failed++
+		}
+	}
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+// runItem executes one batch item under the batch's admission slot and
+// deadline, mapping its outcome onto the standalone HTTP status.
+func (s *Server) runItem(item *BatchItem, cancel <-chan struct{}) BatchItemResult {
+	req := item.SearchRequest // copy: KTCoreOnly is server-side state
+	switch item.Op {
+	case "", client.OpSearch:
+	case client.OpKTCore:
+		req.KTCoreOnly = true
+	default:
+		s.failed.Add(1)
+		return itemError(http.StatusBadRequest,
+			invalidf("unknown op %q (want search or ktcore)", item.Op))
+	}
+	if err := validateRequest(&req); err != nil {
+		s.failed.Add(1)
+		return itemError(statusOf(err), err)
+	}
+	ds, err := s.network(req.Dataset)
+	if err != nil {
+		s.failed.Add(1)
+		return itemError(statusOf(err), err)
+	}
+	out, err := s.doAdmitted(&req, ds, cancel)
+	if err != nil {
+		status := statusOf(err)
+		if errors.Is(err, mac.ErrCanceled) {
+			// The batch deadline fired: this and every later item report
+			// the timeout an individual request would have seen.
+			status = http.StatusGatewayTimeout
+		}
+		return itemError(status, err)
+	}
+	return BatchItemResult{Status: http.StatusOK, Response: out}
+}
+
+func itemError(status int, err error) BatchItemResult {
+	return BatchItemResult{Status: status, Error: err.Error()}
+}

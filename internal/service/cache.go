@@ -9,21 +9,28 @@ import (
 	"sync"
 	"time"
 
+	"roadsocial/client"
 	"roadsocial/internal/mac"
 )
 
-// prepKey is the cache identity of a prepared state: dataset name, engine
-// variant, and the canonical (sorted Q, k, t) signature. Two requests with
-// the same key can share one mac.Prepared (the region may differ per
-// request — Prepared resolves regions internally); the variant is part of
-// the key because core and truss prepare different subgraphs from the same
-// (Q, k, t).
-func prepKey(dataset string, variant mac.Variant, q []int32, k int, t float64) string {
+// prepKey is the cache identity of a prepared state: dataset name, the
+// dataset's registration generation, engine variant, and the canonical
+// (sorted Q, k, t) signature. Two requests with the same key can share one
+// mac.Prepared (the region may differ per request — Prepared resolves
+// regions internally); the variant is part of the key because core and
+// truss prepare different subgraphs from the same (Q, k, t). The
+// generation is part of the key because the dataset lifecycle allows
+// delete + re-create under one name: a request that resolved the old
+// network can insert its prepared state after the delete's purge, and
+// without the generation a search against the re-created dataset would
+// hit that stale entry.
+func prepKey(dataset string, gen uint64, variant mac.Variant, q []int32, k int, t float64) string {
 	qs := append([]int32(nil), q...)
 	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
-	b := make([]byte, 0, len(dataset)+len(variant)+2+4*len(qs)+16)
+	b := make([]byte, 0, len(dataset)+len(variant)+2+4*len(qs)+24)
 	b = append(b, dataset...)
 	b = append(b, 0)
+	b = binary.LittleEndian.AppendUint64(b, gen)
 	b = append(b, variant...)
 	b = append(b, 0)
 	b = binary.LittleEndian.AppendUint32(b, uint32(k))
@@ -199,18 +206,30 @@ func (c *prepCache) evictOverLocked(keep *list.Element) {
 	}
 }
 
-// cacheStats is a snapshot of the cache counters for /v1/stats.
-type cacheStats struct {
-	Entries     int   `json:"entries"`
-	Capacity    int   `json:"capacity"`
-	CostUsed    int64 `json:"cost_used"`
-	MaxCost     int64 `json:"max_cost"`
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Coalesced   int64 `json:"coalesced"`
-	Evictions   int64 `json:"evictions"`
-	Expirations int64 `json:"expirations"`
+// purgeDataset drops every cached prepared state of one dataset — the
+// delete half of the dataset lifecycle. The dataset name is the first
+// NUL-terminated component of every prepKey, so the match is exact, never a
+// prefix collision between e.g. "SF" and "SF+Slashdot". An in-flight build
+// loses only the cache's reference: it still completes for its waiters.
+func (c *prepCache) purgeDataset(dataset string) int {
+	prefix := dataset + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	purged := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); len(e.key) > len(prefix) && e.key[:len(prefix)] == prefix {
+			c.removeLocked(el)
+			purged++
+		}
+		el = next
+	}
+	return purged
 }
+
+// cacheStats is a snapshot of the cache counters for /v1/stats, in the wire
+// contract's shape.
+type cacheStats = client.CacheStats
 
 func (c *prepCache) stats() cacheStats {
 	c.mu.Lock()

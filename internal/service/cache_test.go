@@ -325,18 +325,21 @@ func TestPrepCacheCancelWaiter(t *testing.T) {
 }
 
 // TestPrepKeyCanonical: the key is order-insensitive in Q and sensitive to
-// every component, including the engine variant.
+// every component, including the engine variant and the dataset
+// registration generation (so a re-created dataset never hits its
+// predecessor's entries).
 func TestPrepKeyCanonical(t *testing.T) {
-	base := prepKey("ds", mac.VariantCore, []int32{3, 1, 2}, 4, 100)
-	if prepKey("ds", mac.VariantCore, []int32{1, 2, 3}, 4, 100) != base {
+	base := prepKey("ds", 1, mac.VariantCore, []int32{3, 1, 2}, 4, 100)
+	if prepKey("ds", 1, mac.VariantCore, []int32{1, 2, 3}, 4, 100) != base {
 		t.Fatal("Q order must not matter")
 	}
 	for name, other := range map[string]string{
-		"dataset": prepKey("ds2", mac.VariantCore, []int32{1, 2, 3}, 4, 100),
-		"variant": prepKey("ds", mac.VariantTruss, []int32{1, 2, 3}, 4, 100),
-		"q":       prepKey("ds", mac.VariantCore, []int32{1, 2, 4}, 4, 100),
-		"k":       prepKey("ds", mac.VariantCore, []int32{1, 2, 3}, 5, 100),
-		"t":       prepKey("ds", mac.VariantCore, []int32{1, 2, 3}, 4, 101),
+		"dataset": prepKey("ds2", 1, mac.VariantCore, []int32{1, 2, 3}, 4, 100),
+		"gen":     prepKey("ds", 2, mac.VariantCore, []int32{1, 2, 3}, 4, 100),
+		"variant": prepKey("ds", 1, mac.VariantTruss, []int32{1, 2, 3}, 4, 100),
+		"q":       prepKey("ds", 1, mac.VariantCore, []int32{1, 2, 4}, 4, 100),
+		"k":       prepKey("ds", 1, mac.VariantCore, []int32{1, 2, 3}, 5, 100),
+		"t":       prepKey("ds", 1, mac.VariantCore, []int32{1, 2, 3}, 4, 101),
 	} {
 		if other == base {
 			t.Fatalf("%s must change the key", name)

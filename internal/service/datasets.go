@@ -1,0 +1,95 @@
+package service
+
+import (
+	"fmt"
+	"os"
+
+	"roadsocial/internal/dataset"
+	"roadsocial/internal/mac"
+	"roadsocial/internal/road"
+)
+
+// LoadSpecFiles is the default Config.LoadSpec: it materializes the
+// file-backed half of a DatasetSpec (the cmd/macsearch text formats,
+// resolved on the server's disk) and optionally builds a G-tree index.
+// Synthetic-catalog specs need a loader that knows the experiment harness;
+// cmd/macserver injects one. Because the paths are opened server-side, a
+// deployment exposing the create endpoint should run with an auth token.
+func LoadSpecFiles(name string, spec *DatasetSpec) (*mac.Network, error) {
+	if spec.Synthetic != "" {
+		return nil, invalidf("dataset %q: no synthetic catalog loader configured on this server", name)
+	}
+	if spec.Social == "" || spec.Attrs == "" || spec.Road == "" || spec.Locs == "" {
+		return nil, invalidf("dataset %q: spec needs social, attrs, road, and locs file paths (or a synthetic catalog name)", name)
+	}
+	open := func(path string) (*os.File, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, invalidf("dataset %q: %v", name, err)
+		}
+		return f, nil
+	}
+	sf, err := open(spec.Social)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	af, err := open(spec.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	rf, err := open(spec.Road)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	lf, err := open(spec.Locs)
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	net, err := dataset.ReadNetwork(sf, af, nil, rf, lf)
+	if err != nil {
+		return nil, invalidf("dataset %q: %v", name, err)
+	}
+	if spec.GTree {
+		net.Oracle = road.BuildGTree(net.Road, 0)
+	}
+	return net, nil
+}
+
+// CreateDataset materializes a spec through the configured loader and
+// registers the result — the transport-agnostic core of
+// POST /v1/datasets/{name}. Loading runs outside the search admission
+// bounds (it is a control-plane operation, typically long), but the name is
+// claimed only on success, so a failed load leaves no trace.
+func (s *Server) CreateDataset(name string, spec *DatasetSpec) (*DatasetInfo, error) {
+	if name == "" {
+		return nil, invalidf("empty dataset name")
+	}
+	// Fail fast on a taken name before paying the load; AddDataset
+	// re-checks under the lock, so a concurrent create still loses cleanly.
+	s.mu.RLock()
+	_, taken := s.nets[name]
+	s.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	net, err := s.cfg.LoadSpec(name, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, invalidf("dataset %q: %v", name, err)
+	}
+	if err := s.AddDataset(name, net); err != nil {
+		return nil, err
+	}
+	return &DatasetInfo{
+		Dataset:      name,
+		Users:        net.Social.N(),
+		Friendships:  net.Social.M(),
+		RoadVertices: net.Road.N(),
+	}, nil
+}

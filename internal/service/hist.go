@@ -1,0 +1,47 @@
+package service
+
+import (
+	"sync"
+
+	"roadsocial/client"
+)
+
+// latencyHist records completed-request latencies in the fixed log-scale
+// bucket schema of the wire contract (client.LatencyBucket*). Unlike the
+// sliding sample window it replaced, the histogram covers every request
+// ever completed, costs O(1) per record, and — the point — merges across
+// shards by elementwise addition, so the router's fleet p50/p99 are true
+// quantiles instead of worst-of approximations.
+type latencyHist struct {
+	mu      sync.Mutex
+	count   int64
+	sumMs   float64
+	buckets [client.LatencyBucketCount]int64
+}
+
+func (h *latencyHist) record(ms float64) {
+	i := client.LatencyBucketIndex(ms)
+	h.mu.Lock()
+	h.count++
+	h.sumMs += ms
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// stats snapshots the histogram as the wire-contract latency payload. The
+// mean is exact (tracked outside the buckets); p50/p99 are read from the
+// histogram and therefore within one bucket width (2^(1/4) ≈ 19%) of the
+// true quantile — the same resolution the fleet-level merge reports.
+func (h *latencyHist) stats() client.LatencyStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := client.LatencyStats{Count: h.count}
+	if h.count == 0 {
+		return out
+	}
+	out.MeanMs = h.sumMs / float64(h.count)
+	out.Buckets = append([]int64(nil), h.buckets[:]...)
+	out.P50Ms = out.Quantile(0.50)
+	out.P99Ms = out.Quantile(0.99)
+	return out
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,35 +13,77 @@ import (
 	"roadsocial/internal/mac"
 )
 
-// MaxRequestBody bounds request bodies; search requests are small. The
-// shard router applies the same bound so single- and multi-shard
-// deployments agree on the accepted request size.
+// MaxRequestBody bounds request bodies. Search requests are small; a batch
+// of MaxBatchItems fits comfortably. The shard router applies the same
+// bound so single- and multi-shard deployments agree on the accepted
+// request size.
 const MaxRequestBody = 1 << 20
 
-// Handler returns the HTTP API:
+// Handler returns the HTTP API. Datasets are addressable resources:
 //
-//	POST /v1/search   — run a MAC search (SearchRequest → SearchResponse)
-//	POST /v1/ktcore   — compute only the maximal (k,t)-core membership
-//	GET  /v1/healthz  — liveness + registered datasets
-//	GET  /v1/stats    — server, cache, admission, and latency counters
+//	POST   /v1/datasets/{name}          — register from an on-disk spec (201)
+//	DELETE /v1/datasets/{name}          — unregister (200)
+//	POST   /v1/datasets/{name}/search   — run a MAC search
+//	POST   /v1/datasets/{name}/ktcore   — maximal cohesive-subgraph membership
+//	POST   /v1/batch                    — N requests, one admission
+//	GET    /v1/healthz                  — liveness + registered datasets
+//	GET    /v1/stats                    — counters, cache, latency histogram
+//
+//	POST   /v1/search, /v1/ktcore       — legacy shims: dataset read from the
+//	                                      body, answers byte-identical to the
+//	                                      dataset-scoped routes
 //
 // Saturation maps to 429, an exceeded deadline to 504, validation problems
-// to 400, and an unknown dataset to 404; every error body is
-// {"error": "..."}.
+// to 400, an unknown dataset to 404, a duplicate create to 409, and a
+// missing or wrong bearer token (when Config.AuthToken is set) to 401;
+// every error body is {"error": "..."}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets/{name}/search", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSearch(w, r, r.PathValue("name"), false)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/ktcore", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSearch(w, r, r.PathValue("name"), true)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}", s.serveCreateDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.serveDeleteDataset)
+	mux.HandleFunc("POST /v1/batch", s.serveBatch)
 	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
-		s.serveSearch(w, r, false)
+		s.serveSearch(w, r, "", false)
 	})
 	mux.HandleFunc("POST /v1/ktcore", func(w http.ResponseWriter, r *http.Request) {
-		s.serveSearch(w, r, true)
+		s.serveSearch(w, r, "", true)
 	})
 	mux.HandleFunc("GET /v1/healthz", s.serveHealthz)
 	mux.HandleFunc("GET /v1/stats", s.serveStats)
-	return mux
+	return RequireAuth(s.cfg.AuthToken, mux)
 }
 
-func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, ktCoreOnly bool) {
+// RequireAuth wraps a handler with shared-secret bearer auth: every request
+// must carry "Authorization: Bearer <token>". An empty token returns h
+// unchanged. cmd/macserver applies it at the listener for both leaf and
+// routing tiers, so a fleet shares one secret end to end.
+func RequireAuth(token string, h http.Handler) http.Handler {
+	if token == "" {
+		return h
+	}
+	want := []byte("Bearer " + token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="macserver"`)
+			writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// serveSearch handles the dataset-scoped search/ktcore routes (dataset from
+// the URL path) and the legacy body-addressed shims (dataset == ""). Both
+// run the same decode → deadline → Do pipeline, so the legacy response
+// stays byte-identical.
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, dataset string, ktCoreOnly bool) {
 	var req SearchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
 	dec.DisallowUnknownFields()
@@ -48,36 +91,92 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, ktCoreOnly 
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	if dataset != "" {
+		// The URL names the resource; a body dataset may restate but never
+		// contradict it.
+		if req.Dataset != "" && req.Dataset != dataset {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("body dataset %q contradicts path dataset %q", req.Dataset, dataset))
+			return
+		}
+		req.Dataset = dataset
+	}
 	req.KTCoreOnly = ktCoreOnly
 
-	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+	cancel, stop := s.requestCancel(r, req.TimeoutMs)
+	defer stop()
+	resp, err := s.Do(&req, cancel)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	cancel, stop := s.requestCancel(r, req.TimeoutMs)
+	defer stop()
+	resp, err := s.DoBatch(&req, cancel)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var spec DatasetSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dataset spec: %w", err))
+		return
+	}
+	info, err := s.CreateDataset(r.PathValue("name"), &spec)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) serveDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.RemoveDataset(name); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// requestCancel builds the cancel channel for one request: one channel
+// carries both the deadline and the client disconnect — whichever fires
+// first abandons the work at its next task boundary (mac.Query.Cancel
+// semantics). stop releases the timer and the context hook.
+func (s *Server) requestCancel(r *http.Request, timeoutMs int) (cancel chan struct{}, stop func()) {
+	timeout := time.Duration(timeoutMs) * time.Millisecond
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
 	}
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	// One Cancel channel carries both the deadline and the client
-	// disconnect: whichever fires first abandons the search at its next
-	// task boundary (mac.Query.Cancel semantics).
-	cancel := make(chan struct{})
+	cancel = make(chan struct{})
 	var once sync.Once
 	abort := func() { once.Do(func() { close(cancel) }) }
 	timer := time.AfterFunc(timeout, abort)
-	defer timer.Stop()
-	stop := context.AfterFunc(r.Context(), abort)
-	defer stop()
-
-	resp, err := s.Do(&req, cancel)
-	if err != nil {
-		status := statusOf(err)
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-		}
-		writeError(w, status, err)
-		return
+	unhook := context.AfterFunc(r.Context(), abort)
+	return cancel, func() {
+		timer.Stop()
+		unhook()
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -102,11 +201,22 @@ func statusOf(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrUnknownDataset):
 		return http.StatusNotFound
+	case errors.Is(err, ErrDatasetExists):
+		return http.StatusConflict
 	case errors.Is(err, ErrInvalid):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeServiceError maps a Do/DoBatch/lifecycle error onto its HTTP answer.
+func writeServiceError(w http.ResponseWriter, err error) {
+	status := statusOf(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

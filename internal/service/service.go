@@ -1,9 +1,16 @@
 // Package service is the long-lived MAC query server: it holds datasets
 // (road-social networks plus their indexes) in memory and serves
-// GlobalSearch/LocalSearch/KTCore requests over an HTTP/JSON API, amortizing
-// per-query preparation the way a G-tree amortizes index construction.
+// GlobalSearch/LocalSearch/KTCore requests over a resource-oriented
+// HTTP/JSON API, amortizing per-query preparation the way a G-tree
+// amortizes index construction.
 //
-// Three mechanisms make it hold up under the ROADMAP's million-user target:
+// Datasets are first-class resources with a lifecycle: POST and DELETE on
+// /v1/datasets/{name} register and unregister them online, from an on-disk
+// spec, while other datasets keep answering — no restart, and in-flight
+// searches on a deleted dataset finish on the memory they already hold.
+//
+// Three mechanisms make the query path hold up under the ROADMAP's
+// million-user target:
 //
 //   - A shared prepared-state cache (weighted LRU + single-flight) keyed by
 //     (dataset, engine variant, Q, k, t). Prepare — the road-network range
@@ -16,13 +23,15 @@
 //   - Admission control: a bounded in-flight semaphore with a bounded
 //     waiting queue. Requests beyond both bounds are rejected immediately
 //     (HTTP 429) instead of piling up, so saturation degrades service
-//     latency, not service stability.
+//     latency, not service stability. A /v1/batch request is admitted once
+//     for all its items, amortizing the admission and transport overhead.
 //   - Per-request deadlines wired to Query.Cancel: a request that exceeds
 //     its deadline (or whose client disconnects) abandons its search at the
 //     next task boundary and frees its workers (HTTP 504).
 //
-// The package is transport-agnostic at its core (Do) with an http.Handler
-// veneer; cmd/macserver is the binary.
+// The package is transport-agnostic at its core (Do, DoBatch) with an
+// http.Handler veneer speaking the canonical wire contract of the public
+// client package; cmd/macserver is the binary.
 package service
 
 import (
@@ -67,6 +76,15 @@ type Config struct {
 	// Parallelism is the per-search worker count when the request does not
 	// choose one; 0 selects GOMAXPROCS.
 	Parallelism int
+	// AuthToken, when non-empty, makes the HTTP handler require
+	// "Authorization: Bearer <AuthToken>" on every /v1 route (401
+	// otherwise). The in-process Do/DoBatch entry points are not gated.
+	AuthToken string
+	// LoadSpec materializes a dataset for POST /v1/datasets/{name}. Nil
+	// selects LoadSpecFiles, which understands the file-backed half of the
+	// spec; cmd/macserver injects a loader that also resolves the synthetic
+	// catalog.
+	LoadSpec func(name string, spec *DatasetSpec) (*mac.Network, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheMaxCost <= 0 {
 		c.CacheMaxCost = 1 << 20
 	}
+	if c.LoadSpec == nil {
+		c.LoadSpec = LoadSpecFiles
+	}
 	return c
 }
 
@@ -99,15 +120,20 @@ var ErrSaturated = errors.New("service: saturated (in-flight and queue bounds re
 // does not hold.
 var ErrUnknownDataset = errors.New("service: unknown dataset")
 
+// ErrDatasetExists reports a create against a name already registered
+// (HTTP 409); delete first to replace a dataset.
+var ErrDatasetExists = errors.New("service: dataset already registered")
+
 // Server is the long-lived query service. Create with New, register
-// datasets with AddDataset, then serve either through Handler (HTTP) or Do
-// (in-process).
+// datasets with AddDataset (or over HTTP), then serve either through
+// Handler (HTTP) or Do/DoBatch (in-process).
 type Server struct {
 	cfg   Config
 	start time.Time
 
 	mu   sync.RWMutex
-	nets map[string]*mac.Network
+	nets map[string]dsEntry
+	gen  uint64 // monotonic dataset registration counter (under mu)
 
 	cache *prepCache
 	sem   chan struct{}
@@ -120,7 +146,7 @@ type Server struct {
 	rejectedSaturated atomic.Int64
 	deadlineExceeded  atomic.Int64
 
-	lat latencyRing
+	lat latencyHist
 }
 
 // New creates a server with the given configuration.
@@ -129,10 +155,19 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:   cfg,
 		start: time.Now(),
-		nets:  make(map[string]*mac.Network),
+		nets:  make(map[string]dsEntry),
 		cache: newPrepCache(cfg.CacheCapacity, cfg.CacheMaxCost, cfg.CacheTTL),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 	}
+}
+
+// dsEntry is one registered dataset: the shared read-only network plus the
+// registration generation that keys its prepared states. The generation
+// makes delete + re-create under one name safe: prepared state from the
+// previous registration can never serve the new one.
+type dsEntry struct {
+	net *mac.Network
+	gen uint64
 }
 
 // AddDataset registers a network under a name. The network (including any
@@ -148,9 +183,25 @@ func (s *Server) AddDataset(name string, net *mac.Network) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.nets[name]; ok {
-		return fmt.Errorf("service: dataset %q already registered", name)
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	s.nets[name] = net
+	s.gen++
+	s.nets[name] = dsEntry{net: net, gen: s.gen}
+	return nil
+}
+
+// RemoveDataset unregisters a dataset and purges its prepared states from
+// the cache. Searches already in flight keep the network alive through
+// their own references and finish normally; new requests answer 404.
+func (s *Server) RemoveDataset(name string) error {
+	s.mu.Lock()
+	_, ok := s.nets[name]
+	delete(s.nets, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	s.cache.purgeDataset(name)
 	return nil
 }
 
@@ -166,14 +217,14 @@ func (s *Server) Datasets() []string {
 	return out
 }
 
-func (s *Server) network(name string) (*mac.Network, error) {
+func (s *Server) network(name string) (dsEntry, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	net, ok := s.nets[name]
+	e, ok := s.nets[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+		return dsEntry{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	return net, nil
+	return e, nil
 }
 
 // acquire claims an in-flight slot, waiting in the bounded queue when none
@@ -212,11 +263,11 @@ func (s *Server) acquire(cancel <-chan struct{}) (release func(), err error) {
 // core the HTTP handlers call.
 func (s *Server) Do(req *SearchRequest, cancel <-chan struct{}) (*SearchResponse, error) {
 	s.requests.Add(1)
-	if err := req.validate(); err != nil {
+	if err := validateRequest(req); err != nil {
 		s.failed.Add(1)
 		return nil, err
 	}
-	net, err := s.network(req.Dataset)
+	ds, err := s.network(req.Dataset)
 	if err != nil {
 		s.failed.Add(1)
 		return nil, err
@@ -227,9 +278,15 @@ func (s *Server) Do(req *SearchRequest, cancel <-chan struct{}) (*SearchResponse
 		return nil, err
 	}
 	defer release()
+	return s.doAdmitted(req, ds, cancel)
+}
 
+// doAdmitted runs one admitted request and settles its counters; the
+// caller holds the in-flight slot (Do claims one per request, DoBatch one
+// per batch).
+func (s *Server) doAdmitted(req *SearchRequest, ds dsEntry, cancel <-chan struct{}) (*SearchResponse, error) {
 	start := time.Now()
-	resp, err := s.run(req, net, cancel)
+	resp, err := s.run(req, ds, cancel)
 	if err != nil {
 		if errors.Is(err, mac.ErrCanceled) {
 			s.deadlineExceeded.Add(1)
@@ -249,18 +306,19 @@ func (s *Server) Do(req *SearchRequest, cancel <-chan struct{}) (*SearchResponse
 // through the shared single-flight cache, then search via the
 // variant-agnostic Prepared handle — the service never branches on the
 // variant itself.
-func (s *Server) run(req *SearchRequest, net *mac.Network, cancel <-chan struct{}) (*SearchResponse, error) {
-	q, err := req.query(net, s.cfg.Parallelism, cancel)
+func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}) (*SearchResponse, error) {
+	net := ds.net
+	q, err := buildQuery(req, net, s.cfg.Parallelism, cancel)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := mac.EngineFor(req.variant())
+	eng, err := mac.EngineFor(reqVariant(req))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	resp := &SearchResponse{Dataset: req.Dataset, Algo: req.algo()}
+	resp := &SearchResponse{Dataset: req.Dataset, Algo: reqAlgo(req)}
 
-	key := prepKey(req.Dataset, eng.Variant(), req.Q, req.K, req.T)
+	key := prepKey(req.Dataset, ds.gen, eng.Variant(), req.Q, req.K, req.T)
 	var p *mac.Prepared
 	var hit bool
 	for {
@@ -298,7 +356,7 @@ func (s *Server) run(req *SearchRequest, net *mac.Network, cancel <-chan struct{
 		resp.KTCoreSize = len(resp.KTCore)
 		return resp, nil
 	}
-	res, err := p.Search(q, req.searchOptions())
+	res, err := p.Search(q, reqSearchOptions(req))
 	if errors.Is(err, mac.ErrNoCommunity) {
 		resp.NoCommunity = true
 		return resp, nil
@@ -306,25 +364,8 @@ func (s *Server) run(req *SearchRequest, net *mac.Network, cancel <-chan struct{
 	if err != nil {
 		return nil, err
 	}
-	resp.fill(res, false)
+	fillResponse(resp, res, false)
 	return resp, nil
-}
-
-// Stats is the /v1/stats payload.
-type Stats struct {
-	UptimeSeconds     float64    `json:"uptime_seconds"`
-	Datasets          []string   `json:"datasets"`
-	Requests          int64      `json:"requests"`
-	Completed         int64      `json:"completed"`
-	Failed            int64      `json:"failed"`
-	RejectedSaturated int64      `json:"rejected_saturated"`
-	DeadlineExceeded  int64      `json:"deadline_exceeded"`
-	InFlight          int64      `json:"in_flight"`
-	Queued            int64      `json:"queued"`
-	MaxInFlight       int        `json:"max_in_flight"`
-	MaxQueue          int        `json:"max_queue"`
-	Cache             cacheStats `json:"cache"`
-	Latency           latStats   `json:"latency"`
 }
 
 // Stats snapshots the server counters.
@@ -344,61 +385,6 @@ func (s *Server) Stats() Stats {
 		Cache:             s.cache.stats(),
 		Latency:           s.lat.stats(),
 	}
-}
-
-// latencyRing keeps the most recent completed-request latencies for the
-// stats quantiles; a fixed window so the cost stays O(1) per request.
-type latencyRing struct {
-	mu    sync.Mutex
-	buf   [2048]float64
-	n     int // total recorded
-	count int64
-	sum   float64
-}
-
-func (r *latencyRing) record(ms float64) {
-	r.mu.Lock()
-	r.buf[r.n%len(r.buf)] = ms
-	r.n++
-	r.count++
-	r.sum += ms
-	r.mu.Unlock()
-}
-
-type latStats struct {
-	Count  int64   `json:"count"`
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-}
-
-func (r *latencyRing) stats() latStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := latStats{Count: r.count}
-	if r.count == 0 {
-		return out
-	}
-	out.MeanMs = r.sum / float64(r.count)
-	window := r.n
-	if window > len(r.buf) {
-		window = len(r.buf)
-	}
-	sorted := append([]float64(nil), r.buf[:window]...)
-	sort.Float64s(sorted)
-	out.P50Ms = quantile(sorted, 0.50)
-	out.P99Ms = quantile(sorted, 0.99)
-	return out
-}
-
-// quantile reads the q-th quantile from an ascending-sorted slice (nearest
-// rank).
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 // chanClosed reports whether c is closed; nil channels report false.

@@ -4,18 +4,29 @@
 // dataset id, in the hierarchical-partitioning spirit of the G-tree road
 // index (partition once, route cheaply ever after).
 //
-// A Router owns a fixed set of Backends and an immutable hash ring with
-// virtual nodes. Every /v1/search and /v1/ktcore request is routed to the
-// shard that owns its dataset (the ring makes ownership deterministic and
-// stable under shard-set changes: only ~1/n of datasets move when a shard
-// joins or leaves); /v1/healthz and /v1/stats fan out to every shard and
-// aggregate. A shard that cannot be reached answers its datasets' requests
-// with 502 and shows up as down in the aggregated health and stats — the
-// other shards keep serving.
+// A Router owns a fixed set of Backends and a hash ring with virtual nodes.
+// Dataset-scoped requests (/v1/datasets/{name}/...) are routed to the shard
+// that owns the dataset named in the URL — no body inspection at all; the
+// legacy body-addressed /v1/search and /v1/ktcore shims peek the dataset
+// from the body before forwarding. /v1/healthz and /v1/stats fan out to
+// every shard and aggregate; /v1/batch splits by owning shard, forwards the
+// sub-batches concurrently, and merges the per-item results in order. A
+// shard that cannot be reached answers its datasets' requests with 502 and
+// shows up as down in the aggregated health and stats — the other shards
+// keep serving.
+//
+// Ownership is dynamic: the ring gives every dataset a default owner, and
+// the dataset lifecycle (POST/DELETE /v1/datasets/{name}) maintains an
+// assignment table layered over it. A create is forwarded to the ring
+// owner — or to an explicitly pinned shard when the spec names one — and
+// recorded; a delete erases the record. Deleting a dataset and re-creating
+// it with a different pin therefore moves it between shards with no process
+// restart, while every other dataset keeps answering.
 //
 // The Router holds no query state of its own: all caching, admission
 // control, and deadline handling stay in the per-shard service tier, so the
-// routing layer adds one body peek and one hash per request.
+// routing layer adds one hash (and, for legacy requests, one body peek) per
+// request.
 package shard
 
 import (
@@ -32,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"roadsocial/client"
 	"roadsocial/internal/service"
 )
 
@@ -85,11 +97,23 @@ func (b *Local) Stats() (service.Stats, error) { return b.srv.Stats(), nil }
 func (b *Local) Datasets() ([]string, error) { return b.srv.Datasets(), nil }
 
 // Remote is a shard served by another macserver process, reached over HTTP.
+// Typed probes (stats, health) go through the public client SDK; the query
+// path streams the request through verbatim.
 type Remote struct {
-	name   string
-	base   string // e.g. "http://10.0.0.7:8080", no trailing slash
-	client *http.Client
+	name  string
+	base  string // e.g. "http://10.0.0.7:8080", no trailing slash
+	hc    *http.Client
+	api   *client.Client
+	token string
 }
+
+// RemoteOption configures a Remote backend.
+type RemoteOption func(*Remote)
+
+// WithToken makes the backend attach "Authorization: Bearer <token>" to
+// every call it originates (probes, and proxied requests that do not
+// already carry a token) — for peer macservers started with -auth-token.
+func WithToken(token string) RemoteOption { return func(b *Remote) { b.token = token } }
 
 // NewRemote creates a proxy backend for a macserver at baseURL. A nil
 // client selects one with no overall timeout: the per-request deadline
@@ -97,14 +121,21 @@ type Remote struct {
 // request is additionally canceled through its own context when the
 // originating client disconnects. Health and stats probes use a short
 // per-call timeout of their own.
-func NewRemote(name, baseURL string, client *http.Client) *Remote {
-	if client == nil {
-		client = &http.Client{}
+func NewRemote(name, baseURL string, hc *http.Client, opts ...RemoteOption) *Remote {
+	if hc == nil {
+		hc = &http.Client{}
 	}
 	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
 		baseURL = baseURL[:len(baseURL)-1]
 	}
-	return &Remote{name: name, base: baseURL, client: client}
+	b := &Remote{name: name, base: baseURL, hc: hc}
+	for _, o := range opts {
+		o(b)
+	}
+	// Probes are health checks: they must observe a down shard, not paper
+	// over it, so the SDK-level 502 retry is disabled.
+	b.api = client.New(baseURL, client.WithHTTPClient(hc), client.WithToken(b.token), client.WithRetries(0))
+	return b
 }
 
 // probeTimeout bounds the health and stats fan-out calls to a down shard.
@@ -118,13 +149,18 @@ func (b *Remote) Name() string { return b.name }
 // 502: the dataset's owner is down, which is not the client's fault and not
 // this process's either.
 func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.base+r.URL.Path, r.Body)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.base+r.URL.EscapedPath(), r.Body)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := b.client.Do(req)
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		req.Header.Set("Authorization", auth)
+	} else if b.token != "" {
+		req.Header.Set("Authorization", "Bearer "+b.token)
+	}
+	resp, err := b.hc.Do(req)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err))
 		return
@@ -140,61 +176,30 @@ func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.Copy(w, resp.Body)
 }
 
-// Stats implements Backend. The peer may itself be a routing tier (a
-// macserver with -shards > 1 serves the aggregated payload), so both the
-// leaf service shape and the router shape are accepted: a "totals" field
-// marks the latter.
+// Stats implements Backend through the SDK, which normalizes the leaf
+// service shape and the router shape (a peer may itself be a routing tier)
+// to one struct.
 func (b *Remote) Stats() (service.Stats, error) {
-	var st struct {
-		service.Stats
-		Totals *service.Stats `json:"totals"`
-	}
-	if err := b.getJSON("/v1/stats", &st); err != nil {
-		return service.Stats{}, err
-	}
-	if st.Totals != nil {
-		return *st.Totals, nil
-	}
-	return st.Stats, nil
-}
-
-// Datasets implements Backend via the remote health endpoint, accepting the
-// leaf service shape (top-level "datasets") and the router shape (per-shard
-// dataset lists) alike.
-func (b *Remote) Datasets() ([]string, error) {
-	var health struct {
-		Datasets []string `json:"datasets"`
-		Shards   []struct {
-			Datasets []string `json:"datasets"`
-		} `json:"shards"`
-	}
-	if err := b.getJSON("/v1/healthz", &health); err != nil {
-		return nil, err
-	}
-	out := health.Datasets
-	for _, sh := range health.Shards {
-		out = append(out, sh.Datasets...)
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-func (b *Remote) getJSON(path string, v any) error {
 	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	st, err := b.api.Stats(ctx)
 	if err != nil {
-		return err
+		return service.Stats{}, fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err)
 	}
-	resp, err := b.client.Do(req)
+	return *st, nil
+}
+
+// Datasets implements Backend via the remote health endpoint; the SDK
+// unions per-shard dataset lists when the peer is itself a router.
+func (b *Remote) Datasets() ([]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	h, err := b.api.Health(ctx)
 	if err != nil {
-		return fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err)
+		return nil, fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%w: %s (status %d)", ErrShardDown, b.name, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	sort.Strings(h.Datasets)
+	return h.Datasets, nil
 }
 
 // defaultVirtualNodes spreads each backend over this many ring points, which
@@ -207,12 +212,16 @@ type ringPoint struct {
 	idx  int
 }
 
-// Router partitions datasets over backends by consistent hashing and
-// serves the shard-aware /v1 API. It is immutable after NewRouter and safe
-// for concurrent use.
+// Router partitions datasets over backends by consistent hashing, layers a
+// mutable dataset-assignment table over the ring (maintained by the dataset
+// lifecycle), and serves the shard-aware /v1 API. Safe for concurrent use.
 type Router struct {
 	backends []Backend
+	byName   map[string]int
 	ring     []ringPoint
+
+	mu     sync.RWMutex
+	assign map[string]int // dataset -> backend index, when pinned off-ring
 }
 
 // NewRouter builds a router over the backends with vnodes virtual nodes per
@@ -226,13 +235,13 @@ func NewRouter(backends []Backend, vnodes int) (*Router, error) {
 	if vnodes <= 0 {
 		vnodes = defaultVirtualNodes
 	}
-	seen := make(map[string]bool, len(backends))
+	byName := make(map[string]int, len(backends))
 	ring := make([]ringPoint, 0, len(backends)*vnodes)
 	for i, b := range backends {
-		if seen[b.Name()] {
+		if _, dup := byName[b.Name()]; dup {
 			return nil, fmt.Errorf("shard: duplicate backend name %q", b.Name())
 		}
-		seen[b.Name()] = true
+		byName[b.Name()] = i
 		for v := 0; v < vnodes; v++ {
 			ring = append(ring, ringPoint{hash: ringHash(b.Name() + "#" + strconv.Itoa(v)), idx: i})
 		}
@@ -243,7 +252,12 @@ func NewRouter(backends []Backend, vnodes int) (*Router, error) {
 		}
 		return ring[i].idx < ring[j].idx
 	})
-	return &Router{backends: backends, ring: ring}, nil
+	return &Router{
+		backends: backends,
+		byName:   byName,
+		ring:     ring,
+		assign:   make(map[string]int),
+	}, nil
 }
 
 // ringHash is 64-bit FNV-1a followed by a murmur-style finalizer: stable
@@ -264,15 +278,27 @@ func ringHash(s string) uint64 {
 	return x
 }
 
-// OwnerIndex returns the index of the backend owning a dataset: the first
+// ringOwnerIndex returns the ring's default owner for a dataset: the first
 // ring point at or clockwise after the dataset's hash.
-func (rt *Router) OwnerIndex(dataset string) int {
+func (rt *Router) ringOwnerIndex(dataset string) int {
 	h := ringHash(dataset)
 	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
 	if i == len(rt.ring) {
 		i = 0
 	}
 	return rt.ring[i].idx
+}
+
+// OwnerIndex returns the index of the backend owning a dataset: the pinned
+// assignment when the lifecycle recorded one, otherwise the ring owner.
+func (rt *Router) OwnerIndex(dataset string) int {
+	rt.mu.RLock()
+	idx, pinned := rt.assign[dataset]
+	rt.mu.RUnlock()
+	if pinned {
+		return idx
+	}
+	return rt.ringOwnerIndex(dataset)
 }
 
 // Owner returns the backend owning a dataset.
@@ -284,21 +310,79 @@ func (rt *Router) Owner(dataset string) Backend {
 // not mutate the result.
 func (rt *Router) Backends() []Backend { return rt.backends }
 
-// Handler returns the shard-aware HTTP API: /v1/search and /v1/ktcore are
-// proxied to the dataset's owning shard; /v1/healthz and /v1/stats fan out
-// to every shard and aggregate.
+// pin records an off-ring assignment (a create that landed somewhere the
+// ring would not put it); on-ring assignments need no record.
+func (rt *Router) pin(dataset string, idx int) {
+	rt.mu.Lock()
+	if idx == rt.ringOwnerIndex(dataset) {
+		delete(rt.assign, dataset)
+	} else {
+		rt.assign[dataset] = idx
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *Router) unpin(dataset string) {
+	rt.mu.Lock()
+	delete(rt.assign, dataset)
+	rt.mu.Unlock()
+}
+
+// SyncAssignments rebuilds the assignment table from the backends' actual
+// dataset lists, pinning every dataset found living off its ring owner.
+// The table is in-memory, so a routing tier that restarts over long-lived
+// peers calls this at startup (cmd/macserver -peers does) — otherwise
+// datasets moved before the restart would route to their ring owner and
+// 404 there. Unreachable backends are skipped: their datasets re-sync on
+// the next call. It returns the number of off-ring pins recorded.
+func (rt *Router) SyncAssignments() int {
+	pins := 0
+	var mu sync.Mutex
+	rt.fanOut(func(i int, b Backend) {
+		ds, err := b.Datasets()
+		if err != nil {
+			return
+		}
+		for _, d := range ds {
+			if rt.ringOwnerIndex(d) != i {
+				rt.pin(d, i)
+				mu.Lock()
+				pins++
+				mu.Unlock()
+			}
+		}
+	})
+	return pins
+}
+
+// Handler returns the shard-aware HTTP API: dataset-scoped routes go to the
+// owning shard by URL, the legacy body-addressed shims by body peek, batch
+// splits across shards, and healthz/stats fan out to every shard.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/search", rt.route)
-	mux.HandleFunc("POST /v1/ktcore", rt.route)
+	mux.HandleFunc("POST /v1/datasets/{name}/search", rt.routeDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/ktcore", rt.routeDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}", rt.serveCreateDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", rt.serveDeleteDataset)
+	mux.HandleFunc("POST /v1/batch", rt.serveBatch)
+	mux.HandleFunc("POST /v1/search", rt.routeLegacy)
+	mux.HandleFunc("POST /v1/ktcore", rt.routeLegacy)
 	mux.HandleFunc("GET /v1/healthz", rt.serveHealthz)
 	mux.HandleFunc("GET /v1/stats", rt.serveStats)
 	return mux
 }
 
-// route peeks the dataset from the request body, restores the body, and
-// hands the request to the owning shard.
-func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+// routeDataset hands a dataset-scoped request to the owning shard. The URL
+// names the dataset, so the body streams through untouched.
+func (rt *Router) routeDataset(w http.ResponseWriter, r *http.Request) {
+	rt.Owner(r.PathValue("name")).ServeAPI(w, r)
+}
+
+// routeLegacy is the compat shim for the body-addressed endpoints: peek the
+// dataset from the request body, restore the body, and forward under the
+// original URL (the shard service keeps its own legacy shims, so the
+// response is byte-identical to the pre-resource API).
+func (rt *Router) routeLegacy(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -318,6 +402,241 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	r.ContentLength = int64(len(body))
 	rt.Owner(peek.Dataset).ServeAPI(w, r)
+}
+
+// serveCreateDataset registers a dataset on the shard that should own it —
+// the spec's pin when present, an existing assignment, or the ring owner —
+// and records the placement on success, so every later request routes to
+// where the dataset actually lives.
+func (rt *Router) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dataset spec: %w", err))
+		return
+	}
+	var spec client.DatasetSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dataset spec: %w", err))
+		return
+	}
+	cur := rt.OwnerIndex(name)
+	idx := cur
+	if spec.Shard != "" {
+		pinned, ok := rt.byName[spec.Shard]
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown shard %q", spec.Shard))
+			return
+		}
+		idx = pinned
+	}
+	if idx != cur {
+		// A pin that diverges from the current owner must not mint a second
+		// copy of a dataset that is already live there: the target shard
+		// cannot see the duplicate, so the router checks the owner itself.
+		// An unreachable owner refuses the create — minting a copy now
+		// would leave a stale twin serving once the owner recovers.
+		ds, err := rt.backends[cur].Datasets()
+		if err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf(
+				"cannot verify %q is absent from its current owner %s: %v",
+				name, rt.backends[cur].Name(), err))
+			return
+		}
+		for _, d := range ds {
+			if d == name {
+				writeError(w, http.StatusConflict, fmt.Errorf(
+					"dataset %q already registered on shard %s; delete it before re-creating elsewhere",
+					name, rt.backends[cur].Name()))
+				return
+			}
+		}
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	rec := newRecorder()
+	rt.backends[idx].ServeAPI(rec, r)
+	if rec.code == http.StatusCreated {
+		rt.pin(name, idx)
+		// Stamp the placement into the response so the caller learns where
+		// the dataset landed.
+		var info client.DatasetInfo
+		if json.Unmarshal(rec.body.Bytes(), &info) == nil {
+			info.Shard = rt.backends[idx].Name()
+			writeJSON(w, rec.code, info)
+			return
+		}
+	}
+	rec.replay(w)
+}
+
+// serveDeleteDataset forwards the delete to the owning shard and erases the
+// assignment on success; re-creating the dataset afterwards (optionally
+// pinned elsewhere) is how a dataset moves without a restart.
+func (rt *Router) serveDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rec := newRecorder()
+	rt.Owner(name).ServeAPI(rec, r)
+	if rec.code/100 == 2 {
+		rt.unpin(name)
+	}
+	rec.replay(w)
+}
+
+// serveBatch splits a batch by owning shard, forwards the sub-batches
+// concurrently, and merges the per-item results back in request order. A
+// whole sub-batch that fails (shard down, saturated) becomes that status on
+// each of its items — one shard's trouble never fails another shard's
+// items. When every item lands on one shard the original body streams
+// through, so a single-shard deployment keeps the leaf semantics exactly.
+func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var req client.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Items) > service.MaxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d batch items exceed the limit of %d", len(req.Items), service.MaxBatchItems))
+		return
+	}
+
+	results := make([]client.BatchItemResult, len(req.Items))
+	groups := make(map[int][]int) // backend index -> original item indices
+	for i := range req.Items {
+		ds := req.Items[i].Dataset
+		if ds == "" {
+			results[i] = client.BatchItemResult{Status: http.StatusBadRequest, Error: "missing dataset"}
+			continue
+		}
+		idx := rt.OwnerIndex(ds)
+		groups[idx] = append(groups[idx], i)
+	}
+	if len(groups) == 1 && len(groups[firstKey(groups)]) == len(req.Items) {
+		// Single owner and no locally rejected items: stream through.
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+		rt.backends[firstKey(groups)].ServeAPI(w, r)
+		return
+	}
+
+	var wg sync.WaitGroup
+	for idx, items := range groups {
+		wg.Add(1)
+		go func(idx int, items []int) {
+			defer wg.Done()
+			rt.forwardSubBatch(r, &req, idx, items, results)
+		}(idx, items)
+	}
+	wg.Wait()
+
+	out := client.BatchResponse{Items: results}
+	for i := range results {
+		if results[i].Status == http.StatusOK {
+			out.OK++
+		} else {
+			out.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// forwardSubBatch sends the items owned by one backend as a batch of their
+// own and scatters the answers back into the original positions.
+func (rt *Router) forwardSubBatch(r *http.Request, req *client.BatchRequest, idx int, items []int, results []client.BatchItemResult) {
+	sub := client.BatchRequest{TimeoutMs: req.TimeoutMs, Items: make([]client.BatchItem, len(items))}
+	for si, oi := range items {
+		sub.Items[si] = req.Items[oi]
+	}
+	subBody, err := json.Marshal(&sub)
+	if err != nil {
+		fillGroupError(results, items, http.StatusInternalServerError, err.Error())
+		return
+	}
+	fwd, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "/v1/batch", bytes.NewReader(subBody))
+	if err != nil {
+		fillGroupError(results, items, http.StatusInternalServerError, err.Error())
+		return
+	}
+	fwd.Header.Set("Content-Type", "application/json")
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		fwd.Header.Set("Authorization", auth)
+	}
+	rec := newRecorder()
+	rt.backends[idx].ServeAPI(rec, fwd)
+	if rec.code != http.StatusOK {
+		msg := errorMessage(rec.body.Bytes())
+		if msg == "" {
+			msg = fmt.Sprintf("shard %s answered %d", rt.backends[idx].Name(), rec.code)
+		}
+		fillGroupError(results, items, rec.code, msg)
+		return
+	}
+	var subResp client.BatchResponse
+	if err := json.Unmarshal(rec.body.Bytes(), &subResp); err != nil || len(subResp.Items) != len(items) {
+		fillGroupError(results, items, http.StatusBadGateway,
+			fmt.Sprintf("shard %s: malformed batch response", rt.backends[idx].Name()))
+		return
+	}
+	for si, oi := range items {
+		results[oi] = subResp.Items[si]
+	}
+}
+
+func fillGroupError(results []client.BatchItemResult, items []int, status int, msg string) {
+	for _, oi := range items {
+		results[oi] = client.BatchItemResult{Status: status, Error: msg}
+	}
+}
+
+func errorMessage(body []byte) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(body, &eb)
+	return eb.Error
+}
+
+func firstKey(m map[int][]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+
+// recorder captures a forwarded response so the router can inspect the
+// status (lifecycle bookkeeping) or re-scatter the body (batch merge)
+// before anything reaches the client.
+type recorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{code: http.StatusOK, header: http.Header{}} }
+
+func (rec *recorder) Header() http.Header         { return rec.header }
+func (rec *recorder) WriteHeader(code int)        { rec.code = code }
+func (rec *recorder) Write(p []byte) (int, error) { return rec.body.Write(p) }
+
+// replay copies the captured response to the real writer.
+func (rec *recorder) replay(w http.ResponseWriter) {
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.code)
+	_, _ = w.Write(rec.body.Bytes())
 }
 
 // ShardHealth is one shard's slice of the aggregated health payload.
@@ -368,9 +687,10 @@ type ShardStats struct {
 }
 
 // Stats is the aggregated /v1/stats payload: summed counters over the
-// reachable shards plus the per-shard breakdown. Latency quantiles are not
-// mergeable across shards, so Totals reports the request-weighted mean and
-// the worst per-shard p50/p99.
+// reachable shards plus the per-shard breakdown. Latency histograms share
+// one fixed log-scale bucket schema, so they merge by addition and the
+// fleet p50/p99 in Totals are true quantiles (within one bucket width) —
+// not the worst per-shard value.
 type Stats struct {
 	Shards   int           `json:"shards"`
 	Down     int           `json:"down"`
@@ -394,7 +714,8 @@ func (rt *Router) Stats() Stats {
 	})
 	out := Stats{Shards: len(per), PerShard: per}
 	datasets := make(map[string]bool)
-	var latWeighted float64
+	var worstP50, worstP99 float64
+	bucketless := false
 	for _, ss := range per {
 		if !ss.Ok {
 			out.Down++
@@ -426,17 +747,25 @@ func (rt *Router) Stats() Stats {
 		tot.Cache.Coalesced += st.Cache.Coalesced
 		tot.Cache.Evictions += st.Cache.Evictions
 		tot.Cache.Expirations += st.Cache.Expirations
-		tot.Latency.Count += st.Latency.Count
-		latWeighted += st.Latency.MeanMs * float64(st.Latency.Count)
-		if st.Latency.P50Ms > tot.Latency.P50Ms {
-			tot.Latency.P50Ms = st.Latency.P50Ms
+		tot.Latency.Merge(st.Latency)
+		if st.Latency.Count > 0 && len(st.Latency.Buckets) == 0 {
+			bucketless = true
 		}
-		if st.Latency.P99Ms > tot.Latency.P99Ms {
-			tot.Latency.P99Ms = st.Latency.P99Ms
+		if st.Latency.P50Ms > worstP50 {
+			worstP50 = st.Latency.P50Ms
+		}
+		if st.Latency.P99Ms > worstP99 {
+			worstP99 = st.Latency.P99Ms
 		}
 	}
-	if out.Totals.Latency.Count > 0 {
-		out.Totals.Latency.MeanMs = latWeighted / float64(out.Totals.Latency.Count)
+	if bucketless && out.Totals.Latency.Count > 0 {
+		// Any peer predating the histogram schema poisons the merged
+		// quantiles (its requests count toward the total but not toward
+		// the buckets), so the whole fleet falls back to the conservative
+		// worst-of approximation rather than reporting quantiles over a
+		// subset of the traffic.
+		out.Totals.Latency.P50Ms = worstP50
+		out.Totals.Latency.P99Ms = worstP99
 	}
 	for d := range datasets {
 		out.Totals.Datasets = append(out.Totals.Datasets, d)
