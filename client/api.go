@@ -7,20 +7,30 @@
 //
 // The resource-oriented API (v1):
 //
-//	POST   /v1/datasets/{name}          register a dataset from an on-disk spec
-//	DELETE /v1/datasets/{name}          unregister a dataset
-//	POST   /v1/datasets/{name}/search   MAC search against one dataset
-//	POST   /v1/datasets/{name}/ktcore   maximal cohesive-subgraph membership
-//	POST   /v1/batch                    N heterogeneous requests, one admission
-//	GET    /v1/healthz                  liveness + registered datasets
-//	GET    /v1/stats                    counters, cache, latency histogram
+//	POST   /v1/datasets/{name}           register a dataset from an on-disk spec
+//	POST   /v1/datasets/{name}?async=1   the same, as a 202 job resource
+//	DELETE /v1/datasets/{name}           unregister a dataset
+//	POST   /v1/datasets/{name}/search    MAC search against one dataset
+//	POST   /v1/datasets/{name}/ktcore    maximal cohesive-subgraph membership
+//	GET    /v1/datasets/{name}/snapshot  export the built dataset as a snapshot
+//	PUT    /v1/datasets/{name}/snapshot  register from an uploaded snapshot
+//	POST   /v1/datasets/{name}/move     (router) move a dataset between shards
+//	GET    /v1/jobs/{id}                 poll a control-plane job
+//	GET    /v1/jobs                      list control-plane jobs
+//	DELETE /v1/jobs/{id}                 cancel a control-plane job
+//	POST   /v1/batch                     N heterogeneous requests, one admission
+//	GET    /v1/healthz                   liveness + registered datasets
+//	GET    /v1/stats                     counters, cache, latency histogram
 //
 // POST /v1/search and /v1/ktcore remain as compatibility shims over the
 // dataset-scoped endpoints: they read the dataset from the request body and
 // answer byte-identically to the pre-resource API.
 package client
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // Algo names the search algorithm of a request.
 type Algo string
@@ -45,6 +55,72 @@ const (
 	OpSearch = "search"
 	OpKTCore = "ktcore"
 )
+
+// Machine-readable error codes carried in every error body alongside the
+// message ({"error": "...", "code": "..."}), so callers branch on the code
+// instead of string-matching messages. APIError.Code carries them; servers
+// predating the field map onto a code derived from the HTTP status.
+const (
+	CodeInvalid      = "invalid"       // 400
+	CodeUnauthorized = "unauthorized"  // 401
+	CodeNotFound     = "not_found"     // 404
+	CodeConflict     = "conflict"      // 409
+	CodeSaturated    = "saturated"     // 429
+	CodeShardDown    = "shard_down"    // 502
+	CodeDeadline     = "deadline"      // 504
+	CodeInternal     = "internal"      // anything else
+)
+
+// Job states. A job moves pending → running → done or failed; canceling a
+// pending job fails it immediately, canceling a running one asks its work
+// to stop at the next phase boundary.
+const (
+	JobPending = "pending"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// Job kinds.
+const (
+	JobKindCreate = "create"
+	JobKindMove   = "move"
+)
+
+// Job is an asynchronous control-plane operation as a pollable resource:
+// POST /v1/datasets/{name}?async=1 and POST /v1/datasets/{name}/move answer
+// 202 with one, and GET /v1/jobs/{id} tracks it to completion.
+type Job struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`    // "create" or "move"
+	Dataset string `json:"dataset"` // the dataset the job operates on
+	State   string `json:"state"`   // pending, running, done, failed
+	// Progress names the phase a running job is in (e.g. "loading",
+	// "snapshot", "cutover").
+	Progress string `json:"progress,omitempty"`
+	// Error is set when State is failed.
+	Error string `json:"error,omitempty"`
+	// Result describes the dataset on success (create and move jobs).
+	Result *DatasetInfo `json:"result,omitempty"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// Done reports whether the job has settled (done or failed).
+func (j *Job) Done() bool { return j.State == JobDone || j.State == JobFailed }
+
+// MoveRequest is the body of POST /v1/datasets/{name}/move: the shard the
+// dataset should live on next. Only the shard router serves moves.
+type MoveRequest struct {
+	Shard string `json:"shard"`
+}
+
+// JobList is the body of GET /v1/jobs.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
 
 // RegionSpec is the JSON form of an axis-parallel preference region
 // [lo, hi] in the reduced (d-1)-dimensional weight domain.
@@ -129,8 +205,8 @@ type SearchResponse struct {
 // DatasetSpec tells the server how to materialize a dataset for
 // POST /v1/datasets/{name}. Exactly one source must be set: the four file
 // paths (resolved on the server's disk, in the cmd/macsearch text formats),
-// or a synthetic catalog name (available when the server wires the
-// experiment harness in, as cmd/macserver does).
+// a synthetic catalog name (available when the server wires the experiment
+// harness in, as cmd/macserver does), or a snapshot path.
 type DatasetSpec struct {
 	// File-backed source.
 	Social string `json:"social,omitempty"`
@@ -144,7 +220,15 @@ type DatasetSpec struct {
 	D         int    `json:"d,omitempty"`
 	Seed      int64  `json:"seed,omitempty"`
 
-	// GTree indexes the road network after loading.
+	// Snapshot loads the dataset from an on-disk index snapshot (written by
+	// Server.SaveSnapshot, GET /v1/datasets/{name}/snapshot, or macsearch
+	// -save-snapshot; path resolved on the server's disk). Registration cost
+	// is then I/O plus linear decoding — the G-tree inside the snapshot is
+	// loaded, not rebuilt.
+	Snapshot string `json:"snapshot,omitempty"`
+
+	// GTree indexes the road network after loading. Snapshot-backed specs
+	// ignore it: the snapshot either carries the built index or it doesn't.
 	GTree bool `json:"gtree,omitempty"`
 
 	// Shard pins the dataset to a named shard. Only the shard router
@@ -179,6 +263,12 @@ type BatchRequest struct {
 	Items []BatchItem `json:"items"`
 	// TimeoutMs bounds the whole batch; 0 selects the server default.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Parallel opts the batch into intra-batch parallelism: items run on
+	// extra workers, but only as many as the server's admission semaphore
+	// has free slots at that moment — a parallel batch can never exceed the
+	// in-flight budget, and on a busy server it degrades to the sequential
+	// path. Results stay in request order.
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 // BatchItemResult is one item's outcome. Status carries the HTTP code the

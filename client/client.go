@@ -13,15 +13,17 @@ import (
 	"time"
 )
 
-// APIError is a non-2xx answer from the service, carrying the HTTP status
-// and the server's {"error": "..."} message.
+// APIError is a non-2xx answer from the service, carrying the HTTP status,
+// the machine-readable code (see the Code* constants), and the server's
+// human-readable message.
 type APIError struct {
 	Status  int
+	Code    string
 	Message string
 }
 
 func (e *APIError) Error() string {
-	return fmt.Sprintf("api error %d: %s", e.Status, e.Message)
+	return fmt.Sprintf("api error %d (%s): %s", e.Status, e.Code, e.Message)
 }
 
 // StatusOf extracts the HTTP status of an error returned by a Client call:
@@ -32,6 +34,49 @@ func StatusOf(err error) int {
 		return ae.Status
 	}
 	return 0
+}
+
+// CodeOf extracts the machine-readable code of an error returned by a
+// Client call, or "" for transport-level failures.
+func CodeOf(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
+// IsConflict reports whether err is the typed 409 answer — e.g.
+// CreateDataset on a name that is already registered.
+func IsConflict(err error) bool { return CodeOf(err) == CodeConflict }
+
+// IsNotFound reports whether err is the typed 404 answer — e.g.
+// DeleteDataset of a dataset the server does not hold.
+func IsNotFound(err error) bool { return CodeOf(err) == CodeNotFound }
+
+// CodeForStatus maps an HTTP status onto its wire error code. Servers use
+// it to emit the canonical {"error", "code"} body, and the SDK uses it to
+// derive a code for answers from servers that predate the field — one
+// table, every tier.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalid
+	case http.StatusUnauthorized:
+		return CodeUnauthorized
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusTooManyRequests:
+		return CodeSaturated
+	case http.StatusBadGateway:
+		return CodeShardDown
+	case http.StatusGatewayTimeout:
+		return CodeDeadline
+	default:
+		return CodeInternal
+	}
 }
 
 // Client is the typed SDK over the v1 API. It works identically against a
@@ -118,14 +163,165 @@ func (c *Client) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, 
 }
 
 // CreateDataset registers a dataset from an on-disk spec via
-// POST /v1/datasets/{name}. Registering an existing name answers 409.
-// Never retried: the call mutates server state.
+// POST /v1/datasets/{name}. Registering an existing name answers a typed
+// conflict (IsConflict(err) is true). Never retried: the call mutates
+// server state.
 func (c *Client) CreateDataset(ctx context.Context, name string, spec *DatasetSpec) (*DatasetInfo, error) {
 	var info DatasetInfo
 	if err := c.do(ctx, http.MethodPost, c.datasetPath(name), spec, &info, false); err != nil {
 		return nil, err
 	}
 	return &info, nil
+}
+
+// CreateDatasetAsync submits the registration as a job resource via
+// POST /v1/datasets/{name}?async=1: the server answers 202 immediately and
+// materializes the spec in the background. Poll the returned job with Job
+// or WaitJob. Never retried.
+func (c *Client) CreateDatasetAsync(ctx context.Context, name string, spec *DatasetSpec) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodPost, c.datasetPath(name)+"?async=1", spec, &job, false); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// MoveDataset asks a shard router to move a dataset to the named shard via
+// POST /v1/datasets/{name}/move (202 + job): the router copies the dataset
+// to the target from a snapshot while the source keeps serving, flips the
+// assignment atomically, then deletes the source copy — concurrent readers
+// see no error window. Never retried.
+func (c *Client) MoveDataset(ctx context.Context, name, shard string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodPost, c.datasetPath(name)+"/move", &MoveRequest{Shard: shard}, &job, false); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Job fetches one job resource via GET /v1/jobs/{id}.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &job, true); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Jobs lists the server's job resources via GET /v1/jobs.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var list JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &list, true); err != nil {
+		return nil, err
+	}
+	return list.Jobs, nil
+}
+
+// CancelJob cancels a job via DELETE /v1/jobs/{id}: a pending job fails
+// immediately, a running one is asked to stop at its next phase boundary.
+// The returned job reflects the state at the time of the call.
+func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &job, false); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// WaitJob polls a job until it settles (done or failed), the context
+// expires, or a poll fails. interval <= 0 selects 50ms. A failed job
+// returns the job alongside a non-nil error carrying the job's message.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*Job, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Done() {
+			if job.State == JobFailed {
+				return job, fmt.Errorf("job %s failed: %s", id, job.Error)
+			}
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// SaveSnapshot streams the built dataset — graphs, locations, and index —
+// to w via GET /v1/datasets/{name}/snapshot. The bytes are the versioned,
+// checksummed snapshot format; feed them to CreateDatasetFromSnapshot or a
+// spec's "snapshot" path.
+func (c *Client) SaveSnapshot(ctx context.Context, name string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.datasetPath(name)+"/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// CreateDatasetFromSnapshot registers a dataset from snapshot bytes
+// uploaded in the request body via PUT /v1/datasets/{name}/snapshot —
+// registration costs I/O, not index construction. Never retried.
+func (c *Client) CreateDatasetFromSnapshot(ctx context.Context, name string, r io.Reader) (*DatasetInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+c.datasetPath(name)+"/snapshot", r)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeAPIError(resp)
+	}
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// decodeAPIError reads a non-2xx body into the typed error, deriving the
+// code from the status when the server predates the code field.
+func decodeAPIError(resp *http.Response) *APIError {
+	var eb struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+	if eb.Error == "" {
+		eb.Error = http.StatusText(resp.StatusCode)
+	}
+	if eb.Code == "" {
+		eb.Code = CodeForStatus(resp.StatusCode)
+	}
+	return &APIError{Status: resp.StatusCode, Code: eb.Code, Message: eb.Error}
 }
 
 // DeleteDataset unregisters a dataset via DELETE /v1/datasets/{name}.
@@ -235,15 +431,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
-		if eb.Error == "" {
-			eb.Error = http.StatusText(resp.StatusCode)
-		}
-		return resp.StatusCode == http.StatusBadGateway,
-			&APIError{Status: resp.StatusCode, Message: eb.Error}
+		return resp.StatusCode == http.StatusBadGateway, decodeAPIError(resp)
 	}
 	if out == nil {
 		return false, nil

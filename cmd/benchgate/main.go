@@ -24,6 +24,12 @@
 // per-item cost of a batched warm membership request must be below the
 // same request sent standalone (metric batch_amortization > 1) — one
 // admission and one round trip amortized over the items.
+//
+// -require-snapshot-speedup asserts the control-plane invariant of the
+// snapshot format: registering a dataset from its snapshot must be faster
+// than building it from the spec (metrics register_snapshot_ms <
+// register_build_ms) — register time proportional to I/O, not G-tree
+// construction.
 package main
 
 import (
@@ -91,6 +97,7 @@ func main() {
 		minSeconds = flag.Float64("min-seconds", 0.05, "baselines below this never gate (noise)")
 		warmCheck  = flag.Bool("require-warm-speedup", false, "assert the new service_latency point shows warm < cold and saturation 429s")
 		batchCheck = flag.Bool("require-batch-amortization", false, "assert the new service_latency point shows batched per-item cost below standalone (batch_amortization > 1)")
+		snapCheck  = flag.Bool("require-snapshot-speedup", false, "assert the new service_latency point shows snapshot register-time below build register-time")
 	)
 	flag.Parse()
 	if *oldPaths == "" || *newPaths == "" {
@@ -182,6 +189,26 @@ func main() {
 		}
 		if !ok {
 			fmt.Fprintln(os.Stderr, "benchgate: -require-batch-amortization set but no service_latency record with metrics in -new")
+			failed = true
+		}
+	}
+	if *snapCheck {
+		ok := false
+		for _, n := range news {
+			if n.Experiment != "service_latency" || n.Metrics == nil {
+				continue
+			}
+			ok = true
+			build, snap := n.Metrics["register_build_ms"], n.Metrics["register_snapshot_ms"]
+			if !(snap > 0 && build > snap) {
+				fmt.Fprintf(os.Stderr, "benchgate: snapshot register %.3fms not below build register %.3fms\n", snap, build)
+				failed = true
+			} else {
+				fmt.Printf("register from snapshot: %.3fms vs %.3fms build (%.1fx speedup)\n", snap, build, build/snap)
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchgate: -require-snapshot-speedup set but no service_latency record with metrics in -new")
 			failed = true
 		}
 	}

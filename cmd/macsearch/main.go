@@ -56,6 +56,9 @@ func main() {
 		synSide    = flag.Int("syn-side", 40, "synthetic: road grid side")
 		seed       = flag.Int64("seed", 1, "synthetic seed")
 
+		snapPath = flag.String("snapshot", "", "load the network from an index snapshot instead of text files (see -save-snapshot)")
+		saveSnap = flag.String("save-snapshot", "", "after loading/generating (and -gtree indexing), write the network to this snapshot file; exits unless -q is given")
+
 		qFlag   = flag.String("q", "", "comma-separated query vertex ids")
 		qSize   = flag.Int("q-size", 4, "synthetic: query set size (when -q empty)")
 		k       = flag.Int("k", 4, "coreness threshold")
@@ -84,7 +87,14 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	var net *roadsocial.Network
 	var err error
-	if *synthetic || *socialPath == "" {
+	if *snapPath != "" {
+		net, err = dataset.ReadSnapshotFile(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot %s: %d users, %d friendships, %d road vertices\n",
+			*snapPath, net.Social.N(), net.Social.M(), net.Road.N())
+	} else if *synthetic || *socialPath == "" {
 		cfg := gen.NetworkConfig{
 			Social: gen.SocialConfig{
 				N: *synN, D: *synD, AttachEdges: 4,
@@ -104,8 +114,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *useGT {
+	if *useGT && net.Oracle == nil {
 		net.Oracle = roadsocial.BuildGTree(net.Road, 0)
+	}
+	if *saveSnap != "" {
+		// Snapshot tooling: build once (text files or synthetic, plus the
+		// G-tree), serialize, and let every later run — or a macserver spec
+		// with "snapshot" — load it in I/O time.
+		if err := dataset.WriteSnapshotFile(*saveSnap, net); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot written to %s\n", *saveSnap)
+		if *qFlag == "" {
+			return
+		}
 	}
 
 	var reg *roadsocial.Region

@@ -21,6 +21,23 @@
 //	curl -X POST localhost:8080/v1/datasets/demo -d '{"synthetic": "SF+Slashdot", "scale": "small"}'
 //	curl -X DELETE localhost:8080/v1/datasets/demo
 //
+// Long-running control-plane work runs asynchronously as job resources:
+// POST /v1/datasets/{name}?async=1 answers 202 immediately and builds in
+// the background; POST /v1/datasets/{name}/move relocates a dataset between
+// shards with a copy-then-cutover (snapshot to the target, atomic routing
+// flip, drain, delete — concurrent queries never see an error window); and
+// GET /v1/jobs/{id} polls either. Built datasets export and import as
+// versioned, checksummed snapshots (GET/PUT /v1/datasets/{name}/snapshot,
+// or a spec's "snapshot" path), so re-registering costs I/O, not G-tree
+// construction. With -assignments-file the router's placement table
+// survives restarts:
+//
+//	curl -X POST "localhost:8080/v1/datasets/demo?async=1" -d '{"synthetic": "SF+Slashdot"}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -X POST localhost:8080/v1/datasets/demo/move -d '{"shard": "shard-2"}'
+//	curl -s localhost:8080/v1/datasets/demo/snapshot -o demo.snap
+//	curl -X PUT --data-binary @demo.snap localhost:8081/v1/datasets/demo/snapshot
+//
 // With -shards=N the process runs N service instances and partitions the
 // datasets across them by consistent hashing on the dataset name
 // (internal/shard); dataset-scoped requests route to the owning shard by
@@ -104,8 +121,10 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "per-search workers; 0 = GOMAXPROCS")
 		authToken   = flag.String("auth-token", "", "shared secret: require 'Authorization: Bearer <token>' on all /v1 routes and forward it to -peers")
 
-		shards = flag.Int("shards", 1, "in-process service shards; datasets partition across them by consistent hashing")
-		peers  = flag.String("peers", "", "comma-separated base URLs of remote macserver shards; when set, this process only routes")
+		shards      = flag.Int("shards", 1, "in-process service shards; datasets partition across them by consistent hashing")
+		peers       = flag.String("peers", "", "comma-separated base URLs of remote macserver shards; when set, this process only routes")
+		assignFile  = flag.String("assignments-file", "", "persist the router's dataset-assignment table to this file, so moves survive a restart")
+		resyncEvery = flag.Duration("resync-interval", 15*time.Second, "background assignment re-sync period for -peers routers (recovered peers are re-adopted within one period); 0 disables")
 	)
 	flag.Parse()
 
@@ -138,11 +157,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// The peers may already hold datasets moved off their ring owners
-		// before this router existed; rebuild the assignment table from
-		// their actual dataset lists so nothing routes into a 404.
+		// Persisted assignments come first (a restart knows where it left
+		// the datasets even while a peer is down), then a live sync against
+		// the peers' actual lists. A peer that is down right now is marked
+		// and re-synced by the background prober — or by any health/stats
+		// probe — the moment it answers again.
+		if *assignFile != "" {
+			if n, err := router.PersistAssignments(*assignFile); err != nil {
+				log.Fatal(err)
+			} else if n > 0 {
+				log.Printf("loaded %d dataset assignment(s) from %s", n, *assignFile)
+			}
+		}
 		if pins := router.SyncAssignments(); pins > 0 {
 			log.Printf("recovered %d off-ring dataset assignment(s) from peers", pins)
+		}
+		if *resyncEvery > 0 {
+			stop := router.StartProber(*resyncEvery)
+			defer stop()
 		}
 		log.Printf("macserver routing to %d remote shards", len(backends))
 		serve(*addr, service.RequireAuth(*authToken, router.Handler()))
@@ -161,6 +193,16 @@ func main() {
 	router, err := shard.NewRouter(backends, 0)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// With persistence, startup dataset placement below goes through
+	// OwnerIndex and therefore honors assignments from the previous run:
+	// a dataset moved to shard-2 comes back on shard-2.
+	if *assignFile != "" {
+		if n, err := router.PersistAssignments(*assignFile); err != nil {
+			log.Fatal(err)
+		} else if n > 0 {
+			log.Printf("loaded %d dataset assignment(s) from %s", n, *assignFile)
+		}
 	}
 	// addDataset registers a startup network on the shard that owns its
 	// name; runtime registrations flow through POST /v1/datasets/{name}.
@@ -231,10 +273,11 @@ func main() {
 
 // specLoader resolves POST /v1/datasets/{name} specs: synthetic catalog
 // names through the experiment harness (with the server's flag defaults for
-// scale/d/seed), file-backed specs through the default loader.
+// scale/d/seed), snapshot- and file-backed specs through the default
+// loader (a snapshot wins when both are named: loading beats rebuilding).
 func specLoader(defaultScale string, defaultD int, defaultSeed int64) func(string, *service.DatasetSpec) (*roadsocial.Network, error) {
 	return func(name string, spec *service.DatasetSpec) (*roadsocial.Network, error) {
-		if spec.Synthetic == "" {
+		if spec.Snapshot != "" || spec.Synthetic == "" {
 			return service.LoadSpecFiles(name, spec)
 		}
 		dspec, err := exp.DatasetByName(spec.Synthetic)

@@ -1,0 +1,284 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"roadsocial/internal/mac"
+	"roadsocial/internal/road"
+	"roadsocial/internal/social"
+)
+
+// Snapshot is the on-disk form of a fully-built dataset: the social graph
+// (edges, attributes, labels), the road graph, the user locations, and —
+// when the network carries one — the built G-tree index. Registering from a
+// snapshot costs I/O plus linear decoding, not index construction: the
+// G-tree of Zhong et al. (TKDE 2015) is built once, serialized, and loaded
+// ever after, which is exactly the register-time profile a control plane
+// wants for dataset moves and restarts.
+//
+// Wire layout:
+//
+//	magic   "RSNAPv1\n" (8 bytes — the version lives in the magic)
+//	length  payload byte count (uint64 LE)
+//	crc32   IEEE checksum of the payload (uint32 LE)
+//	payload social | road | locations | gtree sections
+//
+// Floats are stored as raw IEEE-754 bits, so a loaded network is
+// bit-identical to the one serialized: searches against it return
+// byte-identical results. The checksum catches truncated or corrupted
+// files before any of the payload is trusted.
+
+// snapshotMagic identifies version 1 of the format. A format change bumps
+// the version inside the magic, so old readers fail loudly on new files.
+const snapshotMagic = "RSNAPv1\n"
+
+// maxSnapshotPayload caps how much a reader will allocate for one snapshot
+// (1 GiB): a corrupted length field must not OOM the server.
+const maxSnapshotPayload = 1 << 30
+
+// WriteSnapshot serializes the network. The network must be valid; the
+// G-tree section is included only when net.Oracle is a *road.GTree (any
+// other oracle is dropped — only the G-tree has a stable on-disk form).
+func WriteSnapshot(w io.Writer, net *mac.Network) error {
+	if err := net.Validate(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := encodeSocial(&buf, net.Social); err != nil {
+		return err
+	}
+	if err := road.EncodeGraph(&buf, net.Road); err != nil {
+		return err
+	}
+	for _, l := range net.Locs {
+		if err := road.EncodeLocation(&buf, l); err != nil {
+			return err
+		}
+	}
+	if gt, ok := net.Oracle.(*road.GTree); ok {
+		buf.WriteByte(1)
+		if err := road.EncodeGTree(&buf, gt); err != nil {
+			return err
+		}
+	} else {
+		buf.WriteByte(0)
+	}
+
+	payload := buf.Bytes()
+	var header [20]byte
+	copy(header[:8], snapshotMagic)
+	binary.LittleEndian.PutUint64(header[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[16:20], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadSnapshot deserializes a network written by WriteSnapshot, verifying
+// the checksum before decoding anything.
+func ReadSnapshot(r io.Reader) (*mac.Network, error) {
+	var header [20]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("dataset: snapshot header: %w", err)
+	}
+	if string(header[:8]) != snapshotMagic {
+		return nil, fmt.Errorf("dataset: not a snapshot (or unsupported version): magic %q", header[:8])
+	}
+	size := binary.LittleEndian.Uint64(header[8:16])
+	if size > maxSnapshotPayload {
+		return nil, fmt.Errorf("dataset: snapshot payload of %d bytes exceeds the %d limit", size, maxSnapshotPayload)
+	}
+	want := binary.LittleEndian.Uint32(header[16:20])
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("dataset: snapshot truncated: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("dataset: snapshot checksum mismatch (got %08x, want %08x)", got, want)
+	}
+
+	br := bytes.NewReader(payload)
+	gs, err := decodeSocial(br)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := road.DecodeGraph(br)
+	if err != nil {
+		return nil, err
+	}
+	locs := make([]road.Location, gs.N())
+	for i := range locs {
+		if locs[i], err = road.DecodeLocation(br, gr); err != nil {
+			return nil, fmt.Errorf("dataset: snapshot location %d: %w", i, err)
+		}
+	}
+	net := &mac.Network{Social: gs, Road: gr, Locs: locs}
+	hasGT, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: snapshot gtree flag: %w", err)
+	}
+	if hasGT == 1 {
+		gt, err := road.DecodeGTree(br, gr)
+		if err != nil {
+			return nil, err
+		}
+		net.Oracle = gt
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("dataset: snapshot carries %d trailing bytes", br.Len())
+	}
+	return net, net.Validate()
+}
+
+// WriteSnapshotFile writes the snapshot atomically: a temp file in the
+// target directory, renamed into place on success, so a crashed writer
+// never leaves a half-written snapshot under the real name.
+func WriteSnapshotFile(path string, net *mac.Network) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSnapshot(tmp, net); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadSnapshotFile loads a snapshot from disk.
+func ReadSnapshotFile(path string) (*mac.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// encodeSocial writes the social graph: header (n, d, m), the undirected
+// edge list (u < v in adjacency order), the attribute matrix, and the
+// labels (count-prefixed; all-empty label sets collapse to a zero count).
+func encodeSocial(buf *bytes.Buffer, g *social.Graph) error {
+	putUvarint(buf, uint64(g.N()))
+	putUvarint(buf, uint64(g.D()))
+	putUvarint(buf, uint64(g.M()))
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				putUvarint(buf, uint64(u))
+				putUvarint(buf, uint64(v))
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, x := range g.Attrs(v) {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			buf.Write(b[:])
+		}
+	}
+	labeled := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Label(v) != "" {
+			labeled++
+		}
+	}
+	putUvarint(buf, uint64(labeled))
+	for v := 0; v < g.N(); v++ {
+		if l := g.Label(v); l != "" {
+			putUvarint(buf, uint64(v))
+			putUvarint(buf, uint64(len(l)))
+			buf.WriteString(l)
+		}
+	}
+	return nil
+}
+
+func decodeSocial(br *bytes.Reader) (*social.Graph, error) {
+	n, err1 := binary.ReadUvarint(br)
+	d, err2 := binary.ReadUvarint(br)
+	m, err3 := binary.ReadUvarint(br)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("dataset: snapshot social header truncated")
+	}
+	// Bound every declared count by the bytes actually present before
+	// allocating: the payload came off the network, and a crafted header
+	// must not turn a small body into a huge allocation. A valid snapshot
+	// carries 8·n·d attribute bytes and ≥ 2 bytes per edge.
+	rem := uint64(br.Len())
+	if d < 1 || d > rem || n > rem/8 || n*d*8 > rem {
+		return nil, fmt.Errorf("dataset: snapshot social header (n=%d, d=%d) exceeds the %d remaining payload bytes", n, d, rem)
+	}
+	if m*2 > rem {
+		return nil, fmt.Errorf("dataset: snapshot edge count %d exceeds the %d remaining payload bytes", m, rem)
+	}
+	b := social.NewBuilder(int(n), int(d))
+	for i := uint64(0); i < m; i++ {
+		u, err1 := binary.ReadUvarint(br)
+		v, err2 := binary.ReadUvarint(br)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("dataset: snapshot social edge %d truncated", i)
+		}
+		b.AddEdge(int(u), int(v))
+	}
+	x := make([]float64, d)
+	for v := uint64(0); v < n; v++ {
+		for i := range x {
+			var raw [8]byte
+			if _, err := io.ReadFull(br, raw[:]); err != nil {
+				return nil, fmt.Errorf("dataset: snapshot attributes truncated at vertex %d", v)
+			}
+			x[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+		}
+		b.SetAttrs(int(v), x)
+	}
+	labeled, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: snapshot label count: %w", err)
+	}
+	for i := uint64(0); i < labeled; i++ {
+		v, err1 := binary.ReadUvarint(br)
+		l, err2 := binary.ReadUvarint(br)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("dataset: snapshot label %d truncated", i)
+		}
+		if l > uint64(br.Len()) {
+			return nil, fmt.Errorf("dataset: snapshot label of %d bytes exceeds the %d remaining payload bytes", l, br.Len())
+		}
+		name := make([]byte, l)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("dataset: snapshot label %d truncated", i)
+		}
+		if v >= n {
+			return nil, fmt.Errorf("dataset: snapshot label vertex %d out of range", v)
+		}
+		b.SetLabel(int(v), string(name))
+	}
+	return b.Build()
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	buf.Write(b[:binary.PutUvarint(b[:], v)])
+}

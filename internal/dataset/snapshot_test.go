@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"roadsocial/internal/gen"
+	"roadsocial/internal/geom"
+	"roadsocial/internal/mac"
+	"roadsocial/internal/road"
+)
+
+// snapshotNetwork builds a synthetic network with a G-tree and a feasible
+// query workload.
+func snapshotNetwork(t testing.TB) (*mac.Network, []int32, int, float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	net, err := gen.Network(gen.NetworkConfig{
+		Social: gen.SocialConfig{
+			N: 150, D: 3, AttachEdges: 3,
+			Communities: 3, CommunitySize: 30, CommunityP: 0.6,
+		},
+		RoadRows: 10, RoadCols: 10,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Oracle = road.BuildGTree(net.Road, 0)
+	const k, tt = 4, 900.0
+	qs := gen.Queries(net, k, tt, 3, 1, rng)
+	if len(qs) == 0 {
+		t.Fatal("no feasible query in test network")
+	}
+	return net, qs[0], k, tt
+}
+
+// TestSnapshotRoundTrip: a snapshot-loaded network answers searches
+// byte-identically to the freshly-built one — same community structure,
+// same partitioning, same G-tree-driven range results — and the structural
+// invariants (counts, attrs, locations, G-tree presence) survive exactly.
+func TestSnapshotRoundTrip(t *testing.T) {
+	net, q, k, tt := snapshotNetwork(t)
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Social.N() != net.Social.N() || got.Social.M() != net.Social.M() {
+		t.Fatalf("social mismatch: %d/%d vs %d/%d",
+			got.Social.N(), got.Social.M(), net.Social.N(), net.Social.M())
+	}
+	if got.Road.N() != net.Road.N() || got.Road.M() != net.Road.M() {
+		t.Fatal("road graph mismatch")
+	}
+	for v := 0; v < net.Social.N(); v++ {
+		a, b := net.Social.Attrs(v), got.Social.Attrs(v)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("attrs of %d differ", v)
+			}
+		}
+		if net.Locs[v] != got.Locs[v] {
+			t.Fatalf("location of %d differs", v)
+		}
+	}
+	if _, ok := got.Oracle.(*road.GTree); !ok {
+		t.Fatalf("G-tree did not survive the snapshot: oracle %T", got.Oracle)
+	}
+
+	region, err := geom.NewBox([]float64{0.2, 0.2}, []float64{0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	search := func(n *mac.Network) []byte {
+		t.Helper()
+		res, err := mac.GlobalSearch(n, &mac.Query{Q: q, K: k, T: tt, Region: region, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if want, have := search(net), search(got); !bytes.Equal(want, have) {
+		t.Fatalf("snapshot-loaded search differs from freshly-built:\n built: %s\nloaded: %s", want, have)
+	}
+}
+
+// TestSnapshotFileAndLabels: the file helpers round-trip through disk, and
+// labels survive.
+func TestSnapshotFileAndLabels(t *testing.T) {
+	net, _, _, _ := snapshotNetwork(t)
+	path := filepath.Join(t.TempDir(), "net.snap")
+	if err := WriteSnapshotFile(path, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < net.Social.N(); v++ {
+		if net.Social.Label(v) != got.Social.Label(v) {
+			t.Fatalf("label of %d differs: %q vs %q", v, net.Social.Label(v), got.Social.Label(v))
+		}
+	}
+}
+
+// TestSnapshotCorruption: a flipped payload byte fails the checksum, a
+// mangled magic fails the version check, and a truncated file fails the
+// length check — nothing half-decodes.
+func TestSnapshotCorruption(t *testing.T) {
+	net, _, _, _ := snapshotNetwork(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := ReadSnapshot(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("corrupted payload passed the checksum")
+	}
+
+	badMagic := append([]byte(nil), raw...)
+	badMagic[3] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(badMagic)); err == nil {
+		t.Fatal("mangled magic was accepted")
+	}
+
+	if _, err := ReadSnapshot(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("truncated snapshot was accepted")
+	}
+}
+
+// TestSnapshotHostileHeader: a snapshot whose checksum is valid (the
+// attacker computes it over their own payload) but whose headers declare
+// absurd element counts is rejected by the remaining-bytes bounds before
+// any count-sized allocation happens — a kilobyte body must not demand
+// terabytes.
+func TestSnapshotHostileHeader(t *testing.T) {
+	craft := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		var header [20]byte
+		copy(header[:8], snapshotMagic)
+		binary.LittleEndian.PutUint64(header[8:16], uint64(len(payload)))
+		binary.LittleEndian.PutUint32(header[16:20], crc32.ChecksumIEEE(payload))
+		buf.Write(header[:])
+		buf.Write(payload)
+		return buf.Bytes()
+	}
+	// Social header claiming 2^40 vertices in a 3-byte payload.
+	var huge bytes.Buffer
+	putUvarint(&huge, 1<<40) // n
+	putUvarint(&huge, 3)     // d
+	putUvarint(&huge, 0)     // m
+	if _, err := ReadSnapshot(bytes.NewReader(craft(huge.Bytes()))); err == nil {
+		t.Fatal("hostile vertex count was accepted")
+	}
+	// Plausible tiny social graph, then a road graph claiming 2^40 vertices.
+	var road40 bytes.Buffer
+	putUvarint(&road40, 1) // n=1
+	putUvarint(&road40, 1) // d=1
+	putUvarint(&road40, 0) // m=0
+	var attr [8]byte
+	road40.Write(attr[:])  // one attribute row
+	putUvarint(&road40, 0) // no labels
+	putUvarint(&road40, 1<<40)
+	if _, err := ReadSnapshot(bytes.NewReader(craft(road40.Bytes()))); err == nil {
+		t.Fatal("hostile road vertex count was accepted")
+	}
+}

@@ -6,12 +6,15 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"roadsocial/client"
+	"roadsocial/internal/mac"
 	"roadsocial/internal/road"
 	"roadsocial/internal/service"
 )
@@ -296,6 +299,43 @@ func ServiceLatency(opts Options) (*Table, error) {
 		tab.Metrics["batch_amortization"] = singleP50 / batchP50
 	}
 
+	// Parallel-batch phase: the same warm membership batch with
+	// "parallel": true, which widens into the admission semaphore's free
+	// slots. On a single-core runner it degrades to the sequential path
+	// (that is the contract), so the per-item latency is recorded but not
+	// gated.
+	var parItem []float64
+	for round := 0; round < serviceBatchRounds; round++ {
+		start := time.Now()
+		bresp, err := sdk.Batch(ctx, &client.BatchRequest{Items: batchItems, Parallel: true})
+		if err != nil {
+			return nil, err
+		}
+		if bresp.OK != serviceBatchItems {
+			return nil, fmt.Errorf("exp: parallel batch round %d: %d/%d items ok", round, bresp.OK, serviceBatchItems)
+		}
+		perItem := float64(time.Since(start).Microseconds()) / 1000 / serviceBatchItems
+		for i := 0; i < serviceBatchItems; i++ {
+			parItem = append(parItem, perItem)
+		}
+	}
+	tab.Rows = append(tab.Rows, latencyRow("batch_parallel_item", parItem, 0))
+	parP50 := percentileMs(parItem, 0.50)
+	tab.Metrics["batch_parallel_item_p50_ms"] = parP50
+	if parP50 > 0 {
+		tab.Metrics["batch_parallel_speedup"] = batchP50 / parP50
+	}
+
+	// Snapshot-registration phase: register the same spec twice on a fresh
+	// server — building from the synthetic catalog (including the G-tree),
+	// then from a snapshot of that build — and compare the register times.
+	// Each mode takes the min of a few rounds, so the comparison measures
+	// the construction-vs-I/O gap rather than scheduler noise; benchgate
+	// -require-snapshot-speedup gates snapshot < build.
+	if err := snapshotRegisterPhase(tab, spec, opts); err != nil {
+		return nil, err
+	}
+
 	// Saturation burst: a 1-slot, 2-queue server must reject the excess
 	// with immediate 429s instead of queueing it all. A gated oracle holds
 	// the admitted searches mid-Prepare until every request of the burst
@@ -369,6 +409,87 @@ func ServiceLatency(opts Options) (*Table, error) {
 	}
 	tab.Metrics["saturated_429"] = float64(sat429.Load())
 	return tab, nil
+}
+
+// snapshotRegisterPhase measures POST /v1/datasets/{name} with a spec that
+// builds the dataset (synthetic generation + G-tree construction) against
+// the same dataset registered from its snapshot. The snapshot path decodes
+// the built index instead of reconstructing it, so register time drops to
+// I/O; the speedup lands in the metrics as snapshot_speedup.
+func snapshotRegisterPhase(tab *Table, spec DatasetSpec, opts Options) error {
+	loader := func(name string, dspec *service.DatasetSpec) (*mac.Network, error) {
+		if dspec.Snapshot != "" {
+			return service.LoadSpecFiles(name, dspec)
+		}
+		in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		in.Net.Oracle = road.BuildGTree(in.Net.Road, 0)
+		return in.Net, nil
+	}
+	srv := service.New(service.Config{LoadSpec: loader})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+
+	dir, err := os.MkdirTemp("", "snapbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "snapbench.snap")
+
+	const rounds = 3
+	buildMs, snapMs := -1.0, -1.0
+	for round := 0; round < rounds; round++ {
+		start := time.Now()
+		if _, err := sdk.CreateDataset(ctx, "snapbench", &client.DatasetSpec{Synthetic: spec.Name}); err != nil {
+			return fmt.Errorf("exp: snapshot phase build register: %v", err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if buildMs < 0 || ms < buildMs {
+			buildMs = ms
+		}
+		if round == 0 {
+			f, err := os.Create(snapPath)
+			if err != nil {
+				return err
+			}
+			if err := srv.SaveSnapshot("snapbench", f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if err := sdk.DeleteDataset(ctx, "snapbench"); err != nil {
+			return err
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		start := time.Now()
+		if _, err := sdk.CreateDataset(ctx, "snapbench", &client.DatasetSpec{Snapshot: snapPath}); err != nil {
+			return fmt.Errorf("exp: snapshot phase snapshot register: %v", err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if snapMs < 0 || ms < snapMs {
+			snapMs = ms
+		}
+		if err := sdk.DeleteDataset(ctx, "snapbench"); err != nil {
+			return err
+		}
+	}
+	tab.Rows = append(tab.Rows, []string{"register_build", "3", "3", "0", fmt.Sprintf("%.3f", buildMs), fmt.Sprintf("%.3f", buildMs)})
+	tab.Rows = append(tab.Rows, []string{"register_snapshot", "3", "3", "0", fmt.Sprintf("%.3f", snapMs), fmt.Sprintf("%.3f", snapMs)})
+	tab.Metrics["register_build_ms"] = buildMs
+	tab.Metrics["register_snapshot_ms"] = snapMs
+	if snapMs > 0 {
+		tab.Metrics["snapshot_speedup"] = buildMs / snapMs
+	}
+	return nil
 }
 
 // gatedOracle blocks every range query until its gate closes — the

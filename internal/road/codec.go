@@ -1,0 +1,336 @@
+package road
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codec for the road substrate: the graph and the built G-tree
+// index. The encoding is little-endian with uvarint framing and raw IEEE-754
+// bits for every float, so a decoded index is bit-identical to the encoded
+// one — range queries against a snapshot-loaded G-tree return exactly what
+// the freshly-built index would. The dataset package wraps these into the
+// versioned, checksummed network snapshot; this file only knows how to
+// serialize the road types whose fields are private to this package.
+
+// byteWriter is the writer contract of the codec; bytes.Buffer and
+// bufio.Writer both satisfy it.
+type byteWriter interface {
+	io.Writer
+	io.ByteWriter
+}
+
+// EncodeGraph writes the graph: vertex count, edge count, then every
+// undirected edge (u, v, w) in the canonical Edges order.
+func EncodeGraph(w byteWriter, g *Graph) error {
+	putUvarint(w, uint64(g.N()))
+	putUvarint(w, uint64(g.M()))
+	var err error
+	g.Edges(func(u, v int, wgt float64) {
+		if err != nil {
+			return
+		}
+		putUvarint(w, uint64(u))
+		putUvarint(w, uint64(v))
+		err = putFloat(w, wgt)
+	})
+	return err
+}
+
+// DecodeGraph reads a graph written by EncodeGraph. Decoding takes a
+// *bytes.Reader so every declared count can be validated against the bytes
+// actually present before anything is allocated: snapshot payloads arrive
+// from the network, and a crafted header must not be able to demand a
+// multi-terabyte allocation out of a kilobyte body.
+func DecodeGraph(r *bytes.Reader) (*Graph, error) {
+	n, err := getCount(r, "road: vertex count")
+	if err != nil {
+		return nil, err
+	}
+	m, err := getCount(r, "road: edge count")
+	if err != nil {
+		return nil, err
+	}
+	g := NewGraph(int(n))
+	for i := uint64(0); i < m; i++ {
+		u, err1 := getUvarint(r)
+		v, err2 := getUvarint(r)
+		wgt, err3 := getFloat(r)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("road: graph edge %d truncated", i)
+		}
+		if err := g.AddEdge(int(u), int(v), wgt); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// EncodeLocation writes one user location: a vertex id for on-vertex
+// locations, or the edge endpoints plus the offset.
+func EncodeLocation(w byteWriter, l Location) error {
+	if l.OnVertex() {
+		if err := w.WriteByte(0); err != nil {
+			return err
+		}
+		putUvarint(w, uint64(l.U))
+		return nil
+	}
+	if err := w.WriteByte(1); err != nil {
+		return err
+	}
+	putUvarint(w, uint64(l.U))
+	putUvarint(w, uint64(l.V))
+	return putFloat(w, l.Off)
+}
+
+// DecodeLocation reads a location against g (edge locations re-derive the
+// cached edge weight, and fail if the graph lacks the edge).
+func DecodeLocation(r *bytes.Reader, g *Graph) (Location, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return Location{}, err
+	}
+	switch kind {
+	case 0:
+		v, err := getUvarint(r)
+		if err != nil {
+			return Location{}, err
+		}
+		if v >= uint64(g.N()) {
+			return Location{}, fmt.Errorf("road: location vertex %d out of range", v)
+		}
+		return VertexLocation(int(v)), nil
+	case 1:
+		u, err1 := getUvarint(r)
+		v, err2 := getUvarint(r)
+		off, err3 := getFloat(r)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return Location{}, fmt.Errorf("road: edge location truncated")
+		}
+		return g.EdgeLocation(int(u), int(v), off)
+	default:
+		return Location{}, fmt.Errorf("road: unknown location kind %d", kind)
+	}
+}
+
+// EncodeGTree writes the built index: the per-vertex leaf table and every
+// node with its topology, borders, and distance matrices. The graph itself
+// is not included — the index is meaningless without it, and the network
+// snapshot encodes the graph separately.
+func EncodeGTree(w byteWriter, t *GTree) error {
+	putUvarint(w, uint64(len(t.leaf)))
+	for _, id := range t.leaf {
+		putUvarint(w, uint64(id))
+	}
+	putUvarint(w, uint64(len(t.nodes)))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		// parent is -1 for the root; shift by one to stay unsigned.
+		putUvarint(w, uint64(n.parent+1))
+		if err := putI32s(w, n.children); err != nil {
+			return err
+		}
+		if err := putI32s(w, n.vertices); err != nil {
+			return err
+		}
+		if err := putI32s(w, n.borders); err != nil {
+			return err
+		}
+		if err := putMatrix(w, n.distLeaf); err != nil {
+			return err
+		}
+		if err := putI32s(w, n.unionBorders); err != nil {
+			return err
+		}
+		if err := putMatrix(w, n.mat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeGTree reads an index written by EncodeGTree and binds it to g, which
+// must be the graph the index was built over (the leaf table length is
+// checked against it). Derived state — the unionBorders index maps and the
+// scratch pool — is rebuilt, everything else round-trips bit-exact.
+func DecodeGTree(r *bytes.Reader, g *Graph) (*GTree, error) {
+	nLeaf, err := getCount(r, "road: gtree leaf table")
+	if err != nil {
+		return nil, err
+	}
+	if nLeaf != uint64(g.N()) {
+		return nil, fmt.Errorf("road: gtree leaf table covers %d vertices, graph has %d", nLeaf, g.N())
+	}
+	t := &GTree{g: g, leaf: make([]int32, nLeaf)}
+	for i := range t.leaf {
+		v, err := getUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		t.leaf[i] = int32(v)
+	}
+	nNodes, err := getCount(r, "road: gtree node count")
+	if err != nil {
+		return nil, err
+	}
+	t.nodes = make([]gtNode, nNodes)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		parent, err := getUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("road: gtree node %d: %w", i, err)
+		}
+		n.parent = int32(parent) - 1
+		if n.children, err = getI32s(r); err != nil {
+			return nil, fmt.Errorf("road: gtree node %d children: %w", i, err)
+		}
+		if n.vertices, err = getI32s(r); err != nil {
+			return nil, fmt.Errorf("road: gtree node %d vertices: %w", i, err)
+		}
+		if n.borders, err = getI32s(r); err != nil {
+			return nil, fmt.Errorf("road: gtree node %d borders: %w", i, err)
+		}
+		if n.distLeaf, err = getMatrix(r); err != nil {
+			return nil, fmt.Errorf("road: gtree node %d leaf matrix: %w", i, err)
+		}
+		if n.unionBorders, err = getI32s(r); err != nil {
+			return nil, fmt.Errorf("road: gtree node %d union borders: %w", i, err)
+		}
+		if n.mat, err = getMatrix(r); err != nil {
+			return nil, fmt.Errorf("road: gtree node %d matrix: %w", i, err)
+		}
+		if len(n.unionBorders) > 0 {
+			n.ubIndex = make(map[int32]int32, len(n.unionBorders))
+			for j, b := range n.unionBorders {
+				n.ubIndex[b] = int32(j)
+			}
+		}
+	}
+	t.scratch.New = func() any {
+		return &gtScratch{
+			stamp: make([]int32, g.N()),
+			dist:  make([]float64, g.N()),
+		}
+	}
+	return t, nil
+}
+
+// --- primitives ---
+
+func putUvarint(w io.ByteWriter, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	for _, b := range buf[:n] {
+		_ = w.WriteByte(b)
+	}
+}
+
+func getUvarint(r io.ByteReader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+// getCount reads an element count and bounds it by the bytes remaining in
+// the payload: every encoded element costs at least one byte, so a count
+// beyond r.Len() is corrupt (or hostile) and is rejected before any
+// count-sized allocation happens.
+func getCount(r *bytes.Reader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	if v > uint64(r.Len()) {
+		return 0, fmt.Errorf("%s: %d elements exceed the %d remaining payload bytes", what, v, r.Len())
+	}
+	return v, nil
+}
+
+func putFloat(w io.Writer, v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func getFloat(r io.ByteReader) (float64, error) {
+	var buf [8]byte
+	for i := range buf {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		buf[i] = b
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func putI32s(w byteWriter, vs []int32) error {
+	putUvarint(w, uint64(len(vs)))
+	for _, v := range vs {
+		putUvarint(w, uint64(uint32(v)))
+	}
+	return nil
+}
+
+func getI32s(r *bytes.Reader) ([]int32, error) {
+	n, err := getCount(r, "road: list length")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		v, err := getUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int32(uint32(v))
+	}
+	return out, nil
+}
+
+func putMatrix(w byteWriter, m [][]float64) error {
+	putUvarint(w, uint64(len(m)))
+	for _, row := range m {
+		putUvarint(w, uint64(len(row)))
+		for _, v := range row {
+			if err := putFloat(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func getMatrix(r *bytes.Reader) ([][]float64, error) {
+	n, err := getCount(r, "road: matrix rows")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		l, err := getCount(r, "road: matrix row length")
+		if err != nil {
+			return nil, err
+		}
+		if l*8 > uint64(r.Len()) {
+			return nil, fmt.Errorf("road: matrix row of %d floats exceeds the %d remaining payload bytes", l, r.Len())
+		}
+		row := make([]float64, l)
+		for j := range row {
+			if row[j], err = getFloat(r); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = row
+	}
+	return out, nil
+}

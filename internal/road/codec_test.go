@@ -1,0 +1,97 @@
+package road
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestGTreeCodecRoundTrip: an encoded+decoded G-tree answers range queries
+// bit-identically to the original — same distances, same pruning — because
+// every border matrix round-trips as raw float bits.
+func TestGTreeCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := NewGraph(200)
+	// Random connected-ish graph: a ring plus chords.
+	for i := 0; i < 200; i++ {
+		if err := g.AddEdge(i, (i+1)%200, 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 150; i++ {
+		u, v := rng.Intn(200), rng.Intn(200)
+		if u == v {
+			continue
+		}
+		if _, dup := g.EdgeWeight(u, v); dup {
+			continue
+		}
+		if err := g.AddEdge(u, v, 1+rng.Float64()*20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gt := BuildGTree(g, 16)
+
+	var buf bytes.Buffer
+	if err := EncodeGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeGTree(&buf, gt); err != nil {
+		t.Fatal(err)
+	}
+	br := bytes.NewReader(buf.Bytes())
+	g2, err := DecodeGraph(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("graph mismatch: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	gt2, err := DecodeGTree(br, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Len() != 0 {
+		t.Fatalf("%d trailing bytes after decode", br.Len())
+	}
+
+	queries := []Location{VertexLocation(3), VertexLocation(77)}
+	users := make([]Location, 0, 64)
+	for i := 0; i < 64; i++ {
+		users = append(users, VertexLocation(rng.Intn(200)))
+	}
+	for _, bound := range []float64{5, 25, 120} {
+		want, err := gt.QueryDistances(queries, users, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := gt2.QueryDistances(queries, users, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("bound %g, user %d: distance %g vs %g", bound, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDecodeGTreeWrongGraph: binding an index to a graph of a different
+// size is refused instead of corrupting queries.
+func TestDecodeGTreeWrongGraph(t *testing.T) {
+	g := NewGraph(10)
+	for i := 0; i < 9; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gt := BuildGTree(g, 4)
+	var buf bytes.Buffer
+	if err := EncodeGTree(&buf, gt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGTree(bytes.NewReader(buf.Bytes()), NewGraph(11)); err == nil {
+		t.Fatal("index bound to a mismatched graph")
+	}
+}

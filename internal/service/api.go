@@ -37,6 +37,20 @@ type (
 	DatasetInfo = client.DatasetInfo
 	// Stats is the /v1/stats payload.
 	Stats = client.Stats
+	// Job is an asynchronous control-plane operation as a resource.
+	Job = client.Job
+	// JobList is the body of GET /v1/jobs.
+	JobList = client.JobList
+)
+
+// Job kinds and states (see client).
+const (
+	JobKindCreate = client.JobKindCreate
+	JobKindMove   = client.JobKindMove
+	JobPending    = client.JobPending
+	JobRunning    = client.JobRunning
+	JobDone       = client.JobDone
+	JobFailed     = client.JobFailed
 )
 
 // Algo values (see client).

@@ -3,6 +3,8 @@ package service
 import (
 	"errors"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"roadsocial/client"
@@ -17,6 +19,12 @@ import (
 // the HTTP status it would have received standalone and never fails its
 // neighbors. Batch-level failures (empty, oversized, saturated, canceled
 // while queued) are the only errors returned.
+//
+// With req.Parallel the items run on extra workers — but only as many as
+// the admission semaphore has free slots right now, claimed without
+// waiting. The batch therefore never exceeds the server's in-flight
+// budget, never queues behind itself, and degrades to the sequential path
+// on a busy server; results stay in request order either way.
 //
 // Counters treat every item as one request (a malformed batch counts as
 // one), so requests == completed + failed + in-progress holds across
@@ -43,8 +51,35 @@ func (s *Server) DoBatch(req *BatchRequest, cancel <-chan struct{}) (*BatchRespo
 
 	start := time.Now()
 	resp := &BatchResponse{Items: make([]BatchItemResult, len(req.Items))}
-	for i := range req.Items {
-		resp.Items[i] = s.runItem(&req.Items[i], cancel)
+	workers := 1
+	if req.Parallel {
+		extra := s.tryAcquireExtra(len(req.Items) - 1)
+		defer extra.release()
+		workers += extra.n
+	}
+	if workers <= 1 {
+		for i := range req.Items {
+			resp.Items[i] = s.runItem(&req.Items[i], cancel)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(req.Items) {
+						return
+					}
+					resp.Items[i] = s.runItem(&req.Items[i], cancel)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range resp.Items {
 		if resp.Items[i].Status == http.StatusOK {
 			resp.OK++
 		} else {
@@ -53,6 +88,38 @@ func (s *Server) DoBatch(req *BatchRequest, cancel <-chan struct{}) (*BatchRespo
 	}
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	return resp, nil
+}
+
+// extraSlots is a claim on additional in-flight slots beyond the one the
+// batch holds.
+type extraSlots struct {
+	s *Server
+	n int
+}
+
+func (e extraSlots) release() {
+	for i := 0; i < e.n; i++ {
+		e.s.inFlight.Add(-1)
+		<-e.s.sem
+	}
+}
+
+// tryAcquireExtra claims up to limit additional in-flight slots without
+// waiting: a parallel batch widens into idle capacity only, so it can never
+// push total in-flight work past Config.MaxInFlight nor starve queued
+// single requests by waiting for them.
+func (s *Server) tryAcquireExtra(limit int) extraSlots {
+	e := extraSlots{s: s}
+	for e.n < limit {
+		select {
+		case s.sem <- struct{}{}:
+			s.inFlight.Add(1)
+			e.n++
+		default:
+			return e
+		}
+	}
+	return e
 }
 
 // runItem executes one batch item under the batch's admission slot and

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"roadsocial/internal/dataset"
@@ -10,12 +11,21 @@ import (
 )
 
 // LoadSpecFiles is the default Config.LoadSpec: it materializes the
-// file-backed half of a DatasetSpec (the cmd/macsearch text formats,
-// resolved on the server's disk) and optionally builds a G-tree index.
-// Synthetic-catalog specs need a loader that knows the experiment harness;
-// cmd/macserver injects one. Because the paths are opened server-side, a
-// deployment exposing the create endpoint should run with an auth token.
+// snapshot-backed or file-backed half of a DatasetSpec (paths resolved on
+// the server's disk) and optionally builds a G-tree index. Snapshot specs
+// are the fast path — the built index is decoded, not reconstructed, so
+// registration cost is proportional to I/O. Synthetic-catalog specs need a
+// loader that knows the experiment harness; cmd/macserver injects one.
+// Because the paths are opened server-side, a deployment exposing the
+// create endpoint should run with an auth token.
 func LoadSpecFiles(name string, spec *DatasetSpec) (*mac.Network, error) {
+	if spec.Snapshot != "" {
+		net, err := dataset.ReadSnapshotFile(spec.Snapshot)
+		if err != nil {
+			return nil, invalidf("dataset %q: %v", name, err)
+		}
+		return net, nil
+	}
 	if spec.Synthetic != "" {
 		return nil, invalidf("dataset %q: no synthetic catalog loader configured on this server", name)
 	}
@@ -86,10 +96,84 @@ func (s *Server) CreateDataset(name string, spec *DatasetSpec) (*DatasetInfo, er
 	if err := s.AddDataset(name, net); err != nil {
 		return nil, err
 	}
+	return datasetInfo(name, net), nil
+}
+
+// CreateDatasetAsync submits the registration as a job: the transport-
+// agnostic core of POST /v1/datasets/{name}?async=1. The name is checked
+// for availability up front so an obviously-conflicting submission fails
+// synchronously with 409 rather than minting a doomed job; the load itself
+// runs on a job worker, polling cancel at its phase boundaries.
+func (s *Server) CreateDatasetAsync(name string, spec *DatasetSpec) (*Job, error) {
+	if name == "" {
+		return nil, invalidf("empty dataset name")
+	}
+	s.mu.RLock()
+	_, taken := s.nets[name]
+	s.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	specCopy := *spec
+	return s.jobs.Submit(JobKindCreate, name, func(cancel <-chan struct{}, progress func(string)) (*DatasetInfo, error) {
+		progress("loading")
+		if chanClosed(cancel) {
+			return nil, mac.ErrCanceled
+		}
+		info, err := s.CreateDataset(name, &specCopy)
+		if err != nil {
+			return nil, err
+		}
+		if chanClosed(cancel) {
+			// Canceled during the load: undo the registration so a canceled
+			// job leaves no trace, mirroring a failed synchronous create.
+			_ = s.RemoveDataset(name)
+			return nil, mac.ErrCanceled
+		}
+		return info, nil
+	})
+}
+
+// SaveSnapshot streams a registered dataset as a versioned, checksummed
+// snapshot — the transport-agnostic core of GET /v1/datasets/{name}/snapshot
+// and the input half of copy-then-cutover moves.
+func (s *Server) SaveSnapshot(name string, w io.Writer) error {
+	e, err := s.network(name)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteSnapshot(w, e.net)
+}
+
+// CreateDatasetFromSnapshot registers a dataset decoded from snapshot
+// bytes — the transport-agnostic core of PUT /v1/datasets/{name}/snapshot
+// and the restore half of copy-then-cutover moves. Registration cost is
+// decode I/O; the G-tree inside the snapshot is loaded, not rebuilt.
+func (s *Server) CreateDatasetFromSnapshot(name string, r io.Reader) (*DatasetInfo, error) {
+	if name == "" {
+		return nil, invalidf("empty dataset name")
+	}
+	s.mu.RLock()
+	_, taken := s.nets[name]
+	s.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	net, err := dataset.ReadSnapshot(r)
+	if err != nil {
+		return nil, invalidf("dataset %q: %v", name, err)
+	}
+	if err := s.AddDataset(name, net); err != nil {
+		return nil, err
+	}
+	return datasetInfo(name, net), nil
+}
+
+func datasetInfo(name string, net *mac.Network) *DatasetInfo {
 	return &DatasetInfo{
 		Dataset:      name,
 		Users:        net.Social.N(),
 		Friendships:  net.Social.M(),
 		RoadVertices: net.Road.N(),
-	}, nil
+	}
 }

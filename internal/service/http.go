@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"roadsocial/client"
 	"roadsocial/internal/mac"
 )
 
@@ -19,12 +20,19 @@ import (
 // request size.
 const MaxRequestBody = 1 << 20
 
-// Handler returns the HTTP API. Datasets are addressable resources:
+// Handler returns the HTTP API. Datasets are addressable resources, and
+// long-running control-plane operations are job resources:
 //
-//	POST   /v1/datasets/{name}          — register from an on-disk spec (201)
+//	POST   /v1/datasets/{name}          — register from an on-disk spec (201;
+//	                                      ?async=1 answers 202 with a job)
 //	DELETE /v1/datasets/{name}          — unregister (200)
 //	POST   /v1/datasets/{name}/search   — run a MAC search
 //	POST   /v1/datasets/{name}/ktcore   — maximal cohesive-subgraph membership
+//	GET    /v1/datasets/{name}/snapshot — export the built dataset (octet-stream)
+//	PUT    /v1/datasets/{name}/snapshot — register from uploaded snapshot (201)
+//	GET    /v1/jobs/{id}                — poll a job
+//	GET    /v1/jobs                     — list jobs
+//	DELETE /v1/jobs/{id}                — cancel a job
 //	POST   /v1/batch                    — N requests, one admission
 //	GET    /v1/healthz                  — liveness + registered datasets
 //	GET    /v1/stats                    — counters, cache, latency histogram
@@ -34,9 +42,10 @@ const MaxRequestBody = 1 << 20
 //	                                      dataset-scoped routes
 //
 // Saturation maps to 429, an exceeded deadline to 504, validation problems
-// to 400, an unknown dataset to 404, a duplicate create to 409, and a
-// missing or wrong bearer token (when Config.AuthToken is set) to 401;
-// every error body is {"error": "..."}.
+// to 400, an unknown dataset or job to 404, a duplicate create to 409, and
+// a missing or wrong bearer token (when Config.AuthToken is set) to 401;
+// every error body is {"error": "...", "code": "..."} with the code drawn
+// from the client package's Code* constants.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets/{name}/search", func(w http.ResponseWriter, r *http.Request) {
@@ -45,8 +54,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets/{name}/ktcore", func(w http.ResponseWriter, r *http.Request) {
 		s.serveSearch(w, r, r.PathValue("name"), true)
 	})
+	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", s.serveSaveSnapshot)
+	mux.HandleFunc("PUT /v1/datasets/{name}/snapshot", s.serveRestoreSnapshot)
 	mux.HandleFunc("POST /v1/datasets/{name}", s.serveCreateDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.serveDeleteDataset)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.serveGetJob)
+	mux.HandleFunc("GET /v1/jobs", s.serveListJobs)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.serveCancelJob)
 	mux.HandleFunc("POST /v1/batch", s.serveBatch)
 	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
 		s.serveSearch(w, r, "", false)
@@ -139,12 +153,82 @@ func (s *Server) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dataset spec: %w", err))
 		return
 	}
-	info, err := s.CreateDataset(r.PathValue("name"), &spec)
+	name := r.PathValue("name")
+	if AsyncRequested(r) {
+		job, err := s.CreateDatasetAsync(name, &spec)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+	info, err := s.CreateDataset(name, &spec)
 	if err != nil {
 		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// AsyncRequested reports whether a create should answer 202 with a job
+// resource instead of blocking until the dataset is built (the ?async=1
+// query parameter; shared with the shard tier so both parse it alike).
+func AsyncRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("async") {
+	case "", "0", "false":
+		return false
+	default:
+		return true
+	}
+}
+
+// MaxSnapshotBody bounds snapshot uploads (1 GiB): far beyond any JSON
+// request, because a snapshot carries the dataset itself.
+const MaxSnapshotBody = 1 << 30
+
+func (s *Server) serveSaveSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Existence is checked up front so a 404 can still be a clean JSON
+	// answer; the stream itself cannot change status once bytes flow.
+	if _, err := s.network(name); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = s.SaveSnapshot(name, w)
+}
+
+func (s *Server) serveRestoreSnapshot(w http.ResponseWriter, r *http.Request) {
+	info, err := s.CreateDatasetFromSnapshot(r.PathValue("name"),
+		http.MaxBytesReader(w, r.Body, MaxSnapshotBody))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) serveGetJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, jobStatusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) serveListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, JobList{Jobs: s.jobs.List()})
+}
+
+func (s *Server) serveCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, jobStatusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
 }
 
 func (s *Server) serveDeleteDataset(w http.ResponseWriter, r *http.Request) {
@@ -195,11 +279,11 @@ func (s *Server) serveStats(w http.ResponseWriter, _ *http.Request) {
 // known sentinels are server-side faults (500), not the client's.
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, ErrSaturated):
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrJobsSaturated):
 		return http.StatusTooManyRequests
 	case errors.Is(err, mac.ErrCanceled):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, ErrUnknownDataset):
+	case errors.Is(err, ErrUnknownDataset), errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
 	case errors.Is(err, ErrDatasetExists):
 		return http.StatusConflict
@@ -225,6 +309,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the canonical error body: the human-readable message
+// plus the machine-readable code derived from the status (one mapping for
+// every tier, client.CodeForStatus), so SDK callers branch on
+// client.CodeOf instead of string-matching messages.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]string{
+		"error": err.Error(),
+		"code":  client.CodeForStatus(status),
+	})
 }

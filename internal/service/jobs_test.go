@@ -1,0 +1,348 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"roadsocial/client"
+	"roadsocial/internal/dataset"
+	"roadsocial/internal/mac"
+	"roadsocial/internal/road"
+)
+
+// TestJobLifecycleAsyncCreate: POST ?async=1 answers 202 with a pending/
+// running job, the job settles done while concurrent searches on another
+// dataset keep flying, and the created dataset then serves. Exercised
+// through the typed SDK end to end; run under -race this doubles as the
+// job-manager race test.
+func TestJobLifecycleAsyncCreate(t *testing.T) {
+	net, q, k, tt := testNetwork(t)
+	s := New(Config{MaxInFlight: 2, MaxQueue: 64, DefaultTimeout: 120 * time.Second})
+	if err := s.AddDataset("steady", net); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+	region := &client.RegionSpec{Lo: []float64{0.2, 0.2}, Hi: []float64{0.25, 0.25}}
+
+	// Background searches on the steady dataset throughout the job's life.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := &client.SearchRequest{Q: q, K: k, T: tt + float64(w), Region: region}
+				if _, err := sdk.Search(ctx, "steady", req); err != nil {
+					errc <- err
+					return
+				}
+				_ = i
+			}
+		}(w)
+	}
+
+	spec := writeDatasetFiles(t, net)
+	job, err := sdk.CreateDatasetAsync(ctx, "arrival", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Kind != client.JobKindCreate || job.Dataset != "arrival" {
+		t.Fatalf("bad job resource: %+v", job)
+	}
+	if job.State != client.JobPending && job.State != client.JobRunning {
+		t.Fatalf("fresh job in state %q", job.State)
+	}
+	done, err := sdk.WaitJob(ctx, job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != client.JobDone || done.Result == nil || done.Result.Dataset != "arrival" {
+		t.Fatalf("settled job = %+v", done)
+	}
+	if done.StartedAt == nil || done.FinishedAt == nil {
+		t.Fatalf("settled job missing timestamps: %+v", done)
+	}
+	if _, err := sdk.Search(ctx, "arrival", &client.SearchRequest{Q: q, K: k, T: tt, Region: region}); err != nil {
+		t.Fatalf("search on async-created dataset: %v", err)
+	}
+
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatalf("concurrent search failed during job: %v", err)
+	default:
+	}
+
+	// The job list carries it; an unknown job answers a typed 404.
+	jobs, err := sdk.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("job list empty after a job ran")
+	}
+	if _, err := sdk.Job(ctx, "job-9999"); !client.IsNotFound(err) {
+		t.Fatalf("unknown job: err=%v, want typed not_found", err)
+	}
+}
+
+// TestJobAsyncCreateFailureAndConflict: a job whose spec cannot load
+// settles failed with the loader's message; an async create against a
+// taken name is refused synchronously with a typed conflict.
+func TestJobAsyncCreateFailureAndConflict(t *testing.T) {
+	net, _, _, _ := testNetwork(t)
+	s := New(Config{})
+	if err := s.AddDataset("taken", net); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+
+	job, err := sdk.CreateDatasetAsync(ctx, "doomed", &client.DatasetSpec{Social: "/nonexistent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled, err := sdk.WaitJob(ctx, job.ID, time.Millisecond)
+	if err == nil || settled == nil || settled.State != client.JobFailed {
+		t.Fatalf("doomed job: job=%+v err=%v, want failed state with error", settled, err)
+	}
+	if settled.Error == "" {
+		t.Fatal("failed job carries no error message")
+	}
+
+	if _, err := sdk.CreateDatasetAsync(ctx, "taken", &client.DatasetSpec{}); !client.IsConflict(err) {
+		t.Fatalf("async create on taken name: err=%v, want typed conflict", err)
+	}
+}
+
+// TestJobCancel: canceling a running job makes it settle failed and leave
+// no dataset behind; canceling a settled job is a no-op answer.
+func TestJobCancel(t *testing.T) {
+	net, _, _, _ := testNetwork(t)
+	// A loader that blocks until released, so the cancel demonstrably lands
+	// while the job runs.
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s := New(Config{LoadSpec: func(name string, spec *DatasetSpec) (*mac.Network, error) {
+		started <- struct{}{}
+		<-release
+		return net, nil
+	}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+
+	job, err := sdk.CreateDatasetAsync(ctx, "cancelme", &client.DatasetSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := sdk.CancelJob(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	settled, err := sdk.WaitJob(ctx, job.ID, time.Millisecond)
+	if err == nil || settled.State != client.JobFailed {
+		t.Fatalf("canceled job: job=%+v err=%v, want failed", settled, err)
+	}
+	for _, ds := range s.Datasets() {
+		if ds == "cancelme" {
+			t.Fatal("canceled create left its dataset registered")
+		}
+	}
+}
+
+// TestSnapshotEndpointsRoundTrip: GET /snapshot exports a registered
+// dataset, PUT /snapshot re-registers it elsewhere (same process here),
+// and the restored dataset — including its G-tree — serves identical
+// searches. The spec "snapshot" field loads the same bytes from disk.
+func TestSnapshotEndpointsRoundTrip(t *testing.T) {
+	net, q, k, tt := testNetwork(t)
+	net.Oracle = road.BuildGTree(net.Road, 0)
+	s := New(Config{DefaultTimeout: 120 * time.Second})
+	if err := s.AddDataset("origin", net); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+	region := &client.RegionSpec{Lo: []float64{0.2, 0.2}, Hi: []float64{0.25, 0.25}}
+	search := func(ds string) *client.SearchResponse {
+		t.Helper()
+		resp, err := sdk.Search(ctx, ds, &client.SearchRequest{Q: q, K: k, T: tt, Region: region, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	want := search("origin")
+
+	var snap bytes.Buffer
+	if err := sdk.SaveSnapshot(ctx, "origin", &snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdk.SaveSnapshot(ctx, "ghost", &bytes.Buffer{}); !client.IsNotFound(err) {
+		t.Fatalf("snapshot of unknown dataset: err=%v, want typed not_found", err)
+	}
+
+	info, err := sdk.CreateDatasetFromSnapshot(ctx, "copy", bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Users != net.Social.N() || info.RoadVertices != net.Road.N() {
+		t.Fatalf("restored info = %+v", info)
+	}
+	got := search("copy")
+	if len(got.Cells) != len(want.Cells) || got.KTCoreSize != want.KTCoreSize {
+		t.Fatalf("restored search differs: %+v vs %+v", got, want)
+	}
+	for i := range want.Cells {
+		if len(want.Cells[i].Ranked) != len(got.Cells[i].Ranked) {
+			t.Fatalf("cell %d rank count differs", i)
+		}
+		for r := range want.Cells[i].Ranked {
+			a, b := want.Cells[i].Ranked[r], got.Cells[i].Ranked[r]
+			if len(a) != len(b) {
+				t.Fatalf("cell %d rank %d size differs", i, r)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("cell %d rank %d member %d differs", i, r, j)
+				}
+			}
+		}
+	}
+
+	// Upload of a second copy under a live name conflicts.
+	if _, err := sdk.CreateDatasetFromSnapshot(ctx, "copy", bytes.NewReader(snap.Bytes())); !client.IsConflict(err) {
+		t.Fatalf("duplicate snapshot restore: err=%v, want typed conflict", err)
+	}
+	// Corrupted upload is refused by the checksum before registering.
+	bad := append([]byte(nil), snap.Bytes()...)
+	bad[len(bad)/2] ^= 0x10
+	if _, err := sdk.CreateDatasetFromSnapshot(ctx, "corrupt", bytes.NewReader(bad)); client.CodeOf(err) != client.CodeInvalid {
+		t.Fatalf("corrupt snapshot restore: err=%v, want invalid", err)
+	}
+
+	// The spec "snapshot" field loads the same bytes from the server's disk.
+	path := filepath.Join(t.TempDir(), "origin.snap")
+	if err := dataset.WriteSnapshotFile(path, net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.CreateDataset(ctx, "fromdisk", &client.DatasetSpec{Snapshot: path}); err != nil {
+		t.Fatal(err)
+	}
+	fromDisk := search("fromdisk")
+	if fromDisk.KTCoreSize != want.KTCoreSize {
+		t.Fatalf("snapshot-spec dataset differs: %+v", fromDisk)
+	}
+}
+
+// TestTypedErrors: the SDK surfaces machine-readable codes — conflict on a
+// duplicate create, not_found on a stranger delete — so callers stop
+// string-matching.
+func TestTypedErrors(t *testing.T) {
+	net, _, _, _ := testNetwork(t)
+	s := New(Config{LoadSpec: func(string, *DatasetSpec) (*mac.Network, error) { return net, nil }})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+
+	if _, err := sdk.CreateDataset(ctx, "dup", &client.DatasetSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sdk.CreateDataset(ctx, "dup", &client.DatasetSpec{})
+	if !client.IsConflict(err) {
+		t.Fatalf("duplicate create: err=%v, want conflict code", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != client.CodeConflict || ae.Status != 409 {
+		t.Fatalf("duplicate create APIError = %+v", ae)
+	}
+	if err := sdk.DeleteDataset(ctx, "stranger"); !client.IsNotFound(err) {
+		t.Fatalf("stranger delete: err=%v, want not_found code", err)
+	}
+}
+
+// TestBatchParallel: a parallel batch returns the same per-item results in
+// the same order as the sequential path, widens only into free admission
+// slots, and a server with no spare slots still completes it sequentially.
+func TestBatchParallel(t *testing.T) {
+	net, q, k, tt := testNetwork(t)
+	s := New(Config{MaxInFlight: 4, MaxQueue: 16, DefaultTimeout: 120 * time.Second})
+	if err := s.AddDataset("ds", net); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+
+	items := make([]client.BatchItem, 8)
+	for i := range items {
+		items[i] = client.BatchItem{Op: client.OpKTCore, SearchRequest: client.SearchRequest{
+			Dataset: "ds", Q: q, K: k, T: tt + float64(i%3),
+		}}
+	}
+	seq, err := sdk.Batch(ctx, &client.BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sdk.Batch(ctx, &client.BatchRequest{Items: items, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.OK != seq.OK || par.Failed != seq.Failed {
+		t.Fatalf("parallel tallies %d/%d vs sequential %d/%d", par.OK, par.Failed, seq.OK, seq.Failed)
+	}
+	for i := range items {
+		a, b := seq.Items[i], par.Items[i]
+		if a.Status != b.Status {
+			t.Fatalf("item %d: status %d vs %d", i, b.Status, a.Status)
+		}
+		if len(a.Response.KTCore) != len(b.Response.KTCore) {
+			t.Fatalf("item %d: ktcore size %d vs %d", i, len(b.Response.KTCore), len(a.Response.KTCore))
+		}
+	}
+
+	// A 1-slot server has no spare capacity: the parallel batch holds its
+	// single slot and degrades to the sequential path — and still succeeds.
+	tiny := New(Config{MaxInFlight: 1, MaxQueue: 4, DefaultTimeout: 120 * time.Second})
+	if err := tiny.AddDataset("ds", net); err != nil {
+		t.Fatal(err)
+	}
+	tts := httptest.NewServer(tiny.Handler())
+	defer tts.Close()
+	tinyResp, err := client.New(tts.URL).Batch(ctx, &client.BatchRequest{Items: items, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tinyResp.OK != len(items) {
+		t.Fatalf("tiny-server parallel batch: %d/%d ok", tinyResp.OK, len(items))
+	}
+	if got := tiny.Stats().InFlight; got != 0 {
+		t.Fatalf("in-flight leaked after parallel batch: %d", got)
+	}
+}

@@ -80,6 +80,10 @@ type Config struct {
 	// "Authorization: Bearer <AuthToken>" on every /v1 route (401
 	// otherwise). The in-process Do/DoBatch entry points are not gated.
 	AuthToken string
+	// JobWorkers bounds concurrently executing control-plane jobs (async
+	// dataset creates); <= 0 selects 2. Jobs beyond the bound queue; a full
+	// queue answers 429.
+	JobWorkers int
 	// LoadSpec materializes a dataset for POST /v1/datasets/{name}. Nil
 	// selects LoadSpecFiles, which understands the file-backed half of the
 	// spec; cmd/macserver injects a loader that also resolves the synthetic
@@ -137,6 +141,7 @@ type Server struct {
 
 	cache *prepCache
 	sem   chan struct{}
+	jobs  *Jobs
 
 	queued            atomic.Int64
 	inFlight          atomic.Int64
@@ -158,6 +163,7 @@ func New(cfg Config) *Server {
 		nets:  make(map[string]dsEntry),
 		cache: newPrepCache(cfg.CacheCapacity, cfg.CacheMaxCost, cfg.CacheTTL),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
+		jobs:  NewJobs(cfg.JobWorkers),
 	}
 }
 

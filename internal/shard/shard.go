@@ -19,9 +19,18 @@
 // the dataset lifecycle (POST/DELETE /v1/datasets/{name}) maintains an
 // assignment table layered over it. A create is forwarded to the ring
 // owner — or to an explicitly pinned shard when the spec names one — and
-// recorded; a delete erases the record. Deleting a dataset and re-creating
-// it with a different pin therefore moves it between shards with no process
-// restart, while every other dataset keeps answering.
+// recorded; a delete erases the record. The table optionally persists to
+// disk (PersistAssignments / macserver -assignments-file), so a router
+// restart keeps routing moved datasets to where they actually live, and it
+// re-syncs from a previously-down peer the moment a probe sees it healthy
+// again.
+//
+// Moves are first-class: POST /v1/datasets/{name}/move answers 202 with a
+// job resource that copies the dataset to the target shard from a snapshot
+// while the source keeps serving, flips the assignment atomically, waits
+// for requests already routed to the source to drain, then deletes the
+// source copy — a concurrently-querying client sees no 404/502 window at
+// any point (see move.go).
 //
 // The Router holds no query state of its own: all caching, admission
 // control, and deadline handling stay in the per-shard service tier, so the
@@ -38,9 +47,12 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"roadsocial/client"
@@ -214,14 +226,34 @@ type ringPoint struct {
 
 // Router partitions datasets over backends by consistent hashing, layers a
 // mutable dataset-assignment table over the ring (maintained by the dataset
-// lifecycle), and serves the shard-aware /v1 API. Safe for concurrent use.
+// lifecycle and the move jobs), and serves the shard-aware /v1 API. Safe
+// for concurrent use.
 type Router struct {
 	backends []Backend
 	byName   map[string]int
 	ring     []ringPoint
+	jobs     *service.Jobs
 
-	mu     sync.RWMutex
-	assign map[string]int // dataset -> backend index, when pinned off-ring
+	// down[i] remembers that backend i failed its last probe; the first
+	// successful probe afterwards re-syncs its datasets into the assignment
+	// table (a peer that restarted during a router outage would otherwise
+	// silently lose its off-ring datasets from the table).
+	down []atomic.Bool
+
+	mu          sync.RWMutex
+	assign      map[string]int // dataset -> backend index, when pinned off-ring
+	moving      map[string]bool
+	persistPath string // when non-empty, assign is mirrored to this file
+	// inflight counts requests routed to (dataset, backend) that have not
+	// returned yet; a move drains the source's count after the cutover so
+	// the delete can never race a request routed before the flip.
+	inflight map[routeKey]*atomic.Int64
+}
+
+// routeKey identifies one (dataset, backend) routing decision.
+type routeKey struct {
+	name string
+	idx  int
 }
 
 // NewRouter builds a router over the backends with vnodes virtual nodes per
@@ -256,7 +288,11 @@ func NewRouter(backends []Backend, vnodes int) (*Router, error) {
 		backends: backends,
 		byName:   byName,
 		ring:     ring,
+		jobs:     service.NewJobs(0),
+		down:     make([]atomic.Bool, len(backends)),
 		assign:   make(map[string]int),
+		moving:   make(map[string]bool),
+		inflight: make(map[routeKey]*atomic.Int64),
 	}, nil
 }
 
@@ -311,7 +347,10 @@ func (rt *Router) Owner(dataset string) Backend {
 func (rt *Router) Backends() []Backend { return rt.backends }
 
 // pin records an off-ring assignment (a create that landed somewhere the
-// ring would not put it); on-ring assignments need no record.
+// ring would not put it); on-ring assignments need no record. When
+// persistence is enabled, the table is mirrored to disk under the lock —
+// the flip a client observes and the flip a restart recovers are the same
+// write.
 func (rt *Router) pin(dataset string, idx int) {
 	rt.mu.Lock()
 	if idx == rt.ringOwnerIndex(dataset) {
@@ -319,51 +358,229 @@ func (rt *Router) pin(dataset string, idx int) {
 	} else {
 		rt.assign[dataset] = idx
 	}
+	rt.saveAssignmentsLocked()
 	rt.mu.Unlock()
 }
 
 func (rt *Router) unpin(dataset string) {
 	rt.mu.Lock()
 	delete(rt.assign, dataset)
+	rt.saveAssignmentsLocked()
 	rt.mu.Unlock()
 }
 
-// SyncAssignments rebuilds the assignment table from the backends' actual
-// dataset lists, pinning every dataset found living off its ring owner.
-// The table is in-memory, so a routing tier that restarts over long-lived
-// peers calls this at startup (cmd/macserver -peers does) — otherwise
-// datasets moved before the restart would route to their ring owner and
-// 404 there. Unreachable backends are skipped: their datasets re-sync on
-// the next call. It returns the number of off-ring pins recorded.
+// beginRoute resolves a dataset's owner and registers the request in the
+// in-flight table; the returned done must be called when the forwarded
+// request settles. Moves use the table to drain the source after a cutover.
+func (rt *Router) beginRoute(dataset string) (idx int, done func()) {
+	rt.mu.Lock()
+	idx, pinned := rt.assign[dataset]
+	if !pinned {
+		idx = rt.ringOwnerIndex(dataset)
+	}
+	key := routeKey{name: dataset, idx: idx}
+	ctr := rt.inflight[key]
+	if ctr == nil {
+		ctr = new(atomic.Int64)
+		rt.inflight[key] = ctr
+	}
+	ctr.Add(1)
+	rt.mu.Unlock()
+	return idx, func() {
+		if ctr.Add(-1) != 0 {
+			return
+		}
+		// Last one out removes the entry — the table tracks client-supplied
+		// names, so it must not grow with every dataset ever asked about.
+		// The re-check under the lock keeps a concurrent beginRoute (which
+		// may have incremented this same counter) safe.
+		rt.mu.Lock()
+		if cur, ok := rt.inflight[key]; ok && cur == ctr && cur.Load() == 0 {
+			delete(rt.inflight, key)
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// routedInFlight reports how many requests routed to (dataset, idx) are
+// still outstanding.
+func (rt *Router) routedInFlight(dataset string, idx int) int64 {
+	rt.mu.RLock()
+	ctr := rt.inflight[routeKey{name: dataset, idx: idx}]
+	rt.mu.RUnlock()
+	if ctr == nil {
+		return 0
+	}
+	return ctr.Load()
+}
+
+// SyncAssignments reconciles the assignment table with the backends'
+// actual dataset lists. A routing tier calls this at startup
+// (cmd/macserver -peers does) — otherwise datasets moved before the
+// restart would route to their ring owner and 404 there — and again
+// whenever a probe sees a previously-down backend healthy.
+//
+// The reconcile rule is deliberately conservative: a dataset whose
+// *current* owner (assignment or ring) actually holds it is left alone —
+// sync recovers lost knowledge, it never overrides working routing. Only
+// a dataset whose current owner does not hold it is re-pinned, to the
+// ring owner if that shard holds a copy, else the lowest-indexed holder
+// (deterministic across concurrent syncs). A stale duplicate copy — e.g.
+// one retained by a move whose drain timed out — therefore can never
+// steal routing from the live copy. Unreachable backends are skipped and
+// marked down; datasets mid-move are left to the move job. It returns the
+// number of off-ring pins recorded.
 func (rt *Router) SyncAssignments() int {
-	pins := 0
-	var mu sync.Mutex
+	lists := make([][]string, len(rt.backends))
 	rt.fanOut(func(i int, b Backend) {
 		ds, err := b.Datasets()
+		rt.down[i].Store(err != nil)
 		if err != nil {
 			return
 		}
+		lists[i] = ds
+	})
+
+	holders := make(map[string][]int) // dataset -> backend indices holding it
+	for i, ds := range lists {
 		for _, d := range ds {
-			if rt.ringOwnerIndex(d) != i {
-				rt.pin(d, i)
-				mu.Lock()
-				pins++
-				mu.Unlock()
+			holders[d] = append(holders[d], i)
+		}
+	}
+	pins := 0
+	for d, on := range holders {
+		if rt.isMoving(d) {
+			continue
+		}
+		cur := rt.OwnerIndex(d)
+		if lists[cur] != nil && contains(lists[cur], d) {
+			continue // current routing works; never override it
+		}
+		if rt.down[cur].Load() && lists[cur] == nil {
+			// The owner is unreachable, not provably empty: re-pinning now
+			// could strand the authoritative copy when it comes back.
+			continue
+		}
+		best := on[0]
+		ring := rt.ringOwnerIndex(d)
+		if contains(lists[ring], d) {
+			best = ring
+		}
+		if rt.OwnerIndex(d) != best {
+			rt.pin(d, best)
+			pins++
+		}
+	}
+	return pins
+}
+
+func contains(ds []string, name string) bool {
+	for _, d := range ds {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// noteProbe records a probe outcome for backend i. On a down→up transition
+// a full reconcile runs: a peer that came back after an outage may hold
+// off-ring datasets this router has never seen pinned, and the reconcile
+// (unlike a single-backend view) knows whether the current owner of each
+// one actually holds it.
+func (rt *Router) noteProbe(i int, err error) {
+	if err != nil {
+		rt.down[i].Store(true)
+		return
+	}
+	if rt.down[i].Swap(false) {
+		rt.SyncAssignments()
+	}
+}
+
+// assignmentsFile is the on-disk form of the assignment table: dataset →
+// backend name (names survive reordering of the backend slice across
+// restarts; indexes would not).
+type assignmentsFile struct {
+	Version     int               `json:"version"`
+	Assignments map[string]string `json:"assignments"`
+}
+
+// PersistAssignments enables assignment-table persistence: the file at
+// path (if present) is loaded into the table — entries naming unknown
+// backends are dropped — and every later pin/unpin/move rewrites it
+// atomically (temp file + rename). Call before serving traffic. It returns
+// how many assignments the file contributed.
+func (rt *Router) PersistAssignments(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	loaded := 0
+	if err == nil {
+		var af assignmentsFile
+		if err := json.Unmarshal(data, &af); err != nil {
+			return 0, fmt.Errorf("shard: assignments file %s: %w", path, err)
+		}
+		rt.mu.Lock()
+		for ds, name := range af.Assignments {
+			if idx, ok := rt.byName[name]; ok && idx != rt.ringOwnerIndex(ds) {
+				rt.assign[ds] = idx
+				loaded++
 			}
 		}
-	})
-	return pins
+		rt.mu.Unlock()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return 0, err
+	}
+	rt.mu.Lock()
+	rt.persistPath = path
+	rt.saveAssignmentsLocked()
+	rt.mu.Unlock()
+	return loaded, nil
+}
+
+// saveAssignmentsLocked mirrors the table to disk when persistence is on.
+// Caller holds rt.mu. Write failures are swallowed: routing must not start
+// failing because a disk did, and the next mutation retries.
+func (rt *Router) saveAssignmentsLocked() {
+	if rt.persistPath == "" {
+		return
+	}
+	af := assignmentsFile{Version: 1, Assignments: make(map[string]string, len(rt.assign))}
+	for ds, idx := range rt.assign {
+		af.Assignments[ds] = rt.backends[idx].Name()
+	}
+	data, err := json.MarshalIndent(af, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(rt.persistPath), ".assignments-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err == nil && tmp.Close() == nil {
+		_ = os.Rename(tmp.Name(), rt.persistPath)
+	} else {
+		tmp.Close()
+		_ = os.Remove(tmp.Name())
+	}
 }
 
 // Handler returns the shard-aware HTTP API: dataset-scoped routes go to the
 // owning shard by URL, the legacy body-addressed shims by body peek, batch
-// splits across shards, and healthz/stats fan out to every shard.
+// splits across shards, healthz/stats fan out to every shard, and the
+// control plane — async creates, snapshot export/import, and moves — runs
+// as router-level job resources.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets/{name}/search", rt.routeDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}/ktcore", rt.routeDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", rt.routeDataset)
+	mux.HandleFunc("PUT /v1/datasets/{name}/snapshot", rt.serveRestoreSnapshot)
+	mux.HandleFunc("POST /v1/datasets/{name}/move", rt.serveMoveDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}", rt.serveCreateDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", rt.serveDeleteDataset)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.serveGetJob)
+	mux.HandleFunc("GET /v1/jobs", rt.serveListJobs)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.serveCancelJob)
 	mux.HandleFunc("POST /v1/batch", rt.serveBatch)
 	mux.HandleFunc("POST /v1/search", rt.routeLegacy)
 	mux.HandleFunc("POST /v1/ktcore", rt.routeLegacy)
@@ -373,9 +590,13 @@ func (rt *Router) Handler() http.Handler {
 }
 
 // routeDataset hands a dataset-scoped request to the owning shard. The URL
-// names the dataset, so the body streams through untouched.
+// names the dataset, so the body streams through untouched. The routing
+// decision is tracked in the in-flight table so a move can drain the
+// source before deleting it.
 func (rt *Router) routeDataset(w http.ResponseWriter, r *http.Request) {
-	rt.Owner(r.PathValue("name")).ServeAPI(w, r)
+	idx, done := rt.beginRoute(r.PathValue("name"))
+	defer done()
+	rt.backends[idx].ServeAPI(w, r)
 }
 
 // routeLegacy is the compat shim for the body-addressed endpoints: peek the
@@ -401,7 +622,9 @@ func (rt *Router) routeLegacy(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	r.ContentLength = int64(len(body))
-	rt.Owner(peek.Dataset).ServeAPI(w, r)
+	idx, done := rt.beginRoute(peek.Dataset)
+	defer done()
+	rt.backends[idx].ServeAPI(w, r)
 }
 
 // serveCreateDataset registers a dataset on the shard that should own it —
@@ -410,6 +633,10 @@ func (rt *Router) routeLegacy(w http.ResponseWriter, r *http.Request) {
 // where the dataset actually lives.
 func (rt *Router) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if rt.isMoving(name) {
+		writeError(w, http.StatusConflict, fmt.Errorf("dataset %q is mid-move; retry shortly", name))
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dataset spec: %w", err))
@@ -420,13 +647,54 @@ func (rt *Router) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dataset spec: %w", err))
 		return
 	}
+	if service.AsyncRequested(r) {
+		// Fail fast on a taken name — the same synchronous 409 the leaf
+		// tier gives — rather than minting a job doomed to fail on poll.
+		// An unreachable owner skips the check; the job reports the
+		// outcome either way.
+		cur := rt.OwnerIndex(name)
+		if ds, err := rt.backends[cur].Datasets(); err == nil && contains(ds, name) {
+			writeError(w, http.StatusConflict, fmt.Errorf(
+				"dataset %q already registered on shard %s", name, rt.backends[cur].Name()))
+			return
+		}
+		// The job resource lives on the tier the client talks to: the
+		// router runs a job whose work is the synchronous forward below, so
+		// GET /v1/jobs/{id} against the router always finds it.
+		auth := r.Header.Get("Authorization")
+		specCopy := spec
+		job, err := rt.jobs.Submit(client.JobKindCreate, name,
+			func(cancel <-chan struct{}, progress func(string)) (*client.DatasetInfo, error) {
+				progress("forwarding")
+				info, _, err := rt.createOnOwner(name, &specCopy, body, auth)
+				return info, err
+			})
+		if err != nil {
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+	info, status, err := rt.createOnOwner(name, &spec, body, r.Header.Get("Authorization"))
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// createOnOwner registers a dataset on the shard that should own it — the
+// spec's pin when present, an existing assignment, or the ring owner —
+// records the placement on success, and stamps it into the returned info.
+// On failure the returned status is what the HTTP answer should carry.
+func (rt *Router) createOnOwner(name string, spec *client.DatasetSpec, body []byte, auth string) (*client.DatasetInfo, int, error) {
 	cur := rt.OwnerIndex(name)
 	idx := cur
 	if spec.Shard != "" {
 		pinned, ok := rt.byName[spec.Shard]
 		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown shard %q", spec.Shard))
-			return
+			return nil, http.StatusBadRequest, fmt.Errorf("unknown shard %q", spec.Shard)
 		}
 		idx = pinned
 	}
@@ -438,28 +706,69 @@ func (rt *Router) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
 		// would leave a stale twin serving once the owner recovers.
 		ds, err := rt.backends[cur].Datasets()
 		if err != nil {
-			writeError(w, http.StatusBadGateway, fmt.Errorf(
+			return nil, http.StatusBadGateway, fmt.Errorf(
 				"cannot verify %q is absent from its current owner %s: %v",
-				name, rt.backends[cur].Name(), err))
-			return
+				name, rt.backends[cur].Name(), err)
 		}
 		for _, d := range ds {
 			if d == name {
-				writeError(w, http.StatusConflict, fmt.Errorf(
+				return nil, http.StatusConflict, fmt.Errorf(
 					"dataset %q already registered on shard %s; delete it before re-creating elsewhere",
-					name, rt.backends[cur].Name()))
-				return
+					name, rt.backends[cur].Name())
 			}
 		}
 	}
-	r.Body = io.NopCloser(bytes.NewReader(body))
-	r.ContentLength = int64(len(body))
+	req, err := http.NewRequest(http.MethodPost, "/v1/datasets/"+name, bytes.NewReader(body))
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	rec := newRecorder()
+	rt.backends[idx].ServeAPI(rec, req)
+	if rec.code != http.StatusCreated {
+		msg := errorMessage(rec.body.Bytes())
+		if msg == "" {
+			msg = fmt.Sprintf("shard %s answered %d", rt.backends[idx].Name(), rec.code)
+		}
+		return nil, rec.code, errors.New(msg)
+	}
+	rt.pin(name, idx)
+	// Stamp the placement into the response so the caller learns where the
+	// dataset landed.
+	var info client.DatasetInfo
+	if err := json.Unmarshal(rec.body.Bytes(), &info); err != nil {
+		return nil, http.StatusBadGateway, fmt.Errorf("shard %s: malformed create response", rt.backends[idx].Name())
+	}
+	info.Shard = rt.backends[idx].Name()
+	return &info, http.StatusCreated, nil
+}
+
+// isMoving reports whether a move job currently owns the dataset's
+// lifecycle (creates and deletes are refused meanwhile).
+func (rt *Router) isMoving(name string) bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.moving[name]
+}
+
+// serveRestoreSnapshot forwards a snapshot upload to the shard that should
+// own the dataset and records the placement on success — the upload analog
+// of serveCreateDataset (snapshot uploads carry no spec, so no pin; an
+// explicit placement goes through /move afterwards).
+func (rt *Router) serveRestoreSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if rt.isMoving(name) {
+		writeError(w, http.StatusConflict, fmt.Errorf("dataset %q is mid-move; retry shortly", name))
+		return
+	}
+	idx := rt.OwnerIndex(name)
 	rec := newRecorder()
 	rt.backends[idx].ServeAPI(rec, r)
 	if rec.code == http.StatusCreated {
 		rt.pin(name, idx)
-		// Stamp the placement into the response so the caller learns where
-		// the dataset landed.
 		var info client.DatasetInfo
 		if json.Unmarshal(rec.body.Bytes(), &info) == nil {
 			info.Shard = rt.backends[idx].Name()
@@ -470,11 +779,37 @@ func (rt *Router) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
 	rec.replay(w)
 }
 
+func (rt *Router) serveGetJob(w http.ResponseWriter, r *http.Request) {
+	job, err := rt.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (rt *Router) serveListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, client.JobList{Jobs: rt.jobs.List()})
+}
+
+func (rt *Router) serveCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := rt.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
 // serveDeleteDataset forwards the delete to the owning shard and erases the
 // assignment on success; re-creating the dataset afterwards (optionally
 // pinned elsewhere) is how a dataset moves without a restart.
 func (rt *Router) serveDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if rt.isMoving(name) {
+		writeError(w, http.StatusConflict, fmt.Errorf("dataset %q is mid-move; retry shortly", name))
+		return
+	}
 	rec := newRecorder()
 	rt.Owner(name).ServeAPI(rec, r)
 	if rec.code/100 == 2 {
@@ -518,7 +853,10 @@ func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = client.BatchItemResult{Status: http.StatusBadRequest, Error: "missing dataset"}
 			continue
 		}
-		idx := rt.OwnerIndex(ds)
+		// Each item's routing decision joins the in-flight table, so a move
+		// drains batch traffic to the source like single requests.
+		idx, done := rt.beginRoute(ds)
+		defer done()
 		groups[idx] = append(groups[idx], i)
 	}
 	if len(groups) == 1 && len(groups[firstKey(groups)]) == len(req.Items) {
@@ -553,7 +891,7 @@ func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request) {
 // forwardSubBatch sends the items owned by one backend as a batch of their
 // own and scatters the answers back into the original positions.
 func (rt *Router) forwardSubBatch(r *http.Request, req *client.BatchRequest, idx int, items []int, results []client.BatchItemResult) {
-	sub := client.BatchRequest{TimeoutMs: req.TimeoutMs, Items: make([]client.BatchItem, len(items))}
+	sub := client.BatchRequest{TimeoutMs: req.TimeoutMs, Parallel: req.Parallel, Items: make([]client.BatchItem, len(items))}
 	for si, oi := range items {
 		sub.Items[si] = req.Items[oi]
 	}
@@ -652,6 +990,7 @@ func (rt *Router) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	rt.fanOut(func(i int, b Backend) {
 		sh := ShardHealth{Name: b.Name()}
 		ds, err := b.Datasets()
+		rt.noteProbe(i, err)
 		if err != nil {
 			sh.Error = err.Error()
 		} else {
@@ -704,6 +1043,7 @@ func (rt *Router) Stats() Stats {
 	rt.fanOut(func(i int, b Backend) {
 		ss := ShardStats{Name: b.Name()}
 		st, err := b.Stats()
+		rt.noteProbe(i, err)
 		if err != nil {
 			ss.Error = err.Error()
 		} else {
@@ -798,6 +1138,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the canonical {"error", "code"} body; the code mapping
+// is shared with the leaf tier so every tier's errors agree.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]string{
+		"error": err.Error(),
+		"code":  client.CodeForStatus(status),
+	})
 }
