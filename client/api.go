@@ -83,16 +83,23 @@ const (
 
 // Job kinds.
 const (
-	JobKindCreate = "create"
-	JobKindMove   = "move"
+	JobKindCreate    = "create"
+	JobKindMove      = "move"
+	JobKindReplicate = "replicate"
 )
+
+// HeaderFailedOver is set on a response the shard router served from a
+// follower replica because the primary answered 502 (or was unreachable);
+// its value is the shard that actually answered. Clients that never see it
+// are talking to a healthy primary.
+const HeaderFailedOver = "X-Failed-Over"
 
 // Job is an asynchronous control-plane operation as a pollable resource:
 // POST /v1/datasets/{name}?async=1 and POST /v1/datasets/{name}/move answer
 // 202 with one, and GET /v1/jobs/{id} tracks it to completion.
 type Job struct {
 	ID      string `json:"id"`
-	Kind    string `json:"kind"`    // "create" or "move"
+	Kind    string `json:"kind"`    // "create", "move", or "replicate"
 	Dataset string `json:"dataset"` // the dataset the job operates on
 	State   string `json:"state"`   // pending, running, done, failed
 	// Progress names the phase a running job is in (e.g. "loading",
@@ -236,6 +243,13 @@ type DatasetSpec struct {
 	// hash owner. Re-registering with a different pin is how a dataset
 	// moves between shards without a restart.
 	Shard string `json:"shard,omitempty"`
+
+	// Replication is the number of shards that hold a copy of the dataset
+	// (primary + followers). Only the shard router honors it; 0 selects the
+	// router's -replication default, and values beyond the backend count are
+	// clamped. Followers are synced from a primary snapshot by a background
+	// replicate job and serve reads when the primary is unreachable.
+	Replication int `json:"replication,omitempty"`
 }
 
 // DatasetInfo describes a registered dataset (the create response).
@@ -246,6 +260,26 @@ type DatasetInfo struct {
 	RoadVertices int    `json:"road_vertices"`
 	// Shard is the owning shard, when created through a router.
 	Shard string `json:"shard,omitempty"`
+	// Replicas is the ordered replica set (primary first) when the dataset
+	// is replicated through a router.
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// HotKey is one prepared-cache resident of a dataset, decoded back into the
+// request parameters that produced it. GET /v1/datasets/{name}/hotkeys
+// reports them most-recently-used first; a router warms a freshly synced
+// follower by replaying the primary's hot keys against it.
+type HotKey struct {
+	Q    []int32 `json:"q"`
+	K    int     `json:"k"`
+	T    float64 `json:"t"`
+	Algo Algo    `json:"algo"`
+}
+
+// HotKeysResponse is the body of GET /v1/datasets/{name}/hotkeys.
+type HotKeysResponse struct {
+	Dataset string   `json:"dataset"`
+	Keys    []HotKey `json:"keys"`
 }
 
 // BatchItem is one request of a batch: a search request plus the operation
@@ -411,8 +445,14 @@ type Stats struct {
 	Queued            int64        `json:"queued"`
 	MaxInFlight       int          `json:"max_in_flight"`
 	MaxQueue          int          `json:"max_queue"`
-	Cache             CacheStats   `json:"cache"`
-	Latency           LatencyStats `json:"latency"`
+	// Failovers counts reads a router answered from a follower replica
+	// because the primary failed mid-request (router only).
+	Failovers int64 `json:"failovers,omitempty"`
+	// DrainTimeouts counts moves whose source drain timed out and fell back
+	// to leaving both copies routable (router only).
+	DrainTimeouts int64        `json:"drain_timeouts,omitempty"`
+	Cache         CacheStats   `json:"cache"`
+	Latency       LatencyStats `json:"latency"`
 }
 
 // Health is the normalized /v1/healthz payload: Datasets unions the

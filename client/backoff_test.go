@@ -1,0 +1,32 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffFullJitter: each attempt's sleep is drawn uniformly from
+// [0, base<<(attempt-1)] — the "full jitter" scheme — so a fleet of clients
+// retrying after a shared 502 spreads out instead of stampeding in lockstep.
+func TestBackoffFullJitter(t *testing.T) {
+	c := New("http://example.invalid", WithBackoff(100*time.Millisecond))
+	for attempt := 1; attempt <= 4; attempt++ {
+		cap := 100 * time.Millisecond << (attempt - 1)
+		distinct := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := c.backoffFor(attempt)
+			if d < 0 || d > cap {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, cap)
+			}
+			distinct[d] = true
+		}
+		if len(distinct) < 2 {
+			t.Fatalf("attempt %d: backoff is not jittered (always %v)", attempt, c.backoffFor(attempt))
+		}
+	}
+	// Shift overflow on absurd attempts degrades to no sleep, never to a
+	// negative duration handed to time.After.
+	if d := c.backoffFor(80); d != 0 {
+		t.Fatalf("overflowed attempt slept %v, want 0", d)
+	}
+}

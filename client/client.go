@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strings"
@@ -111,7 +112,9 @@ func WithToken(token string) Option { return func(c *Client) { c.token = token }
 // retried (a replay could double-apply).
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
-// WithBackoff sets the pause before each retry (default 100ms, doubling).
+// WithBackoff sets the cap of the pause before the first retry (default
+// 100ms; the cap doubles per attempt, and the actual pause is drawn
+// uniformly from [0, cap] — see backoffFor).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
 // New creates a client for the server at baseURL (e.g. "http://host:8080").
@@ -330,6 +333,17 @@ func (c *Client) DeleteDataset(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, c.datasetPath(name), nil, nil, false)
 }
 
+// HotKeys lists the dataset's prepared-cache residents, most recently used
+// first, via GET /v1/datasets/{name}/hotkeys — the keys worth replaying
+// against a cold server to pre-warm it.
+func (c *Client) HotKeys(ctx context.Context, dataset string) (*HotKeysResponse, error) {
+	var resp HotKeysResponse
+	if err := c.do(ctx, http.MethodGet, c.datasetPath(dataset)+"/hotkeys", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats fetches /v1/stats. Against a shard router — whose payload nests the
 // fleet summary under "totals" — the aggregated totals are returned, so
 // callers read one shape at every tier.
@@ -371,10 +385,25 @@ func (c *Client) datasetPath(name string) string {
 	return "/v1/datasets/" + url.PathEscape(name)
 }
 
+// backoffFor returns the pause before retry attempt (1-based): full jitter
+// over an exponentially growing cap, i.e. uniform in [0, backoff<<(attempt-1)].
+// A deterministic doubling backoff synchronizes the retry storm of every
+// client that saw the same failure — they all hammer the recovering shard at
+// the same instants; jittering the whole interval spreads them out (the
+// "full jitter" strategy, which decorrelates best at equal average delay).
+func (c *Client) backoffFor(attempt int) time.Duration {
+	cap := c.backoff << (attempt - 1)
+	if cap <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(cap) + 1))
+}
+
 // do runs one call: marshal, send, decode, mapping non-2xx onto APIError.
 // Retryable calls are replayed after a 502 (or a transport failure), the
 // answer a router serves while a shard is down or a dataset is mid-move;
-// the backoff doubles per attempt and the context aborts the wait.
+// the jittered backoff cap doubles per attempt and the context aborts the
+// wait.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, retryable bool) error {
 	var body []byte
 	if in != nil {
@@ -393,7 +422,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(c.backoff << (attempt - 1)):
+			case <-time.After(c.backoffFor(attempt)):
 			}
 		}
 		var retry bool

@@ -191,3 +191,33 @@ func TestSDKAgainstRouter(t *testing.T) {
 		t.Fatalf("router health = %+v", h)
 	}
 }
+
+// TestHotKeysRoundTrip: keys prepared by ktcore/search surface through GET
+// /v1/datasets/{name}/hotkeys in replayable form — the working set a router
+// uses to pre-warm a freshly synced replica.
+func TestHotKeysRoundTrip(t *testing.T) {
+	sdk, q, k, tt := liveServer(t)
+	ctx := context.Background()
+	if _, err := sdk.KTCore(ctx, "live", &client.SearchRequest{Q: q, K: k, T: tt}); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := sdk.HotKeys(ctx, "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Dataset != "live" || len(hot.Keys) == 0 {
+		t.Fatalf("hot keys = %+v, want at least the ktcore key", hot)
+	}
+	found := false
+	for _, hk := range hot.Keys {
+		if hk.K == k && hk.T == tt && len(hk.Q) == len(q) && hk.Algo == client.AlgoGlobal {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ktcore key missing from hot keys %+v", hot.Keys)
+	}
+	if _, err := sdk.HotKeys(ctx, "ghost"); !client.IsNotFound(err) {
+		t.Fatalf("hot keys of unknown dataset: err=%v, want typed not_found", err)
+	}
+}

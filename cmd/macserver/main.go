@@ -125,6 +125,7 @@ func main() {
 		peers       = flag.String("peers", "", "comma-separated base URLs of remote macserver shards; when set, this process only routes")
 		assignFile  = flag.String("assignments-file", "", "persist the router's dataset-assignment table to this file, so moves survive a restart")
 		resyncEvery = flag.Duration("resync-interval", 15*time.Second, "background assignment re-sync period for -peers routers (recovered peers are re-adopted within one period); 0 disables")
+		replication = flag.Int("replication", 1, "replicas per dataset (primary + followers on distinct shards); reads fail over to a follower when the primary is unreachable")
 	)
 	flag.Parse()
 
@@ -157,6 +158,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		router.SetReplication(*replication)
 		// Persisted assignments come first (a restart knows where it left
 		// the datasets even while a peer is down), then a live sync against
 		// the peers' actual lists. A peer that is down right now is marked
@@ -168,9 +170,20 @@ func main() {
 			} else if n > 0 {
 				log.Printf("loaded %d dataset assignment(s) from %s", n, *assignFile)
 			}
+			// The job journal rides next to the assignments file: in-flight
+			// replicate/move jobs from the previous process resume (or fail
+			// explicitly) instead of silently vanishing.
+			if n, err := router.EnableJobJournal(*assignFile + ".jobs"); err != nil {
+				log.Fatal(err)
+			} else if n > 0 {
+				log.Printf("recovered %d in-flight job(s) from %s.jobs", n, *assignFile)
+			}
 		}
 		if pins := router.SyncAssignments(); pins > 0 {
 			log.Printf("recovered %d off-ring dataset assignment(s) from peers", pins)
+		}
+		if repairs := router.SyncReplicas(); repairs > 0 {
+			log.Printf("initiated %d replica repair(s)", repairs)
 		}
 		if *resyncEvery > 0 {
 			stop := router.StartProber(*resyncEvery)
@@ -194,6 +207,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	router.SetReplication(*replication)
 	// With persistence, startup dataset placement below goes through
 	// OwnerIndex and therefore honors assignments from the previous run:
 	// a dataset moved to shard-2 comes back on shard-2.
@@ -202,6 +216,11 @@ func main() {
 			log.Fatal(err)
 		} else if n > 0 {
 			log.Printf("loaded %d dataset assignment(s) from %s", n, *assignFile)
+		}
+		if n, err := router.EnableJobJournal(*assignFile + ".jobs"); err != nil {
+			log.Fatal(err)
+		} else if n > 0 {
+			log.Printf("recovered %d in-flight job(s) from %s.jobs", n, *assignFile)
 		}
 	}
 	// addDataset registers a startup network on the shard that owns its

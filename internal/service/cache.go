@@ -227,6 +227,71 @@ func (c *prepCache) purgeDataset(dataset string) int {
 	return purged
 }
 
+// hotKeys returns up to n of dataset's completed cache residents decoded
+// back into request parameters, most recently used first — the working set
+// worth replaying against a freshly synced replica to warm its cache.
+// In-flight and failed builds are skipped (replaying them proves nothing).
+func (c *prepCache) hotKeys(dataset string, n int) []client.HotKey {
+	prefix := dataset + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []client.HotKey
+	for el := c.ll.Front(); el != nil && len(out) < n; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if len(e.key) <= len(prefix) || e.key[:len(prefix)] != prefix {
+			continue
+		}
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.err != nil {
+			continue
+		}
+		if hk, ok := decodePrepKey(e.key[len(prefix):]); ok {
+			out = append(out, hk)
+		}
+	}
+	return out
+}
+
+// decodePrepKey inverts the prepKey encoding past the dataset prefix:
+// gen(8) variant NUL k(4) t(8) qs(4 each).
+func decodePrepKey(rest string) (client.HotKey, bool) {
+	if len(rest) < 8 {
+		return client.HotKey{}, false
+	}
+	rest = rest[8:] // generation: cache-internal, not part of the request
+	nul := -1
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == 0 {
+			nul = i
+			break
+		}
+	}
+	if nul < 0 {
+		return client.HotKey{}, false
+	}
+	variant := mac.Variant(rest[:nul])
+	rest = rest[nul+1:]
+	if len(rest) < 12 || (len(rest)-12)%4 != 0 {
+		return client.HotKey{}, false
+	}
+	hk := client.HotKey{
+		K:    int(binary.LittleEndian.Uint32([]byte(rest[:4]))),
+		T:    math.Float64frombits(binary.LittleEndian.Uint64([]byte(rest[4:12]))),
+		Algo: client.AlgoGlobal,
+	}
+	if variant == mac.VariantTruss {
+		hk.Algo = client.AlgoTruss
+	}
+	for off := 12; off < len(rest); off += 4 {
+		hk.Q = append(hk.Q, int32(binary.LittleEndian.Uint32([]byte(rest[off:off+4]))))
+	}
+	return hk, true
+}
+
 // cacheStats is a snapshot of the cache counters for /v1/stats, in the wire
 // contract's shape.
 type cacheStats = client.CacheStats

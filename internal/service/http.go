@@ -56,6 +56,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", s.serveSaveSnapshot)
 	mux.HandleFunc("PUT /v1/datasets/{name}/snapshot", s.serveRestoreSnapshot)
+	mux.HandleFunc("GET /v1/datasets/{name}/hotkeys", s.serveHotKeys)
 	mux.HandleFunc("POST /v1/datasets/{name}", s.serveCreateDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.serveDeleteDataset)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.serveGetJob)
@@ -207,6 +208,24 @@ func (s *Server) serveRestoreSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// MaxHotKeys bounds how many prepared-cache residents the hotkeys endpoint
+// reports: enough to carry a follower's first seconds of traffic, small
+// enough that warming never competes with serving.
+const MaxHotKeys = 32
+
+func (s *Server) serveHotKeys(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	keys, err := s.HotKeys(name, MaxHotKeys)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	if keys == nil {
+		keys = []client.HotKey{}
+	}
+	writeJSON(w, http.StatusOK, client.HotKeysResponse{Dataset: name, Keys: keys})
 }
 
 func (s *Server) serveGetJob(w http.ResponseWriter, r *http.Request) {

@@ -84,6 +84,26 @@ func NewJobs(workers int) *Jobs {
 // ErrJobsSaturated when the queue is full). kind and dataset label the job;
 // run is executed by a worker.
 func (m *Jobs) Submit(kind, dataset string, run JobFunc) (*client.Job, error) {
+	return m.SubmitWithID("", kind, dataset, run)
+}
+
+// NewID mints a fresh job id without registering a job. Callers that journal
+// a job durably before enqueueing it (the shard router) reserve the id
+// first, write the journal entry, and then SubmitWithID under the same id —
+// so the journal never names an id the job manager would reassign.
+func (m *Jobs) NewID() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	return fmt.Sprintf("job-%d", m.seq)
+}
+
+// SubmitWithID is Submit with a caller-chosen id (from NewID, or recovered
+// from a durable journal). An empty id mints one; a duplicate id is an
+// error. Recovered ids of the form "job-N" advance the internal sequence
+// past N, so a restarted server never reissues an id its journal already
+// names.
+func (m *Jobs) SubmitWithID(id, kind, dataset string, run JobFunc) (*client.Job, error) {
 	m.mu.Lock()
 	if !m.started {
 		m.started = true
@@ -91,10 +111,22 @@ func (m *Jobs) Submit(kind, dataset string, run JobFunc) (*client.Job, error) {
 			go m.worker()
 		}
 	}
-	m.seq++
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("job-%d", m.seq)
+	} else {
+		if _, exists := m.jobs[id]; exists {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("service: duplicate job id %q", id)
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
 	t := &jobTask{
 		job: client.Job{
-			ID:        fmt.Sprintf("job-%d", m.seq),
+			ID:        id,
 			Kind:      kind,
 			Dataset:   dataset,
 			State:     client.JobPending,

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roadsocial/client"
 	"roadsocial/internal/mac"
 )
 
@@ -221,6 +222,18 @@ func (s *Server) Datasets() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// HotKeys lists up to n of a dataset's completed prepared-cache residents,
+// most recently used first, decoded back into request parameters — the
+// working set a router replays against a freshly synced replica to warm it.
+// An unknown dataset answers ErrUnknownDataset; a known dataset with a cold
+// cache answers an empty list.
+func (s *Server) HotKeys(name string, n int) ([]client.HotKey, error) {
+	if _, err := s.network(name); err != nil {
+		return nil, err
+	}
+	return s.cache.hotKeys(name, n), nil
 }
 
 func (s *Server) network(name string) (dsEntry, error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -103,16 +104,62 @@ func (rt *Router) serveMoveDataset(w http.ResponseWriter, r *http.Request) {
 		delete(rt.moving, name)
 		rt.mu.Unlock()
 	}
-	job, err := rt.jobs.Submit(client.JobKindMove, name,
+	old := rt.replicaSetFor(name)
+	planned := rt.planMove(name, old, src, tgt)
+	// Journal before enqueue: the id is reserved first, so a crash between
+	// the journal write and the submission leaves a recoverable entry, never
+	// a job the journal has no record of.
+	id := rt.jobs.NewID()
+	rt.journalStart(journalEntry{
+		ID: id, Kind: client.JobKindMove, Dataset: name,
+		Source: rt.backends[src].Name(), Target: rt.backends[tgt].Name(),
+		Replicas: rt.namesOf(planned),
+	})
+	job, err := rt.jobs.SubmitWithID(id, client.JobKindMove, name,
 		func(cancel <-chan struct{}, progress func(string)) (*client.DatasetInfo, error) {
-			return rt.runMove(name, tgt, auth, cancel, progress, release)
+			info, err := rt.runMove(name, src, tgt, planned, auth, cancel, progress, release)
+			rt.journalFinish(id, err)
+			return info, err
 		})
 	if err != nil {
 		release()
+		rt.journalFinish(id, err)
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
+}
+
+// planMove composes the replica set a move leaves behind: the target leads,
+// existing members other than source and target stay followers, and the set
+// is refilled to its old size with ring candidates (backends outside the old
+// set first; the source only as a last resort) so a move never silently
+// shrinks a dataset's redundancy. An unreplicated dataset (old set of one)
+// plans exactly [tgt] — the pre-replication behavior. When the source lands
+// in the planned set (e.g. a two-backend fleet moving primary to its
+// follower), the move is a role swap: no source delete, no drain.
+func (rt *Router) planMove(name string, old []int, src, tgt int) []int {
+	planned := []int{tgt}
+	for _, m := range old {
+		if m != tgt && m != src {
+			planned = append(planned, m)
+		}
+	}
+	if want := len(old); len(planned) < want {
+		cands := rt.ringReplicas(name, len(rt.backends))
+		for pass := 0; pass < 2 && len(planned) < want; pass++ {
+			for _, c := range cands {
+				if len(planned) >= want {
+					break
+				}
+				if containsInt(planned, c) || (pass == 0 && c == src) {
+					continue
+				}
+				planned = append(planned, c)
+			}
+		}
+	}
+	return planned
 }
 
 // runMove executes the copy-then-cutover on a job worker. cancel is
@@ -123,48 +170,53 @@ func (rt *Router) serveMoveDataset(w http.ResponseWriter, r *http.Request) {
 // cleanup inherits it — the claim keeps creates, deletes, other moves,
 // and SyncAssignments away from the dataset until exactly one copy
 // remains.
-func (rt *Router) runMove(name string, tgt int, auth string, cancel <-chan struct{}, progress func(string), release func()) (*client.DatasetInfo, error) {
+func (rt *Router) runMove(name string, src, tgt int, planned []int, auth string, cancel <-chan struct{}, progress func(string), release func()) (*client.DatasetInfo, error) {
 	detached := false
 	defer func() {
 		if !detached {
 			release()
 		}
 	}()
-	src := rt.OwnerIndex(name)
 	if src == tgt {
 		// Already home: answer with the dataset's info, no copy at all.
 		progress("noop")
 		return rt.datasetInfoOn(tgt, name)
 	}
 
-	progress("snapshot")
+	progress("copy")
 	if chanClosed(cancel) {
 		return nil, mac.ErrCanceled
 	}
-	snap, err := rt.forward(src, http.MethodGet, "/v1/datasets/"+name+"/snapshot", nil, auth, "")
+	// The copy streams shard-to-shard through a pipe — the router never
+	// holds the snapshot in memory. A target that already has a copy (it
+	// was a follower) skips the copy: datasets are immutable, so its copy
+	// is current.
+	ds, err := rt.backends[tgt].Datasets()
 	if err != nil {
-		return nil, fmt.Errorf("snapshot from %s: %w", rt.backends[src].Name(), err)
+		return nil, fmt.Errorf("cannot reach target %s: %w", rt.backends[tgt].Name(), err)
 	}
-
-	progress("restore")
-	if chanClosed(cancel) {
-		return nil, mac.ErrCanceled
+	if !contains(ds, name) {
+		if err := rt.streamSnapshot(name, src, tgt, auth); err != nil {
+			return nil, err
+		}
 	}
-	rec, err := rt.forward(tgt, http.MethodPut, "/v1/datasets/"+name+"/snapshot",
-		bytes.NewReader(snap.body.Bytes()), auth, "application/octet-stream")
-	if err != nil {
-		return nil, fmt.Errorf("restore on %s: %w", rt.backends[tgt].Name(), err)
+	info := client.DatasetInfo{
+		Dataset:  name,
+		Shard:    rt.backends[tgt].Name(),
+		Replicas: rt.backendNames(planned),
 	}
-	var info client.DatasetInfo
-	if err := json.Unmarshal(rec.body.Bytes(), &info); err != nil {
-		info = client.DatasetInfo{Dataset: name}
-	}
-	info.Shard = rt.backends[tgt].Name()
 
 	// Point of no return: from here the move completes regardless of
 	// cancellation — both copies are live and the flip is atomic.
 	progress("cutover")
-	rt.pin(name, tgt)
+	rt.pinSet(name, planned)
+
+	if containsInt(planned, src) {
+		// Role swap: the source stays in the replica set, so there is
+		// nothing to delete and therefore nothing to drain.
+		rt.fillFollowers(name, planned, auth)
+		return &info, nil
+	}
 
 	progress("drain")
 	deadline := time.Now().Add(moveDrainTimeout)
@@ -175,10 +227,15 @@ func (rt *Router) runMove(name string, tgt int, auth string, cancel <-chan struc
 			// cleanup keeps draining and deleting, holding the moving claim
 			// so nothing (including SyncAssignments) touches the retained
 			// source copy meanwhile.
+			inFlight := rt.routedInFlight(name, src)
+			rt.drainTimeouts.Add(1)
+			slog.Warn("move drain timed out; source copy retained while cleanup continues",
+				"dataset", name, "source", rt.backends[src].Name(),
+				"target", rt.backends[tgt].Name(), "in_flight", inFlight)
 			detached = true
 			go rt.finishCleanup(name, src, auth, release)
 			return &info, fmt.Errorf("drain timeout: %d request(s) still in flight on %s; source cleanup continues in the background",
-				rt.routedInFlight(name, src), rt.backends[src].Name())
+				inFlight, rt.backends[src].Name())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -188,7 +245,17 @@ func (rt *Router) runMove(name string, tgt int, auth string, cancel <-chan struc
 		return &info, fmt.Errorf("source cleanup on %s (dataset already serving from %s): %w",
 			rt.backends[src].Name(), rt.backends[tgt].Name(), err)
 	}
+	rt.fillFollowers(name, planned, auth)
 	return &info, nil
+}
+
+// fillFollowers submits a replicate job when the planned set names followers
+// that may not hold the dataset yet (a replicated dataset whose move pulled
+// in a fresh ring candidate).
+func (rt *Router) fillFollowers(name string, planned []int, auth string) {
+	if len(planned) > 1 {
+		rt.submitReplicate(name, auth)
+	}
 }
 
 // finishCleanup is the detached tail of a move whose drain timed out: keep
@@ -273,10 +340,11 @@ func chanClosed(c <-chan struct{}) bool {
 }
 
 // StartProber launches a background loop that re-syncs the assignment
-// table from the backends every interval — the belt to noteProbe's
-// suspenders: even with no organic health traffic, a peer that comes back
-// from an outage is re-adopted within one interval. Returns a stop
-// function. interval <= 0 selects 15s.
+// table and the replica sets from the backends every interval — the belt to
+// noteProbe's suspenders: even with no organic health traffic, a peer that
+// comes back from an outage is re-adopted (and its follower copies
+// restored) within one interval. Returns a stop function. interval <= 0
+// selects 15s.
 func (rt *Router) StartProber(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = 15 * time.Second
@@ -291,6 +359,7 @@ func (rt *Router) StartProber(interval time.Duration) (stop func()) {
 				return
 			case <-t.C:
 				rt.SyncAssignments()
+				rt.SyncReplicas()
 			}
 		}
 	}()

@@ -32,6 +32,17 @@
 // source copy — a concurrently-querying client sees no 404/502 window at
 // any point (see move.go).
 //
+// Replication layers fault tolerance on top (see replica.go): a dataset's
+// assignment is an ordered replica set — primary first, then followers on
+// distinct ring owners found by walking the ring past the primary. Reads
+// route to the primary and fail over in-router to the next healthy replica
+// on a connection error or 502, so a single backend death costs zero non-2xx
+// answers; control-plane writes go through the primary and fan to followers
+// as replicate jobs that stream a snapshot shard-to-shard. Replicate and
+// move jobs are journaled durably next to the assignments file (journal.go),
+// so a restarted router resumes or explicitly fails them instead of
+// silently forgetting in-flight work.
+//
 // The Router holds no query state of its own: all caching, admission
 // control, and deadline handling stay in the per-shard service tier, so the
 // routing layer adds one hash (and, for legacy requests, one body peek) per
@@ -46,6 +57,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -185,7 +197,15 @@ func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The upstream connection died mid-body. The status line is already
+		// out, so nothing can be un-sent here — but a failover-aware caller
+		// recording the response must learn the body is truncated, or it
+		// would replay a partial 200 to the client as if it were complete.
+		if sink, ok := w.(interface{ proxyFailed(error) }); ok {
+			sink.proxyFailed(err)
+		}
+	}
 }
 
 // Stats implements Backend through the SDK, which normalizes the leaf
@@ -234,20 +254,55 @@ type Router struct {
 	ring     []ringPoint
 	jobs     *service.Jobs
 
-	// down[i] remembers that backend i failed its last probe; the first
-	// successful probe afterwards re-syncs its datasets into the assignment
-	// table (a peer that restarted during a router outage would otherwise
-	// silently lose its off-ring datasets from the table).
+	// replication is the default replica count for datasets created without
+	// an explicit spec.Replication. Set through SetReplication before the
+	// router serves traffic; 1 (the zero-config default) means no followers.
+	replication int
+
+	// down[i] remembers that backend i failed its last probe (or answered a
+	// read with a transport-level 502); the first successful probe afterwards
+	// re-syncs its datasets into the assignment table and re-syncs replicas
+	// (a peer that restarted during a router outage would otherwise silently
+	// lose its off-ring datasets from the table, and a restarted-empty peer
+	// needs its follower copies restored).
 	down []atomic.Bool
 
-	mu          sync.RWMutex
-	assign      map[string]int // dataset -> backend index, when pinned off-ring
+	// probes[i] is backend i's probe bookkeeping for the health payload:
+	// when it was last probed and how many consecutive probes have failed.
+	probes []probeState
+
+	// failovers counts reads answered by a non-primary replica after the
+	// primary failed mid-request; drainTimeouts counts moves whose source
+	// drain hit the fail-safe. Both surface in /v1/stats totals.
+	failovers     atomic.Int64
+	drainTimeouts atomic.Int64
+
+	journal *jobJournal // nil until EnableJobJournal
+
+	mu sync.RWMutex
+	// assign maps dataset -> ordered replica set (primary first). A dataset
+	// absent from the table lives unreplicated on its ring owner.
+	assign map[string][]int
+	// assignGen increments on every assignment flip (pin/unpin/cutover).
+	// Background reconciles snapshot it before fanning out and abort their
+	// re-pins when it moved meanwhile: their dataset lists are stale the
+	// moment any assignment flips, and acting on them could resurrect a pin
+	// a concurrent move's cutover just replaced.
+	assignGen   uint64
 	moving      map[string]bool
-	persistPath string // when non-empty, assign is mirrored to this file
+	syncing     map[string]bool // datasets with a replicate job in flight
+	persistPath string          // when non-empty, assign is mirrored to this file
 	// inflight counts requests routed to (dataset, backend) that have not
 	// returned yet; a move drains the source's count after the cutover so
 	// the delete can never race a request routed before the flip.
 	inflight map[routeKey]*atomic.Int64
+}
+
+// probeState is one backend's probe bookkeeping (atomics: probes fan out
+// concurrently).
+type probeState struct {
+	lastUnixNano atomic.Int64 // 0 = never probed
+	consecFails  atomic.Int64
 }
 
 // routeKey identifies one (dataset, backend) routing decision.
@@ -285,15 +340,34 @@ func NewRouter(backends []Backend, vnodes int) (*Router, error) {
 		return ring[i].idx < ring[j].idx
 	})
 	return &Router{
-		backends: backends,
-		byName:   byName,
-		ring:     ring,
-		jobs:     service.NewJobs(0),
-		down:     make([]atomic.Bool, len(backends)),
-		assign:   make(map[string]int),
-		moving:   make(map[string]bool),
-		inflight: make(map[routeKey]*atomic.Int64),
+		backends:    backends,
+		byName:      byName,
+		ring:        ring,
+		jobs:        service.NewJobs(0),
+		replication: 1,
+		down:        make([]atomic.Bool, len(backends)),
+		probes:      make([]probeState, len(backends)),
+		assign:      make(map[string][]int),
+		moving:      make(map[string]bool),
+		syncing:     make(map[string]bool),
+		inflight:    make(map[routeKey]*atomic.Int64),
 	}, nil
+}
+
+// SetReplication sets the default replica count for datasets whose spec does
+// not choose one, clamped to [1, number of backends]. Call before serving
+// traffic (cmd/macserver wires -replication here); it does not retrofit
+// replicas onto datasets already assigned.
+func (rt *Router) SetReplication(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(rt.backends) {
+		n = len(rt.backends)
+	}
+	rt.mu.Lock()
+	rt.replication = n
+	rt.mu.Unlock()
 }
 
 // ringHash is 64-bit FNV-1a followed by a murmur-style finalizer: stable
@@ -325,16 +399,81 @@ func (rt *Router) ringOwnerIndex(dataset string) int {
 	return rt.ring[i].idx
 }
 
-// OwnerIndex returns the index of the backend owning a dataset: the pinned
-// assignment when the lifecycle recorded one, otherwise the ring owner.
+// ringReplicas returns up to n distinct backends for a dataset by walking
+// the ring clockwise from the dataset's hash: the first distinct owner is
+// the ring owner, later ones skip vnodes of backends already chosen. The
+// walk is deterministic, so every router over the same backends computes the
+// same replica placement.
+func (rt *Router) ringReplicas(dataset string, n int) []int {
+	if n > len(rt.backends) {
+		n = len(rt.backends)
+	}
+	if n < 1 {
+		n = 1
+	}
+	h := ringHash(dataset)
+	start := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for j := 0; j < len(rt.ring) && len(out) < n; j++ {
+		p := rt.ring[(start+j)%len(rt.ring)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+// OwnerIndex returns the index of the backend owning a dataset (the replica
+// set's primary): the pinned assignment when the lifecycle recorded one,
+// otherwise the ring owner.
 func (rt *Router) OwnerIndex(dataset string) int {
 	rt.mu.RLock()
-	idx, pinned := rt.assign[dataset]
+	set, pinned := rt.assign[dataset]
 	rt.mu.RUnlock()
 	if pinned {
-		return idx
+		return set[0]
 	}
 	return rt.ringOwnerIndex(dataset)
+}
+
+// replicaSetFor returns the dataset's ordered replica set, primary first:
+// the recorded assignment when the lifecycle pinned one, otherwise a ring
+// walk at the router's default replication. The result is a copy.
+func (rt *Router) replicaSetFor(dataset string) []int {
+	rt.mu.RLock()
+	set, pinned := rt.assign[dataset]
+	if pinned {
+		set = append([]int(nil), set...)
+	}
+	n := rt.replication
+	rt.mu.RUnlock()
+	if pinned {
+		return set
+	}
+	return rt.ringReplicas(dataset, n)
+}
+
+// readCandidates orders a dataset's replicas for the read path: the replica
+// set with down-marked backends moved to the back (order otherwise
+// preserved, so a healthy fleet always reads from the primary). Every
+// replica stays a candidate — the down flag is a hint, not a verdict.
+func (rt *Router) readCandidates(dataset string) []int {
+	set := rt.replicaSetFor(dataset)
+	if len(set) == 1 {
+		return set
+	}
+	healthy := make([]int, 0, len(set))
+	var unhealthy []int
+	for _, i := range set {
+		if rt.down[i].Load() {
+			unhealthy = append(unhealthy, i)
+		} else {
+			healthy = append(healthy, i)
+		}
+	}
+	return append(healthy, unhealthy...)
 }
 
 // Owner returns the backend owning a dataset.
@@ -346,39 +485,48 @@ func (rt *Router) Owner(dataset string) Backend {
 // not mutate the result.
 func (rt *Router) Backends() []Backend { return rt.backends }
 
-// pin records an off-ring assignment (a create that landed somewhere the
-// ring would not put it); on-ring assignments need no record. When
-// persistence is enabled, the table is mirrored to disk under the lock —
-// the flip a client observes and the flip a restart recovers are the same
-// write.
-func (rt *Router) pin(dataset string, idx int) {
-	rt.mu.Lock()
-	if idx == rt.ringOwnerIndex(dataset) {
+// setReplicasLocked records a dataset's ordered replica set (primary first)
+// in the assignment table. A single-member set equal to the ring owner needs
+// no record; everything else is pinned. When persistence is enabled, the
+// table is mirrored to disk in the same critical section — the flip a client
+// observes and the flip a restart recovers are the same write. Every call
+// bumps the assignment generation (see assignGen). Caller holds rt.mu.
+func (rt *Router) setReplicasLocked(dataset string, set []int) {
+	rt.assignGen++
+	if len(set) == 1 && set[0] == rt.ringOwnerIndex(dataset) {
 		delete(rt.assign, dataset)
 	} else {
-		rt.assign[dataset] = idx
+		rt.assign[dataset] = append([]int(nil), set...)
 	}
 	rt.saveAssignmentsLocked()
+}
+
+// pinSet records a dataset's ordered replica set under the lock.
+func (rt *Router) pinSet(dataset string, set []int) {
+	rt.mu.Lock()
+	rt.setReplicasLocked(dataset, set)
 	rt.mu.Unlock()
 }
 
+// pin records a single-owner assignment (no followers).
+func (rt *Router) pin(dataset string, idx int) { rt.pinSet(dataset, []int{idx}) }
+
 func (rt *Router) unpin(dataset string) {
 	rt.mu.Lock()
+	rt.assignGen++
 	delete(rt.assign, dataset)
 	rt.saveAssignmentsLocked()
 	rt.mu.Unlock()
 }
 
-// beginRoute resolves a dataset's owner and registers the request in the
-// in-flight table; the returned done must be called when the forwarded
-// request settles. Moves use the table to drain the source after a cutover.
-func (rt *Router) beginRoute(dataset string) (idx int, done func()) {
-	rt.mu.Lock()
-	idx, pinned := rt.assign[dataset]
-	if !pinned {
-		idx = rt.ringOwnerIndex(dataset)
-	}
+// trackRoute registers a request routed to (dataset, idx) in the in-flight
+// table; the returned done must be called when the forwarded request
+// settles. Moves use the table to drain the source after a cutover — and
+// because failover attempts register against the backend they actually hit,
+// the drain count stays exact under failover too.
+func (rt *Router) trackRoute(dataset string, idx int) (done func()) {
 	key := routeKey{name: dataset, idx: idx}
+	rt.mu.Lock()
 	ctr := rt.inflight[key]
 	if ctr == nil {
 		ctr = new(atomic.Int64)
@@ -386,13 +534,13 @@ func (rt *Router) beginRoute(dataset string) (idx int, done func()) {
 	}
 	ctr.Add(1)
 	rt.mu.Unlock()
-	return idx, func() {
+	return func() {
 		if ctr.Add(-1) != 0 {
 			return
 		}
 		// Last one out removes the entry — the table tracks client-supplied
 		// names, so it must not grow with every dataset ever asked about.
-		// The re-check under the lock keeps a concurrent beginRoute (which
+		// The re-check under the lock keeps a concurrent trackRoute (which
 		// may have incremented this same counter) safe.
 		rt.mu.Lock()
 		if cur, ok := rt.inflight[key]; ok && cur == ctr && cur.Load() == 0 {
@@ -425,15 +573,29 @@ func (rt *Router) routedInFlight(dataset string, idx int) int64 {
 // sync recovers lost knowledge, it never overrides working routing. Only
 // a dataset whose current owner does not hold it is re-pinned, to the
 // ring owner if that shard holds a copy, else the lowest-indexed holder
-// (deterministic across concurrent syncs). A stale duplicate copy — e.g.
-// one retained by a move whose drain timed out — therefore can never
-// steal routing from the live copy. Unreachable backends are skipped and
-// marked down; datasets mid-move are left to the move job. It returns the
-// number of off-ring pins recorded.
+// (deterministic across concurrent syncs); followers in the replica set are
+// preserved. A stale duplicate copy — e.g. one retained by a move whose
+// drain timed out — therefore can never steal routing from the live copy.
+// Unreachable backends are skipped and marked down; datasets mid-move are
+// left to the move job. It returns the number of re-pins applied.
+//
+// The dataset lists are a snapshot: any assignment flip that lands while
+// they are being gathered (a move's cutover, a concurrent create) makes
+// conclusions drawn from them stale — a cutover could complete between the
+// fetch and the re-pin, and the re-pin would resurrect the source the move
+// just drained. The assignment generation guards that window: the whole
+// batch of re-pins applies only if no flip happened since the fetch began,
+// and is otherwise discarded (the next probe interval retries with fresh
+// lists).
 func (rt *Router) SyncAssignments() int {
+	rt.mu.RLock()
+	startGen := rt.assignGen
+	rt.mu.RUnlock()
+
 	lists := make([][]string, len(rt.backends))
 	rt.fanOut(func(i int, b Backend) {
 		ds, err := b.Datasets()
+		rt.recordProbe(i, err)
 		rt.down[i].Store(err != nil)
 		if err != nil {
 			return
@@ -447,12 +609,17 @@ func (rt *Router) SyncAssignments() int {
 			holders[d] = append(holders[d], i)
 		}
 	}
-	pins := 0
+	type rePin struct {
+		name string
+		set  []int
+	}
+	var plans []rePin
 	for d, on := range holders {
 		if rt.isMoving(d) {
 			continue
 		}
-		cur := rt.OwnerIndex(d)
+		set := rt.replicaSetFor(d)
+		cur := set[0]
 		if lists[cur] != nil && contains(lists[cur], d) {
 			continue // current routing works; never override it
 		}
@@ -466,11 +633,33 @@ func (rt *Router) SyncAssignments() int {
 		if contains(lists[ring], d) {
 			best = ring
 		}
-		if rt.OwnerIndex(d) != best {
-			rt.pin(d, best)
+		if best == cur {
+			continue
+		}
+		// Promote the holder to primary, keep the other members (including
+		// the demoted ex-primary) as followers so a later replica sync can
+		// restore their copies.
+		ns := []int{best}
+		for _, i := range set {
+			if i != best {
+				ns = append(ns, i)
+			}
+		}
+		plans = append(plans, rePin{name: d, set: ns})
+	}
+
+	pins := 0
+	rt.mu.Lock()
+	if rt.assignGen == startGen {
+		for _, p := range plans {
+			if rt.moving[p.name] {
+				continue
+			}
+			rt.setReplicasLocked(p.name, p.set)
 			pins++
 		}
 	}
+	rt.mu.Unlock()
 	return pins
 }
 
@@ -483,27 +672,50 @@ func contains(ds []string, name string) bool {
 	return false
 }
 
+// recordProbe updates backend i's probe bookkeeping (timestamp and
+// consecutive-failure count) without touching the down flag or triggering
+// reconciles — every probe path feeds it.
+func (rt *Router) recordProbe(i int, err error) {
+	rt.probes[i].lastUnixNano.Store(time.Now().UnixNano())
+	if err != nil {
+		rt.probes[i].consecFails.Add(1)
+	} else {
+		rt.probes[i].consecFails.Store(0)
+	}
+}
+
 // noteProbe records a probe outcome for backend i. On a down→up transition
 // a full reconcile runs: a peer that came back after an outage may hold
 // off-ring datasets this router has never seen pinned, and the reconcile
 // (unlike a single-backend view) knows whether the current owner of each
-// one actually holds it.
+// one actually holds it. Replicas are re-synced too: a peer that restarted
+// empty needs its follower copies streamed back.
 func (rt *Router) noteProbe(i int, err error) {
+	rt.recordProbe(i, err)
 	if err != nil {
 		rt.down[i].Store(true)
 		return
 	}
 	if rt.down[i].Swap(false) {
 		rt.SyncAssignments()
+		rt.SyncReplicas()
 	}
 }
 
+// markBackendDown flags a backend the read path just saw fail at the
+// transport level, so later reads prefer its peers until a probe sees it
+// healthy again.
+func (rt *Router) markBackendDown(i int) { rt.down[i].Store(true) }
+
 // assignmentsFile is the on-disk form of the assignment table: dataset →
-// backend name (names survive reordering of the backend slice across
-// restarts; indexes would not).
+// ordered replica set of backend names, primary first (names survive
+// reordering of the backend slice across restarts; indexes would not).
+// Version 1 files carried a single backend name per dataset; they load as
+// single-member sets.
 type assignmentsFile struct {
 	Version     int               `json:"version"`
-	Assignments map[string]string `json:"assignments"`
+	Assignments map[string]string `json:"assignments,omitempty"` // v1
+	Replicas    map[string][]string `json:"replicas,omitempty"`  // v2
 }
 
 // PersistAssignments enables assignment-table persistence: the file at
@@ -520,11 +732,24 @@ func (rt *Router) PersistAssignments(path string) (int, error) {
 			return 0, fmt.Errorf("shard: assignments file %s: %w", path, err)
 		}
 		rt.mu.Lock()
-		for ds, name := range af.Assignments {
+		for ds, name := range af.Assignments { // v1: single owner
 			if idx, ok := rt.byName[name]; ok && idx != rt.ringOwnerIndex(ds) {
-				rt.assign[ds] = idx
+				rt.assign[ds] = []int{idx}
 				loaded++
 			}
+		}
+		for ds, names := range af.Replicas { // v2: ordered replica set
+			var set []int
+			for _, name := range names {
+				if idx, ok := rt.byName[name]; ok && !containsInt(set, idx) {
+					set = append(set, idx)
+				}
+			}
+			if len(set) == 0 || (len(set) == 1 && set[0] == rt.ringOwnerIndex(ds)) {
+				continue
+			}
+			rt.assign[ds] = set
+			loaded++
 		}
 		rt.mu.Unlock()
 	} else if !errors.Is(err, os.ErrNotExist) {
@@ -537,6 +762,15 @@ func (rt *Router) PersistAssignments(path string) (int, error) {
 	return loaded, nil
 }
 
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
 // saveAssignmentsLocked mirrors the table to disk when persistence is on.
 // Caller holds rt.mu. Write failures are swallowed: routing must not start
 // failing because a disk did, and the next mutation retries.
@@ -544,9 +778,13 @@ func (rt *Router) saveAssignmentsLocked() {
 	if rt.persistPath == "" {
 		return
 	}
-	af := assignmentsFile{Version: 1, Assignments: make(map[string]string, len(rt.assign))}
-	for ds, idx := range rt.assign {
-		af.Assignments[ds] = rt.backends[idx].Name()
+	af := assignmentsFile{Version: 2, Replicas: make(map[string][]string, len(rt.assign))}
+	for ds, set := range rt.assign {
+		names := make([]string, len(set))
+		for i, idx := range set {
+			names[i] = rt.backends[idx].Name()
+		}
+		af.Replicas[ds] = names
 	}
 	data, err := json.MarshalIndent(af, "", "  ")
 	if err != nil {
@@ -573,7 +811,8 @@ func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets/{name}/search", rt.routeDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}/ktcore", rt.routeDataset)
-	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", rt.routeDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}/hotkeys", rt.routeDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", rt.routeSnapshotGet)
 	mux.HandleFunc("PUT /v1/datasets/{name}/snapshot", rt.serveRestoreSnapshot)
 	mux.HandleFunc("POST /v1/datasets/{name}/move", rt.serveMoveDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}", rt.serveCreateDataset)
@@ -589,20 +828,40 @@ func (rt *Router) Handler() http.Handler {
 	return mux
 }
 
-// routeDataset hands a dataset-scoped request to the owning shard. The URL
-// names the dataset, so the body streams through untouched. The routing
-// decision is tracked in the in-flight table so a move can drain the
-// source before deleting it.
+// routeDataset hands a dataset-scoped read (search, ktcore, hotkeys) to the
+// dataset's primary, failing over in-router to the next replica when the
+// primary fails at the transport level. The body is buffered (bounded by
+// MaxRequestBody) so a failover attempt can replay it.
 func (rt *Router) routeDataset(w http.ResponseWriter, r *http.Request) {
-	idx, done := rt.beginRoute(r.PathValue("name"))
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	}
+	rt.routeRead(w, r, r.PathValue("name"), body)
+}
+
+// routeSnapshotGet streams a snapshot export from the first healthy replica.
+// Unlike the small-bodied reads, a snapshot cannot go through the buffering
+// failover path (the recorder would hold the whole dataset in router
+// memory), so the route picks one replica up front and streams through.
+func (rt *Router) routeSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	idx := rt.readCandidates(name)[0]
+	done := rt.trackRoute(name, idx)
 	defer done()
 	rt.backends[idx].ServeAPI(w, r)
 }
 
 // routeLegacy is the compat shim for the body-addressed endpoints: peek the
-// dataset from the request body, restore the body, and forward under the
-// original URL (the shard service keeps its own legacy shims, so the
-// response is byte-identical to the pre-resource API).
+// dataset from the request body and forward under the original URL (the
+// shard service keeps its own legacy shims, so the response is
+// byte-identical to the pre-resource API). Failover applies like on the
+// dataset-scoped routes.
 func (rt *Router) routeLegacy(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
 	if err != nil {
@@ -620,11 +879,75 @@ func (rt *Router) routeLegacy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing dataset"))
 		return
 	}
-	r.Body = io.NopCloser(bytes.NewReader(body))
-	r.ContentLength = int64(len(body))
-	idx, done := rt.beginRoute(peek.Dataset)
-	defer done()
-	rt.backends[idx].ServeAPI(w, r)
+	rt.routeRead(w, r, peek.Dataset, body)
+}
+
+// routeRead forwards a read to the dataset's replicas in candidate order:
+// primary first, then each follower, skipping ahead whenever an attempt
+// fails at the transport level (a 502, or a response that died mid-body).
+// The response is captured in a recorder per attempt, so nothing reaches
+// the client until one replica has answered in full — a mid-body connection
+// loss on the primary is invisible to the client rather than a truncated
+// 200. An answer served by a non-primary replica carries the X-Failed-Over
+// header naming the shard that answered.
+//
+// A 404 from a follower after an earlier transport failure is treated as a
+// failed attempt, not an answer: the replica set says the follower should
+// hold the dataset, so the likeliest truth is that its sync has not landed
+// yet — and the earlier 502 (retryable) is a more honest answer than a
+// semantic "does not exist".
+func (rt *Router) routeRead(w http.ResponseWriter, r *http.Request, name string, body []byte) {
+	cands := rt.readCandidates(name)
+	var firstFailure *recorder
+	var first404 *recorder
+	for ai, idx := range cands {
+		req := r.Clone(r.Context())
+		if body != nil {
+			req.Body = io.NopCloser(bytes.NewReader(body))
+			req.ContentLength = int64(len(body))
+		}
+		done := rt.trackRoute(name, idx)
+		rec := newRecorder()
+		rt.backends[idx].ServeAPI(rec, req)
+		done()
+		if rec.code == http.StatusBadGateway || rec.proxyErr != nil {
+			rt.markBackendDown(idx)
+			if firstFailure == nil && rec.proxyErr == nil {
+				firstFailure = rec
+			}
+			continue
+		}
+		if rec.code == http.StatusNotFound && len(cands) > 1 {
+			// Reachable but not holding the dataset: stale placement — a
+			// replica that restarted empty, or a probe clearing the down
+			// flag before the reconcile re-pins. Another replica may hold
+			// a copy; the backend itself is healthy, so it is not marked
+			// down. If every candidate 404s, the 404 was real.
+			if first404 == nil {
+				first404 = rec
+			}
+			continue
+		}
+		if ai > 0 {
+			rec.header.Set(client.HeaderFailedOver, rt.backends[idx].Name())
+			rt.failovers.Add(1)
+		}
+		rec.replay(w)
+		return
+	}
+	// A dead backend outranks a 404: the dataset may well exist on it, and
+	// 502 tells the client (and the SDK's retry loop) to try again, where a
+	// 404 would read as authoritative.
+	if firstFailure != nil {
+		firstFailure.replay(w)
+		return
+	}
+	if first404 != nil {
+		first404.replay(w)
+		return
+	}
+	writeError(w, http.StatusBadGateway,
+		fmt.Errorf("%w: every replica of %q failed", ErrShardDown, name))
 }
 
 // serveCreateDataset registers a dataset on the shard that should own it —
@@ -735,7 +1058,13 @@ func (rt *Router) createOnOwner(name string, spec *client.DatasetSpec, body []by
 		}
 		return nil, rec.code, errors.New(msg)
 	}
-	rt.pin(name, idx)
+	set := rt.placementFor(name, idx, spec.Replication)
+	rt.pinSet(name, set)
+	if len(set) > 1 {
+		// Followers sync in the background: the create answers as soon as
+		// the primary serves, redundancy arrives via the replicate job.
+		rt.submitReplicate(name, auth)
+	}
 	// Stamp the placement into the response so the caller learns where the
 	// dataset landed.
 	var info client.DatasetInfo
@@ -743,7 +1072,44 @@ func (rt *Router) createOnOwner(name string, spec *client.DatasetSpec, body []by
 		return nil, http.StatusBadGateway, fmt.Errorf("shard %s: malformed create response", rt.backends[idx].Name())
 	}
 	info.Shard = rt.backends[idx].Name()
+	info.Replicas = rt.backendNames(set)
 	return &info, http.StatusCreated, nil
+}
+
+// placementFor composes a dataset's ordered replica set: the chosen primary
+// followed by ring-walk followers on distinct backends, rf members in total
+// (0 selects the router default; clamped to the backend count).
+func (rt *Router) placementFor(name string, primary, rf int) []int {
+	if rf <= 0 {
+		rt.mu.RLock()
+		rf = rt.replication
+		rt.mu.RUnlock()
+	}
+	if rf > len(rt.backends) {
+		rf = len(rt.backends)
+	}
+	set := []int{primary}
+	for _, c := range rt.ringReplicas(name, len(rt.backends)) {
+		if len(set) >= rf {
+			break
+		}
+		if !containsInt(set, c) {
+			set = append(set, c)
+		}
+	}
+	return set
+}
+
+// backendNames maps backend indices to their shard names.
+func (rt *Router) backendNames(set []int) []string {
+	if len(set) <= 1 {
+		return nil
+	}
+	names := make([]string, len(set))
+	for i, idx := range set {
+		names[i] = rt.backends[idx].Name()
+	}
+	return names
 }
 
 // isMoving reports whether a move job currently owns the dataset's
@@ -768,10 +1134,15 @@ func (rt *Router) serveRestoreSnapshot(w http.ResponseWriter, r *http.Request) {
 	rec := newRecorder()
 	rt.backends[idx].ServeAPI(rec, r)
 	if rec.code == http.StatusCreated {
-		rt.pin(name, idx)
+		set := rt.placementFor(name, idx, 0)
+		rt.pinSet(name, set)
+		if len(set) > 1 {
+			rt.submitReplicate(name, r.Header.Get("Authorization"))
+		}
 		var info client.DatasetInfo
 		if json.Unmarshal(rec.body.Bytes(), &info) == nil {
 			info.Shard = rt.backends[idx].Name()
+			info.Replicas = rt.backendNames(set)
 			writeJSON(w, rec.code, info)
 			return
 		}
@@ -801,18 +1172,29 @@ func (rt *Router) serveCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
-// serveDeleteDataset forwards the delete to the owning shard and erases the
-// assignment on success; re-creating the dataset afterwards (optionally
-// pinned elsewhere) is how a dataset moves without a restart.
+// serveDeleteDataset forwards the delete to the primary and erases the
+// assignment on success; follower copies are deleted best-effort afterwards
+// (an unreachable follower keeps its copy, which the conservative reconcile
+// rule can never route to while the routing table has no entry pointing at
+// it). Re-creating the dataset afterwards (optionally pinned elsewhere) is
+// how a dataset moves without a restart.
 func (rt *Router) serveDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if rt.isMoving(name) {
 		writeError(w, http.StatusConflict, fmt.Errorf("dataset %q is mid-move; retry shortly", name))
 		return
 	}
+	set := rt.replicaSetFor(name)
 	rec := newRecorder()
-	rt.Owner(name).ServeAPI(rec, r)
+	rt.backends[set[0]].ServeAPI(rec, r)
 	if rec.code/100 == 2 {
+		auth := r.Header.Get("Authorization")
+		for _, f := range set[1:] {
+			if _, err := rt.forward(f, http.MethodDelete, "/v1/datasets/"+name, nil, auth, ""); err != nil {
+				slog.Warn("follower delete failed; stale copy retained",
+					"dataset", name, "shard", rt.backends[f].Name(), "err", err)
+			}
+		}
 		rt.unpin(name)
 	}
 	rec.replay(w)
@@ -847,24 +1229,30 @@ func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request) {
 
 	results := make([]client.BatchItemResult, len(req.Items))
 	groups := make(map[int][]int) // backend index -> original item indices
+	tried := make([]map[int]bool, len(req.Items))
 	for i := range req.Items {
 		ds := req.Items[i].Dataset
 		if ds == "" {
 			results[i] = client.BatchItemResult{Status: http.StatusBadRequest, Error: "missing dataset"}
 			continue
 		}
-		// Each item's routing decision joins the in-flight table, so a move
-		// drains batch traffic to the source like single requests.
-		idx, done := rt.beginRoute(ds)
-		defer done()
+		tried[i] = make(map[int]bool)
+		idx := rt.readCandidates(ds)[0]
 		groups[idx] = append(groups[idx], i)
 	}
 	if len(groups) == 1 && len(groups[firstKey(groups)]) == len(req.Items) {
-		// Single owner and no locally rejected items: stream through.
-		r.Body = io.NopCloser(bytes.NewReader(body))
-		r.ContentLength = int64(len(body))
-		rt.backends[firstKey(groups)].ServeAPI(w, r)
-		return
+		// Single owner and no locally rejected items: stream through via the
+		// failover-aware path (the whole batch is one dataset group).
+		idx := firstKey(groups)
+		if len(rt.readCandidates(req.Items[0].Dataset)) == 1 {
+			// No replicas to fail over to: stream the original body through.
+			done := rt.trackRoute(req.Items[0].Dataset, idx)
+			defer done()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+			rt.backends[idx].ServeAPI(w, r)
+			return
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -872,7 +1260,7 @@ func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(idx int, items []int) {
 			defer wg.Done()
-			rt.forwardSubBatch(r, &req, idx, items, results)
+			rt.forwardSubBatch(r, &req, idx, items, results, tried, 0)
 		}(idx, items)
 	}
 	wg.Wait()
@@ -889,8 +1277,12 @@ func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // forwardSubBatch sends the items owned by one backend as a batch of their
-// own and scatters the answers back into the original positions.
-func (rt *Router) forwardSubBatch(r *http.Request, req *client.BatchRequest, idx int, items []int, results []client.BatchItemResult) {
+// own and scatters the answers back into the original positions. When the
+// whole sub-batch fails at the transport level, each item is regrouped onto
+// its next untried replica and re-dispatched — batch items enjoy the same
+// failover as single requests. Recursion terminates because every dispatch
+// marks the backend tried for all its items.
+func (rt *Router) forwardSubBatch(r *http.Request, req *client.BatchRequest, idx int, items []int, results []client.BatchItemResult, tried []map[int]bool, attempt int) {
 	sub := client.BatchRequest{TimeoutMs: req.TimeoutMs, Parallel: req.Parallel, Items: make([]client.BatchItem, len(items))}
 	for si, oi := range items {
 		sub.Items[si] = req.Items[oi]
@@ -909,8 +1301,45 @@ func (rt *Router) forwardSubBatch(r *http.Request, req *client.BatchRequest, idx
 	if auth := r.Header.Get("Authorization"); auth != "" {
 		fwd.Header.Set("Authorization", auth)
 	}
+	// Each item joins the in-flight table against the backend actually hit,
+	// so a move drains batch traffic to the source like single requests.
+	dones := make([]func(), 0, len(items))
+	for _, oi := range items {
+		dones = append(dones, rt.trackRoute(req.Items[oi].Dataset, idx))
+	}
 	rec := newRecorder()
 	rt.backends[idx].ServeAPI(rec, fwd)
+	for _, done := range dones {
+		done()
+	}
+	if rec.code == http.StatusBadGateway || rec.proxyErr != nil {
+		rt.markBackendDown(idx)
+		msg := errorMessage(rec.body.Bytes())
+		if msg == "" {
+			msg = fmt.Sprintf("shard %s unreachable", rt.backends[idx].Name())
+		}
+		regroups := make(map[int][]int)
+		for _, oi := range items {
+			tried[oi][idx] = true
+			next := -1
+			for _, c := range rt.readCandidates(req.Items[oi].Dataset) {
+				if !tried[oi][c] {
+					next = c
+					break
+				}
+			}
+			if next < 0 {
+				results[oi] = client.BatchItemResult{Status: http.StatusBadGateway, Error: msg}
+				continue
+			}
+			regroups[next] = append(regroups[next], oi)
+		}
+		for nidx, nitems := range regroups {
+			rt.failovers.Add(1)
+			rt.forwardSubBatch(r, req, nidx, nitems, results, tried, attempt+1)
+		}
+		return
+	}
 	if rec.code != http.StatusOK {
 		msg := errorMessage(rec.body.Bytes())
 		if msg == "" {
@@ -927,6 +1356,32 @@ func (rt *Router) forwardSubBatch(r *http.Request, req *client.BatchRequest, idx
 	}
 	for si, oi := range items {
 		results[oi] = subResp.Items[si]
+	}
+	// Stale placement: an item that 404'd on this backend may still be held
+	// by another replica (one restarted empty, or a probe cleared the down
+	// flag before the reconcile re-pinned). Retry those items on their next
+	// untried candidate — the backend stays up; it is healthy, just not a
+	// holder. If every candidate 404s, the first 404 stands.
+	regroups := make(map[int][]int)
+	for si, oi := range items {
+		if subResp.Items[si].Status != http.StatusNotFound {
+			continue
+		}
+		tried[oi][idx] = true
+		next := -1
+		for _, c := range rt.readCandidates(req.Items[oi].Dataset) {
+			if !tried[oi][c] {
+				next = c
+				break
+			}
+		}
+		if next >= 0 {
+			regroups[next] = append(regroups[next], oi)
+		}
+	}
+	for nidx, nitems := range regroups {
+		rt.failovers.Add(1)
+		rt.forwardSubBatch(r, req, nidx, nitems, results, tried, attempt+1)
 	}
 }
 
@@ -958,6 +1413,10 @@ type recorder struct {
 	code   int
 	header http.Header
 	body   bytes.Buffer
+	// proxyErr is set by the backend (via the proxyFailed sink) when the
+	// upstream connection died mid-body: the captured response is truncated
+	// and must not be replayed as an answer, whatever its status code.
+	proxyErr error
 }
 
 func newRecorder() *recorder { return &recorder{code: http.StatusOK, header: http.Header{}} }
@@ -965,6 +1424,10 @@ func newRecorder() *recorder { return &recorder{code: http.StatusOK, header: htt
 func (rec *recorder) Header() http.Header         { return rec.header }
 func (rec *recorder) WriteHeader(code int)        { rec.code = code }
 func (rec *recorder) Write(p []byte) (int, error) { return rec.body.Write(p) }
+
+// proxyFailed implements the sink Remote.ServeAPI reports mid-body copy
+// errors to.
+func (rec *recorder) proxyFailed(err error) { rec.proxyErr = err }
 
 // replay copies the captured response to the real writer.
 func (rec *recorder) replay(w http.ResponseWriter) {
@@ -978,11 +1441,16 @@ func (rec *recorder) replay(w http.ResponseWriter) {
 }
 
 // ShardHealth is one shard's slice of the aggregated health payload.
+// LastProbe and ConsecutiveFailures expose the router's probe bookkeeping, so
+// an operator (or the CI fault-injection check) can tell a shard that just
+// went down from one that has been flapping for minutes.
 type ShardHealth struct {
-	Name     string   `json:"name"`
-	Ok       bool     `json:"ok"`
-	Error    string   `json:"error,omitempty"`
-	Datasets []string `json:"datasets,omitempty"`
+	Name                string   `json:"name"`
+	Ok                  bool     `json:"ok"`
+	Error               string   `json:"error,omitempty"`
+	Datasets            []string `json:"datasets,omitempty"`
+	LastProbe           string   `json:"last_probe,omitempty"` // RFC 3339; empty = never probed
+	ConsecutiveFailures int64    `json:"consecutive_failures,omitempty"`
 }
 
 func (rt *Router) serveHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -997,6 +1465,10 @@ func (rt *Router) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 			sh.Ok = true
 			sh.Datasets = ds
 		}
+		if ns := rt.probes[i].lastUnixNano.Load(); ns != 0 {
+			sh.LastProbe = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+		}
+		sh.ConsecutiveFailures = rt.probes[i].consecFails.Load()
 		shards[i] = sh
 	})
 	up := 0
@@ -1031,10 +1503,14 @@ type ShardStats struct {
 // fleet p50/p99 in Totals are true quantiles (within one bucket width) —
 // not the worst per-shard value.
 type Stats struct {
-	Shards   int           `json:"shards"`
-	Down     int           `json:"down"`
-	Totals   service.Stats `json:"totals"`
-	PerShard []ShardStats  `json:"per_shard"`
+	Shards int `json:"shards"`
+	Down   int `json:"down"`
+	// Replication is the router's default replica count; Replicas lists the
+	// pinned replica sets (dataset -> shard names, primary first).
+	Replication int                 `json:"replication,omitempty"`
+	Replicas    map[string][]string `json:"replicas,omitempty"`
+	Totals      service.Stats       `json:"totals"`
+	PerShard    []ShardStats        `json:"per_shard"`
 }
 
 // Stats fans out to every shard and aggregates.
@@ -1053,6 +1529,21 @@ func (rt *Router) Stats() Stats {
 		per[i] = ss
 	})
 	out := Stats{Shards: len(per), PerShard: per}
+	rt.mu.RLock()
+	out.Replication = rt.replication
+	if len(rt.assign) > 0 {
+		out.Replicas = make(map[string][]string, len(rt.assign))
+		for ds, set := range rt.assign {
+			names := make([]string, len(set))
+			for i, idx := range set {
+				names[i] = rt.backends[idx].Name()
+			}
+			out.Replicas[ds] = names
+		}
+	}
+	rt.mu.RUnlock()
+	out.Totals.Failovers = rt.failovers.Load()
+	out.Totals.DrainTimeouts = rt.drainTimeouts.Load()
 	datasets := make(map[string]bool)
 	var worstP50, worstP99 float64
 	bucketless := false
