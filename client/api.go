@@ -94,6 +94,18 @@ const (
 // are talking to a healthy primary.
 const HeaderFailedOver = "X-Failed-Over"
 
+// HeaderRequestID carries the request ID. A client may set it to correlate
+// its own logs with the server's; the edge generates one otherwise. Every
+// tier propagates the ID unchanged — router to leaf to job record — and
+// echoes it on the response, so one grep follows a request through a
+// failover.
+const HeaderRequestID = "X-Request-ID"
+
+// HeaderServerTiming is the standard Server-Timing response header; search
+// responses carry the per-phase breakdown (queue;dur=..., prepare;dur=...,
+// search;dur=..., encode;dur=...) in milliseconds.
+const HeaderServerTiming = "Server-Timing"
+
 // Job is an asynchronous control-plane operation as a pollable resource:
 // POST /v1/datasets/{name}?async=1 and POST /v1/datasets/{name}/move answer
 // 202 with one, and GET /v1/jobs/{id} tracks it to completion.
@@ -109,6 +121,10 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Result describes the dataset on success (create and move jobs).
 	Result *DatasetInfo `json:"result,omitempty"`
+	// RequestID is the X-Request-ID of the HTTP request that submitted the
+	// job, when it was submitted over HTTP — the link that lets one grep
+	// follow a create or move from the edge into the control plane.
+	RequestID string `json:"request_id,omitempty"`
 
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -430,6 +446,77 @@ func (s *LatencyStats) Quantile(q float64) float64 {
 	return LatencyBucketUpperMs(len(s.Buckets) - 1)
 }
 
+// KeyStats is one request class of the keyed metrics registry: the latency
+// histogram of every terminal answer for one (dataset, variant, route,
+// outcome) combination. Unlike the top-level Latency slice (completed
+// requests only, for backward compatibility), keyed histograms record every
+// terminal status — a 429 or 504 lands in its own outcome series instead of
+// vanishing, so p99 cannot lie by dropping rejected traffic.
+type KeyStats struct {
+	Dataset string `json:"dataset"`
+	Variant string `json:"variant"` // engine variant: "core" or "truss"
+	Route   string `json:"route"`   // "search", "ktcore", or "batch"
+	// Outcome is "ok" for 2xx answers, or the error code the request was
+	// answered with (the Code* constants: "saturated", "deadline", ...).
+	Outcome string       `json:"outcome"`
+	Latency LatencyStats `json:"latency"`
+}
+
+// StatsKey builds the canonical map key of one request class. The key is
+// pure derived data (the KeyStats fields joined with '|'); keeping it
+// deterministic is what lets a router merge per-shard maps entry-wise.
+func StatsKey(dataset, variant, route, outcome string) string {
+	return dataset + "|" + variant + "|" + route + "|" + outcome
+}
+
+// MergeKeyStats folds src's keyed histograms into dst entry-wise (histogram
+// addition per key, exactly as the totals latency merges) and returns dst,
+// allocating it when nil and src is not.
+func MergeKeyStats(dst, src map[string]KeyStats) map[string]KeyStats {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]KeyStats, len(src))
+	}
+	for k, v := range src {
+		d, ok := dst[k]
+		if !ok {
+			// Copy the buckets: the merged map must not alias src's slices.
+			d = v
+			d.Latency.Buckets = append([]int64(nil), v.Latency.Buckets...)
+			dst[k] = d
+			continue
+		}
+		d.Latency.Merge(v.Latency)
+		dst[k] = d
+	}
+	return dst
+}
+
+// MergeStageStats folds src's per-phase histograms into dst (same contract
+// as MergeKeyStats, keyed by stage name: queue, prepare, search, encode).
+func MergeStageStats(dst, src map[string]LatencyStats) map[string]LatencyStats {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]LatencyStats, len(src))
+	}
+	for k, v := range src {
+		d, ok := dst[k]
+		if !ok {
+			d = v
+			d.Buckets = append([]int64(nil), v.Buckets...)
+			dst[k] = d
+			continue
+		}
+		d.Merge(v)
+		dst[k] = d
+	}
+	return dst
+}
+
 // Stats is the /v1/stats payload of one server. A shard router reports the
 // same shape under "totals" plus a per-shard breakdown; Client.Stats
 // normalizes both to this struct.
@@ -450,9 +537,26 @@ type Stats struct {
 	Failovers int64 `json:"failovers,omitempty"`
 	// DrainTimeouts counts moves whose source drain timed out and fell back
 	// to leaving both copies routable (router only).
-	DrainTimeouts int64        `json:"drain_timeouts,omitempty"`
-	Cache         CacheStats   `json:"cache"`
-	Latency       LatencyStats `json:"latency"`
+	DrainTimeouts int64 `json:"drain_timeouts,omitempty"`
+	// ReplicaSyncs counts replicate jobs a router submitted to copy a
+	// dataset onto a follower (router only).
+	ReplicaSyncs int64 `json:"replica_syncs,omitempty"`
+	// JobsDone / JobsFailed count settled control-plane jobs by outcome.
+	JobsDone   int64      `json:"jobs_done,omitempty"`
+	JobsFailed int64      `json:"jobs_failed,omitempty"`
+	Cache      CacheStats `json:"cache"`
+	// Latency is the histogram of completed (2xx) requests — the original
+	// global series, kept completed-only so its meaning never shifts under
+	// consumers.
+	Latency LatencyStats `json:"latency"`
+	// DatasetStats is the keyed registry: one latency histogram per
+	// (dataset, variant, route, outcome), keyed by StatsKey. A router merges
+	// per-shard maps entry-wise by histogram addition, so per-dataset fleet
+	// quantiles are true quantiles.
+	DatasetStats map[string]KeyStats `json:"dataset_stats,omitempty"`
+	// Stages is the per-phase breakdown of completed requests (queue wait,
+	// prepare, search, encode), keyed by stage name.
+	Stages map[string]LatencyStats `json:"stages,omitempty"`
 }
 
 // Health is the normalized /v1/healthz payload: Datasets unions the

@@ -82,8 +82,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -126,8 +127,35 @@ func main() {
 		assignFile  = flag.String("assignments-file", "", "persist the router's dataset-assignment table to this file, so moves survive a restart")
 		resyncEvery = flag.Duration("resync-interval", 15*time.Second, "background assignment re-sync period for -peers routers (recovered peers are re-adopted within one period); 0 disables")
 		replication = flag.Int("replication", 1, "replicas per dataset (primary + followers on distinct shards); reads fail over to a follower when the primary is unreachable")
+
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (access logs for /metrics and /v1/healthz emit at debug)")
+		slowQuery = flag.Duration("slow-query", 0, "log a warning with the full (Q, k, t) key for searches slower than this; 0 disables")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, attrs ...any) {
+		logger.Error(msg, attrs...)
+		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		// pprof stays off the public listener: its own port, no auth token —
+		// bind it to localhost (or a management network) in production.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "error", err)
+			}
+		}()
+	}
 
 	cfg := service.Config{
 		MaxInFlight:    *maxInFlight,
@@ -139,6 +167,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Parallelism:    *parallelism,
 		LoadSpec:       specLoader(*scale, *d, *seed),
+		Logger:         logger,
+		SlowQuery:      *slowQuery,
 	}
 
 	// Pure routing tier: no local datasets, every request proxied to the
@@ -156,7 +186,7 @@ func main() {
 		}
 		router, err := shard.NewRouter(backends, 0)
 		if err != nil {
-			log.Fatal(err)
+			fatal("router init failed", "error", err)
 		}
 		router.SetReplication(*replication)
 		// Persisted assignments come first (a restart knows where it left
@@ -166,46 +196,51 @@ func main() {
 		// probe — the moment it answers again.
 		if *assignFile != "" {
 			if n, err := router.PersistAssignments(*assignFile); err != nil {
-				log.Fatal(err)
+				fatal("loading assignments failed", "path", *assignFile, "error", err)
 			} else if n > 0 {
-				log.Printf("loaded %d dataset assignment(s) from %s", n, *assignFile)
+				logger.Info("loaded dataset assignments", "count", n, "path", *assignFile)
 			}
 			// The job journal rides next to the assignments file: in-flight
 			// replicate/move jobs from the previous process resume (or fail
 			// explicitly) instead of silently vanishing.
 			if n, err := router.EnableJobJournal(*assignFile + ".jobs"); err != nil {
-				log.Fatal(err)
+				fatal("job journal init failed", "path", *assignFile+".jobs", "error", err)
 			} else if n > 0 {
-				log.Printf("recovered %d in-flight job(s) from %s.jobs", n, *assignFile)
+				logger.Info("recovered in-flight jobs", "count", n, "path", *assignFile+".jobs")
 			}
 		}
 		if pins := router.SyncAssignments(); pins > 0 {
-			log.Printf("recovered %d off-ring dataset assignment(s) from peers", pins)
+			logger.Info("recovered off-ring dataset assignments from peers", "count", pins)
 		}
 		if repairs := router.SyncReplicas(); repairs > 0 {
-			log.Printf("initiated %d replica repair(s)", repairs)
+			logger.Info("initiated replica repairs", "count", repairs)
 		}
 		if *resyncEvery > 0 {
 			stop := router.StartProber(*resyncEvery)
 			defer stop()
 		}
-		log.Printf("macserver routing to %d remote shards", len(backends))
-		serve(*addr, service.RequireAuth(*authToken, router.Handler()))
+		logger.Info("macserver routing to remote shards", "shards", len(backends), "addr", *addr)
+		serve(logger, *addr, edgeHandler(logger, *authToken, router.Handler()))
 		return
 	}
 
 	if *shards < 1 {
-		log.Fatal("-shards must be >= 1")
+		fatal("-shards must be >= 1", "shards", *shards)
 	}
 	locals := make([]*shard.Local, *shards)
 	backends := make([]shard.Backend, *shards)
 	for i := range locals {
-		locals[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), service.New(cfg))
+		shardName := fmt.Sprintf("shard-%d", i)
+		// Each shard logs under its own name, so a record from an in-process
+		// leaf is attributable exactly like one from a remote leaf.
+		shardCfg := cfg
+		shardCfg.Logger = logger.With("shard", shardName)
+		locals[i] = shard.NewLocal(shardName, service.New(shardCfg))
 		backends[i] = locals[i]
 	}
 	router, err := shard.NewRouter(backends, 0)
 	if err != nil {
-		log.Fatal(err)
+		fatal("router init failed", "error", err)
 	}
 	router.SetReplication(*replication)
 	// With persistence, startup dataset placement below goes through
@@ -213,14 +248,14 @@ func main() {
 	// a dataset moved to shard-2 comes back on shard-2.
 	if *assignFile != "" {
 		if n, err := router.PersistAssignments(*assignFile); err != nil {
-			log.Fatal(err)
+			fatal("loading assignments failed", "path", *assignFile, "error", err)
 		} else if n > 0 {
-			log.Printf("loaded %d dataset assignment(s) from %s", n, *assignFile)
+			logger.Info("loaded dataset assignments", "count", n, "path", *assignFile)
 		}
 		if n, err := router.EnableJobJournal(*assignFile + ".jobs"); err != nil {
-			log.Fatal(err)
+			fatal("job journal init failed", "path", *assignFile+".jobs", "error", err)
 		} else if n > 0 {
-			log.Printf("recovered %d in-flight job(s) from %s.jobs", n, *assignFile)
+			logger.Info("recovered in-flight jobs", "count", n, "path", *assignFile+".jobs")
 		}
 	}
 	// addDataset registers a startup network on the shard that owns its
@@ -228,66 +263,110 @@ func main() {
 	addDataset := func(name string, net *roadsocial.Network) {
 		owner := locals[router.OwnerIndex(name)]
 		if err := owner.Server().AddDataset(name, net); err != nil {
-			log.Fatal(err)
+			fatal("dataset registration failed", "dataset", name, "shard", owner.Name(), "error", err)
 		}
 		if *shards > 1 {
-			log.Printf("dataset %s -> %s", name, owner.Name())
+			logger.Info("dataset placed", "dataset", name, "shard", owner.Name())
 		}
 	}
 
 	sc, err := parseScale(*scale)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -scale", "error", err)
 	}
 	if *datasets != "" {
 		for _, dsName := range strings.Split(*datasets, ",") {
 			dsName = strings.TrimSpace(dsName)
 			spec, err := exp.DatasetByName(dsName)
 			if err != nil {
-				log.Fatal(err)
+				fatal("unknown dataset", "dataset", dsName, "error", err)
 			}
 			start := time.Now()
 			in, err := spec.Build(sc, *d, *seed)
 			if err != nil {
-				log.Fatal(err)
+				fatal("dataset build failed", "dataset", dsName, "error", err)
 			}
 			if *gtree {
 				in.Net.Oracle = roadsocial.BuildGTree(in.Net.Road, 0)
 			}
 			addDataset(dsName, in.Net)
-			log.Printf("dataset %s: %d users, %d friendships, %d road vertices (t_default=%g, loaded in %s)",
-				dsName, in.Net.Social.N(), in.Net.Social.M(), in.Net.Road.N(),
-				in.TDefault, time.Since(start).Round(time.Millisecond))
+			logger.Info("dataset loaded",
+				"dataset", dsName,
+				"users", in.Net.Social.N(),
+				"friendships", in.Net.Social.M(),
+				"road_vertices", in.Net.Road.N(),
+				"t_default", in.TDefault,
+				"elapsed", time.Since(start).Round(time.Millisecond).String())
 		}
 	}
 	if *socialPath != "" {
 		if *name == "" {
-			log.Fatal("file-loaded dataset requires -name")
+			fatal("file-loaded dataset requires -name")
 		}
 		net, err := loadFiles(*socialPath, *attrsPath, *roadPath, *locsPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("dataset files failed to load", "dataset", *name, "error", err)
 		}
 		if *gtree {
 			net.Oracle = roadsocial.BuildGTree(net.Road, 0)
 		}
 		addDataset(*name, net)
-		log.Printf("dataset %s: %d users, %d friendships, %d road vertices (files)",
-			*name, net.Social.N(), net.Social.M(), net.Road.N())
+		logger.Info("dataset loaded",
+			"dataset", *name,
+			"users", net.Social.N(),
+			"friendships", net.Social.M(),
+			"road_vertices", net.Road.N(),
+			"source", "files")
 	}
 	var loaded []string
 	for _, l := range locals {
 		loaded = append(loaded, l.Server().Datasets()...)
 	}
 	if len(loaded) == 0 {
-		log.Print("no startup datasets; register some via POST /v1/datasets/{name}")
+		logger.Info("no startup datasets; register some via POST /v1/datasets/{name}")
 	}
 
 	// Every shard count serves through the router, so the API — including
 	// lifecycle, batch, and the aggregated healthz/stats schema — is one
 	// surface whether a deployment runs 1 shard or 40.
-	log.Printf("macserver listening on %s (%d shard(s), datasets: %s)", *addr, *shards, strings.Join(loaded, ", "))
-	serve(*addr, service.RequireAuth(*authToken, router.Handler()))
+	logger.Info("macserver listening", "addr", *addr, "shards", *shards, "datasets", strings.Join(loaded, ", "))
+	serve(logger, *addr, edgeHandler(logger, *authToken, router.Handler()))
+}
+
+// buildLogger assembles the process logger from the -log-format/-log-level
+// flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// edgeHandler wraps the routing tier's handler with the edge middleware:
+// request-ID minting outermost (so even auth failures carry an ID), then
+// the access log, then auth. Leaf handlers carry their own copies of the
+// same chain, so a two-tier deployment logs one record per tier per
+// request, joined by the propagated ID.
+func edgeHandler(logger *slog.Logger, token string, h http.Handler) http.Handler {
+	return service.WithRequestID(service.AccessLog(logger, service.RequireAuth(token, h)))
 }
 
 // specLoader resolves POST /v1/datasets/{name} specs: synthetic catalog
@@ -331,17 +410,18 @@ func specLoader(defaultScale string, defaultD int, defaultSeed int64) func(strin
 }
 
 // serve runs the HTTP server until interrupted.
-func serve(addr string, handler http.Handler) {
+func serve(logger *slog.Logger, addr string, handler http.Handler) {
 	hs := &http.Server{Addr: addr, Handler: handler}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		_ = hs.Close()
 	}()
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listener failed", "addr", addr, "error", err)
+		os.Exit(1)
 	}
 }
 

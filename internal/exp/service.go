@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -15,6 +16,7 @@ import (
 
 	"roadsocial/client"
 	"roadsocial/internal/mac"
+	"roadsocial/internal/promtest"
 	"roadsocial/internal/road"
 	"roadsocial/internal/service"
 )
@@ -127,6 +129,14 @@ func ServiceLatency(opts Options) (*Table, error) {
 	if status, _, err := post(warmReq); err != nil || status != http.StatusOK {
 		return nil, fmt.Errorf("exp: warm-up request failed (status %d, err %v)", status, err)
 	}
+	// Scrape the service's own cache-hit counter around the warm phase: the
+	// load generator knows exactly how many hits it is about to cause
+	// (every warm request is a prepared-cache hit), so the scraped delta
+	// cross-checks the /metrics pipeline against ground truth.
+	hitsBefore, err := scrapeCounter(ts.URL, "macserver_cache_hits_total")
+	if err != nil {
+		return nil, fmt.Errorf("exp: pre-warm /metrics scrape: %v", err)
+	}
 	warmLat := make([][]float64, serviceWarmWorkers)
 	warmStart := time.Now()
 	var wg sync.WaitGroup
@@ -157,6 +167,17 @@ func ServiceLatency(opts Options) (*Table, error) {
 		warm = append(warm, ls...)
 	}
 	tab.Rows = append(tab.Rows, latencyRow("warm", warm, 0))
+	hitsAfter, err := scrapeCounter(ts.URL, "macserver_cache_hits_total")
+	if err != nil {
+		return nil, fmt.Errorf("exp: post-warm /metrics scrape: %v", err)
+	}
+	const wantWarmHits = serviceWarmWorkers * serviceWarmPerWork
+	warmHits := hitsAfter - hitsBefore
+	tab.Metrics["warm_cache_hits_delta"] = warmHits
+	if int(warmHits) != wantWarmHits {
+		return nil, fmt.Errorf("exp: /metrics cache_hits_total moved by %g over the warm phase, want exactly %d",
+			warmHits, wantWarmHits)
+	}
 
 	// Truss phases: the same keys measured cold (each pays the range query
 	// plus the truss decomposition) and then warm over serviceTrussRounds
@@ -490,6 +511,29 @@ func snapshotRegisterPhase(tab *Table, spec DatasetSpec, opts Options) error {
 		tab.Metrics["snapshot_speedup"] = buildMs / snapMs
 	}
 	return nil
+}
+
+// scrapeCounter fetches url's /metrics exposition through the strict parser
+// and returns the named single-sample counter. Benchmarks use it to verify
+// the counters against deltas the load generator can predict exactly.
+func scrapeCounter(url, name string) (float64, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	fams, err := promtest.Parse(string(text))
+	if err != nil {
+		return 0, fmt.Errorf("/metrics does not parse: %v", err)
+	}
+	return promtest.Value(fams, name, nil)
 }
 
 // gatedOracle blocks every range query until its gate closes — the

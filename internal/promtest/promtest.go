@@ -1,0 +1,373 @@
+// Package promtest is a strict parser for the Prometheus text exposition
+// format (version 0.0.4), used by tests to validate the /metrics endpoints
+// line by line. It is deliberately stricter than a scraper needs to be: any
+// malformed line, out-of-order header, split metric group, or inconsistent
+// histogram fails the parse, so a formatting regression in the hand-rolled
+// writer surfaces as a test failure rather than silent scrape garbage.
+package promtest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposition line: a fully-qualified sample name (which for
+// histograms carries the _bucket/_sum/_count suffix), its label set, and the
+// parsed value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric name's contiguous group: the # HELP and # TYPE
+// headers plus every sample line until the next family starts.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse validates text against the exposition format and returns the metric
+// families keyed by base metric name. Rules enforced:
+//
+//   - every non-blank line is # HELP, # TYPE, or a sample;
+//   - # HELP precedes # TYPE which precedes the samples of its family;
+//   - each family is one contiguous group — a name never reappears after
+//     another family has started;
+//   - sample names match the family name (plus _bucket/_sum/_count for
+//     histograms);
+//   - histogram buckets are cumulative (non-decreasing in le order), end in
+//     le="+Inf", and the +Inf bucket equals _count for the same label set.
+func Parse(text string) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	var cur *Family
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: family %s restarted (split group)", lineNo, name)
+			}
+			cur = &Family{Name: name, Help: help}
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE %s without preceding HELP", lineNo, name)
+			}
+			if cur.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if len(cur.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE %s after samples", lineNo, name)
+			}
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("line %d: unexpected comment: %q", lineNo, line)
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: sample %s before any HELP/TYPE header", lineNo, s.Name)
+		}
+		if !sampleBelongs(cur, s.Name) {
+			return nil, fmt.Errorf("line %d: sample %s inside family %s group", lineNo, s.Name, cur.Name)
+		}
+		if cur.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s before TYPE", lineNo, s.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %s has headers but no samples", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample name is legal inside fam's group.
+func sampleBelongs(fam *Family, sample string) bool {
+	if sample == fam.Name {
+		return fam.Type != "histogram" // histograms expose only suffixed series
+	}
+	if fam.Type == "histogram" || fam.Type == "" {
+		// Type may still be unset when the writer is broken; accept the
+		// suffix shapes so the "sample before TYPE" error fires instead.
+		switch strings.TrimPrefix(sample, fam.Name) {
+		case "_bucket", "_sum", "_count":
+			return true
+		}
+	}
+	return false
+}
+
+// parseSample parses `name{k="v",...} value` (labels optional).
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample: %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty sample name: %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++ // skip escaped char
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set: %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("missing value: %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq <= 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return fmt.Errorf("malformed label pair at %q", body)
+		}
+		name := body[:eq]
+		var val strings.Builder
+		i := eq + 2
+		closed := false
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return fmt.Errorf("dangling escape in label %s", name)
+				}
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(body[i])
+				default:
+					return fmt.Errorf("bad escape \\%c in label %s", body[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %s", name)
+		}
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val.String()
+		body = body[i+1:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+		} else if body != "" {
+			return fmt.Errorf("junk after label %s: %q", name, body)
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates cumulative-bucket invariants per label set.
+func checkHistogram(f *Family) error {
+	type series struct {
+		buckets []Sample // in exposition order
+		sum     *Sample
+		count   *Sample
+	}
+	bySet := map[string]*series{}
+	keyOf := func(s Sample) string {
+		var parts []string
+		for k, v := range s.Labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		key := keyOf(s)
+		sr := bySet[key]
+		if sr == nil {
+			sr = &series{}
+			bySet[key] = sr
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			sr.buckets = append(sr.buckets, s)
+		case f.Name + "_sum":
+			sr.sum = &f.Samples[i]
+		case f.Name + "_count":
+			sr.count = &f.Samples[i]
+		}
+	}
+	for key, sr := range bySet {
+		if len(sr.buckets) == 0 || sr.sum == nil || sr.count == nil {
+			return fmt.Errorf("%s{%s}: incomplete histogram (buckets=%d sum=%v count=%v)",
+				f.Name, key, len(sr.buckets), sr.sum != nil, sr.count != nil)
+		}
+		prevLe := -1.0
+		prevVal := -1.0
+		for i, b := range sr.buckets {
+			le := b.Labels["le"]
+			var leV float64
+			if le == "+Inf" {
+				if i != len(sr.buckets)-1 {
+					return fmt.Errorf("%s{%s}: +Inf bucket not last", f.Name, key)
+				}
+				leV = prevLe + 1 // strictly greater than any finite bound
+			} else {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("%s{%s}: bad le %q", f.Name, key, le)
+				}
+				leV = v
+			}
+			if leV <= prevLe && i > 0 {
+				return fmt.Errorf("%s{%s}: le bounds not increasing at %q", f.Name, key, le)
+			}
+			if b.Value < prevVal {
+				return fmt.Errorf("%s{%s}: cumulative count decreased at le=%q (%g < %g)",
+					f.Name, key, le, b.Value, prevVal)
+			}
+			prevLe, prevVal = leV, b.Value
+		}
+		last := sr.buckets[len(sr.buckets)-1]
+		if last.Labels["le"] != "+Inf" {
+			return fmt.Errorf("%s{%s}: missing +Inf bucket", f.Name, key)
+		}
+		if last.Value != sr.count.Value {
+			return fmt.Errorf("%s{%s}: +Inf bucket %g != count %g",
+				f.Name, key, last.Value, sr.count.Value)
+		}
+	}
+	return nil
+}
+
+// HistCount returns the _count sample of the histogram family name whose
+// labels are a superset of want; it errors if zero or multiple series match.
+func HistCount(fams map[string]*Family, name string, want map[string]string) (float64, error) {
+	f := fams[name]
+	if f == nil {
+		return 0, fmt.Errorf("no family %s", name)
+	}
+	var found []float64
+	for _, s := range f.Samples {
+		if s.Name != name+"_count" {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = append(found, s.Value)
+		}
+	}
+	if len(found) != 1 {
+		return 0, fmt.Errorf("%s_count%v: %d series match, want 1", name, want, len(found))
+	}
+	return found[0], nil
+}
+
+// Value returns the value of the sample in family name whose labels are a
+// superset of want; it errors if zero or multiple samples match.
+func Value(fams map[string]*Family, name string, want map[string]string) (float64, error) {
+	f := fams[name]
+	if f == nil {
+		return 0, fmt.Errorf("no family %s", name)
+	}
+	var found []float64
+	for _, s := range f.Samples {
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = append(found, s.Value)
+		}
+	}
+	if len(found) != 1 {
+		return 0, fmt.Errorf("%s%v: %d samples match, want 1", name, want, len(found))
+	}
+	return found[0], nil
+}

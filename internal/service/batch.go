@@ -30,21 +30,30 @@ import (
 // one), so requests == completed + failed + in-progress holds across
 // mixed single/batch traffic and the fleet-wide sums stay meaningful.
 func (s *Server) DoBatch(req *BatchRequest, cancel <-chan struct{}) (*BatchResponse, error) {
+	batchStart := time.Now()
 	if len(req.Items) == 0 {
 		s.requests.Add(1)
 		s.failed.Add(1)
-		return nil, invalidf("empty batch")
+		err := invalidf("empty batch")
+		s.recordOutcome(&SearchRequest{}, "batch", batchStart, nil, err)
+		return nil, err
 	}
 	if len(req.Items) > MaxBatchItems {
 		s.requests.Add(1)
 		s.failed.Add(1)
-		return nil, invalidf("%d batch items exceed the limit of %d", len(req.Items), MaxBatchItems)
+		err := invalidf("%d batch items exceed the limit of %d", len(req.Items), MaxBatchItems)
+		s.recordOutcome(&SearchRequest{}, "batch", batchStart, nil, err)
+		return nil, err
 	}
 	n := int64(len(req.Items))
 	s.requests.Add(n)
 	release, err := s.acquire(cancel)
 	if err != nil {
 		s.failed.Add(n)
+		// A batch-level rejection is every item's terminal answer.
+		for i := range req.Items {
+			s.recordOutcome(&req.Items[i].SearchRequest, "batch", batchStart, nil, err)
+		}
 		return nil, err
 	}
 	defer release()
@@ -125,6 +134,7 @@ func (s *Server) tryAcquireExtra(limit int) extraSlots {
 // runItem executes one batch item under the batch's admission slot and
 // deadline, mapping its outcome onto the standalone HTTP status.
 func (s *Server) runItem(item *BatchItem, cancel <-chan struct{}) BatchItemResult {
+	start := time.Now()
 	req := item.SearchRequest // copy: KTCoreOnly is server-side state
 	switch item.Op {
 	case "", client.OpSearch:
@@ -132,19 +142,24 @@ func (s *Server) runItem(item *BatchItem, cancel <-chan struct{}) BatchItemResul
 		req.KTCoreOnly = true
 	default:
 		s.failed.Add(1)
-		return itemError(http.StatusBadRequest,
-			invalidf("unknown op %q (want search or ktcore)", item.Op))
+		err := invalidf("unknown op %q (want search or ktcore)", item.Op)
+		s.recordOutcome(&req, "batch", start, nil, err)
+		return itemError(http.StatusBadRequest, err)
 	}
 	if err := validateRequest(&req); err != nil {
 		s.failed.Add(1)
+		s.recordOutcome(&req, "batch", start, nil, err)
 		return itemError(statusOf(err), err)
 	}
 	ds, err := s.network(req.Dataset)
 	if err != nil {
 		s.failed.Add(1)
+		s.recordOutcome(&req, "batch", start, nil, err)
 		return itemError(statusOf(err), err)
 	}
-	out, err := s.doAdmitted(&req, ds, cancel)
+	var tm Timing
+	out, err := s.doAdmitted(&req, ds, cancel, &tm)
+	s.recordOutcome(&req, "batch", start, &tm, err)
 	if err != nil {
 		status := statusOf(err)
 		if errors.Is(err, mac.ErrCanceled) {

@@ -105,6 +105,12 @@ func (s *Server) CreateDataset(name string, spec *DatasetSpec) (*DatasetInfo, er
 // synchronously with 409 rather than minting a doomed job; the load itself
 // runs on a job worker, polling cancel at its phase boundaries.
 func (s *Server) CreateDatasetAsync(name string, spec *DatasetSpec) (*Job, error) {
+	return s.CreateDatasetAsyncTagged(name, spec, "")
+}
+
+// CreateDatasetAsyncTagged is CreateDatasetAsync plus the submitting
+// request's X-Request-ID, stamped into the job record.
+func (s *Server) CreateDatasetAsyncTagged(name string, spec *DatasetSpec, requestID string) (*Job, error) {
 	if name == "" {
 		return nil, invalidf("empty dataset name")
 	}
@@ -115,7 +121,7 @@ func (s *Server) CreateDatasetAsync(name string, spec *DatasetSpec) (*Job, error
 		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	specCopy := *spec
-	return s.jobs.Submit(JobKindCreate, name, func(cancel <-chan struct{}, progress func(string)) (*DatasetInfo, error) {
+	return s.jobs.SubmitTagged("", JobKindCreate, name, requestID, func(cancel <-chan struct{}, progress func(string)) (*DatasetInfo, error) {
 		progress("loading")
 		if chanClosed(cancel) {
 			return nil, mac.ErrCanceled

@@ -71,7 +71,12 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", s.serveHealthz)
 	mux.HandleFunc("GET /v1/stats", s.serveStats)
-	return RequireAuth(s.cfg.AuthToken, mux)
+	mux.HandleFunc("GET /metrics", s.serveMetrics)
+	h := RequireAuth(s.cfg.AuthToken, mux)
+	if s.cfg.Logger != nil {
+		h = AccessLog(s.cfg.Logger, h)
+	}
+	return WithRequestID(h)
 }
 
 // RequireAuth wraps a handler with shared-secret bearer auth: every request
@@ -120,12 +125,52 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, dataset str
 
 	cancel, stop := s.requestCancel(r, req.TimeoutMs)
 	defer stop()
-	resp, err := s.Do(&req, cancel)
+	start := time.Now()
+	resp, tm, err := s.DoTimed(&req, cancel)
 	if err != nil {
+		s.logSlow(r, &req, msSince(start), err)
 		writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// Encode before writing the header: Server-Timing must carry the encode
+	// phase, and headers cannot follow the body. The trailing newline keeps
+	// the body byte-identical to the json.Encoder path.
+	encodeStart := time.Now()
+	body, merr := json.Marshal(resp)
+	if merr != nil {
+		writeError(w, http.StatusInternalServerError, merr)
+		return
+	}
+	tm.EncodeMs = msSince(encodeStart)
+	s.metrics.recordStage(StageEncode, tm.EncodeMs)
+	s.logSlow(r, &req, msSince(start), nil)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(client.HeaderServerTiming, tm.serverTiming())
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte("\n"))
+}
+
+// logSlow emits the slow-query record: the full request key an operator
+// needs to reproduce the offender.
+func (s *Server) logSlow(r *http.Request, req *SearchRequest, ms float64, err error) {
+	if s.cfg.SlowQuery <= 0 || time.Duration(ms*float64(time.Millisecond)) < s.cfg.SlowQuery {
+		return
+	}
+	attrs := []any{
+		"dataset", req.Dataset,
+		"algo", string(reqAlgo(req)),
+		"q", req.Q,
+		"k", req.K,
+		"t", req.T,
+		"j", req.J,
+		"duration_ms", ms,
+		"request_id", RequestIDFrom(r),
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	s.logger().Warn("slow query", attrs...)
 }
 
 func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
@@ -156,7 +201,7 @@ func (s *Server) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	if AsyncRequested(r) {
-		job, err := s.CreateDatasetAsync(name, &spec)
+		job, err := s.CreateDatasetAsyncTagged(name, &spec, RequestIDFrom(r))
 		if err != nil {
 			writeServiceError(w, err)
 			return
@@ -292,6 +337,14 @@ func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) serveStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// serveMetrics renders the Prometheus exposition of this server. Note the
+// route lives behind RequireAuth like every other: a scraper configures the
+// same bearer token as any client.
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	_ = WriteProm(w, []PromSet{{Stats: s.Stats()}})
 }
 
 // statusOf maps service errors onto HTTP status codes. Errors outside the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"roadsocial/client"
@@ -29,6 +30,9 @@ import (
 // server that never runs a job never pays the goroutines.
 type Jobs struct {
 	workers int
+
+	done   atomic.Int64 // jobs settled successfully
+	failed atomic.Int64 // jobs settled with an error (including cancels)
 
 	mu      sync.Mutex
 	started bool
@@ -104,6 +108,13 @@ func (m *Jobs) NewID() string {
 // past N, so a restarted server never reissues an id its journal already
 // names.
 func (m *Jobs) SubmitWithID(id, kind, dataset string, run JobFunc) (*client.Job, error) {
+	return m.SubmitTagged(id, kind, dataset, "", run)
+}
+
+// SubmitTagged is SubmitWithID plus the X-Request-ID of the HTTP request
+// that caused the submission, stamped into the job record so a request can
+// be traced from the edge into the control plane.
+func (m *Jobs) SubmitTagged(id, kind, dataset, requestID string, run JobFunc) (*client.Job, error) {
 	m.mu.Lock()
 	if !m.started {
 		m.started = true
@@ -130,6 +141,7 @@ func (m *Jobs) SubmitWithID(id, kind, dataset string, run JobFunc) (*client.Job,
 			Kind:      kind,
 			Dataset:   dataset,
 			State:     client.JobPending,
+			RequestID: requestID,
 			CreatedAt: time.Now().UTC(),
 		},
 		run:    run,
@@ -234,6 +246,16 @@ func (m *Jobs) settle(t *jobTask, info *client.DatasetInfo, err error) {
 		t.job.Result = info
 	}
 	m.mu.Unlock()
+	if err != nil {
+		m.failed.Add(1)
+	} else {
+		m.done.Add(1)
+	}
+}
+
+// Counts reports how many jobs have settled by outcome.
+func (m *Jobs) Counts() (done, failed int64) {
+	return m.done.Load(), m.failed.Load()
 }
 
 // prune drops the oldest settled jobs beyond the retention bound. Caller

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"sync"
+
+	"roadsocial/client"
+)
+
+// Request outcomes recorded into the keyed registry. Success is "ok";
+// failures reuse the wire error codes (client.Code*), so the label a
+// dashboard groups by is the code the client saw.
+const OutcomeOK = "ok"
+
+// Stage names of the per-request phase breakdown.
+const (
+	StageQueue   = "queue"   // admission wait for an in-flight slot
+	StagePrepare = "prepare" // prepared-state resolution (cache or build)
+	StageSearch  = "search"  // the engine search proper
+	StageEncode  = "encode"  // JSON response encoding
+)
+
+// UnknownDataset is the dataset label recorded for requests that never
+// resolved a registered dataset (empty or unknown names). Folding them into
+// one label bounds series cardinality: a client probing random names cannot
+// mint unbounded histogram keys.
+const UnknownDataset = "_unknown"
+
+// OverflowDataset absorbs recordings beyond maxKeyedSeries distinct keys —
+// the registry's last-ditch cardinality bound.
+const OverflowDataset = "_overflow"
+
+// maxKeyedSeries bounds distinct (dataset, variant, route, outcome) series;
+// far beyond any sane deployment (datasets × 2 variants × 3 routes × a
+// handful of outcomes), tight enough that a hostile workload cannot grow
+// the registry without bound.
+const maxKeyedSeries = 4096
+
+// reqClass identifies one keyed series.
+type reqClass struct {
+	dataset, variant, route, outcome string
+}
+
+// metricsRegistry is the keyed observability registry of one server: a
+// latency histogram per (dataset, variant, route, outcome) covering every
+// terminal answer, plus per-stage histograms (queue/prepare/search/encode)
+// of completed requests. All histograms use the shared wire-contract bucket
+// schema, so a router merges them across shards by elementwise addition.
+type metricsRegistry struct {
+	mu    sync.Mutex
+	keyed map[reqClass]*latencyHist
+	stage map[string]*latencyHist
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		keyed: make(map[reqClass]*latencyHist),
+		stage: make(map[string]*latencyHist),
+	}
+}
+
+// record adds one terminal request to its class histogram.
+func (m *metricsRegistry) record(dataset, variant, route, outcome string, ms float64) {
+	c := reqClass{dataset: dataset, variant: variant, route: route, outcome: outcome}
+	m.mu.Lock()
+	h, ok := m.keyed[c]
+	if !ok {
+		if len(m.keyed) >= maxKeyedSeries {
+			c = reqClass{dataset: OverflowDataset, variant: variant, route: route, outcome: outcome}
+			if h, ok = m.keyed[c]; !ok {
+				h = &latencyHist{}
+				m.keyed[c] = h
+			}
+		} else {
+			h = &latencyHist{}
+			m.keyed[c] = h
+		}
+	}
+	m.mu.Unlock()
+	h.record(ms)
+}
+
+// recordStage adds one phase duration to the named stage histogram.
+func (m *metricsRegistry) recordStage(stage string, ms float64) {
+	m.mu.Lock()
+	h, ok := m.stage[stage]
+	if !ok {
+		h = &latencyHist{}
+		m.stage[stage] = h
+	}
+	m.mu.Unlock()
+	h.record(ms)
+}
+
+// keyedSnapshot renders the registry as the wire-contract map (fresh maps
+// and bucket slices: callers may merge or mutate freely).
+func (m *metricsRegistry) keyedSnapshot() map[string]client.KeyStats {
+	m.mu.Lock()
+	classes := make(map[reqClass]*latencyHist, len(m.keyed))
+	for c, h := range m.keyed {
+		classes[c] = h
+	}
+	m.mu.Unlock()
+	if len(classes) == 0 {
+		return nil
+	}
+	out := make(map[string]client.KeyStats, len(classes))
+	for c, h := range classes {
+		out[client.StatsKey(c.dataset, c.variant, c.route, c.outcome)] = client.KeyStats{
+			Dataset: c.dataset,
+			Variant: c.variant,
+			Route:   c.route,
+			Outcome: c.outcome,
+			Latency: h.stats(),
+		}
+	}
+	return out
+}
+
+// stageSnapshot renders the per-stage histograms.
+func (m *metricsRegistry) stageSnapshot() map[string]client.LatencyStats {
+	m.mu.Lock()
+	stages := make(map[string]*latencyHist, len(m.stage))
+	for name, h := range m.stage {
+		stages[name] = h
+	}
+	m.mu.Unlock()
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make(map[string]client.LatencyStats, len(stages))
+	for name, h := range stages {
+		out[name] = h.stats()
+	}
+	return out
+}

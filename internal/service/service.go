@@ -37,6 +37,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -90,6 +91,14 @@ type Config struct {
 	// spec; cmd/macserver injects a loader that also resolves the synthetic
 	// catalog.
 	LoadSpec func(name string, spec *DatasetSpec) (*mac.Network, error)
+	// Logger, when non-nil, makes the HTTP handler emit one structured
+	// access-log record per request (see AccessLog) and receives the
+	// slow-query records. Nil disables access logging; slow-query records
+	// then fall through to slog.Default().
+	Logger *slog.Logger
+	// SlowQuery, when > 0, logs a warning with the full request key
+	// (dataset, algo, Q, k, t) for any search slower than the threshold.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -152,19 +161,21 @@ type Server struct {
 	rejectedSaturated atomic.Int64
 	deadlineExceeded  atomic.Int64
 
-	lat latencyHist
+	lat     latencyHist
+	metrics *metricsRegistry
 }
 
 // New creates a server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:   cfg,
-		start: time.Now(),
-		nets:  make(map[string]dsEntry),
-		cache: newPrepCache(cfg.CacheCapacity, cfg.CacheMaxCost, cfg.CacheTTL),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		jobs:  NewJobs(cfg.JobWorkers),
+		cfg:     cfg,
+		start:   time.Now(),
+		nets:    make(map[string]dsEntry),
+		cache:   newPrepCache(cfg.CacheCapacity, cfg.CacheMaxCost, cfg.CacheTTL),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		jobs:    NewJobs(cfg.JobWorkers),
+		metrics: newMetricsRegistry(),
 	}
 }
 
@@ -277,10 +288,44 @@ func (s *Server) acquire(cancel <-chan struct{}) (release func(), err error) {
 	}
 }
 
+// Timing is the per-request phase breakdown in milliseconds: admission
+// queue wait, prepared-state resolution, the engine search, and (filled by
+// the HTTP layer) response encoding. It feeds the stage histograms and the
+// Server-Timing response header.
+type Timing struct {
+	QueueMs   float64
+	PrepareMs float64
+	SearchMs  float64
+	EncodeMs  float64
+}
+
+// serverTiming renders the breakdown as a Server-Timing header value.
+func (t Timing) serverTiming() string {
+	return fmt.Sprintf("queue;dur=%.3f, prepare;dur=%.3f, search;dur=%.3f, encode;dur=%.3f",
+		t.QueueMs, t.PrepareMs, t.SearchMs, t.EncodeMs)
+}
+
 // Do executes one request under admission control, with cancel (usually a
 // deadline) wired through to Query.Cancel. It is the transport-agnostic
 // core the HTTP handlers call.
 func (s *Server) Do(req *SearchRequest, cancel <-chan struct{}) (*SearchResponse, error) {
+	resp, _, err := s.DoTimed(req, cancel)
+	return resp, err
+}
+
+// DoTimed is Do plus the phase breakdown. Every terminal outcome — success
+// or any error — is recorded into the keyed metrics registry with its
+// outcome label, so rejected and timed-out traffic shows up in per-dataset
+// latency series instead of vanishing.
+func (s *Server) DoTimed(req *SearchRequest, cancel <-chan struct{}) (*SearchResponse, Timing, error) {
+	start := time.Now()
+	var tm Timing
+	resp, err := s.doTimed(req, cancel, &tm)
+	s.recordOutcome(req, routeFor(req), start, &tm, err)
+	return resp, tm, err
+}
+
+func (s *Server) doTimed(req *SearchRequest, cancel <-chan struct{}, tm *Timing) (*SearchResponse, error) {
 	s.requests.Add(1)
 	if err := validateRequest(req); err != nil {
 		s.failed.Add(1)
@@ -291,21 +336,68 @@ func (s *Server) Do(req *SearchRequest, cancel <-chan struct{}) (*SearchResponse
 		s.failed.Add(1)
 		return nil, err
 	}
+	queueStart := time.Now()
 	release, err := s.acquire(cancel)
+	tm.QueueMs = msSince(queueStart)
 	if err != nil {
 		s.failed.Add(1)
 		return nil, err
 	}
 	defer release()
-	return s.doAdmitted(req, ds, cancel)
+	return s.doAdmitted(req, ds, cancel, tm)
+}
+
+// routeFor names the metrics route of a standalone request; batch items
+// record under "batch" instead.
+func routeFor(req *SearchRequest) string {
+	if req.KTCoreOnly {
+		return "ktcore"
+	}
+	return "search"
+}
+
+// recordOutcome lands one terminal request in the keyed registry. The
+// dataset label is kept only for names actually registered (or a clean
+// success); anything else — probes of random names, empty names — folds
+// into UnknownDataset so a hostile client cannot mint unbounded series.
+// Stage histograms record completed requests only, where every phase ran.
+func (s *Server) recordOutcome(req *SearchRequest, route string, start time.Time, tm *Timing, err error) {
+	outcome := OutcomeOK
+	if err != nil {
+		outcome = client.CodeForStatus(statusOf(err))
+	}
+	dataset := req.Dataset
+	if dataset == "" {
+		dataset = UnknownDataset
+	} else if err != nil && !s.holdsDataset(dataset) {
+		dataset = UnknownDataset
+	}
+	s.metrics.record(dataset, string(reqVariant(req)), route, outcome, msSince(start))
+	if err == nil && tm != nil {
+		s.metrics.recordStage(StageQueue, tm.QueueMs)
+		s.metrics.recordStage(StagePrepare, tm.PrepareMs)
+		s.metrics.recordStage(StageSearch, tm.SearchMs)
+	}
+}
+
+func (s *Server) holdsDataset(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.nets[name]
+	return ok
+}
+
+// msSince is the elapsed time since t in (fractional) milliseconds.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
 }
 
 // doAdmitted runs one admitted request and settles its counters; the
 // caller holds the in-flight slot (Do claims one per request, DoBatch one
 // per batch).
-func (s *Server) doAdmitted(req *SearchRequest, ds dsEntry, cancel <-chan struct{}) (*SearchResponse, error) {
+func (s *Server) doAdmitted(req *SearchRequest, ds dsEntry, cancel <-chan struct{}, tm *Timing) (*SearchResponse, error) {
 	start := time.Now()
-	resp, err := s.run(req, ds, cancel)
+	resp, err := s.run(req, ds, cancel, tm)
 	if err != nil {
 		if errors.Is(err, mac.ErrCanceled) {
 			s.deadlineExceeded.Add(1)
@@ -325,7 +417,7 @@ func (s *Server) doAdmitted(req *SearchRequest, ds dsEntry, cancel <-chan struct
 // through the shared single-flight cache, then search via the
 // variant-agnostic Prepared handle — the service never branches on the
 // variant itself.
-func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}) (*SearchResponse, error) {
+func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}, tm *Timing) (*SearchResponse, error) {
 	net := ds.net
 	q, err := buildQuery(req, net, s.cfg.Parallelism, cancel)
 	if err != nil {
@@ -340,6 +432,7 @@ func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}) (*S
 	key := prepKey(req.Dataset, ds.gen, eng.Variant(), req.Q, req.K, req.T)
 	var p *mac.Prepared
 	var hit bool
+	prepStart := time.Now()
 	for {
 		p, hit, err = s.cache.getOrBuild(key, cancel, func() (*mac.Prepared, error) {
 			return eng.Prepare(net, q)
@@ -350,6 +443,9 @@ func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}) (*S
 			continue
 		}
 		break
+	}
+	if tm != nil {
+		tm.PrepareMs = msSince(prepStart)
 	}
 	if hit {
 		resp.Cache = CacheHit
@@ -375,7 +471,11 @@ func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}) (*S
 		resp.KTCoreSize = len(resp.KTCore)
 		return resp, nil
 	}
+	searchStart := time.Now()
 	res, err := p.Search(q, reqSearchOptions(req))
+	if tm != nil {
+		tm.SearchMs = msSince(searchStart)
+	}
 	if errors.Is(err, mac.ErrNoCommunity) {
 		resp.NoCommunity = true
 		return resp, nil
@@ -389,6 +489,7 @@ func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}) (*S
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
+	jobsDone, jobsFailed := s.jobs.Counts()
 	return Stats{
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		Datasets:          s.Datasets(),
@@ -401,9 +502,22 @@ func (s *Server) Stats() Stats {
 		Queued:            s.queued.Load(),
 		MaxInFlight:       s.cfg.MaxInFlight,
 		MaxQueue:          s.cfg.MaxQueue,
+		JobsDone:          jobsDone,
+		JobsFailed:        jobsFailed,
 		Cache:             s.cache.stats(),
 		Latency:           s.lat.stats(),
+		DatasetStats:      s.metrics.keyedSnapshot(),
+		Stages:            s.metrics.stageSnapshot(),
 	}
+}
+
+// logger is the structured logger for server-originated records (slow
+// queries); Config.Logger when set, the process default otherwise.
+func (s *Server) logger() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return slog.Default()
 }
 
 // chanClosed reports whether c is closed; nil channels report false.

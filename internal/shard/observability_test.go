@@ -1,0 +1,282 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"roadsocial/client"
+	"roadsocial/internal/mac"
+	"roadsocial/internal/promtest"
+	"roadsocial/internal/road"
+	"roadsocial/internal/service"
+)
+
+// logBuffer is a goroutine-safe slog sink.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func scrape(t *testing.T, url string) map[string]*promtest.Family {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtest.Parse(string(text))
+	if err != nil {
+		t.Fatalf("strict parse of %s/metrics failed: %v\n%s", url, err, text)
+	}
+	return fams
+}
+
+// TestRouterMergesKeyedStatsAcrossLeaves: two leaves holding disjoint
+// datasets answer searches through the router; the router's /v1/stats must
+// carry both keyed series with histogram-merged quantiles — for disjoint
+// datasets, byte-equal to the owning leaf's own series — and /metrics on
+// both tiers must survive a strict exposition parse.
+func TestRouterMergesKeyedStatsAcrossLeaves(t *testing.T) {
+	net_, q, k, tt := testNetwork(t)
+	rt, locals := moveRouter(t, net_)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	// Two dataset names owned by different shards.
+	nameA := "alpha"
+	ownerA := rt.OwnerIndex(nameA)
+	nameB := ""
+	for _, cand := range []string{"beta", "gamma", "delta", "epsilon", "zeta"} {
+		if rt.OwnerIndex(cand) != ownerA {
+			nameB = cand
+			break
+		}
+	}
+	if nameB == "" {
+		t.Fatal("no candidate name hashed to the other shard")
+	}
+	if err := locals[ownerA].Server().AddDataset(nameA, net_); err != nil {
+		t.Fatal(err)
+	}
+	if err := locals[rt.OwnerIndex(nameB)].Server().AddDataset(nameB, net_); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	sdk := client.New(ts.URL, client.WithRetries(0))
+	region := &client.RegionSpec{Lo: []float64{0.2, 0.2}, Hi: []float64{0.25, 0.25}}
+	const searchesA, searchesB = 3, 2
+	for i := 0; i < searchesA; i++ {
+		if _, err := sdk.Search(ctx, nameA, &client.SearchRequest{Q: q, K: k, T: tt, Region: region}); err != nil {
+			t.Fatalf("search %s: %v", nameA, err)
+		}
+	}
+	for i := 0; i < searchesB; i++ {
+		if _, err := sdk.Search(ctx, nameB, &client.SearchRequest{Q: q, K: k, T: tt, Region: region}); err != nil {
+			t.Fatalf("search %s: %v", nameB, err)
+		}
+	}
+
+	// Merged keyed stats over the wire.
+	var merged Stats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&merged)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA := client.StatsKey(nameA, string(mac.VariantCore), "search", "ok")
+	keyB := client.StatsKey(nameB, string(mac.VariantCore), "search", "ok")
+	ksA, ok := merged.Totals.DatasetStats[keyA]
+	if !ok {
+		t.Fatalf("router totals missing %s (have %d keys)", keyA, len(merged.Totals.DatasetStats))
+	}
+	ksB, ok := merged.Totals.DatasetStats[keyB]
+	if !ok {
+		t.Fatalf("router totals missing %s", keyB)
+	}
+	if ksA.Latency.Count != searchesA || ksB.Latency.Count != searchesB {
+		t.Fatalf("merged counts A=%d B=%d, want %d and %d",
+			ksA.Latency.Count, ksB.Latency.Count, searchesA, searchesB)
+	}
+
+	// Disjoint placement makes the merge an identity per key: the router's
+	// quantiles for a dataset equal the owning leaf's own quantiles exactly.
+	leafA := locals[ownerA].Server().Stats().DatasetStats[keyA]
+	if ksA.Latency.P50Ms != leafA.Latency.P50Ms || ksA.Latency.P99Ms != leafA.Latency.P99Ms {
+		t.Fatalf("merged quantiles p50=%g p99=%g differ from leaf p50=%g p99=%g",
+			ksA.Latency.P50Ms, ksA.Latency.P99Ms, leafA.Latency.P50Ms, leafA.Latency.P99Ms)
+	}
+	// And the merged global histogram covers both leaves' searches.
+	if merged.Totals.Latency.Count != searchesA+searchesB {
+		t.Fatalf("merged global latency count = %d, want %d",
+			merged.Totals.Latency.Count, searchesA+searchesB)
+	}
+	// Stage histograms merged across shards: every completed search has all
+	// four phases.
+	for _, stage := range []string{service.StageQueue, service.StagePrepare, service.StageSearch, service.StageEncode} {
+		if merged.Totals.Stages[stage].Count != searchesA+searchesB {
+			t.Fatalf("merged stage %q count = %d, want %d",
+				stage, merged.Totals.Stages[stage].Count, searchesA+searchesB)
+		}
+	}
+
+	// Router /metrics: per-shard federation under the shard label.
+	fams := scrape(t, ts.URL)
+	if _, err := promtest.HistCount(fams, "macserver_dataset_request_duration_ms", map[string]string{
+		"shard": locals[ownerA].Name(), "dataset": nameA, "route": "search", "outcome": "ok",
+	}); err != nil {
+		t.Fatalf("router federation missing shard-labeled keyed series: %v", err)
+	}
+	for _, l := range locals {
+		if v, err := promtest.Value(fams, "macserver_shard_up", map[string]string{"shard": l.Name()}); err != nil || v != 1 {
+			t.Fatalf("macserver_shard_up{shard=%q} = %v (%v), want 1", l.Name(), v, err)
+		}
+	}
+	for _, name := range []string{
+		"macserver_router_failovers_total",
+		"macserver_router_drain_timeouts_total",
+		"macserver_router_replica_syncs_total",
+		"macserver_router_jobs_total",
+	} {
+		if fams[name] == nil {
+			t.Fatalf("router /metrics missing %s", name)
+		}
+	}
+
+	// Leaf /metrics round-trips through the same strict parser.
+	leafTS := httptest.NewServer(locals[ownerA].Server().Handler())
+	defer leafTS.Close()
+	leafFams := scrape(t, leafTS.URL)
+	if n, err := promtest.HistCount(leafFams, "macserver_dataset_request_duration_ms", map[string]string{
+		"dataset": nameA, "route": "search", "outcome": "ok",
+	}); err != nil || n != searchesA {
+		t.Fatalf("leaf keyed series count = %v (%v), want %d", n, err, searchesA)
+	}
+}
+
+// TestRequestIDPropagatesThroughFailover: a client-supplied request ID rides
+// through the router into the leaf that ultimately answers — including when
+// that leaf is the failover follower, not the primary the router tried
+// first — and comes back on the response next to the failover marker. The
+// same ID must appear in the router's and the surviving leaf's access logs.
+func TestRequestIDPropagatesThroughFailover(t *testing.T) {
+	net_, q, k, tt := testNetwork(t)
+	if net_.Oracle == nil {
+		net_.Oracle = road.BuildGTree(net_.Road, 0)
+	}
+	leafLogs := []*logBuffer{{}, {}}
+	mkCfg := func(sink *logBuffer) service.Config {
+		return service.Config{
+			MaxInFlight:    4,
+			MaxQueue:       64,
+			DefaultTimeout: 120 * time.Second,
+			Logger:         slog.New(slog.NewTextHandler(sink, nil)),
+			LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, error) {
+				return net_, nil
+			},
+		}
+	}
+	leaves := []*leafProc{
+		startLeaf(t, mkCfg(leafLogs[0])),
+		startLeaf(t, mkCfg(leafLogs[1])),
+	}
+	backends := []Backend{
+		NewRemote("shard-0", "http://"+leaves[0].addr, nil),
+		NewRemote("shard-1", "http://"+leaves[1].addr, nil),
+	}
+	rt, err := NewRouter(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetReplication(2)
+	routerLog := &logBuffer{}
+	routerLogger := slog.New(slog.NewTextHandler(routerLog, nil))
+	// The router serves behind the same edge middleware cmd/macserver
+	// installs: ID minting plus access logging.
+	ts := httptest.NewServer(service.WithRequestID(service.AccessLog(routerLogger, rt.Handler())))
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL, client.WithRetries(0))
+
+	if _, err := sdk.CreateDataset(ctx, "traced", &client.DatasetSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	primary := rt.OwnerIndex("traced")
+	follower := 1 - primary
+	waitFor(t, 30*time.Second, "follower sync", func() bool {
+		return holdsDataset(backends[follower], "traced")
+	})
+
+	// Kill the primary, then search with an explicit request ID: the router
+	// must fail over to the follower and the ID must survive the hop.
+	leaves[primary].kill()
+	const rid = "trace-failover-7"
+	body, err := json.Marshal(map[string]any{
+		"q": q, "k": k, "t": tt,
+		"region": map[string]any{"lo": []float64{0.2, 0.2}, "hi": []float64{0.25, 0.25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/datasets/traced/search", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(client.HeaderRequestID, rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover search: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(client.HeaderRequestID); got != rid {
+		t.Fatalf("response request ID %q, want %q", got, rid)
+	}
+	if resp.Header.Get(client.HeaderFailedOver) == "" {
+		t.Fatal("response does not advertise the failover — the primary answered?")
+	}
+
+	// The surviving leaf's access log names the same request.
+	waitFor(t, 10*time.Second, "leaf access record", func() bool {
+		return strings.Contains(leafLogs[follower].String(), "request_id="+rid)
+	})
+	if !strings.Contains(routerLog.String(), "request_id="+rid) {
+		t.Fatalf("router access log missing the request ID:\n%s", routerLog.String())
+	}
+}

@@ -63,7 +63,9 @@ func (rt *Router) submitReplicate(name, auth string) {
 	if err != nil {
 		release()
 		rt.journalFinish(id, err)
+		return
 	}
+	rt.replicaSyncs.Add(1)
 }
 
 // runReplicate executes one replicate job: for each follower in the replica

@@ -18,6 +18,7 @@ import (
 
 	"roadsocial/client"
 	"roadsocial/internal/mac"
+	"roadsocial/internal/promtest"
 	"roadsocial/internal/road"
 	"roadsocial/internal/service"
 )
@@ -190,6 +191,14 @@ func TestFailoverZeroDowntime(t *testing.T) {
 		return observed.Load() >= 8
 	})
 
+	// Scrape the router's exposition before the fault: the failover counter
+	// must be flat while both replicas are healthy.
+	famsBefore := scrape(t, ts.URL)
+	failoversBefore, err := promtest.Value(famsBefore, "macserver_router_failovers_total", nil)
+	if err != nil {
+		t.Fatalf("pre-fault scrape: %v", err)
+	}
+
 	// Kill the primary mid-load. Every request must keep answering 2xx via
 	// in-router failover to the follower.
 	leaves[primary].kill()
@@ -204,6 +213,22 @@ func TestFailoverZeroDowntime(t *testing.T) {
 	})
 	if rt.failovers.Load() == 0 {
 		t.Fatal("no failovers counted despite a dead primary")
+	}
+	// The fault is visible on /metrics: the counter moved, and the scrape
+	// still parses strictly with one shard dark.
+	famsAfter := scrape(t, ts.URL)
+	failoversAfter, err := promtest.Value(famsAfter, "macserver_router_failovers_total", nil)
+	if err != nil {
+		t.Fatalf("post-fault scrape: %v", err)
+	}
+	if failoversAfter <= failoversBefore {
+		t.Fatalf("failovers_total did not increase across the fault: before=%g after=%g",
+			failoversBefore, failoversAfter)
+	}
+	if up, err := promtest.Value(famsAfter, "macserver_shard_up", map[string]string{
+		"shard": backends[primary].Name(),
+	}); err != nil || up != 0 {
+		t.Fatalf("dead primary still scrapes as up: %v (%v)", up, err)
 	}
 
 	// Bring the backend back, empty, and start the prober: it re-adopts the

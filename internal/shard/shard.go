@@ -184,6 +184,11 @@ func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
 	} else if b.token != "" {
 		req.Header.Set("Authorization", "Bearer "+b.token)
 	}
+	if rid := r.Header.Get(client.HeaderRequestID); rid != "" {
+		// Propagate the request ID so the leaf's log record carries the same
+		// ID the edge minted — one grep follows the request across tiers.
+		req.Header.Set(client.HeaderRequestID, rid)
+	}
 	resp, err := b.hc.Do(req)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err))
@@ -273,9 +278,12 @@ type Router struct {
 
 	// failovers counts reads answered by a non-primary replica after the
 	// primary failed mid-request; drainTimeouts counts moves whose source
-	// drain hit the fail-safe. Both surface in /v1/stats totals.
+	// drain hit the fail-safe; replicaSyncs counts replicate jobs submitted
+	// to copy datasets onto followers. All surface in /v1/stats totals and
+	// as router-level /metrics counters.
 	failovers     atomic.Int64
 	drainTimeouts atomic.Int64
+	replicaSyncs  atomic.Int64
 
 	journal *jobJournal // nil until EnableJobJournal
 
@@ -825,6 +833,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/ktcore", rt.routeLegacy)
 	mux.HandleFunc("GET /v1/healthz", rt.serveHealthz)
 	mux.HandleFunc("GET /v1/stats", rt.serveStats)
+	mux.HandleFunc("GET /metrics", rt.serveMetrics)
 	return mux
 }
 
@@ -986,7 +995,8 @@ func (rt *Router) serveCreateDataset(w http.ResponseWriter, r *http.Request) {
 		// GET /v1/jobs/{id} against the router always finds it.
 		auth := r.Header.Get("Authorization")
 		specCopy := spec
-		job, err := rt.jobs.Submit(client.JobKindCreate, name,
+		job, err := rt.jobs.SubmitTagged("", client.JobKindCreate, name,
+			r.Header.Get(client.HeaderRequestID),
 			func(cancel <-chan struct{}, progress func(string)) (*client.DatasetInfo, error) {
 				progress("forwarding")
 				info, _, err := rt.createOnOwner(name, &specCopy, body, auth)
@@ -1429,9 +1439,14 @@ func (rec *recorder) Write(p []byte) (int, error) { return rec.body.Write(p) }
 // errors to.
 func (rec *recorder) proxyFailed(err error) { rec.proxyErr = err }
 
-// replay copies the captured response to the real writer.
+// replay copies the captured response to the real writer. Headers the edge
+// middleware already stamped (the request ID) are skipped: the leaf echoes
+// the same value, and adding it again would duplicate the header.
 func (rec *recorder) replay(w http.ResponseWriter) {
 	for k, vs := range rec.header {
+		if len(w.Header().Values(k)) > 0 && k == http.CanonicalHeaderKey(client.HeaderRequestID) {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -1544,6 +1559,13 @@ func (rt *Router) Stats() Stats {
 	rt.mu.RUnlock()
 	out.Totals.Failovers = rt.failovers.Load()
 	out.Totals.DrainTimeouts = rt.drainTimeouts.Load()
+	out.Totals.ReplicaSyncs = rt.replicaSyncs.Load()
+	// The router's own control-plane jobs (forwarded creates, moves,
+	// replicate jobs) are a resource of this tier, so they count into the
+	// fleet totals alongside the leaves' own jobs.
+	routerJobsDone, routerJobsFailed := rt.jobs.Counts()
+	out.Totals.JobsDone += routerJobsDone
+	out.Totals.JobsFailed += routerJobsFailed
 	datasets := make(map[string]bool)
 	var worstP50, worstP99 float64
 	bucketless := false
@@ -1578,6 +1600,13 @@ func (rt *Router) Stats() Stats {
 		tot.Cache.Coalesced += st.Cache.Coalesced
 		tot.Cache.Evictions += st.Cache.Evictions
 		tot.Cache.Expirations += st.Cache.Expirations
+		tot.JobsDone += st.JobsDone
+		tot.JobsFailed += st.JobsFailed
+		// Keyed and stage histograms merge per entry by histogram addition,
+		// exactly like the global latency series: the fleet's per-dataset
+		// quantiles are true quantiles.
+		tot.DatasetStats = client.MergeKeyStats(tot.DatasetStats, st.DatasetStats)
+		tot.Stages = client.MergeStageStats(tot.Stages, st.Stages)
 		tot.Latency.Merge(st.Latency)
 		if st.Latency.Count > 0 && len(st.Latency.Buckets) == 0 {
 			bucketless = true
@@ -1607,6 +1636,43 @@ func (rt *Router) Stats() Stats {
 
 func (rt *Router) serveStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+// serveMetrics renders the router's Prometheus exposition: every reachable
+// shard's series federated under a shard="..." label (so sum() over the
+// label is the fleet total, with no unlabeled duplicate to double-count),
+// plus the router's own routing and control-plane counters under
+// macserver_router_* names and a per-shard liveness gauge.
+func (rt *Router) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := rt.Stats()
+	w.Header().Set("Content-Type", service.PromContentType)
+	sets := make([]service.PromSet, 0, len(st.PerShard))
+	up := make([]service.PromSample, len(st.PerShard))
+	for i, ss := range st.PerShard {
+		label := []service.PromLabel{{Name: "shard", Value: ss.Name}}
+		if ss.Ok {
+			sets = append(sets, service.PromSet{Labels: label, Stats: *ss.Stats})
+			up[i] = service.PromSample{Labels: label, Value: 1}
+		} else {
+			up[i] = service.PromSample{Labels: label, Value: 0}
+		}
+	}
+	_ = service.WriteProm(w, sets)
+	_ = service.PromGauge(w, "macserver_shard_up",
+		"Whether the shard answered the stats fan-out (1 up, 0 down).", up)
+	routerJobsDone, routerJobsFailed := rt.jobs.Counts()
+	one := func(v int64) []service.PromSample { return []service.PromSample{{Value: float64(v)}} }
+	_ = service.PromCounter(w, "macserver_router_failovers_total",
+		"Reads the router served from a follower because the primary failed.", one(rt.failovers.Load()))
+	_ = service.PromCounter(w, "macserver_router_drain_timeouts_total",
+		"Dataset moves whose source drain timed out.", one(rt.drainTimeouts.Load()))
+	_ = service.PromCounter(w, "macserver_router_replica_syncs_total",
+		"Replicate jobs the router submitted to sync followers.", one(rt.replicaSyncs.Load()))
+	_ = service.PromCounter(w, "macserver_router_jobs_total",
+		"Settled router control-plane jobs by outcome.", []service.PromSample{
+			{Labels: []service.PromLabel{{Name: "outcome", Value: "done"}}, Value: float64(routerJobsDone)},
+			{Labels: []service.PromLabel{{Name: "outcome", Value: "failed"}}, Value: float64(routerJobsFailed)},
+		})
 }
 
 // fanOut runs fn once per backend, concurrently — a down remote shard costs
