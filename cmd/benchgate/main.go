@@ -30,6 +30,17 @@
 // than building it from the spec (metrics register_snapshot_ms <
 // register_build_ms) — register time proportional to I/O, not G-tree
 // construction.
+//
+// -require-mmap-speedup asserts the zero-copy invariant of RSNAPv2: the
+// memory-mapped file register must undercut the buffered snapshot restore,
+// which must undercut building from the spec (register_mmap_ms <
+// register_snapshot_ms < register_build_ms), and the record must carry the
+// capacity axis (heap_bytes_per_dataset > 0) — registering is page faults,
+// and a resident dataset costs heap only for what cannot live on the
+// mapping. Tiny-scale records are skipped: a tiny image's restore is
+// dominated by the HTTP round trip, so buffered-vs-mmap there is noise;
+// the invariant gates on the capacity point (scale=small and up), where
+// the gap is physical.
 package main
 
 import (
@@ -98,6 +109,7 @@ func main() {
 		warmCheck  = flag.Bool("require-warm-speedup", false, "assert the new service_latency point shows warm < cold and saturation 429s")
 		batchCheck = flag.Bool("require-batch-amortization", false, "assert the new service_latency point shows batched per-item cost below standalone (batch_amortization > 1)")
 		snapCheck  = flag.Bool("require-snapshot-speedup", false, "assert the new service_latency point shows snapshot register-time below build register-time")
+		mmapCheck  = flag.Bool("require-mmap-speedup", false, "assert the new service_latency point shows mmap register < buffered snapshot register < build register, with heap_bytes_per_dataset reported")
 	)
 	flag.Parse()
 	if *oldPaths == "" || *newPaths == "" {
@@ -209,6 +221,35 @@ func main() {
 		}
 		if !ok {
 			fmt.Fprintln(os.Stderr, "benchgate: -require-snapshot-speedup set but no service_latency record with metrics in -new")
+			failed = true
+		}
+	}
+	if *mmapCheck {
+		ok := false
+		for _, n := range news {
+			// Tiny images restore in one HTTP round trip either way; the
+			// mmap ordering only gates where the image is big enough for
+			// the copy-vs-fault gap to dominate (see package doc).
+			if n.Experiment != "service_latency" || n.Metrics == nil || n.Scale == "tiny" {
+				continue
+			}
+			ok = true
+			build, snap, mm := n.Metrics["register_build_ms"], n.Metrics["register_snapshot_ms"], n.Metrics["register_mmap_ms"]
+			if !(mm > 0 && snap > mm && build > snap) {
+				fmt.Fprintf(os.Stderr, "benchgate: register ordering violated: mmap %.3fms, snapshot %.3fms, build %.3fms (want mmap < snapshot < build)\n", mm, snap, build)
+				failed = true
+			} else {
+				fmt.Printf("register mmap/snapshot/build: %.3fms / %.3fms / %.3fms (%.1fx over buffered)\n", mm, snap, build, snap/mm)
+			}
+			if heap := n.Metrics["heap_bytes_per_dataset"]; heap <= 0 {
+				fmt.Fprintln(os.Stderr, "benchgate: heap_bytes_per_dataset missing or non-positive")
+				failed = true
+			} else {
+				fmt.Printf("heap per resident dataset: %.0f bytes\n", heap)
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchgate: -require-mmap-speedup set but no non-tiny service_latency record with metrics in -new")
 			failed = true
 		}
 	}

@@ -120,6 +120,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		parallelism = flag.Int("parallelism", 0, "per-search workers; 0 = GOMAXPROCS")
+		maxSnapshot = flag.Int64("max-snapshot-bytes", 0, "cap on buffered snapshot restores (PUT snapshot bodies); 0 = 1 GiB. File-registered (mmap) snapshots are never buffered and ignore this cap")
 		authToken   = flag.String("auth-token", "", "shared secret: require 'Authorization: Bearer <token>' on all /v1 routes and forward it to -peers")
 
 		shards      = flag.Int("shards", 1, "in-process service shards; datasets partition across them by consistent hashing")
@@ -169,6 +170,8 @@ func main() {
 		LoadSpec:       specLoader(*scale, *d, *seed),
 		Logger:         logger,
 		SlowQuery:      *slowQuery,
+
+		MaxSnapshotBytes: *maxSnapshot,
 	}
 
 	// Pure routing tier: no local datasets, every request proxied to the

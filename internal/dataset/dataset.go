@@ -138,6 +138,7 @@ func ReadRoad(r io.Reader) (*road.Graph, error) {
 			return nil, sc.errf("%v", err)
 		}
 	}
+	g.Freeze()
 	return g, nil
 }
 

@@ -1,0 +1,39 @@
+//go:build !unix || nommap
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+)
+
+// No-mmap fallback: the snapshot is read into one 8-byte-aligned heap
+// buffer and loaded in place. Everything downstream of mapFile — header
+// validation, zero-copy slab views, pinning — is identical to the mmap
+// path; only the backing memory differs (heap instead of page cache), so
+// the two loaders stay behaviorally interchangeable and CI exercises this
+// one under the `nommap` build tag.
+
+const mmapAvailable = false
+
+type mapHolder struct {
+	data []byte
+}
+
+// mapFile reads the first size bytes of f into an aligned buffer. The file
+// position is irrelevant.
+func mapFile(f *os.File, size int64) (*mapHolder, error) {
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("dataset: snapshot of %d bytes exceeds the address space", size)
+	}
+	buf := alignedBuffer(int(size))
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return nil, err
+		}
+	}
+	return &mapHolder{data: buf}, nil
+}
+
+// close releases nothing: the buffer is ordinary garbage-collected memory.
+func (h *mapHolder) close() {}

@@ -17,35 +17,45 @@ import (
 // Snapshot is the on-disk form of a fully-built dataset: the social graph
 // (edges, attributes, labels), the road graph, the user locations, and —
 // when the network carries one — the built G-tree index. Registering from a
-// snapshot costs I/O plus linear decoding, not index construction: the
-// G-tree of Zhong et al. (TKDE 2015) is built once, serialized, and loaded
-// ever after, which is exactly the register-time profile a control plane
-// wants for dataset moves and restarts.
+// snapshot costs I/O, not index construction: the G-tree of Zhong et al.
+// (TKDE 2015) is built once, serialized, and loaded ever after, which is
+// exactly the register-time profile a control plane wants for dataset moves
+// and restarts.
 //
-// Wire layout:
+// Two wire versions exist, distinguished by their 8-byte magic:
 //
-//	magic   "RSNAPv1\n" (8 bytes — the version lives in the magic)
-//	length  payload byte count (uint64 LE)
-//	crc32   IEEE checksum of the payload (uint32 LE)
-//	payload social | road | locations | gtree sections
+//	RSNAPv1\n — element-by-element varint codec. Legacy; still read.
+//	RSNAPv2\n — sectioned, 8-byte-aligned little-endian layout whose
+//	            payload IS the in-memory flat arrays (CSR road graph,
+//	            flat G-tree slabs), so a file can be memory-mapped and
+//	            used in place. Written by default. See docs/snapshot.md.
 //
-// Floats are stored as raw IEEE-754 bits, so a loaded network is
-// bit-identical to the one serialized: searches against it return
-// byte-identical results. The checksum catches truncated or corrupted
-// files before any of the payload is trusted.
+// Floats are stored as raw IEEE-754 bits in both versions, and both freeze
+// the road graph to the same canonical CSR, so a loaded network — v1, v2
+// buffered, or v2 mmap'ed — is bit-identical to the one serialized:
+// searches against it return byte-identical results. Checksums catch
+// truncated or corrupted files before any of the payload is trusted.
 
-// snapshotMagic identifies version 1 of the format. A format change bumps
-// the version inside the magic, so old readers fail loudly on new files.
+// snapshotMagic identifies version 1 of the format.
 const snapshotMagic = "RSNAPv1\n"
 
-// maxSnapshotPayload caps how much a reader will allocate for one snapshot
-// (1 GiB): a corrupted length field must not OOM the server.
-const maxSnapshotPayload = 1 << 30
+// DefaultMaxSnapshotBytes caps how much the buffered readers will hold in
+// memory for one snapshot (1 GiB) when the caller does not choose a limit:
+// a corrupted or hostile length field must not OOM the server. The
+// memory-mapped file loader never buffers, so no cap applies there.
+const DefaultMaxSnapshotBytes int64 = 1 << 30
 
-// WriteSnapshot serializes the network. The network must be valid; the
-// G-tree section is included only when net.Oracle is a *road.GTree (any
-// other oracle is dropped — only the G-tree has a stable on-disk form).
+// WriteSnapshot serializes the network in the current (v2) format. The
+// network must be valid; the G-tree section is included only when
+// net.Oracle is a *road.GTree (any other oracle is dropped — only the
+// G-tree has a stable on-disk form).
 func WriteSnapshot(w io.Writer, net *mac.Network) error {
+	return writeSnapshotV2(w, net)
+}
+
+// writeSnapshotV1 emits the legacy format. Kept (unexported) so tests can
+// prove v1 files keep loading into bit-identical networks.
+func writeSnapshotV1(w io.Writer, net *mac.Network) error {
 	if err := net.Validate(); err != nil {
 		return err
 	}
@@ -82,29 +92,60 @@ func WriteSnapshot(w io.Writer, net *mac.Network) error {
 	return err
 }
 
-// ReadSnapshot deserializes a network written by WriteSnapshot, verifying
-// the checksum before decoding anything.
+// ReadSnapshot deserializes a network written by WriteSnapshot — either
+// version, dispatched on the magic — holding at most DefaultMaxSnapshotBytes
+// in memory.
 func ReadSnapshot(r io.Reader) (*mac.Network, error) {
-	var header [20]byte
+	return ReadSnapshotLimit(r, DefaultMaxSnapshotBytes)
+}
+
+// ReadSnapshotLimit is ReadSnapshot with an explicit buffering cap: any
+// snapshot whose declared size exceeds maxBytes is rejected before
+// allocation. This is the streaming entry point (HTTP bodies, shard moves);
+// local files should prefer ReadSnapshotFile, which memory-maps v2
+// snapshots instead of buffering them.
+func ReadSnapshotLimit(r io.Reader, maxBytes int64) (*mac.Network, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: snapshot header: %w", err)
+	}
+	switch string(magic[:]) {
+	case snapshotMagic:
+		return readSnapshotV1(r, maxBytes)
+	case snapshotMagicV2:
+		return readSnapshotV2(r, maxBytes)
+	default:
+		return nil, fmt.Errorf("dataset: not a snapshot (or unsupported version): magic %q", magic[:])
+	}
+}
+
+// readSnapshotV1 decodes the legacy format; the caller has already consumed
+// the 8 magic bytes. The payload is read with CopyN into a growing buffer
+// rather than allocated up front, so a crafted length field costs bytes
+// actually sent, not bytes declared.
+func readSnapshotV1(r io.Reader, maxBytes int64) (*mac.Network, error) {
+	var header [12]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, fmt.Errorf("dataset: snapshot header: %w", err)
 	}
-	if string(header[:8]) != snapshotMagic {
-		return nil, fmt.Errorf("dataset: not a snapshot (or unsupported version): magic %q", header[:8])
+	size := binary.LittleEndian.Uint64(header[0:8])
+	if size > uint64(maxBytes) {
+		return nil, fmt.Errorf("dataset: snapshot payload of %d bytes exceeds the %d limit", size, maxBytes)
 	}
-	size := binary.LittleEndian.Uint64(header[8:16])
-	if size > maxSnapshotPayload {
-		return nil, fmt.Errorf("dataset: snapshot payload of %d bytes exceeds the %d limit", size, maxSnapshotPayload)
+	want := binary.LittleEndian.Uint32(header[8:12])
+	var buf bytes.Buffer
+	if n, err := io.CopyN(&buf, r, int64(size)); err != nil {
+		return nil, fmt.Errorf("dataset: snapshot truncated at byte %d of %d: %w", n, size, err)
 	}
-	want := binary.LittleEndian.Uint32(header[16:20])
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("dataset: snapshot truncated: %w", err)
-	}
+	payload := buf.Bytes()
 	if got := crc32.ChecksumIEEE(payload); got != want {
 		return nil, fmt.Errorf("dataset: snapshot checksum mismatch (got %08x, want %08x)", got, want)
 	}
+	return decodeSnapshotV1(payload)
+}
 
+// decodeSnapshotV1 decodes a verified v1 payload into a network.
+func decodeSnapshotV1(payload []byte) (*mac.Network, error) {
 	br := bytes.NewReader(payload)
 	gs, err := decodeSocial(br)
 	if err != nil {
@@ -157,14 +198,42 @@ func WriteSnapshotFile(path string, net *mac.Network) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// ReadSnapshotFile loads a snapshot from disk.
+// ReadSnapshotFile loads a snapshot from disk. RSNAPv2 files are
+// memory-mapped (on platforms with mmap; a build-tag fallback reads into an
+// aligned buffer) and validated in place, so registering costs page faults
+// rather than decoding and no buffering cap applies; RSNAPv1 files take the
+// legacy decode path, capped only by the actual file size.
 func ReadSnapshotFile(path string) (*mac.Network, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadSnapshot(f)
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: snapshot header: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	switch string(magic[:]) {
+	case snapshotMagicV2:
+		hold, err := mapFile(f, st.Size())
+		if err != nil {
+			return nil, fmt.Errorf("dataset: snapshot map: %w", err)
+		}
+		net, err := loadSnapshotV2(hold.data, hold)
+		if err != nil {
+			hold.close()
+			return nil, err
+		}
+		return net, nil
+	case snapshotMagic:
+		return readSnapshotV1(f, st.Size())
+	default:
+		return nil, fmt.Errorf("dataset: not a snapshot (or unsupported version): magic %q", magic[:])
+	}
 }
 
 func dirOf(path string) string {

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"math/rand"
 	"path/filepath"
+	"slices"
 	"testing"
 
 	"roadsocial/internal/gen"
@@ -39,41 +40,28 @@ func snapshotNetwork(t testing.TB) (*mac.Network, []int32, int, float64) {
 	return net, qs[0], k, tt
 }
 
-// TestSnapshotRoundTrip: a snapshot-loaded network answers searches
-// byte-identically to the freshly-built one — same community structure,
-// same partitioning, same G-tree-driven range results — and the structural
-// invariants (counts, attrs, locations, G-tree presence) survive exactly.
+// TestSnapshotRoundTrip: every way of loading a snapshot — the legacy v1
+// codec, the v2 buffered reader, and the v2 file loader (mmap on platforms
+// that have it, the aligned-buffer fallback under the nommap tag) — yields
+// a network that answers searches byte-identically to the freshly-built
+// one, and the structural invariants (counts, attrs, locations, G-tree
+// presence) survive exactly.
 func TestSnapshotRoundTrip(t *testing.T) {
 	net, q, k, tt := snapshotNetwork(t)
 
-	var buf bytes.Buffer
-	if err := WriteSnapshot(&buf, net); err != nil {
+	var v1, v2 bytes.Buffer
+	if err := writeSnapshotV1(&v1, net); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
-	if err != nil {
+	if err := WriteSnapshot(&v2, net); err != nil {
 		t.Fatal(err)
 	}
-	if got.Social.N() != net.Social.N() || got.Social.M() != net.Social.M() {
-		t.Fatalf("social mismatch: %d/%d vs %d/%d",
-			got.Social.N(), got.Social.M(), net.Social.N(), net.Social.M())
+	if !bytes.HasPrefix(v2.Bytes(), []byte(snapshotMagicV2)) {
+		t.Fatalf("WriteSnapshot emitted magic %q, want v2", v2.Bytes()[:8])
 	}
-	if got.Road.N() != net.Road.N() || got.Road.M() != net.Road.M() {
-		t.Fatal("road graph mismatch")
-	}
-	for v := 0; v < net.Social.N(); v++ {
-		a, b := net.Social.Attrs(v), got.Social.Attrs(v)
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("attrs of %d differ", v)
-			}
-		}
-		if net.Locs[v] != got.Locs[v] {
-			t.Fatalf("location of %d differs", v)
-		}
-	}
-	if _, ok := got.Oracle.(*road.GTree); !ok {
-		t.Fatalf("G-tree did not survive the snapshot: oracle %T", got.Oracle)
+	path := filepath.Join(t.TempDir(), "net.snap")
+	if err := WriteSnapshotFile(path, net); err != nil {
+		t.Fatal(err)
 	}
 
 	region, err := geom.NewBox([]float64{0.2, 0.2}, []float64{0.25, 0.25})
@@ -92,8 +80,53 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 		return out
 	}
-	if want, have := search(net), search(got); !bytes.Equal(want, have) {
-		t.Fatalf("snapshot-loaded search differs from freshly-built:\n built: %s\nloaded: %s", want, have)
+	want := search(net)
+	wantOff, wantNbr, wantWgt := net.Road.CSR()
+
+	loads := []struct {
+		name string
+		load func() (*mac.Network, error)
+	}{
+		{"v1-buffered", func() (*mac.Network, error) { return ReadSnapshot(bytes.NewReader(v1.Bytes())) }},
+		{"v2-buffered", func() (*mac.Network, error) { return ReadSnapshot(bytes.NewReader(v2.Bytes())) }},
+		{"v2-file", func() (*mac.Network, error) { return ReadSnapshotFile(path) }},
+	}
+	for _, l := range loads {
+		got, err := l.load()
+		if err != nil {
+			t.Fatalf("%s: %v", l.name, err)
+		}
+		if got.Social.N() != net.Social.N() || got.Social.M() != net.Social.M() {
+			t.Fatalf("%s: social mismatch: %d/%d vs %d/%d", l.name,
+				got.Social.N(), got.Social.M(), net.Social.N(), net.Social.M())
+		}
+		if got.Road.N() != net.Road.N() || got.Road.M() != net.Road.M() {
+			t.Fatalf("%s: road graph mismatch", l.name)
+		}
+		for v := 0; v < net.Social.N(); v++ {
+			a, b := net.Social.Attrs(v), got.Social.Attrs(v)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: attrs of %d differ", l.name, v)
+				}
+			}
+			if net.Locs[v] != got.Locs[v] {
+				t.Fatalf("%s: location of %d differs", l.name, v)
+			}
+		}
+		if _, ok := got.Oracle.(*road.GTree); !ok {
+			t.Fatalf("%s: G-tree did not survive the snapshot: oracle %T", l.name, got.Oracle)
+		}
+		// The road CSR arrays converge to the same canonical layout
+		// regardless of load path — the property that lets one snapshot
+		// format serve as both the in-memory and on-disk representation.
+		off, nbr, wgt := got.Road.CSR()
+		if !slices.Equal(off, wantOff) || !slices.Equal(nbr, wantNbr) || !slices.Equal(wgt, wantWgt) {
+			t.Fatalf("%s: CSR arrays differ from freshly-built", l.name)
+		}
+		if have := search(got); !bytes.Equal(want, have) {
+			t.Fatalf("%s: loaded search differs from freshly-built:\n built: %s\nloaded: %s", l.name, want, have)
+		}
 	}
 }
 

@@ -113,6 +113,7 @@ func RoadGrid(rows, cols int, minW, maxW float64, rng *rand.Rand) *road.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -169,6 +170,7 @@ func RoadGeometric(n, neighbors int, scale float64, rng *rand.Rand) *road.Graph 
 			mustAdd(g, a, b, dist(a, b))
 		}
 	}
+	g.Freeze()
 	return g
 }
 

@@ -66,6 +66,7 @@ func DecodeGraph(r *bytes.Reader) (*Graph, error) {
 			return nil, err
 		}
 	}
+	g.Freeze()
 	return g, nil
 }
 
@@ -140,13 +141,13 @@ func EncodeGTree(w byteWriter, t *GTree) error {
 		if err := putI32s(w, n.borders); err != nil {
 			return err
 		}
-		if err := putMatrix(w, n.distLeaf); err != nil {
+		if err := putMatrix(w, n.distLeaf, len(n.borders), len(n.vertices)); err != nil {
 			return err
 		}
 		if err := putI32s(w, n.unionBorders); err != nil {
 			return err
 		}
-		if err := putMatrix(w, n.mat); err != nil {
+		if err := putMatrix(w, n.mat, len(n.unionBorders), len(n.unionBorders)); err != nil {
 			return err
 		}
 	}
@@ -194,28 +195,18 @@ func DecodeGTree(r *bytes.Reader, g *Graph) (*GTree, error) {
 		if n.borders, err = getI32s(r); err != nil {
 			return nil, fmt.Errorf("road: gtree node %d borders: %w", i, err)
 		}
-		if n.distLeaf, err = getMatrix(r); err != nil {
+		if n.distLeaf, err = getMatrix(r, len(n.borders), len(n.vertices)); err != nil {
 			return nil, fmt.Errorf("road: gtree node %d leaf matrix: %w", i, err)
 		}
 		if n.unionBorders, err = getI32s(r); err != nil {
 			return nil, fmt.Errorf("road: gtree node %d union borders: %w", i, err)
 		}
-		if n.mat, err = getMatrix(r); err != nil {
+		if n.mat, err = getMatrix(r, len(n.unionBorders), len(n.unionBorders)); err != nil {
 			return nil, fmt.Errorf("road: gtree node %d matrix: %w", i, err)
 		}
-		if len(n.unionBorders) > 0 {
-			n.ubIndex = make(map[int32]int32, len(n.unionBorders))
-			for j, b := range n.unionBorders {
-				n.ubIndex[b] = int32(j)
-			}
-		}
+		n.buildUBIndex()
 	}
-	t.scratch.New = func() any {
-		return &gtScratch{
-			stamp: make([]int32, g.N()),
-			dist:  make([]float64, g.N()),
-		}
-	}
+	t.initScratch()
 	return t, nil
 }
 
@@ -294,11 +285,19 @@ func getI32s(r *bytes.Reader) ([]int32, error) {
 	return out, nil
 }
 
-func putMatrix(w byteWriter, m [][]float64) error {
-	putUvarint(w, uint64(len(m)))
-	for _, row := range m {
-		putUvarint(w, uint64(len(row)))
-		for _, v := range row {
+// putMatrix writes a flat row-major rows×cols matrix in the legacy framed
+// form: row count, then per row its length and raw floats. An empty slab
+// (internal nodes have no distLeaf, leaves no mat) encodes as zero rows, so
+// the bytes are identical to what the slice-of-slices layout produced.
+func putMatrix(w byteWriter, m []float64, rows, cols int) error {
+	if len(m) == 0 {
+		putUvarint(w, 0)
+		return nil
+	}
+	putUvarint(w, uint64(rows))
+	for i := 0; i < rows; i++ {
+		putUvarint(w, uint64(cols))
+		for _, v := range m[i*cols : (i+1)*cols] {
 			if err := putFloat(w, v); err != nil {
 				return err
 			}
@@ -307,7 +306,11 @@ func putMatrix(w byteWriter, m [][]float64) error {
 	return nil
 }
 
-func getMatrix(r *bytes.Reader) ([][]float64, error) {
+// getMatrix reads a framed matrix into one flat rows×cols slab. Well-formed
+// encodings always carry either zero rows or exactly rows rows of cols
+// floats each (the dimensions are implied by the node's border and vertex
+// lists, decoded just before); anything else is corrupt and rejected.
+func getMatrix(r *bytes.Reader, rows, cols int) ([]float64, error) {
 	n, err := getCount(r, "road: matrix rows")
 	if err != nil {
 		return nil, err
@@ -315,22 +318,27 @@ func getMatrix(r *bytes.Reader) ([][]float64, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	out := make([][]float64, n)
-	for i := range out {
+	if n != uint64(rows) {
+		return nil, fmt.Errorf("road: matrix has %d rows, expected %d", n, rows)
+	}
+	if uint64(rows)*uint64(cols) > uint64(r.Len())/8 {
+		return nil, fmt.Errorf("road: %dx%d matrix exceeds the %d remaining payload bytes", rows, cols, r.Len())
+	}
+	out := make([]float64, rows*cols)
+	for i := 0; i < rows; i++ {
 		l, err := getCount(r, "road: matrix row length")
 		if err != nil {
 			return nil, err
 		}
-		if l*8 > uint64(r.Len()) {
-			return nil, fmt.Errorf("road: matrix row of %d floats exceeds the %d remaining payload bytes", l, r.Len())
+		if l != uint64(cols) {
+			return nil, fmt.Errorf("road: matrix row of %d floats, expected %d", l, cols)
 		}
-		row := make([]float64, l)
+		row := out[i*cols : (i+1)*cols]
 		for j := range row {
 			if row[j], err = getFloat(r); err != nil {
 				return nil, err
 			}
 		}
-		out[i] = row
 	}
 	return out, nil
 }

@@ -11,6 +11,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Inf is the distance reported for unreachable vertices.
@@ -21,15 +24,53 @@ type halfEdge struct {
 	w  float64
 }
 
+// csr is the frozen, read-only adjacency of a Graph in compressed sparse
+// row form: vertex u's neighbors are nbr[off[u]:off[u+1]] (sorted
+// ascending) with parallel weights wgt[off[u]:off[u+1]]. Three flat arrays
+// instead of a slice-of-slices means no per-vertex slice headers, cache-
+// linear relaxation in Dijkstra, and — because the layout matches the
+// RSNAPv2 snapshot sections byte for byte — zero-copy loading from a
+// memory-mapped snapshot.
+type csr struct {
+	off []int64
+	nbr []int32
+	wgt []float64
+}
+
+func (c *csr) neighbors(u int32) ([]int32, []float64) {
+	s, e := c.off[u], c.off[u+1]
+	return c.nbr[s:e], c.wgt[s:e]
+}
+
 // Graph is an undirected weighted road network. Vertices are dense ints.
+//
+// A graph has two phases: a mutable staging phase (AddEdge appends to a
+// conventional adjacency list) and a frozen phase (Freeze compacts staging
+// into the CSR arrays and drops it). Every read path freezes on first use,
+// so callers never need to think about the distinction — but a graph that
+// will be read concurrently must be frozen (by Freeze, or any single-
+// threaded read) before the goroutines fan out, exactly like it always had
+// to be fully built first. AddEdge on a frozen graph thaws it back to
+// staging form.
 type Graph struct {
-	adj [][]halfEdge
-	m   int
+	n    int
+	m    int
+	stag [][]halfEdge // staging adjacency; nil once frozen
+
+	frozen atomic.Pointer[csr]
+	// freezeMu serializes the staging->CSR compaction so concurrent first
+	// reads of a never-frozen graph stay safe.
+	freezeMu sync.Mutex
+
+	// pin holds an opaque reference that must stay reachable for as long
+	// as the frozen arrays are readable — the mmap holder whose finalizer
+	// unmaps a snapshot-backed graph. Heap-backed graphs leave it nil.
+	pin any
 }
 
 // NewGraph creates a road network with n vertices and no edges.
 func NewGraph(n int) *Graph {
-	return &Graph{adj: make([][]halfEdge, n)}
+	return &Graph{n: n, stag: make([][]halfEdge, n)}
 }
 
 // AddEdge inserts an undirected road segment with non-negative cost w.
@@ -40,36 +81,192 @@ func (g *Graph) AddEdge(u, v int, w float64) error {
 	if w < 0 {
 		return fmt.Errorf("road: negative edge weight %g on (%d,%d)", w, u, v)
 	}
-	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
-		return fmt.Errorf("road: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return fmt.Errorf("road: edge (%d,%d) out of range [0,%d)", u, v, g.n)
 	}
-	g.adj[u] = append(g.adj[u], halfEdge{to: int32(v), w: w})
-	g.adj[v] = append(g.adj[v], halfEdge{to: int32(u), w: w})
+	g.thaw()
+	g.stag[u] = append(g.stag[u], halfEdge{to: int32(v), w: w})
+	g.stag[v] = append(g.stag[v], halfEdge{to: int32(u), w: w})
 	g.m++
 	return nil
 }
 
+// thaw rebuilds the staging adjacency from the CSR arrays so AddEdge can
+// mutate a previously frozen graph. The next read re-freezes.
+func (g *Graph) thaw() {
+	c := g.frozen.Load()
+	if c == nil {
+		return
+	}
+	g.stag = make([][]halfEdge, g.n)
+	for u := 0; u < g.n; u++ {
+		nb, ws := c.neighbors(int32(u))
+		if len(nb) == 0 {
+			continue
+		}
+		row := make([]halfEdge, len(nb))
+		for i, v := range nb {
+			row[i] = halfEdge{to: v, w: ws[i]}
+		}
+		g.stag[u] = row
+	}
+	g.frozen.Store(nil)
+	g.pin = nil
+}
+
+// Freeze compacts the staging adjacency into the flat CSR arrays — one
+// offset array plus packed neighbor and weight slabs, neighbors sorted
+// ascending per vertex (ties by weight) so the layout is canonical: any
+// insertion order of the same edge multiset freezes to identical arrays.
+// Freeze is idempotent and implied by every read, but calling it once after
+// construction keeps later concurrent first-reads free of the freeze lock.
+func (g *Graph) Freeze() { g.ensure() }
+
+// ensure returns the frozen CSR view, building it from staging on first
+// use. The double-checked lock makes concurrent first reads safe; after
+// the first freeze it is one atomic load.
+func (g *Graph) ensure() *csr {
+	if c := g.frozen.Load(); c != nil {
+		return c
+	}
+	g.freezeMu.Lock()
+	defer g.freezeMu.Unlock()
+	if c := g.frozen.Load(); c != nil {
+		return c
+	}
+	half := 0
+	for _, row := range g.stag {
+		half += len(row)
+	}
+	c := &csr{
+		off: make([]int64, g.n+1),
+		nbr: make([]int32, half),
+		wgt: make([]float64, half),
+	}
+	pos := int64(0)
+	for u, row := range g.stag {
+		c.off[u] = pos
+		if len(row) > 1 {
+			sort.Slice(row, func(i, j int) bool {
+				if row[i].to != row[j].to {
+					return row[i].to < row[j].to
+				}
+				return row[i].w < row[j].w
+			})
+		}
+		for _, e := range row {
+			c.nbr[pos] = e.to
+			c.wgt[pos] = e.w
+			pos++
+		}
+	}
+	c.off[g.n] = pos
+	g.stag = nil
+	g.frozen.Store(c)
+	return c
+}
+
+// GraphFromCSR adopts pre-built CSR arrays as a frozen graph without
+// copying: off has n+1 monotone offsets, nbr/wgt are the packed neighbor
+// ids and weights (sorted ascending per vertex). This is the zero-copy
+// entry point of the RSNAPv2 snapshot loader, so everything a later
+// traversal will index by is validated here — a corrupted snapshot must
+// fail loudly now, not fault in a Dijkstra later.
+func GraphFromCSR(off []int64, nbr []int32, wgt []float64) (*Graph, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("road: csr offset array empty")
+	}
+	n := len(off) - 1
+	if len(nbr) != len(wgt) {
+		return nil, fmt.Errorf("road: csr neighbor/weight slabs disagree (%d vs %d)", len(nbr), len(wgt))
+	}
+	if off[0] != 0 || off[n] != int64(len(nbr)) {
+		return nil, fmt.Errorf("road: csr offsets cover [%d,%d), slab has %d entries", off[0], off[n], len(nbr))
+	}
+	if len(nbr)%2 != 0 {
+		return nil, fmt.Errorf("road: csr half-edge count %d is odd", len(nbr))
+	}
+	for u := 0; u < n; u++ {
+		s, e := off[u], off[u+1]
+		if s > e {
+			return nil, fmt.Errorf("road: csr offsets decrease at vertex %d", u)
+		}
+		for k := s; k < e; k++ {
+			v := nbr[k]
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("road: csr neighbor %d of vertex %d out of range [0,%d)", v, u, n)
+			}
+			if int(v) == u {
+				return nil, fmt.Errorf("road: csr self-loop at %d", u)
+			}
+			if k > s && nbr[k-1] > v {
+				return nil, fmt.Errorf("road: csr neighbors of vertex %d not sorted", u)
+			}
+			if wgt[k] < 0 || math.IsNaN(wgt[k]) {
+				return nil, fmt.Errorf("road: csr weight %g on (%d,%d) invalid", wgt[k], u, v)
+			}
+		}
+	}
+	g := &Graph{n: n, m: len(nbr) / 2}
+	g.frozen.Store(&csr{off: off, nbr: nbr, wgt: wgt})
+	return g, nil
+}
+
+// CSR freezes the graph and returns its flat arrays: off (n+1 offsets),
+// nbr and wgt (packed half-edges, neighbors sorted ascending per vertex).
+// The slices are the graph's live adjacency — callers must not mutate them.
+func (g *Graph) CSR() (off []int64, nbr []int32, wgt []float64) {
+	c := g.ensure()
+	return c.off, c.nbr, c.wgt
+}
+
+// Pin attaches an opaque reference the graph keeps alive as long as it is
+// reachable. The snapshot loader pins the mmap holder here, so the mapping
+// backing the CSR arrays cannot be unmapped while any search can still
+// reach the graph (the G-tree holds the graph, the network holds both).
+func (g *Graph) Pin(ref any) { g.pin = ref }
+
 // N returns the number of road vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // M returns the number of road segments.
 func (g *Graph) M() int { return g.m }
 
-// Edges invokes fn once per undirected edge (u < v).
+// Edges invokes fn once per undirected edge (u < v), neighbors ascending
+// within each u — the canonical frozen order, identical for any insertion
+// order of the same edges.
 func (g *Graph) Edges(fn func(u, v int, w float64)) {
-	for u := range g.adj {
-		for _, e := range g.adj[u] {
-			if int32(u) < e.to {
-				fn(u, int(e.to), e.w)
+	c := g.ensure()
+	for u := 0; u < g.n; u++ {
+		nb, ws := c.neighbors(int32(u))
+		for i, v := range nb {
+			if int32(u) < v {
+				fn(u, int(v), ws[i])
 			}
 		}
 	}
 }
 
 // EdgeWeight returns the weight of edge (u,v), or (0,false) if absent.
+// On a frozen graph the neighbor slab is sorted, so the lookup is a binary
+// search over u's CSR span instead of a linear scan. During the staging
+// phase it scans the staging row directly rather than freezing — builders
+// (duplicate-edge checks between AddEdge calls) must not pay a
+// freeze/thaw cycle per lookup.
 func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
-	for _, e := range g.adj[u] {
-		if int(e.to) == v {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return 0, false
+	}
+	if c := g.frozen.Load(); c != nil {
+		nb, ws := c.neighbors(int32(u))
+		i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+		if i < len(nb) && nb[i] == int32(v) {
+			return ws[i], true
+		}
+		return 0, false
+	}
+	for _, e := range g.stag[u] {
+		if e.to == int32(v) {
 			return e.w, true
 		}
 	}
@@ -77,7 +274,12 @@ func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
 }
 
 // Degree returns the number of road segments incident to v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	if c := g.frozen.Load(); c != nil {
+		return int(c.off[v+1] - c.off[v])
+	}
+	return len(g.stag[v])
+}
 
 // Location is a spatial point in the road network: either exactly a vertex,
 // or a point on edge (U,V) at distance Off from U (0 <= Off <= edge weight).
@@ -149,7 +351,8 @@ func (g *Graph) DistancesFromCancel(src Location, bound float64, cancel <-chan s
 }
 
 func (g *Graph) distancesFrom(src Location, bound float64, cancel <-chan struct{}) ([]float64, error) {
-	dist := make([]float64, g.N())
+	c := g.ensure()
+	dist := make([]float64, g.n)
 	for i := range dist {
 		dist[i] = Inf
 	}
@@ -180,11 +383,12 @@ func (g *Graph) distancesFrom(src Location, bound float64, cancel <-chan struct{
 		if it.d > dist[it.v] {
 			continue
 		}
-		for _, e := range g.adj[it.v] {
-			nd := it.d + e.w
-			if nd <= bound && nd < dist[e.to] {
-				dist[e.to] = nd
-				q.push(e.to, nd)
+		for k, e := c.off[it.v], c.off[it.v+1]; k < e; k++ {
+			to := c.nbr[k]
+			nd := it.d + c.wgt[k]
+			if nd <= bound && nd < dist[to] {
+				dist[to] = nd
+				q.push(to, nd)
 			}
 		}
 	}

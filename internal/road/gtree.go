@@ -39,17 +39,43 @@ type GTree struct {
 	scratch sync.Pool // *gtScratch
 }
 
+// gtNode is one node of the hierarchy. The distance matrices are flat
+// row-major slabs rather than slice-of-slices: distLeaf is
+// len(borders)×len(vertices) and mat is len(unionBorders)² — a single
+// allocation each (or, for a snapshot-loaded tree, a zero-copy window into
+// the snapshot's float slab), indexed by leafDist/matAt.
 type gtNode struct {
 	parent   int32
 	children []int32
 	vertices []int32 // vertices of the subtree (all nodes keep them)
 	borders  []int32
-	// leaf: distLeaf[bi][vi] = within-leaf distance borders[bi] -> vertices[vi]
-	distLeaf [][]float64
-	// internal: union of children borders and pairwise within-subgraph matrix
+	// leaf: distLeaf[bi*len(vertices)+vi] = within-leaf distance
+	// borders[bi] -> vertices[vi]
+	distLeaf []float64
+	// internal: union of children borders and pairwise within-subgraph
+	// matrix, mat[i*len(unionBorders)+j] = dist unionBorders[i] -> [j]
 	unionBorders []int32
-	mat          [][]float64
+	mat          []float64
 	ubIndex      map[int32]int32
+}
+
+// leafDist reads the border-to-member matrix of a leaf node.
+func (n *gtNode) leafDist(bi, vi int) float64 { return n.distLeaf[bi*len(n.vertices)+vi] }
+
+// matAt reads the pairwise border matrix of an internal node.
+func (n *gtNode) matAt(i, j int) float64 { return n.mat[i*len(n.unionBorders)+j] }
+
+// buildUBIndex (re)derives the unionBorders position map — the only node
+// state not stored in a snapshot.
+func (n *gtNode) buildUBIndex() {
+	if len(n.unionBorders) == 0 {
+		n.ubIndex = nil
+		return
+	}
+	n.ubIndex = make(map[int32]int32, len(n.unionBorders))
+	for j, b := range n.unionBorders {
+		n.ubIndex[b] = int32(j)
+	}
 }
 
 // gtScratch is the per-query working state, pooled so that one immutable
@@ -69,6 +95,18 @@ func (t *GTree) putScratch(sc *gtScratch) {
 	t.scratch.Put(sc)
 }
 
+// initScratch installs the pool constructor; every GTree constructor
+// (build, legacy decode, flat snapshot load) funnels through it.
+func (t *GTree) initScratch() {
+	n := t.g.N()
+	t.scratch.New = func() any {
+		return &gtScratch{
+			stamp: make([]int32, n),
+			dist:  make([]float64, n),
+		}
+	}
+}
+
 func (sc *gtScratch) newStamp() int32 {
 	sc.stampID++
 	return sc.stampID
@@ -82,16 +120,12 @@ func BuildGTree(g *Graph, maxLeaf int) *GTree {
 	if maxLeaf <= 0 {
 		maxLeaf = MaxLeafSize
 	}
+	g.Freeze()
 	t := &GTree{
 		g:    g,
 		leaf: make([]int32, g.N()),
 	}
-	t.scratch.New = func() any {
-		return &gtScratch{
-			stamp: make([]int32, g.N()),
-			dist:  make([]float64, g.N()),
-		}
-	}
+	t.initScratch()
 	sc := t.getScratch()
 	all := make([]int32, g.N())
 	for i := range all {
@@ -154,6 +188,7 @@ func (t *GTree) bisect(vertices []int32, sc *gtScratch) (left, right []int32) {
 
 // bfsLast returns the last vertex reached by BFS from s within the stamped set.
 func (t *GTree) bfsLast(s int32, setID int32, sc *gtScratch) int32 {
+	c := t.g.ensure()
 	visited := map[int32]bool{s: true}
 	queue := []int32{s}
 	last := s
@@ -161,10 +196,11 @@ func (t *GTree) bfsLast(s int32, setID int32, sc *gtScratch) int32 {
 		v := queue[0]
 		queue = queue[1:]
 		last = v
-		for _, e := range t.g.adj[v] {
-			if sc.stamp[e.to] == setID && !visited[e.to] {
-				visited[e.to] = true
-				queue = append(queue, e.to)
+		nb, _ := c.neighbors(v)
+		for _, to := range nb {
+			if sc.stamp[to] == setID && !visited[to] {
+				visited[to] = true
+				queue = append(queue, to)
 			}
 		}
 	}
@@ -173,6 +209,7 @@ func (t *GTree) bfsLast(s int32, setID int32, sc *gtScratch) int32 {
 
 // bfsOrder returns up to limit vertices in BFS order from s within the set.
 func (t *GTree) bfsOrder(s int32, setID int32, limit int, sc *gtScratch) []int32 {
+	c := t.g.ensure()
 	visited := map[int32]bool{s: true}
 	queue := []int32{s}
 	order := make([]int32, 0, limit)
@@ -180,10 +217,11 @@ func (t *GTree) bfsOrder(s int32, setID int32, limit int, sc *gtScratch) []int32
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, e := range t.g.adj[v] {
-			if sc.stamp[e.to] == setID && !visited[e.to] {
-				visited[e.to] = true
-				queue = append(queue, e.to)
+		nb, _ := c.neighbors(v)
+		for _, to := range nb {
+			if sc.stamp[to] == setID && !visited[to] {
+				visited[to] = true
+				queue = append(queue, to)
 			}
 		}
 	}
@@ -193,6 +231,7 @@ func (t *GTree) bfsOrder(s int32, setID int32, limit int, sc *gtScratch) []int32
 // computeBorders fills the border list of every node: vertices with an edge
 // leaving the node's vertex set.
 func (t *GTree) computeBorders(sc *gtScratch) {
+	c := t.g.ensure()
 	for id := range t.nodes {
 		n := &t.nodes[id]
 		setID := sc.newStamp()
@@ -200,8 +239,9 @@ func (t *GTree) computeBorders(sc *gtScratch) {
 			sc.stamp[v] = setID
 		}
 		for _, v := range n.vertices {
-			for _, e := range t.g.adj[v] {
-				if sc.stamp[e.to] != setID {
+			nb, _ := c.neighbors(v)
+			for _, to := range nb {
+				if sc.stamp[to] != setID {
 					n.borders = append(n.borders, v)
 					break
 				}
@@ -217,6 +257,7 @@ func (t *GTree) computeBorders(sc *gtScratch) {
 
 // computeMatrices fills leaf border-to-member matrices and internal
 // children-border matrices via Dijkstra restricted to each node's subgraph.
+// Each matrix is one flat row-major slab.
 func (t *GTree) computeMatrices(sc *gtScratch) {
 	for id := range t.nodes {
 		n := &t.nodes[id]
@@ -225,14 +266,13 @@ func (t *GTree) computeMatrices(sc *gtScratch) {
 			sc.stamp[v] = setID
 		}
 		if len(n.children) == 0 {
-			n.distLeaf = make([][]float64, len(n.borders))
+			n.distLeaf = make([]float64, len(n.borders)*len(n.vertices))
 			for bi, b := range n.borders {
 				d := t.restrictedDijkstra(b, setID, sc)
-				row := make([]float64, len(n.vertices))
+				row := n.distLeaf[bi*len(n.vertices) : (bi+1)*len(n.vertices)]
 				for vi, v := range n.vertices {
 					row[vi] = d[v]
 				}
-				n.distLeaf[bi] = row
 			}
 			continue
 		}
@@ -246,18 +286,15 @@ func (t *GTree) computeMatrices(sc *gtScratch) {
 				}
 			}
 		}
-		n.ubIndex = make(map[int32]int32, len(n.unionBorders))
-		for i, b := range n.unionBorders {
-			n.ubIndex[b] = int32(i)
-		}
-		n.mat = make([][]float64, len(n.unionBorders))
+		n.buildUBIndex()
+		ub := len(n.unionBorders)
+		n.mat = make([]float64, ub*ub)
 		for i, b := range n.unionBorders {
 			d := t.restrictedDijkstra(b, setID, sc)
-			row := make([]float64, len(n.unionBorders))
+			row := n.mat[i*ub : (i+1)*ub]
 			for j, b2 := range n.unionBorders {
 				row[j] = d[b2]
 			}
-			n.mat[i] = row
 		}
 	}
 }
@@ -266,6 +303,7 @@ func (t *GTree) computeMatrices(sc *gtScratch) {
 // equals setID. It returns the scratch distance array (valid until the next
 // call on the same scratch); callers must copy what they need.
 func (t *GTree) restrictedDijkstra(s int32, setID int32, sc *gtScratch) []float64 {
+	c := t.g.ensure()
 	d := sc.dist
 	for i := range d {
 		d[i] = Inf
@@ -278,14 +316,15 @@ func (t *GTree) restrictedDijkstra(s int32, setID int32, sc *gtScratch) []float6
 		if it.d > d[it.v] {
 			continue
 		}
-		for _, e := range t.g.adj[it.v] {
-			if sc.stamp[e.to] != setID {
+		for k, e := c.off[it.v], c.off[it.v+1]; k < e; k++ {
+			to := c.nbr[k]
+			if sc.stamp[to] != setID {
 				continue
 			}
-			nd := it.d + e.w
-			if nd < d[e.to] {
-				d[e.to] = nd
-				heap.Push(&q, pqItem{v: e.to, d: nd})
+			nd := it.d + c.wgt[k]
+			if nd < d[to] {
+				d[to] = nd
+				heap.Push(&q, pqItem{v: to, d: nd})
 			}
 		}
 	}
@@ -436,7 +475,7 @@ func (t *GTree) sourceDistances(s int32, bound float64, cancel <-chan struct{}) 
 			best := Inf
 			for bj, b2 := range n.unionBorders {
 				if db, ok := borderDist[b2]; ok {
-					if v := db + n.mat[bj][bi]; v < best {
+					if v := db + n.matAt(bj, bi); v < best {
 						best = v
 					}
 				}
@@ -505,7 +544,7 @@ func (t *GTree) sourceDistances(s int32, bound float64, cancel <-chan struct{}) 
 				}
 				for bi, b := range n.borders {
 					if db, ok := fr.bd[b]; ok {
-						if val := db + n.distLeaf[bi][vi]; val < best {
+						if val := db + n.leafDist(bi, vi); val < best {
 							best = val
 						}
 					}
@@ -528,7 +567,7 @@ func (t *GTree) sourceDistances(s int32, bound float64, cancel <-chan struct{}) 
 			}
 			for bj, b2 := range n.unionBorders {
 				if db, ok := fr.bd[b2]; ok {
-					if v := db + n.mat[bj][bi]; v < best {
+					if v := db + n.matAt(bj, bi); v < best {
 						best = v
 					}
 				}

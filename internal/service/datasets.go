@@ -165,7 +165,7 @@ func (s *Server) CreateDatasetFromSnapshot(name string, r io.Reader) (*DatasetIn
 	if taken {
 		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	net, err := dataset.ReadSnapshot(r)
+	net, err := dataset.ReadSnapshotLimit(r, s.cfg.MaxSnapshotBytes)
 	if err != nil {
 		return nil, invalidf("dataset %q: %v", name, err)
 	}

@@ -229,8 +229,10 @@ func AsyncRequested(r *http.Request) bool {
 	}
 }
 
-// MaxSnapshotBody bounds snapshot uploads (1 GiB): far beyond any JSON
-// request, because a snapshot carries the dataset itself.
+// MaxSnapshotBody is the default bound on snapshot uploads (1 GiB): far
+// beyond any JSON request, because a snapshot carries the dataset itself.
+// Deployments expecting bigger datasets raise it via Config.MaxSnapshotBytes
+// (-max-snapshot-bytes); the file/mmap register path has no body to bound.
 const MaxSnapshotBody = 1 << 30
 
 func (s *Server) serveSaveSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -247,7 +249,7 @@ func (s *Server) serveSaveSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) serveRestoreSnapshot(w http.ResponseWriter, r *http.Request) {
 	info, err := s.CreateDatasetFromSnapshot(r.PathValue("name"),
-		http.MaxBytesReader(w, r.Body, MaxSnapshotBody))
+		http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes))
 	if err != nil {
 		writeServiceError(w, err)
 		return

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"roadsocial/client"
+	"roadsocial/internal/dataset"
 	"roadsocial/internal/mac"
 )
 
@@ -99,6 +100,12 @@ type Config struct {
 	// SlowQuery, when > 0, logs a warning with the full request key
 	// (dataset, algo, Q, k, t) for any search slower than the threshold.
 	SlowQuery time.Duration
+	// MaxSnapshotBytes bounds how large a snapshot the buffered restore
+	// paths (PUT /v1/datasets/{name}/snapshot, shard moves) will hold in
+	// memory; <= 0 selects dataset.DefaultMaxSnapshotBytes (1 GiB). The
+	// file/mmap register path (DatasetSpec.Snapshot) never buffers, so no
+	// cap applies there — oversized datasets should register from files.
+	MaxSnapshotBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LoadSpec == nil {
 		c.LoadSpec = LoadSpecFiles
+	}
+	if c.MaxSnapshotBytes <= 0 {
+		c.MaxSnapshotBytes = dataset.DefaultMaxSnapshotBytes
 	}
 	return c
 }
