@@ -12,6 +12,9 @@
 //	DELETE /v1/datasets/{name}           unregister a dataset
 //	POST   /v1/datasets/{name}/search    MAC search against one dataset
 //	POST   /v1/datasets/{name}/ktcore    maximal cohesive-subgraph membership
+//	POST   /v1/datasets/{name}/edges     apply mutations (edge inserts/deletes,
+//	                                     attribute updates, location moves)
+//	DELETE /v1/datasets/{name}/edges     delete edges (sugar over the same path)
 //	GET    /v1/datasets/{name}/snapshot  export the built dataset as a snapshot
 //	PUT    /v1/datasets/{name}/snapshot  register from an uploaded snapshot
 //	POST   /v1/datasets/{name}/move     (router) move a dataset between shards
@@ -223,6 +226,10 @@ type SearchResponse struct {
 	// coalesced) or miss (prepared here).
 	Cache     string  `json:"cache"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// Version is the dataset mutation version this search ran against. An
+	// in-flight search pins the version it started on; concurrent mutations
+	// never tear its view. 0 on servers predating mutations.
+	Version uint64 `json:"version,omitempty"`
 }
 
 // DatasetSpec tells the server how to materialize a dataset for
@@ -279,6 +286,62 @@ type DatasetInfo struct {
 	// Replicas is the ordered replica set (primary first) when the dataset
 	// is replicated through a router.
 	Replicas []string `json:"replicas,omitempty"`
+	// Version is the dataset's mutation version (0 for never-mutated
+	// datasets).
+	Version uint64 `json:"version,omitempty"`
+}
+
+// AttrUpdate replaces one user's attribute vector (dimension must match the
+// dataset's).
+type AttrUpdate struct {
+	User  int32     `json:"user"`
+	Attrs []float64 `json:"attrs"`
+}
+
+// LocationMove relocates a user in the road network: to road vertex Vertex
+// when Edge is absent, or to offset Off along road edge Edge[0]–Edge[1] when
+// present. Edge presence (not a zero value) selects the form, so vertex 0 is
+// expressible.
+type LocationMove struct {
+	User   int32   `json:"user"`
+	Vertex int32   `json:"vertex,omitempty"`
+	Edge   []int32 `json:"edge,omitempty"`
+	Off    float64 `json:"off,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/datasets/{name}/edges (and, with
+// only Deletes set, DELETE on the same path): a batch of social-graph
+// mutations applied in order — inserts, then explicit deletes, then
+// attribute updates, then location moves — as one journaled unit. Each
+// applied op bumps the dataset version by one; the batch is atomic (any
+// invalid op rejects the whole batch before anything is journaled or
+// visible).
+type MutateRequest struct {
+	// Inserts adds undirected friendship edges [u, v].
+	Inserts [][2]int32 `json:"inserts,omitempty"`
+	// Deletes removes undirected friendship edges [u, v].
+	Deletes [][2]int32 `json:"deletes,omitempty"`
+	// Attrs replaces attribute vectors.
+	Attrs []AttrUpdate `json:"attrs,omitempty"`
+	// Moves relocates users in the road network.
+	Moves []LocationMove `json:"moves,omitempty"`
+}
+
+// MutateResponse reports an applied mutation batch.
+type MutateResponse struct {
+	Dataset string `json:"dataset"`
+	// Version is the dataset version after the batch (one bump per op).
+	Version uint64 `json:"version"`
+	// Applied is the number of ops applied.
+	Applied int `json:"applied"`
+	// CoreChanged / TrussChanged count vertices and edges whose core/truss
+	// numbers were updated by incremental maintenance.
+	CoreChanged  int `json:"core_changed"`
+	TrussChanged int `json:"truss_changed"`
+	// Invalidated counts prepared-cache entries dropped because their seed
+	// intersected the changed region.
+	Invalidated int     `json:"invalidated"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
 }
 
 // HotKey is one prepared-cache resident of a dataset, decoded back into the
@@ -455,7 +518,7 @@ func (s *LatencyStats) Quantile(q float64) float64 {
 type KeyStats struct {
 	Dataset string `json:"dataset"`
 	Variant string `json:"variant"` // engine variant: "core" or "truss"
-	Route   string `json:"route"`   // "search", "ktcore", or "batch"
+	Route   string `json:"route"`   // "search", "ktcore", "batch", or "mutate"
 	// Outcome is "ok" for 2xx answers, or the error code the request was
 	// answered with (the Code* constants: "saturated", "deadline", ...).
 	Outcome string       `json:"outcome"`
@@ -544,6 +607,8 @@ type Stats struct {
 	// JobsDone / JobsFailed count settled control-plane jobs by outcome.
 	JobsDone   int64      `json:"jobs_done,omitempty"`
 	JobsFailed int64      `json:"jobs_failed,omitempty"`
+	// Mutations counts mutation ops applied across all datasets.
+	Mutations int64 `json:"mutations,omitempty"`
 	Cache      CacheStats `json:"cache"`
 	// Latency is the histogram of completed (2xx) requests — the original
 	// global series, kept completed-only so its meaning never shifts under

@@ -165,6 +165,32 @@ func (c *Client) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, 
 	return &resp, nil
 }
 
+// Mutate applies a batch of social-graph mutations — edge inserts/deletes,
+// attribute updates, location moves — via POST /v1/datasets/{name}/edges.
+// The batch is atomic and journaled before it becomes visible; the response
+// carries the dataset version after the batch. Never retried: a replayed
+// batch would double-apply (e.g. re-insert a since-deleted edge), and the
+// server journals before answering, so an ambiguous failure must be resolved
+// by reading the dataset version, not by resending.
+func (c *Client) Mutate(ctx context.Context, dataset string, req *MutateRequest) (*MutateResponse, error) {
+	var resp MutateResponse
+	if err := c.do(ctx, http.MethodPost, c.datasetPath(dataset)+"/edges", req, &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteEdges removes friendship edges via DELETE /v1/datasets/{name}/edges
+// — sugar over Mutate with only Deletes set. Never retried.
+func (c *Client) DeleteEdges(ctx context.Context, dataset string, edges [][2]int32) (*MutateResponse, error) {
+	var resp MutateResponse
+	req := &MutateRequest{Deletes: edges}
+	if err := c.do(ctx, http.MethodDelete, c.datasetPath(dataset)+"/edges", req, &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // CreateDataset registers a dataset from an on-disk spec via
 // POST /v1/datasets/{name}. Registering an existing name answers a typed
 // conflict (IsConflict(err) is true). Never retried: the call mutates

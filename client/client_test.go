@@ -20,7 +20,7 @@ func liveServer(t testing.TB) (*client.Client, []int32, int, float64) {
 	t.Helper()
 	net, q, k, tt := testNetwork(t)
 	srv := service.New(service.Config{
-		LoadSpec: func(string, *client.DatasetSpec) (*mac.Network, error) { return net, nil },
+		LoadSpec: func(string, *client.DatasetSpec) (*mac.Network, uint64, error) { return net, 0, nil },
 	})
 	if err := srv.AddDataset("live", net); err != nil {
 		t.Fatal(err)
@@ -153,7 +153,7 @@ func TestSDKRoundTrips(t *testing.T) {
 func TestSDKAgainstRouter(t *testing.T) {
 	net, q, k, tt := testNetwork(t)
 	cfg := service.Config{
-		LoadSpec: func(string, *client.DatasetSpec) (*mac.Network, error) { return net, nil },
+		LoadSpec: func(string, *client.DatasetSpec) (*mac.Network, uint64, error) { return net, 0, nil },
 	}
 	locals := []shard.Backend{
 		shard.NewLocal("shard-0", service.New(cfg)),

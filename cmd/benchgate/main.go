@@ -41,6 +41,15 @@
 // dominated by the HTTP round trip, so buffered-vs-mmap there is noise;
 // the invariant gates on the capacity point (scale=small and up), where
 // the gap is physical.
+//
+// -require-incremental-speedup asserts the write-path invariant of live
+// mutable datasets: incrementally maintaining core/truss numbers through a
+// mutation batch must undercut re-running the full decompositions
+// (mutate_incremental_ms < mutate_full_ms), and the mixed read-write phase
+// must have recorded successful mutations (mixed_mutations > 0 with a
+// mixed_p99_ms). Tiny-scale records are skipped: a tiny graph's full
+// decomposition is microseconds, so incremental-vs-full there is noise; the
+// invariant gates where re-decomposition actually costs something.
 package main
 
 import (
@@ -110,6 +119,7 @@ func main() {
 		batchCheck = flag.Bool("require-batch-amortization", false, "assert the new service_latency point shows batched per-item cost below standalone (batch_amortization > 1)")
 		snapCheck  = flag.Bool("require-snapshot-speedup", false, "assert the new service_latency point shows snapshot register-time below build register-time")
 		mmapCheck  = flag.Bool("require-mmap-speedup", false, "assert the new service_latency point shows mmap register < buffered snapshot register < build register, with heap_bytes_per_dataset reported")
+		incrCheck  = flag.Bool("require-incremental-speedup", false, "assert the new service_latency point shows incremental core/truss maintenance below full recomputation, with mixed read-write metrics recorded")
 	)
 	flag.Parse()
 	if *oldPaths == "" || *newPaths == "" {
@@ -250,6 +260,34 @@ func main() {
 		}
 		if !ok {
 			fmt.Fprintln(os.Stderr, "benchgate: -require-mmap-speedup set but no non-tiny service_latency record with metrics in -new")
+			failed = true
+		}
+	}
+	if *incrCheck {
+		ok := false
+		for _, n := range news {
+			// Tiny graphs re-decompose in microseconds; the incremental
+			// ordering only gates where a full recompute has real cost
+			// (see package doc).
+			if n.Experiment != "service_latency" || n.Metrics == nil || n.Scale == "tiny" {
+				continue
+			}
+			ok = true
+			incr, full := n.Metrics["mutate_incremental_ms"], n.Metrics["mutate_full_ms"]
+			if !(incr > 0 && full > incr) {
+				fmt.Fprintf(os.Stderr, "benchgate: incremental maintenance %.3fms not below full recompute %.3fms\n", incr, full)
+				failed = true
+			} else {
+				fmt.Printf("mutation maintenance incremental/full: %.3fms / %.3fms (%.1fx speedup)\n", incr, full, full/incr)
+			}
+			if n.Metrics["mixed_mutations"] <= 0 || n.Metrics["mixed_p99_ms"] <= 0 {
+				fmt.Fprintf(os.Stderr, "benchgate: mixed read-write phase missing (mixed_mutations %.0f, mixed_p99_ms %.3f)\n",
+					n.Metrics["mixed_mutations"], n.Metrics["mixed_p99_ms"])
+				failed = true
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchgate: -require-incremental-speedup set but no non-tiny service_latency record with metrics in -new")
 			failed = true
 		}
 	}

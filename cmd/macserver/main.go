@@ -121,6 +121,7 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		parallelism = flag.Int("parallelism", 0, "per-search workers; 0 = GOMAXPROCS")
 		maxSnapshot = flag.Int64("max-snapshot-bytes", 0, "cap on buffered snapshot restores (PUT snapshot bodies); 0 = 1 GiB. File-registered (mmap) snapshots are never buffered and ignore this cap")
+		mutLogDir   = flag.String("mutation-log-dir", "", "directory for per-dataset mutation journals: mutations fsync here before answering and replay on restart; empty disables durability")
 		authToken   = flag.String("auth-token", "", "shared secret: require 'Authorization: Bearer <token>' on all /v1 routes and forward it to -peers")
 
 		shards      = flag.Int("shards", 1, "in-process service shards; datasets partition across them by consistent hashing")
@@ -172,6 +173,13 @@ func main() {
 		SlowQuery:      *slowQuery,
 
 		MaxSnapshotBytes: *maxSnapshot,
+		MutationLogDir:   *mutLogDir,
+	}
+
+	if *mutLogDir != "" {
+		if err := os.MkdirAll(*mutLogDir, 0o755); err != nil {
+			fatal("mutation log dir", "path", *mutLogDir, "error", err)
+		}
 	}
 
 	// Pure routing tier: no local datasets, every request proxied to the
@@ -376,14 +384,14 @@ func edgeHandler(logger *slog.Logger, token string, h http.Handler) http.Handler
 // names through the experiment harness (with the server's flag defaults for
 // scale/d/seed), snapshot- and file-backed specs through the default
 // loader (a snapshot wins when both are named: loading beats rebuilding).
-func specLoader(defaultScale string, defaultD int, defaultSeed int64) func(string, *service.DatasetSpec) (*roadsocial.Network, error) {
-	return func(name string, spec *service.DatasetSpec) (*roadsocial.Network, error) {
+func specLoader(defaultScale string, defaultD int, defaultSeed int64) func(string, *service.DatasetSpec) (*roadsocial.Network, uint64, error) {
+	return func(name string, spec *service.DatasetSpec) (*roadsocial.Network, uint64, error) {
 		if spec.Snapshot != "" || spec.Synthetic == "" {
 			return service.LoadSpecFiles(name, spec)
 		}
 		dspec, err := exp.DatasetByName(spec.Synthetic)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		scaleName := spec.Scale
 		if scaleName == "" {
@@ -391,7 +399,7 @@ func specLoader(defaultScale string, defaultD int, defaultSeed int64) func(strin
 		}
 		sc, err := parseScale(scaleName)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		d := spec.D
 		if d == 0 {
@@ -403,12 +411,12 @@ func specLoader(defaultScale string, defaultD int, defaultSeed int64) func(strin
 		}
 		in, err := dspec.Build(sc, d, seed)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if spec.GTree {
 			in.Net.Oracle = roadsocial.BuildGTree(in.Net.Road, 0)
 		}
-		return in.Net, nil
+		return in.Net, 0, nil
 	}
 }
 

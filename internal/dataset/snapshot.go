@@ -50,7 +50,15 @@ const DefaultMaxSnapshotBytes int64 = 1 << 30
 // net.Oracle is a *road.GTree (any other oracle is dropped — only the
 // G-tree has a stable on-disk form).
 func WriteSnapshot(w io.Writer, net *mac.Network) error {
-	return writeSnapshotV2(w, net)
+	return writeSnapshotV2(w, net, 0)
+}
+
+// WriteSnapshotVersion is WriteSnapshot with a dataset mutation version
+// stamped into the RSNAPv2 header (section kind 9). A zero version writes no
+// stamp, keeping the bytes identical to WriteSnapshot; non-zero versions let
+// a restarted leaf replay only the journal records newer than the snapshot.
+func WriteSnapshotVersion(w io.Writer, net *mac.Network, version uint64) error {
+	return writeSnapshotV2(w, net, version)
 }
 
 // writeSnapshotV1 emits the legacy format. Kept (unexported) so tests can
@@ -105,17 +113,26 @@ func ReadSnapshot(r io.Reader) (*mac.Network, error) {
 // local files should prefer ReadSnapshotFile, which memory-maps v2
 // snapshots instead of buffering them.
 func ReadSnapshotLimit(r io.Reader, maxBytes int64) (*mac.Network, error) {
+	net, _, err := ReadSnapshotLimitVersion(r, maxBytes)
+	return net, err
+}
+
+// ReadSnapshotLimitVersion is ReadSnapshotLimit surfacing the dataset
+// mutation version stamped in the RSNAPv2 header; v1 snapshots and
+// unstamped v2 snapshots report version 0.
+func ReadSnapshotLimitVersion(r io.Reader, maxBytes int64) (*mac.Network, uint64, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("dataset: snapshot header: %w", err)
+		return nil, 0, fmt.Errorf("dataset: snapshot header: %w", err)
 	}
 	switch string(magic[:]) {
 	case snapshotMagic:
-		return readSnapshotV1(r, maxBytes)
+		net, err := readSnapshotV1(r, maxBytes)
+		return net, 0, err
 	case snapshotMagicV2:
 		return readSnapshotV2(r, maxBytes)
 	default:
-		return nil, fmt.Errorf("dataset: not a snapshot (or unsupported version): magic %q", magic[:])
+		return nil, 0, fmt.Errorf("dataset: not a snapshot (or unsupported version): magic %q", magic[:])
 	}
 }
 
@@ -183,12 +200,18 @@ func decodeSnapshotV1(payload []byte) (*mac.Network, error) {
 // target directory, renamed into place on success, so a crashed writer
 // never leaves a half-written snapshot under the real name.
 func WriteSnapshotFile(path string, net *mac.Network) error {
+	return WriteSnapshotFileVersion(path, net, 0)
+}
+
+// WriteSnapshotFileVersion is WriteSnapshotFile with a version stamp (see
+// WriteSnapshotVersion).
+func WriteSnapshotFileVersion(path string, net *mac.Network, version uint64) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".snapshot-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := WriteSnapshot(tmp, net); err != nil {
+	if err := WriteSnapshotVersion(tmp, net, version); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -204,35 +227,44 @@ func WriteSnapshotFile(path string, net *mac.Network) error {
 // rather than decoding and no buffering cap applies; RSNAPv1 files take the
 // legacy decode path, capped only by the actual file size.
 func ReadSnapshotFile(path string) (*mac.Network, error) {
+	net, _, err := ReadSnapshotFileVersion(path)
+	return net, err
+}
+
+// ReadSnapshotFileVersion is ReadSnapshotFile surfacing the dataset
+// mutation version stamped in the RSNAPv2 header (0 for v1 and unstamped
+// files).
+func ReadSnapshotFileVersion(path string) (*mac.Network, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	var magic [8]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		return nil, fmt.Errorf("dataset: snapshot header: %w", err)
+		return nil, 0, fmt.Errorf("dataset: snapshot header: %w", err)
 	}
 	st, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	switch string(magic[:]) {
 	case snapshotMagicV2:
 		hold, err := mapFile(f, st.Size())
 		if err != nil {
-			return nil, fmt.Errorf("dataset: snapshot map: %w", err)
+			return nil, 0, fmt.Errorf("dataset: snapshot map: %w", err)
 		}
-		net, err := loadSnapshotV2(hold.data, hold)
+		net, version, err := loadSnapshotV2(hold.data, hold)
 		if err != nil {
 			hold.close()
-			return nil, err
+			return nil, 0, err
 		}
-		return net, nil
+		return net, version, nil
 	case snapshotMagic:
-		return readSnapshotV1(f, st.Size())
+		net, err := readSnapshotV1(f, st.Size())
+		return net, 0, err
 	default:
-		return nil, fmt.Errorf("dataset: not a snapshot (or unsupported version): magic %q", magic[:])
+		return nil, 0, fmt.Errorf("dataset: not a snapshot (or unsupported version): magic %q", magic[:])
 	}
 }
 

@@ -35,9 +35,10 @@ import (
 // snapshotMagicV2 identifies version 2 of the format.
 const snapshotMagicV2 = "RSNAPv2\n"
 
-// Section kinds. A v2 file carries sections 1–5 always and 6–8 when the
-// network has a G-tree oracle; kinds outside this set are rejected (the
-// format is versioned by magic, not by optional sections).
+// Section kinds. A v2 file carries sections 1–5 always, 6–8 when the
+// network has a G-tree oracle, and 9 when the dataset has a non-zero
+// mutation version; kinds outside this set are rejected (the format is
+// versioned by magic, not by optional sections).
 const (
 	secSocial  = 1 // social graph, v1 varint codec (opaque bytes)
 	secLocs    = 2 // user locations, v1 varint codec (opaque bytes)
@@ -47,6 +48,7 @@ const (
 	secGTMeta  = 6 // G-tree topology, varint codec (opaque bytes)
 	secGTI32   = 7 // G-tree int32 slab (leaf table + per-node lists)
 	secGTF64   = 8 // G-tree float64 slab (per-node distLeaf + mat)
+	secVersion = 9 // dataset mutation version stamp, uint64 LE
 )
 
 const v2HeaderLen = 24
@@ -188,7 +190,7 @@ func viewF64(b []byte) ([]float64, error) {
 // passes over the same section list — one through the CRC, one through the
 // writer — keep the whole thing streaming: nothing is concatenated, and on
 // a little-endian host the big slabs go straight from the live arrays to w.
-func writeSnapshotV2(w io.Writer, net *mac.Network) error {
+func writeSnapshotV2(w io.Writer, net *mac.Network, version uint64) error {
 	if err := net.Validate(); err != nil {
 		return err
 	}
@@ -221,6 +223,13 @@ func writeSnapshotV2(w io.Writer, net *mac.Network) error {
 			section{secGTI32, i32Bytes(flat.I32)},
 			section{secGTF64, f64Bytes(flat.F64)},
 		)
+	}
+	if version > 0 {
+		// The version stamp is omitted at zero so never-mutated snapshots
+		// stay byte-identical to pre-stamp writers.
+		var vb [8]byte
+		binary.LittleEndian.PutUint64(vb[:], version)
+		sections = append(sections, section{secVersion, vb[:]})
 	}
 
 	// Lay out the section table: each section starts 8-aligned, padded with
@@ -279,21 +288,21 @@ func writeSnapshotV2(w io.Writer, net *mac.Network) error {
 // copied once into an 8-aligned buffer and loaded in place. Zero-copy in
 // the mmap sense is reserved for ReadSnapshotFile; here the single aligned
 // copy replaces all of v1's per-element decoding and allocation.
-func readSnapshotV2(r io.Reader, maxBytes int64) (*mac.Network, error) {
+func readSnapshotV2(r io.Reader, maxBytes int64) (*mac.Network, uint64, error) {
 	var rest [16]byte
 	if _, err := io.ReadFull(r, rest[:]); err != nil {
-		return nil, fmt.Errorf("dataset: snapshot header: %w", err)
+		return nil, 0, fmt.Errorf("dataset: snapshot header: %w", err)
 	}
 	fileSize := binary.LittleEndian.Uint64(rest[0:8])
 	if fileSize < v2HeaderLen {
-		return nil, fmt.Errorf("dataset: snapshot declares %d bytes, below the %d-byte header", fileSize, v2HeaderLen)
+		return nil, 0, fmt.Errorf("dataset: snapshot declares %d bytes, below the %d-byte header", fileSize, v2HeaderLen)
 	}
 	if fileSize > uint64(maxBytes) {
-		return nil, fmt.Errorf("dataset: snapshot of %d bytes exceeds the %d limit", fileSize, maxBytes)
+		return nil, 0, fmt.Errorf("dataset: snapshot of %d bytes exceeds the %d limit", fileSize, maxBytes)
 	}
 	var body bytes.Buffer
 	if n, err := io.CopyN(&body, r, int64(fileSize-v2HeaderLen)); err != nil {
-		return nil, fmt.Errorf("dataset: snapshot truncated at byte %d of %d: %w", uint64(n)+v2HeaderLen, fileSize, err)
+		return nil, 0, fmt.Errorf("dataset: snapshot truncated at byte %d of %d: %w", uint64(n)+v2HeaderLen, fileSize, err)
 	}
 	data := alignedBuffer(int(fileSize))
 	copy(data[0:8], snapshotMagicV2)
@@ -313,24 +322,24 @@ func readSnapshotV2(r io.Reader, maxBytes int64) (*mac.Network, error) {
 // bounds, and (inside GraphFromCSR / GTreeFromFlat) every value a traversal
 // will index by. A corrupted file errors out cleanly; it never panics and
 // never maps garbage into a live dataset.
-func loadSnapshotV2(data []byte, pin any) (*mac.Network, error) {
+func loadSnapshotV2(data []byte, pin any) (*mac.Network, uint64, error) {
 	if len(data) < v2HeaderLen {
-		return nil, fmt.Errorf("dataset: snapshot of %d bytes, below the %d-byte header", len(data), v2HeaderLen)
+		return nil, 0, fmt.Errorf("dataset: snapshot of %d bytes, below the %d-byte header", len(data), v2HeaderLen)
 	}
 	if string(data[0:8]) != snapshotMagicV2 {
-		return nil, fmt.Errorf("dataset: not a v2 snapshot: magic %q", data[0:8])
+		return nil, 0, fmt.Errorf("dataset: not a v2 snapshot: magic %q", data[0:8])
 	}
 	fileSize := binary.LittleEndian.Uint64(data[8:16])
 	if fileSize != uint64(len(data)) {
-		return nil, fmt.Errorf("dataset: snapshot declares %d bytes, file has %d", fileSize, len(data))
+		return nil, 0, fmt.Errorf("dataset: snapshot declares %d bytes, file has %d", fileSize, len(data))
 	}
 	if got, want := crc32.ChecksumIEEE(data[v2HeaderLen:]), binary.LittleEndian.Uint32(data[16:20]); got != want {
-		return nil, fmt.Errorf("dataset: snapshot checksum mismatch (got %08x, want %08x)", got, want)
+		return nil, 0, fmt.Errorf("dataset: snapshot checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	count := binary.LittleEndian.Uint32(data[20:24])
 	tableEnd := uint64(v2HeaderLen) + uint64(count)*v2TableEntryLen
 	if count == 0 || tableEnd > fileSize {
-		return nil, fmt.Errorf("dataset: snapshot section table of %d entries exceeds the %d-byte file", count, fileSize)
+		return nil, 0, fmt.Errorf("dataset: snapshot section table of %d entries exceeds the %d-byte file", count, fileSize)
 	}
 	secs := make(map[uint32][]byte, count)
 	for i := uint32(0); i < count; i++ {
@@ -338,17 +347,17 @@ func loadSnapshotV2(data []byte, pin any) (*mac.Network, error) {
 		kind := binary.LittleEndian.Uint32(e[0:4])
 		off := binary.LittleEndian.Uint64(e[8:16])
 		length := binary.LittleEndian.Uint64(e[16:24])
-		if kind < secSocial || kind > secGTF64 {
-			return nil, fmt.Errorf("dataset: snapshot section %d has unknown kind %d", i, kind)
+		if kind < secSocial || kind > secVersion {
+			return nil, 0, fmt.Errorf("dataset: snapshot section %d has unknown kind %d", i, kind)
 		}
 		if _, dup := secs[kind]; dup {
-			return nil, fmt.Errorf("dataset: snapshot carries duplicate section kind %d", kind)
+			return nil, 0, fmt.Errorf("dataset: snapshot carries duplicate section kind %d", kind)
 		}
 		if off%8 != 0 {
-			return nil, fmt.Errorf("dataset: snapshot section kind %d at misaligned offset %d", kind, off)
+			return nil, 0, fmt.Errorf("dataset: snapshot section kind %d at misaligned offset %d", kind, off)
 		}
 		if off < tableEnd || off > fileSize || length > fileSize-off {
-			return nil, fmt.Errorf("dataset: snapshot section kind %d spans [%d,%d+%d) outside the %d-byte file", kind, off, off, length, fileSize)
+			return nil, 0, fmt.Errorf("dataset: snapshot section kind %d spans [%d,%d+%d) outside the %d-byte file", kind, off, off, length, fileSize)
 		}
 		secs[kind] = data[off : off+length : off+length]
 	}
@@ -360,46 +369,54 @@ func loadSnapshotV2(data []byte, pin any) (*mac.Network, error) {
 		return s, nil
 	}
 
+	var version uint64
+	if vs, ok := secs[secVersion]; ok {
+		if len(vs) != 8 {
+			return nil, 0, fmt.Errorf("dataset: snapshot version section of %d bytes, want 8", len(vs))
+		}
+		version = binary.LittleEndian.Uint64(vs)
+	}
+
 	socialSec, err := need(secSocial, "social")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	sr := bytes.NewReader(socialSec)
 	gs, err := decodeSocial(sr)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if sr.Len() != 0 {
-		return nil, fmt.Errorf("dataset: snapshot social section carries %d trailing bytes", sr.Len())
+		return nil, 0, fmt.Errorf("dataset: snapshot social section carries %d trailing bytes", sr.Len())
 	}
 
 	offSec, err := need(secRoadOff, "road offsets")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	nbrSec, err := need(secRoadNbr, "road neighbors")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	wgtSec, err := need(secRoadWgt, "road weights")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	off, err := viewI64(offSec)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	nbr, err := viewI32(nbrSec)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	wgt, err := viewF64(wgtSec)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	gr, err := road.GraphFromCSR(off, nbr, wgt)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if pin != nil {
 		gr.Pin(pin)
@@ -407,46 +424,46 @@ func loadSnapshotV2(data []byte, pin any) (*mac.Network, error) {
 
 	locSec, err := need(secLocs, "locations")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	lr := bytes.NewReader(locSec)
 	locs := make([]road.Location, gs.N())
 	for i := range locs {
 		if locs[i], err = road.DecodeLocation(lr, gr); err != nil {
-			return nil, fmt.Errorf("dataset: snapshot location %d: %w", i, err)
+			return nil, 0, fmt.Errorf("dataset: snapshot location %d: %w", i, err)
 		}
 	}
 	if lr.Len() != 0 {
-		return nil, fmt.Errorf("dataset: snapshot location section carries %d trailing bytes", lr.Len())
+		return nil, 0, fmt.Errorf("dataset: snapshot location section carries %d trailing bytes", lr.Len())
 	}
 
 	net := &mac.Network{Social: gs, Road: gr, Locs: locs}
 	if metaSec, ok := secs[secGTMeta]; ok {
 		i32Sec, err := need(secGTI32, "gtree int32 slab")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		f64Sec, err := need(secGTF64, "gtree float64 slab")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		i32, err := viewI32(i32Sec)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		f64, err := viewF64(f64Sec)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		gt, err := road.GTreeFromFlat(gr, road.FlatGTree{Meta: metaSec, I32: i32, F64: f64})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		net.Oracle = gt
 	} else if _, ok := secs[secGTI32]; ok {
-		return nil, fmt.Errorf("dataset: snapshot carries gtree slabs without topology")
+		return nil, 0, fmt.Errorf("dataset: snapshot carries gtree slabs without topology")
 	} else if _, ok := secs[secGTF64]; ok {
-		return nil, fmt.Errorf("dataset: snapshot carries gtree slabs without topology")
+		return nil, 0, fmt.Errorf("dataset: snapshot carries gtree slabs without topology")
 	}
-	return net, net.Validate()
+	return net, version, net.Validate()
 }

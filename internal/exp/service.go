@@ -17,6 +17,7 @@ import (
 
 	"roadsocial/client"
 	"roadsocial/internal/mac"
+	"roadsocial/internal/mutate"
 	"roadsocial/internal/promtest"
 	"roadsocial/internal/road"
 	"roadsocial/internal/service"
@@ -37,6 +38,12 @@ const (
 	serviceOpenLoopReqs = 80
 	serviceBatchItems   = 8
 	serviceBatchRounds  = 12
+	// Mixed read-write phase: serviceMixedReqs requests, every
+	// serviceMixedWriteEvery-th one a mutation (a 90/10 read/write split).
+	serviceMixedReqs       = 100
+	serviceMixedWriteEvery = 10
+	// Rounds per side of the incremental-vs-full maintenance comparison.
+	mutMaintRounds = 5
 )
 
 // ServiceLatency is the load-generator experiment for the query service
@@ -348,6 +355,94 @@ func ServiceLatency(opts Options) (*Table, error) {
 		tab.Metrics["batch_parallel_speedup"] = batchP50 / parP50
 	}
 
+	// Mixed read-write phase (90/10): warm searches interleaved with edge
+	// mutations through POST/DELETE /v1/datasets/{name}/edges. Every tenth
+	// request toggles one social edge (delete, then re-insert), so each
+	// write bumps the dataset version and invalidates whatever prepared
+	// state its subcore touches; the read latencies measure what a mostly-
+	// read workload pays for riding a live graph instead of a frozen one.
+	// The toggle pairs balance out, so the phase leaves the graph as found.
+	mu, mv := int32(-1), int32(-1)
+	for v := 0; v < in.Net.Social.N(); v++ {
+		if in.Net.Social.Degree(v) > 0 {
+			mu, mv = int32(v), in.Net.Social.Neighbors(v)[0]
+			break
+		}
+	}
+	if mu < 0 {
+		return nil, fmt.Errorf("exp: mixed phase found no social edge to toggle")
+	}
+	var mixedLat []float64
+	mutations := 0
+	deleted := false
+	for i := 0; i < serviceMixedReqs; i++ {
+		if (i+1)%serviceMixedWriteEvery == 0 {
+			var mresp *client.MutateResponse
+			var merr error
+			if deleted {
+				mresp, merr = sdk.Mutate(ctx, spec.Name, &client.MutateRequest{Inserts: [][2]int32{{mu, mv}}})
+			} else {
+				mresp, merr = sdk.DeleteEdges(ctx, spec.Name, [][2]int32{{mu, mv}})
+			}
+			if merr != nil {
+				return nil, fmt.Errorf("exp: mixed phase mutation %d: %v", i, merr)
+			}
+			deleted = !deleted
+			mutations += mresp.Applied
+			continue
+		}
+		status, ms, err := post(warmReq)
+		if err != nil {
+			return nil, err
+		}
+		if status == http.StatusOK {
+			mixedLat = append(mixedLat, ms)
+		}
+	}
+	if deleted {
+		// An odd toggle count ended with the edge removed; put it back.
+		if _, err := sdk.Mutate(ctx, spec.Name, &client.MutateRequest{Inserts: [][2]int32{{mu, mv}}}); err != nil {
+			return nil, err
+		}
+	}
+	tab.Rows = append(tab.Rows, latencyRow("mixed_rw", mixedLat, 0))
+	tab.Metrics["mixed_p50_ms"] = percentileMs(mixedLat, 0.50)
+	tab.Metrics["mixed_p99_ms"] = percentileMs(mixedLat, 0.99)
+	tab.Metrics["mixed_mutations"] = float64(mutations)
+
+	// Incremental-vs-full maintenance: the library-level cost of keeping
+	// core and truss numbers current through one edge toggle (delete plus
+	// re-insert via mutate.Apply — the toggle is self-inverse, so the state
+	// is identical after every round) against recomputing both
+	// decompositions from scratch (mutate.InitState). Each side takes
+	// the min of a few rounds so the gap measured is algorithmic, not
+	// scheduler noise; benchgate -require-incremental-speedup gates
+	// incremental < full on non-tiny records.
+	maintSt := mutate.InitState(in.Net.Social, 0)
+	toggle := []mutate.Op{
+		{Kind: mutate.DeleteEdge, U: mu, V: mv},
+		{Kind: mutate.InsertEdge, U: mu, V: mv},
+	}
+	incMs, fullMs := -1.0, -1.0
+	for round := 0; round < mutMaintRounds; round++ {
+		start := time.Now()
+		if _, _, err := mutate.Apply(in.Net, maintSt, toggle); err != nil {
+			return nil, fmt.Errorf("exp: incremental maintenance round %d: %v", round, err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if incMs < 0 || ms < incMs {
+			incMs = ms
+		}
+		start = time.Now()
+		mutate.InitState(in.Net.Social, 0)
+		ms = float64(time.Since(start).Microseconds()) / 1000
+		if fullMs < 0 || ms < fullMs {
+			fullMs = ms
+		}
+	}
+	tab.Metrics["mutate_incremental_ms"] = incMs
+	tab.Metrics["mutate_full_ms"] = fullMs
+
 	// Snapshot-registration phase: register the same spec twice on a fresh
 	// server — building from the synthetic catalog (including the G-tree),
 	// then from a snapshot of that build — and compare the register times.
@@ -456,16 +551,16 @@ func ServiceLatency(opts Options) (*Table, error) {
 // on a box — the number that turns the bench trajectory into datasets-per-
 // gigabyte.
 func snapshotRegisterPhase(tab *Table, spec DatasetSpec, opts Options) error {
-	loader := func(name string, dspec *service.DatasetSpec) (*mac.Network, error) {
+	loader := func(name string, dspec *service.DatasetSpec) (*mac.Network, uint64, error) {
 		if dspec.Snapshot != "" {
 			return service.LoadSpecFiles(name, dspec)
 		}
 		in, err := spec.Build(opts.Scale, DefaultD, opts.Seed)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		in.Net.Oracle = road.BuildGTree(in.Net.Road, 0)
-		return in.Net, nil
+		return in.Net, 0, nil
 	}
 	srv := service.New(service.Config{LoadSpec: loader})
 	ts := httptest.NewServer(srv.Handler())

@@ -112,6 +112,28 @@ func (p *Prepared) Cost() int64 {
 	return int64(len(p.members))
 }
 
+// IntersectsVertices reports whether the prepared cohesive subgraph
+// contains any vertex in touched. It is the mutation subsystem's seed
+// invalidation hook: a prepared (Q, k, t) whose member set is disjoint from
+// the mutated region cannot have changed and stays cached.
+func (p *Prepared) IntersectsVertices(touched map[int32]bool) bool {
+	if len(touched) < len(p.members) {
+		for v := range touched {
+			i := sort.Search(len(p.members), func(i int) bool { return p.members[i] >= v })
+			if i < len(p.members) && p.members[i] == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range p.members {
+		if touched[v] {
+			return true
+		}
+	}
+	return false
+}
+
 // K returns the prepared coreness (or truss) threshold.
 func (p *Prepared) K() int { return p.k }
 

@@ -1,0 +1,285 @@
+package mutate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal is a per-dataset append-only mutation log (WAL). Its on-disk form
+// follows the repo's RSNAPv2 conventions — uvarint lengths, little-endian
+// fixed-width words, CRC-32 (IEEE) integrity — and its open path follows the
+// shard job-journal fold/compact pattern: read everything, drop obsolete and
+// torn records, rewrite compacted via temp+rename, reopen for append.
+//
+// Layout:
+//
+//	magic "RMUTJv1\n" (8 bytes)
+//	record*: uvarint payloadLen | payload | crc32(payload) LE32
+//	payload: uvarint version | kind byte | kind-specific fields
+//	  InsertEdge/DeleteEdge: uvarint u | uvarint v
+//	  SetAttrs:              uvarint u | uvarint dim | dim × float64 LE
+//	  MoveUser:              uvarint user | onEdge byte |
+//	                         uvarint u [| uvarint v | float64 LE off]
+//
+// A record is durable once Append returns: appends are fsynced. A torn tail
+// (partial last record after a crash) is detected by length/CRC and dropped
+// at the next open; everything before it replays.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Record is one journaled mutation with the dataset version it produced.
+type Record struct {
+	Version uint64
+	Op      Op
+}
+
+const journalMagic = "RMUTJv1\n"
+
+// maxJournalPayload bounds a single record payload; larger length prefixes
+// are treated as corruption rather than allocated.
+const maxJournalPayload = 1 << 24
+
+// OpenJournal opens (creating if absent) the mutation journal at path,
+// returning the journal ready for appends and the records that must replay
+// on top of a base snapshot at version base — i.e. records with
+// Version > base, in order. Obsolete records and any torn tail are dropped
+// from disk by rewriting the compacted journal via temp+rename.
+func OpenJournal(path string, base uint64) (*Journal, []Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("mutate: read journal: %w", err)
+	}
+	var recs []Record
+	if len(raw) > 0 {
+		if len(raw) < len(journalMagic) || string(raw[:len(journalMagic)]) != journalMagic {
+			return nil, nil, fmt.Errorf("mutate: %s: bad journal magic", path)
+		}
+		recs = parseRecords(raw[len(journalMagic):], base)
+	}
+
+	// Compact: rewrite only the live records, then swap into place. This
+	// both drops torn tails and prunes records already folded into the
+	// snapshot the caller restored from.
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("mutate: journal dir: %w", err)
+	}
+	tmp := path + ".tmp"
+	buf := make([]byte, 0, 64*len(recs)+len(journalMagic))
+	buf = append(buf, journalMagic...)
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return nil, nil, fmt.Errorf("mutate: compact journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, nil, fmt.Errorf("mutate: install journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mutate: open journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("mutate: sync journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, recs, nil
+}
+
+// Append journals recs and fsyncs once. On error the journal may hold a
+// torn tail; the next OpenJournal drops it, so callers must treat a failed
+// append as "nothing durable" and not install the mutation.
+func (j *Journal) Append(recs []Record) error {
+	buf := make([]byte, 0, 64*len(recs))
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("mutate: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("mutate: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("mutate: fsync journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Remove closes the journal and deletes it from disk (dataset removal).
+func (j *Journal) Remove() error {
+	err := j.Close()
+	if rmErr := os.Remove(j.path); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// Path returns the on-disk path of the journal.
+func (j *Journal) Path() string { return j.path }
+
+// appendRecord serializes one record onto buf.
+func appendRecord(buf []byte, r Record) []byte {
+	payload := make([]byte, 0, 48)
+	payload = binary.AppendUvarint(payload, r.Version)
+	payload = append(payload, byte(r.Op.Kind))
+	switch r.Op.Kind {
+	case InsertEdge, DeleteEdge:
+		payload = binary.AppendUvarint(payload, uint64(uint32(r.Op.U)))
+		payload = binary.AppendUvarint(payload, uint64(uint32(r.Op.V)))
+	case SetAttrs:
+		payload = binary.AppendUvarint(payload, uint64(uint32(r.Op.U)))
+		payload = binary.AppendUvarint(payload, uint64(len(r.Op.Attrs)))
+		for _, x := range r.Op.Attrs {
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(x))
+		}
+	case MoveUser:
+		payload = binary.AppendUvarint(payload, uint64(uint32(r.Op.U)))
+		if r.Op.Loc.OnEdge {
+			payload = append(payload, 1)
+			payload = binary.AppendUvarint(payload, uint64(uint32(r.Op.Loc.U)))
+			payload = binary.AppendUvarint(payload, uint64(uint32(r.Op.Loc.V)))
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(r.Op.Loc.Off))
+		} else {
+			payload = append(payload, 0)
+			payload = binary.AppendUvarint(payload, uint64(uint32(r.Op.Loc.U)))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// parseRecords decodes records from b, stopping silently at the first torn
+// or corrupt record (crash tail), and keeps those with version > base.
+func parseRecords(b []byte, base uint64) []Record {
+	var recs []Record
+	for len(b) > 0 {
+		plen, n := binary.Uvarint(b)
+		if n <= 0 || plen > maxJournalPayload || uint64(len(b)-n) < plen+4 {
+			break
+		}
+		payload := b[n : n+int(plen)]
+		crc := binary.LittleEndian.Uint32(b[n+int(plen):])
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		r, ok := decodePayload(payload)
+		if !ok {
+			break
+		}
+		b = b[n+int(plen)+4:]
+		if r.Version > base {
+			recs = append(recs, r)
+		}
+	}
+	return recs
+}
+
+// decodePayload decodes one record payload.
+func decodePayload(p []byte) (Record, bool) {
+	var r Record
+	ver, n := binary.Uvarint(p)
+	if n <= 0 || n >= len(p) {
+		return r, false
+	}
+	r.Version = ver
+	r.Op.Kind = Kind(p[n])
+	p = p[n+1:]
+	u32 := func() (int32, bool) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 || v > math.MaxUint32 {
+			return 0, false
+		}
+		p = p[n:]
+		return int32(uint32(v)), true
+	}
+	f64 := func() (float64, bool) {
+		if len(p) < 8 {
+			return 0, false
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+		return v, true
+	}
+	switch r.Op.Kind {
+	case InsertEdge, DeleteEdge:
+		u, ok1 := u32()
+		v, ok2 := u32()
+		if !ok1 || !ok2 {
+			return r, false
+		}
+		r.Op.U, r.Op.V = u, v
+	case SetAttrs:
+		u, ok := u32()
+		if !ok {
+			return r, false
+		}
+		dim, n := binary.Uvarint(p)
+		if n <= 0 || dim > 1<<16 {
+			return r, false
+		}
+		p = p[n:]
+		attrs := make([]float64, dim)
+		for i := range attrs {
+			x, ok := f64()
+			if !ok {
+				return r, false
+			}
+			attrs[i] = x
+		}
+		r.Op.U, r.Op.Attrs = u, attrs
+	case MoveUser:
+		u, ok := u32()
+		if !ok || len(p) < 1 {
+			return r, false
+		}
+		onEdge := p[0]
+		p = p[1:]
+		r.Op.U = u
+		switch onEdge {
+		case 0:
+			lu, ok := u32()
+			if !ok {
+				return r, false
+			}
+			r.Op.Loc = LocSpec{U: lu}
+		case 1:
+			lu, ok1 := u32()
+			lv, ok2 := u32()
+			off, ok3 := f64()
+			if !ok1 || !ok2 || !ok3 {
+				return r, false
+			}
+			r.Op.Loc = LocSpec{OnEdge: true, U: lu, V: lv, Off: off}
+		default:
+			return r, false
+		}
+	default:
+		return r, false
+	}
+	return r, len(p) == 0
+}

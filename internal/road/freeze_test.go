@@ -1,0 +1,58 @@
+package road
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestAddEdgeAfterFreezeContract: AddEdge on a frozen graph is an explicit
+// error (never silent staging divergence from the CSR arrays readers hold),
+// and Thaw is the documented re-stage path — after Thaw the graph accepts
+// edges again, and the re-frozen view contains both the original and the
+// post-Thaw edges.
+func TestAddEdgeAfterFreezeContract(t *testing.T) {
+	g := lineGraph(t, []float64{2, 3, 5}) // 0-1-2-3
+	g.Freeze()
+
+	err := g.AddEdge(0, 2, 1)
+	if err == nil {
+		t.Fatal("AddEdge on a frozen graph must fail")
+	}
+	if !strings.Contains(err.Error(), "Thaw") {
+		t.Fatalf("frozen AddEdge error %q does not point at Thaw", err)
+	}
+	// The rejected edge left no trace: neither counts nor distances moved.
+	if g.M() != 3 {
+		t.Fatalf("edge count after rejected AddEdge = %d, want 3", g.M())
+	}
+	if d := g.DistancesFrom(VertexLocation(0), math.Inf(1)); d[2] != 5 {
+		t.Fatalf("d[2] after rejected AddEdge = %g, want 5", d[2])
+	}
+
+	// An implicit freeze (any read path) pins the contract the same way.
+	g2 := lineGraph(t, []float64{1})
+	_ = g2.DistancesFrom(VertexLocation(0), math.Inf(1))
+	if err := g2.AddEdge(0, 1, 1); err == nil {
+		t.Fatal("AddEdge after an implicit (read-triggered) freeze must fail")
+	}
+
+	// Thaw re-opens staging: the new edge lands, the old edges survive, and
+	// the next read re-freezes with the merged adjacency.
+	g.Thaw()
+	if err := g.AddEdge(0, 3, 1); err != nil {
+		t.Fatalf("AddEdge after Thaw: %v", err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("edge count after Thaw+AddEdge = %d, want 4", g.M())
+	}
+	d := g.DistancesFrom(VertexLocation(0), math.Inf(1))
+	want := []float64{0, 2, 5, 1} // shortcut 0-3 wins; old edges intact
+	for v, w := range want {
+		if math.Abs(d[v]-w) > 1e-12 {
+			t.Fatalf("post-Thaw d[%d] = %g, want %g", v, d[v], w)
+		}
+	}
+	// Thaw on a never-frozen graph is a no-op, not a crash.
+	NewGraph(2).Thaw()
+}

@@ -50,8 +50,11 @@ func (c *csr) neighbors(u int32) ([]int32, []float64) {
 // so callers never need to think about the distinction — but a graph that
 // will be read concurrently must be frozen (by Freeze, or any single-
 // threaded read) before the goroutines fan out, exactly like it always had
-// to be fully built first. AddEdge on a frozen graph thaws it back to
-// staging form.
+// to be fully built first. AddEdge on a frozen graph is an error: frozen
+// arrays may be shared with concurrent readers (or be views into a
+// memory-mapped snapshot), so mutating them behind their backs has no safe
+// meaning. The explicit re-stage path is Thaw, which is only legal while
+// the caller can guarantee no concurrent readers.
 type Graph struct {
 	n    int
 	m    int
@@ -73,7 +76,11 @@ func NewGraph(n int) *Graph {
 	return &Graph{n: n, stag: make([][]halfEdge, n)}
 }
 
-// AddEdge inserts an undirected road segment with non-negative cost w.
+// AddEdge inserts an undirected road segment with non-negative cost w. The
+// graph must still be in its staging phase: once frozen (explicitly or by
+// any read), AddEdge returns an error instead of silently diverging from
+// the CSR arrays concurrent readers may hold — call Thaw first to opt back
+// into single-threaded staging.
 func (g *Graph) AddEdge(u, v int, w float64) error {
 	if u == v {
 		return fmt.Errorf("road: self-loop at %d", u)
@@ -84,16 +91,22 @@ func (g *Graph) AddEdge(u, v int, w float64) error {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return fmt.Errorf("road: edge (%d,%d) out of range [0,%d)", u, v, g.n)
 	}
-	g.thaw()
+	if g.frozen.Load() != nil {
+		return fmt.Errorf("road: AddEdge(%d,%d) on a frozen graph; call Thaw before mutating", u, v)
+	}
 	g.stag[u] = append(g.stag[u], halfEdge{to: int32(v), w: w})
 	g.stag[v] = append(g.stag[v], halfEdge{to: int32(u), w: w})
 	g.m++
 	return nil
 }
 
-// thaw rebuilds the staging adjacency from the CSR arrays so AddEdge can
-// mutate a previously frozen graph. The next read re-freezes.
-func (g *Graph) thaw() {
+// Thaw rebuilds the staging adjacency from the CSR arrays so AddEdge can
+// mutate a previously frozen graph; the next read re-freezes. Thaw is only
+// safe while no other goroutine reads the graph: it drops the frozen view
+// (and the mmap pin of a snapshot-backed graph, copying the arrays onto the
+// heap first), so a concurrent reader could otherwise observe the graph
+// mid-rebuild. A never-frozen graph is a no-op.
+func (g *Graph) Thaw() {
 	c := g.frozen.Load()
 	if c == nil {
 		return

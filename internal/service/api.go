@@ -31,6 +31,10 @@ type (
 	BatchItemResult = client.BatchItemResult
 	// BatchResponse is the body of a successful POST /v1/batch.
 	BatchResponse = client.BatchResponse
+	// MutateRequest is the body of POST/DELETE /v1/datasets/{name}/edges.
+	MutateRequest = client.MutateRequest
+	// MutateResponse reports an applied mutation batch.
+	MutateResponse = client.MutateResponse
 	// DatasetSpec tells the server how to materialize a dataset.
 	DatasetSpec = client.DatasetSpec
 	// DatasetInfo describes a registered dataset.

@@ -227,6 +227,39 @@ func (c *prepCache) purgeDataset(dataset string) int {
 	return purged
 }
 
+// invalidate drops one dataset's cached prepared states that a mutation may
+// have falsified: every in-flight build (it snapshotted the pre-mutation
+// network), every negative entry (a mutation can create a community where
+// none existed), and every ready entry for which pred reports the prepared
+// community could have changed. It returns how many entries were dropped.
+// Removal is always safe — the worst case is a rebuild on the next request —
+// so pred errs on the side of true.
+func (c *prepCache) invalidate(dataset string, pred func(*mac.Prepared) bool) int {
+	prefix := dataset + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if len(e.key) > len(prefix) && e.key[:len(prefix)] == prefix {
+			remove := true
+			select {
+			case <-e.ready:
+				remove = e.err != nil || e.p == nil || pred(e.p)
+			default:
+				// In-flight: built against the pre-mutation network.
+			}
+			if remove {
+				c.removeLocked(el)
+				dropped++
+			}
+		}
+		el = next
+	}
+	return dropped
+}
+
 // hotKeys returns up to n of dataset's completed cache residents decoded
 // back into request parameters, most recently used first — the working set
 // worth replaying against a freshly synced replica to warm its cache.

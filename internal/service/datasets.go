@@ -18,19 +18,19 @@ import (
 // loader that knows the experiment harness; cmd/macserver injects one.
 // Because the paths are opened server-side, a deployment exposing the
 // create endpoint should run with an auth token.
-func LoadSpecFiles(name string, spec *DatasetSpec) (*mac.Network, error) {
+func LoadSpecFiles(name string, spec *DatasetSpec) (*mac.Network, uint64, error) {
 	if spec.Snapshot != "" {
-		net, err := dataset.ReadSnapshotFile(spec.Snapshot)
+		net, version, err := dataset.ReadSnapshotFileVersion(spec.Snapshot)
 		if err != nil {
-			return nil, invalidf("dataset %q: %v", name, err)
+			return nil, 0, invalidf("dataset %q: %v", name, err)
 		}
-		return net, nil
+		return net, version, nil
 	}
 	if spec.Synthetic != "" {
-		return nil, invalidf("dataset %q: no synthetic catalog loader configured on this server", name)
+		return nil, 0, invalidf("dataset %q: no synthetic catalog loader configured on this server", name)
 	}
 	if spec.Social == "" || spec.Attrs == "" || spec.Road == "" || spec.Locs == "" {
-		return nil, invalidf("dataset %q: spec needs social, attrs, road, and locs file paths (or a synthetic catalog name)", name)
+		return nil, 0, invalidf("dataset %q: spec needs social, attrs, road, and locs file paths (or a synthetic catalog name)", name)
 	}
 	open := func(path string) (*os.File, error) {
 		f, err := os.Open(path)
@@ -41,32 +41,32 @@ func LoadSpecFiles(name string, spec *DatasetSpec) (*mac.Network, error) {
 	}
 	sf, err := open(spec.Social)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer sf.Close()
 	af, err := open(spec.Attrs)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer af.Close()
 	rf, err := open(spec.Road)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer rf.Close()
 	lf, err := open(spec.Locs)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer lf.Close()
 	net, err := dataset.ReadNetwork(sf, af, nil, rf, lf)
 	if err != nil {
-		return nil, invalidf("dataset %q: %v", name, err)
+		return nil, 0, invalidf("dataset %q: %v", name, err)
 	}
 	if spec.GTree {
 		net.Oracle = road.BuildGTree(net.Road, 0)
 	}
-	return net, nil
+	return net, 0, nil
 }
 
 // CreateDataset materializes a spec through the configured loader and
@@ -86,17 +86,17 @@ func (s *Server) CreateDataset(name string, spec *DatasetSpec) (*DatasetInfo, er
 	if taken {
 		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	net, err := s.cfg.LoadSpec(name, spec)
+	net, version, err := s.cfg.LoadSpec(name, spec)
 	if err != nil {
 		return nil, err
 	}
 	if err := net.Validate(); err != nil {
 		return nil, invalidf("dataset %q: %v", name, err)
 	}
-	if err := s.AddDataset(name, net); err != nil {
+	if err := s.AddDatasetVersion(name, net, version); err != nil {
 		return nil, err
 	}
-	return datasetInfo(name, net), nil
+	return s.registeredInfo(name)
 }
 
 // CreateDatasetAsync submits the registration as a job: the transport-
@@ -142,13 +142,16 @@ func (s *Server) CreateDatasetAsyncTagged(name string, spec *DatasetSpec, reques
 
 // SaveSnapshot streams a registered dataset as a versioned, checksummed
 // snapshot — the transport-agnostic core of GET /v1/datasets/{name}/snapshot
-// and the input half of copy-then-cutover moves.
+// and the input half of copy-then-cutover moves. A mutated dataset's current
+// mutation version is stamped into the snapshot header, so a restore (or a
+// restart registering from this file) resumes journal replay exactly past
+// the state the snapshot captured.
 func (s *Server) SaveSnapshot(name string, w io.Writer) error {
 	e, err := s.network(name)
 	if err != nil {
 		return err
 	}
-	return dataset.WriteSnapshot(w, e.net)
+	return dataset.WriteSnapshotVersion(w, e.net, e.version)
 }
 
 // CreateDatasetFromSnapshot registers a dataset decoded from snapshot
@@ -165,21 +168,28 @@ func (s *Server) CreateDatasetFromSnapshot(name string, r io.Reader) (*DatasetIn
 	if taken {
 		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	net, err := dataset.ReadSnapshotLimit(r, s.cfg.MaxSnapshotBytes)
+	net, version, err := dataset.ReadSnapshotLimitVersion(r, s.cfg.MaxSnapshotBytes)
 	if err != nil {
 		return nil, invalidf("dataset %q: %v", name, err)
 	}
-	if err := s.AddDataset(name, net); err != nil {
+	if err := s.AddDatasetVersion(name, net, version); err != nil {
 		return nil, err
 	}
-	return datasetInfo(name, net), nil
+	return s.registeredInfo(name)
 }
 
-func datasetInfo(name string, net *mac.Network) *DatasetInfo {
+// registeredInfo describes a just-registered dataset from its live entry, so
+// the reported version reflects any journal replay the registration ran.
+func (s *Server) registeredInfo(name string) (*DatasetInfo, error) {
+	e, err := s.network(name)
+	if err != nil {
+		return nil, err
+	}
 	return &DatasetInfo{
 		Dataset:      name,
-		Users:        net.Social.N(),
-		Friendships:  net.Social.M(),
-		RoadVertices: net.Road.N(),
-	}
+		Users:        e.net.Social.N(),
+		Friendships:  e.net.Social.M(),
+		RoadVertices: e.net.Road.N(),
+		Version:      e.version,
+	}, nil
 }

@@ -28,6 +28,8 @@ const MaxRequestBody = 1 << 20
 //	DELETE /v1/datasets/{name}          — unregister (200)
 //	POST   /v1/datasets/{name}/search   — run a MAC search
 //	POST   /v1/datasets/{name}/ktcore   — maximal cohesive-subgraph membership
+//	POST   /v1/datasets/{name}/edges    — apply a mutation batch (journaled)
+//	DELETE /v1/datasets/{name}/edges    — delete edges (delete-only batch)
 //	GET    /v1/datasets/{name}/snapshot — export the built dataset (octet-stream)
 //	PUT    /v1/datasets/{name}/snapshot — register from uploaded snapshot (201)
 //	GET    /v1/jobs/{id}                — poll a job
@@ -54,6 +56,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets/{name}/ktcore", func(w http.ResponseWriter, r *http.Request) {
 		s.serveSearch(w, r, r.PathValue("name"), true)
 	})
+	mux.HandleFunc("POST /v1/datasets/{name}/edges", s.serveMutate)
+	mux.HandleFunc("DELETE /v1/datasets/{name}/edges", s.serveDeleteEdges)
 	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", s.serveSaveSnapshot)
 	mux.HandleFunc("PUT /v1/datasets/{name}/snapshot", s.serveRestoreSnapshot)
 	mux.HandleFunc("GET /v1/datasets/{name}/hotkeys", s.serveHotKeys)

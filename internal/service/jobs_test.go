@@ -142,10 +142,10 @@ func TestJobCancel(t *testing.T) {
 	// while the job runs.
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
-	s := New(Config{LoadSpec: func(name string, spec *DatasetSpec) (*mac.Network, error) {
+	s := New(Config{LoadSpec: func(name string, spec *DatasetSpec) (*mac.Network, uint64, error) {
 		started <- struct{}{}
 		<-release
-		return net, nil
+		return net, 0, nil
 	}})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -264,7 +264,7 @@ func TestSnapshotEndpointsRoundTrip(t *testing.T) {
 // string-matching.
 func TestTypedErrors(t *testing.T) {
 	net, _, _, _ := testNetwork(t)
-	s := New(Config{LoadSpec: func(string, *DatasetSpec) (*mac.Network, error) { return net, nil }})
+	s := New(Config{LoadSpec: func(string, *DatasetSpec) (*mac.Network, uint64, error) { return net, 0, nil }})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	ctx := context.Background()

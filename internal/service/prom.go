@@ -59,6 +59,8 @@ func WriteProm(w io.Writer, sets []PromSet) error {
 			func(st client.Stats) float64 { return float64(st.RejectedSaturated) }},
 		{"macserver_deadline_exceeded_total", "Requests that exceeded their deadline (504).",
 			func(st client.Stats) float64 { return float64(st.DeadlineExceeded) }},
+		{"macserver_mutations_total", "Mutation ops applied (edge inserts/deletes, attribute updates, location moves).",
+			func(st client.Stats) float64 { return float64(st.Mutations) }},
 		{"macserver_cache_hits_total", "Prepared-cache hits.",
 			func(st client.Stats) float64 { return float64(st.Cache.Hits) }},
 		{"macserver_cache_misses_total", "Prepared-cache misses.",

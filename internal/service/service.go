@@ -87,11 +87,13 @@ type Config struct {
 	// dataset creates); <= 0 selects 2. Jobs beyond the bound queue; a full
 	// queue answers 429.
 	JobWorkers int
-	// LoadSpec materializes a dataset for POST /v1/datasets/{name}. Nil
+	// LoadSpec materializes a dataset for POST /v1/datasets/{name}, returning
+	// the network and its mutation version (0 for freshly built datasets;
+	// snapshot-backed specs report the snapshot's stamped version). Nil
 	// selects LoadSpecFiles, which understands the file-backed half of the
 	// spec; cmd/macserver injects a loader that also resolves the synthetic
 	// catalog.
-	LoadSpec func(name string, spec *DatasetSpec) (*mac.Network, error)
+	LoadSpec func(name string, spec *DatasetSpec) (*mac.Network, uint64, error)
 	// Logger, when non-nil, makes the HTTP handler emit one structured
 	// access-log record per request (see AccessLog) and receives the
 	// slow-query records. Nil disables access logging; slow-query records
@@ -106,6 +108,13 @@ type Config struct {
 	// file/mmap register path (DatasetSpec.Snapshot) never buffers, so no
 	// cap applies there — oversized datasets should register from files.
 	MaxSnapshotBytes int64
+	// MutationLogDir, when non-empty, makes every dataset's mutations durable:
+	// each dataset appends its accepted ops to an fsynced journal in this
+	// directory (one file per dataset) before answering, and registration
+	// replays the journal past the registered network's version, so a
+	// restarted server converges to its pre-crash state. Empty disables
+	// durability — mutations still apply, but do not survive a restart.
+	MutationLogDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +179,7 @@ type Server struct {
 	failed            atomic.Int64
 	rejectedSaturated atomic.Int64
 	deadlineExceeded  atomic.Int64
+	mutations         atomic.Int64
 
 	lat     latencyHist
 	metrics *metricsRegistry
@@ -192,43 +202,68 @@ func New(cfg Config) *Server {
 // dsEntry is one registered dataset: the shared read-only network plus the
 // registration generation that keys its prepared states. The generation
 // makes delete + re-create under one name safe: prepared state from the
-// previous registration can never serve the new one.
+// previous registration can never serve the new one. Mutations swap the net
+// pointer copy-on-write and bump version without changing gen: in-flight
+// searches pin the network they resolved, and prepared states falsified by
+// the mutation are invalidated selectively rather than by a generation flip.
 type dsEntry struct {
-	net *mac.Network
-	gen uint64
+	net     *mac.Network
+	gen     uint64
+	version uint64
+	mut     *mutState
 }
 
 // AddDataset registers a network under a name. The network (including any
 // Oracle index) must be fully built: it is shared read-only by every
-// request from then on.
+// request from then on; writes go through Mutate, which replaces the
+// network copy-on-write.
 func (s *Server) AddDataset(name string, net *mac.Network) error {
+	return s.AddDatasetVersion(name, net, 0)
+}
+
+// AddDatasetVersion is AddDataset for networks restored at a known mutation
+// version (a stamped snapshot). When Config.MutationLogDir is set, the
+// dataset's journal is opened with the version as its base: records at or
+// below it are compacted away, later ones replay onto the network before
+// registration, so the registered dataset converges to its pre-crash state.
+func (s *Server) AddDatasetVersion(name string, net *mac.Network, version uint64) error {
 	if name == "" {
 		return errors.New("service: empty dataset name")
 	}
 	if err := net.Validate(); err != nil {
 		return err
 	}
+	// Replay before claiming the name: a corrupt journal must fail the
+	// registration, not leave a half-mutated dataset serving.
+	ms, net, version, err := s.openMutations(name, net, version)
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.nets[name]; ok {
+		ms.close()
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	s.gen++
-	s.nets[name] = dsEntry{net: net, gen: s.gen}
+	s.nets[name] = dsEntry{net: net, gen: s.gen, version: version, mut: ms}
 	return nil
 }
 
 // RemoveDataset unregisters a dataset and purges its prepared states from
 // the cache. Searches already in flight keep the network alive through
-// their own references and finish normally; new requests answer 404.
+// their own references and finish normally; new requests answer 404. The
+// dataset's mutation journal is deleted with it — a later re-create under
+// the same name starts fresh.
 func (s *Server) RemoveDataset(name string) error {
 	s.mu.Lock()
-	_, ok := s.nets[name]
+	e, ok := s.nets[name]
 	delete(s.nets, name)
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
+	e.mut.drop()
 	s.cache.purgeDataset(name)
 	return nil
 }
@@ -437,7 +472,10 @@ func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}, tm 
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	resp := &SearchResponse{Dataset: req.Dataset, Algo: reqAlgo(req)}
+	// The response pins the dataset version the search resolved: ds was
+	// snapshotted before any concurrent mutation could swap the entry, so
+	// net, version, and every result derived from them agree.
+	resp := &SearchResponse{Dataset: req.Dataset, Algo: reqAlgo(req), Version: ds.version}
 
 	key := prepKey(req.Dataset, ds.gen, eng.Variant(), req.Q, req.K, req.T)
 	var p *mac.Prepared
@@ -514,6 +552,7 @@ func (s *Server) Stats() Stats {
 		MaxQueue:          s.cfg.MaxQueue,
 		JobsDone:          jobsDone,
 		JobsFailed:        jobsFailed,
+		Mutations:         s.mutations.Load(),
 		Cache:             s.cache.stats(),
 		Latency:           s.lat.stats(),
 		DatasetStats:      s.metrics.keyedSnapshot(),

@@ -29,8 +29,8 @@ func moveRouter(t testing.TB, net *mac.Network) (*Router, []*Local) {
 		MaxInFlight:    4,
 		MaxQueue:       64,
 		DefaultTimeout: 120 * time.Second,
-		LoadSpec: func(name string, spec *service.DatasetSpec) (*mac.Network, error) {
-			return net, nil
+		LoadSpec: func(name string, spec *service.DatasetSpec) (*mac.Network, uint64, error) {
+			return net, 0, nil
 		},
 	}
 	locals := []*Local{

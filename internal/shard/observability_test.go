@@ -203,8 +203,8 @@ func TestRequestIDPropagatesThroughFailover(t *testing.T) {
 			MaxQueue:       64,
 			DefaultTimeout: 120 * time.Second,
 			Logger:         slog.New(slog.NewTextHandler(sink, nil)),
-			LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, error) {
-				return net_, nil
+			LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, uint64, error) {
+				return net_, 0, nil
 			},
 		}
 	}

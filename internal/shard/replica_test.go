@@ -118,8 +118,8 @@ func TestFailoverZeroDowntime(t *testing.T) {
 		MaxInFlight:    4,
 		MaxQueue:       64,
 		DefaultTimeout: 120 * time.Second,
-		LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, error) {
-			return net_, nil
+		LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, uint64, error) {
+			return net_, 0, nil
 		},
 	}
 	leaves := []*leafProc{startLeaf(t, cfg), startLeaf(t, cfg)}
@@ -374,8 +374,8 @@ func TestJobJournalResume(t *testing.T) {
 		MaxInFlight:    4,
 		MaxQueue:       64,
 		DefaultTimeout: 120 * time.Second,
-		LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, error) {
-			return net_, nil
+		LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, uint64, error) {
+			return net_, 0, nil
 		},
 	}
 	locals := []*Local{

@@ -820,6 +820,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets/{name}/search", rt.routeDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}/ktcore", rt.routeDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}/hotkeys", rt.routeDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/edges", rt.routeMutate)
+	mux.HandleFunc("DELETE /v1/datasets/{name}/edges", rt.routeMutate)
 	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", rt.routeSnapshotGet)
 	mux.HandleFunc("PUT /v1/datasets/{name}/snapshot", rt.serveRestoreSnapshot)
 	mux.HandleFunc("POST /v1/datasets/{name}/move", rt.serveMoveDataset)
@@ -852,6 +854,40 @@ func (rt *Router) routeDataset(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rt.routeRead(w, r, r.PathValue("name"), body)
+}
+
+// routeMutate hands a mutation batch to the dataset's primary and, on
+// success, replays the same body against each follower so replica copies
+// converge. Unlike reads there is no failover — a write answered by a
+// follower while the primary is alive would fork the dataset's history —
+// and a mid-move dataset rejects writes outright (the snapshot being copied
+// would silently miss them).
+func (rt *Router) routeMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if rt.isMoving(name) {
+		writeError(w, http.StatusConflict, fmt.Errorf("dataset %q is mid-move; retry shortly", name))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	set := rt.replicaSetFor(name)
+	path := "/v1/datasets/" + name + "/edges"
+	auth := r.Header.Get("Authorization")
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	rec := newRecorder()
+	rt.backends[set[0]].ServeAPI(rec, r)
+	if rec.code/100 == 2 {
+		for _, f := range set[1:] {
+			if _, err := rt.forward(f, r.Method, path, bytes.NewReader(body), auth, "application/json"); err != nil {
+				slog.Warn("follower mutation failed; replica copy is stale until re-sync",
+					"dataset", name, "shard", rt.backends[f].Name(), "err", err)
+			}
+		}
+	}
+	rec.replay(w)
 }
 
 // routeSnapshotGet streams a snapshot export from the first healthy replica.
@@ -1581,6 +1617,7 @@ func (rt *Router) Stats() Stats {
 		tot.Failed += st.Failed
 		tot.RejectedSaturated += st.RejectedSaturated
 		tot.DeadlineExceeded += st.DeadlineExceeded
+		tot.Mutations += st.Mutations
 		tot.InFlight += st.InFlight
 		tot.Queued += st.Queued
 		tot.MaxInFlight += st.MaxInFlight

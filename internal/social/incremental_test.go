@@ -1,0 +1,208 @@
+package social
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomGraph builds a moderately dense random graph whose core and truss
+// decompositions have real structure (triangles, nested cores).
+func randomGraph(t *testing.T, rng *rand.Rand, n int, p float64) *Graph {
+	t.Helper()
+	b := NewBuilder(n, 2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func cloneTruss(m map[int64]int) map[int64]int {
+	out := make(map[int64]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// TestCOWMutationSharing asserts the copy-on-write contract: the original
+// graph is untouched and unchanged rows are shared, not copied.
+func TestCOWMutationSharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(t, rng, 30, 0.2)
+	u, v := -1, -1
+	for a := 0; a < g.N() && u < 0; a++ {
+		for b := a + 1; b < g.N(); b++ {
+			if !g.HasEdge(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	mBefore := g.M()
+	degU := g.Degree(u)
+	g2, err := g.WithEdge(u, v)
+	if err != nil {
+		t.Fatalf("WithEdge: %v", err)
+	}
+	if g.M() != mBefore || g.HasEdge(u, v) {
+		t.Fatalf("WithEdge mutated the original graph")
+	}
+	if !g2.HasEdge(u, v) || g2.M() != mBefore+1 || g2.Degree(u) != degU+1 {
+		t.Fatalf("WithEdge result wrong: m=%d hasEdge=%v", g2.M(), g2.HasEdge(u, v))
+	}
+	// Untouched rows must be the same backing arrays.
+	for w := 0; w < g.N(); w++ {
+		if w == u || w == v {
+			continue
+		}
+		if len(g.adj[w]) > 0 && &g.adj[w][0] != &g2.adj[w][0] {
+			t.Fatalf("vertex %d adjacency copied, want shared", w)
+		}
+	}
+	g3, err := g2.WithoutEdge(u, v)
+	if err != nil {
+		t.Fatalf("WithoutEdge: %v", err)
+	}
+	if g3.M() != mBefore || g3.HasEdge(u, v) {
+		t.Fatalf("WithoutEdge did not undo the insert")
+	}
+	if _, err := g.WithEdge(u, u); err == nil {
+		t.Fatalf("self-loop insert must fail")
+	}
+	if _, err := g.WithoutEdge(u, v); err == nil {
+		t.Fatalf("deleting a missing edge must fail")
+	}
+	if _, err := g.WithAttrs(0, []float64{1}); err == nil {
+		t.Fatalf("wrong-dimension attrs must fail")
+	}
+	g4, err := g.WithAttrs(0, []float64{3, 4})
+	if err != nil {
+		t.Fatalf("WithAttrs: %v", err)
+	}
+	if g.Attrs(0)[0] == 3 || g4.Attrs(0)[0] != 3 {
+		t.Fatalf("WithAttrs leaked into the original")
+	}
+}
+
+// TestIncrementalCoreTrussDifferential is the differential acceptance test:
+// after N random insert/delete mutations, incrementally maintained core and
+// truss numbers must equal a from-scratch decomposition after every single
+// step.
+func TestIncrementalCoreTrussDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 20210421} {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(t, rng, 60, 0.12)
+		core, _ := g.CoreDecomposition(nil)
+		truss, _ := g.TrussDecomposition(nil)
+		steps := 120
+		if testing.Short() {
+			steps = 30
+		}
+		for step := 0; step < steps; step++ {
+			u := int32(rng.Intn(g.N()))
+			v := int32(rng.Intn(g.N()))
+			if u == v {
+				continue
+			}
+			var err error
+			if g.HasEdge(int(u), int(v)) {
+				g, err = g.WithoutEdge(int(u), int(v))
+				if err != nil {
+					t.Fatalf("seed %d step %d delete: %v", seed, step, err)
+				}
+				g.IncrementalCoreDelete(core, u, v)
+				g.IncrementalTrussDelete(truss, u, v)
+			} else {
+				g, err = g.WithEdge(int(u), int(v))
+				if err != nil {
+					t.Fatalf("seed %d step %d insert: %v", seed, step, err)
+				}
+				g.IncrementalCoreInsert(core, u, v)
+				g.IncrementalTrussInsert(truss, u, v)
+			}
+			wantCore, _ := g.CoreDecomposition(nil)
+			if !reflect.DeepEqual(core, wantCore) {
+				t.Fatalf("seed %d step %d (%d,%d): incremental core diverged", seed, step, u, v)
+			}
+			wantTruss, _ := g.TrussDecomposition(nil)
+			if !reflect.DeepEqual(truss, wantTruss) {
+				for k, w := range wantTruss {
+					if truss[k] != w {
+						ku, kv := EdgeKeyEndpoints(k)
+						t.Logf("edge (%d,%d): incremental %d want %d", ku, kv, truss[k], w)
+					}
+				}
+				for k := range truss {
+					if _, ok := wantTruss[k]; !ok {
+						ku, kv := EdgeKeyEndpoints(k)
+						t.Logf("edge (%d,%d): stale entry %d", ku, kv, truss[k])
+					}
+				}
+				t.Fatalf("seed %d step %d (%d,%d): incremental truss diverged", seed, step, u, v)
+			}
+		}
+	}
+}
+
+// TestIncrementalReportsChanges asserts the changed sets are accurate: every
+// reported vertex/edge actually changed and nothing that changed goes
+// unreported (the cache-invalidation layer depends on the latter).
+func TestIncrementalReportsChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomGraph(t, rng, 50, 0.15)
+	core, _ := g.CoreDecomposition(nil)
+	truss, _ := g.TrussDecomposition(nil)
+	for step := 0; step < 60; step++ {
+		u := int32(rng.Intn(g.N()))
+		v := int32(rng.Intn(g.N()))
+		if u == v {
+			continue
+		}
+		oldCore := append([]int(nil), core...)
+		oldTruss := cloneTruss(truss)
+		var changedV []int32
+		var changedE []TrussDelta
+		if g.HasEdge(int(u), int(v)) {
+			g, _ = g.WithoutEdge(int(u), int(v))
+			changedV = g.IncrementalCoreDelete(core, u, v)
+			changedE = g.IncrementalTrussDelete(truss, u, v)
+		} else {
+			g, _ = g.WithEdge(int(u), int(v))
+			changedV = g.IncrementalCoreInsert(core, u, v)
+			changedE = g.IncrementalTrussInsert(truss, u, v)
+		}
+		reportedV := make(map[int32]bool)
+		for _, w := range changedV {
+			reportedV[w] = true
+			if core[w] == oldCore[w] {
+				t.Fatalf("step %d: vertex %d reported changed but core stayed %d", step, w, core[w])
+			}
+		}
+		for w := range core {
+			if core[w] != oldCore[w] && !reportedV[int32(w)] {
+				t.Fatalf("step %d: vertex %d changed %d->%d unreported", step, w, oldCore[w], core[w])
+			}
+		}
+		reportedE := make(map[int64]bool)
+		for _, d := range changedE {
+			reportedE[d.Key] = true
+			if d.Existed && d.Old != oldTruss[d.Key] {
+				t.Fatalf("step %d: edge %d delta records old %d, want %d", step, d.Key, d.Old, oldTruss[d.Key])
+			}
+		}
+		for k, nv := range truss {
+			if ov, had := oldTruss[k]; (!had || ov != nv) && !reportedE[k] {
+				t.Fatalf("step %d: edge %d changed %d->%d unreported", step, k, oldTruss[k], nv)
+			}
+		}
+	}
+}
