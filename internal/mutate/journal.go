@@ -77,21 +77,48 @@ func OpenJournal(path string, base uint64) (*Journal, []Record, error) {
 	for _, r := range recs {
 		buf = appendRecord(buf, r)
 	}
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	// The rewrite must be crash-durable BEFORE the rename makes it the
+	// journal: rename is only atomic for directory entries, so renaming a
+	// temp file whose data blocks are still in the page cache can leave an
+	// empty or partial journal after a crash — losing records Append had
+	// already fsynced. Hence: write temp, fsync temp, close, rename, fsync
+	// the directory (the rename itself must survive the crash too).
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return nil, nil, fmt.Errorf("mutate: compact journal: %w", err)
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		return nil, nil, fmt.Errorf("mutate: compact journal: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return nil, nil, fmt.Errorf("mutate: sync compacted journal: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return nil, nil, fmt.Errorf("mutate: close compacted journal: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return nil, nil, fmt.Errorf("mutate: install journal: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, nil, fmt.Errorf("mutate: sync journal dir: %w", err)
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mutate: open journal: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("mutate: sync journal: %w", err)
-	}
 	return &Journal{f: f, path: path}, recs, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry in it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Append journals recs and fsyncs once. On error the journal may hold a

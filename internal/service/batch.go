@@ -151,6 +151,8 @@ func (s *Server) runItem(item *BatchItem, cancel <-chan struct{}) BatchItemResul
 		s.recordOutcome(&req, "batch", start, nil, err)
 		return itemError(statusOf(err), err)
 	}
+	// Epoch before network pointer — same discipline as doTimed.
+	epoch := s.cache.epoch(req.Dataset)
 	ds, err := s.network(req.Dataset)
 	if err != nil {
 		s.failed.Add(1)
@@ -158,7 +160,7 @@ func (s *Server) runItem(item *BatchItem, cancel <-chan struct{}) BatchItemResul
 		return itemError(statusOf(err), err)
 	}
 	var tm Timing
-	out, err := s.doAdmitted(&req, ds, cancel, &tm)
+	out, err := s.doAdmitted(&req, ds, epoch, cancel, &tm)
 	s.recordOutcome(&req, "batch", start, &tm, err)
 	if err != nil {
 		status := statusOf(err)

@@ -45,6 +45,9 @@ func prepKey(dataset string, gen uint64, variant mac.Variant, q []int32, k int, 
 // p/err are set; waiters coalesce on it. cost and builtAt are set (under the
 // cache mutex) when the build completes; until then the entry weighs
 // nothing, so in-flight coalescing is never a casualty of weight pressure.
+// epoch is the builder's resolve-time invalidation epoch (see prepCache
+// epochs): an in-flight entry stamped with an older epoch than a new
+// caller's is a build against a network a mutation has since replaced.
 type cacheEntry struct {
 	key     string
 	ready   chan struct{}
@@ -52,6 +55,7 @@ type cacheEntry struct {
 	err     error
 	cost    int64
 	builtAt time.Time
+	epoch   uint64
 }
 
 // prepCache is a weighted LRU cache of prepared states with single-flight
@@ -74,6 +78,13 @@ type prepCache struct {
 	ll       *list.List                // front = most recently used; values are *cacheEntry
 	byKey    map[string]*list.Element
 	costUsed int64
+	// epochs counts invalidation passes per dataset. A search snapshots the
+	// epoch before resolving its network pointer; a build completing under a
+	// moved epoch ran against a network some mutation has since replaced and
+	// whose invalidation pass could not see the entry, so it must not stay
+	// cached (the builder still gets its result — searches pin the version
+	// they resolved — it just isn't shared forward).
+	epochs map[string]uint64
 
 	hits, misses, coalesced, evictions, expirations int64
 }
@@ -93,6 +104,7 @@ func newPrepCache(capacity int, maxCost int64, ttl time.Duration) *prepCache {
 		costOf:   entryCost,
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
+		epochs:   make(map[string]uint64),
 	}
 }
 
@@ -113,15 +125,42 @@ func entryCost(p *mac.Prepared) int64 {
 // not redo the road-network range query); any other failed build — typically
 // a canceled preparation — is removed so later requests retry. cancel aborts
 // only this caller's wait, never the shared build.
-func (c *prepCache) getOrBuild(key string, cancel <-chan struct{}, build func() (*mac.Prepared, error)) (p *mac.Prepared, hit bool, err error) {
+//
+// snapEpoch is the dataset's invalidation epoch the caller snapshotted
+// before resolving its network pointer (see epoch). It closes the
+// mutation/invalidation race: a search that resolved the pre-mutation
+// network, then stalled (e.g. in the admission queue) past a mutation's
+// invalidation pass, would otherwise insert a prepared state built from the
+// replaced network that the pass could never see — and every later request
+// under the same key would hit it. Instead, a completed build whose
+// snapshot epoch no longer matches the dataset's is handed to its own
+// waiters but dropped from the cache, and an in-flight entry stamped with
+// an older epoch than a new caller's is evicted and rebuilt rather than
+// coalesced onto.
+func (c *prepCache) getOrBuild(key, dataset string, snapEpoch uint64, cancel <-chan struct{}, build func() (*mac.Prepared, error)) (p *mac.Prepared, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		e := el.Value.(*cacheEntry)
-		if c.expiredLocked(e) {
+		stale := false
+		select {
+		case <-e.ready:
+			// Completed entries survived every invalidation pass since they
+			// were built, so they are valid for any caller.
+		default:
+			// In-flight with an older stamp: the builder resolved its network
+			// before an invalidation this caller has already observed.
+			stale = e.epoch < snapEpoch
+		}
+		switch {
+		case c.expiredLocked(e):
 			// Past its TTL: drop it and rebuild below, as a miss.
 			c.removeLocked(el)
 			c.expirations++
-		} else {
+		case stale:
+			// Evict and rebuild as a miss; the stale build still completes
+			// for the waiters it already has.
+			c.removeLocked(el)
+		default:
 			c.ll.MoveToFront(el)
 			select {
 			case <-e.ready:
@@ -139,7 +178,7 @@ func (c *prepCache) getOrBuild(key string, cancel <-chan struct{}, build func() 
 		}
 	}
 	c.misses++
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), epoch: snapEpoch}
 	el := c.ll.PushFront(e)
 	c.byKey[key] = el
 	c.evictOverLocked(el)
@@ -157,16 +196,33 @@ func (c *prepCache) getOrBuild(key string, cancel <-chan struct{}, build func() 
 	}
 	// Successful (or negative) build: account its weight before waiters can
 	// observe it, then shed whatever the new weight pushed over the limits.
+	// A build that an invalidation pass overtook (the dataset's epoch moved
+	// while it ran) is dropped instead: it was prepared from a network a
+	// mutation has replaced, and the pass could not have examined it.
 	c.mu.Lock()
-	e.cost = c.costOf(e.p)
 	e.builtAt = c.now()
 	if cur, ok := c.byKey[key]; ok && cur == el {
-		c.costUsed += e.cost
-		c.evictOverLocked(el)
+		if c.epochs[dataset] != snapEpoch {
+			c.removeLocked(el) // cost still 0: weight accounting unaffected
+		} else {
+			e.cost = c.costOf(e.p)
+			c.costUsed += e.cost
+			c.evictOverLocked(el)
+		}
 	}
 	c.mu.Unlock()
 	close(e.ready)
 	return e.p, false, e.err
+}
+
+// epoch returns the dataset's current invalidation epoch. Callers snapshot
+// it BEFORE resolving the dataset's network pointer, so an invalidation
+// racing the resolve can only make the snapshot conservatively old (a
+// spurious drop and rebuild), never dangerously new.
+func (c *prepCache) epoch(dataset string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs[dataset]
 }
 
 // expiredLocked reports whether a completed entry is past its TTL. In-flight
@@ -215,6 +271,10 @@ func (c *prepCache) purgeDataset(dataset string) int {
 	prefix := dataset + "\x00"
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// The dataset is being unregistered: its epoch record goes with it (a
+	// re-create under the name keys its entries by a fresh generation, so
+	// epochs never mix across registrations).
+	delete(c.epochs, dataset)
 	purged := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
@@ -238,6 +298,10 @@ func (c *prepCache) invalidate(dataset string, pred func(*mac.Prepared) bool) in
 	prefix := dataset + "\x00"
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Bump the epoch in the same critical section as the sweep: any build
+	// completing after this pass either sees the new epoch (and drops
+	// itself) or was already swept here.
+	c.epochs[dataset]++
 	dropped := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()

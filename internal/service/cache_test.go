@@ -33,7 +33,7 @@ func TestPrepCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, hit, err := c.getOrBuild("k", nil, func() (*mac.Prepared, error) {
+			p, hit, err := c.getOrBuild("k", "", 0, nil, func() (*mac.Prepared, error) {
 				builds.Add(1)
 				<-gate
 				return want, nil
@@ -78,7 +78,7 @@ func TestPrepCacheLRUEviction(t *testing.T) {
 	builds := map[string]int{}
 	get := func(key string) {
 		t.Helper()
-		_, _, err := c.getOrBuild(key, nil, func() (*mac.Prepared, error) {
+		_, _, err := c.getOrBuild(key, "", 0, nil, func() (*mac.Prepared, error) {
 			builds[key]++
 			return &mac.Prepared{}, nil
 		})
@@ -110,7 +110,7 @@ func TestPrepCacheWeightedEviction(t *testing.T) {
 	builds := map[string]int{}
 	get := func(key string, cost int64) {
 		t.Helper()
-		_, _, err := c.getOrBuild(key, nil, func() (*mac.Prepared, error) {
+		_, _, err := c.getOrBuild(key, "", 0, nil, func() (*mac.Prepared, error) {
 			builds[key]++
 			p := &mac.Prepared{}
 			costs[p] = cost
@@ -149,7 +149,7 @@ func TestPrepCacheOversizeEntryAdmitted(t *testing.T) {
 	c.costOf = func(p *mac.Prepared) int64 { return costs[p] }
 	get := func(key string, cost int64) {
 		t.Helper()
-		p, _, err := c.getOrBuild(key, nil, func() (*mac.Prepared, error) {
+		p, _, err := c.getOrBuild(key, "", 0, nil, func() (*mac.Prepared, error) {
 			p := &mac.Prepared{}
 			costs[p] = cost
 			return p, nil
@@ -189,7 +189,7 @@ func TestPrepCacheSingleflightUnderWeightPressure(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p, _, err := c.getOrBuild("k", nil, func() (*mac.Prepared, error) {
+			p, _, err := c.getOrBuild("k", "", 0, nil, func() (*mac.Prepared, error) {
 				builds.Add(1)
 				<-gate
 				p := &mac.Prepared{}
@@ -222,7 +222,7 @@ func TestPrepCacheTTLExpiry(t *testing.T) {
 	builds := 0
 	get := func() (hit bool) {
 		t.Helper()
-		_, hit, err := c.getOrBuild("k", nil, func() (*mac.Prepared, error) {
+		_, hit, err := c.getOrBuild("k", "", 0, nil, func() (*mac.Prepared, error) {
 			builds++
 			return &mac.Prepared{}, nil
 		})
@@ -268,10 +268,10 @@ func TestPrepCacheErrorHandling(t *testing.T) {
 		}
 		return &mac.Prepared{}, nil
 	}
-	if _, _, err := c.getOrBuild("x", nil, build); !errors.Is(err, transient) {
+	if _, _, err := c.getOrBuild("x", "", 0, nil, build); !errors.Is(err, transient) {
 		t.Fatalf("first build: %v, want transient error", err)
 	}
-	if p, hit, err := c.getOrBuild("x", nil, build); err != nil || hit || p == nil {
+	if p, hit, err := c.getOrBuild("x", "", 0, nil, build); err != nil || hit || p == nil {
 		t.Fatalf("retry: p=%v hit=%v err=%v, want fresh successful build", p, hit, err)
 	}
 	if calls != 2 {
@@ -283,10 +283,10 @@ func TestPrepCacheErrorHandling(t *testing.T) {
 		noCommCalls++
 		return nil, fmt.Errorf("wrapped: %w", mac.ErrNoCommunity)
 	}
-	if _, _, err := c.getOrBuild("y", nil, noComm); !errors.Is(err, mac.ErrNoCommunity) {
+	if _, _, err := c.getOrBuild("y", "", 0, nil, noComm); !errors.Is(err, mac.ErrNoCommunity) {
 		t.Fatalf("no-community build: %v", err)
 	}
-	if _, hit, err := c.getOrBuild("y", nil, noComm); !errors.Is(err, mac.ErrNoCommunity) || !hit {
+	if _, hit, err := c.getOrBuild("y", "", 0, nil, noComm); !errors.Is(err, mac.ErrNoCommunity) || !hit {
 		t.Fatalf("no-community repeat: hit=%v err=%v, want cached negative entry", hit, err)
 	}
 	if noCommCalls != 1 {
@@ -301,7 +301,7 @@ func TestPrepCacheCancelWaiter(t *testing.T) {
 	gate := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := c.getOrBuild("k", nil, func() (*mac.Prepared, error) {
+		_, _, err := c.getOrBuild("k", "", 0, nil, func() (*mac.Prepared, error) {
 			<-gate
 			return &mac.Prepared{}, nil
 		})
@@ -312,14 +312,14 @@ func TestPrepCacheCancelWaiter(t *testing.T) {
 	}
 	cancel := make(chan struct{})
 	close(cancel)
-	if _, _, err := c.getOrBuild("k", cancel, nil); !errors.Is(err, mac.ErrCanceled) {
+	if _, _, err := c.getOrBuild("k", "", 0, cancel, nil); !errors.Is(err, mac.ErrCanceled) {
 		t.Fatalf("canceled waiter: %v, want ErrCanceled", err)
 	}
 	close(gate)
 	if err := <-done; err != nil {
 		t.Fatalf("builder failed: %v", err)
 	}
-	if p, hit, err := c.getOrBuild("k", nil, nil); err != nil || !hit || p == nil {
+	if p, hit, err := c.getOrBuild("k", "", 0, nil, nil); err != nil || !hit || p == nil {
 		t.Fatalf("after build: p=%v hit=%v err=%v, want cached entry", p, hit, err)
 	}
 }

@@ -168,6 +168,14 @@ type Server struct {
 	nets map[string]dsEntry
 	gen  uint64 // monotonic dataset registration counter (under mu)
 
+	// regMu guards regLocks, the per-dataset-name registration locks that
+	// serialize the journal open/compact/replay of AddDatasetVersion against
+	// the journal drop of RemoveDataset for one name (see lockName). The
+	// registry lock mu stays free during journal I/O, so registrations of
+	// distinct datasets still run concurrently.
+	regMu    sync.Mutex
+	regLocks map[string]*nameLock
+
 	cache *prepCache
 	sem   chan struct{}
 	jobs  *Jobs
@@ -189,13 +197,50 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:     cfg,
-		start:   time.Now(),
-		nets:    make(map[string]dsEntry),
-		cache:   newPrepCache(cfg.CacheCapacity, cfg.CacheMaxCost, cfg.CacheTTL),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		jobs:    NewJobs(cfg.JobWorkers),
-		metrics: newMetricsRegistry(),
+		cfg:      cfg,
+		start:    time.Now(),
+		nets:     make(map[string]dsEntry),
+		regLocks: make(map[string]*nameLock),
+		cache:    newPrepCache(cfg.CacheCapacity, cfg.CacheMaxCost, cfg.CacheTTL),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		jobs:     NewJobs(cfg.JobWorkers),
+		metrics:  newMetricsRegistry(),
+	}
+}
+
+// nameLock is one dataset name's registration lock, reference-counted so the
+// table only holds names with a lifecycle operation in flight.
+type nameLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockName claims the registration lock for a dataset name and returns its
+// release. While held, no other AddDatasetVersion or RemoveDataset of the
+// same name can open, compact, or delete the dataset's mutation journal:
+// without this, a concurrent register+register or remove+re-register pair
+// can rename or delete the journal file out from under the handle the other
+// party just opened, leaving a live dataset fsyncing appends into an
+// unlinked inode — durable-looking writes that vanish on restart. Never
+// acquired while holding s.mu (Add/Remove take lockName first, then mu).
+func (s *Server) lockName(name string) (release func()) {
+	s.regMu.Lock()
+	l := s.regLocks[name]
+	if l == nil {
+		l = &nameLock{}
+		s.regLocks[name] = l
+	}
+	l.refs++
+	s.regMu.Unlock()
+	l.mu.Lock()
+	return func() {
+		l.mu.Unlock()
+		s.regMu.Lock()
+		l.refs--
+		if l.refs == 0 {
+			delete(s.regLocks, name)
+		}
+		s.regMu.Unlock()
 	}
 }
 
@@ -233,6 +278,17 @@ func (s *Server) AddDatasetVersion(name string, net *mac.Network, version uint64
 	if err := net.Validate(); err != nil {
 		return err
 	}
+	// The name lock spans the exists-check, the journal open/compact/replay,
+	// and the registration: two concurrent creates of one name must not both
+	// compact+rename the same journal file (the loser's rename would unlink
+	// the winner's open handle), and the exists-check must precede
+	// openMutations so a doomed duplicate create never touches the journal
+	// of the dataset already serving under the name.
+	unlock := s.lockName(name)
+	defer unlock()
+	if s.holdsDataset(name) {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
 	// Replay before claiming the name: a corrupt journal must fail the
 	// registration, not leave a half-mutated dataset serving.
 	ms, net, version, err := s.openMutations(name, net, version)
@@ -242,6 +298,8 @@ func (s *Server) AddDatasetVersion(name string, net *mac.Network, version uint64
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.nets[name]; ok {
+		// Unreachable while every registration path holds the name lock;
+		// kept as a defensive invariant.
 		ms.close()
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
@@ -256,6 +314,12 @@ func (s *Server) AddDatasetVersion(name string, net *mac.Network, version uint64
 // dataset's mutation journal is deleted with it — a later re-create under
 // the same name starts fresh.
 func (s *Server) RemoveDataset(name string) error {
+	// Hold the name lock across the unregister AND the journal drop: a
+	// concurrent re-create of the name must not open a fresh journal that
+	// this drop then deletes by path (the re-created dataset would keep
+	// appending, durably to all appearances, to an unlinked inode).
+	unlock := s.lockName(name)
+	defer unlock()
 	s.mu.Lock()
 	e, ok := s.nets[name]
 	delete(s.nets, name)
@@ -376,6 +440,12 @@ func (s *Server) doTimed(req *SearchRequest, cancel <-chan struct{}, tm *Timing)
 		s.failed.Add(1)
 		return nil, err
 	}
+	// The invalidation epoch is snapshotted BEFORE the network pointer: a
+	// mutation landing between the two reads makes the snapshot stale (the
+	// cache then conservatively drops this request's build), never the
+	// reverse, where a pre-mutation network would be cached under a
+	// post-mutation epoch.
+	epoch := s.cache.epoch(req.Dataset)
 	ds, err := s.network(req.Dataset)
 	if err != nil {
 		s.failed.Add(1)
@@ -389,7 +459,7 @@ func (s *Server) doTimed(req *SearchRequest, cancel <-chan struct{}, tm *Timing)
 		return nil, err
 	}
 	defer release()
-	return s.doAdmitted(req, ds, cancel, tm)
+	return s.doAdmitted(req, ds, epoch, cancel, tm)
 }
 
 // routeFor names the metrics route of a standalone request; batch items
@@ -439,10 +509,11 @@ func msSince(t time.Time) float64 {
 
 // doAdmitted runs one admitted request and settles its counters; the
 // caller holds the in-flight slot (Do claims one per request, DoBatch one
-// per batch).
-func (s *Server) doAdmitted(req *SearchRequest, ds dsEntry, cancel <-chan struct{}, tm *Timing) (*SearchResponse, error) {
+// per batch). epoch is the dataset's invalidation epoch snapshotted before
+// ds was resolved.
+func (s *Server) doAdmitted(req *SearchRequest, ds dsEntry, epoch uint64, cancel <-chan struct{}, tm *Timing) (*SearchResponse, error) {
 	start := time.Now()
-	resp, err := s.run(req, ds, cancel, tm)
+	resp, err := s.run(req, ds, epoch, cancel, tm)
 	if err != nil {
 		if errors.Is(err, mac.ErrCanceled) {
 			s.deadlineExceeded.Add(1)
@@ -462,7 +533,7 @@ func (s *Server) doAdmitted(req *SearchRequest, ds dsEntry, cancel <-chan struct
 // through the shared single-flight cache, then search via the
 // variant-agnostic Prepared handle — the service never branches on the
 // variant itself.
-func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}, tm *Timing) (*SearchResponse, error) {
+func (s *Server) run(req *SearchRequest, ds dsEntry, epoch uint64, cancel <-chan struct{}, tm *Timing) (*SearchResponse, error) {
 	net := ds.net
 	q, err := buildQuery(req, net, s.cfg.Parallelism, cancel)
 	if err != nil {
@@ -482,7 +553,7 @@ func (s *Server) run(req *SearchRequest, ds dsEntry, cancel <-chan struct{}, tm 
 	var hit bool
 	prepStart := time.Now()
 	for {
-		p, hit, err = s.cache.getOrBuild(key, cancel, func() (*mac.Prepared, error) {
+		p, hit, err = s.cache.getOrBuild(key, req.Dataset, epoch, cancel, func() (*mac.Prepared, error) {
 			return eng.Prepare(net, q)
 		})
 		if errors.Is(err, mac.ErrCanceled) && !chanClosed(cancel) {

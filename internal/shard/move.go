@@ -190,16 +190,25 @@ func (rt *Router) runMove(name string, src, tgt int, planned []int, auth string,
 	}
 	// The copy streams shard-to-shard through a pipe — the router never
 	// holds the snapshot in memory. A target that already has a copy (it
-	// was a follower) skips the copy: datasets are immutable, so its copy
-	// is current.
+	// was a follower) skips the copy — unless that copy is stale-marked
+	// (it missed a mutation forward), in which case promoting it would
+	// publish a forked history: the stale copy is dropped and re-streamed.
 	ds, err := rt.backends[tgt].Datasets()
 	if err != nil {
 		return nil, fmt.Errorf("cannot reach target %s: %w", rt.backends[tgt].Name(), err)
 	}
-	if !contains(ds, name) {
+	holds := contains(ds, name)
+	if holds && rt.isReplicaStale(name, tgt) {
+		if _, err := rt.forward(tgt, http.MethodDelete, "/v1/datasets/"+name, nil, auth, ""); err != nil {
+			return nil, fmt.Errorf("dropping stale copy of %q on target %s: %w", name, rt.backends[tgt].Name(), err)
+		}
+		holds = false
+	}
+	if !holds {
 		if err := rt.streamSnapshot(name, src, tgt, auth); err != nil {
 			return nil, err
 		}
+		rt.clearReplicaStale(name, tgt)
 	}
 	info := client.DatasetInfo{
 		Dataset:  name,

@@ -12,10 +12,13 @@ package shard
 // follower shard-to-shard — the bytes flow through an io.Pipe, never
 // buffering a whole dataset in router memory.
 //
-// Datasets are immutable between create and delete (the lifecycle has no
-// update), so "the follower holds a copy" means "the follower is current";
-// replicate jobs are therefore idempotent and safe to re-run after a router
-// restart (journal.go) or against a follower that restarted empty.
+// A follower that holds a copy is current as long as every mutation forward
+// to it has succeeded (the router applies writes to the primary and replays
+// them on each follower). A follower that missed a forward is marked stale
+// (shard.go) and treated like a missing copy here: dropped and re-streamed
+// from the primary's snapshot. Replicate jobs are idempotent either way and
+// safe to re-run after a router restart (journal.go) or against a follower
+// that restarted empty.
 
 import (
 	"bytes"
@@ -69,11 +72,15 @@ func (rt *Router) submitReplicate(name, auth string) {
 }
 
 // runReplicate executes one replicate job: for each follower in the replica
-// set that is reachable and missing the dataset, stream the primary's
+// set that is reachable and either missing the dataset or holding a
+// stale-marked copy (a missed mutation forward), stream the primary's
 // snapshot over and warm the follower's prepared cache from the primary's
-// hot keys. Followers that already hold a copy are skipped (immutability
-// makes them current by definition). Any follower that cannot be synced
-// fails the job visibly — the next probe-driven SyncReplicas retries.
+// hot keys. A stale copy is deleted on the follower first — the restore
+// path refuses to overwrite a registered dataset — and its stale mark is
+// cleared only once the fresh copy has landed. Unmarked holders are skipped
+// (they are current: every mutation forward to them succeeded). Any
+// follower that cannot be synced fails the job visibly — the next
+// probe-driven SyncReplicas retries.
 func (rt *Router) runReplicate(name, auth string, cancel <-chan struct{}, progress func(string)) (*client.DatasetInfo, error) {
 	set := rt.replicaSetFor(name)
 	primary := set[0]
@@ -88,14 +95,22 @@ func (rt *Router) runReplicate(name, auth string, cancel <-chan struct{}, progre
 			errs = append(errs, fmt.Errorf("follower %s unreachable: %w", rt.backends[f].Name(), err))
 			continue
 		}
-		if contains(ds, name) {
+		holds := contains(ds, name)
+		if holds && !rt.isReplicaStale(name, f) {
 			continue
 		}
 		progress("sync " + rt.backends[f].Name())
+		if holds {
+			if _, err := rt.forward(f, http.MethodDelete, "/v1/datasets/"+name, nil, auth, ""); err != nil {
+				errs = append(errs, fmt.Errorf("dropping stale copy of %q on %s: %w", name, rt.backends[f].Name(), err))
+				continue
+			}
+		}
 		if err := rt.streamSnapshot(name, primary, f, auth); err != nil {
 			errs = append(errs, err)
 			continue
 		}
+		rt.clearReplicaStale(name, f)
 		// Best-effort: a cold follower still answers correctly, just slower
 		// on its first requests.
 		rt.warmReplica(name, primary, f, auth)
@@ -171,9 +186,11 @@ func (rt *Router) SyncReplicas() int {
 		primary := set[0]
 		if !reachable[primary] {
 			// Primary unreachable: rotate to the first follower that provably
-			// holds a copy, if any.
+			// holds a copy, if any. A stale-marked follower never leads —
+			// promoting a diverged copy would fork the dataset's history for
+			// every write that follows.
 			for _, f := range set[1:] {
-				if reachable[f] && contains(lists[f], name) {
+				if reachable[f] && contains(lists[f], name) && !rt.isReplicaStale(name, f) {
 					ns := []int{f}
 					for _, m := range set {
 						if m != f {
@@ -192,7 +209,9 @@ func (rt *Router) SyncReplicas() int {
 			continue
 		}
 		for _, f := range set[1:] {
-			if reachable[f] && !contains(lists[f], name) {
+			if reachable[f] && (!contains(lists[f], name) || rt.isReplicaStale(name, f)) {
+				// Missing a copy, or holding one marked stale by a missed
+				// mutation forward: either way a snapshot re-copy repairs it.
 				rt.submitReplicate(name, "")
 				repairs++
 				break

@@ -284,6 +284,10 @@ type Router struct {
 	failovers     atomic.Int64
 	drainTimeouts atomic.Int64
 	replicaSyncs  atomic.Int64
+	// staleMarked counts replica copies ever marked stale by a failed
+	// follower mutation forward — a monotone divergence signal for alerting,
+	// alongside the current stale set in Stats.StaleReplicas.
+	staleMarked atomic.Int64
 
 	journal *jobJournal // nil until EnableJobJournal
 
@@ -296,10 +300,17 @@ type Router struct {
 	// re-pins when it moved meanwhile: their dataset lists are stale the
 	// moment any assignment flips, and acting on them could resurrect a pin
 	// a concurrent move's cutover just replaced.
-	assignGen   uint64
-	moving      map[string]bool
-	syncing     map[string]bool // datasets with a replicate job in flight
-	persistPath string          // when non-empty, assign is mirrored to this file
+	assignGen uint64
+	moving    map[string]bool
+	syncing   map[string]bool // datasets with a replicate job in flight
+	// stale maps dataset -> backend indices whose replica copy may have
+	// diverged from the primary (a follower mutation forward failed). A
+	// stale replica is excluded from read failover, skipped by further
+	// mutation forwards, and never rotated into the primary slot; only a
+	// snapshot re-copy (replicate job) clears the mark — a later mutation
+	// landing cleanly on a diverged copy would not heal the divergence.
+	stale       map[string]map[int]bool
+	persistPath string // when non-empty, assign is mirrored to this file
 	// inflight counts requests routed to (dataset, backend) that have not
 	// returned yet; a move drains the source's count after the cutover so
 	// the delete can never race a request routed before the flip.
@@ -358,6 +369,7 @@ func NewRouter(backends []Backend, vnodes int) (*Router, error) {
 		assign:      make(map[string][]int),
 		moving:      make(map[string]bool),
 		syncing:     make(map[string]bool),
+		stale:       make(map[string]map[int]bool),
 		inflight:    make(map[routeKey]*atomic.Int64),
 	}, nil
 }
@@ -465,8 +477,13 @@ func (rt *Router) replicaSetFor(dataset string) []int {
 
 // readCandidates orders a dataset's replicas for the read path: the replica
 // set with down-marked backends moved to the back (order otherwise
-// preserved, so a healthy fleet always reads from the primary). Every
-// replica stays a candidate — the down flag is a hint, not a verdict.
+// preserved, so a healthy fleet always reads from the primary), and
+// stale-marked replicas excluded outright — a diverged copy answering a
+// failover read would silently flip the client between histories. A
+// down-marked backend stays a candidate (the flag is a hint, not a
+// verdict); a stale mark is a verdict, cleared only by a re-sync. Only if
+// every member is stale does the set pass through unfiltered, so the route
+// still answers something rather than nothing.
 func (rt *Router) readCandidates(dataset string) []int {
 	set := rt.replicaSetFor(dataset)
 	if len(set) == 1 {
@@ -475,13 +492,76 @@ func (rt *Router) readCandidates(dataset string) []int {
 	healthy := make([]int, 0, len(set))
 	var unhealthy []int
 	for _, i := range set {
-		if rt.down[i].Load() {
+		switch {
+		case rt.isReplicaStale(dataset, i):
+		case rt.down[i].Load():
 			unhealthy = append(unhealthy, i)
-		} else {
+		default:
 			healthy = append(healthy, i)
 		}
 	}
-	return append(healthy, unhealthy...)
+	out := append(healthy, unhealthy...)
+	if len(out) == 0 {
+		return set
+	}
+	return out
+}
+
+// markReplicaStale records that backend idx's copy of the dataset may have
+// diverged from the primary. Idempotent; the counter moves once per mark.
+func (rt *Router) markReplicaStale(dataset string, idx int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m := rt.stale[dataset]
+	if m == nil {
+		m = make(map[int]bool)
+		rt.stale[dataset] = m
+	}
+	if !m[idx] {
+		m[idx] = true
+		rt.staleMarked.Add(1)
+	}
+}
+
+// clearReplicaStale removes a stale mark after a successful snapshot
+// re-copy brought the replica back in line with the primary.
+func (rt *Router) clearReplicaStale(dataset string, idx int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m := rt.stale[dataset]; m != nil {
+		delete(m, idx)
+		if len(m) == 0 {
+			delete(rt.stale, dataset)
+		}
+	}
+}
+
+// isReplicaStale reports whether backend idx's copy of the dataset carries
+// a stale mark.
+func (rt *Router) isReplicaStale(dataset string, idx int) bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.stale[dataset][idx]
+}
+
+// staleReplicaNames snapshots the stale set as dataset -> shard names for
+// the stats payload; nil when nothing is marked.
+func (rt *Router) staleReplicaNames() map[string][]string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if len(rt.stale) == 0 {
+		return nil
+	}
+	out := make(map[string][]string, len(rt.stale))
+	for ds, m := range rt.stale {
+		names := make([]string, 0, len(m))
+		for idx := range m {
+			names = append(names, rt.backends[idx].Name())
+		}
+		sort.Strings(names)
+		out[ds] = names
+	}
+	return out
 }
 
 // Owner returns the backend owning a dataset.
@@ -523,6 +603,7 @@ func (rt *Router) unpin(dataset string) {
 	rt.mu.Lock()
 	rt.assignGen++
 	delete(rt.assign, dataset)
+	delete(rt.stale, dataset) // the dataset is gone; so is its divergence
 	rt.saveAssignmentsLocked()
 	rt.mu.Unlock()
 }
@@ -721,9 +802,9 @@ func (rt *Router) markBackendDown(i int) { rt.down[i].Store(true) }
 // Version 1 files carried a single backend name per dataset; they load as
 // single-member sets.
 type assignmentsFile struct {
-	Version     int               `json:"version"`
-	Assignments map[string]string `json:"assignments,omitempty"` // v1
-	Replicas    map[string][]string `json:"replicas,omitempty"`  // v2
+	Version     int                 `json:"version"`
+	Assignments map[string]string   `json:"assignments,omitempty"` // v1
+	Replicas    map[string][]string `json:"replicas,omitempty"`    // v2
 }
 
 // PersistAssignments enables assignment-table persistence: the file at
@@ -880,11 +961,28 @@ func (rt *Router) routeMutate(w http.ResponseWriter, r *http.Request) {
 	rec := newRecorder()
 	rt.backends[set[0]].ServeAPI(rec, r)
 	if rec.code/100 == 2 {
+		resync := false
 		for _, f := range set[1:] {
+			if rt.isReplicaStale(name, f) {
+				// Already diverged: applying later batches to a diverged copy
+				// cannot heal it (and may fail on state it never reached);
+				// the pending re-sync brings it fully current instead.
+				resync = true
+				continue
+			}
 			if _, err := rt.forward(f, r.Method, path, bytes.NewReader(body), auth, "application/json"); err != nil {
-				slog.Warn("follower mutation failed; replica copy is stale until re-sync",
+				// A follower that missed one batch has diverged permanently
+				// until re-synced: mark it so reads never fail over onto it
+				// and a snapshot re-copy is scheduled, rather than silently
+				// serving a forked history whenever the primary is unhealthy.
+				rt.markReplicaStale(name, f)
+				resync = true
+				slog.Warn("follower mutation failed; replica marked stale and excluded from reads until re-synced",
 					"dataset", name, "shard", rt.backends[f].Name(), "err", err)
 			}
+		}
+		if resync {
+			rt.submitReplicate(name, auth)
 		}
 	}
 	rec.replay(w)
@@ -1560,8 +1658,12 @@ type Stats struct {
 	// pinned replica sets (dataset -> shard names, primary first).
 	Replication int                 `json:"replication,omitempty"`
 	Replicas    map[string][]string `json:"replicas,omitempty"`
-	Totals      service.Stats       `json:"totals"`
-	PerShard    []ShardStats        `json:"per_shard"`
+	// StaleReplicas lists replica copies that missed a mutation forward and
+	// are excluded from read failover until a snapshot re-copy lands:
+	// dataset -> shard names. Empty on a converged fleet.
+	StaleReplicas map[string][]string `json:"stale_replicas,omitempty"`
+	Totals        service.Stats       `json:"totals"`
+	PerShard      []ShardStats        `json:"per_shard"`
 }
 
 // Stats fans out to every shard and aggregates.
@@ -1593,6 +1695,7 @@ func (rt *Router) Stats() Stats {
 		}
 	}
 	rt.mu.RUnlock()
+	out.StaleReplicas = rt.staleReplicaNames()
 	out.Totals.Failovers = rt.failovers.Load()
 	out.Totals.DrainTimeouts = rt.drainTimeouts.Load()
 	out.Totals.ReplicaSyncs = rt.replicaSyncs.Load()
@@ -1705,6 +1808,14 @@ func (rt *Router) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Dataset moves whose source drain timed out.", one(rt.drainTimeouts.Load()))
 	_ = service.PromCounter(w, "macserver_router_replica_syncs_total",
 		"Replicate jobs the router submitted to sync followers.", one(rt.replicaSyncs.Load()))
+	_ = service.PromCounter(w, "macserver_router_stale_replicas_marked_total",
+		"Replica copies marked stale by a failed follower mutation forward.", one(rt.staleMarked.Load()))
+	staleNow := 0
+	for _, names := range st.StaleReplicas {
+		staleNow += len(names)
+	}
+	_ = service.PromGauge(w, "macserver_router_stale_replicas",
+		"Replica copies currently stale and excluded from read failover.", one(int64(staleNow)))
 	_ = service.PromCounter(w, "macserver_router_jobs_total",
 		"Settled router control-plane jobs by outcome.", []service.PromSample{
 			{Labels: []service.PromLabel{{Name: "outcome", Value: "done"}}, Value: float64(routerJobsDone)},

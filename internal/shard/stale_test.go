@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"roadsocial/client"
+	"roadsocial/internal/mac"
+	"roadsocial/internal/promtest"
+	"roadsocial/internal/road"
+	"roadsocial/internal/service"
+)
+
+// TestStaleReplicaExcludedAndResynced: a follower that misses a mutation
+// forward has permanently diverged from the primary. It must be marked
+// stale, drop out of read failover, be skipped by further forwards, and
+// surface in stats and /metrics — and rejoin the replica set only after a
+// snapshot re-copy brings it current, even if it comes back holding a
+// diverged copy of the dataset.
+func TestStaleReplicaExcludedAndResynced(t *testing.T) {
+	net_, q, k, tt := testNetwork(t)
+	if net_.Oracle == nil {
+		net_.Oracle = road.BuildGTree(net_.Road, 0)
+	}
+	cfg := service.Config{
+		MaxInFlight:    4,
+		MaxQueue:       64,
+		DefaultTimeout: 120 * time.Second,
+		LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, uint64, error) {
+			return net_, 0, nil
+		},
+	}
+	leaves := []*leafProc{startLeaf(t, cfg), startLeaf(t, cfg)}
+	backends := []Backend{
+		NewRemote("shard-0", "http://"+leaves[0].addr, nil),
+		NewRemote("shard-1", "http://"+leaves[1].addr, nil),
+	}
+	rt, err := NewRouter(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetReplication(2)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL, client.WithRetries(0))
+
+	if _, err := sdk.CreateDataset(ctx, "d", &client.DatasetSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	primary := rt.OwnerIndex("d")
+	follower := 1 - primary
+	waitFor(t, 30*time.Second, "follower sync", func() bool {
+		return holdsDataset(backends[follower], "d")
+	})
+
+	// An insertable edge for the mutation.
+	var iu, iv int32 = -1, -1
+	sg := net_.Social
+	for u := 0; u < sg.N() && iu < 0; u++ {
+		for v := u + 2; v < sg.N(); v += 17 {
+			if !sg.HasEdge(u, v) {
+				iu, iv = int32(u), int32(v)
+				break
+			}
+		}
+	}
+	if iu < 0 {
+		t.Fatal("no missing edge in test network")
+	}
+
+	// Kill the follower and mutate through the router: the primary applies
+	// the batch (2xx to the client), the forward fails, the follower is
+	// marked stale.
+	leaves[follower].kill()
+	mres, err := sdk.Mutate(ctx, "d", &client.MutateRequest{Inserts: [][2]int32{{iu, iv}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Version != 1 {
+		t.Fatalf("mutation version = %d, want 1", mres.Version)
+	}
+	if !rt.isReplicaStale("d", follower) {
+		t.Fatal("follower not marked stale after a failed mutation forward")
+	}
+	// Read failover must never land on the diverged copy.
+	if got := rt.readCandidates("d"); len(got) != 1 || got[0] != primary {
+		t.Fatalf("readCandidates = %v, want just the primary %d", got, primary)
+	}
+	// The divergence is operator-visible: stats and /metrics.
+	st := rt.Stats()
+	if got := st.StaleReplicas["d"]; len(got) != 1 || got[0] != backends[follower].Name() {
+		t.Fatalf("stats stale replicas = %v, want [%s]", got, backends[follower].Name())
+	}
+	// Reads keep answering from the primary.
+	if _, err := sdk.KTCore(ctx, "d", &client.SearchRequest{Q: q, K: k, T: tt}); err != nil {
+		t.Fatalf("read with a stale follower: %v", err)
+	}
+	fams := scrape(t, ts.URL)
+	if v, err := promtest.Value(fams, "macserver_router_stale_replicas", nil); err != nil || v != 1 {
+		t.Fatalf("stale_replicas gauge = %v (%v), want 1", v, err)
+	}
+	if v, err := promtest.Value(fams, "macserver_router_stale_replicas_marked_total", nil); err != nil || v < 1 {
+		t.Fatalf("stale_replicas_marked_total = %v (%v), want >= 1", v, err)
+	}
+	// A second mutation skips the diverged follower (no forward attempt can
+	// heal it) and the mark survives.
+	if mres, err = sdk.Mutate(ctx, "d", &client.MutateRequest{Deletes: [][2]int32{{iu, iv}}}); err != nil {
+		t.Fatal(err)
+	}
+	if mres.Version != 2 {
+		t.Fatalf("second mutation version = %d, want 2", mres.Version)
+	}
+	if !rt.isReplicaStale("d", follower) {
+		t.Fatal("stale mark lost across a second mutation")
+	}
+
+	// Revive the follower holding a DIVERGED copy: fresh process, version-0
+	// re-create directly on the leaf. The re-sync must drop that copy and
+	// stream the primary's snapshot, not skip the holder.
+	leaves[follower].restart(t)
+	fsdk := client.New("http://"+leaves[follower].addr, client.WithRetries(0))
+	if _, err := fsdk.CreateDataset(ctx, "d", &client.DatasetSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.runReplicate("d", "", nil, func(string) {}); err != nil {
+		t.Fatalf("re-sync: %v", err)
+	}
+	if rt.isReplicaStale("d", follower) {
+		t.Fatal("stale mark survived the re-sync")
+	}
+	if got := rt.readCandidates("d"); len(got) != 2 {
+		t.Fatalf("readCandidates after re-sync = %v, want both replicas", got)
+	}
+	// The re-synced copy is current: the follower answers directly at the
+	// primary's version.
+	fres, err := fsdk.KTCore(ctx, "d", &client.SearchRequest{Q: q, K: k, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Version != 2 {
+		t.Fatalf("follower version after re-sync = %d, want 2", fres.Version)
+	}
+	fams = scrape(t, ts.URL)
+	if v, err := promtest.Value(fams, "macserver_router_stale_replicas", nil); err != nil || v != 0 {
+		t.Fatalf("stale_replicas gauge after re-sync = %v (%v), want 0", v, err)
+	}
+}
