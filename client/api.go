@@ -89,6 +89,9 @@ const (
 	JobKindCreate    = "create"
 	JobKindMove      = "move"
 	JobKindReplicate = "replicate"
+	// JobKindStandingEval is a coalesced standing-query re-evaluation pass
+	// over one dataset, submitted by the mutation install path.
+	JobKindStandingEval = "standing_eval"
 )
 
 // HeaderFailedOver is set on a response the shard router served from a
@@ -609,6 +612,18 @@ type Stats struct {
 	JobsFailed int64      `json:"jobs_failed,omitempty"`
 	// Mutations counts mutation ops applied across all datasets.
 	Mutations int64 `json:"mutations,omitempty"`
+	// StandingQueries is the number of registered standing queries (gauge).
+	StandingQueries int64 `json:"standing_queries,omitempty"`
+	// StandingEvents counts events published to standing-query streams.
+	StandingEvents int64 `json:"standing_events,omitempty"`
+	// StandingLagged counts subscribers dropped for falling behind.
+	StandingLagged int64 `json:"standing_lagged,omitempty"`
+	// StandingEvals counts standing-query re-evaluations.
+	StandingEvals int64 `json:"standing_evals,omitempty"`
+	// StandingNotified counts mutation batches that matched at least one
+	// standing query; StandingNotified / StandingEvals is the coalescing
+	// ratio (> 1 when bursts fold into fewer re-evaluations).
+	StandingNotified int64 `json:"standing_notified,omitempty"`
 	Cache      CacheStats `json:"cache"`
 	// Latency is the histogram of completed (2xx) requests — the original
 	// global series, kept completed-only so its meaning never shifts under
@@ -629,4 +644,98 @@ type Stats struct {
 type Health struct {
 	Status   string   `json:"status"`
 	Datasets []string `json:"datasets"`
+}
+
+// Standing queries: a registered MAC query the server re-evaluates when a
+// relevant mutation lands, pushing result deltas to subscribers over SSE.
+//
+//	POST   /v1/datasets/{name}/queries              register, returns the resource
+//	GET    /v1/datasets/{name}/queries              list
+//	GET    /v1/datasets/{name}/queries/{id}         fetch one
+//	DELETE /v1/datasets/{name}/queries/{id}         delete (terminal event to subscribers)
+//	GET    /v1/datasets/{name}/queries/{id}/events  subscribe (text/event-stream)
+
+// SSE event names of the standing-query event stream.
+const (
+	// EventDelta carries a result change: {version, joined, left,
+	// members_changed}.
+	EventDelta = "delta"
+	// EventLagged marks a subscriber that fell behind (its buffer
+	// overflowed, or its Last-Event-ID predates the ring): events were
+	// dropped for this subscriber, reconnect and re-read the resource.
+	EventLagged = "lagged"
+	// EventTerminal is the last event of a stream: the query or its dataset
+	// was deleted. The server closes the stream after it.
+	EventTerminal = "terminal"
+)
+
+// HeaderLastEventID is the standard SSE resume header: a reconnecting
+// subscriber sends the last event ID it processed and the server replays
+// everything newer from the per-query ring buffer.
+const HeaderLastEventID = "Last-Event-ID"
+
+// StandingQueryRequest is the body of POST /v1/datasets/{name}/queries.
+type StandingQueryRequest struct {
+	// Algo selects the engine variant: global (default) or truss. (Standing
+	// queries watch membership, so local is equivalent to global here.)
+	Algo Algo `json:"algo,omitempty"`
+	// Q are the query vertices (social ids).
+	Q []int32 `json:"q"`
+	// K is the coreness (or truss) threshold.
+	K int `json:"k"`
+	// T is the query-distance threshold.
+	T float64 `json:"t"`
+	// ID pins the assigned query id. Router-internal: the shard router
+	// mirrors a registration to follower replicas under the primary's id so
+	// a failover finds the query; ordinary clients leave it empty.
+	ID string `json:"id,omitempty"`
+}
+
+// StandingQuery is the standing-query resource: the registered parameters
+// plus the last evaluated result snapshot.
+type StandingQuery struct {
+	ID      string    `json:"id"`
+	Dataset string    `json:"dataset"`
+	Algo    Algo      `json:"algo"`
+	Q       []int32   `json:"q"`
+	K       int       `json:"k"`
+	T       float64   `json:"t"`
+	CreatedAt time.Time `json:"created_at"`
+	// Version is the dataset mutation version of the last evaluation.
+	Version uint64 `json:"version"`
+	// Members is the community membership at Version (nil when no community
+	// exists or the query has not been evaluated yet).
+	Members []int32 `json:"members,omitempty"`
+	// NoCommunity reports an evaluated query whose community is empty.
+	NoCommunity bool `json:"no_community,omitempty"`
+}
+
+// StandingQueryList is the body of GET /v1/datasets/{name}/queries.
+type StandingQueryList struct {
+	Dataset string          `json:"dataset"`
+	Queries []StandingQuery `json:"queries"`
+}
+
+// QueryEvent is one SSE event of a standing-query stream. The wire carries
+// the event ID in the SSE "id:" field (mirrored here) and the JSON body in
+// "data:"; the event name is delta, lagged, or terminal.
+type QueryEvent struct {
+	// ID is the per-query monotonically increasing event id (first event is
+	// 1). Synthetic lagged markers carry 0 so they never disturb a
+	// subscriber's resume position.
+	ID uint64 `json:"id,omitempty"`
+	// Version is the dataset version the re-evaluation ran at.
+	Version uint64 `json:"version"`
+	// Joined / Left are the membership delta against the previous result.
+	Joined []int32 `json:"joined,omitempty"`
+	Left   []int32 `json:"left,omitempty"`
+	// MembersChanged reports a non-empty delta.
+	MembersChanged bool `json:"members_changed"`
+	// Lagged marks a synthetic marker event: this subscriber missed events
+	// (buffer overflow, or resume beyond the ring window).
+	Lagged bool `json:"lagged,omitempty"`
+	// Terminal marks the last event of the stream (query or dataset
+	// deleted); Reason says why.
+	Terminal bool   `json:"terminal,omitempty"`
+	Reason   string `json:"reason,omitempty"`
 }

@@ -1,0 +1,293 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Standing queries: registered MAC queries the server re-evaluates on
+// relevant mutations, pushing membership deltas over SSE. The CRUD calls
+// follow the SDK's usual retry discipline (GETs retry on 502, registrations
+// and deletions never — a replay could double-apply); Subscribe returns a
+// Subscription that reconnects on its own with the same full-jitter backoff,
+// resuming from the last event ID it saw so no delta is lost or duplicated.
+
+// CreateStandingQuery registers a standing query via
+// POST /v1/datasets/{name}/queries. The response carries the minted query ID
+// and the initial result snapshot (members at the registered version). Never
+// retried.
+func (c *Client) CreateStandingQuery(ctx context.Context, dataset string, req *StandingQueryRequest) (*StandingQuery, error) {
+	var resp StandingQuery
+	if err := c.do(ctx, http.MethodPost, c.datasetPath(dataset)+"/queries", req, &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// StandingQueries lists a dataset's standing queries with their live results
+// via GET /v1/datasets/{name}/queries.
+func (c *Client) StandingQueries(ctx context.Context, dataset string) (*StandingQueryList, error) {
+	var resp StandingQueryList
+	if err := c.do(ctx, http.MethodGet, c.datasetPath(dataset)+"/queries", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// StandingQuery fetches one standing query with its live result via
+// GET /v1/datasets/{name}/queries/{id}.
+func (c *Client) StandingQuery(ctx context.Context, dataset, id string) (*StandingQuery, error) {
+	var resp StandingQuery
+	if err := c.do(ctx, http.MethodGet, c.queryPath(dataset, id), nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteStandingQuery unregisters a standing query via
+// DELETE /v1/datasets/{name}/queries/{id}; its subscribers receive a
+// terminal event before their streams close. Never retried.
+func (c *Client) DeleteStandingQuery(ctx context.Context, dataset, id string) error {
+	return c.do(ctx, http.MethodDelete, c.queryPath(dataset, id), nil, nil, false)
+}
+
+func (c *Client) queryPath(dataset, id string) string {
+	return c.datasetPath(dataset) + "/queries/" + url.PathEscape(id)
+}
+
+// maxStreamBackoffShift caps the reconnect backoff exponent: with the
+// default 100ms base, reconnect pauses are drawn from at most [0, 12.8s].
+// Reconnects themselves are unbounded — a subscriber rides out a shard
+// failover however long it takes, unless the error is semantic (404 after
+// the query was deleted, 401) or the context ends.
+const maxStreamBackoffShift = 8
+
+// Subscription is a live standing-query event stream with automatic
+// reconnection. Read Events until it closes, then Err for why: nil after a
+// terminal event (query or dataset deleted server-side) or Close, non-nil
+// after a non-retryable failure. Events arrive exactly once in ID order —
+// reconnects resume from LastEventID, and replayed duplicates are dropped
+// client-side. A Lagged marker (ID 0) means events were lost to a ring
+// eviction or server-side buffer overflow; the subscriber should re-fetch
+// the query resource to resynchronize its view.
+type Subscription struct {
+	c       *Client
+	dataset string
+	id      string
+	events  chan QueryEvent
+	cancel  context.CancelFunc
+
+	lastID    atomic.Uint64
+	connected atomic.Bool // once true, reconnects always send Last-Event-ID
+
+	mu  sync.Mutex
+	err error
+}
+
+// Subscribe opens the SSE stream of a standing query via
+// GET /v1/datasets/{name}/queries/{id}/events. lastEventID > 0 resumes from
+// a previous subscription's LastEventID (events after it still in the
+// server's ring replay first). The initial connection is made synchronously
+// so an unknown query surfaces as a typed 404 here; afterwards the stream
+// maintains itself until a terminal event, a non-retryable error, Close, or
+// ctx ends.
+func (c *Client) Subscribe(ctx context.Context, dataset, id string, lastEventID uint64) (*Subscription, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	s := &Subscription{
+		c:       c,
+		dataset: dataset,
+		id:      id,
+		events:  make(chan QueryEvent, 32),
+		cancel:  cancel,
+	}
+	if lastEventID > 0 {
+		s.lastID.Store(lastEventID)
+		s.connected.Store(true)
+	}
+	resp, err := s.connect(ctx)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	go s.run(ctx, resp)
+	return s, nil
+}
+
+// Events is the delta stream. It closes when the subscription ends; check
+// Err afterwards.
+func (s *Subscription) Events() <-chan QueryEvent { return s.events }
+
+// LastEventID is the highest ring event ID the subscription has seen — the
+// resume point for a later Subscribe.
+func (s *Subscription) LastEventID() uint64 { return s.lastID.Load() }
+
+// Err reports why the stream ended (nil for a terminal event or Close).
+// Meaningful once Events is closed.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close ends the subscription. Events closes shortly after; Err stays nil.
+func (s *Subscription) Close() { s.cancel() }
+
+func (s *Subscription) setErr(err error) {
+	if err == context.Canceled {
+		err = nil // Close or caller cancel: a clean shutdown, not a failure
+	}
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// connect opens one SSE exchange. The Last-Event-ID header is sent on every
+// reconnect (resuming from 0 replays everything still in the ring — nothing
+// was seen, so nothing can duplicate) and on a first connect only when the
+// caller supplied a resume point.
+func (s *Subscription) connect(ctx context.Context) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		s.c.base+s.c.queryPath(s.dataset, s.id)+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if s.connected.Load() {
+		req.Header.Set(HeaderLastEventID, strconv.FormatUint(s.lastID.Load(), 10))
+	}
+	if s.c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+s.c.token)
+	}
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	s.connected.Store(true)
+	return resp, nil
+}
+
+// run drives the reconnect loop. Stream breaks and 5xx/429 answers retry
+// with full-jitter backoff (reset by any delivered event); semantic answers
+// (404, 401, 400) end the subscription with that error.
+func (s *Subscription) run(ctx context.Context, resp *http.Response) {
+	defer close(s.events)
+	attempt := 0
+	for {
+		if resp != nil {
+			terminal, delivered := s.read(ctx, resp)
+			resp.Body.Close()
+			if terminal {
+				return
+			}
+			if delivered {
+				attempt = 0
+			}
+		}
+		if ctx.Err() != nil {
+			s.setErr(ctx.Err())
+			return
+		}
+		attempt++
+		shift := attempt
+		if shift > maxStreamBackoffShift {
+			shift = maxStreamBackoffShift
+		}
+		select {
+		case <-ctx.Done():
+			s.setErr(ctx.Err())
+			return
+		case <-time.After(s.c.backoffFor(shift)):
+		}
+		var err error
+		resp, err = s.connect(ctx)
+		if err != nil {
+			resp = nil
+			if ctx.Err() != nil {
+				s.setErr(ctx.Err())
+				return
+			}
+			if !retryableSubscribe(err) {
+				s.setErr(err)
+				return
+			}
+		}
+	}
+}
+
+// retryableSubscribe classifies a reconnect failure: transport errors and
+// the answers a router gives around a failover or restart are worth another
+// attempt; anything semantic is final.
+func retryableSubscribe(err error) bool {
+	switch StatusOf(err) {
+	case 0: // transport-level: connection refused, reset, etc.
+		return true
+	case http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout, http.StatusTooManyRequests:
+		return true
+	}
+	return false
+}
+
+// read consumes one SSE stream until it breaks, delivering events in order.
+// Duplicates from a resume replay (ID <= the highest seen) are dropped;
+// lagged markers (ID 0) always pass through. terminal reports a terminal
+// event was delivered — the subscription is over; delivered reports whether
+// any event arrived (resets the reconnect backoff).
+func (s *Subscription) read(ctx context.Context, resp *http.Response) (terminal, delivered bool) {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() == 0 {
+				continue
+			}
+			var ev QueryEvent
+			err := json.Unmarshal([]byte(data.String()), &ev)
+			data.Reset()
+			if err != nil {
+				continue
+			}
+			if ev.ID > 0 {
+				if ev.ID <= s.lastID.Load() {
+					continue // resume replay overlap
+				}
+				s.lastID.Store(ev.ID)
+			}
+			select {
+			case s.events <- ev:
+				delivered = true
+			case <-ctx.Done():
+				return false, delivered
+			}
+			if ev.Terminal {
+				s.setErr(nil)
+				return true, delivered
+			}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimSpace(line[len("data:"):]))
+		default:
+			// id:/event: lines are informational — the payload carries both
+		}
+	}
+	return false, delivered
+}

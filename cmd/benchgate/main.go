@@ -50,6 +50,19 @@
 // mixed_p99_ms). Tiny-scale records are skipped: a tiny graph's full
 // decomposition is microseconds, so incremental-vs-full there is noise; the
 // invariant gates where re-decomposition actually costs something.
+//
+// -require-standing asserts the push-path invariants of standing queries:
+// the mutation-to-event notify p99 must be recorded and bounded — the push
+// is one re-evaluation (a cold-prepare-sized job) plus SSE fanout, so p99
+// must stay within 100x the record's own cold p99 plus a 250ms absolute
+// allowance for scheduler jitter — and the burst sub-phase must show
+// coalescing: every burst batch is relevant (standing_burst_notified counts
+// them all), but the runner folds the backlog into fewer evaluations, so
+// standing_coalesce_ratio (notified/evals deltas scraped from /metrics)
+// must exceed 1. Tiny-scale records are skipped: a tiny re-evaluation can
+// complete between back-to-back mutations, so there is no backlog to fold
+// and the ratio there is noise; the invariant gates where an evaluation
+// outlasts a write.
 package main
 
 import (
@@ -120,6 +133,7 @@ func main() {
 		snapCheck  = flag.Bool("require-snapshot-speedup", false, "assert the new service_latency point shows snapshot register-time below build register-time")
 		mmapCheck  = flag.Bool("require-mmap-speedup", false, "assert the new service_latency point shows mmap register < buffered snapshot register < build register, with heap_bytes_per_dataset reported")
 		incrCheck  = flag.Bool("require-incremental-speedup", false, "assert the new service_latency point shows incremental core/truss maintenance below full recomputation, with mixed read-write metrics recorded")
+		standCheck = flag.Bool("require-standing", false, "assert the new service_latency point shows bounded standing-query notify p99 and an eval coalescing ratio above 1 under bursts")
 	)
 	flag.Parse()
 	if *oldPaths == "" || *newPaths == "" {
@@ -288,6 +302,39 @@ func main() {
 		}
 		if !ok {
 			fmt.Fprintln(os.Stderr, "benchgate: -require-incremental-speedup set but no non-tiny service_latency record with metrics in -new")
+			failed = true
+		}
+	}
+	if *standCheck {
+		ok := false
+		for _, n := range news {
+			// A tiny re-evaluation finishes between back-to-back writes, so
+			// bursts leave no backlog to coalesce; the invariant gates where
+			// an evaluation outlasts a write (see package doc).
+			if n.Experiment != "service_latency" || n.Metrics == nil || n.Scale == "tiny" {
+				continue
+			}
+			ok = true
+			p99, cold := n.Metrics["standing_notify_p99_ms"], n.Metrics["cold_p99_ms"]
+			bound := 100*cold + 250
+			if !(p99 > 0 && p99 < bound) {
+				fmt.Fprintf(os.Stderr, "benchgate: standing notify p99 %.3fms not recorded or not bounded (want 0 < p99 < %.3fms = 100x cold p99 + 250ms)\n", p99, bound)
+				failed = true
+			} else {
+				fmt.Printf("standing notify p50/p99: %.3fms / %.3fms across %.0f subscribers\n",
+					n.Metrics["standing_notify_p50_ms"], p99, n.Metrics["standing_subscribers"])
+			}
+			ratio := n.Metrics["standing_coalesce_ratio"]
+			evals, notified := n.Metrics["standing_burst_evals"], n.Metrics["standing_burst_notified"]
+			if !(evals > 0 && ratio > 1) {
+				fmt.Fprintf(os.Stderr, "benchgate: standing burst did not coalesce: %.0f notifications, %.0f evals (ratio %.2f, want > 1)\n", notified, evals, ratio)
+				failed = true
+			} else {
+				fmt.Printf("standing burst coalescing: %.0f notifications folded into %.0f evals (%.1fx)\n", notified, evals, ratio)
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchgate: -require-standing set but no non-tiny service_latency record with metrics in -new")
 			failed = true
 		}
 	}

@@ -112,17 +112,20 @@ func main() {
 		roadPath   = flag.String("road", "", "road edge list file")
 		locsPath   = flag.String("locs", "", "user location file")
 
-		maxInFlight = flag.Int("max-inflight", 0, "concurrent searches per shard; 0 = GOMAXPROCS")
-		maxQueue    = flag.Int("max-queue", 0, "waiting requests beyond in-flight; 0 = 4x in-flight")
-		cacheCap    = flag.Int("cache", 256, "prepared-state cache entries per shard")
-		cacheCost   = flag.Int64("cache-cost", 0, "prepared-state cache weight budget (sum of cohesive-subgraph sizes); 0 = 1<<20")
-		cacheTTL    = flag.Duration("cache-ttl", 0, "prepared-state lifetime before rebuild; 0 = never expire")
-		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
-		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
-		parallelism = flag.Int("parallelism", 0, "per-search workers; 0 = GOMAXPROCS")
-		maxSnapshot = flag.Int64("max-snapshot-bytes", 0, "cap on buffered snapshot restores (PUT snapshot bodies); 0 = 1 GiB. File-registered (mmap) snapshots are never buffered and ignore this cap")
-		mutLogDir   = flag.String("mutation-log-dir", "", "directory for per-dataset mutation journals: mutations fsync here before answering and replay on restart; empty disables durability")
-		authToken   = flag.String("auth-token", "", "shared secret: require 'Authorization: Bearer <token>' on all /v1 routes and forward it to -peers")
+		maxInFlight  = flag.Int("max-inflight", 0, "concurrent searches per shard; 0 = GOMAXPROCS")
+		maxQueue     = flag.Int("max-queue", 0, "waiting requests beyond in-flight; 0 = 4x in-flight")
+		cacheCap     = flag.Int("cache", 256, "prepared-state cache entries per shard")
+		cacheCost    = flag.Int64("cache-cost", 0, "prepared-state cache weight budget (sum of cohesive-subgraph sizes); 0 = 1<<20")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "prepared-state lifetime before rebuild; 0 = never expire")
+		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		parallelism  = flag.Int("parallelism", 0, "per-search workers; 0 = GOMAXPROCS")
+		maxSnapshot  = flag.Int64("max-snapshot-bytes", 0, "cap on buffered snapshot restores (PUT snapshot bodies); 0 = 1 GiB. File-registered (mmap) snapshots are never buffered and ignore this cap")
+		mutLogDir    = flag.String("mutation-log-dir", "", "directory for per-dataset mutation journals: mutations fsync here before answering and replay on restart; empty disables durability")
+		standingDir  = flag.String("standing-dir", "", "directory for standing-query registration sidecars (restart-durable subscriptions); empty inherits -mutation-log-dir")
+		standingRing = flag.Int("standing-ring", 0, "standing-query event ring size per query (the Last-Event-ID resume window); 0 = 256")
+		standingBuf  = flag.Int("standing-sub-buffer", 0, "buffered events per SSE subscriber before it is marked lagged; 0 = 32")
+		authToken    = flag.String("auth-token", "", "shared secret: require 'Authorization: Bearer <token>' on all /v1 routes and forward it to -peers")
 
 		shards      = flag.Int("shards", 1, "in-process service shards; datasets partition across them by consistent hashing")
 		peers       = flag.String("peers", "", "comma-separated base URLs of remote macserver shards; when set, this process only routes")
@@ -174,11 +177,20 @@ func main() {
 
 		MaxSnapshotBytes: *maxSnapshot,
 		MutationLogDir:   *mutLogDir,
+
+		StandingDir:       *standingDir,
+		StandingRing:      *standingRing,
+		StandingSubBuffer: *standingBuf,
 	}
 
 	if *mutLogDir != "" {
 		if err := os.MkdirAll(*mutLogDir, 0o755); err != nil {
 			fatal("mutation log dir", "path", *mutLogDir, "error", err)
+		}
+	}
+	if *standingDir != "" {
+		if err := os.MkdirAll(*standingDir, 0o755); err != nil {
+			fatal("standing query dir", "path", *standingDir, "error", err)
 		}
 	}
 

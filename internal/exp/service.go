@@ -42,6 +42,19 @@ const (
 	// serviceMixedWriteEvery-th one a mutation (a 90/10 read/write split).
 	serviceMixedReqs       = 100
 	serviceMixedWriteEvery = 10
+	// Standing-query phase: serviceStandingSubs live SSE subscribers over a
+	// 90/10 mixed workload (serviceStandingReads warm reads per
+	// membership-changing write), then serviceStandingBurstWriters concurrent
+	// writers each firing serviceStandingBurstPerW relevant writes for the
+	// coalescing measurement. The writers must be concurrent: a closed-loop
+	// single writer interleaves 1:1 with the CPU-bound re-evaluations (on a
+	// single-core runner they time-slice the same CPU), so no backlog ever
+	// forms; parallel writers land several installs per eval pass.
+	serviceStandingSubs         = 8
+	serviceStandingRounds       = 10
+	serviceStandingReads        = 9
+	serviceStandingBurstWriters = 8
+	serviceStandingBurstPerW    = 5
 	// Rounds per side of the incremental-vs-full maintenance comparison.
 	mutMaintRounds = 5
 )
@@ -410,6 +423,20 @@ func ServiceLatency(opts Options) (*Table, error) {
 	tab.Metrics["mixed_p99_ms"] = percentileMs(mixedLat, 0.99)
 	tab.Metrics["mixed_mutations"] = float64(mutations)
 
+	// Standing-query phase: serviceStandingSubs SSE subscribers on one
+	// registered query ride the same 90/10 mixed shape — per round,
+	// serviceStandingReads warm reads then one membership-changing write (a
+	// cut-and-restore toggle of one member's intra-community edges, self-
+	// inverse across round pairs). standing_notify measures mutation-ack to
+	// event-arrival per subscriber. Then a burst sub-phase fires cheap
+	// relevant writes from concurrent writers: every batch bumps
+	// standing_notified_total, but re-evaluations coalesce, so the scraped
+	// notified/evals delta ratio exceeds 1 — benchgate -require-standing
+	// gates that and a bounded notify p99.
+	if err := standingPhase(tab, sdk, ts.URL, spec.Name, in, queries[0]); err != nil {
+		return nil, err
+	}
+
 	// Incremental-vs-full maintenance: the library-level cost of keeping
 	// core and truss numbers current through one edge toggle (delete plus
 	// re-insert via mutate.Apply — the toggle is self-inverse, so the state
@@ -526,6 +553,243 @@ func ServiceLatency(opts Options) (*Table, error) {
 	}
 	tab.Metrics["saturated_429"] = float64(sat429.Load())
 	return tab, nil
+}
+
+// standingPhase registers one standing query on the warm key, attaches
+// serviceStandingSubs SSE subscribers, and measures the push path two ways.
+// Paced rounds: serviceStandingReads warm membership reads, then one
+// membership-changing mutation (severing or restoring every intra-community
+// edge of one non-anchor member — the member provably leaves, then provably
+// returns), recording mutation-ack to event-arrival at each subscriber.
+// Burst rounds: same-spot location moves of that member fired from
+// concurrent writers with no waiting reader; every batch is relevant, so
+// the scraped standing_notified_total delta counts them all, while the
+// coalescing runner folds the backlog into fewer standing_evals_total —
+// the delta ratio is the coalescing factor. Both sub-phases leave the
+// graph as found (the toggles pair up; the moves go nowhere).
+func standingPhase(tab *Table, sdk *client.Client, tsURL, name string, in *Instance, q []int32) error {
+	ctx := context.Background()
+	sq, err := sdk.CreateStandingQuery(ctx, name, &client.StandingQueryRequest{Q: q, K: DefaultK, T: in.TDefault})
+	if err != nil {
+		return fmt.Errorf("exp: standing register: %v", err)
+	}
+	// The toggle victim: a non-anchor member with edges inside the
+	// community. Deleting all of them expels it from any k-core; inserting
+	// them back restores the original graph, so it rejoins.
+	anchor := map[int32]bool{}
+	for _, v := range q {
+		anchor[v] = true
+	}
+	inComm := map[int32]bool{}
+	for _, m := range sq.Members {
+		inComm[m] = true
+	}
+	victim := int32(-1)
+	var cut [][2]int32
+	for _, m := range sq.Members {
+		if anchor[m] {
+			continue
+		}
+		var edges [][2]int32
+		for _, w := range in.Net.Social.Neighbors(int(m)) {
+			if inComm[w] {
+				edges = append(edges, [2]int32{m, w})
+			}
+		}
+		if len(edges) > 0 {
+			victim, cut = m, edges
+			break
+		}
+	}
+	if cut == nil {
+		return fmt.Errorf("exp: standing phase found no member to cut")
+	}
+	toggle := func(i int) *client.MutateRequest {
+		if i%2 == 0 {
+			return &client.MutateRequest{Deletes: cut}
+		}
+		return &client.MutateRequest{Inserts: cut}
+	}
+
+	subs := make([]*client.Subscription, serviceStandingSubs)
+	for i := range subs {
+		if subs[i], err = sdk.Subscribe(ctx, name, sq.ID, 0); err != nil {
+			return fmt.Errorf("exp: standing subscribe %d: %v", i, err)
+		}
+	}
+	closeSubs := func() {
+		for _, sub := range subs {
+			sub.Close()
+		}
+	}
+	defer closeSubs()
+
+	// Paced rounds: the 90/10 shape with a waiting reader. Every write
+	// changes membership, so each round ends with exactly one delta fanned
+	// out to all subscribers; the notify latency is mutation-ack to arrival.
+	ktReq := &client.SearchRequest{Q: q, K: DefaultK, T: in.TDefault}
+	var notifyLat []float64
+	for round := 0; round < serviceStandingRounds; round++ {
+		for i := 0; i < serviceStandingReads; i++ {
+			if _, err := sdk.KTCore(ctx, name, ktReq); err != nil {
+				return fmt.Errorf("exp: standing read: %v", err)
+			}
+		}
+		mres, err := sdk.Mutate(ctx, name, toggle(round))
+		if err != nil {
+			return fmt.Errorf("exp: standing mutation round %d: %v", round, err)
+		}
+		sent := time.Now()
+		for si, sub := range subs {
+			select {
+			case ev, ok := <-sub.Events():
+				if !ok {
+					return fmt.Errorf("exp: standing subscriber %d closed: %v", si, sub.Err())
+				}
+				if ev.Lagged || ev.Version != mres.Version {
+					return fmt.Errorf("exp: standing round %d subscriber %d: event %+v, want delta at version %d",
+						round, si, ev, mres.Version)
+				}
+				notifyLat = append(notifyLat, float64(time.Since(sent).Microseconds())/1000)
+			case <-time.After(30 * time.Second):
+				return fmt.Errorf("exp: standing round %d: subscriber %d event timed out", round, si)
+			}
+		}
+	}
+	tab.Rows = append(tab.Rows, latencyRow("standing_notify", notifyLat, 0))
+	tab.Metrics["standing_subscribers"] = serviceStandingSubs
+	tab.Metrics["standing_notify_p50_ms"] = percentileMs(notifyLat, 0.50)
+	tab.Metrics["standing_notify_p99_ms"] = percentileMs(notifyLat, 0.99)
+
+	// Burst rounds: drain subscribers in the background and fire relevant
+	// writes from concurrent writers. Two pitfalls shape this sub-phase.
+	// Edge toggles will not do — applying one (incremental core/truss
+	// maintenance) costs more than the re-evaluation it triggers, so writes
+	// could never outrun the runner; a same-spot location move of the victim
+	// is the cheapest relevant write (MoveUser marks the vertex structurally
+	// touched, since a moved member can change road distances, but does no
+	// core/truss maintenance) and leaves the graph exactly as found. And a
+	// single closed-loop writer will not do either — it interleaves 1:1 with
+	// the CPU-bound evaluations (on a single-core runner they time-slice the
+	// same CPU), so concurrent writers are what lands several installs per
+	// eval pass and builds the backlog the runner folds.
+	notifiedBefore, err := scrapeCounter(tsURL, "macserver_standing_notified_total")
+	if err != nil {
+		return fmt.Errorf("exp: pre-burst /metrics scrape: %v", err)
+	}
+	evalsBefore, err := scrapeCounter(tsURL, "macserver_standing_evals_total")
+	if err != nil {
+		return fmt.Errorf("exp: pre-burst /metrics scrape: %v", err)
+	}
+	stopDrain := make(chan struct{})
+	var drainWG sync.WaitGroup
+	for _, sub := range subs {
+		drainWG.Add(1)
+		go func(sub *client.Subscription) {
+			defer drainWG.Done()
+			for {
+				select {
+				case _, ok := <-sub.Events():
+					if !ok {
+						return
+					}
+				case <-stopDrain:
+					return
+				}
+			}
+		}(sub)
+	}
+	loc := in.Net.Locs[victim]
+	move := client.LocationMove{User: victim, Vertex: loc.U}
+	if loc.U != loc.V {
+		move = client.LocationMove{User: victim, Edge: []int32{loc.U, loc.V}, Off: loc.Off}
+	}
+	moveReq := &client.MutateRequest{Moves: []client.LocationMove{move}}
+	var burstWG sync.WaitGroup
+	var burstErr atomic.Value
+	var lastVersion atomic.Uint64
+	for w := 0; w < serviceStandingBurstWriters; w++ {
+		burstWG.Add(1)
+		go func() {
+			defer burstWG.Done()
+			for i := 0; i < serviceStandingBurstPerW; i++ {
+				mres, err := sdk.Mutate(ctx, name, moveReq)
+				if err != nil {
+					burstErr.Store(err)
+					return
+				}
+				for {
+					v := lastVersion.Load()
+					if mres.Version <= v || lastVersion.CompareAndSwap(v, mres.Version) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	burstWG.Wait()
+	if err, ok := burstErr.Load().(error); ok {
+		close(stopDrain)
+		drainWG.Wait()
+		return fmt.Errorf("exp: standing burst mutation: %v", err)
+	}
+	burstMutations := serviceStandingBurstWriters * serviceStandingBurstPerW
+	// Convergence: the resource's version reaches the last write, then the
+	// eval counter goes quiet (a final no-op pass may still be in flight).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, err := sdk.StandingQuery(ctx, name, sq.ID)
+		if err != nil {
+			close(stopDrain)
+			drainWG.Wait()
+			return err
+		}
+		if cur.Version >= lastVersion.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stopDrain)
+			drainWG.Wait()
+			return fmt.Errorf("exp: standing burst never converged (resource at %d, want %d)", cur.Version, lastVersion.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	evalsAfter, err := scrapeCounter(tsURL, "macserver_standing_evals_total")
+	for err == nil && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+		var again float64
+		if again, err = scrapeCounter(tsURL, "macserver_standing_evals_total"); err == nil && again == evalsAfter {
+			break
+		} else if err == nil {
+			evalsAfter = again
+		}
+	}
+	if err != nil {
+		close(stopDrain)
+		drainWG.Wait()
+		return fmt.Errorf("exp: post-burst /metrics scrape: %v", err)
+	}
+	notifiedAfter, err := scrapeCounter(tsURL, "macserver_standing_notified_total")
+	close(stopDrain)
+	drainWG.Wait()
+	if err != nil {
+		return fmt.Errorf("exp: post-burst /metrics scrape: %v", err)
+	}
+
+	notifiedDelta := notifiedAfter - notifiedBefore
+	evalsDelta := evalsAfter - evalsBefore
+	tab.Metrics["standing_burst_mutations"] = float64(burstMutations)
+	tab.Metrics["standing_burst_notified"] = notifiedDelta
+	tab.Metrics["standing_burst_evals"] = evalsDelta
+	if evalsDelta > 0 {
+		tab.Metrics["standing_coalesce_ratio"] = notifiedDelta / evalsDelta
+	}
+
+	closeSubs()
+	if err := sdk.DeleteStandingQuery(ctx, name, sq.ID); err != nil {
+		return fmt.Errorf("exp: standing teardown: %v", err)
+	}
+	return nil
 }
 
 // snapshotRegisterPhase measures three ways of registering the same

@@ -125,7 +125,7 @@ func (coreEngine) seed(net *Network, q *Query) ([]int32, error) {
 }
 
 func (coreEngine) search(p *Prepared, rs *regionSpace, q *Query, opts SearchOptions) (*Result, error) {
-	ss := coreSpace(p.net, rs, q)
+	ss := coreSpace(p.network(), rs, q)
 	if opts.Mode == ModeLocal {
 		return localSearchOn(ss, q, opts.Local)
 	}
@@ -213,7 +213,7 @@ func (trussVariant) search(p *Prepared, rs *regionSpace, q *Query, opts SearchOp
 	}
 	res := &Result{KTCore: sortedIDs(allLocal(rs.dag.N()), rs.dag.IDs)}
 	eng := &trussEngine{
-		net: p.net, q: q, dag: rs.dag, qLocal: rs.qLocal,
+		net: p.network(), q: q, dag: rs.dag, qLocal: rs.qLocal,
 		j:   max(1, q.J),
 		par: conc.Parallelism(q.Parallelism),
 	}

@@ -61,11 +61,13 @@ type regionSpace struct {
 }
 
 // regionEntry coalesces concurrent builds of the same region: the first
-// caller builds, later callers wait on ready.
+// caller builds, later callers wait on ready. The region itself is kept so
+// RebaseAttrs can re-test an attribute change against it.
 type regionEntry struct {
-	ready chan struct{}
-	rs    *regionSpace
-	err   error
+	ready  chan struct{}
+	region *geom.Region
+	rs     *regionSpace
+	err    error
 }
 
 // Prepare computes the maximal (k,t)-core for the query and returns the
@@ -112,6 +114,80 @@ func (p *Prepared) Cost() int64 {
 	return int64(len(p.members))
 }
 
+// network reads the backing network under the lock: RebaseAttrs may swap it
+// when an attribute-only mutation batch keeps the handle warm.
+func (p *Prepared) network() *Network {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.net
+}
+
+// ContainsVertex reports whether v is a member of the prepared cohesive
+// subgraph.
+func (p *Prepared) ContainsVertex(v int32) bool {
+	i := sort.Search(len(p.members), func(i int) bool { return p.members[i] >= v })
+	return i < len(p.members) && p.members[i] == v
+}
+
+// AttrChange is one user's attribute replacement, as the mutation layer
+// reports it: the vector before the batch and after it.
+type AttrChange struct {
+	User     int32
+	Old, New []float64
+}
+
+// RebaseAttrs attempts to carry the prepared state across an attribute-only
+// mutation batch instead of dropping it. Membership of the cohesive subgraph
+// never depends on attributes, so the member set stays valid; what an
+// attribute change can break is the cached region-dependent state (the
+// r-dominance DAG reads member attribute vectors). The handle therefore (a)
+// prunes every cached region in which some member's score visibly moved —
+// i.e. the old and new vectors are NOT score-equal over that region — and
+// (b) swaps its backing network to net so future region builds read the new
+// attributes. Regions where the change is provably invisible (score-equal at
+// every region corner) stay warm.
+//
+// Returns false when the handle must be dropped instead: a region build is
+// in flight (it may have read either network, so its result cannot be
+// trusted against net).
+func (p *Prepared) RebaseAttrs(net *Network, changes []AttrChange) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.regions {
+		select {
+		case <-e.ready:
+		default:
+			return false
+		}
+	}
+	for key, e := range p.regions {
+		visible := e.err != nil || e.rs == nil
+		if !visible {
+			for _, ch := range changes {
+				if !p.ContainsVertex(ch.User) {
+					continue
+				}
+				if e.region == nil ||
+					e.region.Compare(geom.ScoreOf(ch.Old), geom.ScoreOf(ch.New)) != geom.REqual {
+					visible = true
+					break
+				}
+			}
+		}
+		if visible {
+			delete(p.regions, key)
+			for i, k := range p.order {
+				if k == key {
+					p.order = append(p.order[:i], p.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	p.net = net
+	return true
+}
+
 // IntersectsVertices reports whether the prepared cohesive subgraph
 // contains any vertex in touched. It is the mutation subsystem's seed
 // invalidation hook: a prepared (Q, k, t) whose member set is disjoint from
@@ -149,7 +225,7 @@ func (p *Prepared) Q() []int32 { return p.q }
 // query's own. It is the single variant-agnostic entry point the service
 // tier uses; GlobalSearch and LocalSearch are conveniences over it.
 func (p *Prepared) Search(q *Query, opts SearchOptions) (*Result, error) {
-	if err := q.Validate(p.net); err != nil {
+	if err := q.Validate(p.network()); err != nil {
 		return nil, err
 	}
 	if err := p.matches(q); err != nil {
@@ -217,7 +293,7 @@ func (p *Prepared) regionSpace(q *Query) (*regionSpace, error) {
 			}
 			return e.rs, e.err
 		}
-		e := &regionEntry{ready: make(chan struct{})}
+		e := &regionEntry{ready: make(chan struct{}), region: q.Region}
 		p.regions[key] = e
 		p.order = append(p.order, key)
 		if len(p.order) > maxRegionSpaces {
@@ -267,7 +343,7 @@ func (p *Prepared) buildRegionSpace(q *Query) (*regionSpace, error) {
 	if queryCancelled(q) {
 		return nil, ErrCanceled
 	}
-	net := p.net
+	net := p.network()
 	vecs := make([][]float64, len(p.members))
 	for i, v := range p.members {
 		vecs[i] = net.Social.Attrs(int(v))

@@ -102,6 +102,19 @@ type Summary struct {
 	// mutation. Edge deletes and attribute updates only affect communities
 	// that intersect Touched. -1 when nothing requires a k-bound check.
 	CoreBound int
+	// AttrDeltas maps users whose ONLY change in the batch is an attribute
+	// replacement to their before/after vectors. Such users are in Touched,
+	// but their community membership provably did not move — attributes
+	// never enter the (k,t)-core or k-truss definition — so a consumer can
+	// apply a finer relevance test (e.g. score equality over a preference
+	// region) instead of dropping state on intersection alone. A user that
+	// the same batch also touches structurally (edge op, move, core/truss
+	// change) is evicted from this map: the structural test governs.
+	AttrDeltas map[int32]*AttrDelta
+
+	// structural is the subset of Touched whose change is (or may be)
+	// structural: Touched minus the AttrDeltas keys.
+	structural map[int32]bool
 
 	// Undo log: every core/truss write of the batch with its pre-write
 	// value, in application order. Recording old values as they are
@@ -111,6 +124,45 @@ type Summary struct {
 	baseVersion uint64
 	undoCore    []coreUndo
 	undoTruss   []social.TrussDelta
+}
+
+// AttrDelta is one user's attribute replacement: the vector before the batch
+// and after it.
+type AttrDelta struct {
+	Old, New []float64
+}
+
+// StructTouched is the structurally touched vertex set: Touched minus
+// attribute-only updates. Callers must not mutate it.
+func (s *Summary) StructTouched() map[int32]bool { return s.structural }
+
+// AttrOnlyBatch reports a batch whose every change is an attribute
+// replacement — no structural op, no k-bound to check. Such a batch cannot
+// change any community's membership.
+func (s *Summary) AttrOnlyBatch() bool {
+	return len(s.structural) == 0 && s.CoreBound < 0
+}
+
+// touchStruct records a structural touch of v, which subsumes any attribute
+// delta recorded for it.
+func (s *Summary) touchStruct(v int32) {
+	s.Touched[v] = true
+	s.structural[v] = true
+	delete(s.AttrDeltas, v)
+}
+
+// touchAttr records an attribute replacement of u. The first old vector of
+// the batch is kept (the pre-batch value); later replacements only move New.
+func (s *Summary) touchAttr(u int32, old, new []float64) {
+	s.Touched[u] = true
+	if s.structural[u] {
+		return
+	}
+	if d, ok := s.AttrDeltas[u]; ok {
+		d.New = new
+		return
+	}
+	s.AttrDeltas[u] = &AttrDelta{Old: old, New: new}
 }
 
 type coreUndo struct {
@@ -148,7 +200,13 @@ func Apply(net *mac.Network, st *State, ops []Op) (*mac.Network, *Summary, error
 	sg := net.Social
 	locs := net.Locs
 	locsOwned := false
-	sum := &Summary{Touched: make(map[int32]bool), CoreBound: -1, baseVersion: st.Version}
+	sum := &Summary{
+		Touched:     make(map[int32]bool),
+		CoreBound:   -1,
+		AttrDeltas:  make(map[int32]*AttrDelta),
+		structural:  make(map[int32]bool),
+		baseVersion: st.Version,
+	}
 	maintain := st.Core != nil
 	fail := func(i int, err error) (*mac.Network, *Summary, error) {
 		sum.Revert(st)
@@ -163,7 +221,8 @@ func Apply(net *mac.Network, st *State, ops []Op) (*mac.Network, *Summary, error
 				return fail(i, err)
 			}
 			sg = ng
-			sum.Touched[op.U], sum.Touched[op.V] = true, true
+			sum.touchStruct(op.U)
+			sum.touchStruct(op.V)
 			if maintain {
 				changedV := sg.IncrementalCoreInsert(st.Core, op.U, op.V)
 				changedE := sg.IncrementalTrussInsert(st.Truss, op.U, op.V)
@@ -178,7 +237,8 @@ func Apply(net *mac.Network, st *State, ops []Op) (*mac.Network, *Summary, error
 				return fail(i, err)
 			}
 			sg = ng
-			sum.Touched[op.U], sum.Touched[op.V] = true, true
+			sum.touchStruct(op.U)
+			sum.touchStruct(op.V)
 			if maintain {
 				changedV := sg.IncrementalCoreDelete(st.Core, op.U, op.V)
 				changedE := sg.IncrementalTrussDelete(st.Truss, op.U, op.V)
@@ -189,8 +249,12 @@ func Apply(net *mac.Network, st *State, ops []Op) (*mac.Network, *Summary, error
 			if err != nil {
 				return fail(i, err)
 			}
+			// The pre-batch vector is still readable from the old graph
+			// (copy-on-write); capture it before swapping so consumers can
+			// test whether the move is visible inside a preference region.
+			old := append([]float64(nil), sg.Attrs(int(op.U))...)
 			sg = ng
-			sum.Touched[op.U] = true
+			sum.touchAttr(op.U, old, append([]float64(nil), op.Attrs...))
 		case MoveUser:
 			if op.U < 0 || int(op.U) >= sg.N() {
 				return fail(i, fmt.Errorf("move of unknown user %d", op.U))
@@ -204,7 +268,7 @@ func Apply(net *mac.Network, st *State, ops []Op) (*mac.Network, *Summary, error
 				locsOwned = true
 			}
 			locs[op.U] = loc
-			sum.Touched[op.U] = true
+			sum.touchStruct(op.U)
 			if maintain {
 				if b := st.Core[op.U]; b > sum.CoreBound {
 					sum.CoreBound = b
@@ -232,12 +296,13 @@ func (s *Summary) noteChanges(st *State, changedV []int32, coreDelta int, change
 	s.CoreChanged += len(changedV)
 	s.TrussChanged += len(changedE)
 	for _, v := range changedV {
-		s.Touched[v] = true
+		s.touchStruct(v)
 		s.undoCore = append(s.undoCore, coreUndo{v: v, old: st.Core[v] - coreDelta})
 	}
 	for _, d := range changedE {
 		u, v := social.EdgeKeyEndpoints(d.Key)
-		s.Touched[u], s.Touched[v] = true, true
+		s.touchStruct(u)
+		s.touchStruct(v)
 	}
 	s.undoTruss = append(s.undoTruss, changedE...)
 }

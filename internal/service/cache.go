@@ -289,12 +289,13 @@ func (c *prepCache) purgeDataset(dataset string) int {
 
 // invalidate drops one dataset's cached prepared states that a mutation may
 // have falsified: every in-flight build (it snapshotted the pre-mutation
-// network), every negative entry (a mutation can create a community where
-// none existed), and every ready entry for which pred reports the prepared
-// community could have changed. It returns how many entries were dropped.
-// Removal is always safe — the worst case is a rebuild on the next request —
-// so pred errs on the side of true.
-func (c *prepCache) invalidate(dataset string, pred func(*mac.Prepared) bool) int {
+// network), every negative entry when dropNegatives is set (a structural
+// mutation can create a community where none existed; an attribute-only
+// batch cannot, so its negatives survive), and every ready entry for which
+// pred reports the prepared community could have changed. It returns how
+// many entries were dropped. Removal is always safe — the worst case is a
+// rebuild on the next request — so pred errs on the side of true.
+func (c *prepCache) invalidate(dataset string, pred func(*mac.Prepared) bool, dropNegatives bool) int {
 	prefix := dataset + "\x00"
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -310,7 +311,11 @@ func (c *prepCache) invalidate(dataset string, pred func(*mac.Prepared) bool) in
 			remove := true
 			select {
 			case <-e.ready:
-				remove = e.err != nil || e.p == nil || pred(e.p)
+				if e.err != nil || e.p == nil {
+					remove = dropNegatives
+				} else {
+					remove = pred(e.p)
+				}
 			default:
 				// In-flight: built against the pre-mutation network.
 			}

@@ -12,6 +12,7 @@ import (
 
 	"roadsocial/client"
 	"roadsocial/internal/mac"
+	"roadsocial/internal/standing"
 )
 
 // MaxRequestBody bounds request bodies. Search requests are small; a batch
@@ -32,6 +33,11 @@ const MaxRequestBody = 1 << 20
 //	DELETE /v1/datasets/{name}/edges    — delete edges (delete-only batch)
 //	GET    /v1/datasets/{name}/snapshot — export the built dataset (octet-stream)
 //	PUT    /v1/datasets/{name}/snapshot — register from uploaded snapshot (201)
+//	POST   /v1/datasets/{name}/queries  — register a standing query (201, snapshot)
+//	GET    /v1/datasets/{name}/queries  — list standing queries
+//	GET    /v1/datasets/{name}/queries/{id}        — one query, live result
+//	DELETE /v1/datasets/{name}/queries/{id}        — unregister (terminal event)
+//	GET    /v1/datasets/{name}/queries/{id}/events — subscribe (SSE)
 //	GET    /v1/jobs/{id}                — poll a job
 //	GET    /v1/jobs                     — list jobs
 //	DELETE /v1/jobs/{id}                — cancel a job
@@ -61,6 +67,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", s.serveSaveSnapshot)
 	mux.HandleFunc("PUT /v1/datasets/{name}/snapshot", s.serveRestoreSnapshot)
 	mux.HandleFunc("GET /v1/datasets/{name}/hotkeys", s.serveHotKeys)
+	mux.HandleFunc("POST /v1/datasets/{name}/queries", s.serveCreateStandingQuery)
+	mux.HandleFunc("GET /v1/datasets/{name}/queries", s.serveListStandingQueries)
+	mux.HandleFunc("GET /v1/datasets/{name}/queries/{id}", s.serveGetStandingQuery)
+	mux.HandleFunc("DELETE /v1/datasets/{name}/queries/{id}", s.serveDeleteStandingQuery)
+	mux.HandleFunc("GET /v1/datasets/{name}/queries/{id}/events", s.serveStandingEvents)
 	mux.HandleFunc("POST /v1/datasets/{name}", s.serveCreateDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.serveDeleteDataset)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.serveGetJob)
@@ -356,6 +367,14 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 // statusOf maps service errors onto HTTP status codes. Errors outside the
 // known sentinels are server-side faults (500), not the client's.
 func statusOf(err error) int {
+	var standingUnknown *standing.ErrUnknown
+	var standingExists *standing.ErrExists
+	switch {
+	case errors.As(err, &standingUnknown):
+		return http.StatusNotFound
+	case errors.As(err, &standingExists):
+		return http.StatusConflict
+	}
 	switch {
 	case errors.Is(err, ErrSaturated), errors.Is(err, ErrJobsSaturated):
 		return http.StatusTooManyRequests

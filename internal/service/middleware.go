@@ -144,9 +144,15 @@ func RouteLabel(method, path string) string {
 	case strings.HasPrefix(path, "/v1/datasets/"):
 		rest := path[len("/v1/datasets/"):]
 		if i := strings.IndexByte(rest, '/'); i >= 0 {
-			switch sub := rest[i+1:]; sub {
-			case "search", "ktcore", "snapshot", "hotkeys", "move":
+			switch sub := rest[i+1:]; {
+			case sub == "search" || sub == "ktcore" || sub == "snapshot" ||
+				sub == "hotkeys" || sub == "move" || sub == "edges":
 				return sub
+			case sub == "queries" || strings.HasPrefix(sub, "queries/"):
+				if strings.HasSuffix(sub, "/events") {
+					return "events"
+				}
+				return "queries"
 			}
 			return "other"
 		}

@@ -12,6 +12,7 @@ import (
 	"roadsocial/client"
 	"roadsocial/internal/mac"
 	"roadsocial/internal/mutate"
+	"roadsocial/internal/standing"
 )
 
 // The write path. POST /v1/datasets/{name}/edges applies a MutateRequest —
@@ -109,8 +110,15 @@ func (s *Server) openMutations(name string, net *mac.Network, base uint64) (*mut
 // moves. Concurrent searches are never disturbed — they keep the network
 // pointer they resolved and report the version it carried.
 func (s *Server) Mutate(name string, req *client.MutateRequest) (*client.MutateResponse, error) {
+	return s.MutateTagged(name, req, "")
+}
+
+// MutateTagged is Mutate plus the X-Request-ID of the HTTP request that
+// carried the batch, threaded into the standing-query eval job (and its log
+// records) the batch may trigger.
+func (s *Server) MutateTagged(name string, req *client.MutateRequest, requestID string) (*client.MutateResponse, error) {
 	start := time.Now()
-	resp, err := s.mutate(name, req)
+	resp, err := s.mutate(name, req, requestID)
 	outcome := OutcomeOK
 	if err != nil {
 		outcome = client.CodeForStatus(statusOf(err))
@@ -126,7 +134,7 @@ func (s *Server) Mutate(name string, req *client.MutateRequest) (*client.MutateR
 	return resp, err
 }
 
-func (s *Server) mutate(name string, req *client.MutateRequest) (*client.MutateResponse, error) {
+func (s *Server) mutate(name string, req *client.MutateRequest, requestID string) (*client.MutateResponse, error) {
 	ops, err := opsFromRequest(req)
 	if err != nil {
 		return nil, err
@@ -151,14 +159,14 @@ func (s *Server) mutate(name string, req *client.MutateRequest) (*client.MutateR
 			ms.mu.Unlock()
 			continue
 		}
-		resp, err := s.mutateLocked(name, cur, ms, ops)
+		resp, err := s.mutateLocked(name, cur, ms, ops, requestID)
 		ms.mu.Unlock()
 		return resp, err
 	}
 }
 
 // mutateLocked runs one batch under the dataset's write lock.
-func (s *Server) mutateLocked(name string, cur dsEntry, ms *mutState, ops []mutate.Op) (*client.MutateResponse, error) {
+func (s *Server) mutateLocked(name string, cur dsEntry, ms *mutState, ops []mutate.Op, requestID string) (*client.MutateResponse, error) {
 	if ms.st == nil {
 		ms.st = mutate.InitState(cur.net.Social, cur.version)
 	}
@@ -197,8 +205,20 @@ func (s *Server) mutateLocked(name string, cur dsEntry, ms *mutState, ops []muta
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
 
-	invalidated := s.cache.invalidate(name, invalidationPred(sum))
+	invalidated := s.cache.invalidate(name, invalidationPred(sum, newNet), !sum.AttrOnlyBatch())
 	s.mutations.Add(int64(sum.Applied))
+
+	// Match the batch against registered standing queries. Marked queries are
+	// re-evaluated off the write path on the job runner; a burst of batches
+	// coalesces onto one pass (only the first Notify of the burst starts it).
+	if matched, start := s.standing.Notify(name, func(e *standing.Entry) bool {
+		return affectsStanding(sum, e)
+	}); start {
+		s.submitStandingEval(name, requestID)
+	} else if matched > 0 {
+		s.logger().Debug("standing eval coalesced",
+			"dataset", name, "matched", matched, "request_id", requestID)
+	}
 	return &client.MutateResponse{
 		Dataset:      name,
 		Version:      ms.st.Version,
@@ -207,32 +227,6 @@ func (s *Server) mutateLocked(name string, cur dsEntry, ms *mutState, ops []muta
 		TrussChanged: sum.TrussChanged,
 		Invalidated:  invalidated,
 	}, nil
-}
-
-// invalidationPred decides which ready prepared states a mutation summary
-// falsifies. A prepared community is kept only when it provably could not
-// have changed: it is disjoint from every touched vertex (so no member
-// changed role, no deletion can cascade into it, and its attribute vectors
-// are intact) AND its cohesiveness threshold is above the summary's core
-// bound (so no insert or move can have grown its maximal subgraph with new
-// members). The truss variant checks k-1 against the core bound — a k-truss
-// edge's endpoints have core number at least k-1 — hence the +1 slack.
-func invalidationPred(sum *mutate.Summary) func(*mac.Prepared) bool {
-	return func(p *mac.Prepared) bool {
-		if p.IntersectsVertices(sum.Touched) {
-			return true
-		}
-		if sum.CoreBound >= 0 {
-			bound := sum.CoreBound
-			if p.Variant() == mac.VariantTruss {
-				bound++
-			}
-			if p.K() <= bound {
-				return true
-			}
-		}
-		return false
-	}
 }
 
 // opsFromRequest validates the request shape and flattens it into ordered
@@ -297,7 +291,7 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, deleteOnl
 			fmt.Errorf("DELETE accepts only deletes; use POST for mixed batches"))
 		return
 	}
-	resp, err := s.Mutate(r.PathValue("name"), &req)
+	resp, err := s.MutateTagged(r.PathValue("name"), &req, RequestIDFrom(r))
 	if err != nil {
 		writeServiceError(w, err)
 		return

@@ -173,10 +173,12 @@ func TestHTTPMutateValidationAndVersioning(t *testing.T) {
 }
 
 // TestMutateInvalidatesSelectively: a mutation drops exactly the prepared
-// states it can have falsified. A ready entry disjoint from the touched
-// region (and above the core bound) stays cached; one whose community the
-// mutation touched is rebuilt; negative (no-community) entries drop on any
-// mutation.
+// states it can have falsified. Attribute-only updates never drop a ready
+// entry — membership depends only on structure and distances, so an update
+// outside the community leaves the entry untouched and one inside it is
+// rebased in place (affected preference regions pruned, the entry kept warm)
+// — and negative (no-community) entries survive them too, since attributes
+// cannot create a community. Structural mutations still drop negatives.
 func TestMutateInvalidatesSelectively(t *testing.T) {
 	net, q, k, tt := testNetwork(t)
 	s := New(Config{})
@@ -233,22 +235,33 @@ func TestMutateInvalidatesSelectively(t *testing.T) {
 		t.Fatalf("repeat infeasible search: status %d cache %v, want hit", status, res["cache"])
 	}
 
-	// Attribute update inside the community: the ready entry intersects the
-	// touched region and must drop, and the negative entry drops with it
-	// (a mutation can create a community where none existed).
+	// Attribute update inside the community: the member's weight vector moved,
+	// but membership cannot change — the ready entry is rebased onto the new
+	// network (pruning only the regions that saw the old vector) and stays
+	// warm, and the negative entry survives an attribute-only batch outright.
 	status, res = doJSON(t, "POST", edges,
 		[]byte(fmt.Sprintf(`{"attrs":[{"user":%d,"attrs":[0.5,0.5,0.5]}]}`, inside)))
 	if status != http.StatusOK {
 		t.Fatalf("inside attrs: status %d (%v)", status, res)
 	}
-	if res["invalidated"] != float64(2) {
-		t.Fatalf("inside attrs invalidated %v entries, want 2 (community + negative)", res["invalidated"])
+	if res["invalidated"] != float64(0) {
+		t.Fatalf("inside attrs invalidated %v entries, want 0 (entry rebased, not dropped)", res["invalidated"])
 	}
-	if status, res = postJSON(t, ts.URL+"/v1/search", searchBody(t, "test", q, k, tt, nil)); status != http.StatusOK || res["cache"] != CacheMiss {
-		t.Fatalf("search after touching mutation: status %d cache %v, want 200 miss", status, res["cache"])
+	if status, res = postJSON(t, ts.URL+"/v1/search", searchBody(t, "test", q, k, tt, nil)); status != http.StatusOK || res["cache"] != CacheHit {
+		t.Fatalf("search after member attr update: status %d cache %v, want 200 hit (rebased entry)", status, res["cache"])
+	}
+	if status, res = postJSON(t, ts.URL+"/v1/search", infeasible); status != http.StatusOK || res["cache"] != CacheHit {
+		t.Fatalf("infeasible search after attr update: status %d cache %v, want hit (negatives survive attr-only batches)", status, res["cache"])
+	}
+
+	// A structural mutation can create a community where none existed: the
+	// negative entry must drop now.
+	u, v := freshEdge(t, s, "test")
+	if status, res = doJSON(t, "POST", edges, []byte(fmt.Sprintf(`{"inserts":[[%d,%d]]}`, u, v))); status != http.StatusOK {
+		t.Fatalf("structural insert: status %d (%v)", status, res)
 	}
 	if status, res = postJSON(t, ts.URL+"/v1/search", infeasible); status != http.StatusOK || res["cache"] != CacheMiss {
-		t.Fatalf("infeasible search after mutation: status %d cache %v, want 200 miss", status, res["cache"])
+		t.Fatalf("infeasible search after structural mutation: status %d cache %v, want miss", status, res["cache"])
 	}
 }
 

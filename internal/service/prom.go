@@ -71,6 +71,14 @@ func WriteProm(w io.Writer, sets []PromSet) error {
 			func(st client.Stats) float64 { return float64(st.Cache.Evictions) }},
 		{"macserver_cache_expirations_total", "Prepared-cache TTL expirations.",
 			func(st client.Stats) float64 { return float64(st.Cache.Expirations) }},
+		{"macserver_standing_events_total", "Standing-query delta events published.",
+			func(st client.Stats) float64 { return float64(st.StandingEvents) }},
+		{"macserver_standing_lagged_total", "Standing-query subscribers dropped for lagging.",
+			func(st client.Stats) float64 { return float64(st.StandingLagged) }},
+		{"macserver_standing_evals_total", "Standing-query re-evaluations run.",
+			func(st client.Stats) float64 { return float64(st.StandingEvals) }},
+		{"macserver_standing_notified_total", "Mutation batches that matched at least one standing query (notified/evals is the coalescing ratio).",
+			func(st client.Stats) float64 { return float64(st.StandingNotified) }},
 		{"macserver_failovers_total", "Reads served from a follower because the primary failed.",
 			func(st client.Stats) float64 { return float64(st.Failovers) }},
 		{"macserver_drain_timeouts_total", "Dataset moves whose source drain timed out.",
@@ -107,6 +115,8 @@ func WriteProm(w io.Writer, sets []PromSet) error {
 			func(st client.Stats) float64 { return float64(st.Cache.Entries) }},
 		{"macserver_cache_cost_used", "Prepared-cache resident weight (members).",
 			func(st client.Stats) float64 { return float64(st.Cache.CostUsed) }},
+		{"macserver_standing_queries", "Registered standing queries.",
+			func(st client.Stats) float64 { return float64(st.StandingQueries) }},
 	}
 	for _, g := range gauges {
 		p.metric(g.name, g.help, "gauge")

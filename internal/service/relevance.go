@@ -1,0 +1,133 @@
+package service
+
+import (
+	"roadsocial/client"
+	"roadsocial/internal/mac"
+	"roadsocial/internal/mutate"
+	"roadsocial/internal/standing"
+)
+
+// One relevance test, two consumers. A mutation batch falsifies a prepared
+// community (cache entry) or a standing query's last result under exactly the
+// same conditions — MAC membership depends only on social structure and road
+// distances, never on attributes — so both the invalidation predicate and the
+// standing-query notification test are derived here from one set of rules:
+//
+//  1. A community intersecting a structurally touched vertex may have changed
+//     (a member changed role, a deletion can cascade into it, a member moved).
+//  2. A community whose cohesiveness threshold k is at or below the batch's
+//     core bound may have GAINED members it never held (edge inserts and user
+//     moves grow maximal subgraphs; the truss variant checks k-1 against the
+//     core bound — a k-truss edge's endpoints have core number >= k-1).
+//  3. Attribute-only updates (Summary.AttrDeltas) cannot change membership.
+//     For the cache they matter only through the preference-region state a
+//     Prepared carries: an update whose score is provably unchanged over a
+//     cached region (geom REqual) keeps that region warm, and the rest are
+//     pruned per-region via Prepared.RebaseAttrs instead of dropping the
+//     whole entry. For standing queries — which hold membership only — they
+//     are irrelevant outright.
+
+// kBoundFor adapts the summary's core bound to an engine variant: -1 when no
+// bound check is required, otherwise the largest k whose maximal subgraph
+// could have gained members.
+func kBoundFor(sum *mutate.Summary, variant mac.Variant) int {
+	if sum.CoreBound < 0 {
+		return -1
+	}
+	b := sum.CoreBound
+	if variant == mac.VariantTruss {
+		b++
+	}
+	return b
+}
+
+// invalidationPred decides which ready prepared states a mutation summary
+// falsifies. net is the just-installed post-batch network: entries kept
+// across an attribute-only change are rebased onto it so later searches read
+// the new vectors. Removal is always safe — the worst case is a rebuild on
+// the next request — so the predicate errs on the side of true.
+func invalidationPred(sum *mutate.Summary, net *mac.Network) func(*mac.Prepared) bool {
+	return func(p *mac.Prepared) bool {
+		if p.IntersectsVertices(sum.StructTouched()) {
+			return true
+		}
+		if b := kBoundFor(sum, p.Variant()); b >= 0 && p.K() <= b {
+			return true
+		}
+		if len(sum.AttrDeltas) == 0 {
+			return false
+		}
+		// Only attribute replacements remain, and none of this entry's
+		// members changed structurally. Members whose vectors moved need the
+		// per-region visibility test; an entry none of whose members changed
+		// at all is untouched (its searches never read the mutated vectors).
+		var changes []mac.AttrChange
+		for v, d := range sum.AttrDeltas {
+			if p.ContainsVertex(v) {
+				changes = append(changes, mac.AttrChange{User: v, Old: d.Old, New: d.New})
+			}
+		}
+		if len(changes) == 0 {
+			return false
+		}
+		return !p.RebaseAttrs(net, changes)
+	}
+}
+
+// affectsStanding decides whether an installed mutation batch can have
+// changed a standing query's result. Rules 1 and 2 above, applied to the
+// query's last evaluated member set; attribute deltas are never consulted
+// (rule 3 — the standing resource is membership only). A query that has no
+// evaluated result yet always matches: the eval pass establishes its
+// baseline.
+func affectsStanding(sum *mutate.Summary, e *standing.Entry) bool {
+	members, _, evaluated := e.State()
+	if !evaluated {
+		return true
+	}
+	spec := e.Spec()
+	variant := mac.VariantCore
+	if spec.Algo == client.AlgoTruss {
+		variant = mac.VariantTruss
+	}
+	if b := kBoundFor(sum, variant); b >= 0 && spec.K <= b {
+		return true
+	}
+	return intersectsSorted(members, sum.StructTouched())
+}
+
+// intersectsSorted reports whether the sorted member list meets the touched
+// set, probing whichever side is smaller.
+func intersectsSorted(members []int32, touched map[int32]bool) bool {
+	if len(members) == 0 || len(touched) == 0 {
+		return false
+	}
+	if len(touched) < len(members) {
+		for v := range touched {
+			if containsSorted(members, v) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range members {
+		if touched[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// containsSorted is a binary-search membership test on a sorted id list.
+func containsSorted(a []int32, v int32) bool {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == v
+}

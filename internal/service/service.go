@@ -47,6 +47,7 @@ import (
 	"roadsocial/client"
 	"roadsocial/internal/dataset"
 	"roadsocial/internal/mac"
+	"roadsocial/internal/standing"
 )
 
 // Config tunes the server. The zero value selects sensible defaults.
@@ -115,6 +116,21 @@ type Config struct {
 	// restarted server converges to its pre-crash state. Empty disables
 	// durability — mutations still apply, but do not survive a restart.
 	MutationLogDir string
+	// StandingDir is where standing-query registrations persist (one
+	// JSON-lines sidecar per dataset, next to its mutation journal); empty
+	// selects MutationLogDir. Registrations survive restarts only when a
+	// directory is configured through either field.
+	StandingDir string
+	// StandingRing bounds each standing query's event ring — the
+	// Last-Event-ID resume window; <= 0 selects standing.DefaultRingSize.
+	StandingRing int
+	// StandingSubBuffer bounds each SSE subscriber's event buffer; a
+	// subscriber this far behind is dropped with a lagged marker rather than
+	// blocking the publisher. <= 0 selects standing.DefaultSubBuffer.
+	StandingSubBuffer int
+	// StandingHeartbeat is the SSE heartbeat-comment interval keeping idle
+	// event streams alive through proxies; <= 0 selects 15s.
+	StandingHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +157,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSnapshotBytes <= 0 {
 		c.MaxSnapshotBytes = dataset.DefaultMaxSnapshotBytes
+	}
+	if c.StandingDir == "" {
+		c.StandingDir = c.MutationLogDir
+	}
+	if c.StandingHeartbeat <= 0 {
+		c.StandingHeartbeat = 15 * time.Second
 	}
 	return c
 }
@@ -176,9 +198,10 @@ type Server struct {
 	regMu    sync.Mutex
 	regLocks map[string]*nameLock
 
-	cache *prepCache
-	sem   chan struct{}
-	jobs  *Jobs
+	cache    *prepCache
+	sem      chan struct{}
+	jobs     *Jobs
+	standing *standing.Registry
 
 	queued            atomic.Int64
 	inFlight          atomic.Int64
@@ -204,7 +227,12 @@ func New(cfg Config) *Server {
 		cache:    newPrepCache(cfg.CacheCapacity, cfg.CacheMaxCost, cfg.CacheTTL),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		jobs:     NewJobs(cfg.JobWorkers),
-		metrics:  newMetricsRegistry(),
+		standing: standing.NewRegistry(standing.Config{
+			Dir:       cfg.StandingDir,
+			RingSize:  cfg.StandingRing,
+			SubBuffer: cfg.StandingSubBuffer,
+		}),
+		metrics: newMetricsRegistry(),
 	}
 }
 
@@ -295,16 +323,35 @@ func (s *Server) AddDatasetVersion(name string, net *mac.Network, version uint64
 	if err != nil {
 		return err
 	}
+	// Restore standing-query registrations from the sidecar under the same
+	// name lock (its open/compact discipline mirrors the journal's).
+	restored, err := s.standing.OpenDataset(name)
+	if err != nil {
+		ms.close()
+		return fmt.Errorf("service: dataset %q standing sidecar: %w", name, err)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.nets[name]; ok {
 		// Unreachable while every registration path holds the name lock;
 		// kept as a defensive invariant.
+		s.mu.Unlock()
 		ms.close()
+		s.standing.CloseDataset(name)
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	s.gen++
 	s.nets[name] = dsEntry{net: net, gen: s.gen, version: version, mut: ms}
+	s.mu.Unlock()
+	if len(restored) > 0 {
+		// Restored queries re-evaluate once at the registered (post-replay)
+		// version: their first event tells resuming subscribers where the
+		// dataset converged, even when the membership did not move.
+		s.logger().Info("standing queries restored",
+			"dataset", name, "queries", len(restored), "version", version)
+		if _, start := s.standing.MarkAllPending(name); start {
+			s.submitStandingEval(name, "")
+		}
+	}
 	return nil
 }
 
@@ -329,6 +376,10 @@ func (s *Server) RemoveDataset(name string) error {
 	}
 	e.mut.drop()
 	s.cache.purgeDataset(name)
+	// Standing queries die with their dataset: every subscriber gets a
+	// terminal event (not a silent hang) and the sidecar is deleted, so a
+	// re-create under the name starts fresh, like the journal.
+	s.standing.DropDataset(name, "dataset deleted")
 	return nil
 }
 
@@ -624,6 +675,11 @@ func (s *Server) Stats() Stats {
 		JobsDone:          jobsDone,
 		JobsFailed:        jobsFailed,
 		Mutations:         s.mutations.Load(),
+		StandingQueries:   s.standing.Count(),
+		StandingEvents:    s.standing.Events(),
+		StandingLagged:    s.standing.Lagged(),
+		StandingEvals:     s.standing.Evals(),
+		StandingNotified:  s.standing.Notified(),
 		Cache:             s.cache.stats(),
 		Latency:           s.lat.stats(),
 		DatasetStats:      s.metrics.keyedSnapshot(),

@@ -63,6 +63,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -189,6 +190,11 @@ func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
 		// ID the edge minted — one grep follows the request across tiers.
 		req.Header.Set(client.HeaderRequestID, rid)
 	}
+	if lid := r.Header.Get(client.HeaderLastEventID); lid != "" {
+		// The SSE resume cursor must survive the proxy hop, or a subscriber
+		// reconnecting after a failover silently loses its ring replay.
+		req.Header.Set(client.HeaderLastEventID, lid)
+	}
 	resp, err := b.hc.Do(req)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err))
@@ -202,7 +208,15 @@ func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(resp.StatusCode)
-	if _, err := io.Copy(w, resp.Body); err != nil {
+	var dst io.Writer = w
+	if f, ok := w.(http.Flusher); ok && strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// An SSE stream proxied through the router must reach the subscriber
+		// event by event, not when some buffer fills: flush the headers now
+		// and after every chunk the upstream sends.
+		f.Flush()
+		dst = flushWriter{w: w, f: f}
+	}
+	if _, err := io.Copy(dst, resp.Body); err != nil {
 		// The upstream connection died mid-body. The status line is already
 		// out, so nothing can be un-sent here — but a failover-aware caller
 		// recording the response must learn the body is truncated, or it
@@ -211,6 +225,19 @@ func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
 			sink.proxyFailed(err)
 		}
 	}
+}
+
+// flushWriter flushes after every write, so proxied event streams reach the
+// subscriber as the upstream emits them.
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	fw.f.Flush()
+	return n, err
 }
 
 // Stats implements Backend through the SDK, which normalizes the leaf
@@ -904,6 +931,11 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets/{name}/edges", rt.routeMutate)
 	mux.HandleFunc("DELETE /v1/datasets/{name}/edges", rt.routeMutate)
 	mux.HandleFunc("GET /v1/datasets/{name}/snapshot", rt.routeSnapshotGet)
+	mux.HandleFunc("POST /v1/datasets/{name}/queries", rt.serveCreateQuery)
+	mux.HandleFunc("GET /v1/datasets/{name}/queries", rt.routeDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}/queries/{id}", rt.routeDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{name}/queries/{id}", rt.serveDeleteQuery)
+	mux.HandleFunc("GET /v1/datasets/{name}/queries/{id}/events", rt.routeQueryEvents)
 	mux.HandleFunc("PUT /v1/datasets/{name}/snapshot", rt.serveRestoreSnapshot)
 	mux.HandleFunc("POST /v1/datasets/{name}/move", rt.serveMoveDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}", rt.serveCreateDataset)
@@ -1742,6 +1774,11 @@ func (rt *Router) Stats() Stats {
 		tot.Cache.Expirations += st.Cache.Expirations
 		tot.JobsDone += st.JobsDone
 		tot.JobsFailed += st.JobsFailed
+		tot.StandingQueries += st.StandingQueries
+		tot.StandingEvents += st.StandingEvents
+		tot.StandingLagged += st.StandingLagged
+		tot.StandingEvals += st.StandingEvals
+		tot.StandingNotified += st.StandingNotified
 		// Keyed and stage histograms merge per entry by histogram addition,
 		// exactly like the global latency series: the fleet's per-dataset
 		// quantiles are true quantiles.

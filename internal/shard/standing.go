@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+
+	"roadsocial/client"
+	"roadsocial/internal/service"
+)
+
+// Standing-query routing. A standing query lives with its dataset: the
+// resource is registered on the dataset's primary and mirrored best-effort
+// to the followers under the primary's minted ID, so after a failover the
+// promoted replica already holds the registration (its copy re-evaluates on
+// the mutation forwards it receives like the primary does). Reads (list,
+// get) ride the ordinary failover path; the SSE stream picks one healthy
+// replica up front and streams through — a broken stream is the client
+// SDK's cue to reconnect, at which point the router routes it again, to the
+// new primary if the old one died.
+
+// serveCreateQuery registers a standing query on the dataset's primary and
+// mirrors the registration to followers under the same ID. A follower that
+// misses the mirror serves stale query lists until the query is re-created
+// there; events keep flowing as long as the replica answering the stream
+// holds the registration, so the miss is logged loudly rather than failing
+// the create.
+func (rt *Router) serveCreateQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if rt.isMoving(name) {
+		writeError(w, http.StatusConflict, fmt.Errorf("dataset %q is mid-move; retry shortly", name))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	set := rt.replicaSetFor(name)
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	rec := newRecorder()
+	done := rt.trackRoute(name, set[0])
+	rt.backends[set[0]].ServeAPI(rec, r)
+	done()
+	if rec.code == http.StatusCreated && len(set) > 1 {
+		rt.mirrorQueryCreate(name, set[1:], body, rec.body.Bytes(), r.Header.Get("Authorization"))
+	}
+	rec.replay(w)
+}
+
+// mirrorQueryCreate replays a successful registration against each healthy
+// follower with the primary's minted ID pinned into the spec, so every
+// replica knows the query under one name.
+func (rt *Router) mirrorQueryCreate(name string, followers []int, reqBody, respBody []byte, auth string) {
+	var created client.StandingQuery
+	if json.Unmarshal(respBody, &created) != nil || created.ID == "" {
+		return
+	}
+	var spec client.StandingQueryRequest
+	if json.Unmarshal(reqBody, &spec) != nil {
+		return
+	}
+	spec.ID = created.ID
+	mirror, err := json.Marshal(&spec)
+	if err != nil {
+		return
+	}
+	path := "/v1/datasets/" + url.PathEscape(name) + "/queries"
+	for _, f := range followers {
+		if rt.isReplicaStale(name, f) {
+			continue // the pending re-sync recreates state wholesale
+		}
+		if _, err := rt.forward(f, http.MethodPost, path, bytes.NewReader(mirror), auth, "application/json"); err != nil {
+			slog.Warn("follower standing-query mirror failed; the follower serves events without this query until it is re-registered there",
+				"dataset", name, "query", created.ID, "shard", rt.backends[f].Name(), "err", err)
+		}
+	}
+}
+
+// serveDeleteQuery unregisters a standing query on the primary and mirrors
+// the delete to followers best-effort, like serveDeleteDataset.
+func (rt *Router) serveDeleteQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	set := rt.replicaSetFor(name)
+	rec := newRecorder()
+	done := rt.trackRoute(name, set[0])
+	rt.backends[set[0]].ServeAPI(rec, r)
+	done()
+	if rec.code/100 == 2 {
+		path := "/v1/datasets/" + url.PathEscape(name) + "/queries/" + url.PathEscape(r.PathValue("id"))
+		auth := r.Header.Get("Authorization")
+		for _, f := range set[1:] {
+			if _, err := rt.forward(f, http.MethodDelete, path, nil, auth, ""); err != nil {
+				slog.Warn("follower standing-query delete failed; stale registration retained",
+					"dataset", name, "query", r.PathValue("id"), "shard", rt.backends[f].Name(), "err", err)
+			}
+		}
+	}
+	rec.replay(w)
+}
+
+// routeQueryEvents hands the SSE stream to the first healthy replica and
+// streams through — like a snapshot export, the response cannot go through
+// the buffering failover recorder (it never ends), so the route commits to
+// one replica up front. When that replica dies mid-stream the client's
+// reconnect routes afresh and lands on the promoted primary, resuming from
+// its Last-Event-ID.
+func (rt *Router) routeQueryEvents(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	idx := rt.readCandidates(name)[0]
+	done := rt.trackRoute(name, idx)
+	defer done()
+	rt.backends[idx].ServeAPI(w, r)
+}

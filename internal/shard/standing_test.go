@@ -1,0 +1,319 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"roadsocial/client"
+	"roadsocial/internal/mac"
+	"roadsocial/internal/road"
+	"roadsocial/internal/service"
+)
+
+// waitQueryEvent reads one standing-query event with a deadline.
+func waitQueryEvent(t testing.TB, sub *client.Subscription) client.QueryEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-sub.Events():
+		if !ok {
+			t.Fatalf("subscription closed while waiting for an event (err: %v)", sub.Err())
+		}
+		return ev
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for a standing-query event")
+		return client.QueryEvent{}
+	}
+}
+
+func containsID(a []int32, v int32) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// memberCut picks one community member (outside avoid) and builds the delete
+// batch severing all its edges to the other listed members — a mutation that
+// provably removes it from the standing result.
+func memberCut(t testing.TB, net *mac.Network, members []int32, avoid map[int32]bool) (int32, *client.MutateRequest) {
+	t.Helper()
+	in := map[int32]bool{}
+	for _, m := range members {
+		in[m] = true
+	}
+	for _, victim := range members {
+		if avoid[victim] {
+			continue
+		}
+		var dels [][2]int32
+		for _, w := range net.Social.Neighbors(int(victim)) {
+			if in[w] {
+				dels = append(dels, [2]int32{victim, w})
+			}
+		}
+		if len(dels) > 0 {
+			return victim, &client.MutateRequest{Deletes: dels}
+		}
+	}
+	t.Fatal("no community member with intra-community edges to cut")
+	return 0, nil
+}
+
+// TestStandingQueryMirroredAcrossReplicas: with replication 2, a registration
+// through the router lands on the primary and is mirrored to the follower
+// under the primary's minted id; mutations through the router drive both
+// copies to the same result; a query delete and a dataset delete tear the
+// registration down on every replica, ending live streams with a terminal
+// event.
+func TestStandingQueryMirroredAcrossReplicas(t *testing.T) {
+	net_, q, k, tt := testNetwork(t)
+	cfg := service.Config{MaxInFlight: 2, MaxQueue: 64, DefaultTimeout: 120 * time.Second}
+	locals := []*Local{
+		NewLocal("shard-0", service.New(cfg)),
+		NewLocal("shard-1", service.New(cfg)),
+	}
+	rt, err := NewRouter([]Backend{locals[0], locals[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetReplication(2)
+	const ds = "events"
+	for _, l := range locals {
+		if err := l.Server().AddDataset(ds, net_); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+
+	sq, err := sdk.CreateStandingQuery(ctx, ds, &client.StandingQueryRequest{Q: q, K: k, T: tt})
+	if err != nil {
+		t.Fatalf("create through router: %v", err)
+	}
+	// The mirror is synchronous with the create: both replicas hold the
+	// registration under the primary's minted id before the 201 returns.
+	for i, l := range locals {
+		list, err := l.Server().StandingQueries(ds)
+		if err != nil || len(list.Queries) != 1 || list.Queries[0].ID != sq.ID {
+			t.Fatalf("shard-%d registrations = %+v (err %v), want exactly %s", i, list, err, sq.ID)
+		}
+	}
+	if list, err := sdk.StandingQueries(ctx, ds); err != nil || len(list.Queries) != 1 {
+		t.Fatalf("router list = %+v (err %v), want 1 query", list, err)
+	}
+
+	sub, err := sdk.Subscribe(ctx, ds, sq.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	avoid := map[int32]bool{}
+	for _, qv := range q {
+		avoid[qv] = true
+	}
+	victim, batch := memberCut(t, net_, sq.Members, avoid)
+	mres, err := sdk.Mutate(ctx, ds, batch)
+	if err != nil {
+		t.Fatalf("mutation through router: %v", err)
+	}
+	ev := waitQueryEvent(t, sub)
+	if ev.Version != mres.Version || !containsID(ev.Left, victim) {
+		t.Fatalf("delta %+v, want version %d with %d in left", ev, mres.Version, victim)
+	}
+	// The mutation was forwarded to the follower too: both replicas converge
+	// to the same standing result (the follower evaluates asynchronously).
+	for i, l := range locals {
+		l := l
+		waitFor(t, 30*time.Second, fmt.Sprintf("shard-%d standing convergence", i), func() bool {
+			list, err := l.Server().StandingQueries(ds)
+			return err == nil && len(list.Queries) == 1 &&
+				list.Queries[0].Version == mres.Version &&
+				!containsID(list.Queries[0].Members, victim)
+		})
+	}
+
+	// Deleting the query through the router unregisters it everywhere and
+	// terminates the stream.
+	if err := sdk.DeleteStandingQuery(ctx, ds, sq.ID); err != nil {
+		t.Fatal(err)
+	}
+	ev = waitQueryEvent(t, sub)
+	if !ev.Terminal {
+		t.Fatalf("event after query delete = %+v, want terminal", ev)
+	}
+	for i, l := range locals {
+		if list, _ := l.Server().StandingQueries(ds); len(list.Queries) != 0 {
+			t.Fatalf("shard-%d still holds %d registrations after delete", i, len(list.Queries))
+		}
+	}
+
+	// Dataset delete through the router: registrations die with the dataset
+	// on every replica, live subscribers get a terminal event.
+	sq2, err := sdk.CreateStandingQuery(ctx, ds, &client.StandingQueryRequest{Q: q, K: k, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := sdk.Subscribe(ctx, ds, sq2.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	if err := sdk.DeleteDataset(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	ev = waitQueryEvent(t, sub2)
+	if !ev.Terminal || ev.Reason != "dataset deleted" {
+		t.Fatalf("event after dataset delete = %+v, want terminal with reason \"dataset deleted\"", ev)
+	}
+	for i, l := range locals {
+		if _, err := l.Server().StandingQueries(ds); err == nil {
+			t.Fatalf("shard-%d still answers standing lists for the deleted dataset", i)
+		}
+	}
+}
+
+// TestStandingFailoverSubscriber is the fault-injection bar for the standing
+// subsystem: a live subscriber rides out a primary kill. The follower holds
+// the mirrored registration and saw the same pre-kill mutations, so its
+// event ring covers everything up to the subscriber's last-acked id — after
+// the SDK reconnects through the router onto the promoted replica, the next
+// mutation-driven delta arrives with zero loss before that ack and no lagged
+// marker.
+func TestStandingFailoverSubscriber(t *testing.T) {
+	net_, q, k, tt := testNetwork(t)
+	if net_.Oracle == nil {
+		net_.Oracle = road.BuildGTree(net_.Road, 0)
+	}
+	cfg := service.Config{
+		MaxInFlight:    4,
+		MaxQueue:       64,
+		DefaultTimeout: 120 * time.Second,
+		LoadSpec: func(string, *service.DatasetSpec) (*mac.Network, uint64, error) {
+			return net_, 0, nil
+		},
+	}
+	leaves := []*leafProc{startLeaf(t, cfg), startLeaf(t, cfg)}
+	backends := []Backend{
+		NewRemote("shard-0", "http://"+leaves[0].addr, nil),
+		NewRemote("shard-1", "http://"+leaves[1].addr, nil),
+	}
+	rt, err := NewRouter(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetReplication(2)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL, client.WithRetries(0))
+
+	if _, err := sdk.CreateDataset(ctx, "durable", &client.DatasetSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	primary := rt.OwnerIndex("durable")
+	follower := 1 - primary
+	waitFor(t, 30*time.Second, "follower sync", func() bool {
+		return holdsDataset(backends[follower], "durable")
+	})
+
+	sq, err := sdk.CreateStandingQuery(ctx, "durable", &client.StandingQueryRequest{Q: q, K: k, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mirrored registration is on the follower, under the same id.
+	fresp, err := http.Get("http://" + leaves[follower].addr + "/v1/datasets/durable/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flist client.StandingQueryList
+	if err := json.NewDecoder(fresp.Body).Decode(&flist); err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if len(flist.Queries) != 1 || flist.Queries[0].ID != sq.ID {
+		t.Fatalf("follower registrations = %+v, want %s mirrored", flist.Queries, sq.ID)
+	}
+
+	sub, err := sdk.Subscribe(ctx, "durable", sq.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Pre-kill mutation: the subscriber acks exactly one event. Both replicas
+	// applied the batch (routeMutate forwards it), so both rings hold an
+	// equivalent event 1 — the resume point survives the primary.
+	avoid := map[int32]bool{}
+	for _, qv := range q {
+		avoid[qv] = true
+	}
+	victim1, batch1 := memberCut(t, net_, sq.Members, avoid)
+	if _, err := sdk.Mutate(ctx, "durable", batch1); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitQueryEvent(t, sub)
+	if !containsID(ev.Left, victim1) || ev.Lagged {
+		t.Fatalf("pre-kill delta %+v, want %d in left", ev, victim1)
+	}
+	if sub.LastEventID() != 1 {
+		t.Fatalf("acked id = %d, want 1", sub.LastEventID())
+	}
+	remaining, err := sdk.StandingQuery(ctx, "durable", sq.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the primary; the prober promotes the follower. The subscriber's
+	// stream breaks and the SDK reconnects through the router on its own.
+	leaves[primary].kill()
+	stopProber := rt.StartProber(20 * time.Millisecond)
+	defer stopProber()
+
+	// The write path needs the promotion; retry until the router accepts.
+	victim2, batch2 := memberCut(t, net_, remaining.Members, avoid)
+	var postVersion uint64
+	waitFor(t, 30*time.Second, "post-failover mutation", func() bool {
+		res, err := sdk.Mutate(ctx, "durable", batch2)
+		if err != nil {
+			return false
+		}
+		postVersion = res.Version
+		return true
+	})
+
+	// The mutation-driven event reaches the surviving subscriber: no lagged
+	// marker (nothing before the acked id was lost) and the delta carries the
+	// post-failover victim.
+	deadline := time.After(30 * time.Second)
+	for {
+		var ev client.QueryEvent
+		var ok bool
+		select {
+		case ev, ok = <-sub.Events():
+			if !ok {
+				t.Fatalf("subscription died across the failover (err: %v)", sub.Err())
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for the post-failover delta")
+		}
+		if ev.Lagged {
+			t.Fatalf("subscriber lagged across the failover: %+v", ev)
+		}
+		if containsID(ev.Left, victim2) {
+			if ev.Version != postVersion {
+				t.Fatalf("post-failover delta at version %d, want %d", ev.Version, postVersion)
+			}
+			return
+		}
+	}
+}

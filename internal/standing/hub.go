@@ -1,0 +1,139 @@
+package standing
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"roadsocial/client"
+)
+
+// Hub fans one standing query's events out to its subscribers. Events get
+// monotonically increasing IDs (first event is 1) and are kept in a bounded
+// ring so a reconnecting subscriber can resume from its Last-Event-ID; a
+// subscriber whose buffered channel is full is dropped and marked lagged
+// rather than blocking the publisher — Publish runs on the mutation install
+// path's eval job and must never wait on a slow reader.
+type Hub struct {
+	mu      sync.Mutex
+	ring    []client.QueryEvent // newest last, at most ringCap
+	ringCap int
+	subBuf  int
+	nextID  uint64
+	subs    map[*Sub]struct{}
+	closed  bool
+
+	// Registry-wide counters (shared across hubs).
+	events *atomic.Int64
+	lagged *atomic.Int64
+}
+
+// Sub is one subscriber of a hub. The hub owns the channel: it is closed when
+// the subscriber lags (check Lagged), when a terminal event was delivered, or
+// never — a subscriber leaving on its own calls Cancel and stops reading.
+type Sub struct {
+	ch     chan client.QueryEvent
+	lagged atomic.Bool
+	hub    *Hub
+}
+
+// Events is the subscriber's event channel. It is closed after a terminal
+// event or when the subscriber was dropped for lagging.
+func (s *Sub) Events() <-chan client.QueryEvent { return s.ch }
+
+// Lagged reports whether the hub dropped this subscriber because its buffer
+// overflowed.
+func (s *Sub) Lagged() bool { return s.lagged.Load() }
+
+// Cancel detaches the subscriber. Idempotent; safe concurrently with
+// Publish.
+func (s *Sub) Cancel() {
+	s.hub.mu.Lock()
+	delete(s.hub.subs, s)
+	s.hub.mu.Unlock()
+}
+
+func newHub(ringCap, subBuf int, events, lagged *atomic.Int64) *Hub {
+	return &Hub{
+		ringCap: ringCap,
+		subBuf:  subBuf,
+		subs:    make(map[*Sub]struct{}),
+		events:  events,
+		lagged:  lagged,
+	}
+}
+
+// Publish assigns the next event ID, records the event in the ring, and
+// fans it out. Subscribers whose buffer is full are marked lagged and their
+// channel closed. A terminal event closes the hub: every subscriber channel
+// is closed after delivery and later publishes are dropped (returning 0).
+func (h *Hub) Publish(ev client.QueryEvent) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0
+	}
+	h.nextID++
+	ev.ID = h.nextID
+	if h.ringCap > 0 {
+		if len(h.ring) >= h.ringCap {
+			h.ring = append(h.ring[:0:0], h.ring[len(h.ring)-h.ringCap+1:]...)
+		}
+		h.ring = append(h.ring, ev)
+	}
+	h.events.Add(1)
+	for s := range h.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.lagged.Store(true)
+			delete(h.subs, s)
+			close(s.ch)
+			h.lagged.Add(1)
+		}
+	}
+	if ev.Terminal {
+		h.closed = true
+		for s := range h.subs {
+			delete(h.subs, s)
+			close(s.ch)
+		}
+	}
+	return ev.ID
+}
+
+// Subscribe attaches a subscriber. With resume set, every ring event with
+// ID > lastID is returned for replay, in order; gap reports that events in
+// (lastID, first replayed ID) were already evicted from the ring — the
+// subscriber lost them and should be told so. Replay and registration are
+// atomic: an event published after Subscribe returns is on the channel, so
+// the replay slice plus the channel stream has no gap and no duplicate. On a
+// closed (terminated) hub the replay still works but the channel is
+// pre-closed.
+func (h *Hub) Subscribe(lastID uint64, resume bool) (sub *Sub, replay []client.QueryEvent, gap bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sub = &Sub{ch: make(chan client.QueryEvent, h.subBuf), hub: h}
+	if resume {
+		for _, ev := range h.ring {
+			if ev.ID > lastID {
+				replay = append(replay, ev)
+			}
+		}
+		if h.nextID > lastID && (len(replay) == 0 || replay[0].ID != lastID+1) {
+			gap = true
+		}
+	}
+	if h.closed {
+		close(sub.ch)
+		return sub, replay, gap
+	}
+	h.subs[sub] = struct{}{}
+	return sub, replay, gap
+}
+
+// LastID returns the ID of the most recently published event (0 if none).
+func (h *Hub) LastID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nextID
+}

@@ -1,0 +1,212 @@
+package standing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"roadsocial/client"
+)
+
+// Sidecar persists one dataset's standing-query registrations as a JSON-lines
+// file next to the mutation journal, following the journal's open discipline:
+// read everything, fold records into the live set, drop the torn tail, rewrite
+// the compacted file via temp+fsync+rename+dirsync, reopen for append. Three
+// record kinds:
+//
+//	{"op":"put","query":{...}}                     register (or restate) a query
+//	{"op":"state","id":...,"version":...,"members":[...]}  last evaluated result
+//	{"op":"delete","id":...}                       unregister
+//
+// A record is durable once Append returns (fsynced). State records let a
+// restarted server diff its first post-restart evaluation against the last
+// result the subscribers saw, so the first event carries a true delta at the
+// converged version instead of a full join.
+type Sidecar struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+type sidecarRec struct {
+	Op      string                `json:"op"`
+	Query   *client.StandingQuery `json:"query,omitempty"`
+	ID      string                `json:"id,omitempty"`
+	Version uint64                `json:"version,omitempty"`
+	Members []int32               `json:"members,omitempty"`
+	// Evaluated distinguishes a state record for an empty community from
+	// "never evaluated" when Members is empty.
+	Evaluated bool `json:"evaluated,omitempty"`
+}
+
+// OpenSidecar opens (creating if absent) the sidecar at path and returns the
+// live registrations with their last persisted result folded in (Version /
+// Members), in registration order. The on-disk file is compacted to one put
+// record per live query.
+func OpenSidecar(path string) (*Sidecar, []client.StandingQuery, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("standing: read sidecar: %w", err)
+	}
+	live := foldRecords(raw)
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("standing: sidecar dir: %w", err)
+	}
+	var buf bytes.Buffer
+	for _, q := range live {
+		qq := q
+		line, err := json.Marshal(sidecarRec{Op: "put", Query: &qq})
+		if err != nil {
+			return nil, nil, fmt.Errorf("standing: encode sidecar: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("standing: compact sidecar: %w", err)
+	}
+	if _, err := tf.Write(buf.Bytes()); err != nil {
+		tf.Close()
+		return nil, nil, fmt.Errorf("standing: compact sidecar: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return nil, nil, fmt.Errorf("standing: sync compacted sidecar: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return nil, nil, fmt.Errorf("standing: close compacted sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, nil, fmt.Errorf("standing: install sidecar: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, nil, fmt.Errorf("standing: sync sidecar dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("standing: open sidecar: %w", err)
+	}
+	return &Sidecar{f: f, path: path}, live, nil
+}
+
+// foldRecords replays the JSON lines into the live registration set,
+// stopping at the first torn or corrupt line (crash tail).
+func foldRecords(raw []byte) []client.StandingQuery {
+	byID := make(map[string]*client.StandingQuery)
+	var order []string
+	for len(raw) > 0 {
+		nl := bytes.IndexByte(raw, '\n')
+		if nl < 0 {
+			break // torn tail: the last append never finished
+		}
+		line := raw[:nl]
+		raw = raw[nl+1:]
+		var rec sidecarRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Query == nil || rec.Query.ID == "" {
+				continue
+			}
+			q := *rec.Query
+			if _, ok := byID[q.ID]; !ok {
+				order = append(order, q.ID)
+			}
+			byID[q.ID] = &q
+		case "state":
+			if q, ok := byID[rec.ID]; ok {
+				q.Version = rec.Version
+				q.Members = rec.Members
+				q.NoCommunity = rec.Evaluated && len(rec.Members) == 0
+			}
+		case "delete":
+			if _, ok := byID[rec.ID]; ok {
+				delete(byID, rec.ID)
+			}
+		}
+	}
+	out := make([]client.StandingQuery, 0, len(byID))
+	for _, id := range order {
+		if q, ok := byID[id]; ok {
+			out = append(out, *q)
+		}
+	}
+	return out
+}
+
+// syncDir fsyncs a directory so a just-renamed entry in it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (s *Sidecar) append(rec sidecarRec) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("standing: encode sidecar record: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("standing: sidecar %s is closed", s.path)
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("standing: append sidecar: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("standing: fsync sidecar: %w", err)
+	}
+	return nil
+}
+
+// AppendPut journals a registration.
+func (s *Sidecar) AppendPut(q client.StandingQuery) error {
+	return s.append(sidecarRec{Op: "put", Query: &q})
+}
+
+// AppendState journals a query's last evaluated result.
+func (s *Sidecar) AppendState(id string, version uint64, members []int32) error {
+	return s.append(sidecarRec{Op: "state", ID: id, Version: version, Members: members, Evaluated: true})
+}
+
+// AppendDelete journals an unregistration.
+func (s *Sidecar) AppendDelete(id string) error {
+	return s.append(sidecarRec{Op: "delete", ID: id})
+}
+
+// Close closes the sidecar file. Further appends fail.
+func (s *Sidecar) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// Remove closes the sidecar and deletes it from disk (dataset removal).
+func (s *Sidecar) Remove() error {
+	err := s.Close()
+	if rmErr := os.Remove(s.path); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// Path returns the on-disk path of the sidecar.
+func (s *Sidecar) Path() string { return s.path }
