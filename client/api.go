@@ -660,9 +660,12 @@ const (
 	// EventDelta carries a result change: {version, joined, left,
 	// members_changed}.
 	EventDelta = "delta"
-	// EventLagged marks a subscriber that fell behind (its buffer
-	// overflowed, or its Last-Event-ID predates the ring): events were
-	// dropped for this subscriber, reconnect and re-read the resource.
+	// EventLagged marks a subscriber whose stream continuity broke: its
+	// buffer overflowed, its Last-Event-ID predates the ring, or its cursor
+	// is ahead of the server's numbering (failover onto a replica with an
+	// independent counter). Re-read the resource to resynchronize; the SDK
+	// resets its resume cursor on this marker so later events flow under
+	// the server's numbering.
 	EventLagged = "lagged"
 	// EventTerminal is the last event of a stream: the query or its dataset
 	// was deleted. The server closes the stream after it.
@@ -687,7 +690,9 @@ type StandingQueryRequest struct {
 	T float64 `json:"t"`
 	// ID pins the assigned query id. Router-internal: the shard router
 	// mirrors a registration to follower replicas under the primary's id so
-	// a failover finds the query; ordinary clients leave it empty.
+	// a failover finds the query. Ordinary clients must leave it empty —
+	// the server answers 400 for a client-supplied id (pinning is gated on
+	// an internal marker only the router sets).
 	ID string `json:"id,omitempty"`
 }
 

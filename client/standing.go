@@ -75,9 +75,14 @@ const maxStreamBackoffShift = 8
 // terminal event (query or dataset deleted server-side) or Close, non-nil
 // after a non-retryable failure. Events arrive exactly once in ID order —
 // reconnects resume from LastEventID, and replayed duplicates are dropped
-// client-side. A Lagged marker (ID 0) means events were lost to a ring
-// eviction or server-side buffer overflow; the subscriber should re-fetch
-// the query resource to resynchronize its view.
+// client-side. A Lagged marker (ID 0) means the stream's continuity broke:
+// events were lost to a ring eviction or server-side buffer overflow, or the
+// resume cursor does not match the server's numbering (failover onto a
+// replica with an independent counter). The subscriber should re-fetch the
+// query resource to resynchronize its view; the subscription resets its
+// resume cursor on the marker, so deltas after it flow regardless of how the
+// new server numbers them (events already seen may replay once across the
+// reset).
 type Subscription struct {
 	c       *Client
 	dataset string
@@ -242,7 +247,8 @@ func retryableSubscribe(err error) bool {
 
 // read consumes one SSE stream until it breaks, delivering events in order.
 // Duplicates from a resume replay (ID <= the highest seen) are dropped;
-// lagged markers (ID 0) always pass through. terminal reports a terminal
+// lagged markers (ID 0) always pass through, resetting the resume cursor so
+// a server with a diverged numbering can re-seed it. terminal reports a terminal
 // event was delivered — the subscription is over; delivered reports whether
 // any event arrived (resets the reconnect backoff).
 func (s *Subscription) read(ctx context.Context, resp *http.Response) (terminal, delivered bool) {
@@ -261,6 +267,15 @@ func (s *Subscription) read(ctx context.Context, resp *http.Response) (terminal,
 			data.Reset()
 			if err != nil {
 				continue
+			}
+			if ev.Lagged {
+				// The server declared our cursor unusable: events were lost,
+				// or the cursor is ahead of this server's numbering (failover
+				// onto a replica with its own counter, or a restart that lost
+				// its ID tail). Reset so the stream's subsequent IDs — which
+				// may be at or below the old cursor — are accepted instead of
+				// silently dropped as replay duplicates.
+				s.lastID.Store(0)
 			}
 			if ev.ID > 0 {
 				if ev.ID <= s.lastID.Load() {

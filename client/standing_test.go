@@ -1,0 +1,68 @@
+package client
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestSubscribeLaggedResetsCursor: a lagged marker resets the subscription's
+// resume cursor. After a failover onto a replica with its own event counter
+// (or a restart that lost its ID tail), the server's IDs can sit at or below
+// the cursor the subscriber built against the old server; the server
+// announces the divergence with a lagged marker, and from then on the new
+// numbering must flow — without the reset, every event would be dropped as a
+// resume-replay duplicate and the subscriber would starve silently.
+func TestSubscribeLaggedResetsCursor(t *testing.T) {
+	connected := make(chan string, 4)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/datasets/ds/queries/q1/events", func(w http.ResponseWriter, r *http.Request) {
+		connected <- r.Header.Get(HeaderLastEventID)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		// The promoted server's view: the cursor (5) is ahead of its
+		// counter, so it declares the gap and then publishes its own event 1.
+		io.WriteString(w, "event: lagged\ndata: {\"lagged\":true,\"reason\":\"resume cursor ahead of this replica\"}\n\n")
+		io.WriteString(w, "id: 1\nevent: delta\ndata: {\"id\":1,\"version\":9,\"joined\":[4],\"members_changed\":true}\n\n")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	sub, err := New(ts.URL).Subscribe(context.Background(), "ds", "q1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if lid := <-connected; lid != "5" {
+		t.Fatalf("first connect sent Last-Event-ID %q, want 5", lid)
+	}
+
+	next := func() QueryEvent {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				t.Fatalf("subscription closed (err: %v)", sub.Err())
+			}
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for an event")
+		}
+		return QueryEvent{}
+	}
+	if ev := next(); !ev.Lagged {
+		t.Fatalf("first event %+v, want the lagged marker", ev)
+	}
+	// The id-1 delta is below the original cursor (5); it must be delivered,
+	// not deduplicated, and it re-seeds the cursor.
+	if ev := next(); ev.ID != 1 || ev.Version != 9 {
+		t.Fatalf("post-lagged event %+v, want the id-1 delta at version 9", ev)
+	}
+	if got := sub.LastEventID(); got != 1 {
+		t.Fatalf("cursor after reset = %d, want 1 (the new numbering)", got)
+	}
+}

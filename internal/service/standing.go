@@ -35,6 +35,14 @@ import (
 // RouteStandingEval labels standing re-evaluations in the keyed metrics.
 const RouteStandingEval = "standing_eval"
 
+// HeaderInternal marks a request originated by the shard router rather than
+// a client — currently the registration mirrors that pin the primary's
+// minted query id onto follower replicas. The router strips it from every
+// inbound create, so a leaf behind a router only ever sees it on
+// intra-cluster forwards; without it, any client could squat arbitrary query
+// ids (409s for everyone else, collisions with router-pinned mirrors).
+const HeaderInternal = "X-Roadsocial-Internal"
+
 // CreateStandingQuery validates and registers a standing query, evaluates it
 // once, and returns the resource with its initial result snapshot. req.ID is
 // normally empty (the server mints "sq-N"); the shard router pins the
@@ -202,6 +210,11 @@ func (s *Server) serveCreateStandingQuery(w http.ResponseWriter, r *http.Request
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.ID != "" && r.Header.Get(HeaderInternal) == "" {
+		writeError(w, http.StatusBadRequest,
+			errors.New("the id field is reserved for router-internal registration mirroring; leave it empty"))
 		return
 	}
 	res, err := s.CreateStandingQuery(r.PathValue("name"), &req, RequestIDFrom(r))

@@ -358,6 +358,51 @@ func TestStandingDatasetDeleteClosesStreams(t *testing.T) {
 	}
 }
 
+// TestStandingClientPinnedIDRejected: the "id" field of the registration
+// body is a router-internal capability (mirroring the primary's minted id to
+// followers); a client supplying one gets a 400 unless the request carries
+// the internal marker the router sets on mirror forwards. Without this, any
+// client could squat ids and 409 other registrations.
+func TestStandingClientPinnedIDRejected(t *testing.T) {
+	net, q, k, tt := testNetwork(t)
+	s := New(Config{})
+	if err := s.AddDataset("test", net); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(&client.StandingQueryRequest{ID: "sq-squat", Q: q, K: k, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ := doJSON(t, "POST", ts.URL+"/v1/datasets/test/queries", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("client-pinned id: status %d, want 400", status)
+	}
+
+	// The same body with the internal marker (what a router mirror sends) is
+	// accepted, under the pinned id.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/datasets/test/queries", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderInternal, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq client.StandingQuery
+	if err := json.NewDecoder(resp.Body).Decode(&sq); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || sq.ID != "sq-squat" {
+		t.Fatalf("internal pinned create: status %d id %q, want 201 sq-squat", resp.StatusCode, sq.ID)
+	}
+}
+
 // TestStandingRegistrationsSurviveRestart extends the journal replay
 // kill-and-restart scenario to the standing sidecar: a server killed after
 // registering a query and applying mutations comes back holding the
@@ -425,17 +470,36 @@ func TestStandingRegistrationsSurviveRestart(t *testing.T) {
 		t.Fatalf("restored queries = %+v, want the pre-kill registration %s", list.Queries, sq.ID)
 	}
 
-	// A fresh hub, a fresh event sequence: an explicit Last-Event-ID of 0
-	// replays the ring from its start, so the convergence event arrives
-	// whether the restart eval already ran or not.
+	// The rebuilt hub seeds its counter from the sidecar, so the numbering
+	// continues where the killed process left off (the pre-kill delta was
+	// event 1). An explicit Last-Event-ID of 0 claims "saw nothing" — but
+	// event 1 died with the old ring, so the server answers a lagged marker
+	// first rather than silently skipping it, then the convergence delta,
+	// numbered after the pre-kill event.
 	rresp, raw := rawSSE(t, ts2.URL+"/v1/datasets/test/queries/"+sq.ID+"/events", "0")
 	rev := waitRaw(t, raw)
+	if rev.name != client.EventLagged || rev.id != 0 {
+		t.Fatalf("first post-restart event = %+v, want the lagged marker for the lost pre-kill event", rev)
+	}
+	rev = waitRaw(t, raw)
 	rresp.Body.Close()
 	if rev.name != client.EventDelta || rev.ev.Version != 4 {
-		t.Fatalf("first post-restart event = %+v, want a delta at the converged version 4", rev)
+		t.Fatalf("post-restart event = %+v, want a delta at the converged version 4", rev)
+	}
+	if rev.id != 2 || rev.ev.ID != 2 {
+		t.Fatalf("convergence event id = %d/%d, want 2 (continuing the pre-kill numbering)", rev.id, rev.ev.ID)
 	}
 	if rev.ev.MembersChanged {
 		t.Fatalf("post-restart convergence event reports changed members: %+v", rev.ev)
+	}
+
+	// A subscriber that acked the pre-kill event resumes cleanly: no gap, no
+	// duplicate, just the convergence delta.
+	rresp, raw = rawSSE(t, ts2.URL+"/v1/datasets/test/queries/"+sq.ID+"/events", "1")
+	rev = waitRaw(t, raw)
+	rresp.Body.Close()
+	if rev.name != client.EventDelta || rev.id != 2 {
+		t.Fatalf("resume from pre-kill ack = %+v, want only the id-2 convergence delta", rev)
 	}
 
 	// The mint sequence survived too: the next registration continues it.

@@ -195,6 +195,13 @@ func (b *Remote) ServeAPI(w http.ResponseWriter, r *http.Request) {
 		// reconnecting after a failover silently loses its ring replay.
 		req.Header.Set(client.HeaderLastEventID, lid)
 	}
+	if r.Header.Get(service.HeaderInternal) != "" {
+		// Router-originated requests (standing-query registration mirrors)
+		// carry the internal marker that lets the leaf accept a pinned query
+		// ID. Client-supplied copies never reach here: the routing layer
+		// strips the header from inbound requests before forwarding.
+		req.Header.Set(service.HeaderInternal, "1")
+	}
 	resp, err := b.hc.Do(req)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("%w: %s (%v)", ErrShardDown, b.name, err))

@@ -35,6 +35,10 @@ func (rt *Router) serveCreateQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("dataset %q is mid-move; retry shortly", name))
 		return
 	}
+	// ID pinning is a router-only capability: drop any internal marker a
+	// client smuggled in, so the leaf's id-squatting rejection stays
+	// authoritative for traffic arriving through the router.
+	r.Header.Del(service.HeaderInternal)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxRequestBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -75,9 +79,22 @@ func (rt *Router) mirrorQueryCreate(name string, followers []int, reqBody, respB
 		if rt.isReplicaStale(name, f) {
 			continue // the pending re-sync recreates state wholesale
 		}
-		if _, err := rt.forward(f, http.MethodPost, path, bytes.NewReader(mirror), auth, "application/json"); err != nil {
+		// Hand-rolled rather than rt.forward: the mirror must carry the
+		// internal marker that lets the leaf accept the pinned id.
+		req, err := http.NewRequest(http.MethodPost, path, bytes.NewReader(mirror))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(service.HeaderInternal, "1")
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		rec := newRecorder()
+		rt.backends[f].ServeAPI(rec, req)
+		if rec.code/100 != 2 {
 			slog.Warn("follower standing-query mirror failed; the follower serves events without this query until it is re-registered there",
-				"dataset", name, "query", created.ID, "shard", rt.backends[f].Name(), "err", err)
+				"dataset", name, "query", created.ID, "shard", rt.backends[f].Name(), "status", rec.code)
 		}
 	}
 }
@@ -104,15 +121,43 @@ func (rt *Router) serveDeleteQuery(w http.ResponseWriter, r *http.Request) {
 	rec.replay(w)
 }
 
-// routeQueryEvents hands the SSE stream to the first healthy replica and
-// streams through — like a snapshot export, the response cannot go through
-// the buffering failover recorder (it never ends), so the route commits to
-// one replica up front. When that replica dies mid-stream the client's
-// reconnect routes afresh and lands on the promoted primary, resuming from
-// its Last-Event-ID.
+// routeQueryEvents hands the SSE stream to a healthy replica and streams
+// through — like a snapshot export, the response cannot go through the
+// buffering failover recorder (it never ends), so the route commits to one
+// replica up front. When that replica dies mid-stream the client's reconnect
+// routes afresh and lands on the promoted primary, resuming from its
+// Last-Event-ID.
+//
+// The commit is preceded by a cheap in-process probe for the query resource:
+// the registration mirror to followers is best-effort, so the preferred read
+// candidate may 404 a query that exists on the primary — and the SDK rightly
+// treats a subscribe 404 as semantic (query deleted) and kills the
+// subscription for good. Probing walks the candidates in health order and
+// streams from the first that holds the query; only when every candidate
+// 404s is the miss answered as real.
 func (rt *Router) routeQueryEvents(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	idx := rt.readCandidates(name)[0]
+	cands := rt.readCandidates(name)
+	idx := cands[0]
+	if len(cands) > 1 {
+		path := "/v1/datasets/" + url.PathEscape(name) + "/queries/" + url.PathEscape(r.PathValue("id"))
+		auth := r.Header.Get("Authorization")
+		for _, c := range cands {
+			probe, err := http.NewRequest(http.MethodGet, path, nil)
+			if err != nil {
+				break
+			}
+			if auth != "" {
+				probe.Header.Set("Authorization", auth)
+			}
+			rec := newRecorder()
+			rt.backends[c].ServeAPI(rec, probe)
+			if rec.code != http.StatusNotFound {
+				idx = c
+				break
+			}
+		}
+	}
 	done := rt.trackRoute(name, idx)
 	defer done()
 	rt.backends[idx].ServeAPI(w, r)

@@ -99,6 +99,12 @@ func TestStandingQueryMirroredAcrossReplicas(t *testing.T) {
 	if err != nil {
 		t.Fatalf("create through router: %v", err)
 	}
+	// A client-pinned id is rejected at the leaf: the router strips the
+	// internal marker from inbound creates, so only its own mirror forwards
+	// may pin ids.
+	if _, err := sdk.CreateStandingQuery(ctx, ds, &client.StandingQueryRequest{ID: "sq-squat", Q: q, K: k, T: tt}); client.StatusOf(err) != http.StatusBadRequest {
+		t.Fatalf("client-pinned id through router: err %v, want 400", err)
+	}
 	// The mirror is synchronous with the create: both replicas hold the
 	// registration under the primary's minted id before the 201 returns.
 	for i, l := range locals {
@@ -182,6 +188,69 @@ func TestStandingQueryMirroredAcrossReplicas(t *testing.T) {
 	}
 }
 
+// TestStandingEventsRouteSkipsMissingReplica: the registration mirror is
+// best-effort, so the preferred read candidate can lack a query that another
+// replica holds. The events route must probe past such a replica instead of
+// committing the stream to its 404 — the SDK treats a subscribe 404 as "query
+// deleted" and kills the subscription permanently.
+func TestStandingEventsRouteSkipsMissingReplica(t *testing.T) {
+	net_, q, k, tt := testNetwork(t)
+	cfg := service.Config{MaxInFlight: 2, MaxQueue: 64, DefaultTimeout: 120 * time.Second}
+	locals := []*Local{
+		NewLocal("shard-0", service.New(cfg)),
+		NewLocal("shard-1", service.New(cfg)),
+	}
+	rt, err := NewRouter([]Backend{locals[0], locals[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetReplication(2)
+	const ds = "holey"
+	for _, l := range locals {
+		if err := l.Server().AddDataset(ds, net_); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	sdk := client.New(ts.URL)
+
+	// The query exists only on the non-preferred replica — the inverse of a
+	// dropped mirror, hitting the same routing hole: the preferred candidate
+	// answers 404 for a query that is alive elsewhere.
+	other := 1 - rt.OwnerIndex(ds)
+	if _, err := locals[other].Server().CreateStandingQuery(ds,
+		&client.StandingQueryRequest{ID: "sq-ghost", Q: q, K: k, T: tt}, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := sdk.Subscribe(ctx, ds, "sq-ghost", 0)
+	if err != nil {
+		t.Fatalf("subscribe must route past the replica missing the query: %v", err)
+	}
+	defer sub.Close()
+
+	// A routed mutation reaches every replica; the one holding the query
+	// evaluates and the stream delivers the delta.
+	list, err := locals[other].Server().StandingQueries(ds)
+	if err != nil || len(list.Queries) != 1 {
+		t.Fatalf("holder registrations = %+v (err %v)", list, err)
+	}
+	avoid := map[int32]bool{}
+	for _, qv := range q {
+		avoid[qv] = true
+	}
+	victim, batch := memberCut(t, net_, list.Queries[0].Members, avoid)
+	if _, err := sdk.Mutate(ctx, ds, batch); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitQueryEvent(t, sub)
+	if !containsID(ev.Left, victim) {
+		t.Fatalf("delta %+v, want %d in left", ev, victim)
+	}
+}
+
 // TestStandingFailoverSubscriber is the fault-injection bar for the standing
 // subsystem: a live subscriber rides out a primary kill. The follower holds
 // the mirrored registration and saw the same pre-kill mutations, so its
@@ -258,7 +327,8 @@ func TestStandingFailoverSubscriber(t *testing.T) {
 		avoid[qv] = true
 	}
 	victim1, batch1 := memberCut(t, net_, sq.Members, avoid)
-	if _, err := sdk.Mutate(ctx, "durable", batch1); err != nil {
+	mres1, err := sdk.Mutate(ctx, "durable", batch1)
+	if err != nil {
 		t.Fatal(err)
 	}
 	ev := waitQueryEvent(t, sub)
@@ -272,6 +342,20 @@ func TestStandingFailoverSubscriber(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Pin the lossless path deterministically: the follower's eval of batch1
+	// is asynchronous, and a reconnect landing before it published its own
+	// event 1 would (correctly) surface a lagged marker — the subscriber's
+	// cursor would be ahead of the follower's counter. Wait for the
+	// follower's copy to converge before killing the primary.
+	waitFor(t, 30*time.Second, "follower standing eval", func() bool {
+		resp, err := http.Get("http://" + leaves[follower].addr + "/v1/datasets/durable/queries/" + sq.ID)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var got client.StandingQuery
+		return json.NewDecoder(resp.Body).Decode(&got) == nil && got.Version == mres1.Version
+	})
 
 	// Kill the primary; the prober promotes the follower. The subscriber's
 	// stream breaks and the SDK reconnects through the router on its own.

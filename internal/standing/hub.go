@@ -8,7 +8,9 @@ import (
 )
 
 // Hub fans one standing query's events out to its subscribers. Events get
-// monotonically increasing IDs (first event is 1) and are kept in a bounded
+// monotonically increasing IDs (from 1 on a fresh hub; a hub rebuilt from
+// the sidecar is seeded with the last persisted ID so the numbering
+// continues across restarts) and are kept in a bounded
 // ring so a reconnecting subscriber can resume from its Last-Event-ID; a
 // subscriber whose buffered channel is full is dropped and marked lagged
 // rather than blocking the publisher — Publish runs on the mutation install
@@ -102,13 +104,19 @@ func (h *Hub) Publish(ev client.QueryEvent) uint64 {
 }
 
 // Subscribe attaches a subscriber. With resume set, every ring event with
-// ID > lastID is returned for replay, in order; gap reports that events in
-// (lastID, first replayed ID) were already evicted from the ring — the
-// subscriber lost them and should be told so. Replay and registration are
-// atomic: an event published after Subscribe returns is on the channel, so
-// the replay slice plus the channel stream has no gap and no duplicate. On a
-// closed (terminated) hub the replay still works but the channel is
-// pre-closed.
+// ID > lastID is returned for replay, in order; gap reports that the
+// subscriber's view and this hub's history have diverged — either events in
+// (lastID, first replayed ID) were already evicted from the ring, or lastID
+// is ahead of this hub's counter entirely (the cursor was minted by a
+// different replica's hub or by a pre-restart process whose tail was never
+// persisted), so what the subscriber saw past nextID is unknown here. Both
+// cases surface as a lagged marker, on which the SDK resets its cursor —
+// without that, a promoted follower or restarted server numbering behind the
+// cursor would have every genuinely new delta silently dropped as a replay
+// duplicate. Replay and registration are atomic: an event published after
+// Subscribe returns is on the channel, so the replay slice plus the channel
+// stream has no gap and no duplicate. On a closed (terminated) hub the
+// replay still works but the channel is pre-closed.
 func (h *Hub) Subscribe(lastID uint64, resume bool) (sub *Sub, replay []client.QueryEvent, gap bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -119,7 +127,10 @@ func (h *Hub) Subscribe(lastID uint64, resume bool) (sub *Sub, replay []client.Q
 				replay = append(replay, ev)
 			}
 		}
-		if h.nextID > lastID && (len(replay) == 0 || replay[0].ID != lastID+1) {
+		switch {
+		case lastID > h.nextID:
+			gap = true
+		case h.nextID > lastID && (len(replay) == 0 || replay[0].ID != lastID+1):
 			gap = true
 		}
 	}

@@ -18,13 +18,17 @@ import (
 // record kinds:
 //
 //	{"op":"put","query":{...}}                     register (or restate) a query
-//	{"op":"state","id":...,"version":...,"members":[...]}  last evaluated result
+//	{"op":"state","id":...,"version":...,"members":[...],"event_id":...}  last evaluated result
 //	{"op":"delete","id":...}                       unregister
 //
 // A record is durable once Append returns (fsynced). State records let a
 // restarted server diff its first post-restart evaluation against the last
 // result the subscribers saw, so the first event carries a true delta at the
-// converged version instead of a full join.
+// converged version instead of a full join. They also carry the ID of the
+// last event published to subscribers: the restored hub seeds its counter
+// from it, so post-restart events continue the numbering a resuming
+// subscriber's Last-Event-ID cursor was built on instead of restarting at 1
+// (which the SDK would silently drop as already-seen).
 type Sidecar struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -40,13 +44,26 @@ type sidecarRec struct {
 	// Evaluated distinguishes a state record for an empty community from
 	// "never evaluated" when Members is empty.
 	Evaluated bool `json:"evaluated,omitempty"`
+	// EventID is the ID of the last event published to this query's
+	// subscribers when the record was written (0 while none). On put records
+	// it appears only via compaction, folding the last state's counter in.
+	EventID uint64 `json:"event_id,omitempty"`
+}
+
+// Restored is one registration recovered from a sidecar: the query spec with
+// its last persisted result folded in (Version / Members / NoCommunity), plus
+// the last event ID published to its subscribers before the shutdown — the
+// seed for the rebuilt hub's counter.
+type Restored struct {
+	Query       client.StandingQuery
+	LastEventID uint64
 }
 
 // OpenSidecar opens (creating if absent) the sidecar at path and returns the
-// live registrations with their last persisted result folded in (Version /
-// Members), in registration order. The on-disk file is compacted to one put
+// live registrations with their last persisted result and event counter
+// folded in, in registration order. The on-disk file is compacted to one put
 // record per live query.
-func OpenSidecar(path string) (*Sidecar, []client.StandingQuery, error) {
+func OpenSidecar(path string) (*Sidecar, []Restored, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("standing: read sidecar: %w", err)
@@ -57,9 +74,9 @@ func OpenSidecar(path string) (*Sidecar, []client.StandingQuery, error) {
 		return nil, nil, fmt.Errorf("standing: sidecar dir: %w", err)
 	}
 	var buf bytes.Buffer
-	for _, q := range live {
-		qq := q
-		line, err := json.Marshal(sidecarRec{Op: "put", Query: &qq})
+	for _, r := range live {
+		qq := r.Query
+		line, err := json.Marshal(sidecarRec{Op: "put", Query: &qq, EventID: r.LastEventID})
 		if err != nil {
 			return nil, nil, fmt.Errorf("standing: encode sidecar: %w", err)
 		}
@@ -96,9 +113,11 @@ func OpenSidecar(path string) (*Sidecar, []client.StandingQuery, error) {
 }
 
 // foldRecords replays the JSON lines into the live registration set,
-// stopping at the first torn or corrupt line (crash tail).
-func foldRecords(raw []byte) []client.StandingQuery {
-	byID := make(map[string]*client.StandingQuery)
+// stopping at the first torn or corrupt line (crash tail). Event counters
+// only ratchet up: a stray late record can never rewind the seed below an ID
+// a subscriber already acked.
+func foldRecords(raw []byte) []Restored {
+	byID := make(map[string]*Restored)
 	var order []string
 	for len(raw) > 0 {
 		nl := bytes.IndexByte(raw, '\n')
@@ -120,12 +139,15 @@ func foldRecords(raw []byte) []client.StandingQuery {
 			if _, ok := byID[q.ID]; !ok {
 				order = append(order, q.ID)
 			}
-			byID[q.ID] = &q
+			byID[q.ID] = &Restored{Query: q, LastEventID: rec.EventID}
 		case "state":
-			if q, ok := byID[rec.ID]; ok {
-				q.Version = rec.Version
-				q.Members = rec.Members
-				q.NoCommunity = rec.Evaluated && len(rec.Members) == 0
+			if r, ok := byID[rec.ID]; ok {
+				r.Query.Version = rec.Version
+				r.Query.Members = rec.Members
+				r.Query.NoCommunity = rec.Evaluated && len(rec.Members) == 0
+				if rec.EventID > r.LastEventID {
+					r.LastEventID = rec.EventID
+				}
 			}
 		case "delete":
 			if _, ok := byID[rec.ID]; ok {
@@ -133,10 +155,10 @@ func foldRecords(raw []byte) []client.StandingQuery {
 			}
 		}
 	}
-	out := make([]client.StandingQuery, 0, len(byID))
+	out := make([]Restored, 0, len(byID))
 	for _, id := range order {
-		if q, ok := byID[id]; ok {
-			out = append(out, *q)
+		if r, ok := byID[id]; ok {
+			out = append(out, *r)
 		}
 	}
 	return out
@@ -177,9 +199,10 @@ func (s *Sidecar) AppendPut(q client.StandingQuery) error {
 	return s.append(sidecarRec{Op: "put", Query: &q})
 }
 
-// AppendState journals a query's last evaluated result.
-func (s *Sidecar) AppendState(id string, version uint64, members []int32) error {
-	return s.append(sidecarRec{Op: "state", ID: id, Version: version, Members: members, Evaluated: true})
+// AppendState journals a query's last evaluated result together with the ID
+// of the last event published to its subscribers.
+func (s *Sidecar) AppendState(id string, version uint64, members []int32, eventID uint64) error {
+	return s.append(sidecarRec{Op: "state", ID: id, Version: version, Members: members, Evaluated: true, EventID: eventID})
 }
 
 // AppendDelete journals an unregistration.

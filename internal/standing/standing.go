@@ -122,13 +122,22 @@ func (e *Entry) Resource() client.StandingQuery {
 }
 
 // SetInitial records the registration-time evaluation without publishing an
-// event (the register response itself carries the snapshot).
-func (e *Entry) SetInitial(members []int32, version uint64) {
+// event (the register response itself carries the snapshot). It reports
+// whether the state was applied: a mutation batch landing between Register
+// and the initial evaluation can race a RunEvals pass past it (affects
+// matches unevaluated entries), and the newer published result must not be
+// regressed to the older registration-time snapshot — the diff against a
+// rewound baseline would emit duplicate or contradictory deltas.
+func (e *Entry) SetInitial(members []int32, version uint64) bool {
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.evaluated {
+		return false
+	}
 	e.members = members
 	e.version = version
 	e.evaluated = true
-	e.mu.Unlock()
+	return true
 }
 
 // NewRegistry creates a registry.
@@ -183,9 +192,11 @@ func (r *Registry) OpenDataset(dataset string) ([]client.StandingQuery, error) {
 		r.mu.Unlock()
 		return nil, err
 	}
+	out := make([]client.StandingQuery, 0, len(restored))
 	ds.mu.Lock()
 	ds.sidecar = sc
-	for _, q := range restored {
+	for _, rq := range restored {
+		q := rq.Query
 		e := &Entry{
 			spec:      q,
 			hub:       newHub(r.ringCap, r.subBuf, &r.events, &r.lagged),
@@ -194,6 +205,11 @@ func (r *Registry) OpenDataset(dataset string) ([]client.StandingQuery, error) {
 			evaluated: q.Version > 0 || q.Members != nil || q.NoCommunity,
 			restored:  true,
 		}
+		// Seed the event counter so post-restart events continue the
+		// numbering subscribers acked pre-crash; a hub restarting at 0 would
+		// mint IDs at or below their Last-Event-ID cursors and the SDK would
+		// drop every new delta as a replay duplicate.
+		e.hub.nextID = rq.LastEventID
 		e.spec.Members = nil
 		e.spec.Version = 0
 		e.spec.NoCommunity = false
@@ -201,9 +217,10 @@ func (r *Registry) OpenDataset(dataset string) ([]client.StandingQuery, error) {
 		ds.order = append(ds.order, q.ID)
 		r.bumpSeq(q.ID)
 		r.count.Add(1)
+		out = append(out, q)
 	}
 	ds.mu.Unlock()
-	return restored, nil
+	return out, nil
 }
 
 // bumpSeq advances the id sequence past a restored or pinned "sq-N" id so
@@ -466,9 +483,13 @@ func (r *Registry) AbandonRun(dataset string) {
 // RecordInitial stores a registration-time evaluation on the entry (without
 // publishing an event — the register response itself carries the snapshot)
 // and journals it, so a restarted server diffs its first re-evaluation
-// against the result this registration reported.
+// against the result this registration reported. When a mutation-driven eval
+// pass already stored a newer result (the entry was visible to Notify before
+// this call), both the entry and the sidecar keep that newer state.
 func (r *Registry) RecordInitial(dataset string, e *Entry, members []int32, version uint64) {
-	e.SetInitial(members, version)
+	if !e.SetInitial(members, version) {
+		return
+	}
 	ds := r.dataset(dataset)
 	if ds == nil {
 		return
@@ -477,7 +498,7 @@ func (r *Registry) RecordInitial(dataset string, e *Entry, members []int32, vers
 	sc := ds.sidecar
 	ds.mu.Unlock()
 	if sc != nil {
-		_ = sc.AppendState(e.spec.ID, version, members)
+		_ = sc.AppendState(e.spec.ID, version, members, e.hub.LastID())
 	}
 }
 
@@ -532,14 +553,20 @@ func (r *Registry) RunEvals(dataset string, eval func(spec client.StandingQuery)
 			if !publish {
 				continue
 			}
-			e.hub.Publish(client.QueryEvent{
+			evID := e.hub.Publish(client.QueryEvent{
 				Version:        version,
 				Joined:         joined,
 				Left:           left,
 				MembersChanged: len(joined) > 0 || len(left) > 0,
 			})
+			if evID == 0 {
+				// The hub closed under us: the query was deleted mid-pass and
+				// its subscribers already got the terminal event. Nothing to
+				// journal for a dead id.
+				continue
+			}
 			if sc != nil {
-				if err := sc.AppendState(e.spec.ID, version, members); err != nil && onErr != nil {
+				if err := sc.AppendState(e.spec.ID, version, members, evID); err != nil && onErr != nil {
 					onErr(e.spec.ID, err)
 				}
 			}

@@ -34,10 +34,10 @@ func TestSidecarFoldAndCompact(t *testing.T) {
 	if err := sc.AppendPut(spec("sq-2", 5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.AppendState("sq-1", 3, []int32{7, 8, 9}); err != nil {
+	if err := sc.AppendState("sq-1", 3, []int32{7, 8, 9}, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.AppendState("sq-1", 4, []int32{7, 9}); err != nil {
+	if err := sc.AppendState("sq-1", 4, []int32{7, 9}, 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := sc.AppendDelete("sq-2"); err != nil {
@@ -61,11 +61,14 @@ func TestSidecarFoldAndCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sc2.Close()
-	if len(live) != 1 || live[0].ID != "sq-1" {
+	if len(live) != 1 || live[0].Query.ID != "sq-1" {
 		t.Fatalf("restored %+v, want just sq-1", live)
 	}
-	if live[0].Version != 4 || fmt.Sprint(live[0].Members) != "[7 9]" {
-		t.Fatalf("restored state version=%d members=%v, want 4/[7 9]", live[0].Version, live[0].Members)
+	if live[0].Query.Version != 4 || fmt.Sprint(live[0].Query.Members) != "[7 9]" {
+		t.Fatalf("restored state version=%d members=%v, want 4/[7 9]", live[0].Query.Version, live[0].Query.Members)
+	}
+	if live[0].LastEventID != 2 {
+		t.Fatalf("restored last event id = %d, want 2", live[0].LastEventID)
 	}
 	// Compacted: one put line for the lone live query, the torn tail gone.
 	raw, err := os.ReadFile(path)
@@ -75,6 +78,21 @@ func TestSidecarFoldAndCompact(t *testing.T) {
 	lines := strings.Count(string(raw), "\n")
 	if lines != 1 {
 		t.Fatalf("compacted sidecar has %d lines, want 1:\n%s", lines, raw)
+	}
+	// The event counter survives the compaction cycle too (restart →
+	// compact → restart) and only ratchets up: a stale low-ID state record
+	// cannot rewind it.
+	if err := sc2.AppendState("sq-1", 5, []int32{7}, 1); err != nil {
+		t.Fatal(err)
+	}
+	sc2.Close()
+	sc3, live, err := OpenSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc3.Close()
+	if len(live) != 1 || live[0].LastEventID != 2 || live[0].Query.Version != 5 {
+		t.Fatalf("re-restored %+v, want event id still 2 at version 5", live)
 	}
 }
 
@@ -89,7 +107,7 @@ func TestSidecarEmptyCommunityState(t *testing.T) {
 	if err := sc.AppendPut(spec("sq-1", 64)); err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.AppendState("sq-1", 2, nil); err != nil {
+	if err := sc.AppendState("sq-1", 2, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	sc.Close()
@@ -98,7 +116,7 @@ func TestSidecarEmptyCommunityState(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sc2.Close()
-	if len(live) != 1 || !live[0].NoCommunity || live[0].Version != 2 {
+	if len(live) != 1 || !live[0].Query.NoCommunity || live[0].Query.Version != 2 {
 		t.Fatalf("restored %+v, want NoCommunity at version 2", live)
 	}
 }
@@ -142,6 +160,36 @@ func TestHubPublishResumeGap(t *testing.T) {
 	_, replay, gap = h.Subscribe(9, true)
 	if gap || len(replay) != 0 {
 		t.Fatalf("resume at head: gap=%v replay=%+v", gap, replay)
+	}
+	// Resume AHEAD of the head: the cursor belongs to another replica's (or
+	// a dead process's) numbering — a gap, so the subscriber learns its
+	// cursor is void instead of silently dropping this hub's next events.
+	_, replay, gap = h.Subscribe(12, true)
+	if !gap || len(replay) != 0 {
+		t.Fatalf("resume ahead of head: gap=%v replay=%+v, want a gap with no replay", gap, replay)
+	}
+}
+
+// TestHubSeededAcrossRestart: a hub seeded from the sidecar's persisted event
+// ID continues the pre-restart numbering, and a subscriber resuming from a
+// cursor inside the lost (pre-restart) range gets a gap, never a silent skip.
+func TestHubSeededAcrossRestart(t *testing.T) {
+	var events, lagged atomic.Int64
+	h := newHub(4, 8, &events, &lagged)
+	h.nextID = 7 // what OpenDataset does with a restored LastEventID
+	if id := h.Publish(client.QueryEvent{Version: 1}); id != 8 {
+		t.Fatalf("first post-seed id = %d, want 8", id)
+	}
+	// A subscriber that acked everything pre-restart resumes cleanly.
+	_, replay, gap := h.Subscribe(8, true)
+	if gap || len(replay) != 0 {
+		t.Fatalf("resume at seeded head: gap=%v replay=%+v", gap, replay)
+	}
+	// One that stopped inside the lost pre-restart range gaps: events 4..7
+	// died with the old process's ring.
+	_, replay, gap = h.Subscribe(3, true)
+	if !gap || len(replay) != 1 || replay[0].ID != 8 {
+		t.Fatalf("resume into the lost range: gap=%v replay=%+v, want gap with only event 8", gap, replay)
 	}
 }
 
@@ -310,10 +358,51 @@ func TestRegistryEvalPublishesDeltas(t *testing.T) {
 	}
 }
 
+// TestRegistryInitialDoesNotRegressEval: a mutation batch landing between
+// Register and the initial evaluation can run a RunEvals pass first (affects
+// matches unevaluated entries); the later RecordInitial must not overwrite
+// that newer published result with the older registration-time snapshot —
+// the next eval would diff against a rewound baseline and emit bogus deltas.
+func TestRegistryInitialDoesNotRegressEval(t *testing.T) {
+	r := NewRegistry(Config{})
+	if _, err := r.OpenDataset("ds"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Register("ds", spec("", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The racing mutation: evaluated at version 2 before RecordInitial runs.
+	r.Notify("ds", func(*Entry) bool { return true })
+	r.RunEvals("ds", func(client.StandingQuery) ([]int32, uint64, error) {
+		return []int32{5, 6}, 2, nil
+	}, nil)
+	// The registration-time snapshot arrives late and older: a no-op.
+	r.RecordInitial("ds", e, []int32{1, 2}, 1)
+	members, version, evaluated := e.State()
+	if !evaluated || version != 2 || fmt.Sprint(members) != "[5 6]" {
+		t.Fatalf("state after late RecordInitial = %v/%d/%v, want the eval's [5 6]/2", members, version, evaluated)
+	}
+	// The next eval diffs against the eval's baseline, not the stale
+	// snapshot: an unchanged result publishes nothing.
+	sub, _, _ := e.Hub().Subscribe(0, false)
+	r.Notify("ds", func(*Entry) bool { return true })
+	r.RunEvals("ds", func(client.StandingQuery) ([]int32, uint64, error) {
+		return []int32{5, 6}, 3, nil
+	}, nil)
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("unchanged membership after a late RecordInitial published %+v", ev)
+	default:
+	}
+}
+
 // TestRegistryRestartRestores: registrations and last state survive a
 // registry restart via the sidecar; the restored entry's first evaluation
-// publishes unconditionally (the converged-version event) and the sequence
-// never re-mints a restored id.
+// publishes unconditionally (the converged-version event) with an event ID
+// continuing the pre-restart numbering — a rebuilt hub restarting at 1 would
+// collide with IDs subscribers already acked — and the sequence never
+// re-mints a restored id.
 func TestRegistryRestartRestores(t *testing.T) {
 	dir := t.TempDir()
 	r1 := NewRegistry(Config{Dir: dir})
@@ -325,6 +414,12 @@ func TestRegistryRestartRestores(t *testing.T) {
 		t.Fatal(err)
 	}
 	r1.RecordInitial("ds", e, []int32{1, 2}, 3)
+	// One mutation-driven delta before the "crash": event 1 is published and
+	// its ID persisted with the state record.
+	r1.Notify("ds", func(*Entry) bool { return true })
+	r1.RunEvals("ds", func(client.StandingQuery) ([]int32, uint64, error) {
+		return []int32{1, 2, 9}, 4, nil
+	}, nil)
 	r1.CloseDataset("ds")
 
 	r2 := NewRegistry(Config{Dir: dir})
@@ -340,25 +435,33 @@ func TestRegistryRestartRestores(t *testing.T) {
 		t.Fatal("restored entry not in registry")
 	}
 	members, version, evaluated := e2.State()
-	if !evaluated || version != 3 || fmt.Sprint(members) != "[1 2]" {
-		t.Fatalf("restored state %v/%d/%v, want [1 2]/3/true", members, version, evaluated)
+	if !evaluated || version != 4 || fmt.Sprint(members) != "[1 2 9]" {
+		t.Fatalf("restored state %v/%d/%v, want [1 2 9]/4/true", members, version, evaluated)
 	}
 	// First post-restart eval publishes even with unchanged membership, at
-	// the converged version.
+	// the converged version, numbered after the pre-restart event.
 	sub, _, _ := e2.Hub().Subscribe(0, false)
 	r2.MarkAllPending("ds")
 	r2.RunEvals("ds", func(client.StandingQuery) ([]int32, uint64, error) {
-		return []int32{1, 2}, 7, nil
+		return []int32{1, 2, 9}, 7, nil
 	}, nil)
 	ev := <-sub.Events()
 	if ev.Version != 7 || ev.MembersChanged {
 		t.Fatalf("restored convergence event %+v, want version 7 unchanged", ev)
 	}
+	if ev.ID != 2 {
+		t.Fatalf("convergence event id = %d, want 2 (numbering continues across the restart)", ev.ID)
+	}
+	// A subscriber that acked pre-restart event 1 and resumes against the
+	// rebuilt hub sees no gap and no duplicate.
+	if _, replay, gap := e2.Hub().Subscribe(1, true); gap || len(replay) != 1 || replay[0].ID != 2 {
+		t.Fatalf("resume from pre-restart ack: gap=%v replay=%+v, want just event 2", gap, replay)
+	}
 	// Second eval with still-unchanged membership stays silent (restored
 	// consumed).
 	r2.MarkAllPending("ds")
 	r2.RunEvals("ds", func(client.StandingQuery) ([]int32, uint64, error) {
-		return []int32{1, 2}, 8, nil
+		return []int32{1, 2, 9}, 8, nil
 	}, nil)
 	select {
 	case ev := <-sub.Events():
